@@ -1,0 +1,14 @@
+"""Output helper shared by the benchmark files."""
+
+from __future__ import annotations
+
+__all__ = ["print_series"]
+
+
+def print_series(title: str, header: str, rows) -> None:
+    """Emit one figure's series in a uniform, paper-comparable layout."""
+    print()
+    print(f"=== {title} ===")
+    print(header)
+    for row in rows:
+        print(row)

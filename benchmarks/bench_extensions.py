@@ -1,0 +1,156 @@
+"""Section-5 extensions, measured.
+
+The paper's future-work list, implemented and quantified here:
+
+* proxy-to-server cache-hit reporting (restores the demand signal hidden
+  by the proxy cache),
+* a separate popular-resources volume as a fallback hint,
+* delta encoding of changed responses (via the coherency discussion's
+  reference to Mogul et al.),
+* two-level cache hierarchies with piggyback forwarding.
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.rate_of_change import estimate_delta_savings, rate_of_change
+from repro.analysis.prediction import ReplayConfig, replay
+from repro.proxy.hierarchy import build_chain
+from repro.proxy.proxy import PiggybackProxy, ProxyConfig
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.volumes.popularity import (
+    FallbackVolumeStore,
+    PopularityConfig,
+    PopularityVolumeStore,
+)
+from repro.workloads.modifications import ModificationProcess
+from repro.workloads.synth import server_log_preset
+
+
+def test_ext_hit_reporting(benchmark, aiusa_log):
+    """Reported cache hits restore resource popularity at the server."""
+    trace, site = aiusa_log
+
+    def run(report):
+        changes = ModificationProcess(0.0, trace.end_time + 1.0)
+        resources = ResourceStore.from_site(site, changes=changes)
+        server = PiggybackServer(
+            resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        )
+        proxy = PiggybackProxy(
+            server.handle,
+            ProxyConfig(name="p", freshness_interval=600.0,
+                        report_cache_hits=report),
+        )
+        for record in trace:
+            proxy.handle_client_get(record.url, record.timestamp)
+        return server
+
+    def run_both():
+        return run(False), run(True)
+
+    silent, reporting = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_series(
+        "Extension: proxy-to-server cache-hit reporting (aiusa preset)",
+        f"{'mode':<10}  {'origin requests':>15}  {'reported hits':>13}",
+        (
+            f"{'silent':<10}  {silent.stats.requests:>15}  {silent.stats.reported_cache_hits:>13}",
+            f"{'reporting':<10}  {reporting.stats.requests:>15}  {reporting.stats.reported_cache_hits:>13}",
+        ),
+    )
+    assert silent.stats.reported_cache_hits == 0
+    assert reporting.stats.reported_cache_hits > 0
+
+
+def test_ext_popularity_fallback(benchmark, aiusa_log):
+    """A popular-resources fallback volume adds recall for cold lookups."""
+    trace, _ = aiusa_log
+
+    def run(with_fallback):
+        primary = DirectoryVolumeStore(DirectoryVolumeConfig(level=2))
+        store = (
+            FallbackVolumeStore(primary, PopularityVolumeStore(PopularityConfig(top_count=10)))
+            if with_fallback else primary
+        )
+        return replay(trace, store, ReplayConfig(max_elements=10, access_filter=50))
+
+    def run_both():
+        return run(False), run(True)
+
+    plain, with_fallback = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_series(
+        "Extension: popularity fallback volume (aiusa, level 2, maxpiggy 10)",
+        f"{'store':<12}  {'predicted':>9}  {'msg rate':>8}  {'avg size':>9}",
+        (
+            f"{'directory':<12}  {plain.fraction_predicted:>9.1%}"
+            f"  {plain.piggyback_message_rate:>8.1%}  {plain.mean_piggyback_size:>9.1f}",
+            f"{'+popular':<12}  {with_fallback.fraction_predicted:>9.1%}"
+            f"  {with_fallback.piggyback_message_rate:>8.1%}  {with_fallback.mean_piggyback_size:>9.1f}",
+        ),
+    )
+    # The fallback can only add piggyback opportunities.
+    assert with_fallback.piggyback_message_rate >= plain.piggyback_message_rate
+    assert with_fallback.fraction_predicted >= plain.fraction_predicted - 0.01
+
+
+def test_ext_delta_encoding(benchmark):
+    """Delta-encoding changed responses saves most transfer bytes."""
+    trace, _ = server_log_preset("sun", scale=0.05)
+
+    def run():
+        return rate_of_change(trace), estimate_delta_savings(trace, max_transfers=300)
+
+    change_stats, savings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Extension: delta encoding of changed responses (sun preset)",
+        "metric                         value",
+        (
+            f"repeat accesses                {change_stats.repeat_accesses}",
+            f"changed fraction               {change_stats.changed_fraction:.1%}",
+            f"changed transfers sampled      {savings.changed_transfers}",
+            f"bytes, full transfers          {savings.full_bytes}",
+            f"bytes, deltas                  {savings.delta_bytes}",
+            f"savings                        {savings.savings_fraction:.1%}",
+        ),
+    )
+    assert change_stats.repeat_accesses > 0
+    if savings.changed_transfers:
+        assert savings.savings_fraction > 0.5
+
+
+def test_ext_hierarchy(benchmark, aiusa_log):
+    """A parent proxy absorbs origin traffic; piggybacks cross both hops."""
+    trace, site = aiusa_log
+
+    def run():
+        changes = ModificationProcess(0.0, trace.end_time + 1.0)
+        resources = ResourceStore.from_site(site, changes=changes)
+        server = PiggybackServer(
+            resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        )
+        child, parent, boundary = build_chain(
+            server.handle,
+            ProxyConfig(name="parent", freshness_interval=3600.0),
+            ProxyConfig(name="child", freshness_interval=300.0),
+        )
+        for record in trace:
+            child.handle_client_get(record.url, record.timestamp)
+        return server, child, parent, boundary
+
+    server, child, parent, boundary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Extension: two-level hierarchy (aiusa preset)",
+        "metric                          value",
+        (
+            f"client requests                 {child.stats.client_requests}",
+            f"child -> parent requests        {boundary.stats.requests}",
+            f"parent -> origin requests       {server.stats.requests}",
+            f"validated at parent             {boundary.stats.validated_at_parent}",
+            f"piggybacks forwarded            {boundary.stats.piggybacks_forwarded}",
+            f"child piggyback freshenings     {child.coherency.stats.freshened}",
+        ),
+    )
+    assert server.stats.requests < boundary.stats.requests <= child.stats.client_requests
+    assert boundary.stats.piggybacks_forwarded > 0
+    assert child.coherency.stats.freshened > 0

@@ -1,0 +1,62 @@
+"""Figure 2: average piggyback size vs access filter, directory volumes.
+
+Paper (AIUSA + Sun): piggyback size drops dramatically with longer prefix
+levels and with stronger access filters; for 1-level Sun volumes the
+average falls below 20 elements once resources with fewer than 5000
+accesses are filtered.  (Level 0 is skipped for Sun, as in the paper.)
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import fig2_fig3_directory
+
+FILTERS = (1, 10, 50, 100, 500)
+
+
+def run(trace, levels, filters):
+    return fig2_fig3_directory(trace, levels=levels, access_filters=filters)
+
+
+def test_fig2_aiusa(benchmark, aiusa_log):
+    trace, _ = aiusa_log
+    points = benchmark.pedantic(
+        run, args=(trace, (0, 1, 2), FILTERS), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 2(a): avg piggyback size vs access filter (aiusa preset)",
+        f"{'level':>5}  {'filter':>6}  {'avg size':>9}",
+        (
+            f"{p.level:>5}  {p.access_filter:>6}  {p.mean_piggyback_size:>9.1f}"
+            for p in points
+        ),
+    )
+    for level in (0, 1, 2):
+        series = [p.mean_piggyback_size for p in points if p.level == level]
+        assert series == sorted(series, reverse=True), "filters shrink messages"
+    # Deeper prefixes shrink volumes wherever filtering has not already
+    # reduced messages to a handful of elements (at very strong filters the
+    # ordering is within noise).
+    for access_filter in (f for f in FILTERS if f <= 100):
+        by_level = {p.level: p.mean_piggyback_size
+                    for p in points if p.access_filter == access_filter}
+        assert by_level[2] <= by_level[1] <= by_level[0], "deeper prefixes shrink volumes"
+
+
+def test_fig2_sun(benchmark, sun_log):
+    trace, _ = sun_log
+    # No 0-level volume for Sun: the paper skips the site-wide volume as
+    # it would be a single 29436-element volume.
+    points = benchmark.pedantic(
+        run, args=(trace, (1, 2), (1, 50, 100, 500, 1000)), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 2(b): avg piggyback size vs access filter (sun preset)",
+        f"{'level':>5}  {'filter':>6}  {'avg size':>9}",
+        (
+            f"{p.level:>5}  {p.access_filter:>6}  {p.mean_piggyback_size:>9.1f}"
+            for p in points
+        ),
+    )
+    strongest = [p for p in points if p.level == 1 and p.access_filter == 1000]
+    weakest = [p for p in points if p.level == 1 and p.access_filter == 1]
+    assert strongest[0].mean_piggyback_size < 0.5 * weakest[0].mean_piggyback_size

@@ -1,0 +1,99 @@
+"""Figure 5: probability-based volumes vs the probability threshold.
+
+Paper (Sun): fraction predicted decreases with the threshold p_t; removing
+implications with effective probability below 0.1/0.2 barely dents the
+prediction rate; combined (same 1-level directory) volumes sit lowest.
+Figure 5(b): implication probabilities span the full range, with spikes
+near 1.0 from embedded images and popular links.  Section 3.3.2 also
+reports that volumes are rarely symmetric and resources rarely belong to
+their own volume.
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import fig5b_implication_cdf, fig6_fig7_fig8_probability
+from repro.volumes.probability import PairwiseConfig, PairwiseEstimator, build_probability_volumes
+
+THRESHOLDS = (0.1, 0.2, 0.3, 0.5)
+VARIANTS = ("base", "effective-0.1", "effective-0.2", "combined")
+
+
+def run(trace):
+    return fig6_fig7_fig8_probability(trace, thresholds=THRESHOLDS, variants=VARIANTS)
+
+
+def test_fig5a_fraction_vs_threshold(benchmark, sun_log):
+    trace, _ = sun_log
+    points = benchmark.pedantic(run, args=(trace,), rounds=1, iterations=1)
+
+    print_series(
+        "Figure 5(a): fraction predicted vs probability threshold (sun preset)",
+        f"{'variant':<14}  {'p_t':>4}  {'predicted':>9}  {'avg size':>9}",
+        (
+            f"{p.variant:<14}  {p.probability_threshold:>4.2f}"
+            f"  {p.fraction_predicted:>9.1%}  {p.mean_piggyback_size:>9.2f}"
+            for p in sorted(points, key=lambda p: (p.variant, p.probability_threshold))
+        ),
+    )
+
+    by = {(p.variant, p.probability_threshold): p for p in points}
+    # Base recall decreases with the threshold.
+    base = [by[("base", t)].fraction_predicted for t in THRESHOLDS]
+    assert base == sorted(base, reverse=True)
+    # Effectiveness thinning keeps most of the recall at moderate p_t.
+    for threshold in (0.2, 0.3, 0.5):
+        assert (by[("effective-0.2", threshold)].fraction_predicted
+                >= 0.6 * by[("base", threshold)].fraction_predicted)
+    # Combined volumes are a subset of the base volumes.
+    for threshold in THRESHOLDS:
+        assert (by[("combined", threshold)].implication_count
+                <= by[("base", threshold)].implication_count)
+
+
+def test_fig5b_implication_distribution(benchmark, sun_log):
+    trace, _ = sun_log
+    probabilities = benchmark.pedantic(
+        fig5b_implication_cdf, args=(trace,), rounds=1, iterations=1
+    )
+    buckets = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+    rows = []
+    for low, high in zip(buckets, buckets[1:]):
+        count = sum(1 for p in probabilities if low < p <= high)
+        rows.append(f"({low:.2f}, {high:.2f}]  {count / len(probabilities):>6.1%}")
+    print_series(
+        "Figure 5(b): implication probability distribution (sun preset)",
+        "bucket           share",
+        rows,
+    )
+    assert probabilities[0] > 0.0 and probabilities[-1] <= 1.0
+    # The full range is populated, with a visible mass of near-certain
+    # implications (embedded images).
+    assert any(p >= 0.9 for p in probabilities)
+    assert any(p <= 0.2 for p in probabilities)
+
+
+def test_sec332_volume_structure(benchmark, sun_log):
+    trace, _ = sun_log
+
+    def build():
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(trace)
+        return build_probability_volumes(estimator, 0.2)
+
+    volumes = benchmark.pedantic(build, rounds=1, iterations=1)
+    symmetric = volumes.symmetric_fraction()
+    selfish = volumes.self_membership_fraction()
+    memberships = volumes.membership_counts()
+    mean_membership = sum(memberships.values()) / max(len(memberships), 1)
+    print_series(
+        "Section 3.3.2: structure of probability volumes (sun, p_t=0.2)",
+        "metric                      value",
+        (
+            f"symmetric implications      {symmetric:.1%}",
+            f"self-membership             {selfish:.1%}",
+            f"mean volumes per resource   {mean_membership:.2f}",
+        ),
+    )
+    # Paper: only 1% of resources in their own volume; 3-18% symmetric.
+    assert selfish < 0.05
+    assert symmetric < 0.5

@@ -1,0 +1,65 @@
+"""Figure 6: fraction predicted vs average piggyback size (probability
+volumes, AIUSA + Sun).
+
+Paper: prediction rate grows with piggyback size with diminishing
+returns; compared with directory volumes (Figure 3a), probability volumes
+reach a given recall at a much smaller piggyback size; thinning by
+effective probability shrinks messages further without losing recall.
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import fig2_fig3_directory, fig6_fig7_fig8_probability
+
+THRESHOLDS = (0.05, 0.1, 0.2, 0.3, 0.5)
+
+
+def run(trace):
+    return fig6_fig7_fig8_probability(
+        trace, thresholds=THRESHOLDS, variants=("base", "effective-0.2", "combined")
+    )
+
+
+def _print(points, label):
+    print_series(
+        f"Figure 6: fraction predicted vs avg piggyback size ({label})",
+        f"{'variant':<14}  {'p_t':>4}  {'avg size':>9}  {'predicted':>9}",
+        (
+            f"{p.variant:<14}  {p.probability_threshold:>4.2f}"
+            f"  {p.mean_piggyback_size:>9.2f}  {p.fraction_predicted:>9.1%}"
+            for p in sorted(points, key=lambda p: (p.variant, p.probability_threshold))
+        ),
+    )
+
+
+def test_fig6_aiusa(benchmark, aiusa_log):
+    trace, _ = aiusa_log
+    points = benchmark.pedantic(run, args=(trace,), rounds=1, iterations=1)
+    _print(points, "aiusa preset")
+    base = sorted((p for p in points if p.variant == "base"),
+                  key=lambda p: p.mean_piggyback_size)
+    recalls = [p.fraction_predicted for p in base]
+    assert recalls == sorted(recalls), "recall grows with piggyback size"
+
+
+def test_fig6_sun_and_directory_comparison(benchmark, sun_log):
+    trace, _ = sun_log
+    points = benchmark.pedantic(run, args=(trace,), rounds=1, iterations=1)
+    _print(points, "sun preset")
+
+    # Thinning shrinks messages at equal thresholds.
+    by = {(p.variant, p.probability_threshold): p for p in points}
+    for threshold in THRESHOLDS:
+        assert (by[("effective-0.2", threshold)].mean_piggyback_size
+                <= by[("base", threshold)].mean_piggyback_size + 1e-9)
+
+    # Headline comparison: probability volumes achieve their recall with
+    # far smaller piggybacks than unfiltered directory volumes.
+    directory = fig2_fig3_directory(trace, levels=(1,), access_filters=(1,))[0]
+    probability = by[("base", 0.1)]
+    print(f"\ndirectory L1: size={directory.mean_piggyback_size:.1f} "
+          f"predicted={directory.fraction_predicted:.1%}  ||  "
+          f"probability p_t=0.1: size={probability.mean_piggyback_size:.1f} "
+          f"predicted={probability.fraction_predicted:.1%}")
+    assert probability.mean_piggyback_size < 0.5 * directory.mean_piggyback_size
+    assert probability.fraction_predicted > 0.5 * directory.fraction_predicted

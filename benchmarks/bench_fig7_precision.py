@@ -1,0 +1,66 @@
+"""Figure 7: true predictions vs average piggyback size.
+
+Paper: for well-constructed volumes precision rises as piggyback size
+shrinks; the *base* Sun curve is non-monotonic (pairs with high
+implication but low effective probability inflate messages without new
+true predictions), and effectiveness thinning restores the monotone
+trade-off while shrinking messages.
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import fig6_fig7_fig8_probability
+
+THRESHOLDS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
+
+
+def run(trace):
+    return fig6_fig7_fig8_probability(
+        trace, thresholds=THRESHOLDS, variants=("base", "effective-0.2")
+    )
+
+
+def _print(points, label):
+    print_series(
+        f"Figure 7: true predictions vs avg piggyback size ({label})",
+        f"{'variant':<14}  {'p_t':>4}  {'avg size':>9}  {'true pred':>9}",
+        (
+            f"{p.variant:<14}  {p.probability_threshold:>4.2f}"
+            f"  {p.mean_piggyback_size:>9.2f}  {p.true_prediction_fraction:>9.1%}"
+            for p in sorted(points, key=lambda p: (p.variant, p.probability_threshold))
+        ),
+    )
+
+
+def test_fig7_sun(benchmark, sun_log):
+    trace, _ = sun_log
+    points = benchmark.pedantic(run, args=(trace,), rounds=1, iterations=1)
+    _print(points, "sun preset")
+
+    by = {(p.variant, p.probability_threshold): p for p in points}
+    # Thinning improves precision at every threshold.
+    for threshold in THRESHOLDS:
+        assert (by[("effective-0.2", threshold)].true_prediction_fraction
+                >= by[("base", threshold)].true_prediction_fraction - 1e-9)
+
+    # For the base variant, smaller piggyback sizes yield more accurate
+    # predictions (the trade-off axis of Figure 7).
+    base = sorted((p for p in points if p.variant == "base"),
+                  key=lambda p: p.mean_piggyback_size)
+    precisions = [p.true_prediction_fraction for p in base]
+    assert precisions == sorted(precisions, reverse=True)
+
+    # Thinning collapses messages into a small-size band while holding
+    # precision far above the base curve at comparable sizes.
+    thinned = [p for p in points if p.variant == "effective-0.2"]
+    assert max(p.mean_piggyback_size for p in thinned) < max(
+        p.mean_piggyback_size for p in base
+    )
+    assert min(p.true_prediction_fraction for p in thinned) > min(precisions)
+
+
+def test_fig7_aiusa(benchmark, aiusa_log):
+    trace, _ = aiusa_log
+    points = benchmark.pedantic(run, args=(trace,), rounds=1, iterations=1)
+    _print(points, "aiusa preset")
+    assert all(0.0 <= p.true_prediction_fraction <= 1.0 for p in points)

@@ -1,0 +1,59 @@
+"""Figure 8: precision vs recall.
+
+Paper: with an effective-probability threshold of 0.2 (the consistently
+best volumes for a given piggyback size), precision falls as recall
+grows; combined volumes exhibit worse trade-offs, and directory-based
+volumes generate 70-90% false predictions even with filtering.
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import fig2_fig3_directory, fig6_fig7_fig8_probability
+
+THRESHOLDS = (0.05, 0.1, 0.2, 0.3, 0.5)
+
+
+def run(trace):
+    return fig6_fig7_fig8_probability(
+        trace, thresholds=THRESHOLDS, variants=("effective-0.2", "combined")
+    )
+
+
+def test_fig8_precision_recall(benchmark, sun_log):
+    trace, _ = sun_log
+    points = benchmark.pedantic(run, args=(trace,), rounds=1, iterations=1)
+
+    print_series(
+        "Figure 8: precision vs recall (sun preset)",
+        f"{'variant':<14}  {'p_t':>4}  {'recall':>7}  {'precision':>9}",
+        (
+            f"{p.variant:<14}  {p.probability_threshold:>4.2f}"
+            f"  {p.fraction_predicted:>7.1%}  {p.true_prediction_fraction:>9.1%}"
+            for p in sorted(points, key=lambda p: (p.variant, p.probability_threshold))
+        ),
+    )
+
+    thinned = [p for p in points if p.variant == "effective-0.2"]
+    combined = [p for p in points if p.variant == "combined"]
+
+    # Within the recall range both variants reach, the thinned frontier
+    # matches or beats combined on precision ("combined volumes exhibited
+    # worse tradeoffs").  Combined points beyond the thinned variant's
+    # maximum recall buy that recall with much larger piggybacks and are
+    # not comparable on this plot.
+    max_thinned_recall = max(t.fraction_predicted for t in thinned)
+    comparable = [c for c in combined if c.fraction_predicted <= max_thinned_recall]
+    assert comparable, "recall ranges must overlap"
+    for c in comparable:
+        assert any(
+            t.fraction_predicted >= c.fraction_predicted - 0.02
+            and t.true_prediction_fraction >= c.true_prediction_fraction - 0.05
+            for t in thinned
+        ), f"combined point {c} not matched by the thinned frontier"
+
+    # Directory volumes sit far below the probability frontier on precision.
+    directory = fig2_fig3_directory(trace, levels=(1,), access_filters=(50,))[0]
+    print(f"\ndirectory L1/f50 precision={directory.true_prediction_fraction:.1%} "
+          f"recall={directory.fraction_predicted:.1%}")
+    best_thinned_precision = max(p.true_prediction_fraction for p in thinned)
+    assert directory.true_prediction_fraction < best_thinned_precision

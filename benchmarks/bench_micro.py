@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the hot data structures.
+
+Unlike the figure benches (one-shot experiment timings), these measure
+steady-state throughput of the per-request operations a deployed server
+or proxy performs, using pytest-benchmark's statistical machinery.
+"""
+
+import random
+
+from repro.analysis.prediction import ReplayConfig, replay
+from repro.core.filters import CandidateElement, ProxyFilter
+from repro.httpmodel.chunked import decode_chunked, encode_chunked
+from repro.httpmodel.delta import apply_delta, encode_delta
+from repro.traces.records import LogRecord, Trace
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.volumes.probability import PairwiseConfig, PairwiseEstimator
+
+
+def synthetic_records(count=2000, urls=50, sources=10, seed=7):
+    rng = random.Random(seed)
+    return [
+        LogRecord(
+            timestamp=float(i),
+            source=f"s{rng.randrange(sources)}",
+            url=f"h/d{rng.randrange(5)}/r{rng.randrange(urls)}.html",
+            size=1000,
+        )
+        for i in range(count)
+    ]
+
+
+def test_micro_pairwise_observe(benchmark):
+    records = synthetic_records()
+
+    def run():
+        estimator = PairwiseEstimator(PairwiseConfig(window=60.0))
+        for record in records:
+            estimator.observe(record)
+        return estimator.counter_count
+
+    counters = benchmark(run)
+    assert counters > 0
+
+
+def test_micro_directory_store(benchmark):
+    records = synthetic_records()
+    store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    for record in records:
+        store.observe(record)
+    proxy_filter = ProxyFilter(max_elements=10)
+
+    def run():
+        total = 0
+        for record in records[:500]:
+            store.observe(record)
+            lookup = store.lookup(record.url)
+            message = proxy_filter.apply(lookup.volume_id, lookup.candidates,
+                                         record.url)
+            if message is not None:
+                total += len(message)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_filter_apply(benchmark):
+    candidates = tuple(
+        CandidateElement(f"h/d/r{i}.html", float(i), 100 + i,
+                         access_count=i, probability=1.0 - i / 300)
+        for i in range(200)
+    )
+    proxy_filter = ProxyFilter(max_elements=10, min_access_count=20,
+                               probability_threshold=0.2)
+
+    def run():
+        return proxy_filter.apply(1, candidates, "h/d/none.html")
+
+    message = benchmark(run)
+    assert message is not None and len(message) == 10
+
+
+def test_micro_chunked_round_trip(benchmark):
+    body = b"x" * 16_384
+
+    def run():
+        return decode_chunked(encode_chunked(body, chunk_size=4096))[0]
+
+    decoded = benchmark(run)
+    assert decoded == body
+
+
+def test_micro_delta_round_trip(benchmark):
+    old = bytes(random.Random(3).randrange(256) for _ in range(8_192))
+    new = old[:4000] + b"PATCH" + old[4005:]
+
+    def run():
+        return apply_delta(old, encode_delta(old, new))
+
+    result = benchmark(run)
+    assert result == new
+
+
+def test_micro_replay_throughput(benchmark):
+    trace = Trace(synthetic_records(count=3000))
+
+    def run():
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        return replay(trace, store, ReplayConfig(max_elements=10)).requests
+
+    requests = benchmark(run)
+    assert requests == 3000

@@ -1,0 +1,39 @@
+"""Section 2.3: piggyback byte overhead.
+
+Paper: ~66 bytes per element (50-byte URL + two 8-byte integers); with
+probability volumes on Sun, ~6 elements per message => ~398 bytes, small
+against a 13,900-byte mean (1,530-byte median) response and usually
+fitting in the same packet as the response tail.
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import sec23_overhead
+
+
+def test_sec23_byte_overhead(benchmark, sun_log):
+    trace, _ = sun_log
+    summary = benchmark.pedantic(
+        sec23_overhead, args=(trace,), rounds=1, iterations=1
+    )
+
+    print_series(
+        "Section 2.3: piggyback byte overhead (sun preset)",
+        "metric                          value",
+        (
+            f"mean elements per message       {summary.mean_elements:.2f}",
+            f"mean bytes per element          {summary.mean_element_bytes:.1f}",
+            f"mean bytes per message          {summary.mean_message_bytes:.1f}",
+            f"mean response bytes             {summary.mean_response_bytes:.0f}",
+            f"fits in final packet            {summary.fraction_no_extra_packet:.1%}",
+        ),
+    )
+
+    # Element cost: fixed 16 bytes plus the URL path; our synthetic URLs
+    # are shorter than the paper's 50-byte average, so expect 20-80 B.
+    assert 16.0 < summary.mean_element_bytes < 80.0
+    # Message overhead is small relative to the response body.
+    assert summary.mean_message_bytes < summary.mean_response_bytes
+    # Most messages avoid an extra packet ("might often fit in the same
+    # packet as the response").
+    assert summary.fraction_no_extra_packet > 0.5

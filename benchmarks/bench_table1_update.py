@@ -1,0 +1,49 @@
+"""Table 1: update fraction for probability-based volumes.
+
+Paper (p_t=0.25, effective 0.2, T=300): AIUSA 6.5%/3.6%/2.0% piggyback
+size 2.9; Apache 11.5%/5.4%/2.2% size 1.6; Sun 23.7%/9.6%/11.0% size 5.0.
+Shape: Sun has by far the highest cache-hit and update fractions; average
+piggyback sizes stay in single digits everywhere; piggyback updates reach
+a sizeable share of the "cache hits" (parenthetical 19-46%).
+"""
+
+from _bench_util import print_series
+
+from repro.analysis.experiments import table1_update_fraction
+
+
+def run(trace, name):
+    return table1_update_fraction(trace, name)
+
+
+def test_table1_update_fractions(benchmark, aiusa_log, apache_log, sun_log):
+    logs = {"aiusa": aiusa_log[0], "apache": apache_log[0], "sun": sun_log[0]}
+
+    def build_all():
+        return [run(trace, name) for name, trace in logs.items()]
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    print_series(
+        "Table 1: update fraction for probability-based volumes",
+        f"{'log':<8}  {'<2hr':>6}  {'<5min':>6}  {'updated':>8}  {'avg size':>8}  {'update frac':>11}",
+        (
+            f"{r.log:<8}  {r.prev_occurrence_2hr:>6.1%}  {r.prev_occurrence_5min:>6.1%}"
+            f"  {r.updated_by_piggyback:>8.1%}  {r.mean_piggyback_size:>8.1f}"
+            f"  {r.update_fraction:>11.1%}"
+            for r in rows
+        ),
+    )
+
+    by_log = {r.log: r for r in rows}
+    # Sun is the busiest site: most repeat traffic and the largest update
+    # fraction, as in the paper.
+    assert by_log["sun"].prev_occurrence_2hr > by_log["aiusa"].prev_occurrence_2hr
+    assert by_log["sun"].update_fraction >= by_log["aiusa"].update_fraction
+    # Thinned volumes keep piggybacks tiny (paper: 1.6-5.0 elements).
+    for row in rows:
+        assert row.mean_piggyback_size < 20.0
+        # Column ordering sanity: recent occurrences are a subset of 2hr.
+        assert row.prev_occurrence_5min <= row.prev_occurrence_2hr
+        # Piggyback updates add on top of the already-fresh fraction.
+        assert row.updated_by_piggyback > 0.0

@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures: cleaned preset traces at benchmark scale.
+
+Scales are chosen so the full `pytest benchmarks/ --benchmark-only` run
+finishes in minutes on a laptop while preserving each log's structural
+shape.  Every bench prints the rows/series of its paper figure; the shape
+assertions are deliberately loose (who wins, directions of curves), since
+absolute numbers depend on the synthetic substitute workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from dataclasses import replace
+
+from repro.traces.clean import CleaningConfig, clean_trace
+from repro.workloads.synth import SERVER_PRESETS, client_log_preset, generate_server_log
+
+# Scale factor per server log; Sun is the largest and most expensive.
+# Sessions AND sources are scaled together, so requests-per-source (the
+# ratio that drives Table 1's repeat-traffic ordering) matches the preset.
+SERVER_SCALES = {"aiusa": 0.6, "apache": 0.4, "sun": 0.15, "marimba": 0.5}
+CLIENT_SCALES = {"att_client": 0.4, "digital_client": 0.25}
+
+
+def _cleaned_server(name: str):
+    config = SERVER_PRESETS[name]
+    scale = SERVER_SCALES[name]
+    config = replace(
+        config,
+        session_count=max(1, int(config.session_count * scale)),
+        source_count=max(1, int(config.source_count * scale)),
+    )
+    trace, site = generate_server_log(config)
+    keep_methods = ("GET", "POST") if name == "marimba" else ("GET",)
+    cleaned, _ = clean_trace(
+        trace, CleaningConfig(min_accesses=10, keep_methods=keep_methods)
+    )
+    return cleaned, site
+
+
+@pytest.fixture(scope="session")
+def aiusa_log():
+    return _cleaned_server("aiusa")
+
+
+@pytest.fixture(scope="session")
+def apache_log():
+    return _cleaned_server("apache")
+
+
+@pytest.fixture(scope="session")
+def sun_log():
+    return _cleaned_server("sun")
+
+
+@pytest.fixture(scope="session")
+def marimba_log():
+    return _cleaned_server("marimba")
+
+
+@pytest.fixture(scope="session")
+def att_client_log():
+    trace, sites = client_log_preset("att_client", scale=CLIENT_SCALES["att_client"])
+    cleaned, _ = clean_trace(trace, CleaningConfig(min_accesses=2))
+    return cleaned, sites

@@ -1,0 +1,75 @@
+"""Prefetching from piggybacks on a realistic workload (Section 4).
+
+Generates the scaled Apache-like server log, builds probability-based
+volumes thinned by effective probability (the paper's most accurate
+volumes), and runs the end-to-end simulator twice — with and without
+prefetching — to measure what speculation buys and what it wastes.
+
+Run:  python examples/prefetching_proxy.py
+"""
+
+from repro.analysis.simulator import EndToEndSimulator, SimulationConfig
+from repro.proxy.prefetch import PrefetchPolicy
+from repro.proxy.proxy import ProxyConfig
+from repro.traces.clean import CleaningConfig, clean_trace
+from repro.volumes.probability import (
+    PairwiseConfig,
+    PairwiseEstimator,
+    ProbabilityVolumeStore,
+    build_probability_volumes,
+)
+from repro.volumes.thinning import measure_effectiveness, thin_by_effectiveness
+from repro.workloads.synth import server_log_preset
+
+
+def build_volumes(trace):
+    """The paper's recipe: p_t=0.25, effective probability 0.2, T=300s."""
+    estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+    estimator.observe_trace(trace)
+    base = build_probability_volumes(estimator, 0.25)
+    effectiveness = measure_effectiveness(trace, base, window=300.0)
+    return thin_by_effectiveness(base, effectiveness, 0.2)
+
+
+def simulate(trace, site, volumes, prefetch: bool):
+    config = SimulationConfig(
+        proxy=ProxyConfig(
+            freshness_interval=600.0,
+            prefetch=PrefetchPolicy(enabled=prefetch, max_resource_size=65_536),
+        ),
+    )
+    simulator = EndToEndSimulator(
+        site, ProbabilityVolumeStore(volumes), config,
+        horizon=trace.end_time + 1.0,
+    )
+    return simulator, simulator.run(trace)
+
+
+def main() -> None:
+    raw, site = server_log_preset("apache", scale=0.25)
+    trace, report = clean_trace(raw, CleaningConfig(min_accesses=10))
+    print(f"workload: {len(trace)} requests, {len(trace.urls())} resources "
+          f"({report.kept_fraction:.0%} of the raw log kept)")
+
+    volumes = build_volumes(trace)
+    print(f"volumes: {len(volumes)} antecedents, "
+          f"{volumes.implication_count()} implications after thinning\n")
+
+    for label, prefetch in (("baseline (no prefetch)", False), ("prefetching", True)):
+        simulator, result = simulate(trace, site, volumes, prefetch)
+        prefetch_stats = simulator.proxy.prefetcher.stats
+        print(f"{label}:")
+        print(f"  fresh cache hits   {result.fresh_hit_rate:8.1%}")
+        print(f"  server contacts    {result.server_requests:8d}")
+        print(f"  stale served       {result.stale_rate:8.2%}")
+        if prefetch:
+            print(f"  prefetches issued  {prefetch_stats.issued:8d}")
+            print(f"  ... useful         {prefetch_stats.useful:8d}")
+            print(f"  ... futile         {prefetch_stats.futile:8d} "
+                  f"({prefetch_stats.futile_fraction:.0%})")
+            print(f"  wasted bytes       {prefetch_stats.wasted_bytes:8d}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` requires wheel support that is not
+available offline here; `python setup.py develop` provides the same
+editable install using only setuptools.  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

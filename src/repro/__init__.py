@@ -1,0 +1,107 @@
+"""repro: server volumes and proxy filters for end-to-end Web performance.
+
+A faithful, production-quality reproduction of Cohen, Krishnamurthy &
+Rexford, *Improving End-to-End Performance of the Web Using Server Volumes
+and Proxy Filters* (SIGCOMM 1998).
+
+The public API re-exports the pieces most users need:
+
+* the piggybacking protocol (:mod:`repro.core`),
+* volume construction (:mod:`repro.volumes`),
+* server and proxy components (:mod:`repro.server`, :mod:`repro.proxy`),
+* the HTTP/1.1 embedding and loopback wire demo (:mod:`repro.httpmodel`,
+  :mod:`repro.httpwire`),
+* trace handling and synthetic workloads (:mod:`repro.traces`,
+  :mod:`repro.workloads`),
+* the evaluation engine (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (DirectoryVolumeStore, PiggybackServer, PiggybackProxy,
+                       ProxyConfig, ResourceStore)
+
+    store = ResourceStore()
+    store.add("www.foo.example/a/page.html", size=4096)
+    server = PiggybackServer(store, DirectoryVolumeStore())
+    proxy = PiggybackProxy(server.handle, ProxyConfig())
+    result = proxy.handle_client_get("www.foo.example/a/page.html", now=0.0)
+"""
+
+from .core import (
+    CandidateElement,
+    PiggybackElement,
+    PiggybackMessage,
+    ProxyFilter,
+    ProxyRequest,
+    RpvList,
+    RpvTable,
+    ServerResponse,
+)
+from .volumes import (
+    DirectoryVolumeConfig,
+    DirectoryVolumeStore,
+    PairwiseConfig,
+    PairwiseEstimator,
+    ProbabilityVolumeStore,
+    ProbabilityVolumes,
+    SiteWideVolumeStore,
+    VolumeStore,
+    build_probability_volumes,
+    combine_with_directory,
+    measure_effectiveness,
+    thin_by_effectiveness,
+)
+from .server import PiggybackServer, ResourceStore, TransparentVolumeCenter
+from .proxy import (
+    PiggybackProxy,
+    PrefetchPolicy,
+    ProxyCache,
+    ProxyConfig,
+)
+from .traces import LogRecord, Trace, clean_trace, read_log, write_log
+from .workloads import client_log_preset, generate_server_log, server_log_preset
+from .analysis import ReplayConfig, ReplayMetrics, replay
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PiggybackElement",
+    "PiggybackMessage",
+    "ProxyFilter",
+    "CandidateElement",
+    "ProxyRequest",
+    "ServerResponse",
+    "RpvList",
+    "RpvTable",
+    "VolumeStore",
+    "DirectoryVolumeConfig",
+    "DirectoryVolumeStore",
+    "SiteWideVolumeStore",
+    "PairwiseConfig",
+    "PairwiseEstimator",
+    "ProbabilityVolumes",
+    "ProbabilityVolumeStore",
+    "build_probability_volumes",
+    "measure_effectiveness",
+    "thin_by_effectiveness",
+    "combine_with_directory",
+    "PiggybackServer",
+    "ResourceStore",
+    "TransparentVolumeCenter",
+    "PiggybackProxy",
+    "ProxyConfig",
+    "ProxyCache",
+    "PrefetchPolicy",
+    "LogRecord",
+    "Trace",
+    "read_log",
+    "write_log",
+    "clean_trace",
+    "server_log_preset",
+    "client_log_preset",
+    "generate_server_log",
+    "ReplayConfig",
+    "ReplayMetrics",
+    "replay",
+    "__version__",
+]

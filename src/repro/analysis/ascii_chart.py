@@ -1,0 +1,104 @@
+"""Terminal rendering for the paper's figures.
+
+The benchmark harness prints numeric series; the CLI additionally renders
+them as ASCII charts so curve shapes (the thing this reproduction checks
+against the paper) are visible without any plotting dependency.  Pure
+functions from data to lines of text, deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "scatter_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    width: int = 50,
+    max_value: float | None = None,
+) -> list[str]:
+    """Horizontal bar chart: one ``label | ####### value`` line per row."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not rows:
+        return []
+    peak = max_value if max_value is not None else max(v for _, v in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(round(min(max(value, 0.0), peak) / peak * width))
+        bar = "#" * filled
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} {_format_value(value)}")
+    return lines
+
+
+def scatter_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> list[str]:
+    """Multi-series scatter plot on a character grid.
+
+    Each series gets a marker (``o``, ``x``, ...); overlapping points from
+    different series show the marker of the later series.  Axis ranges
+    cover all points with a small margin; a legend line maps markers to
+    series names.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return [f"(no data for {y_label} vs {x_label})"]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            column = int((x - x_low) / (x_high - x_low) * (width - 1))
+            row = int((y - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    y_top = _format_value(y_high)
+    y_bottom = _format_value(y_low)
+    gutter = max(len(y_top), len(y_bottom), len(y_label))
+    lines.append(f"{y_label:>{gutter}}")
+    for row_index, row in enumerate(grid):
+        tick = y_top if row_index == 0 else (y_bottom if row_index == height - 1 else "")
+        lines.append(f"{tick:>{gutter}} |" + "".join(row))
+    x_left = _format_value(x_low)
+    x_right = _format_value(x_high)
+    axis = f"{'':>{gutter}} +" + "-" * width
+    lines.append(axis)
+    span = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{'':>{gutter}}  {x_left}{' ' * max(span, 1)}{x_right}  ({x_label})"
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{gutter}}  {legend}")
+    return lines

@@ -1,0 +1,106 @@
+"""Metric accumulators for the Section 3.1 optimization criteria.
+
+* **Fraction predicted** (recall): requests preceded, within ``T``
+  seconds, by a piggyback to the same source carrying the requested URL.
+* **True-prediction fraction** (precision): opened predictions that a
+  request converts within ``T`` seconds.  A URL piggybacked repeatedly
+  within one ``T``-interval counts as a single prediction.
+* **Update fraction**: requests that were predicted within ``T`` *and*
+  previously requested within ``C`` seconds — cached copies the piggyback
+  could freshen or invalidate ahead of demand.
+
+Average piggyback size (elements per message) is tracked alongside, since
+every figure trades one of the above against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ReplayMetrics"]
+
+
+@dataclass(slots=True)
+class ReplayMetrics:
+    """Counters filled in by a piggyback replay over a trace."""
+
+    requests: int = 0
+    predicted_requests: int = 0
+    predictions_opened: int = 0
+    predictions_true: int = 0
+    piggyback_messages: int = 0
+    piggyback_elements: int = 0
+    piggyback_bytes: int = 0
+    prev_occurrence_within_history: int = 0
+    prev_occurrence_recent: int = 0
+    updated_by_piggyback: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # -- Section 3.1 metrics ------------------------------------------------
+
+    @property
+    def fraction_predicted(self) -> float:
+        """Recall: fraction of requests predicted within the window."""
+        if self.requests == 0:
+            return 0.0
+        return self.predicted_requests / self.requests
+
+    @property
+    def true_prediction_fraction(self) -> float:
+        """Precision: fraction of opened predictions that came true."""
+        if self.predictions_opened == 0:
+            return 0.0
+        return self.predictions_true / self.predictions_opened
+
+    @property
+    def update_fraction(self) -> float:
+        """Requests refreshed ahead of demand: recent hits plus piggyback
+        updates of older cached copies (Table 1's column-3 + column-4)."""
+        if self.requests == 0:
+            return 0.0
+        return (self.prev_occurrence_recent + self.updated_by_piggyback) / self.requests
+
+    # -- cost metrics ---------------------------------------------------------
+
+    @property
+    def mean_piggyback_size(self) -> float:
+        """Average elements per piggyback message actually sent."""
+        if self.piggyback_messages == 0:
+            return 0.0
+        return self.piggyback_elements / self.piggyback_messages
+
+    @property
+    def mean_piggyback_bytes(self) -> float:
+        if self.piggyback_messages == 0:
+            return 0.0
+        return self.piggyback_bytes / self.piggyback_messages
+
+    @property
+    def piggyback_message_rate(self) -> float:
+        """Fraction of requests whose response carried a piggyback."""
+        if self.requests == 0:
+            return 0.0
+        return self.piggyback_messages / self.requests
+
+    # -- Table 1 helper fractions --------------------------------------------
+
+    @property
+    def prev_occurrence_history_fraction(self) -> float:
+        """Column 2 of Table 1: requests seen before within C ("cache hits")."""
+        if self.requests == 0:
+            return 0.0
+        return self.prev_occurrence_within_history / self.requests
+
+    @property
+    def prev_occurrence_recent_fraction(self) -> float:
+        """Column 3 of Table 1: requests seen again within the short window."""
+        if self.requests == 0:
+            return 0.0
+        return self.prev_occurrence_recent / self.requests
+
+    @property
+    def updated_by_piggyback_fraction(self) -> float:
+        """Column 4 of Table 1: older cached copies refreshed by piggyback."""
+        if self.requests == 0:
+            return 0.0
+        return self.updated_by_piggyback / self.requests

@@ -1,0 +1,316 @@
+"""Command-line interface: generate logs and run the paper's experiments.
+
+::
+
+    repro-web generate --preset sun --out sun.log
+    repro-web stats --log sun.log --kind server
+    repro-web fig1 --preset att_client
+    repro-web fig2 --preset aiusa
+    repro-web fig6 --preset sun
+    repro-web table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import experiments
+from .traces.clean import CleaningConfig, clean_trace
+from .traces.common_log import read_log, write_log
+from .traces.records import Trace
+from .traces.stats import characterize_client_log, characterize_server_log
+from .workloads.synth import (
+    CLIENT_PRESETS,
+    SERVER_PRESETS,
+    client_log_preset,
+    server_log_preset,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(args: argparse.Namespace) -> Trace:
+    """Resolve a trace from --log or --preset, cleaned for analysis."""
+    if getattr(args, "log", None):
+        trace = read_log(args.log)
+    elif args.preset in SERVER_PRESETS:
+        trace, _ = server_log_preset(args.preset, scale=args.scale)
+    elif args.preset in CLIENT_PRESETS:
+        trace, _ = client_log_preset(args.preset, scale=args.scale)
+    else:
+        raise SystemExit(f"unknown preset {args.preset!r}")
+    cleaned, _ = clean_trace(trace, CleaningConfig(min_accesses=args.min_accesses))
+    return cleaned
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.preset in SERVER_PRESETS:
+        trace, _ = server_log_preset(args.preset, scale=args.scale)
+    elif args.preset in CLIENT_PRESETS:
+        trace, _ = client_log_preset(args.preset, scale=args.scale)
+    else:
+        raise SystemExit(f"unknown preset {args.preset!r}")
+    write_log(trace, args.out)
+    print(f"wrote {len(trace)} records to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    if args.kind == "server":
+        stats = characterize_server_log(trace)
+        print(f"days                 {stats.days:.1f}")
+        print(f"requests             {stats.requests}")
+        print(f"clients              {stats.clients}")
+        print(f"requests/source      {stats.requests_per_source:.2f}")
+        print(f"unique resources     {stats.unique_resources}")
+        print(f"top-10% req share    {stats.top_decile_request_share:.1%}")
+        print(f"mean response bytes  {stats.mean_response_size:.0f}")
+    else:
+        stats = characterize_client_log(trace)
+        print(f"days                 {stats.days:.1f}")
+        print(f"requests             {stats.requests}")
+        print(f"distinct servers     {stats.distinct_servers}")
+        print(f"unique resources     {stats.unique_resources}")
+        print(f"304 fraction         {stats.not_modified_fraction:.1%}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    rows = experiments.fig1_interarrival(trace)
+    print("level  %seen-before  median-interarrival")
+    for row in rows:
+        print(f"{row.level:>5}  {row.seen_before_fraction:>11.1%}  {row.median_interarrival:>12.1f}s")
+    if args.chart:
+        from .analysis.ascii_chart import bar_chart
+
+        print("\n% of requests whose prefix was seen before, by level:")
+        for line in bar_chart(
+            [(f"level {r.level}", 100.0 * r.seen_before_fraction) for r in rows],
+            max_value=100.0,
+        ):
+            print(line)
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    print("level  filter  avg-piggyback  predicted  updated")
+    for point in experiments.fig2_fig3_directory(trace):
+        print(
+            f"{point.level:>5}  {point.access_filter:>6}  {point.mean_piggyback_size:>13.1f}"
+            f"  {point.fraction_predicted:>9.1%}  {point.update_fraction:>7.1%}"
+        )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    print("level  filter  min-gap  avg-piggyback  predicted")
+    for point in experiments.fig4_rpv(trace):
+        print(
+            f"{point.level:>5}  {point.access_filter:>6}  {point.min_gap:>7.0f}"
+            f"  {point.mean_piggyback_size:>13.1f}  {point.fraction_predicted:>9.1%}"
+        )
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    points = experiments.fig6_fig7_fig8_probability(trace)
+    print("variant         p_t   avg-size  predicted  true-pred")
+    for point in points:
+        print(
+            f"{point.variant:<14} {point.probability_threshold:>4.2f}"
+            f"  {point.mean_piggyback_size:>8.2f}  {point.fraction_predicted:>9.1%}"
+            f"  {point.true_prediction_fraction:>9.1%}"
+        )
+    if args.chart:
+        from .analysis.ascii_chart import scatter_plot
+
+        series: dict[str, list[tuple[float, float]]] = {}
+        for point in points:
+            series.setdefault(point.variant, []).append(
+                (point.mean_piggyback_size, 100.0 * point.fraction_predicted)
+            )
+        print("\nFigure 6: fraction predicted (%) vs avg piggyback size:")
+        for line in scatter_plot(series, x_label="avg piggyback size",
+                                 y_label="% predicted"):
+            print(line)
+    return 0
+
+
+def _cmd_roc(args: argparse.Namespace) -> int:
+    from .analysis.rate_of_change import estimate_delta_savings, rate_of_change
+
+    if getattr(args, "log", None):
+        raise SystemExit("roc needs Last-Modified values; use a --preset")
+    trace, _ = server_log_preset(args.preset, scale=args.scale)
+    stats = rate_of_change(trace)
+    savings = estimate_delta_savings(trace, max_transfers=300)
+    print(f"repeat accesses        {stats.repeat_accesses}")
+    print(f"changed fraction       {stats.changed_fraction:.1%}")
+    for content_type in sorted(stats.by_content_type):
+        print(f"  {content_type:<8}             "
+              f"{stats.changed_fraction_for(content_type):.1%}")
+    if savings.changed_transfers:
+        print(f"delta savings          {savings.savings_fraction:.1%} "
+              f"({savings.changed_transfers} changed transfers sampled)")
+    return 0
+
+
+def _cmd_build_volumes(args: argparse.Namespace) -> int:
+    from .analysis.pairwise import VolumeBuildConfig, build_volumes_from_trace
+    from .volumes.persistence import save_volumes
+
+    trace = _load_trace(args)
+    config = VolumeBuildConfig(
+        probability_threshold=args.threshold,
+        window=args.window,
+        effectiveness_threshold=args.effectiveness,
+        combine_level=args.combine_level,
+    )
+    volumes = build_volumes_from_trace(trace, config)
+    save_volumes(
+        volumes,
+        args.out,
+        probability_threshold=args.threshold,
+        window=args.window,
+        effectiveness_threshold=args.effectiveness,
+        combine_level=args.combine_level,
+        source_log=args.log or args.preset,
+    )
+    print(f"built {len(volumes)} volumes "
+          f"({volumes.implication_count()} implications) -> {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .analysis.simulator import EndToEndSimulator, SimulationConfig
+    from .proxy.prefetch import PrefetchPolicy
+    from .proxy.proxy import ProxyConfig
+    from .volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+    from .workloads.synth import SERVER_PRESETS
+
+    if args.preset not in SERVER_PRESETS:
+        raise SystemExit(f"simulate needs a server preset, got {args.preset!r}")
+    trace, site = server_log_preset(args.preset, scale=args.scale)
+    cleaned, _ = clean_trace(trace, CleaningConfig(min_accesses=args.min_accesses))
+    config = SimulationConfig(
+        proxy=ProxyConfig(
+            freshness_interval=args.freshness,
+            prefetch=PrefetchPolicy(enabled=args.prefetch),
+        ),
+    )
+    simulator = EndToEndSimulator(
+        site, DirectoryVolumeStore(DirectoryVolumeConfig(level=args.level)),
+        config, horizon=cleaned.end_time + 1.0,
+    )
+    result = simulator.run(cleaned)
+    print(f"client requests      {result.client_requests}")
+    print(f"fresh hit rate       {result.fresh_hit_rate:.1%}")
+    print(f"server contact rate  {result.server_contact_rate:.1%}")
+    print(f"stale rate           {result.stale_rate:.2%}")
+    print(f"piggyback messages   {result.piggyback_messages}")
+    print(f"piggyback bytes      {result.piggyback_bytes}")
+    if args.prefetch:
+        stats = simulator.proxy.prefetcher.stats
+        print(f"prefetches           {stats.issued} "
+              f"(useful {stats.useful}, futile {stats.futile})")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    presets = args.presets or ["aiusa", "apache", "sun"]
+    print("log     <2hr    <5min   updated  avg-piggyback")
+    for name in presets:
+        trace, _ = server_log_preset(name, scale=args.scale)
+        cleaned, _ = clean_trace(trace, CleaningConfig(min_accesses=args.min_accesses))
+        row = experiments.table1_update_fraction(cleaned, name)
+        print(
+            f"{row.log:<7} {row.prev_occurrence_2hr:>5.1%}  {row.prev_occurrence_5min:>6.1%}"
+            f"  {row.updated_by_piggyback:>7.1%}  {row.mean_piggyback_size:>13.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-web",
+        description="Server volumes and proxy filters (SIGCOMM 1998) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--preset", default="aiusa",
+                       help="named synthetic log (server or client preset)")
+        p.add_argument("--log", default=None, help="read a Common Log Format file instead")
+        p.add_argument("--scale", type=float, default=1.0, help="session-count multiplier")
+        p.add_argument("--min-accesses", type=int, default=10,
+                       help="popularity floor during cleaning (Appendix A)")
+        p.add_argument("--chart", action="store_true",
+                       help="render an ASCII chart of the series")
+
+    generate = sub.add_parser("generate", help="write a synthetic log in CLF")
+    generate.add_argument("--preset", default="aiusa")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="characterize a log (Tables 2/3)")
+    add_common(stats)
+    stats.add_argument("--kind", choices=("server", "client"), default="server")
+    stats.set_defaults(handler=_cmd_stats)
+
+    for name, handler, help_text in (
+        ("fig1", _cmd_fig1, "directory-prefix locality (Figure 1)"),
+        ("fig2", _cmd_fig2, "directory volumes: size and accuracy (Figures 2-3)"),
+        ("fig4", _cmd_fig4, "RPV pacing (Figure 4)"),
+        ("fig6", _cmd_fig6, "probability volumes (Figures 5-8)"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        add_common(command)
+        command.set_defaults(handler=handler)
+
+    table1 = sub.add_parser("table1", help="update fractions (Table 1)")
+    table1.add_argument("--presets", nargs="*", default=None)
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.add_argument("--min-accesses", type=int, default=10)
+    table1.set_defaults(handler=_cmd_table1)
+
+    build = sub.add_parser("build-volumes",
+                           help="build and persist probability volumes")
+    add_common(build)
+    build.add_argument("--out", required=True)
+    build.add_argument("--threshold", type=float, default=0.25)
+    build.add_argument("--window", type=float, default=300.0)
+    build.add_argument("--effectiveness", type=float, default=0.2)
+    build.add_argument("--combine-level", type=int, default=None)
+    build.set_defaults(handler=_cmd_build_volumes)
+
+    simulate = sub.add_parser("simulate",
+                              help="end-to-end proxy/server simulation")
+    add_common(simulate)
+    simulate.add_argument("--level", type=int, default=1)
+    simulate.add_argument("--freshness", type=float, default=600.0)
+    simulate.add_argument("--prefetch", action="store_true")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    roc = sub.add_parser("roc", help="rate of change and delta savings")
+    roc.add_argument("--preset", default="aiusa")
+    roc.add_argument("--scale", type=float, default=0.3)
+    roc.set_defaults(handler=_cmd_roc)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

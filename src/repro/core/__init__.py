@@ -1,0 +1,43 @@
+"""Core piggybacking protocol: messages, filters, pacing, RPV lists."""
+
+from .piggyback import (
+    ELEMENT_FIXED_BYTES,
+    MAX_VOLUME_ID,
+    VOLUME_ID_BYTES,
+    PiggybackElement,
+    PiggybackMessage,
+)
+from .filters import CandidateElement, ProxyFilter
+from .frequency import (
+    AdaptiveGap,
+    AlwaysEnable,
+    MinimumGap,
+    PacingPolicy,
+    RandomEnable,
+    make_policy,
+)
+from .rpv import RpvList, RpvTable
+from .protocol import NOT_FOUND, NOT_MODIFIED, OK, ProxyRequest, ServerResponse
+
+__all__ = [
+    "PiggybackElement",
+    "PiggybackMessage",
+    "VOLUME_ID_BYTES",
+    "ELEMENT_FIXED_BYTES",
+    "MAX_VOLUME_ID",
+    "CandidateElement",
+    "ProxyFilter",
+    "PacingPolicy",
+    "AlwaysEnable",
+    "RandomEnable",
+    "MinimumGap",
+    "AdaptiveGap",
+    "make_policy",
+    "RpvList",
+    "RpvTable",
+    "ProxyRequest",
+    "ServerResponse",
+    "OK",
+    "NOT_MODIFIED",
+    "NOT_FOUND",
+]

@@ -1,0 +1,141 @@
+"""Proxy filters (Section 2.2).
+
+A filter rides on each proxy request and tells the server how to customize
+the piggyback: an upper bound on elements (``maxpiggy``), volumes already
+piggybacked recently (``rpv``), a probability threshold for
+probability-based volumes, a minimum access count, and content-type/size
+restrictions for proxies that do not cache certain resources.  The server
+applies the filter with :meth:`ProxyFilter.apply`; it never needs to store
+anything about the proxy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field, replace
+
+from .piggyback import PiggybackElement, PiggybackMessage
+
+__all__ = ["ProxyFilter", "CandidateElement"]
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateElement(PiggybackElement):
+    """A volume element as the server sees it, before filtering.
+
+    Extends :class:`PiggybackElement` with the server-side attributes
+    filters can match on: access count, implication probability (for
+    probability-based volumes), and content type.  Because it *is* a
+    piggyback element, admitting a candidate into a message costs no
+    object construction.
+    """
+
+    access_count: int = 0
+    probability: float = 1.0
+    content_type: str = "text"
+
+    def to_piggyback(self) -> PiggybackElement:
+        return self
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyFilter:
+    """The filter a proxy piggybacks onto a GET/HEAD request."""
+
+    enabled: bool = True
+    max_elements: int | None = None
+    recently_piggybacked: frozenset[int] = field(default_factory=frozenset)
+    probability_threshold: float = 0.0
+    min_access_count: int = 0
+    max_resource_size: int | None = None
+    excluded_content_types: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.max_elements is not None and self.max_elements < 0:
+            raise ValueError("max_elements must be non-negative")
+        if not 0.0 <= self.probability_threshold <= 1.0:
+            raise ValueError("probability_threshold must be in [0, 1]")
+        if self.min_access_count < 0:
+            raise ValueError("min_access_count must be non-negative")
+        if self.max_resource_size is not None and self.max_resource_size < 0:
+            raise ValueError("max_resource_size must be non-negative")
+
+    @classmethod
+    def disabled(cls) -> "ProxyFilter":
+        """A filter that suppresses piggybacking entirely."""
+        return cls(enabled=False)
+
+    def with_rpv(self, volume_ids: Iterable[int]) -> "ProxyFilter":
+        """A copy with the given recently-piggybacked-volume list."""
+        return replace(self, recently_piggybacked=frozenset(volume_ids))
+
+    def admits_volume(self, volume_id: int) -> bool:
+        """False when the volume was piggybacked recently (RPV hit)."""
+        return self.enabled and volume_id not in self.recently_piggybacked
+
+    def admits_element(self, candidate: CandidateElement, requested_url: str) -> bool:
+        """Apply the per-element criteria (never the requested URL itself)."""
+        if candidate.url == requested_url:
+            return False
+        if candidate.access_count < self.min_access_count:
+            return False
+        if candidate.probability < self.probability_threshold:
+            return False
+        if self.max_resource_size is not None and candidate.size > self.max_resource_size:
+            return False
+        if candidate.content_type in self.excluded_content_types:
+            return False
+        return True
+
+    def apply(
+        self,
+        volume_id: int,
+        candidates: Iterable[CandidateElement],
+        requested_url: str,
+    ) -> PiggybackMessage | None:
+        """Produce the piggyback message for a request, or None.
+
+        Candidates must arrive in the server's preferred order (most useful
+        first — move-to-front order for directory volumes, descending
+        probability for probability volumes); truncation to ``max_elements``
+        keeps the head of that order.  The iterable is consumed only as far
+        as needed, so lazy volume lookups stay cheap under small caps.
+        """
+        if not self.admits_volume(volume_id):
+            return None
+        admitted: list[PiggybackElement] = []
+        limit = self.max_elements
+        if limit == 0:
+            return None
+        for candidate in candidates:
+            if not self.admits_element(candidate, requested_url):
+                continue
+            admitted.append(candidate.to_piggyback())
+            if limit is not None and len(admitted) >= limit:
+                break
+        if not admitted:
+            return None
+        return PiggybackMessage(volume_id=volume_id, elements=tuple(admitted))
+
+    def apply_to_message(
+        self, message: PiggybackMessage, requested_url: str
+    ) -> PiggybackMessage | None:
+        """Re-filter an already built piggyback message.
+
+        Used when a message crosses a second hop (a parent proxy forwards
+        to a child, a volume center re-scopes an origin's piggyback): the
+        downstream filter's RPV list, element cap, size and type criteria
+        apply, but count/probability criteria cannot — plain piggyback
+        elements do not carry them, so those fields default permissively.
+        """
+        candidates = (
+            CandidateElement(
+                url=element.url,
+                last_modified=element.last_modified,
+                size=element.size,
+                # Unknown across hops; set to pass the count criterion.
+                access_count=self.min_access_count,
+            )
+            for element in message
+        )
+        return self.apply(message.volume_id, candidates, requested_url)

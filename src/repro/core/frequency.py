@@ -1,0 +1,131 @@
+"""Stateless piggyback pacing policies (Section 2.2).
+
+When a server exposes many volumes (probability-based construction can
+yield one volume per resource), per-volume RPV lists become impractical,
+so the proxy falls back to cheap frequency control: a random enable bit, a
+minimum gap since the last piggyback from the server, or a gap adapted to
+how useful recent piggybacks turned out to be.  Each policy answers one
+question per request: should this request enable piggybacking?
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+__all__ = [
+    "PacingPolicy",
+    "AlwaysEnable",
+    "RandomEnable",
+    "MinimumGap",
+    "AdaptiveGap",
+    "make_policy",
+]
+
+
+class PacingPolicy:
+    """Interface: decide per request whether to enable piggybacking."""
+
+    def should_enable(self, server: str, now: float) -> bool:
+        raise NotImplementedError
+
+    def observe_piggyback(self, server: str, now: float, useful: bool) -> None:
+        """Feedback hook: a piggyback arrived, and was or wasn't useful."""
+
+
+class AlwaysEnable(PacingPolicy):
+    """No pacing — every request invites a piggyback."""
+
+    def should_enable(self, server: str, now: float) -> bool:
+        return True
+
+
+class RandomEnable(PacingPolicy):
+    """Enable the piggyback bit independently with fixed probability."""
+
+    def __init__(self, probability: float, seed: int = 0):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self._rng = random.Random(seed)
+
+    def should_enable(self, server: str, now: float) -> bool:
+        return self._rng.random() < self.probability
+
+
+class MinimumGap(PacingPolicy):
+    """Disable piggybacks from servers that sent one within the last gap.
+
+    This is the paper's "disable piggybacks from servers which have sent
+    piggybacks within the last minute" rule, with a configurable gap.
+    """
+
+    def __init__(self, gap: float = 60.0):
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        self.gap = gap
+        self._last_piggyback: dict[str, float] = {}
+
+    def should_enable(self, server: str, now: float) -> bool:
+        last = self._last_piggyback.get(server)
+        return last is None or now - last >= self.gap
+
+    def observe_piggyback(self, server: str, now: float, useful: bool) -> None:
+        self._last_piggyback[server] = now
+
+
+class AdaptiveGap(PacingPolicy):
+    """Minimum gap that shrinks after useful piggybacks and grows otherwise.
+
+    The paper suggests augmenting frequency control "with information about
+    usefulness of recently piggybacked responses"; this policy multiplies
+    the per-server gap by ``grow`` after a useless piggyback and by
+    ``shrink`` after a useful one, clamped to [min_gap, max_gap].
+    """
+
+    def __init__(
+        self,
+        initial_gap: float = 60.0,
+        min_gap: float = 5.0,
+        max_gap: float = 600.0,
+        grow: float = 2.0,
+        shrink: float = 0.5,
+    ):
+        if not 0 < min_gap <= initial_gap <= max_gap:
+            raise ValueError("need 0 < min_gap <= initial_gap <= max_gap")
+        if grow < 1.0 or not 0.0 < shrink <= 1.0:
+            raise ValueError("grow must be >= 1 and shrink in (0, 1]")
+        self.initial_gap = initial_gap
+        self.min_gap = min_gap
+        self.max_gap = max_gap
+        self.grow = grow
+        self.shrink = shrink
+        self._gap: dict[str, float] = {}
+        self._last_piggyback: dict[str, float] = {}
+
+    def current_gap(self, server: str) -> float:
+        return self._gap.get(server, self.initial_gap)
+
+    def should_enable(self, server: str, now: float) -> bool:
+        last = self._last_piggyback.get(server)
+        return last is None or now - last >= self.current_gap(server)
+
+    def observe_piggyback(self, server: str, now: float, useful: bool) -> None:
+        self._last_piggyback[server] = now
+        factor = self.shrink if useful else self.grow
+        new_gap = self.current_gap(server) * factor
+        self._gap[server] = min(self.max_gap, max(self.min_gap, new_gap))
+
+
+def make_policy(name: str, **kwargs) -> PacingPolicy:
+    """Construct a pacing policy by name (for CLI/experiment wiring)."""
+    factories: dict[str, Callable[..., PacingPolicy]] = {
+        "always": AlwaysEnable,
+        "random": RandomEnable,
+        "min-gap": MinimumGap,
+        "adaptive": AdaptiveGap,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        raise KeyError(f"unknown pacing policy {name!r}; have {sorted(factories)}")
+    return factory(**kwargs)

@@ -1,0 +1,100 @@
+"""Piggyback messages (Section 2.1 and the byte model of Section 2.3).
+
+A piggyback message carries a 2-byte volume identifier and a sequence of
+elements, one per related resource: the URL (with the redundant server-name
+portion omitted), its Last-Modified time, and its size.  The paper budgets
+66 bytes per element (about 50 bytes of URL plus two 8-byte integers) and
+observes whole messages of a few hundred bytes that usually fit in the
+response's final packet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "PiggybackElement",
+    "PiggybackMessage",
+    "VOLUME_ID_BYTES",
+    "ELEMENT_FIXED_BYTES",
+    "MAX_VOLUME_ID",
+]
+
+VOLUME_ID_BYTES = 2
+ELEMENT_FIXED_BYTES = 16  # 8-byte Last-Modified + 8-byte size
+MAX_VOLUME_ID = 32767
+
+
+@lru_cache(maxsize=1 << 17)
+def _element_wire_bytes(url: str) -> int:
+    """Wire bytes of one element for *url* (cached; URLs repeat heavily)."""
+    host, slash, path = url.partition("/")
+    length = len(path) if slash else len(host)
+    return length + ELEMENT_FIXED_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class PiggybackElement:
+    """One predicted resource: identifier, freshness, and size."""
+
+    url: str
+    last_modified: float = 0.0
+    size: int = 0
+
+    def wire_bytes(self) -> int:
+        """Estimated on-the-wire size using the paper's byte model.
+
+        The server-name portion of the URL is omitted on the wire, so only
+        the path (everything after the first slash) is counted.  URLs are
+        treated as single-byte-per-character (they are ASCII in HTTP/1.1).
+        """
+        return _element_wire_bytes(self.url)
+
+
+@dataclass(frozen=True, slots=True)
+class PiggybackMessage:
+    """A volume id plus the filtered elements piggybacked on a response."""
+
+    volume_id: int
+    elements: tuple[PiggybackElement, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.volume_id <= MAX_VOLUME_ID:
+            raise ValueError(
+                f"volume id {self.volume_id} outside 2-byte range [0, {MAX_VOLUME_ID}]"
+            )
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[PiggybackElement]:
+        return iter(self.elements)
+
+    def __bool__(self) -> bool:
+        return bool(self.elements)
+
+    def urls(self) -> list[str]:
+        return [element.url for element in self.elements]
+
+    def wire_bytes(self) -> int:
+        """Estimated total wire size of the piggyback message."""
+        return VOLUME_ID_BYTES + sum(
+            _element_wire_bytes(e.url) for e in self.elements
+        )
+
+    @classmethod
+    def from_urls(
+        cls,
+        volume_id: int,
+        urls: Iterable[str],
+        metadata: dict[str, tuple[float, int]] | None = None,
+    ) -> "PiggybackMessage":
+        """Build a message from bare URLs, looking up (mtime, size) metadata."""
+        metadata = metadata or {}
+        elements = []
+        for url in urls:
+            last_modified, size = metadata.get(url, (0.0, 0))
+            elements.append(PiggybackElement(url, last_modified, size))
+        return cls(volume_id=volume_id, elements=tuple(elements))

@@ -1,0 +1,72 @@
+"""Request/response exchange objects (Section 2.1).
+
+These are the transport-neutral messages that flow between a
+:class:`~repro.proxy.proxy.PiggybackProxy` and a
+:class:`~repro.server.server.PiggybackServer`: a GET (optionally
+conditional) carrying a proxy filter, and an OK / Not Modified response
+carrying resource metadata plus an optional piggyback message.  The
+simulator passes them directly; the HTTP wire layer serializes them into
+real HTTP/1.1 messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .filters import ProxyFilter
+from .piggyback import PiggybackMessage
+
+__all__ = ["ProxyRequest", "ServerResponse", "OK", "NOT_MODIFIED", "NOT_FOUND"]
+
+OK = 200
+NOT_MODIFIED = 304
+NOT_FOUND = 404
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyRequest:
+    """A proxy->server GET, with optional validator and piggyback filter.
+
+    ``cache_hit_report`` carries the Section-5 extension: (url, count)
+    pairs for requests the proxy satisfied from its cache since it last
+    contacted this server, restoring the demand signal the server's volume
+    maintenance would otherwise never see.
+    """
+
+    url: str
+    timestamp: float
+    if_modified_since: float | None = None
+    piggyback_filter: ProxyFilter = field(default_factory=ProxyFilter)
+    source: str = "proxy"
+    cache_hit_report: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.if_modified_since is not None
+
+
+@dataclass(frozen=True, slots=True)
+class ServerResponse:
+    """A server->proxy response with optional piggyback trailer."""
+
+    url: str
+    status: int
+    timestamp: float
+    last_modified: float | None = None
+    size: int = 0
+    piggyback: PiggybackMessage | None = None
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def is_not_modified(self) -> bool:
+        return self.status == NOT_MODIFIED
+
+    @property
+    def piggyback_element_count(self) -> int:
+        return len(self.piggyback) if self.piggyback is not None else 0
+
+    def piggyback_wire_bytes(self) -> int:
+        return self.piggyback.wire_bytes() if self.piggyback is not None else 0

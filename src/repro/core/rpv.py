@@ -1,0 +1,104 @@
+"""Recently-Piggybacked-Volume (RPV) lists (Section 2.2).
+
+The proxy keeps, per server (or per frequently visited server), a short
+FIFO of volume identifiers it has seen piggybacked recently, with the time
+of the last piggyback for each.  The list is bounded both by a timeout and
+a maximum length, and is shipped to the server inside the proxy filter so
+the server can skip redundant piggybacks without per-proxy state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["RpvList", "RpvTable"]
+
+
+class RpvList:
+    """Bounded, timeout-limited FIFO of (volume id -> last piggyback time).
+
+    The paper notes the timeout must not exceed the cache freshness
+    interval Δ, or the server could never refresh resources in a listed
+    volume; smaller timeouts trade extra piggyback traffic for fresher
+    caches.
+    """
+
+    def __init__(self, timeout: float = 30.0, max_entries: int = 32):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.timeout = timeout
+        self.max_entries = max_entries
+        self._entries: OrderedDict[int, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, volume_id: int) -> bool:
+        return volume_id in self._entries
+
+    def record(self, volume_id: int, now: float) -> None:
+        """Note that a piggyback for *volume_id* arrived at time *now*."""
+        if volume_id in self._entries:
+            del self._entries[volume_id]
+        self._entries[volume_id] = now
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def expire(self, now: float) -> None:
+        """Drop entries older than the timeout."""
+        cutoff = now - self.timeout
+        stale = [vid for vid, t in self._entries.items() if t < cutoff]
+        for vid in stale:
+            del self._entries[vid]
+
+    def active_ids(self, now: float) -> frozenset[int]:
+        """Volume ids piggybacked within the timeout, for the request filter."""
+        self.expire(now)
+        return frozenset(self._entries)
+
+    def last_piggyback(self, volume_id: int) -> float | None:
+        return self._entries.get(volume_id)
+
+
+class RpvTable:
+    """Per-server RPV lists, as a bounded hash table keyed on the server.
+
+    The proxy only affords transient state for a small set of frequently
+    visited servers; the table evicts the least recently touched server
+    when full.
+    """
+
+    def __init__(self, timeout: float = 30.0, max_entries: int = 32, max_servers: int = 1024):
+        if max_servers < 1:
+            raise ValueError("max_servers must be >= 1")
+        self.timeout = timeout
+        self.max_entries = max_entries
+        self.max_servers = max_servers
+        self._lists: OrderedDict[str, RpvList] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def for_server(self, server: str) -> RpvList:
+        """Get (creating if needed) the RPV list for *server*."""
+        rpv = self._lists.get(server)
+        if rpv is None:
+            rpv = RpvList(timeout=self.timeout, max_entries=self.max_entries)
+            self._lists[server] = rpv
+            while len(self._lists) > self.max_servers:
+                self._lists.popitem(last=False)
+        else:
+            self._lists.move_to_end(server)
+        return rpv
+
+    def record(self, server: str, volume_id: int, now: float) -> None:
+        self.for_server(server).record(volume_id, now)
+
+    def active_ids(self, server: str, now: float) -> frozenset[int]:
+        rpv = self._lists.get(server)
+        if rpv is None:
+            return frozenset()
+        self._lists.move_to_end(server)
+        return rpv.active_ids(now)

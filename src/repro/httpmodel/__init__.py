@@ -1,0 +1,59 @@
+"""HTTP/1.1 message model and the Section-2.3 piggyback embedding."""
+
+from .headers import Headers
+from .chunked import ChunkedDecodeError, decode_chunked, encode_chunked
+from .messages import (
+    HttpParseError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    read_response,
+)
+from .piggy_codec import (
+    P_VOLUME_HEADER,
+    PIGGY_FILTER_HEADER,
+    PIGGY_REPORT_HEADER,
+    PiggyCodecError,
+    format_p_volume,
+    format_piggy_filter,
+    format_piggy_report,
+    parse_p_volume,
+    parse_piggy_filter,
+    parse_piggy_report,
+)
+from .connection import ConnectionPool, ConnectionStats, PacketModel, TCP_HANDSHAKE_PACKETS
+from .delta import DeltaError, DeltaStats, apply_delta, delta_stats, encode_delta
+from .dates import format_http_date, parse_http_date
+
+__all__ = [
+    "Headers",
+    "encode_chunked",
+    "decode_chunked",
+    "ChunkedDecodeError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpParseError",
+    "read_request",
+    "read_response",
+    "PIGGY_FILTER_HEADER",
+    "P_VOLUME_HEADER",
+    "PIGGY_REPORT_HEADER",
+    "format_piggy_filter",
+    "parse_piggy_filter",
+    "format_p_volume",
+    "parse_p_volume",
+    "format_piggy_report",
+    "parse_piggy_report",
+    "PiggyCodecError",
+    "PacketModel",
+    "ConnectionPool",
+    "ConnectionStats",
+    "TCP_HANDSHAKE_PACKETS",
+    "DeltaError",
+    "DeltaStats",
+    "encode_delta",
+    "apply_delta",
+    "delta_stats",
+    "format_http_date",
+    "parse_http_date",
+]

@@ -1,0 +1,79 @@
+"""Chunked transfer-coding with trailers (RFC 2068/2616 section 3.6).
+
+The paper's piggyback rides in the *trailer* of a chunked response: the
+body streams out immediately in chunks, and the ``P-volume`` header field
+follows the mandatory zero-length final chunk — so building the piggyback
+never delays the response body.  This module implements the encoder and
+an incremental decoder usable both on byte strings and socket streams.
+"""
+
+from __future__ import annotations
+
+from .headers import Headers
+
+__all__ = ["encode_chunked", "decode_chunked", "ChunkedDecodeError"]
+
+
+class ChunkedDecodeError(ValueError):
+    """Raised when a byte stream is not valid chunked coding."""
+
+
+def encode_chunked(
+    body: bytes, trailers: Headers | None = None, chunk_size: int = 4096
+) -> bytes:
+    """Encode *body* as chunked coding, appending *trailers* after the
+    zero-length chunk."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    pieces: list[bytes] = []
+    for offset in range(0, len(body), chunk_size):
+        chunk = body[offset:offset + chunk_size]
+        pieces.append(f"{len(chunk):x}\r\n".encode("ascii"))
+        pieces.append(chunk)
+        pieces.append(b"\r\n")
+    pieces.append(b"0\r\n")
+    if trailers is not None:
+        pieces.append(trailers.serialize())
+    pieces.append(b"\r\n")
+    return b"".join(pieces)
+
+
+def decode_chunked(data: bytes) -> tuple[bytes, Headers, bytes]:
+    """Decode a chunked body from *data*.
+
+    Returns ``(body, trailers, remainder)`` where *remainder* is whatever
+    bytes followed the terminating CRLF (e.g. a pipelined next response).
+    Raises :class:`ChunkedDecodeError` when the stream is malformed or
+    truncated.
+    """
+    body = bytearray()
+    position = 0
+    while True:
+        line_end = data.find(b"\r\n", position)
+        if line_end < 0:
+            raise ChunkedDecodeError("truncated chunk-size line")
+        size_token = data[position:line_end].split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError as exc:
+            raise ChunkedDecodeError(f"bad chunk size {size_token!r}") from exc
+        position = line_end + 2
+        if size == 0:
+            break
+        chunk_end = position + size
+        if chunk_end + 2 > len(data):
+            raise ChunkedDecodeError("truncated chunk data")
+        body.extend(data[position:chunk_end])
+        if data[chunk_end:chunk_end + 2] != b"\r\n":
+            raise ChunkedDecodeError("missing CRLF after chunk data")
+        position = chunk_end + 2
+
+    trailer_end = data.find(b"\r\n\r\n", position - 2)
+    if data[position:position + 2] == b"\r\n":
+        # No trailers: zero chunk followed directly by final CRLF.
+        return bytes(body), Headers(), data[position + 2:]
+    if trailer_end < 0:
+        raise ChunkedDecodeError("truncated trailer block")
+    trailer_block = data[position:trailer_end + 2]
+    trailers = Headers.parse_block(trailer_block)
+    return bytes(body), trailers, data[trailer_end + 4:]

@@ -1,0 +1,124 @@
+"""Persistent connections and the packet-count model (Sections 1 and 2.3).
+
+The paper's overhead argument is packet-level: a piggyback of a few
+hundred bytes usually rides in the same packet as the response tail, while
+every TCP connection a prediction obviates saves at least two packets
+(SYN, SYN-ACK at minimum).  :class:`PacketModel` makes those estimates;
+:class:`ConnectionPool` models proxy-side persistent connections with an
+idle timeout that can be informed by piggyback activity (keep connections
+open to servers likely to be contacted again soon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PacketModel", "ConnectionStats", "ConnectionPool"]
+
+TCP_HANDSHAKE_PACKETS = 2  # the paper's lower bound on savings per avoided connection
+
+
+@dataclass(frozen=True, slots=True)
+class PacketModel:
+    """Estimate packet counts for response payloads."""
+
+    mss: int = 1460
+
+    def __post_init__(self) -> None:
+        if self.mss < 1:
+            raise ValueError("mss must be >= 1")
+
+    def packets_for(self, payload_bytes: int) -> int:
+        """Packets needed to carry *payload_bytes* of response data."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if payload_bytes == 0:
+            return 0
+        return -(-payload_bytes // self.mss)  # ceiling division
+
+    def extra_packets_for_piggyback(self, body_bytes: int, piggyback_bytes: int) -> int:
+        """Additional packets a piggyback adds to an existing response."""
+        return self.packets_for(body_bytes + piggyback_bytes) - self.packets_for(body_bytes)
+
+    def net_packet_change(
+        self, body_bytes: int, piggyback_bytes: int, connections_avoided: int
+    ) -> int:
+        """Net packet delta: piggyback cost minus avoided-connection savings.
+
+        Negative values mean the piggyback *reduced* total packets, the
+        paper's expected regime.
+        """
+        extra = self.extra_packets_for_piggyback(body_bytes, piggyback_bytes)
+        return extra - connections_avoided * TCP_HANDSHAKE_PACKETS
+
+
+@dataclass(slots=True)
+class ConnectionStats:
+    """Connection-pool lifetime counters."""
+
+    opened: int = 0
+    reused: int = 0
+    closed_idle: int = 0
+    closed_evicted: int = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        total = self.opened + self.reused
+        if total == 0:
+            return 0.0
+        return self.reused / total
+
+
+class ConnectionPool:
+    """Persistent connections with per-server idle timeouts.
+
+    ``acquire`` returns True when an existing warm connection was reused.
+    A piggyback hinting at imminent requests can extend a server's timeout
+    via :meth:`extend_timeout` — the paper's alternative to closing all
+    connections after a uniform 60 seconds.
+    """
+
+    def __init__(self, idle_timeout: float = 60.0, max_connections: int = 64):
+        if idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.idle_timeout = idle_timeout
+        self.max_connections = max_connections
+        self.stats = ConnectionStats()
+        self._last_used: dict[str, float] = {}
+        self._deadline: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._last_used)
+
+    def _expire(self, now: float) -> None:
+        stale = [s for s, d in self._deadline.items() if d <= now]
+        for server in stale:
+            del self._last_used[server]
+            del self._deadline[server]
+            self.stats.closed_idle += 1
+
+    def acquire(self, server: str, now: float) -> bool:
+        """Use a connection to *server*; True if an open one was reused."""
+        self._expire(now)
+        reused = server in self._last_used
+        if reused:
+            self.stats.reused += 1
+        else:
+            self.stats.opened += 1
+            while len(self._last_used) >= self.max_connections:
+                victim = min(self._last_used, key=lambda s: self._last_used[s])
+                del self._last_used[victim]
+                self._deadline.pop(victim, None)
+                self.stats.closed_evicted += 1
+        self._last_used[server] = now
+        self._deadline[server] = now + self.idle_timeout
+        return reused
+
+    def extend_timeout(self, server: str, now: float, extra: float) -> None:
+        """Keep *server*'s connection warm longer (piggyback hint)."""
+        if extra < 0:
+            raise ValueError("extra must be non-negative")
+        if server in self._deadline:
+            self._deadline[server] = max(self._deadline[server], now + self.idle_timeout + extra)

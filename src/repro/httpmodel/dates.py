@@ -1,0 +1,27 @@
+"""HTTP-date formatting (RFC 1123) for Last-Modified and If-Modified-Since.
+
+The library's internal clocks are plain floats (seconds); the wire layer
+converts to and from the textual HTTP-date form at the edges.
+"""
+
+from __future__ import annotations
+
+from email.utils import formatdate, parsedate_to_datetime
+
+__all__ = ["format_http_date", "parse_http_date"]
+
+
+def format_http_date(timestamp: float) -> str:
+    """Render an epoch timestamp as an RFC 1123 HTTP-date."""
+    return formatdate(timestamp, usegmt=True)
+
+
+def parse_http_date(value: str) -> float:
+    """Parse an HTTP-date into an epoch timestamp.
+
+    Raises :class:`ValueError` for unparseable dates.
+    """
+    parsed = parsedate_to_datetime(value)
+    if parsed is None:
+        raise ValueError(f"unparseable HTTP-date: {value!r}")
+    return parsed.timestamp()

@@ -1,0 +1,164 @@
+"""Delta encoding of resource versions (Section 4, citing Mogul et al.).
+
+Instead of dropping a stale cached copy, the proxy can ask the server for
+the *difference* between the old and new versions — "most changes are
+small, relative to the size of the resource".  This module implements a
+compact block-copy delta: the encoder finds maximal matches against the
+old version (greedy, anchored on fixed-size block hashes) and emits a
+sequence of COPY(offset, length) and INSERT(bytes) operations with a
+small binary framing.
+
+The format is self-contained and versioned::
+
+    b"RDLT" | u8 version | ops...
+    op COPY:   0x01 | u32 offset | u32 length
+    op INSERT: 0x02 | u32 length | bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["DeltaError", "DeltaStats", "encode_delta", "apply_delta", "delta_stats"]
+
+_MAGIC = b"RDLT"
+_VERSION = 1
+_COPY = 0x01
+_INSERT = 0x02
+_MIN_COPY = 8  # copies shorter than the op overhead are not worth emitting
+
+
+class DeltaError(ValueError):
+    """Raised when a delta cannot be applied."""
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaStats:
+    """Transfer economics of one delta."""
+
+    old_size: int
+    new_size: int
+    delta_size: int
+
+    @property
+    def savings(self) -> int:
+        return self.new_size - self.delta_size
+
+    @property
+    def ratio(self) -> float:
+        """Delta bytes as a fraction of a full transfer (lower is better)."""
+        if self.new_size == 0:
+            return 0.0 if self.delta_size <= len(_MAGIC) + 1 else 1.0
+        return self.delta_size / self.new_size
+
+
+def _block_index(old: bytes, block: int) -> dict[bytes, int]:
+    """First occurrence of every aligned block in *old*."""
+    index: dict[bytes, int] = {}
+    for offset in range(0, len(old) - block + 1, block):
+        key = old[offset:offset + block]
+        index.setdefault(key, offset)
+    return index
+
+
+def encode_delta(old: bytes, new: bytes, block: int = 16) -> bytes:
+    """Encode *new* as a delta against *old*.
+
+    Greedy: at each position, look up the aligned block index; on a hit,
+    extend the match backwards and forwards as far as bytes agree, emit a
+    COPY, otherwise accumulate literal bytes into an INSERT.
+    """
+    if block < 4:
+        raise ValueError("block must be >= 4")
+    out = bytearray(_MAGIC)
+    out.append(_VERSION)
+    index = _block_index(old, block) if len(old) >= block else {}
+
+    literal = bytearray()
+
+    def flush_literal() -> None:
+        if literal:
+            out.append(_INSERT)
+            out.extend(struct.pack(">I", len(literal)))
+            out.extend(literal)
+            literal.clear()
+
+    position = 0
+    while position < len(new):
+        match_offset = -1
+        if position + block <= len(new) and index:
+            candidate = index.get(new[position:position + block])
+            if candidate is not None:
+                match_offset = candidate
+        if match_offset < 0:
+            literal.append(new[position])
+            position += 1
+            continue
+        # Extend the match forward beyond the block.
+        length = block
+        while (
+            position + length < len(new)
+            and match_offset + length < len(old)
+            and new[position + length] == old[match_offset + length]
+        ):
+            length += 1
+        # Extend backwards into pending literals.
+        while (
+            literal
+            and match_offset > 0
+            and literal[-1] == old[match_offset - 1]
+        ):
+            literal.pop()
+            match_offset -= 1
+            position -= 1
+            length += 1
+        if length < _MIN_COPY:
+            literal.extend(new[position:position + length])
+            position += length
+            continue
+        flush_literal()
+        out.append(_COPY)
+        out.extend(struct.pack(">II", match_offset, length))
+        position += length
+    flush_literal()
+    return bytes(out)
+
+
+def apply_delta(old: bytes, delta: bytes) -> bytes:
+    """Reconstruct the new version from *old* and *delta*."""
+    if len(delta) < len(_MAGIC) + 1 or delta[: len(_MAGIC)] != _MAGIC:
+        raise DeltaError("not a repro delta (bad magic)")
+    if delta[len(_MAGIC)] != _VERSION:
+        raise DeltaError(f"unsupported delta version {delta[len(_MAGIC)]}")
+    out = bytearray()
+    position = len(_MAGIC) + 1
+    while position < len(delta):
+        op = delta[position]
+        position += 1
+        if op == _COPY:
+            if position + 8 > len(delta):
+                raise DeltaError("truncated COPY operation")
+            offset, length = struct.unpack_from(">II", delta, position)
+            position += 8
+            if offset + length > len(old):
+                raise DeltaError("COPY outside the old version")
+            out.extend(old[offset:offset + length])
+        elif op == _INSERT:
+            if position + 4 > len(delta):
+                raise DeltaError("truncated INSERT header")
+            (length,) = struct.unpack_from(">I", delta, position)
+            position += 4
+            if position + length > len(delta):
+                raise DeltaError("truncated INSERT payload")
+            out.extend(delta[position:position + length])
+            position += length
+        else:
+            raise DeltaError(f"unknown delta op {op:#x}")
+    return bytes(out)
+
+
+def delta_stats(old: bytes, new: bytes, block: int = 16) -> DeltaStats:
+    """Encode and report the transfer economics (delta never applied)."""
+    delta = encode_delta(old, new, block=block)
+    return DeltaStats(old_size=len(old), new_size=len(new), delta_size=len(delta))

@@ -1,0 +1,92 @@
+"""Case-insensitive HTTP header collection.
+
+HTTP/1.1 header field names are case-insensitive; values preserve their
+original form.  Multiple fields with the same name are folded with commas
+on :meth:`Headers.get`, as RFC 2616 allows, but kept separate internally
+so round-trips preserve the original message.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Headers"]
+
+
+class Headers:
+    """Ordered, case-insensitive multimap of header fields."""
+
+    def __init__(self, items: Iterable[tuple[str, str]] = ()):
+        self._items: list[tuple[str, str]] = []
+        for name, value in items:
+            self.add(name, value)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(k.lower() == lowered for k, _ in self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        mine = [(k.lower(), v) for k, v in self._items]
+        theirs = [(k.lower(), v) for k, v in other._items]
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"
+
+    def add(self, name: str, value: str) -> None:
+        """Append a field, keeping any existing same-named fields."""
+        if "\r" in name or "\n" in name or "\r" in value or "\n" in value:
+            raise ValueError("header fields must not contain CR or LF")
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all fields named *name* with a single field."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """All values for *name*, comma-joined; *default* when absent."""
+        lowered = name.lower()
+        values = [v for k, v in self._items if k.lower() == lowered]
+        if not values:
+            return default
+        return ", ".join(values)
+
+    def get_all(self, name: str) -> list[str]:
+        lowered = name.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def copy(self) -> "Headers":
+        return Headers(self._items)
+
+    def serialize(self) -> bytes:
+        """The header block as raw bytes, without the blank line."""
+        return b"".join(
+            f"{name}: {value}\r\n".encode("latin-1") for name, value in self._items
+        )
+
+    @classmethod
+    def parse_block(cls, block: bytes) -> "Headers":
+        """Parse a raw header block (no request/status line, no blank line)."""
+        headers = cls()
+        for raw_line in block.split(b"\r\n"):
+            if not raw_line:
+                continue
+            line = raw_line.decode("latin-1")
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed header line: {line!r}")
+            headers.add(name.strip(), value.strip())
+        return headers

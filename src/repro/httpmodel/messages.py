@@ -1,0 +1,194 @@
+"""HTTP/1.1 request and response messages.
+
+A deliberately small, correct subset of RFC 2616 message handling: enough
+to carry GET/HEAD/POST exchanges with Content-Length or chunked bodies and
+trailers — everything the piggybacking extension of Section 2.3 needs —
+over real sockets or in-memory byte strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import BinaryIO
+
+from .chunked import decode_chunked, encode_chunked
+from .headers import Headers
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpParseError", "read_request", "read_response"]
+
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpParseError(ValueError):
+    """Raised when bytes cannot be parsed as an HTTP/1.1 message."""
+
+
+@dataclass(slots=True)
+class HttpRequest:
+    """An HTTP/1.1 request message."""
+
+    method: str
+    target: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def serialize(self) -> bytes:
+        headers = self.headers.copy()
+        if self.body and headers.get("Content-Length") is None:
+            headers.set("Content-Length", str(len(self.body)))
+        start = f"{self.method} {self.target} {self.version}\r\n".encode("latin-1")
+        return start + headers.serialize() + b"\r\n" + self.body
+
+
+@dataclass(slots=True)
+class HttpResponse:
+    """An HTTP/1.1 response message, with optional chunked trailers."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    trailers: Headers = field(default_factory=Headers)
+    reason: str = ""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            self.reason = _REASONS.get(self.status, "Unknown")
+
+    @property
+    def is_chunked(self) -> bool:
+        encoding = self.headers.get("Transfer-Encoding", "")
+        return "chunked" in encoding.lower()
+
+    def serialize(self, chunk_size: int = 4096) -> bytes:
+        """Serialize, using chunked coding whenever trailers are present."""
+        headers = self.headers.copy()
+        start = f"{self.version} {self.status} {self.reason}\r\n".encode("latin-1")
+        if len(self.trailers) or self.is_chunked:
+            headers.set("Transfer-Encoding", "chunked")
+            headers.remove("Content-Length")
+            if len(self.trailers):
+                names = ", ".join(sorted({name for name, _ in self.trailers}))
+                headers.set("Trailer", names)
+            payload = encode_chunked(self.body, self.trailers, chunk_size=chunk_size)
+        else:
+            headers.set("Content-Length", str(len(self.body)))
+            payload = self.body
+        return start + headers.serialize() + b"\r\n" + payload
+
+
+def _read_until_blank_line(stream: BinaryIO) -> bytes:
+    """Read a start line plus header block, returning everything read."""
+    data = bytearray()
+    while True:
+        line = stream.readline()
+        if not line:
+            if not data:
+                raise EOFError("connection closed before message start")
+            raise HttpParseError("connection closed inside header block")
+        data.extend(line)
+        if line in (b"\r\n", b"\n"):
+            return bytes(data)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = bytearray()
+    while len(data) < count:
+        piece = stream.read(count - len(data))
+        if not piece:
+            raise HttpParseError("connection closed inside message body")
+        data.extend(piece)
+    return bytes(data)
+
+
+def _read_chunked(stream: BinaryIO) -> tuple[bytes, Headers]:
+    """Incrementally read a chunked body plus trailers from a stream."""
+    raw = bytearray()
+    while True:
+        size_line = stream.readline()
+        if not size_line:
+            raise HttpParseError("connection closed inside chunked body")
+        raw.extend(size_line)
+        try:
+            size = int(size_line.split(b";", 1)[0].strip(), 16)
+        except ValueError as exc:
+            raise HttpParseError(f"bad chunk size line {size_line!r}") from exc
+        if size == 0:
+            break
+        raw.extend(_read_exact(stream, size + 2))
+    while True:
+        line = stream.readline()
+        if not line:
+            raise HttpParseError("connection closed inside trailer block")
+        raw.extend(line)
+        if line in (b"\r\n", b"\n"):
+            break
+    body, trailers, _ = decode_chunked(bytes(raw))
+    return body, trailers
+
+
+def _split_head(head: bytes) -> tuple[str, Headers]:
+    try:
+        start_line, _, header_block = head.partition(b"\r\n")
+        headers = Headers.parse_block(header_block.rsplit(b"\r\n\r\n", 1)[0])
+    except ValueError as exc:
+        raise HttpParseError(str(exc)) from exc
+    return start_line.decode("latin-1"), headers
+
+
+def read_request(stream: BinaryIO) -> HttpRequest:
+    """Read one request message from a buffered binary stream.
+
+    Raises :class:`EOFError` on a cleanly closed idle connection and
+    :class:`HttpParseError` on malformed or truncated messages.
+    """
+    head = _read_until_blank_line(stream)
+    start_line, headers = _split_head(head)
+    parts = start_line.split()
+    if len(parts) != 3:
+        raise HttpParseError(f"malformed request line: {start_line!r}")
+    method, target, version = parts
+    if not version.upper().startswith("HTTP/"):
+        raise HttpParseError(f"bad protocol version in request line: {start_line!r}")
+    body = b""
+    if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+        body, _ = _read_chunked(stream)
+    else:
+        length = headers.get("Content-Length")
+        if length is not None:
+            body = _read_exact(stream, int(length))
+    return HttpRequest(method=method, target=target, headers=headers,
+                       body=body, version=version)
+
+
+def read_response(stream: BinaryIO) -> HttpResponse:
+    """Read one response message from a buffered binary stream."""
+    head = _read_until_blank_line(stream)
+    start_line, headers = _split_head(head)
+    parts = start_line.split(None, 2)
+    if len(parts) < 2:
+        raise HttpParseError(f"malformed status line: {start_line!r}")
+    version, status_text = parts[0], parts[1]
+    reason = parts[2] if len(parts) == 3 else ""
+    try:
+        status = int(status_text)
+    except ValueError as exc:
+        raise HttpParseError(f"bad status code {status_text!r}") from exc
+    body = b""
+    trailers = Headers()
+    if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+        body, trailers = _read_chunked(stream)
+    elif status not in (204, 304):
+        length = headers.get("Content-Length")
+        if length is not None:
+            body = _read_exact(stream, int(length))
+    return HttpResponse(status=status, headers=headers, body=body,
+                        trailers=trailers, reason=reason, version=version)

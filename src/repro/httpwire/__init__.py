@@ -1,0 +1,17 @@
+"""Loopback-socket demonstration of the piggybacking protocol."""
+
+from .netclient import HttpConnection, fetch_once
+from .netserver import PiggybackHttpServer, PlainHttpServer, synthetic_body
+from .netproxy import HttpUpstream, PiggybackHttpProxy
+from .netcenter import TransparentHttpVolumeCenter
+
+__all__ = [
+    "HttpConnection",
+    "fetch_once",
+    "PiggybackHttpServer",
+    "PlainHttpServer",
+    "synthetic_body",
+    "HttpUpstream",
+    "PiggybackHttpProxy",
+    "TransparentHttpVolumeCenter",
+]

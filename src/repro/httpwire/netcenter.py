@@ -1,0 +1,191 @@
+"""A transparent volume center over real sockets.
+
+The paper proposes volume maintenance "at a router or gateway along the
+path between the proxy and server", so origin servers need no changes.
+:class:`TransparentHttpVolumeCenter` is that box as an HTTP intermediary:
+it forwards requests verbatim to legacy origins, watches the responses go
+by, maintains volumes per origin (or one cross-host store), and splices a
+``P-volume`` trailer into responses for clients that sent a
+``Piggy-filter`` header.  Origins remain blissfully unaware.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Callable
+
+from ..core.protocol import OK, ProxyRequest, ServerResponse
+from ..httpmodel.dates import parse_http_date
+from ..httpmodel.headers import Headers
+from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..httpmodel.piggy_codec import (
+    P_VOLUME_HEADER,
+    PIGGY_FILTER_HEADER,
+    PiggyCodecError,
+    format_p_volume,
+    parse_piggy_filter,
+)
+from ..server.volume_center import TransparentVolumeCenter
+from .netclient import HttpConnection
+
+__all__ = ["TransparentHttpVolumeCenter"]
+
+
+class TransparentHttpVolumeCenter:
+    """On-path HTTP intermediary injecting piggybacks for legacy origins."""
+
+    def __init__(
+        self,
+        origins: dict[str, tuple[str, int]],
+        center: TransparentVolumeCenter | None = None,
+        address: str = "127.0.0.1",
+        port: int = 0,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.origins = origins
+        self.center = center or TransparentVolumeCenter()
+        self.clock = clock or time.time
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((address, port))
+        self._listener.listen(32)
+        self.address, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._center_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="volume-center", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address, self.port
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "TransparentHttpVolumeCenter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(client,), daemon=True
+            ).start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        reader = client.makefile("rb")
+        try:
+            while True:
+                try:
+                    request = read_request(reader)
+                except EOFError:
+                    return
+                except HttpParseError:
+                    client.sendall(HttpResponse(status=400).serialize())
+                    return
+                client.sendall(self._relay(request).serialize())
+                if (request.headers.get("Connection") or "").lower() == "close":
+                    return
+        except (ConnectionError, BrokenPipeError, OSError):
+            return
+        finally:
+            try:
+                reader.close()
+                client.close()
+            except OSError:
+                pass
+
+    # -- relaying --------------------------------------------------------------
+
+    def _resolve(self, request: HttpRequest) -> tuple[str, str] | None:
+        """Return (host, path) from an absolute-URI or Host-based target."""
+        target = request.target
+        if target.lower().startswith("http://"):
+            target = target[len("http://"):]
+            host, _, path = target.partition("/")
+            return host.lower(), "/" + path
+        host = request.headers.get("Host")
+        if host is None:
+            return None
+        return host.lower(), target
+
+    def _relay(self, request: HttpRequest) -> HttpResponse:
+        resolved = self._resolve(request)
+        if resolved is None:
+            return HttpResponse(status=400)
+        host, path = resolved
+        origin = self.origins.get(host)
+        if origin is None:
+            return HttpResponse(status=404)
+
+        # Forward to the legacy origin, stripping the extension header the
+        # origin would not understand anyway.
+        forward = HttpRequest(method=request.method, target=path,
+                              headers=request.headers.copy(), body=request.body)
+        forward.headers.remove(PIGGY_FILTER_HEADER)
+        forward.headers.set("Host", host)
+        with HttpConnection(*origin) as connection:
+            upstream = connection.request(forward)
+
+        # Observe the exchange and, when the client asked, annotate it.
+        try:
+            piggy_filter = parse_piggy_filter(request.headers.get(PIGGY_FILTER_HEADER))
+        except PiggyCodecError:
+            piggy_filter = parse_piggy_filter(None)
+        last_modified = None
+        lm_header = upstream.headers.get("Last-Modified")
+        if lm_header is not None:
+            try:
+                last_modified = parse_http_date(lm_header)
+            except ValueError:
+                last_modified = None
+        url = f"{host}{path}".rstrip("/") if path != "/" else host
+        proxy_request = ProxyRequest(
+            url=url,
+            timestamp=self.clock(),
+            piggyback_filter=piggy_filter,
+            source=request.headers.get("X-Proxy-Name") or "client",
+        )
+        shadow = ServerResponse(
+            url=url, status=upstream.status, timestamp=proxy_request.timestamp,
+            last_modified=last_modified, size=len(upstream.body),
+        )
+        with self._center_lock:
+            annotated = self.center.annotate(proxy_request, shadow)
+
+        headers = upstream.headers.copy()
+        headers.set("Via", "1.1 repro-volume-center")
+        headers.remove("Transfer-Encoding")
+        headers.remove("Content-Length")
+        trailers = Headers()
+        if annotated.piggyback is not None and upstream.status == OK:
+            trailers.set(P_VOLUME_HEADER, format_p_volume(annotated.piggyback))
+        return HttpResponse(
+            status=upstream.status,
+            headers=headers,
+            body=upstream.body,
+            trailers=trailers,
+            reason=upstream.reason,
+        )

@@ -1,0 +1,73 @@
+"""Minimal HTTP/1.1 client with persistent connections.
+
+Used by the wire proxy to talk to origin servers and by tests/examples to
+talk to both.  One :class:`HttpConnection` holds one persistent TCP
+connection; :func:`fetch_once` is the convenience one-shot form.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..httpmodel.messages import HttpRequest, HttpResponse, read_response
+
+__all__ = ["HttpConnection", "fetch_once"]
+
+
+class HttpConnection:
+    """A persistent client connection to one host:port."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, message: HttpRequest) -> HttpResponse:
+        """Send one request and read its response, reconnecting once on
+        a connection that the server closed between exchanges."""
+        self._ensure_connected()
+        try:
+            assert self._sock is not None
+            self._sock.sendall(message.serialize())
+            return read_response(self._reader)
+        except (EOFError, ConnectionError, BrokenPipeError):
+            self.close()
+            self._ensure_connected()
+            assert self._sock is not None
+            self._sock.sendall(message.serialize())
+            return read_response(self._reader)
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "HttpConnection":
+        self._ensure_connected()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def fetch_once(host: str, port: int, message: HttpRequest, timeout: float = 10.0) -> HttpResponse:
+    """Open a connection, perform one exchange, and close."""
+    with HttpConnection(host, port, timeout=timeout) as connection:
+        return connection.request(message)

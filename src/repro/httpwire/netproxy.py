@@ -1,0 +1,225 @@
+"""A real-socket caching proxy speaking the piggyback extension.
+
+Clients send ordinary absolute-URI proxy requests; the proxy serves them
+from its cache when fresh, otherwise forwards to the origin with a
+``Piggy-filter`` header, absorbs the ``P-volume`` trailer of the answer
+(coherency, prefetch, RPV bookkeeping — all via
+:class:`~repro.proxy.proxy.PiggybackProxy`), and returns the body to the
+client.  Bodies are kept in a side table because the policy-level cache
+tracks metadata only.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Callable
+
+from ..core.protocol import OK, ProxyRequest, ServerResponse
+from ..httpmodel.dates import format_http_date, parse_http_date
+from ..httpmodel.headers import Headers
+from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..httpmodel.piggy_codec import (
+    P_VOLUME_HEADER,
+    PIGGY_FILTER_HEADER,
+    PIGGY_REPORT_HEADER,
+    PiggyCodecError,
+    format_piggy_filter,
+    format_piggy_report,
+    parse_p_volume,
+)
+from ..proxy.proxy import ClientOutcome, PiggybackProxy, ProxyConfig
+from .netclient import HttpConnection
+
+__all__ = ["HttpUpstream", "PiggybackHttpProxy"]
+
+
+class HttpUpstream:
+    """Adapter: ProxyRequest -> real HTTP exchange -> ServerResponse.
+
+    Resolves each URL's host through *origins* (host -> (address, port)),
+    reuses persistent connections per origin, and records response bodies
+    in :attr:`bodies` so the wire proxy can serve them to clients.
+    """
+
+    def __init__(self, origins: dict[str, tuple[str, int]], clock: Callable[[], float] | None = None):
+        self.origins = origins
+        self.clock = clock or time.time
+        self.bodies: dict[str, bytes] = {}
+        self._connections: dict[str, HttpConnection] = {}
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        with self._lock:
+            for connection in self._connections.values():
+                connection.close()
+            self._connections.clear()
+
+    def _connection_for(self, host: str) -> HttpConnection:
+        origin = self.origins.get(host)
+        if origin is None:
+            raise KeyError(f"no origin registered for host {host!r}")
+        with self._lock:
+            connection = self._connections.get(host)
+            if connection is None:
+                connection = HttpConnection(*origin)
+                self._connections[host] = connection
+            return connection
+
+    def __call__(self, request: ProxyRequest) -> ServerResponse:
+        host, _, path = request.url.partition("/")
+        http_request = HttpRequest(method="GET", target="/" + path)
+        http_request.headers.set("Host", host)
+        if request.if_modified_since is not None:
+            http_request.headers.set(
+                "If-Modified-Since", format_http_date(request.if_modified_since)
+            )
+        filter_value = format_piggy_filter(request.piggyback_filter)
+        if filter_value is not None:
+            http_request.headers.set("TE", "chunked")
+            http_request.headers.set(PIGGY_FILTER_HEADER, filter_value)
+        report_value = format_piggy_report(request.cache_hit_report)
+        if report_value is not None:
+            http_request.headers.set(PIGGY_REPORT_HEADER, report_value)
+        http_request.headers.set("X-Proxy-Name", request.source)
+
+        http_response = self._connection_for(host).request(http_request)
+
+        last_modified = None
+        lm_header = http_response.headers.get("Last-Modified")
+        if lm_header is not None:
+            try:
+                last_modified = parse_http_date(lm_header)
+            except ValueError:
+                last_modified = None
+        piggyback = None
+        p_volume = http_response.trailers.get(P_VOLUME_HEADER)
+        if p_volume is not None:
+            try:
+                piggyback = parse_p_volume(p_volume)
+            except PiggyCodecError:
+                piggyback = None  # a broken trailer must never break the fetch
+        if http_response.status == OK:
+            self.bodies[request.url] = http_response.body
+        return ServerResponse(
+            url=request.url,
+            status=http_response.status,
+            timestamp=self.clock(),
+            last_modified=last_modified,
+            size=len(http_response.body),
+            piggyback=piggyback,
+        )
+
+
+class PiggybackHttpProxy:
+    """Threaded wire frontend for one :class:`PiggybackProxy`."""
+
+    def __init__(
+        self,
+        origins: dict[str, tuple[str, int]],
+        config: ProxyConfig = ProxyConfig(name="wire-proxy"),
+        address: str = "127.0.0.1",
+        port: int = 0,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.clock = clock or time.time
+        self.upstream = HttpUpstream(origins, clock=self.clock)
+        self.engine = PiggybackProxy(self.upstream, config=config)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((address, port))
+        self._listener.listen(32)
+        self.address, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._engine_lock = threading.Lock()
+
+    def start(self) -> tuple[str, int]:
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="piggyback-proxy", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address, self.port
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.upstream.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "PiggybackHttpProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(client,), daemon=True
+            ).start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        reader = client.makefile("rb")
+        try:
+            while True:
+                try:
+                    request = read_request(reader)
+                except EOFError:
+                    return
+                except HttpParseError:
+                    client.sendall(HttpResponse(status=400).serialize())
+                    return
+                client.sendall(self._respond(request).serialize())
+                if (request.headers.get("Connection") or "").lower() == "close":
+                    return
+        except (ConnectionError, BrokenPipeError, OSError):
+            return
+        finally:
+            try:
+                reader.close()
+                client.close()
+            except OSError:
+                pass
+
+    def _canonical_url(self, request: HttpRequest) -> str | None:
+        """Canonical host/path from an absolute-URI proxy request target."""
+        target = request.target
+        if target.lower().startswith("http://"):
+            target = target[len("http://"):]
+        elif target.startswith("/"):
+            host = request.headers.get("Host")
+            if host is None:
+                return None
+            target = host + target
+        return target.lower().rstrip("/") if "/" in target else target.lower()
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        if request.method.upper() != "GET":
+            return HttpResponse(status=501)
+        url = self._canonical_url(request)
+        if url is None:
+            return HttpResponse(status=400)
+        with self._engine_lock:
+            result = self.engine.handle_client_get(url, self.clock())
+        if result.outcome is ClientOutcome.FAILED:
+            return HttpResponse(status=404)
+        body = self.upstream.bodies.get(url, b"")
+        headers = Headers()
+        headers.set("Via", "1.1 repro-piggyback-proxy")
+        headers.set("X-Cache", result.outcome.value)
+        entry = self.engine.cache.entry(url)
+        if entry is not None:
+            headers.set("Last-Modified", format_http_date(entry.last_modified))
+        return HttpResponse(status=200, headers=headers, body=body)

@@ -1,0 +1,282 @@
+"""A real-socket HTTP/1.1 origin server speaking the piggyback extension.
+
+Wraps a :class:`~repro.server.server.PiggybackServer` behind a threaded
+TCP listener: requests carrying a ``Piggy-filter`` header get their
+response delivered with chunked transfer-coding and a ``P-volume`` trailer
+exactly as Section 2.3 describes; requests without the header get plain
+Content-Length responses, so legacy clients are unaffected.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Callable
+
+from ..core.protocol import ProxyRequest
+from ..httpmodel.dates import format_http_date, parse_http_date
+from ..httpmodel.headers import Headers
+from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..httpmodel.piggy_codec import (
+    P_VOLUME_HEADER,
+    PIGGY_FILTER_HEADER,
+    PIGGY_REPORT_HEADER,
+    PiggyCodecError,
+    format_p_volume,
+    parse_piggy_filter,
+    parse_piggy_report,
+)
+from ..server.server import PiggybackServer
+
+__all__ = ["PiggybackHttpServer", "PlainHttpServer", "synthetic_body"]
+
+
+def synthetic_body(url: str, size: int) -> bytes:
+    """Deterministic body bytes for a resource of the given size."""
+    if size <= 0:
+        return b""
+    seed = f"<!-- {url} -->".encode("ascii", errors="replace")
+    repeats = -(-size // max(len(seed), 1))
+    return (seed * repeats)[:size]
+
+
+class PiggybackHttpServer:
+    """Threaded wire frontend for one :class:`PiggybackServer`."""
+
+    def __init__(
+        self,
+        server: PiggybackServer,
+        site_host: str,
+        address: str = "127.0.0.1",
+        port: int = 0,
+        clock: Callable[[], float] | None = None,
+        access_logger=None,
+    ):
+        self.server = server
+        self.site_host = site_host
+        self.clock = clock or time.time
+        self.access_logger = access_logger
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((address, port))
+        self._listener.listen(32)
+        self.address, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Begin accepting connections; returns (address, port)."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"origin:{self.site_host}", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address, self.port
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "PiggybackHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            worker = threading.Thread(
+                target=self._serve_connection, args=(client,), daemon=True
+            )
+            worker.start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        reader = client.makefile("rb")
+        try:
+            while True:
+                try:
+                    request = read_request(reader)
+                except EOFError:
+                    return
+                except HttpParseError:
+                    client.sendall(HttpResponse(status=400).serialize())
+                    return
+                response = self._respond(request)
+                client.sendall(response.serialize())
+                if (request.headers.get("Connection") or "").lower() == "close":
+                    return
+        except (ConnectionError, BrokenPipeError, OSError):
+            return
+        finally:
+            try:
+                reader.close()
+                client.close()
+            except OSError:
+                pass
+
+    # -- request translation ----------------------------------------------
+
+    def _canonical_url(self, request: HttpRequest) -> str:
+        target = request.target
+        if target.lower().startswith("http://"):
+            target = target[len("http://"):]
+            _, _, path = target.partition("/")
+            target = "/" + path
+        host = request.headers.get("Host") or self.site_host
+        return f"{host.lower()}{target}".rstrip("/") if target != "/" else host.lower()
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        if request.method.upper() not in ("GET", "HEAD"):
+            return HttpResponse(status=501)
+
+        if_modified_since = None
+        ims_header = request.headers.get("If-Modified-Since")
+        if ims_header is not None:
+            try:
+                if_modified_since = parse_http_date(ims_header)
+            except ValueError:
+                if_modified_since = None
+
+        try:
+            piggy_filter = parse_piggy_filter(request.headers.get(PIGGY_FILTER_HEADER))
+        except PiggyCodecError:
+            # A malformed filter must never break the GET; serve it as if
+            # the proxy did not speak the extension at all.
+            piggy_filter = parse_piggy_filter(None)
+        try:
+            report = parse_piggy_report(request.headers.get(PIGGY_REPORT_HEADER))
+        except PiggyCodecError:
+            report = ()  # a malformed report must never break the GET
+        proxy_request = ProxyRequest(
+            url=self._canonical_url(request),
+            timestamp=self.clock(),
+            if_modified_since=if_modified_since,
+            piggyback_filter=piggy_filter,
+            source=request.headers.get("X-Proxy-Name") or "wire-proxy",
+            cache_hit_report=report,
+        )
+        result = self.server.handle(proxy_request)
+        if self.access_logger is not None:
+            self.access_logger.log(proxy_request, result)
+
+        headers = Headers()
+        headers.set("Server", "repro-piggyback/1.0")
+        if result.last_modified is not None:
+            headers.set("Last-Modified", format_http_date(result.last_modified))
+
+        body = b""
+        if result.is_ok and request.method.upper() == "GET":
+            body = synthetic_body(result.url, result.size)
+
+        trailers = Headers()
+        if result.piggyback is not None:
+            trailers.set(P_VOLUME_HEADER, format_p_volume(result.piggyback))
+        return HttpResponse(
+            status=result.status, headers=headers, body=body, trailers=trailers
+        )
+
+
+class PlainHttpServer:
+    """A legacy origin: plain HTTP/1.1, no piggyback support whatsoever.
+
+    Serves a static mapping of paths to (body, last_modified) pairs.  Used
+    to demonstrate the transparent volume center, which adds piggybacks on
+    behalf of servers exactly like this one.
+    """
+
+    def __init__(
+        self,
+        resources: dict[str, tuple[bytes, float]],
+        address: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.resources = resources
+        self.requests_served = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((address, port))
+        self._listener.listen(16)
+        self.address, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    def start(self) -> tuple[str, int]:
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="legacy-origin", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address, self.port
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "PlainHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(client,), daemon=True
+            ).start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        reader = client.makefile("rb")
+        try:
+            while True:
+                try:
+                    request = read_request(reader)
+                except EOFError:
+                    return
+                except HttpParseError:
+                    client.sendall(HttpResponse(status=400).serialize())
+                    return
+                entry = self.resources.get(request.target)
+                if entry is None:
+                    response = HttpResponse(status=404)
+                else:
+                    body, last_modified = entry
+                    response = HttpResponse(status=200, body=body)
+                    response.headers.set("Last-Modified", format_http_date(last_modified))
+                    response.headers.set("Server", "legacy/0.9")
+                self.requests_served += 1
+                client.sendall(response.serialize())
+                if (request.headers.get("Connection") or "").lower() == "close":
+                    return
+        except (ConnectionError, BrokenPipeError, OSError):
+            return
+        finally:
+            try:
+                reader.close()
+                client.close()
+            except OSError:
+                pass

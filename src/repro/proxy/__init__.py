@@ -1,0 +1,53 @@
+"""Proxy-side components: cache, replacement, coherency, prefetch, proxy."""
+
+from .cache import CacheEntry, CacheOutcome, CacheStats, ProxyCache
+from .replacement import (
+    GreedyDualSizePolicy,
+    LruPolicy,
+    PiggybackAwareLruPolicy,
+    ReplacementPolicy,
+    SizePolicy,
+)
+from .coherency import CoherencyManager, CoherencyOutcome, CoherencyStats
+from .prefetch import PrefetchEngine, PrefetchPolicy, PrefetchStats
+from .freshness import AdaptiveFreshness, FreshnessConfig
+from .fetch_queue import (
+    InformedFetchQueue,
+    QueuedFetch,
+    simulate_fcfs_latency,
+    simulate_sjf_latency,
+)
+from .proxy import ClientOutcome, ClientResult, PiggybackProxy, ProxyConfig, ProxyStats
+from .hierarchy import HierarchyStats, ParentProxyUpstream, build_chain
+
+__all__ = [
+    "ProxyCache",
+    "CacheEntry",
+    "CacheOutcome",
+    "CacheStats",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "SizePolicy",
+    "GreedyDualSizePolicy",
+    "PiggybackAwareLruPolicy",
+    "CoherencyManager",
+    "CoherencyOutcome",
+    "CoherencyStats",
+    "PrefetchEngine",
+    "PrefetchPolicy",
+    "PrefetchStats",
+    "AdaptiveFreshness",
+    "FreshnessConfig",
+    "InformedFetchQueue",
+    "QueuedFetch",
+    "simulate_fcfs_latency",
+    "simulate_sjf_latency",
+    "ClientOutcome",
+    "ClientResult",
+    "PiggybackProxy",
+    "ProxyConfig",
+    "ProxyStats",
+    "HierarchyStats",
+    "ParentProxyUpstream",
+    "build_chain",
+]

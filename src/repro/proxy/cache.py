@@ -1,0 +1,190 @@
+"""Proxy cache with freshness intervals (Sections 1 and 2.1).
+
+The cache stores, per resource, the Last-Modified time of the cached copy
+(its version at the server) and an expiration time: fetched or validated
+copies are considered fresh for Δ seconds (the *freshness interval*), after
+which the next client request triggers an If-Modified-Since GET.  Capacity
+is byte-bounded; evictions are delegated to a replacement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .replacement import LruPolicy, ReplacementPolicy
+
+__all__ = ["CacheEntry", "CacheOutcome", "CacheStats", "ProxyCache"]
+
+
+class CacheOutcome(Enum):
+    """Result of a cache probe for a client request."""
+
+    HIT_FRESH = "hit-fresh"
+    HIT_EXPIRED = "hit-expired"
+    MISS = "miss"
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached resource's bookkeeping."""
+
+    url: str
+    size: int
+    last_modified: float
+    expires: float
+    fetched_at: float
+    last_access: float
+    last_piggyback: float | None = None
+
+    def is_fresh(self, now: float) -> bool:
+        return now < self.expires
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Aggregate cache counters."""
+
+    probes: int = 0
+    fresh_hits: int = 0
+    expired_hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    piggyback_freshenings: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.probes == 0:
+            return 0.0
+        return (self.fresh_hits + self.expired_hits) / self.probes
+
+    @property
+    def fresh_hit_rate(self) -> float:
+        if self.probes == 0:
+            return 0.0
+        return self.fresh_hits / self.probes
+
+
+class ProxyCache:
+    """Byte-bounded cache with pluggable replacement and freshness Δ."""
+
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        freshness_interval: float = 3600.0,
+        policy: ReplacementPolicy | None = None,
+    ):
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+        if freshness_interval <= 0:
+            raise ValueError("freshness_interval must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.freshness_interval = freshness_interval
+        self.policy = policy or LruPolicy()
+        self.stats = CacheStats()
+        self._entries: dict[str, CacheEntry] = {}
+        self._used_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def entry(self, url: str) -> CacheEntry | None:
+        return self._entries.get(url)
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    def probe(self, url: str, now: float) -> CacheOutcome:
+        """Classify a client request against the cache and update stats."""
+        self.stats.probes += 1
+        entry = self._entries.get(url)
+        if entry is None:
+            self.stats.misses += 1
+            return CacheOutcome.MISS
+        entry.last_access = now
+        self.policy.on_access(entry, now)
+        if entry.is_fresh(now):
+            self.stats.fresh_hits += 1
+            return CacheOutcome.HIT_FRESH
+        self.stats.expired_hits += 1
+        return CacheOutcome.HIT_EXPIRED
+
+    def put(
+        self,
+        url: str,
+        size: int,
+        last_modified: float,
+        now: float,
+        freshness_interval: float | None = None,
+    ) -> CacheEntry | None:
+        """Insert or replace a resource; returns None if it cannot fit."""
+        delta = freshness_interval if freshness_interval is not None else self.freshness_interval
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            return None  # the object alone exceeds the whole cache
+        existing = self._entries.get(url)
+        if existing is not None:
+            self._used_bytes -= existing.size
+        entry = CacheEntry(
+            url=url,
+            size=size,
+            last_modified=last_modified,
+            expires=now + delta,
+            fetched_at=now,
+            last_access=now,
+        )
+        self._entries[url] = entry
+        self._used_bytes += size
+        self.stats.insertions += 1
+        self.policy.on_insert(entry, now)
+        self._evict_to_capacity(protect=url)
+        return entry
+
+    def _evict_to_capacity(self, protect: str | None = None) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self._used_bytes > self.capacity_bytes and len(self._entries) > 1:
+            victim_url = self.policy.choose_victim(self._entries, protect=protect)
+            if victim_url is None:
+                break
+            self._remove(victim_url)
+            self.stats.evictions += 1
+
+    def _remove(self, url: str) -> None:
+        entry = self._entries.pop(url, None)
+        if entry is not None:
+            self._used_bytes -= entry.size
+            self.policy.on_remove(entry)
+
+    def validate(self, url: str, now: float, freshness_interval: float | None = None) -> None:
+        """Refresh the expiration after a Not-Modified validation."""
+        entry = self._entries.get(url)
+        if entry is None:
+            return
+        delta = freshness_interval if freshness_interval is not None else self.freshness_interval
+        entry.expires = now + delta
+
+    def freshen_from_piggyback(self, url: str, now: float) -> None:
+        """Extend freshness after a piggyback confirms the copy is current."""
+        entry = self._entries.get(url)
+        if entry is None:
+            return
+        entry.expires = now + self.freshness_interval
+        entry.last_piggyback = now
+        self.stats.piggyback_freshenings += 1
+
+    def invalidate(self, url: str) -> bool:
+        """Drop a stale copy reported by a piggyback; True if present."""
+        if url in self._entries:
+            self._remove(url)
+            self.stats.invalidations += 1
+            return True
+        return False

@@ -1,0 +1,88 @@
+"""Piggyback-driven cache coherency (Sections 2.1 and 4).
+
+When a piggyback message arrives, the proxy walks its elements: a cached
+copy whose Last-Modified matches the server's is *freshened* (its
+expiration is pushed out, avoiding a future If-Modified-Since round trip);
+a cached copy older than the server's is *stale* — it is invalidated and
+becomes a prefetch candidate.  Elements not in the cache at all are
+reported as prefetch candidates too; the caller decides what to fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.piggyback import PiggybackElement, PiggybackMessage
+from .cache import ProxyCache
+
+__all__ = ["CoherencyStats", "CoherencyOutcome", "CoherencyManager"]
+
+
+@dataclass(slots=True)
+class CoherencyStats:
+    """Lifetime counters for piggyback processing."""
+
+    messages: int = 0
+    elements: int = 0
+    freshened: int = 0
+    invalidated: int = 0
+    uncached: int = 0
+
+    @property
+    def useful_fraction(self) -> float:
+        """Fraction of elements that acted on a cached copy."""
+        if self.elements == 0:
+            return 0.0
+        return (self.freshened + self.invalidated) / self.elements
+
+
+@dataclass(frozen=True, slots=True)
+class CoherencyOutcome:
+    """What one piggyback message did to the cache."""
+
+    freshened: tuple[str, ...] = field(default=())
+    invalidated: tuple[PiggybackElement, ...] = field(default=())
+    uncached: tuple[PiggybackElement, ...] = field(default=())
+
+    @property
+    def was_useful(self) -> bool:
+        return bool(self.freshened or self.invalidated)
+
+    def prefetch_candidates(self) -> tuple[PiggybackElement, ...]:
+        """Stale and uncached elements, in message order."""
+        return self.invalidated + self.uncached
+
+
+class CoherencyManager:
+    """Apply piggyback messages to a proxy cache."""
+
+    def __init__(self) -> None:
+        self.stats = CoherencyStats()
+
+    def process(
+        self, cache: ProxyCache, message: PiggybackMessage, now: float
+    ) -> CoherencyOutcome:
+        """Freshen/invalidate cached copies named by *message*."""
+        self.stats.messages += 1
+        freshened: list[str] = []
+        invalidated: list[PiggybackElement] = []
+        uncached: list[PiggybackElement] = []
+        for element in message:
+            self.stats.elements += 1
+            entry = cache.entry(element.url)
+            if entry is None:
+                uncached.append(element)
+                self.stats.uncached += 1
+            elif entry.last_modified >= element.last_modified:
+                cache.freshen_from_piggyback(element.url, now)
+                freshened.append(element.url)
+                self.stats.freshened += 1
+            else:
+                cache.invalidate(element.url)
+                invalidated.append(element)
+                self.stats.invalidated += 1
+        return CoherencyOutcome(
+            freshened=tuple(freshened),
+            invalidated=tuple(invalidated),
+            uncached=tuple(uncached),
+        )

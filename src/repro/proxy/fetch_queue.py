@@ -1,0 +1,109 @@
+"""Informed fetching (Section 4, "Informed fetching").
+
+Piggybacks tell the proxy the *sizes* of resources likely to be requested
+soon.  When bandwidth is scarce and several fetches are outstanding, the
+proxy schedules shortest-first: users asking for small files are served
+quickly, large transfers wait a little longer, and mean per-user latency
+drops.  :class:`InformedFetchQueue` keeps the piggybacked meta-attributes
+and orders the outstanding-fetch queue by expected size.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from ..core.piggyback import PiggybackMessage
+
+__all__ = ["QueuedFetch", "InformedFetchQueue", "simulate_fcfs_latency", "simulate_sjf_latency"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueuedFetch:
+    """An outstanding fetch with its expected size."""
+
+    url: str
+    expected_size: int
+    enqueued_at: float
+
+
+class InformedFetchQueue:
+    """Size-prioritized queue of outstanding fetches.
+
+    Sizes come from remembered piggyback meta-attributes; unknown resources
+    are assumed large (``default_size``) so known-small fetches jump ahead.
+    """
+
+    def __init__(self, default_size: int = 1 << 20, metadata_capacity: int = 100_000):
+        if default_size < 0:
+            raise ValueError("default_size must be non-negative")
+        if metadata_capacity < 1:
+            raise ValueError("metadata_capacity must be >= 1")
+        self.default_size = default_size
+        self.metadata_capacity = metadata_capacity
+        self._sizes: dict[str, int] = {}
+        self._heap: list[tuple[int, int, QueuedFetch]] = []
+        self._tiebreak = itertools.count()
+        self._queued: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def remember(self, message: PiggybackMessage) -> None:
+        """Store sizes from a piggyback message for later scheduling."""
+        for element in message:
+            if len(self._sizes) >= self.metadata_capacity and element.url not in self._sizes:
+                continue
+            self._sizes[element.url] = element.size
+
+    def expected_size(self, url: str) -> int:
+        return self._sizes.get(url, self.default_size)
+
+    def enqueue(self, url: str, now: float) -> QueuedFetch:
+        """Add a fetch; duplicates of an already queued URL are coalesced."""
+        fetch = QueuedFetch(url=url, expected_size=self.expected_size(url), enqueued_at=now)
+        if url not in self._queued:
+            heapq.heappush(self._heap, (fetch.expected_size, next(self._tiebreak), fetch))
+            self._queued.add(url)
+        return fetch
+
+    def pop(self) -> QueuedFetch | None:
+        """Remove and return the smallest expected fetch."""
+        if not self._heap:
+            return None
+        _, _, fetch = heapq.heappop(self._heap)
+        self._queued.discard(fetch.url)
+        return fetch
+
+    def drain(self) -> list[QueuedFetch]:
+        """Pop everything, in schedule order."""
+        order = []
+        while self._heap:
+            popped = self.pop()
+            if popped is not None:
+                order.append(popped)
+        return order
+
+
+def simulate_fcfs_latency(sizes: list[int], bandwidth: float) -> float:
+    """Mean completion time serving *sizes* first-come-first-served."""
+    return _mean_completion(sizes, bandwidth)
+
+
+def simulate_sjf_latency(sizes: list[int], bandwidth: float) -> float:
+    """Mean completion time serving shortest-job-first (informed fetching)."""
+    return _mean_completion(sorted(sizes), bandwidth)
+
+
+def _mean_completion(sizes: list[int], bandwidth: float) -> float:
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if not sizes:
+        return 0.0
+    clock = 0.0
+    total = 0.0
+    for size in sizes:
+        clock += size / bandwidth
+        total += clock
+    return total / len(sizes)

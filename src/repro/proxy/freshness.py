@@ -1,0 +1,87 @@
+"""Adaptive freshness intervals (Section 4, "Adaptive freshness interval").
+
+Piggyback elements carry Last-Modified times even for resources the proxy
+has never cached.  By recording successive Last-Modified observations the
+proxy estimates each resource's change interval and picks a per-resource Δ
+— a fraction of the estimated interval, clamped to sane bounds — balancing
+validation cost against staleness risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.piggyback import PiggybackMessage
+
+__all__ = ["FreshnessConfig", "AdaptiveFreshness"]
+
+
+@dataclass(frozen=True, slots=True)
+class FreshnessConfig:
+    """Bounds and aggressiveness of the adaptive Δ estimator."""
+
+    default_interval: float = 3600.0
+    min_interval: float = 60.0
+    max_interval: float = 7.0 * 86400.0
+    fraction_of_change_interval: float = 0.5
+    ewma_weight: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_interval <= self.default_interval <= self.max_interval:
+            raise ValueError("need 0 < min_interval <= default_interval <= max_interval")
+        if not 0.0 < self.fraction_of_change_interval <= 1.0:
+            raise ValueError("fraction_of_change_interval must be in (0, 1]")
+        if not 0.0 < self.ewma_weight <= 1.0:
+            raise ValueError("ewma_weight must be in (0, 1]")
+
+
+class AdaptiveFreshness:
+    """Per-resource Δ selection from observed Last-Modified times."""
+
+    def __init__(self, config: FreshnessConfig = FreshnessConfig()):
+        self.config = config
+        self._last_mtime: dict[str, float] = {}
+        self._change_interval: dict[str, float] = {}
+
+    def observe(self, url: str, last_modified: float) -> None:
+        """Record a Last-Modified observation for *url*.
+
+        A higher value than previously seen means the resource changed; the
+        gap feeds an EWMA estimate of its change interval.
+        """
+        previous = self._last_mtime.get(url)
+        if previous is not None and last_modified > previous:
+            gap = last_modified - previous
+            current = self._change_interval.get(url)
+            if current is None:
+                self._change_interval[url] = gap
+            else:
+                weight = self.config.ewma_weight
+                self._change_interval[url] = weight * gap + (1 - weight) * current
+        if previous is None or last_modified > previous:
+            self._last_mtime[url] = last_modified
+
+    def observe_message(self, message: PiggybackMessage) -> None:
+        """Feed every element of a piggyback message into the estimator."""
+        for element in message:
+            self.observe(element.url, element.last_modified)
+
+    def estimated_change_interval(self, url: str) -> float | None:
+        return self._change_interval.get(url)
+
+    def freshness_interval(self, url: str) -> float:
+        """The Δ to assign when caching *url*."""
+        interval = self._change_interval.get(url)
+        if interval is None:
+            return self.config.default_interval
+        delta = interval * self.config.fraction_of_change_interval
+        return min(self.config.max_interval, max(self.config.min_interval, delta))
+
+    def should_cache(self, url: str, min_change_interval: float = 300.0) -> bool:
+        """False for resources that change faster than *min_change_interval*.
+
+        A proxy serving always-fresh content (the paper's stock-quote
+        example) can decline to cache rapidly changing resources entirely.
+        """
+        interval = self._change_interval.get(url)
+        return interval is None or interval >= min_change_interval

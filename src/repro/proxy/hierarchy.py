@@ -1,0 +1,94 @@
+"""Two-level cache hierarchies (Section 1: "our techniques are applicable
+to the general case of hierarchical caching").
+
+A child proxy treats a parent :class:`~repro.proxy.proxy.PiggybackProxy`
+as its upstream: :class:`ParentProxyUpstream` adapts the parent's
+client-facing interface to the upstream callable contract.  Piggyback
+messages the parent received from origin servers are re-filtered with the
+child's own filter and forwarded, so hints propagate down the hierarchy;
+requests the parent satisfies from its cache naturally carry no piggyback
+(hierarchical pacing for free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.protocol import NOT_FOUND, NOT_MODIFIED, OK, ProxyRequest, ServerResponse
+from .proxy import ClientOutcome, PiggybackProxy
+
+__all__ = ["HierarchyStats", "ParentProxyUpstream", "build_chain"]
+
+
+@dataclass(slots=True)
+class HierarchyStats:
+    """What crossed the parent-child boundary."""
+
+    requests: int = 0
+    served_from_parent_cache: int = 0
+    validated_at_parent: int = 0
+    piggybacks_forwarded: int = 0
+    piggybacks_refiltered_away: int = 0
+
+
+class ParentProxyUpstream:
+    """Adapt a parent proxy into an upstream for a child proxy."""
+
+    def __init__(self, parent: PiggybackProxy):
+        self.parent = parent
+        self.stats = HierarchyStats()
+
+    def __call__(self, request: ProxyRequest) -> ServerResponse:
+        self.stats.requests += 1
+        result = self.parent.handle_client_get(request.url, request.timestamp)
+        entry = self.parent.cache.entry(request.url)
+        if result.outcome is ClientOutcome.FAILED or entry is None:
+            return ServerResponse(
+                url=request.url, status=NOT_FOUND, timestamp=request.timestamp
+            )
+        if result.outcome is ClientOutcome.CACHE_FRESH:
+            self.stats.served_from_parent_cache += 1
+
+        piggyback = None
+        if result.piggyback is not None and request.piggyback_filter.enabled:
+            piggyback = request.piggyback_filter.apply_to_message(
+                result.piggyback, request.url
+            )
+            if piggyback is not None:
+                self.stats.piggybacks_forwarded += 1
+            else:
+                self.stats.piggybacks_refiltered_away += 1
+
+        last_modified = entry.last_modified
+        if (
+            request.if_modified_since is not None
+            and request.if_modified_since >= last_modified
+        ):
+            self.stats.validated_at_parent += 1
+            return ServerResponse(
+                url=request.url,
+                status=NOT_MODIFIED,
+                timestamp=request.timestamp,
+                last_modified=last_modified,
+                piggyback=piggyback,
+            )
+        return ServerResponse(
+            url=request.url,
+            status=OK,
+            timestamp=request.timestamp,
+            last_modified=last_modified,
+            size=entry.size,
+            piggyback=piggyback,
+        )
+
+
+def build_chain(origin_upstream, parent_config, child_config):
+    """Wire origin -> parent proxy -> child proxy.
+
+    Returns ``(child, parent, boundary)`` where *boundary* is the
+    :class:`ParentProxyUpstream` between the two proxies.
+    """
+    parent = PiggybackProxy(origin_upstream, config=parent_config)
+    boundary = ParentProxyUpstream(parent)
+    child = PiggybackProxy(boundary, config=child_config)
+    return child, parent, boundary

@@ -1,0 +1,277 @@
+"""The piggybacking proxy (Section 2.1, proxy side).
+
+Ties the proxy-side machinery together: the cache with freshness
+intervals, per-server RPV lists, piggyback pacing, coherency processing,
+prefetching, adaptive freshness, and informed-fetch metadata.  The proxy
+is transport-neutral — it talks to any *upstream* callable mapping a
+:class:`~repro.core.protocol.ProxyRequest` to a
+:class:`~repro.core.protocol.ServerResponse`, which may be an in-process
+:class:`~repro.server.server.PiggybackServer`, a volume center, or the
+real-socket client in :mod:`repro.httpwire`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .. import urls
+from ..core.filters import ProxyFilter
+from ..core.frequency import AlwaysEnable, PacingPolicy
+from ..core.piggyback import PiggybackMessage
+from ..core.protocol import ProxyRequest, ServerResponse
+from ..core.rpv import RpvTable
+from .cache import CacheOutcome, ProxyCache
+from .replacement import ReplacementPolicy
+from .coherency import CoherencyManager
+from .fetch_queue import InformedFetchQueue
+from .freshness import AdaptiveFreshness
+from .prefetch import PrefetchEngine, PrefetchPolicy
+
+__all__ = ["ClientOutcome", "ClientResult", "ProxyConfig", "ProxyStats", "PiggybackProxy"]
+
+Upstream = Callable[[ProxyRequest], ServerResponse]
+
+
+class ClientOutcome(Enum):
+    """How a client request was ultimately satisfied."""
+
+    CACHE_FRESH = "cache-fresh"
+    VALIDATED = "validated"
+    FETCHED = "fetched"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class ClientResult:
+    """What happened for one client GET.
+
+    ``piggyback`` is the message that rode on the server response (None on
+    cache hits); a parent proxy in a hierarchy forwards it to its child.
+    """
+
+    url: str
+    outcome: ClientOutcome
+    served_from_prefetch: bool = False
+    piggyback_elements: int = 0
+    bytes_from_server: int = 0
+    piggyback: PiggybackMessage | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyConfig:
+    """Proxy-wide policy knobs."""
+
+    name: str = "proxy"
+    freshness_interval: float = 3600.0
+    cache_capacity_bytes: int | None = None
+    max_piggyback_elements: int | None = 10
+    rpv_timeout: float = 30.0
+    rpv_max_entries: int = 32
+    probability_threshold: float = 0.0
+    max_piggyback_resource_size: int | None = None
+    excluded_content_types: frozenset[str] = field(default_factory=frozenset)
+    adaptive_freshness: bool = False
+    prefetch: PrefetchPolicy = PrefetchPolicy(enabled=False)
+    # Section-5 extension: report cache-satisfied accesses back to the
+    # server on the next contact, so its volumes see the hidden demand.
+    report_cache_hits: bool = False
+    max_report_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.freshness_interval <= 0:
+            raise ValueError("freshness_interval must be positive")
+        # Section 2.2: keeping a volume in an RPV list longer than Δ would
+        # preclude the server from ever refreshing its resources.
+        if self.rpv_timeout > self.freshness_interval:
+            raise ValueError(
+                "rpv_timeout must not exceed freshness_interval "
+                f"({self.rpv_timeout} > {self.freshness_interval})"
+            )
+
+
+@dataclass(slots=True)
+class ProxyStats:
+    """Aggregate proxy counters beyond what subcomponents keep."""
+
+    client_requests: int = 0
+    server_requests: int = 0
+    prefetch_requests: int = 0
+    piggybacks_received: int = 0
+    piggyback_elements_received: int = 0
+    piggyback_bytes_received: int = 0
+
+    @property
+    def server_contact_rate(self) -> float:
+        if self.client_requests == 0:
+            return 0.0
+        return self.server_requests / self.client_requests
+
+
+class PiggybackProxy:
+    """A caching proxy that speaks the piggybacking protocol."""
+
+    def __init__(
+        self,
+        upstream: Upstream,
+        config: ProxyConfig = ProxyConfig(),
+        pacing: PacingPolicy | None = None,
+        replacement: ReplacementPolicy | None = None,
+    ):
+        self.upstream = upstream
+        self.config = config
+        self.cache = ProxyCache(
+            capacity_bytes=config.cache_capacity_bytes,
+            freshness_interval=config.freshness_interval,
+            policy=replacement,
+        )
+        self.rpv = RpvTable(timeout=config.rpv_timeout, max_entries=config.rpv_max_entries)
+        self.pacing = pacing or AlwaysEnable()
+        self.coherency = CoherencyManager()
+        self.prefetcher = PrefetchEngine(policy=config.prefetch)
+        self.freshness = AdaptiveFreshness()
+        self.fetch_queue = InformedFetchQueue()
+        self.stats = ProxyStats()
+        self._pending_hit_reports: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def handle_client_get(self, url: str, now: float) -> ClientResult:
+        """Serve one client GET, contacting the server only when needed."""
+        self.stats.client_requests += 1
+        from_prefetch = self.prefetcher.on_client_request(url, now)
+        outcome = self.cache.probe(url, now)
+
+        if outcome is CacheOutcome.HIT_FRESH:
+            if self.config.report_cache_hits:
+                server, _ = urls.split_host_path(url)
+                report = self._pending_hit_reports.setdefault(server, {})
+                report[url] = report.get(url, 0) + 1
+            return ClientResult(
+                url=url,
+                outcome=ClientOutcome.CACHE_FRESH,
+                served_from_prefetch=from_prefetch,
+            )
+
+        if_modified_since = None
+        if outcome is CacheOutcome.HIT_EXPIRED:
+            entry = self.cache.entry(url)
+            if entry is not None:
+                if_modified_since = entry.last_modified
+
+        response = self._contact_server(url, now, if_modified_since)
+        piggyback_elements = response.piggyback_element_count
+        self._absorb_response(response, now)
+
+        if response.is_not_modified:
+            return ClientResult(
+                url=url,
+                outcome=ClientOutcome.VALIDATED,
+                served_from_prefetch=from_prefetch,
+                piggyback_elements=piggyback_elements,
+                piggyback=response.piggyback,
+            )
+        if response.is_ok:
+            return ClientResult(
+                url=url,
+                outcome=ClientOutcome.FETCHED,
+                served_from_prefetch=from_prefetch,
+                piggyback_elements=piggyback_elements,
+                bytes_from_server=response.size,
+                piggyback=response.piggyback,
+            )
+        return ClientResult(url=url, outcome=ClientOutcome.FAILED)
+
+    # ------------------------------------------------------------------
+
+    def _build_filter(self, server: str, now: float) -> ProxyFilter:
+        if not self.pacing.should_enable(server, now):
+            return ProxyFilter.disabled()
+        return ProxyFilter(
+            enabled=True,
+            max_elements=self.config.max_piggyback_elements,
+            recently_piggybacked=self.rpv.active_ids(server, now),
+            probability_threshold=self.config.probability_threshold,
+            max_resource_size=self.config.max_piggyback_resource_size,
+            excluded_content_types=self.config.excluded_content_types,
+        )
+
+    def _take_hit_report(self, server: str) -> tuple[tuple[str, int], ...]:
+        if not self.config.report_cache_hits:
+            return ()
+        pending = self._pending_hit_reports.pop(server, None)
+        if not pending:
+            return ()
+        entries = sorted(pending.items(), key=lambda item: -item[1])
+        return tuple(entries[: self.config.max_report_entries])
+
+    def _contact_server(
+        self, url: str, now: float, if_modified_since: float | None
+    ) -> ServerResponse:
+        server, _ = urls.split_host_path(url)
+        request = ProxyRequest(
+            url=url,
+            timestamp=now,
+            if_modified_since=if_modified_since,
+            piggyback_filter=self._build_filter(server, now),
+            source=self.config.name,
+            cache_hit_report=self._take_hit_report(server),
+        )
+        self.stats.server_requests += 1
+        return self.upstream(request)
+
+    def _delta_for(self, url: str) -> float | None:
+        if self.config.adaptive_freshness:
+            return self.freshness.freshness_interval(url)
+        return None
+
+    def _absorb_response(self, response: ServerResponse, now: float) -> None:
+        """Update cache and piggyback machinery from a server response."""
+        if response.is_ok:
+            self.cache.put(
+                response.url,
+                size=response.size,
+                last_modified=response.last_modified or 0.0,
+                now=now,
+                freshness_interval=self._delta_for(response.url),
+            )
+            if response.last_modified is not None:
+                self.freshness.observe(response.url, response.last_modified)
+        elif response.is_not_modified:
+            self.cache.validate(response.url, now, self._delta_for(response.url))
+
+        if response.piggyback is None:
+            return
+        server, _ = urls.split_host_path(response.url)
+        message = response.piggyback
+        self.stats.piggybacks_received += 1
+        self.stats.piggyback_elements_received += len(message)
+        self.stats.piggyback_bytes_received += message.wire_bytes()
+        self.rpv.record(server, message.volume_id, now)
+        self.fetch_queue.remember(message)
+        if self.config.adaptive_freshness:
+            self.freshness.observe_message(message)
+        outcome = self.coherency.process(self.cache, message, now)
+        self.pacing.observe_piggyback(server, now, useful=outcome.was_useful)
+        for element in self.prefetcher.consider(outcome.prefetch_candidates(), now):
+            self._prefetch(element.url, now)
+
+    def _prefetch(self, url: str, now: float) -> None:
+        """Fetch a predicted resource ahead of demand (no nested piggyback)."""
+        request = ProxyRequest(
+            url=url,
+            timestamp=now,
+            piggyback_filter=ProxyFilter.disabled(),
+            source=self.config.name,
+        )
+        self.stats.prefetch_requests += 1
+        response = self.upstream(request)
+        if response.is_ok:
+            self.cache.put(
+                url,
+                size=response.size,
+                last_modified=response.last_modified or 0.0,
+                now=now,
+                freshness_interval=self._delta_for(url),
+            )

@@ -1,0 +1,138 @@
+"""Cache replacement policies (Section 4, "Cache replacement").
+
+Beyond classic LRU, the paper motivates size-aware policies (citing
+GD-Size [5]) and a piggyback-aware variant: keep resources that recent
+piggyback messages confirmed as current, since the server effectively just
+told us they are both alive and fresh.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .cache import CacheEntry
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "SizePolicy",
+    "GreedyDualSizePolicy",
+    "PiggybackAwareLruPolicy",
+]
+
+
+class ReplacementPolicy:
+    """Interface: observe cache events and pick eviction victims."""
+
+    def on_insert(self, entry: "CacheEntry", now: float) -> None:
+        """Hook: *entry* entered the cache."""
+
+    def on_access(self, entry: "CacheEntry", now: float) -> None:
+        """Hook: *entry* was hit by a client request."""
+
+    def on_remove(self, entry: "CacheEntry") -> None:
+        """Hook: *entry* left the cache."""
+
+    def choose_victim(
+        self, entries: dict[str, "CacheEntry"], protect: str | None = None
+    ) -> str | None:
+        """Pick the URL to evict, never *protect*; None if no candidate."""
+        raise NotImplementedError
+
+
+def _candidates(entries: dict[str, "CacheEntry"], protect: str | None):
+    return (e for url, e in entries.items() if url != protect)
+
+
+class LruPolicy(ReplacementPolicy):
+    """Evict the least recently used entry."""
+
+    def choose_victim(self, entries, protect=None):
+        victim = min(
+            _candidates(entries, protect),
+            key=lambda e: e.last_access,
+            default=None,
+        )
+        return victim.url if victim is not None else None
+
+
+class SizePolicy(ReplacementPolicy):
+    """Evict the largest entry (SIZE policy of [6])."""
+
+    def choose_victim(self, entries, protect=None):
+        victim = max(
+            _candidates(entries, protect),
+            key=lambda e: (e.size, -e.last_access),
+            default=None,
+        )
+        return victim.url if victim is not None else None
+
+
+class GreedyDualSizePolicy(ReplacementPolicy):
+    """GD-Size [5]: evict the smallest ``H = L + cost/size`` value.
+
+    With unit cost this favours evicting large, long-unused objects while
+    the inflation value ``L`` ages everything uniformly.
+    """
+
+    def __init__(self, cost: float = 1.0):
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        self.cost = cost
+        self._inflation = 0.0
+        self._h_values: dict[str, float] = {}
+
+    def _credit(self, entry: "CacheEntry") -> None:
+        self._h_values[entry.url] = self._inflation + self.cost / max(entry.size, 1)
+
+    def on_insert(self, entry, now):
+        self._credit(entry)
+
+    def on_access(self, entry, now):
+        self._credit(entry)
+
+    def on_remove(self, entry):
+        self._h_values.pop(entry.url, None)
+
+    def choose_victim(self, entries, protect=None):
+        victim = min(
+            _candidates(entries, protect),
+            key=lambda e: self._h_values.get(e.url, self._inflation),
+            default=None,
+        )
+        if victim is None:
+            return None
+        self._inflation = self._h_values.get(victim.url, self._inflation)
+        return victim.url
+
+
+class PiggybackAwareLruPolicy(ReplacementPolicy):
+    """LRU where a piggyback confirmation counts as a (discounted) touch.
+
+    The server's piggyback just said the entry is alive and current —
+    evidence of continued relevance.  Each entry's effective recency is
+    ``max(last_access, last_piggyback - discount)``; eviction takes the
+    minimum.  Because a confirmation can only *raise* recency, the policy
+    never evicts a recently used entry in favour of an unconfirmed one —
+    the failure mode of naive "protect confirmed entries" schemes.
+    """
+
+    def __init__(self, confirmation_discount: float = 0.0):
+        if confirmation_discount < 0:
+            raise ValueError("confirmation_discount must be non-negative")
+        self.confirmation_discount = confirmation_discount
+
+    def _effective_recency(self, entry: "CacheEntry") -> float:
+        recency = entry.last_access
+        if entry.last_piggyback is not None:
+            recency = max(recency, entry.last_piggyback - self.confirmation_discount)
+        return recency
+
+    def choose_victim(self, entries, protect=None):
+        victim = min(
+            _candidates(entries, protect),
+            key=self._effective_recency,
+            default=None,
+        )
+        return victim.url if victim is not None else None

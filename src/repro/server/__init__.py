@@ -1,0 +1,16 @@
+"""Server-side components: resources, the piggyback server, volume center."""
+
+from .accesslog import AccessLogger
+from .resources import ResourceRecord, ResourceStore
+from .server import PiggybackServer, ServerStats
+from .volume_center import TransparentVolumeCenter, VolumeCenterStats
+
+__all__ = [
+    "AccessLogger",
+    "ResourceRecord",
+    "ResourceStore",
+    "PiggybackServer",
+    "ServerStats",
+    "TransparentVolumeCenter",
+    "VolumeCenterStats",
+]

@@ -1,0 +1,65 @@
+"""Server-side access logging in Common Log Format.
+
+Ties the serving path back to the analysis substrate: a
+:class:`PiggybackServer` (or its wire frontend) can append one CLF line
+per exchange, producing files that :func:`repro.traces.read_log` parses —
+so a running deployment feeds the same volume-construction pipeline the
+paper ran on the AIUSA/Apache/Marimba/Sun logs.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import IO
+
+from ..core.protocol import ProxyRequest, ServerResponse
+from ..traces.common_log import format_record
+from ..traces.records import LogRecord
+
+__all__ = ["AccessLogger"]
+
+
+class AccessLogger:
+    """Append-only CLF access logger, safe to share across threads."""
+
+    def __init__(self, destination: str | Path | IO[str]):
+        if isinstance(destination, (str, Path)):
+            self._handle: IO[str] = open(destination, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self._lock = threading.Lock()
+        self.lines_written = 0
+
+    def log(self, request: ProxyRequest, response: ServerResponse) -> None:
+        """Record one request/response exchange."""
+        record = LogRecord(
+            timestamp=request.timestamp,
+            source=request.source,
+            url=request.url,
+            method="GET",
+            status=response.status,
+            size=response.size,
+        )
+        line = format_record(record)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self.lines_written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+
+    def __enter__(self) -> "AccessLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,159 @@
+"""The piggybacking server (Section 2.1, server side).
+
+On each proxy request the server (1) answers the GET — validating against
+If-Modified-Since when present — and (2) consults its volume store for the
+requested resource, applies the proxy's filter, and attaches the resulting
+piggyback message to the response.  The server keeps *no* per-proxy state;
+everything proxy-specific arrives in the filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.protocol import NOT_FOUND, NOT_MODIFIED, OK, ProxyRequest, ServerResponse
+from ..traces.records import LogRecord
+from ..volumes.base import VolumeStore
+from .resources import ResourceStore
+
+__all__ = ["ServerStats", "PiggybackServer"]
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Aggregate counters for one server's lifetime."""
+
+    requests: int = 0
+    ok_responses: int = 0
+    not_modified_responses: int = 0
+    not_found_responses: int = 0
+    piggyback_messages: int = 0
+    piggyback_elements: int = 0
+    piggyback_bytes: int = 0
+    body_bytes: int = 0
+    reported_cache_hits: int = 0
+
+    @property
+    def piggyback_rate(self) -> float:
+        """Fraction of responses that carried a piggyback message."""
+        if self.requests == 0:
+            return 0.0
+        return self.piggyback_messages / self.requests
+
+    @property
+    def mean_piggyback_size(self) -> float:
+        """Average elements per piggyback message actually sent."""
+        if self.piggyback_messages == 0:
+            return 0.0
+        return self.piggyback_elements / self.piggyback_messages
+
+
+class PiggybackServer:
+    """A cooperating origin server with volumes and filter support."""
+
+    def __init__(self, resources: ResourceStore, volume_store: VolumeStore):
+        self.resources = resources
+        self.volume_store = volume_store
+        self.stats = ServerStats()
+
+    def handle(self, request: ProxyRequest) -> ServerResponse:
+        """Answer one proxy request, with piggyback when the filter allows."""
+        self.stats.requests += 1
+        self._absorb_cache_hit_report(request)
+        record = self.resources.get(request.url)
+        if record is None:
+            self.stats.not_found_responses += 1
+            return ServerResponse(
+                url=request.url, status=NOT_FOUND, timestamp=request.timestamp
+            )
+
+        last_modified = self.resources.last_modified(request.url, request.timestamp)
+        if request.if_modified_since is not None and request.if_modified_since >= last_modified:
+            status = NOT_MODIFIED
+            size = 0
+            self.stats.not_modified_responses += 1
+        else:
+            status = OK
+            size = record.size
+            self.stats.ok_responses += 1
+            self.stats.body_bytes += size
+
+        self._observe_request(request, last_modified, record.size)
+        piggyback = self._build_piggyback(request)
+        if piggyback is not None:
+            self.stats.piggyback_messages += 1
+            self.stats.piggyback_elements += len(piggyback)
+            self.stats.piggyback_bytes += piggyback.wire_bytes()
+
+        return ServerResponse(
+            url=request.url,
+            status=status,
+            timestamp=request.timestamp,
+            last_modified=last_modified,
+            size=size,
+            piggyback=piggyback,
+        )
+
+    def _absorb_cache_hit_report(self, request: ProxyRequest) -> None:
+        """Feed proxy-reported cache hits into volume maintenance.
+
+        Cache hits never reach the server log, so without this report the
+        server underestimates the popularity of well-cached resources
+        (Section 5's proxy-to-server piggyback).
+        """
+        for url, count in request.cache_hit_report:
+            if count < 1 or url not in self.resources:
+                continue
+            self.stats.reported_cache_hits += count
+            record = self.resources.get(url)
+            for _ in range(min(count, 1000)):
+                self.volume_store.observe(
+                    LogRecord(
+                        timestamp=request.timestamp,
+                        source=request.source,
+                        url=url,
+                        size=record.size if record else 0,
+                    )
+                )
+
+    def _observe_request(
+        self, request: ProxyRequest, last_modified: float, size: int
+    ) -> None:
+        """Feed the request into volume maintenance."""
+        self.volume_store.observe(
+            LogRecord(
+                timestamp=request.timestamp,
+                source=request.source,
+                url=request.url,
+                size=size,
+                last_modified=last_modified,
+            )
+        )
+
+    def _build_piggyback(self, request: ProxyRequest):
+        """Apply the proxy filter to the volume of the requested resource.
+
+        Candidate Last-Modified times are refreshed from the resource store
+        before filtering: volume maintenance only sees a resource when it
+        is requested, but the piggyback must reflect modifications that
+        happened since — that is the entire coherency mechanism.
+        """
+        if not request.piggyback_filter.enabled:
+            return None
+        lookup = self.volume_store.lookup(request.url)
+        if lookup is None:
+            return None
+        now = request.timestamp
+        candidates = (
+            self._with_current_mtime(candidate, now)
+            for candidate in lookup.candidates
+        )
+        return request.piggyback_filter.apply(lookup.volume_id, candidates, request.url)
+
+    def _with_current_mtime(self, candidate, now: float):
+        if candidate.url not in self.resources:
+            return candidate
+        current = self.resources.last_modified(candidate.url, now)
+        if current == candidate.last_modified:
+            return candidate
+        return replace(candidate, last_modified=current)

@@ -1,0 +1,107 @@
+"""Transparent volume center (Section 1, bullet five).
+
+A volume center sits at a router or gateway on the path between proxies
+and servers.  It watches the request/response stream for *any* number of
+origin servers — none of which need modification — maintains volumes on
+their behalf, and splices piggyback messages into responses flowing back
+to the proxy.  Because it observes traffic for multiple sites at once, its
+piggyback messages may legitimately mix resources from several servers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+from .. import urls
+from ..core.protocol import ProxyRequest, ServerResponse
+from ..traces.records import LogRecord
+from ..volumes.base import VolumeStore
+from ..volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+__all__ = ["VolumeCenterStats", "TransparentVolumeCenter"]
+
+VolumeStoreFactory = Callable[[], VolumeStore]
+
+
+@dataclass(slots=True)
+class VolumeCenterStats:
+    """What the volume center did to passing traffic."""
+
+    observed_responses: int = 0
+    annotated_responses: int = 0
+    replaced_piggybacks: int = 0
+    hosts_tracked: int = 0
+
+
+class TransparentVolumeCenter:
+    """On-path volume maintenance and piggyback injection.
+
+    By default each origin host gets its own level-1 directory volume
+    store; pass a *store_factory* to change the per-host scheme, or set
+    ``shared_store`` to maintain one store spanning all hosts (enabling
+    cross-site volumes).
+    """
+
+    def __init__(
+        self,
+        store_factory: VolumeStoreFactory | None = None,
+        shared_store: VolumeStore | None = None,
+    ):
+        if store_factory is not None and shared_store is not None:
+            raise ValueError("pass either store_factory or shared_store, not both")
+        self._factory = store_factory or (
+            lambda: DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        )
+        self._shared = shared_store
+        self._stores: dict[str, VolumeStore] = {}
+        self.stats = VolumeCenterStats()
+
+    def _store_for(self, url: str) -> VolumeStore:
+        if self._shared is not None:
+            return self._shared
+        host, _ = urls.split_host_path(url)
+        store = self._stores.get(host)
+        if store is None:
+            store = self._factory()
+            self._stores[host] = store
+            self.stats.hosts_tracked = len(self._stores)
+        return store
+
+    def observe_exchange(self, request: ProxyRequest, response: ServerResponse) -> None:
+        """Account one request/response pair flowing through the center."""
+        self.stats.observed_responses += 1
+        self._store_for(request.url).observe(
+            LogRecord(
+                timestamp=request.timestamp,
+                source=request.source,
+                url=request.url,
+                status=response.status,
+                size=response.size,
+                last_modified=response.last_modified,
+            )
+        )
+
+    def annotate(self, request: ProxyRequest, response: ServerResponse) -> ServerResponse:
+        """Observe the exchange, then splice in a piggyback if allowed.
+
+        A piggyback already present (from a cooperating origin) is left
+        alone unless the center can produce one and the origin's is empty.
+        """
+        self.observe_exchange(request, response)
+        if not request.piggyback_filter.enabled:
+            return response
+        store = self._store_for(request.url)
+        lookup = store.lookup(request.url)
+        if lookup is None:
+            return response
+        piggyback = request.piggyback_filter.apply(
+            lookup.volume_id, lookup.candidates, request.url
+        )
+        if piggyback is None:
+            return response
+        if response.piggyback is not None:
+            self.stats.replaced_piggybacks += 1
+            return response
+        self.stats.annotated_responses += 1
+        return replace(response, piggyback=piggyback)

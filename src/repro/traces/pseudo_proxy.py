@@ -1,0 +1,79 @@
+"""Pseudo-proxy trace extraction (Appendix A).
+
+Server logs do not record which proxy sat in front of a group of clients,
+so the paper post-processes server logs into *pseudo-proxy traces*: every
+distinct source IP address is treated as one proxy site, and the server's
+piggyback decisions are evaluated per source.  The extraction is inherently
+conservative — requests satisfied inside a real proxy cache never reach the
+server log — which the paper acknowledges and we preserve.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from .records import LogRecord, Trace
+
+__all__ = ["PseudoProxy", "extract_pseudo_proxies", "aggregate_sources"]
+
+
+@dataclass(frozen=True, slots=True)
+class PseudoProxy:
+    """One source IP reinterpreted as a proxy site."""
+
+    source: str
+    requests: tuple[LogRecord, ...]
+
+    @property
+    def request_count(self) -> int:
+        return len(self.requests)
+
+    def urls(self) -> set[str]:
+        return {r.url for r in self.requests}
+
+
+def extract_pseudo_proxies(trace: Trace, min_requests: int = 1) -> Iterator[PseudoProxy]:
+    """Yield one :class:`PseudoProxy` per source with enough requests.
+
+    Sources are yielded in decreasing order of request count so that callers
+    sampling "busy proxies" can simply take a prefix.
+    """
+    if min_requests < 1:
+        raise ValueError("min_requests must be >= 1")
+    groups = trace.by_source()
+    ordered = sorted(groups.items(), key=lambda item: (-len(item[1]), item[0]))
+    for source, records in ordered:
+        if len(records) >= min_requests:
+            yield PseudoProxy(source=source, requests=tuple(records))
+
+
+def aggregate_sources(trace: Trace, prefix_octets: int = 3) -> Trace:
+    """Collapse sources sharing an address prefix into one pseudo-proxy.
+
+    Requests from clients behind the same organization often arrive from a
+    shared address block; grouping by the first *prefix_octets* octets of a
+    dotted-quad address approximates a per-organization proxy.  Sources that
+    do not look like dotted quads are left untouched.
+    """
+    if not 1 <= prefix_octets <= 4:
+        raise ValueError("prefix_octets must be between 1 and 4")
+
+    def collapse(source: str) -> str:
+        octets = source.split(".")
+        if len(octets) == 4 and all(o.isdigit() for o in octets):
+            return ".".join(octets[:prefix_octets])
+        return source
+
+    return Trace(
+        LogRecord(
+            timestamp=r.timestamp,
+            source=collapse(r.source),
+            url=r.url,
+            method=r.method,
+            status=r.status,
+            size=r.size,
+            last_modified=r.last_modified,
+        )
+        for r in trace
+    )

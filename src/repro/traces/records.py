@@ -1,0 +1,127 @@
+"""Log record model and trace containers.
+
+Every component of the library consumes traces as sequences of
+:class:`LogRecord` objects sorted by timestamp.  A record captures one HTTP
+request as seen by a server or a proxy: when it happened, who issued it,
+what was requested, and what came back.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+
+__all__ = ["LogRecord", "Trace"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class LogRecord:
+    """One logged HTTP request.
+
+    Ordering is by ``(timestamp, source, url)`` so a list of records can be
+    sorted into trace order deterministically.
+    """
+
+    timestamp: float
+    source: str
+    url: str
+    method: str = field(default="GET", compare=False)
+    status: int = field(default=200, compare=False)
+    size: int = field(default=0, compare=False)
+    last_modified: float | None = field(default=None, compare=False)
+
+    def with_url(self, url: str) -> "LogRecord":
+        """Return a copy of this record with a different URL."""
+        return replace(self, url=url)
+
+    @property
+    def is_get(self) -> bool:
+        return self.method.upper() == "GET"
+
+    @property
+    def is_not_modified(self) -> bool:
+        return self.status == 304
+
+
+class Trace(Sequence[LogRecord]):
+    """An immutable, time-sorted sequence of :class:`LogRecord` objects.
+
+    The constructor sorts its input once; all accessors then rely on the
+    sorted order (e.g. :meth:`between` uses binary search on timestamps).
+    """
+
+    def __init__(self, records: Iterable[LogRecord]):
+        self._records: list[LogRecord] = sorted(records)
+        self._times: list[float] = [r.timestamp for r in self._records]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Trace(self._records[index])
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        if not self._records:
+            return "Trace(empty)"
+        return (
+            f"Trace({len(self._records)} records, "
+            f"t=[{self._times[0]:.0f}, {self._times[-1]:.0f}])"
+        )
+
+    @property
+    def start_time(self) -> float:
+        if not self._records:
+            raise ValueError("empty trace has no start time")
+        return self._times[0]
+
+    @property
+    def end_time(self) -> float:
+        if not self._records:
+            raise ValueError("empty trace has no end time")
+        return self._times[-1]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time if self._records else 0.0
+
+    def sources(self) -> set[str]:
+        """Distinct request sources (client or proxy identifiers)."""
+        return {r.source for r in self._records}
+
+    def urls(self) -> set[str]:
+        """Distinct requested URLs."""
+        return {r.url for r in self._records}
+
+    def between(self, start: float, end: float) -> "Trace":
+        """Records with ``start <= timestamp < end`` (binary-searched)."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return Trace(self._records[lo:hi])
+
+    def filter(self, predicate) -> "Trace":
+        """A new trace containing records for which *predicate* is true."""
+        return Trace(r for r in self._records if predicate(r))
+
+    def map_urls(self, mapper) -> "Trace":
+        """A new trace with every record's URL passed through *mapper*."""
+        return Trace(r.with_url(mapper(r.url)) for r in self._records)
+
+    def by_source(self) -> dict[str, list[LogRecord]]:
+        """Records grouped by source, each group in time order."""
+        groups: dict[str, list[LogRecord]] = {}
+        for record in self._records:
+            groups.setdefault(record.source, []).append(record)
+        return groups
+
+    def url_counts(self) -> dict[str, int]:
+        """Access count per distinct URL."""
+        counts: dict[str, int] = {}
+        for record in self._records:
+            counts[record.url] = counts.get(record.url, 0) + 1
+        return counts

@@ -1,0 +1,51 @@
+"""Server volume construction: directory-based, probability-based, thinning."""
+
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+from .directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from .probability import (
+    Implication,
+    PairwiseConfig,
+    PairwiseEstimator,
+    ProbabilityVolumeStore,
+    ProbabilityVolumes,
+    build_probability_volumes,
+)
+from .sitewide import CrossHostVolumeStore, SiteWideVolumeStore
+from .popularity import FallbackVolumeStore, PopularityConfig, PopularityVolumeStore
+from .online import OnlineProbabilityVolumeStore, OnlineVolumeConfig
+from .persistence import VolumeArtifact, VolumeFormatError, load_volumes, save_volumes
+from .thinning import (
+    EffectivenessResult,
+    combine_with_directory,
+    measure_effectiveness,
+    thin_by_effectiveness,
+)
+
+__all__ = [
+    "VolumeIdAllocator",
+    "VolumeLookup",
+    "VolumeStore",
+    "DirectoryVolumeConfig",
+    "DirectoryVolumeStore",
+    "SiteWideVolumeStore",
+    "CrossHostVolumeStore",
+    "PairwiseConfig",
+    "PairwiseEstimator",
+    "Implication",
+    "ProbabilityVolumes",
+    "ProbabilityVolumeStore",
+    "build_probability_volumes",
+    "EffectivenessResult",
+    "measure_effectiveness",
+    "thin_by_effectiveness",
+    "combine_with_directory",
+    "PopularityConfig",
+    "PopularityVolumeStore",
+    "FallbackVolumeStore",
+    "OnlineVolumeConfig",
+    "OnlineProbabilityVolumeStore",
+    "VolumeArtifact",
+    "VolumeFormatError",
+    "save_volumes",
+    "load_volumes",
+]

@@ -1,0 +1,93 @@
+"""Volume abstractions shared by all construction schemes.
+
+A *volume store* answers one question for the server: given a request for
+resource ``r``, which volume does ``r`` belong to and which related
+resources (as :class:`~repro.core.filters.CandidateElement` objects, in
+preference order) should be offered to the proxy filter?  Stores also
+expose an ``observe`` hook so maintenance structures (move-to-front FIFOs,
+access counters) can track the request stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.filters import CandidateElement
+from ..core.piggyback import MAX_VOLUME_ID
+from ..traces.records import LogRecord
+
+__all__ = ["VolumeIdAllocator", "VolumeLookup", "VolumeStore"]
+
+
+class VolumeIdAllocator:
+    """Dense allocation of 2-byte volume identifiers to volume keys.
+
+    The paper's wire format allows 32767 volumes per server; the allocator
+    raises once that space is exhausted rather than silently reusing ids.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._ids
+
+    def id_for(self, key: str) -> int:
+        """Return the id for *key*, allocating the next one if new."""
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing
+        next_id = len(self._ids)
+        if next_id > MAX_VOLUME_ID:
+            raise OverflowError(
+                f"volume id space exhausted ({MAX_VOLUME_ID + 1} volumes)"
+            )
+        self._ids[key] = next_id
+        return next_id
+
+    def known_keys(self) -> set[str]:
+        return set(self._ids)
+
+
+@dataclass(frozen=True, slots=True)
+class VolumeLookup:
+    """The store's answer for one requested resource.
+
+    ``candidates`` may be a lazy iterable in the store's preference order
+    (most useful first); consume it before the next ``observe`` call on
+    the same store, and at most once.  Use :meth:`materialized` when a
+    concrete tuple is needed (tests, multiple passes).
+    """
+
+    volume_id: int
+    candidates: Iterable[CandidateElement]
+
+    def materialized(self) -> "VolumeLookup":
+        """A copy whose candidates are a concrete tuple."""
+        return VolumeLookup(self.volume_id, tuple(self.candidates))
+
+
+class VolumeStore(ABC):
+    """Interface implemented by every volume construction scheme."""
+
+    @abstractmethod
+    def observe(self, record: LogRecord) -> None:
+        """Update maintenance state with one logged request."""
+
+    @abstractmethod
+    def lookup(self, url: str) -> VolumeLookup | None:
+        """Volume id and ordered candidates for a request, or None."""
+
+    def volume_count(self) -> int:
+        """Number of distinct volumes currently known (best effort)."""
+        return 0
+
+    def observe_trace(self, records) -> None:
+        """Feed a whole trace through :meth:`observe` (convenience)."""
+        for record in records:
+            self.observe(record)

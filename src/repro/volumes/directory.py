@@ -1,0 +1,186 @@
+"""Directory-based volumes (Section 3.2).
+
+Resources sharing a level-``k`` directory prefix form one volume.  Each
+volume is maintained as a collection of logical FIFOs partitioned by
+content type, with move-to-front semantics: a requested resource jumps to
+the head of its FIFO, so piggyback messages lead with the most recently
+accessed (an O(1) approximation of popularity ranking).  Unpopular entries
+fall off the tail when a volume exceeds its size bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from .. import urls
+from ..core.filters import CandidateElement
+from ..traces.records import LogRecord
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+
+__all__ = ["DirectoryVolumeConfig", "DirectoryVolumeStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class DirectoryVolumeConfig:
+    """Knobs for directory-volume construction and maintenance."""
+
+    level: int = 1
+    max_volume_size: int | None = None
+    partition_by_type: bool = True
+    move_to_front: bool = True
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError("directory level must be >= 0")
+        if self.max_volume_size is not None and self.max_volume_size < 1:
+            raise ValueError("max_volume_size must be >= 1")
+
+
+@dataclass(slots=True)
+class _Entry:
+    """Mutable per-resource maintenance record inside a volume FIFO."""
+
+    url: str
+    size: int
+    last_modified: float
+    access_count: int
+    content_type: str
+    last_touch: int
+    candidate: CandidateElement | None = None
+
+    def as_candidate(self) -> CandidateElement:
+        """Cached immutable view; rebuilt lazily after each touch."""
+        if self.candidate is None:
+            self.candidate = CandidateElement(
+                url=self.url,
+                last_modified=self.last_modified,
+                size=self.size,
+                access_count=self.access_count,
+                probability=1.0,
+                content_type=self.content_type,
+            )
+        return self.candidate
+
+
+class _VolumeFifos:
+    """One volume's FIFOs: an OrderedDict per content-type partition.
+
+    The *end* of each OrderedDict is the FIFO head (most recent with
+    move-to-front, most recently added otherwise); trimming pops the tail
+    of the largest partition so no content type floods the volume.
+    """
+
+    def __init__(self, partition_by_type: bool):
+        self._partition_by_type = partition_by_type
+        self._fifos: dict[str, OrderedDict[str, _Entry]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(f) for f in self._fifos.values())
+
+    def _fifo_for(self, content_type: str) -> OrderedDict[str, _Entry]:
+        key = content_type if self._partition_by_type else ""
+        fifo = self._fifos.get(key)
+        if fifo is None:
+            fifo = OrderedDict()
+            self._fifos[key] = fifo
+        return fifo
+
+    def touch(
+        self, record: LogRecord, content_type: str, move_to_front: bool, touch: int
+    ) -> None:
+        fifo = self._fifo_for(content_type)
+        entry = fifo.get(record.url)
+        if entry is None:
+            entry = _Entry(
+                url=record.url,
+                size=record.size,
+                last_modified=record.last_modified or 0.0,
+                access_count=0,
+                content_type=content_type,
+                last_touch=touch,
+            )
+            fifo[record.url] = entry
+        entry.access_count += 1
+        if record.size:
+            entry.size = record.size
+        if record.last_modified is not None:
+            entry.last_modified = record.last_modified
+        entry.candidate = None  # invalidate the cached immutable view
+        if move_to_front:
+            # Plain FIFO keeps insertion order; move-to-front refreshes it.
+            entry.last_touch = touch
+            fifo.move_to_end(record.url)
+
+    def trim_to(self, max_size: int) -> int:
+        """Drop tail entries until total size is within *max_size*."""
+        dropped = 0
+        while len(self) > max_size:
+            largest = max(self._fifos.values(), key=len)
+            largest.popitem(last=False)
+            dropped += 1
+        return dropped
+
+    def iter_most_recent_first(self) -> Iterator[_Entry]:
+        """All entries across partitions, most recently touched first.
+
+        Each partition FIFO is already recency-ordered, so a heap merge of
+        the reversed partitions yields global order in O(n log p) without
+        sorting.
+        """
+        streams = [reversed(fifo.values()) for fifo in self._fifos.values() if fifo]
+        if len(streams) == 1:
+            return streams[0]
+        return heapq.merge(*streams, key=lambda entry: -entry.last_touch)
+
+
+class DirectoryVolumeStore(VolumeStore):
+    """Level-``k`` directory volumes with FIFO/move-to-front maintenance."""
+
+    def __init__(self, config: DirectoryVolumeConfig = DirectoryVolumeConfig()):
+        self.config = config
+        self._allocator = VolumeIdAllocator()
+        self._volumes: dict[str, _VolumeFifos] = {}
+        self._touch_counter = 0
+
+    def volume_key(self, url: str) -> str:
+        """The directory prefix defining the volume for *url*."""
+        return urls.directory_prefix(url, self.config.level)
+
+    def volume_count(self) -> int:
+        return len(self._volumes)
+
+    def volume_size(self, url: str) -> int:
+        """Number of elements currently in *url*'s volume."""
+        volume = self._volumes.get(self.volume_key(url))
+        return len(volume) if volume is not None else 0
+
+    def observe(self, record: LogRecord) -> None:
+        key = self.volume_key(record.url)
+        volume = self._volumes.get(key)
+        if volume is None:
+            volume = _VolumeFifos(self.config.partition_by_type)
+            self._volumes[key] = volume
+        self._touch_counter += 1
+        volume.touch(
+            record,
+            urls.content_type_of(record.url),
+            move_to_front=self.config.move_to_front,
+            touch=self._touch_counter,
+        )
+        if self.config.max_volume_size is not None:
+            volume.trim_to(self.config.max_volume_size)
+
+    def lookup(self, url: str) -> VolumeLookup | None:
+        key = self.volume_key(url)
+        volume = self._volumes.get(key)
+        if volume is None:
+            return None
+        candidates = (
+            entry.as_candidate() for entry in volume.iter_most_recent_first()
+        )
+        return VolumeLookup(
+            volume_id=self._allocator.id_for(key), candidates=candidates
+        )

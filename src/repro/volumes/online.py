@@ -1,0 +1,110 @@
+"""Online (periodic) probability-volume construction (Section 3.3.1).
+
+The paper's experiments apply a single set of volumes per log, but the
+text allows the server to "estimate the probabilities from the stream of
+requests in a periodic fashion, such as once a day or once a week, or in
+an online fashion".  :class:`OnlineProbabilityVolumeStore` is that
+deployable variant: the pairwise estimator runs continuously, and the
+served volume set is re-materialized whenever ``rebuild_interval`` of
+trace time has elapsed — so the serving path always reads a consistent,
+recently built artifact, never a half-updated structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import urls
+from ..core.filters import CandidateElement
+from ..traces.records import LogRecord
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+from .probability import (
+    PairwiseConfig,
+    PairwiseEstimator,
+    ProbabilityVolumes,
+    build_probability_volumes,
+)
+
+__all__ = ["OnlineVolumeConfig", "OnlineProbabilityVolumeStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineVolumeConfig:
+    """Parameters of periodic volume reconstruction."""
+
+    probability_threshold: float = 0.25
+    rebuild_interval: float = 86_400.0
+    pairwise: PairwiseConfig = PairwiseConfig()
+    min_observations: int = 50
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability_threshold <= 1.0:
+            raise ValueError("probability_threshold must be in [0, 1]")
+        if self.rebuild_interval <= 0:
+            raise ValueError("rebuild_interval must be positive")
+        if self.min_observations < 0:
+            raise ValueError("min_observations must be non-negative")
+
+
+class OnlineProbabilityVolumeStore(VolumeStore):
+    """Probability volumes rebuilt periodically from a live estimator."""
+
+    def __init__(self, config: OnlineVolumeConfig = OnlineVolumeConfig()):
+        self.config = config
+        self.estimator = PairwiseEstimator(config.pairwise)
+        self.volumes = ProbabilityVolumes({})
+        self.rebuilds = 0
+        self._observations = 0
+        self._next_rebuild: float | None = None
+        self._allocator = VolumeIdAllocator()
+        self._sizes: dict[str, int] = {}
+        self._mtimes: dict[str, float] = {}
+        self._access_counts: dict[str, int] = {}
+
+    def observe(self, record: LogRecord) -> None:
+        self.estimator.observe(record)
+        self._observations += 1
+        if record.size:
+            self._sizes[record.url] = record.size
+        if record.last_modified is not None:
+            self._mtimes[record.url] = record.last_modified
+        self._access_counts[record.url] = self._access_counts.get(record.url, 0) + 1
+
+        if self._next_rebuild is None:
+            self._next_rebuild = record.timestamp + self.config.rebuild_interval
+        elif (
+            record.timestamp >= self._next_rebuild
+            and self._observations >= self.config.min_observations
+        ):
+            self.rebuild()
+            while self._next_rebuild <= record.timestamp:
+                self._next_rebuild += self.config.rebuild_interval
+
+    def rebuild(self) -> None:
+        """Materialize a fresh volume set from the current estimates."""
+        self.volumes = build_probability_volumes(
+            self.estimator, self.config.probability_threshold
+        )
+        self.rebuilds += 1
+
+    def volume_count(self) -> int:
+        return len(self.volumes)
+
+    def lookup(self, url: str) -> VolumeLookup | None:
+        members = self.volumes.members_of(url)
+        if not members:
+            return None
+        candidates = tuple(
+            CandidateElement(
+                url=consequent,
+                last_modified=self._mtimes.get(consequent, 0.0),
+                size=self._sizes.get(consequent, 0),
+                access_count=self._access_counts.get(consequent, 0),
+                probability=probability,
+                content_type=urls.content_type_of(consequent),
+            )
+            for consequent, probability in members
+        )
+        return VolumeLookup(
+            volume_id=self._allocator.id_for(url), candidates=candidates
+        )

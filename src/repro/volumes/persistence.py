@@ -1,0 +1,108 @@
+"""Persistence for constructed probability volumes.
+
+The paper applies "a single set of volumes for the duration of each log":
+construction runs offline (daily/weekly), and the serving path only reads
+the result.  That split needs a durable artifact — this module stores
+:class:`~repro.volumes.probability.ProbabilityVolumes` as versioned JSON
+together with the construction parameters, so a server can be restarted
+(or a volume center redeployed) without re-estimating anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .probability import ProbabilityVolumes
+
+__all__ = ["VolumeArtifact", "save_volumes", "load_volumes", "VolumeFormatError"]
+
+_FORMAT = "repro-probability-volumes"
+_VERSION = 1
+
+
+class VolumeFormatError(ValueError):
+    """Raised when a volume file is not a valid persisted artifact."""
+
+
+@dataclass(frozen=True, slots=True)
+class VolumeArtifact:
+    """A loaded volume set plus the parameters it was built with."""
+
+    volumes: ProbabilityVolumes
+    probability_threshold: float
+    window: float
+    effectiveness_threshold: float | None
+    combine_level: int | None
+    source_log: str
+
+
+def save_volumes(
+    volumes: ProbabilityVolumes,
+    path: str | Path,
+    probability_threshold: float,
+    window: float = 300.0,
+    effectiveness_threshold: float | None = None,
+    combine_level: int | None = None,
+    source_log: str = "",
+) -> None:
+    """Write *volumes* and their construction parameters to *path*."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "parameters": {
+            "probability_threshold": probability_threshold,
+            "window": window,
+            "effectiveness_threshold": effectiveness_threshold,
+            "combine_level": combine_level,
+            "source_log": source_log,
+        },
+        "volumes": {
+            antecedent: [[consequent, probability]
+                         for consequent, probability in volumes.members_of(antecedent)]
+            for antecedent in sorted(volumes.antecedents())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_volumes(path: str | Path) -> VolumeArtifact:
+    """Load a persisted volume artifact; raises :class:`VolumeFormatError`
+    on anything that is not one."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise VolumeFormatError(f"not a JSON volume file: {path}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise VolumeFormatError(f"unrecognized volume file format in {path}")
+    if payload.get("version") != _VERSION:
+        raise VolumeFormatError(
+            f"unsupported volume file version {payload.get('version')!r}"
+        )
+    try:
+        members = {
+            antecedent: [(str(consequent), float(probability))
+                         for consequent, probability in pairs]
+            for antecedent, pairs in payload["volumes"].items()
+        }
+        parameters = payload["parameters"]
+        artifact = VolumeArtifact(
+            volumes=ProbabilityVolumes(members),
+            probability_threshold=float(parameters["probability_threshold"]),
+            window=float(parameters["window"]),
+            effectiveness_threshold=(
+                None if parameters["effectiveness_threshold"] is None
+                else float(parameters["effectiveness_threshold"])
+            ),
+            combine_level=(
+                None if parameters["combine_level"] is None
+                else int(parameters["combine_level"])
+            ),
+            source_log=str(parameters.get("source_log", "")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise VolumeFormatError(f"malformed volume file {path}: {exc}") from exc
+    return artifact

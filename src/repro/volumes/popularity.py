@@ -1,0 +1,149 @@
+"""Popularity volumes (Section 5, future work).
+
+The paper proposes piggybacking "information about popular resources
+gathered in a separate volume": independent of which resource a proxy
+requested, the server can advertise its currently hottest resources.
+:class:`PopularityVolumeStore` maintains that special volume from the
+request stream (exact counts over a sliding decay, cheap to maintain) and
+:class:`FallbackVolumeStore` composes it with any primary store — the
+popular volume rides along when the primary volume has nothing to say,
+which is exactly when a hint is most valuable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .. import urls
+from ..core.filters import CandidateElement
+from ..traces.records import LogRecord
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+
+__all__ = ["PopularityConfig", "PopularityVolumeStore", "FallbackVolumeStore"]
+
+_POPULAR_KEY = "<popular>"
+
+
+@dataclass(frozen=True, slots=True)
+class PopularityConfig:
+    """Shape of the popular-resources volume."""
+
+    top_count: int = 10
+    half_life: float = 86_400.0
+
+    def __post_init__(self) -> None:
+        if self.top_count < 1:
+            raise ValueError("top_count must be >= 1")
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+
+
+class PopularityVolumeStore(VolumeStore):
+    """One volume holding the server's most popular resources.
+
+    Popularity is an exponentially decayed access count with the
+    configured half-life, so yesterday's hot page gives way to today's.
+    The decayed score for resource ``r`` is updated lazily at access time
+    (``score = score * 2^(-(now-last)/half_life) + 1``), which keeps
+    maintenance O(1) per request.
+    """
+
+    def __init__(self, config: PopularityConfig = PopularityConfig()):
+        self.config = config
+        self._allocator = VolumeIdAllocator()
+        self._scores: dict[str, float] = {}
+        self._last_update: dict[str, float] = {}
+        self._metadata: dict[str, tuple[float, int]] = {}
+
+    def _decayed_score(self, url: str, now: float) -> float:
+        score = self._scores.get(url, 0.0)
+        last = self._last_update.get(url)
+        if last is None or score == 0.0:
+            return 0.0
+        elapsed = max(now - last, 0.0)
+        return score * 2.0 ** (-elapsed / self.config.half_life)
+
+    def observe(self, record: LogRecord) -> None:
+        now = record.timestamp
+        self._scores[record.url] = self._decayed_score(record.url, now) + 1.0
+        self._last_update[record.url] = now
+        self._metadata[record.url] = (
+            record.last_modified or 0.0,
+            record.size or self._metadata.get(record.url, (0.0, 0))[1],
+        )
+
+    def volume_count(self) -> int:
+        return 1 if self._scores else 0
+
+    def top_resources(self, now: float) -> list[tuple[str, float]]:
+        """The current top resources with decayed scores, best first."""
+        scored = (
+            (self._decayed_score(url, now), url) for url in self._scores
+        )
+        best = heapq.nlargest(self.config.top_count, scored)
+        return [(url, score) for score, url in best]
+
+    def lookup(self, url: str) -> VolumeLookup | None:
+        if not self._scores:
+            return None
+        now = self._last_update.get(url, max(self._last_update.values()))
+        candidates = []
+        for top_url, score in self.top_resources(now):
+            last_modified, size = self._metadata.get(top_url, (0.0, 0))
+            candidates.append(
+                CandidateElement(
+                    url=top_url,
+                    last_modified=last_modified,
+                    size=size,
+                    access_count=int(self._scores.get(top_url, 0.0)),
+                    probability=1.0,
+                    content_type=urls.content_type_of(top_url),
+                )
+            )
+        return VolumeLookup(
+            volume_id=self._allocator.id_for(_POPULAR_KEY),
+            candidates=tuple(candidates),
+        )
+
+
+class FallbackVolumeStore(VolumeStore):
+    """Compose a primary store with a popularity fallback.
+
+    Maintenance feeds both stores; lookups prefer the primary volume and
+    fall back to the popular volume when the primary knows nothing about
+    the requested resource (or has no companions for it).
+    """
+
+    def __init__(self, primary: VolumeStore, fallback: VolumeStore):
+        self.primary = primary
+        self.fallback = fallback
+        # The two inner stores allocate volume ids independently, so their
+        # id spaces collide; remap through a shared allocator so RPV
+        # filtering sees distinct identifiers.
+        self._allocator = VolumeIdAllocator()
+
+    def observe(self, record: LogRecord) -> None:
+        self.primary.observe(record)
+        self.fallback.observe(record)
+
+    def volume_count(self) -> int:
+        return self.primary.volume_count() + self.fallback.volume_count()
+
+    def lookup(self, url: str) -> VolumeLookup | None:
+        lookup = self.primary.lookup(url)
+        if lookup is not None:
+            materialized = lookup.materialized()
+            if any(c.url != url for c in materialized.candidates):
+                return VolumeLookup(
+                    volume_id=self._allocator.id_for(f"primary:{materialized.volume_id}"),
+                    candidates=materialized.candidates,
+                )
+        fallback = self.fallback.lookup(url)
+        if fallback is None:
+            return None
+        materialized = fallback.materialized()
+        return VolumeLookup(
+            volume_id=self._allocator.id_for(f"fallback:{materialized.volume_id}"),
+            candidates=materialized.candidates,
+        )

@@ -1,0 +1,322 @@
+"""Probability-based volumes (Section 3.3).
+
+The server estimates pairwise implication probabilities from its request
+stream: ``p(s|r)`` is the proportion of requests for ``r`` that are
+followed by a request for ``s`` from the same source within ``T`` seconds.
+Resource ``s`` joins ``r``'s volume when ``p(s|r) >= p_t``.
+
+Counting uses a per-source sliding window; each occurrence of ``r``
+credits each distinct follower ``s`` at most once.  Because exact counting
+can need ``n^2`` counters, counter creation can be *sampled*: a missing
+counter is instantiated with probability inversely proportional to
+``freq(r) * p_t``, so pairs that co-occur often still obtain accurate
+estimates while rare coincidences usually never allocate state.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from .. import urls
+from ..core.filters import CandidateElement
+from ..traces.records import LogRecord
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+
+__all__ = [
+    "PairwiseConfig",
+    "PairwiseEstimator",
+    "Implication",
+    "ProbabilityVolumes",
+    "ProbabilityVolumeStore",
+    "build_probability_volumes",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseConfig:
+    """Parameters of the pairwise probability estimation.
+
+    ``pair_admitted`` optionally restricts which (antecedent, consequent)
+    pairs may allocate counters — e.g. to pairs where the consequent is
+    directly reachable from the antecedent via an HREF, "if such
+    information is readily available" (Section 3.3.1, citing Jiang &
+    Kleinrock).
+    """
+
+    window: float = 300.0
+    sample_counters: bool = False
+    sampling_constant: float = 4.0
+    sampling_threshold: float = 0.1
+    same_directory_level: int | None = None
+    pair_admitted: Callable[[str, str], bool] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.sampling_constant <= 0:
+            raise ValueError("sampling_constant must be positive")
+        if not 0.0 < self.sampling_threshold <= 1.0:
+            raise ValueError("sampling_threshold must be in (0, 1]")
+        if self.same_directory_level is not None and self.same_directory_level < 0:
+            raise ValueError("same_directory_level must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Implication:
+    """One estimated implication r -> s with its probability."""
+
+    antecedent: str
+    consequent: str
+    probability: float
+
+
+class _Occurrence:
+    """A live occurrence of a resource inside a source's window."""
+
+    __slots__ = ("timestamp", "url", "credited")
+
+    def __init__(self, timestamp: float, url: str):
+        self.timestamp = timestamp
+        self.url = url
+        self.credited: set[str] = set()
+
+
+class PairwiseEstimator:
+    """Streaming estimator of ``p(s|r)`` over per-source windows.
+
+    Feed requests in time order with :meth:`observe`; read off estimates
+    with :meth:`probability` or enumerate implications above a threshold
+    with :meth:`implications`.
+    """
+
+    def __init__(self, config: PairwiseConfig = PairwiseConfig()):
+        self.config = config
+        self._windows: dict[str, deque[_Occurrence]] = {}
+        self._occurrences: dict[str, int] = {}
+        self._pair_counts: dict[tuple[str, str], int] = {}
+        self._rng = random.Random(config.seed)
+        self._skipped_pairs = 0
+
+    @property
+    def counter_count(self) -> int:
+        """Number of pair counters currently allocated."""
+        return len(self._pair_counts)
+
+    @property
+    def skipped_pair_events(self) -> int:
+        """Co-occurrence events dropped by sampling (diagnostic)."""
+        return self._skipped_pairs
+
+    def occurrence_count(self, url: str) -> int:
+        return self._occurrences.get(url, 0)
+
+    def _same_directory(self, first: str, second: str) -> bool:
+        level = self.config.same_directory_level
+        if level is None:
+            return True
+        return urls.directory_prefix(first, level) == urls.directory_prefix(second, level)
+
+    def _credit(self, antecedent: str, consequent: str) -> None:
+        key = (antecedent, consequent)
+        count = self._pair_counts.get(key)
+        if count is not None:
+            self._pair_counts[key] = count + 1
+            return
+        if self.config.sample_counters:
+            frequency = max(self._occurrences.get(antecedent, 1), 1)
+            probability = min(
+                1.0,
+                self.config.sampling_constant
+                / (frequency * self.config.sampling_threshold),
+            )
+            if self._rng.random() >= probability:
+                self._skipped_pairs += 1
+                return
+        self._pair_counts[key] = 1
+
+    def observe(self, record: LogRecord) -> None:
+        """Account one request; must be called in non-decreasing time order."""
+        window = self._windows.get(record.source)
+        if window is None:
+            window = deque()
+            self._windows[record.source] = window
+        cutoff = record.timestamp - self.config.window
+        while window and window[0].timestamp < cutoff:
+            window.popleft()
+        admitted = self.config.pair_admitted
+        for occurrence in window:
+            if occurrence.url == record.url:
+                continue
+            if record.url in occurrence.credited:
+                continue
+            if not self._same_directory(occurrence.url, record.url):
+                continue
+            if admitted is not None and not admitted(occurrence.url, record.url):
+                continue
+            occurrence.credited.add(record.url)
+            self._credit(occurrence.url, record.url)
+        self._occurrences[record.url] = self._occurrences.get(record.url, 0) + 1
+        window.append(_Occurrence(record.timestamp, record.url))
+
+    def observe_trace(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            self.observe(record)
+
+    def probability(self, antecedent: str, consequent: str) -> float:
+        """Current estimate of p(consequent | antecedent)."""
+        occurrences = self._occurrences.get(antecedent, 0)
+        if occurrences == 0:
+            return 0.0
+        return self._pair_counts.get((antecedent, consequent), 0) / occurrences
+
+    def implications(self, threshold: float = 0.0) -> list[Implication]:
+        """All implications with probability >= *threshold*, sorted.
+
+        Sorted by antecedent then descending probability, so volume
+        construction is deterministic.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        results = []
+        for (antecedent, consequent), count in self._pair_counts.items():
+            occurrences = self._occurrences.get(antecedent, 0)
+            if occurrences == 0:
+                continue
+            probability = count / occurrences
+            if probability >= threshold:
+                results.append(Implication(antecedent, consequent, probability))
+        results.sort(key=lambda imp: (imp.antecedent, -imp.probability, imp.consequent))
+        return results
+
+
+class ProbabilityVolumes:
+    """A frozen mapping resource -> [(consequent, probability), ...].
+
+    This is the *constructed* artifact: built once from an estimator (the
+    paper applies a single set of volumes per log) and then queried by the
+    server on every request.
+    """
+
+    def __init__(self, members: dict[str, list[tuple[str, float]]]):
+        self._members = {
+            url: sorted(pairs, key=lambda p: (-p[1], p[0]))
+            for url, pairs in members.items()
+            if pairs
+        }
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._members
+
+    def members_of(self, url: str) -> list[tuple[str, float]]:
+        """The volume of *url*: consequents with probabilities, sorted."""
+        return list(self._members.get(url, ()))
+
+    def antecedents(self) -> set[str]:
+        return set(self._members)
+
+    def implication_count(self) -> int:
+        return sum(len(pairs) for pairs in self._members.values())
+
+    def filtered(self, keep) -> "ProbabilityVolumes":
+        """New volumes keeping only pairs where ``keep(r, s, p)`` is true."""
+        return ProbabilityVolumes(
+            {
+                url: [(s, p) for s, p in pairs if keep(url, s, p)]
+                for url, pairs in self._members.items()
+            }
+        )
+
+    # --- Section 3.3.2 structural statistics -------------------------------
+
+    def self_membership_fraction(self) -> float:
+        """Fraction of antecedents whose volume contains themselves."""
+        if not self._members:
+            return 0.0
+        selfish = sum(
+            1
+            for url, pairs in self._members.items()
+            if any(s == url for s, _ in pairs)
+        )
+        return selfish / len(self._members)
+
+    def symmetric_fraction(self) -> float:
+        """Fraction of implications whose reverse implication also exists."""
+        pair_set = {
+            (url, s) for url, pairs in self._members.items() for s, _ in pairs
+        }
+        if not pair_set:
+            return 0.0
+        symmetric = sum(1 for (r, s) in pair_set if (s, r) in pair_set)
+        return symmetric / len(pair_set)
+
+    def membership_counts(self) -> dict[str, int]:
+        """How many distinct volumes each resource appears in."""
+        counts: dict[str, int] = {}
+        for pairs in self._members.values():
+            for consequent, _ in pairs:
+                counts[consequent] = counts.get(consequent, 0) + 1
+        return counts
+
+
+def build_probability_volumes(
+    estimator: PairwiseEstimator, threshold: float
+) -> ProbabilityVolumes:
+    """Materialize volumes from an estimator at probability threshold."""
+    members: dict[str, list[tuple[str, float]]] = {}
+    for implication in estimator.implications(threshold):
+        members.setdefault(implication.antecedent, []).append(
+            (implication.consequent, implication.probability)
+        )
+    return ProbabilityVolumes(members)
+
+
+class ProbabilityVolumeStore(VolumeStore):
+    """Serve probability volumes through the :class:`VolumeStore` interface.
+
+    Each antecedent resource gets its own volume id (probability volumes
+    are per-resource).  ``observe`` maintains per-resource metadata (size,
+    Last-Modified, access counts) used to fill piggyback elements.
+    """
+
+    def __init__(self, volumes: ProbabilityVolumes):
+        self.volumes = volumes
+        self._allocator = VolumeIdAllocator()
+        self._sizes: dict[str, int] = {}
+        self._mtimes: dict[str, float] = {}
+        self._access_counts: dict[str, int] = {}
+
+    def volume_count(self) -> int:
+        return len(self.volumes)
+
+    def observe(self, record: LogRecord) -> None:
+        if record.size:
+            self._sizes[record.url] = record.size
+        if record.last_modified is not None:
+            self._mtimes[record.url] = record.last_modified
+        self._access_counts[record.url] = self._access_counts.get(record.url, 0) + 1
+
+    def lookup(self, url: str) -> VolumeLookup | None:
+        members = self.volumes.members_of(url)
+        if not members:
+            return None
+        candidates = tuple(
+            CandidateElement(
+                url=consequent,
+                last_modified=self._mtimes.get(consequent, 0.0),
+                size=self._sizes.get(consequent, 0),
+                access_count=self._access_counts.get(consequent, 0),
+                probability=probability,
+                content_type=urls.content_type_of(consequent),
+            )
+            for consequent, probability in members
+        )
+        return VolumeLookup(
+            volume_id=self._allocator.id_for(url), candidates=candidates
+        )

@@ -1,0 +1,43 @@
+"""Site-wide volumes: the level-0 baseline.
+
+Grouping every resource on the server into a single volume maximizes the
+fraction of requests predicted in advance (everything is always "related")
+at the cost of enormous piggyback messages.  The paper cites this scheme
+from earlier piggyback-server-invalidation work [20] and uses it as the
+baseline directory level; here it is simply a level-0
+:class:`~repro.volumes.directory.DirectoryVolumeStore` with an explicit
+name, so experiments and examples read naturally.
+"""
+
+from __future__ import annotations
+
+from .directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+__all__ = ["SiteWideVolumeStore", "CrossHostVolumeStore"]
+
+
+class SiteWideVolumeStore(DirectoryVolumeStore):
+    """One volume per server host (directory level 0)."""
+
+    def __init__(self, max_volume_size: int | None = None,
+                 partition_by_type: bool = True, move_to_front: bool = True):
+        super().__init__(
+            DirectoryVolumeConfig(
+                level=0,
+                max_volume_size=max_volume_size,
+                partition_by_type=partition_by_type,
+                move_to_front=move_to_front,
+            )
+        )
+
+
+class CrossHostVolumeStore(SiteWideVolumeStore):
+    """A single volume spanning every host the store observes.
+
+    Only meaningful inside a transparent volume center, which sees traffic
+    for many origin servers at once and may piggyback information about
+    resources at multiple sites onto one response.
+    """
+
+    def volume_key(self, url: str) -> str:
+        return "*"

@@ -1,0 +1,131 @@
+"""Volume thinning (Sections 3.3.1-3.3.2).
+
+Probability-based volumes can contain implications that look strong but
+rarely help: when ``s`` is usually preceded by a whole burst of resources,
+every member of the burst gets credited with "predicting" ``s`` even
+though the first one suffices.  Thinning measures, by replaying the
+request stream against candidate volumes, how often each implication
+``r -> s`` opens a *new, true* prediction, and drops implications whose
+effective probability falls below a threshold.  A second thinning strategy
+(*combined volumes*) keeps only pairs sharing a directory prefix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from .. import urls
+from ..traces.records import LogRecord
+from .probability import ProbabilityVolumes
+
+__all__ = [
+    "EffectivenessResult",
+    "measure_effectiveness",
+    "thin_by_effectiveness",
+    "combine_with_directory",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EffectivenessResult:
+    """Per-implication effectiveness statistics from a replay."""
+
+    effective_probability: dict[tuple[str, str], float]
+    opened: dict[tuple[str, str], int]
+    opened_true: dict[tuple[str, str], int]
+    antecedent_occurrences: dict[str, int]
+
+    def probability_of(self, antecedent: str, consequent: str) -> float:
+        return self.effective_probability.get((antecedent, consequent), 0.0)
+
+
+def measure_effectiveness(
+    records: Iterable[LogRecord],
+    volumes: ProbabilityVolumes,
+    window: float = 300.0,
+) -> EffectivenessResult:
+    """Replay *records* against *volumes* and measure implication value.
+
+    For each request for ``r`` by a source, every consequent ``s`` in
+    ``r``'s volume would be piggybacked.  The piggyback opens a *new
+    prediction* only if ``s`` was not already carried to that source within
+    the last ``window`` seconds (the paper's single-prediction-per-interval
+    rule); the prediction is *true* if the source requests ``s`` within
+    ``window``.  Effective probability of ``r -> s`` is::
+
+        (# accesses of r that opened a new, true prediction of s) / c(r)
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+
+    last_carried: dict[str, dict[str, float]] = {}
+    pending: dict[str, dict[str, tuple[float, str]]] = {}
+    occurrences: dict[str, int] = {}
+    opened: dict[tuple[str, str], int] = {}
+    opened_true: dict[tuple[str, str], int] = {}
+
+    for record in records:
+        source, url, now = record.source, record.url, record.timestamp
+        carried = last_carried.setdefault(source, {})
+        open_predictions = pending.setdefault(source, {})
+
+        # Resolve an outstanding prediction for the requested resource.
+        outstanding = open_predictions.pop(url, None)
+        if outstanding is not None:
+            opened_at, antecedent = outstanding
+            if now - opened_at <= window:
+                key = (antecedent, url)
+                opened_true[key] = opened_true.get(key, 0) + 1
+        # The prediction (if any) is consumed by this access.
+        carried.pop(url, None)
+
+        occurrences[url] = occurrences.get(url, 0) + 1
+
+        # Piggyback r's volume: open new predictions for uncarried members.
+        for consequent, _probability in volumes.members_of(url):
+            previous = carried.get(consequent)
+            carried[consequent] = now
+            if previous is not None and now - previous <= window:
+                continue  # redundant: already predicted in this interval
+            key = (url, consequent)
+            opened[key] = opened.get(key, 0) + 1
+            open_predictions[consequent] = (now, url)
+
+    effective = {
+        key: count / occurrences.get(key[0], 1)
+        for key, count in opened_true.items()
+    }
+    return EffectivenessResult(
+        effective_probability=effective,
+        opened=opened,
+        opened_true=opened_true,
+        antecedent_occurrences=occurrences,
+    )
+
+
+def thin_by_effectiveness(
+    volumes: ProbabilityVolumes,
+    effectiveness: EffectivenessResult,
+    threshold: float,
+) -> ProbabilityVolumes:
+    """Drop implications whose effective probability is below *threshold*."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    return volumes.filtered(
+        lambda r, s, _p: effectiveness.probability_of(r, s) >= threshold
+    )
+
+
+def combine_with_directory(volumes: ProbabilityVolumes, level: int = 1) -> ProbabilityVolumes:
+    """Keep only implications whose endpoints share a level-*level* prefix.
+
+    These are the paper's *combined* volumes: probability membership
+    restricted to the directory structure.  At very low probability
+    thresholds they converge to plain directory-based volumes.
+    """
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    return volumes.filtered(
+        lambda r, s, _p: urls.directory_prefix(r, level) == urls.directory_prefix(s, level)
+    )

@@ -1,0 +1,39 @@
+"""Synthetic workload generation calibrated to the paper's log shapes."""
+
+from .zipf import ZipfSampler, zipf_weights
+from .sitegen import SiteConfig, SyntheticPage, SyntheticResource, SyntheticSite, generate_site
+from .sessions import SessionConfig, SessionEvent, SessionGenerator
+from .modifications import ModificationConfig, ModificationProcess
+from .synth import (
+    CLIENT_PRESETS,
+    SERVER_PRESETS,
+    ClientLogConfig,
+    ServerLogConfig,
+    client_log_preset,
+    generate_client_log,
+    generate_server_log,
+    server_log_preset,
+)
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_weights",
+    "SiteConfig",
+    "SyntheticPage",
+    "SyntheticResource",
+    "SyntheticSite",
+    "generate_site",
+    "SessionConfig",
+    "SessionEvent",
+    "SessionGenerator",
+    "ModificationConfig",
+    "ModificationProcess",
+    "ServerLogConfig",
+    "ClientLogConfig",
+    "generate_server_log",
+    "generate_client_log",
+    "server_log_preset",
+    "client_log_preset",
+    "SERVER_PRESETS",
+    "CLIENT_PRESETS",
+]

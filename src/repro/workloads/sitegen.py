@@ -1,0 +1,246 @@
+"""Synthetic Web site generation.
+
+The original AIUSA/Apache/Marimba/Sun logs are unavailable, so experiments
+run over synthetic sites whose *structure* matches what the paper's results
+depend on: a directory tree of HTML pages, embedded images living beside
+their page, and hyperlinks that mostly stay within a directory.  Directory
+locality is what makes directory-based volumes work (Section 3.2), and
+page->embedded-image implications are what probability-based volumes learn
+(Section 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .. import urls
+
+__all__ = ["SiteConfig", "SyntheticResource", "SyntheticPage", "SyntheticSite", "generate_site"]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteConfig:
+    """Shape parameters for one synthetic site."""
+
+    host: str = "www.example.org"
+    page_count: int = 200
+    directory_count: int = 20
+    max_depth: int = 4
+    mean_images_per_page: float = 3.0
+    image_sharing: float = 0.3
+    shared_image_dir_fraction: float = 0.0
+    links_per_page: float = 3.0
+    link_locality: float = 0.7
+    mean_page_bytes: float = 6_000.0
+    mean_image_bytes: float = 12_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.page_count < 1:
+            raise ValueError("page_count must be >= 1")
+        if self.directory_count < 1:
+            raise ValueError("directory_count must be >= 1")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if not 0.0 <= self.link_locality <= 1.0:
+            raise ValueError("link_locality must be in [0, 1]")
+        if not 0.0 <= self.image_sharing <= 1.0:
+            raise ValueError("image_sharing must be in [0, 1]")
+        if not 0.0 <= self.shared_image_dir_fraction <= 1.0:
+            raise ValueError("shared_image_dir_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticResource:
+    """One resource on the synthetic site."""
+
+    url: str
+    size: int
+    content_type: str
+
+    @property
+    def directory(self) -> str:
+        return self.url.rsplit("/", 1)[0] if "/" in self.url else self.url
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticPage:
+    """An HTML page: its embedded images and outgoing links."""
+
+    url: str
+    embedded: tuple[str, ...] = field(default=())
+    links: tuple[str, ...] = field(default=())
+
+
+class SyntheticSite:
+    """A generated site: resources, pages, and popularity ordering.
+
+    ``pages_by_popularity`` lists page URLs most-popular-first; session
+    generators draw entry pages Zipf-style from that order.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        resources: dict[str, SyntheticResource],
+        pages: dict[str, SyntheticPage],
+        pages_by_popularity: list[str],
+    ):
+        if not pages:
+            raise ValueError("a site needs at least one page")
+        self.host = host
+        self.resources = resources
+        self.pages = pages
+        self.pages_by_popularity = pages_by_popularity
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticSite({self.host!r}, {len(self.pages)} pages, "
+            f"{len(self.resources)} resources)"
+        )
+
+    @property
+    def resource_count(self) -> int:
+        return len(self.resources)
+
+    def directories(self) -> set[str]:
+        """Distinct level-1+ directory prefixes present on the site."""
+        return {urls.directory_prefix(url, 99) for url in self.resources}
+
+    def is_reachable(self, antecedent: str, consequent: str) -> bool:
+        """True if *consequent* is directly linked from *antecedent*.
+
+        A resource reaches its embedded images and HREF targets.  This is
+        the reachability information Section 3.3.1 suggests using to limit
+        pairwise counter creation (pass ``site.is_reachable`` as
+        ``PairwiseConfig.pair_admitted``).
+        """
+        page = self.pages.get(antecedent)
+        if page is None:
+            return False
+        return consequent in page.embedded or consequent in page.links
+
+
+def _lognormal_size(rng: random.Random, mean: float) -> int:
+    """Draw a resource size with a heavy-ish tail around *mean* bytes."""
+    sigma = 1.0
+    mu = max(mean, 1.0)
+    value = rng.lognormvariate(0.0, sigma) * mu / 1.6487212707001282  # e^{sigma^2/2}
+    return max(64, int(value))
+
+
+def _build_directories(rng: random.Random, config: SiteConfig) -> list[str]:
+    """Grow a random directory tree under the host, root included."""
+    directories = [config.host]
+    names = iter(range(10_000))
+    while len(directories) < config.directory_count:
+        parent = rng.choice(directories)
+        depth = parent.count("/")
+        if depth >= config.max_depth:
+            continue
+        directories.append(f"{parent}/d{next(names)}")
+    return directories
+
+
+def generate_site(config: SiteConfig) -> SyntheticSite:
+    """Generate a deterministic synthetic site from *config*.
+
+    Pages are spread over the directory tree; each page gets a geometric
+    number of embedded images.  With probability ``image_sharing`` an image
+    is reused from the page's directory (shared toolbars/logos produce the
+    very popular images real logs show); otherwise a fresh image is created
+    next to the page.  Links stay in-directory with probability
+    ``link_locality`` and otherwise point at a uniformly random page.
+    """
+    rng = random.Random(config.seed)
+    directories = _build_directories(rng, config)
+
+    page_urls: list[str] = []
+    pages_in_dir: dict[str, list[str]] = {d: [] for d in directories}
+    resources: dict[str, SyntheticResource] = {}
+
+    for index in range(config.page_count):
+        directory = rng.choice(directories)
+        url = f"{directory}/p{index}.html"
+        page_urls.append(url)
+        pages_in_dir[directory].append(url)
+        resources[url] = SyntheticResource(
+            url=url,
+            size=_lognormal_size(rng, config.mean_page_bytes),
+            content_type="text",
+        )
+
+    # Sites of the era often kept toolbars/logos in a shared /images
+    # directory rather than beside each page; the split is configurable
+    # because it shapes both Figure 1's depth decay (shared images map to
+    # a shallow prefix) and directory-volume accuracy (local images share
+    # the page's volume).
+    shared_image_dir = f"{config.host}/images"
+    images_in_dir: dict[str, list[str]] = {d: [] for d in directories}
+    images_in_dir[shared_image_dir] = []
+    embedded_of: dict[str, list[str]] = {}
+    image_counter = 0
+    for url in page_urls:
+        page_directory = url.rsplit("/", 1)[0]
+        count = _geometric(rng, config.mean_images_per_page)
+        embedded: list[str] = []
+        for _ in range(count):
+            if rng.random() < config.shared_image_dir_fraction:
+                directory = shared_image_dir
+            else:
+                directory = page_directory
+            pool = images_in_dir[directory]
+            if pool and rng.random() < config.image_sharing:
+                image = rng.choice(pool)
+            else:
+                image = f"{directory}/img{image_counter}.gif"
+                image_counter += 1
+                pool.append(image)
+                resources[image] = SyntheticResource(
+                    url=image,
+                    size=_lognormal_size(rng, config.mean_image_bytes),
+                    content_type="image",
+                )
+            if image not in embedded:
+                embedded.append(image)
+        embedded_of[url] = embedded
+
+    pages: dict[str, SyntheticPage] = {}
+    for url in page_urls:
+        directory = url.rsplit("/", 1)[0]
+        count = _geometric(rng, config.links_per_page)
+        links: list[str] = []
+        for _ in range(count):
+            local = pages_in_dir[directory]
+            if len(local) > 1 and rng.random() < config.link_locality:
+                target = rng.choice(local)
+            else:
+                target = rng.choice(page_urls)
+            if target != url and target not in links:
+                links.append(target)
+        pages[url] = SyntheticPage(
+            url=url, embedded=tuple(embedded_of[url]), links=tuple(links)
+        )
+
+    popularity = list(page_urls)
+    rng.shuffle(popularity)
+    return SyntheticSite(
+        host=config.host,
+        resources=resources,
+        pages=pages,
+        pages_by_popularity=popularity,
+    )
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """Geometric draw with the given mean (0 allowed when mean is 0)."""
+    if mean <= 0:
+        return 0
+    success = 1.0 / (mean + 1.0)
+    count = 0
+    while rng.random() > success:
+        count += 1
+        if count > 1000:  # pathological mean guard
+            break
+    return count

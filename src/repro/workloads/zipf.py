@@ -1,0 +1,70 @@
+"""Zipf-distributed sampling.
+
+Web resource popularity is famously Zipf-like (Appendix A: ~85% of requests
+target <10% of resources; 10% of clients issue >50% of requests).  This
+module provides a small, seedable sampler used by the site and session
+generators.  It deliberately avoids numpy so the core generators have no
+hard dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["zipf_weights", "ZipfSampler"]
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> list[float]:
+    """Return unnormalized Zipf weights ``1/rank**alpha`` for *n* ranks."""
+    if n < 1:
+        raise ValueError("need at least one rank")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    return [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+
+
+class ZipfSampler:
+    """Sample items with Zipf(alpha) popularity over their given order.
+
+    The first item in *items* is the most popular.  Sampling is O(log n)
+    via binary search on the cumulative weight table.
+    """
+
+    def __init__(self, items: Sequence[T], alpha: float = 1.0):
+        if not items:
+            raise ValueError("cannot sample from an empty sequence")
+        self._items: list[T] = list(items)
+        weights = zipf_weights(len(self._items), alpha)
+        self._cumulative: list[float] = list(itertools.accumulate(weights))
+        self._total: float = self._cumulative[-1]
+        self.alpha = alpha
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def sample(self, rng: random.Random) -> T:
+        """Draw one item using *rng*."""
+        point = rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        if index >= len(self._items):
+            index = len(self._items) - 1
+        return self._items[index]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[T]:
+        """Draw *count* items independently."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.sample(rng) for _ in range(count)]
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Exact sampling probability of the item at 0-based *rank*."""
+        if not 0 <= rank < len(self._items):
+            raise IndexError("rank out of range")
+        weight = 1.0 / ((rank + 1) ** self.alpha)
+        return weight / self._total

@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic traces, sites, and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.clean import CleaningConfig, clean_trace
+from repro.traces.records import LogRecord, Trace
+from repro.workloads.sitegen import SiteConfig, generate_site
+from repro.workloads.synth import (
+    ServerLogConfig,
+    SessionConfig,
+    generate_server_log,
+)
+
+
+def make_record(
+    t: float,
+    source: str = "c1",
+    url: str = "www.x.example/a/p.html",
+    **kwargs,
+) -> LogRecord:
+    """Terse LogRecord constructor for tests."""
+    return LogRecord(timestamp=t, source=source, url=url, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def small_site():
+    """A tiny deterministic site (~40 pages)."""
+    return generate_site(SiteConfig(host="www.small.example", page_count=40,
+                                    directory_count=6, seed=42))
+
+
+@pytest.fixture(scope="session")
+def small_server_log():
+    """A small server log plus its site, cleaned (popularity floor 2)."""
+    config = ServerLogConfig(
+        site=SiteConfig(host="www.small.example", page_count=40,
+                        directory_count=6, seed=42),
+        sessions=SessionConfig(),
+        source_count=30,
+        session_count=300,
+        duration_days=3.0,
+        seed=7,
+    )
+    trace, site = generate_server_log(config)
+    cleaned, _ = clean_trace(trace, CleaningConfig(min_accesses=2))
+    return cleaned, site
+
+
+@pytest.fixture()
+def burst_trace() -> Trace:
+    """A hand-built trace: two sources, page+images bursts repeating.
+
+    Source s1 requests /a/p.html then /a/i1.gif and /a/i2.gif within a
+    couple of seconds, three times, spaced 1000 s apart; source s2 does the
+    same once.  Designed so p(i1|p) and p(i2|p) are 1.0.
+    """
+    records = []
+    for source, starts in (("s1", (0.0, 1000.0, 2000.0)), ("s2", (500.0,))):
+        for start in starts:
+            records.append(make_record(start, source, "www.b.example/a/p.html"))
+            records.append(make_record(start + 1.0, source, "www.b.example/a/i1.gif"))
+            records.append(make_record(start + 2.0, source, "www.b.example/a/i2.gif"))
+    return Trace(records)

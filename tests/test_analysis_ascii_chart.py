@@ -1,0 +1,80 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, scatter_plot
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        lines = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        lines = bar_chart([("short", 1.0), ("a-longer-label", 2.0)])
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_appended(self):
+        (line,) = bar_chart([("x", 42.0)])
+        assert line.rstrip().endswith("42")
+
+    def test_explicit_max_scales_bars(self):
+        (line,) = bar_chart([("x", 5.0)], width=10, max_value=10.0)
+        assert line.count("#") == 5
+
+    def test_values_clamped_to_max(self):
+        (line,) = bar_chart([("x", 50.0)], width=10, max_value=10.0)
+        assert line.count("#") == 10
+
+    def test_zero_and_negative_safe(self):
+        lines = bar_chart([("zero", 0.0), ("neg", -3.0)])
+        assert all("#" not in line for line in lines)
+
+    def test_empty_rows(self):
+        assert bar_chart([]) == []
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=0)
+
+
+class TestScatterPlot:
+    def test_markers_present_per_series(self):
+        lines = scatter_plot(
+            {"one": [(0.0, 0.0), (1.0, 1.0)], "two": [(0.5, 0.5)]},
+            width=20, height=6,
+        )
+        text = "\n".join(lines)
+        assert "o" in text and "x" in text
+        assert "o=one" in text and "x=two" in text
+
+    def test_axis_labels_present(self):
+        lines = scatter_plot({"s": [(1.0, 2.0), (3.0, 4.0)]},
+                             x_label="size", y_label="recall")
+        text = "\n".join(lines)
+        assert "recall" in text
+        assert "(size)" in text
+
+    def test_extreme_points_land_on_edges(self):
+        lines = scatter_plot({"s": [(0.0, 0.0), (10.0, 10.0)]},
+                             width=20, height=6)
+        plot_rows = [line for line in lines if "|" in line]
+        assert "o" in plot_rows[0]    # max y on the top row
+        assert "o" in plot_rows[-1]   # min y on the bottom row
+
+    def test_single_point_does_not_crash(self):
+        lines = scatter_plot({"s": [(2.0, 3.0)]})
+        assert any("o" in line for line in lines)
+
+    def test_empty_series(self):
+        lines = scatter_plot({"s": []}, x_label="a", y_label="b")
+        assert lines == ["(no data for b vs a)"]
+
+    def test_too_small_plot_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot({"s": [(0, 0)]}, width=5, height=5)
+
+    def test_deterministic(self):
+        data = {"s": [(0.0, 1.0), (2.0, 3.0), (4.0, 2.0)]}
+        assert scatter_plot(data) == scatter_plot(data)

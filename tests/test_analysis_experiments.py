@@ -1,0 +1,194 @@
+"""Tests for the per-figure experiment entry points.
+
+Run on the small fixture log; assert the paper's qualitative shapes (who
+wins, monotone directions) rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.volumes.probability import PairwiseConfig, PairwiseEstimator
+
+
+@pytest.fixture(scope="module")
+def log(request):
+    trace, site = request.getfixturevalue("small_server_log")
+    return trace
+
+
+# Re-export the session fixture at module scope for speed.
+@pytest.fixture(scope="module")
+def small_server_log_module(small_server_log):
+    return small_server_log
+
+
+class TestFig1:
+    def test_rows_cover_levels(self, small_server_log):
+        trace, _ = small_server_log
+        rows = experiments.fig1_interarrival(trace, levels=(0, 1, 2))
+        assert [r.level for r in rows] == [0, 1, 2]
+        assert all(0.0 <= r.seen_before_fraction <= 1.0 for r in rows)
+
+    def test_shallower_prefixes_more_often_seen(self, small_server_log):
+        trace, _ = small_server_log
+        rows = experiments.fig1_interarrival(trace, levels=(0, 1, 2))
+        fractions = [r.seen_before_fraction for r in rows]
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestFig2Fig3:
+    @pytest.fixture(scope="class")
+    def points(self, small_server_log):
+        trace, _ = small_server_log
+        return experiments.fig2_fig3_directory(
+            trace, levels=(1, 2), access_filters=(1, 20, 100)
+        )
+
+    def test_grid_complete(self, points):
+        assert len(points) == 6
+
+    def test_piggyback_size_decreases_with_filter(self, points):
+        for level in (1, 2):
+            sizes = [p.mean_piggyback_size for p in points if p.level == level]
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_deeper_volumes_are_smaller(self, points):
+        for access_filter in (1, 20, 100):
+            by_level = {p.level: p for p in points if p.access_filter == access_filter}
+            assert by_level[2].mean_piggyback_size <= by_level[1].mean_piggyback_size
+
+    def test_prediction_decreases_with_filter(self, points):
+        for level in (1, 2):
+            predictions = [p.fraction_predicted for p in points if p.level == level]
+            assert predictions == sorted(predictions, reverse=True)
+
+    def test_directory_precision_is_low(self, points):
+        # Paper: directory volumes yield 70-90% false predictions.
+        unfiltered = [p for p in points if p.access_filter == 1]
+        assert all(p.true_prediction_fraction < 0.5 for p in unfiltered)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def points(self, small_server_log):
+        trace, _ = small_server_log
+        return experiments.fig4_rpv(
+            trace, levels=(1,), access_filters=(1,), min_gaps=(0.0, 30.0, 300.0)
+        )
+
+    def test_rpv_reduces_piggyback_traffic(self, points):
+        rates = {p.min_gap: p.piggyback_message_rate for p in points}
+        assert rates[30.0] < rates[0.0]
+        assert rates[300.0] <= rates[30.0]
+
+    def test_prediction_loss_is_modest(self, points):
+        predictions = {p.min_gap: p.fraction_predicted for p in points}
+        # The paper's headline: pacing costs little recall.
+        assert predictions[30.0] >= 0.6 * predictions[0.0]
+
+
+class TestFig5Through8:
+    @pytest.fixture(scope="class")
+    def points(self, small_server_log):
+        trace, _ = small_server_log
+        return experiments.fig6_fig7_fig8_probability(
+            trace, thresholds=(0.1, 0.3, 0.6),
+            variants=("base", "effective-0.2", "combined"),
+        )
+
+    def test_grid_complete(self, points):
+        assert len(points) == 9
+
+    def test_fraction_predicted_decreases_with_threshold(self, points):
+        for variant in ("base", "combined"):
+            series = sorted(
+                (p for p in points if p.variant == variant),
+                key=lambda p: p.probability_threshold,
+            )
+            predictions = [p.fraction_predicted for p in series]
+            assert predictions == sorted(predictions, reverse=True)
+
+    def test_thinning_reduces_size(self, points):
+        for threshold in (0.1, 0.3):
+            base = next(p for p in points
+                        if p.variant == "base" and p.probability_threshold == threshold)
+            thinned = next(p for p in points
+                           if p.variant == "effective-0.2"
+                           and p.probability_threshold == threshold)
+            assert thinned.mean_piggyback_size <= base.mean_piggyback_size
+            assert thinned.implication_count <= base.implication_count
+
+    def test_thinning_improves_precision(self, points):
+        base = next(p for p in points
+                    if p.variant == "base" and p.probability_threshold == 0.1)
+        thinned = next(p for p in points
+                       if p.variant == "effective-0.2"
+                       and p.probability_threshold == 0.1)
+        assert thinned.true_prediction_fraction >= base.true_prediction_fraction
+
+    def test_combined_subset_of_base(self, points):
+        for threshold in (0.1, 0.3, 0.6):
+            base = next(p for p in points
+                        if p.variant == "base" and p.probability_threshold == threshold)
+            combined = next(p for p in points
+                            if p.variant == "combined"
+                            and p.probability_threshold == threshold)
+            assert combined.implication_count <= base.implication_count
+
+    def test_fig5b_cdf(self, small_server_log):
+        trace, _ = small_server_log
+        probabilities = experiments.fig5b_implication_cdf(trace)
+        assert probabilities == sorted(probabilities)
+        assert probabilities and probabilities[-1] <= 1.0
+
+
+class TestTable1:
+    def test_row_consistency(self, small_server_log):
+        trace, _ = small_server_log
+        row = experiments.table1_update_fraction(trace, "fixture")
+        assert row.log == "fixture"
+        assert 0.0 <= row.prev_occurrence_5min <= row.prev_occurrence_2hr <= 1.0
+        assert row.update_fraction == pytest.approx(
+            row.prev_occurrence_5min + row.updated_by_piggyback
+        )
+        assert row.mean_piggyback_size >= 0.0
+
+    def test_fraction_of_cache_hits(self, small_server_log):
+        trace, _ = small_server_log
+        row = experiments.table1_update_fraction(trace, "fixture")
+        if row.prev_occurrence_2hr > 0:
+            assert row.fraction_of_cache_hits(row.prev_occurrence_5min) <= 1.0
+
+
+class TestTables2And3:
+    def test_table3_matches_stats_module(self, small_server_log):
+        trace, _ = small_server_log
+        stats = experiments.table3_server_stats(trace)
+        assert stats.requests == len(trace)
+
+
+class TestSec23Overhead:
+    def test_byte_budget_shape(self, small_server_log):
+        trace, _ = small_server_log
+        summary = experiments.sec23_overhead(trace)
+        # Element cost is URL bytes + 16; our synthetic URLs are short.
+        assert 16.0 < summary.mean_element_bytes < 120.0
+        assert summary.mean_message_bytes >= summary.mean_element_bytes
+        assert 0.0 <= summary.fraction_no_extra_packet <= 1.0
+        assert summary.mean_response_bytes > 0
+
+
+class TestSec4Prefetch:
+    def test_tradeoff_curve_shape(self, small_server_log):
+        trace, _ = small_server_log
+        points = experiments.sec4_prefetch_tradeoffs(trace, thresholds=(0.1, 0.5))
+        assert len(points) == 2
+        low, high = points
+        # Higher thresholds keep the more reliable implications, so the
+        # futile-fetch fraction (and wasted bandwidth) must not grow.
+        # Recall after effectiveness thinning is NOT monotone in p_t (low
+        # thresholds dilute per-pair effectiveness), so it is not asserted.
+        assert high.futile_fraction <= low.futile_fraction
+        assert high.bandwidth_increase <= low.bandwidth_increase
+        assert all(0.0 < p.fraction_prefetchable <= 1.0 for p in points)
+        assert all(0.0 <= p.futile_fraction <= 1.0 for p in points)

@@ -1,0 +1,71 @@
+"""Unit tests for Figure 1's directory locality computations."""
+
+import pytest
+
+from repro.analysis.interarrival import cumulative_distribution, directory_locality
+from repro.traces.records import Trace
+
+from conftest import make_record
+
+
+def build_trace():
+    return Trace(
+        [
+            make_record(0.0, "s1", "h/a/x.html"),
+            make_record(10.0, "s2", "h/a/y.html"),
+            make_record(30.0, "s1", "h/b/z.html"),
+            make_record(100.0, "s1", "h/a/x.html"),
+        ]
+    )
+
+
+class TestDirectoryLocality:
+    def test_level0_everything_seen_after_first(self):
+        (row,) = directory_locality(build_trace(), levels=(0,))
+        assert row.requests == 4
+        assert row.seen_before_fraction == pytest.approx(3 / 4)
+        assert row.interarrivals == (10.0, 20.0, 70.0)
+        assert row.median_interarrival == 20.0
+
+    def test_level1_splits_directories(self):
+        (row,) = directory_locality(build_trace(), levels=(1,))
+        # Prefix h/a seen at 0, 10, 100; prefix h/b only once.
+        assert row.seen_before_fraction == pytest.approx(2 / 4)
+        assert row.interarrivals == (10.0, 90.0)
+        assert row.median_interarrival == 50.0
+
+    def test_deeper_levels_never_more_local(self):
+        rows = directory_locality(build_trace(), levels=(0, 1, 2))
+        fractions = [r.seen_before_fraction for r in rows]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_fraction_within(self):
+        (row,) = directory_locality(build_trace(), levels=(0,))
+        assert row.fraction_within(10.0) == pytest.approx(1 / 3)
+        assert row.fraction_within(1000.0) == 1.0
+        assert row.fraction_within(1.0) == 0.0
+
+    def test_mean_interarrival(self):
+        (row,) = directory_locality(build_trace(), levels=(0,))
+        assert row.mean_interarrival == pytest.approx(100 / 3)
+
+    def test_interarrivals_are_global_across_sources(self):
+        # The 0->10 gap spans two different sources on the same prefix:
+        # the paper measures spacing within the trace, not per client.
+        (row,) = directory_locality(build_trace(), levels=(1,))
+        assert 10.0 in row.interarrivals
+
+
+class TestCumulativeDistribution:
+    def test_basic_points(self):
+        cdf = cumulative_distribution([1.0, 2.0, 3.0, 4.0], points=[0.0, 2.0, 10.0])
+        assert cdf == [(0.0, 0.0), (2.0, 0.5), (10.0, 1.0)]
+
+    def test_empty_values(self):
+        assert cumulative_distribution([], points=[1.0]) == [(1.0, 0.0)]
+
+    def test_monotone(self):
+        values = [5.0, 1.0, 9.0, 3.0, 3.0]
+        points = [0.5, 1.0, 3.0, 6.0, 10.0]
+        cdf = [f for _, f in cumulative_distribution(values, points)]
+        assert cdf == sorted(cdf)

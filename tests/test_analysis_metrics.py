@@ -1,0 +1,52 @@
+"""Unit tests for metric accumulators."""
+
+import pytest
+
+from repro.analysis.metrics import ReplayMetrics
+
+
+class TestDerivedMetrics:
+    def test_zero_division_safe(self):
+        metrics = ReplayMetrics()
+        assert metrics.fraction_predicted == 0.0
+        assert metrics.true_prediction_fraction == 0.0
+        assert metrics.update_fraction == 0.0
+        assert metrics.mean_piggyback_size == 0.0
+        assert metrics.mean_piggyback_bytes == 0.0
+        assert metrics.piggyback_message_rate == 0.0
+
+    def test_fraction_predicted(self):
+        metrics = ReplayMetrics(requests=100, predicted_requests=60)
+        assert metrics.fraction_predicted == pytest.approx(0.6)
+
+    def test_true_prediction_fraction(self):
+        metrics = ReplayMetrics(predictions_opened=50, predictions_true=10)
+        assert metrics.true_prediction_fraction == pytest.approx(0.2)
+
+    def test_update_fraction_is_table1_sum(self):
+        metrics = ReplayMetrics(
+            requests=200,
+            prev_occurrence_recent=19,   # column 3 numerator
+            updated_by_piggyback=22,     # column 4 numerator
+        )
+        assert metrics.update_fraction == pytest.approx(41 / 200)
+
+    def test_table1_column_fractions(self):
+        metrics = ReplayMetrics(
+            requests=100,
+            prev_occurrence_within_history=24,
+            prev_occurrence_recent=10,
+            updated_by_piggyback=11,
+        )
+        assert metrics.prev_occurrence_history_fraction == pytest.approx(0.24)
+        assert metrics.prev_occurrence_recent_fraction == pytest.approx(0.10)
+        assert metrics.updated_by_piggyback_fraction == pytest.approx(0.11)
+
+    def test_piggyback_cost_metrics(self):
+        metrics = ReplayMetrics(
+            requests=10, piggyback_messages=5,
+            piggyback_elements=30, piggyback_bytes=1000,
+        )
+        assert metrics.mean_piggyback_size == pytest.approx(6.0)
+        assert metrics.mean_piggyback_bytes == pytest.approx(200.0)
+        assert metrics.piggyback_message_rate == pytest.approx(0.5)

@@ -1,0 +1,73 @@
+"""Unit tests for the probability-volume build drivers."""
+
+import pytest
+
+from repro.analysis.pairwise import (
+    VolumeBuildConfig,
+    build_volumes_from_trace,
+    implication_probabilities,
+)
+
+
+class TestBuildVolumesFromTrace:
+    def test_base_build_learns_bursts(self, burst_trace):
+        volumes = build_volumes_from_trace(
+            burst_trace, VolumeBuildConfig(probability_threshold=0.9)
+        )
+        members = {url for url, _ in volumes.members_of("www.b.example/a/p.html")}
+        assert members == {"www.b.example/a/i1.gif", "www.b.example/a/i2.gif"}
+
+    def test_threshold_prunes(self, burst_trace):
+        low = build_volumes_from_trace(
+            burst_trace, VolumeBuildConfig(probability_threshold=0.0)
+        )
+        high = build_volumes_from_trace(
+            burst_trace, VolumeBuildConfig(probability_threshold=0.99)
+        )
+        assert high.implication_count() <= low.implication_count()
+
+    def test_combined_restricts_to_directory(self, burst_trace):
+        volumes = build_volumes_from_trace(
+            burst_trace,
+            VolumeBuildConfig(probability_threshold=0.5, combine_level=1),
+        )
+        for antecedent in volumes.antecedents():
+            directory = antecedent.rsplit("/", 1)[0]
+            for consequent, _ in volumes.members_of(antecedent):
+                assert consequent.rsplit("/", 1)[0] == directory
+
+    def test_effectiveness_thinning_keeps_useful_pairs(self, burst_trace):
+        volumes = build_volumes_from_trace(
+            burst_trace,
+            VolumeBuildConfig(probability_threshold=0.5, effectiveness_threshold=0.5),
+        )
+        # p -> i1 opens a fresh, true prediction on every burst: it survives.
+        members = {url for url, _ in volumes.members_of("www.b.example/a/p.html")}
+        assert "www.b.example/a/i1.gif" in members
+
+    def test_sampled_build_close_to_exact_on_small_trace(self, burst_trace):
+        exact = build_volumes_from_trace(
+            burst_trace, VolumeBuildConfig(probability_threshold=0.9)
+        )
+        sampled = build_volumes_from_trace(
+            burst_trace,
+            VolumeBuildConfig(probability_threshold=0.9, sample_counters=True, seed=5),
+        )
+        assert sampled.implication_count() <= exact.implication_count()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            VolumeBuildConfig(probability_threshold=1.5)
+        with pytest.raises(ValueError):
+            VolumeBuildConfig(effectiveness_threshold=-0.1)
+
+
+class TestImplicationProbabilities:
+    def test_sorted_and_bounded(self, burst_trace):
+        probabilities = implication_probabilities(burst_trace)
+        assert probabilities == sorted(probabilities)
+        assert all(0.0 < p <= 1.0 for p in probabilities)
+
+    def test_burst_pairs_at_probability_one(self, burst_trace):
+        probabilities = implication_probabilities(burst_trace)
+        assert probabilities[-1] == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Tests for rate-of-change measurement and delta savings estimation."""
+
+import pytest
+
+from repro.analysis.rate_of_change import estimate_delta_savings, rate_of_change
+from repro.traces.records import Trace
+from repro.workloads.synth import server_log_preset
+
+from conftest import make_record
+
+
+def build_trace():
+    return Trace(
+        [
+            make_record(0.0, "c1", "h/a.html", last_modified=10.0, size=1000),
+            make_record(100.0, "c2", "h/a.html", last_modified=10.0, size=1000),  # same
+            make_record(200.0, "c1", "h/a.html", last_modified=150.0, size=1000),  # changed
+            make_record(0.0, "c1", "h/b.gif", last_modified=5.0, size=400),
+            make_record(300.0, "c1", "h/b.gif", last_modified=5.0, size=400),  # same
+            make_record(10.0, "c1", "h/nolm.html"),  # no Last-Modified: skipped
+        ]
+    )
+
+
+class TestRateOfChange:
+    def test_counts(self):
+        stats = rate_of_change(build_trace())
+        assert stats.repeat_accesses == 3
+        assert stats.changed_accesses == 1
+        assert stats.changed_fraction == pytest.approx(1 / 3)
+
+    def test_content_type_breakdown(self):
+        stats = rate_of_change(build_trace())
+        assert stats.changed_fraction_for("text") == pytest.approx(1 / 2)
+        assert stats.changed_fraction_for("image") == 0.0
+        assert stats.changed_fraction_for("video") == 0.0
+
+    def test_empty_trace(self):
+        stats = rate_of_change(Trace([]))
+        assert stats.changed_fraction == 0.0
+
+    def test_preset_calibration_near_paper_value(self):
+        # Appendix A: ~15% of repeat responses reflected a change (a
+        # conservative estimate).  The default modification process should
+        # land in the same decade.
+        trace, _ = server_log_preset("aiusa", scale=0.3)
+        stats = rate_of_change(trace)
+        assert stats.repeat_accesses > 100
+        assert 0.005 < stats.changed_fraction < 0.4
+
+
+class TestDeltaSavings:
+    def test_savings_on_changed_transfers(self):
+        savings = estimate_delta_savings(build_trace())
+        assert savings.changed_transfers == 1
+        assert savings.full_bytes == 1000
+        assert savings.delta_bytes < savings.full_bytes
+        # Only a version stamp changed: the delta should be tiny.
+        assert savings.savings_fraction > 0.8
+
+    def test_no_changes_no_transfers(self):
+        trace = Trace(
+            [
+                make_record(0.0, "c1", "h/x.html", last_modified=1.0, size=500),
+                make_record(9.0, "c1", "h/x.html", last_modified=1.0, size=500),
+            ]
+        )
+        savings = estimate_delta_savings(trace)
+        assert savings.changed_transfers == 0
+        assert savings.savings_fraction == 0.0
+
+    def test_cap_limits_work(self):
+        records = []
+        for i in range(40):
+            records.append(make_record(i * 10.0, "c1", "h/hot.html",
+                                       last_modified=float(i), size=800))
+        savings = estimate_delta_savings(Trace(records), max_transfers=5)
+        assert savings.changed_transfers == 5
+
+    def test_preset_savings_substantial(self):
+        trace, _ = server_log_preset("aiusa", scale=0.2)
+        savings = estimate_delta_savings(trace, max_transfers=100)
+        if savings.changed_transfers:
+            assert savings.savings_fraction > 0.5

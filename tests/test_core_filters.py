@@ -1,0 +1,103 @@
+"""Unit tests for proxy filters."""
+
+import pytest
+
+from repro.core.filters import CandidateElement, ProxyFilter
+
+
+def candidates():
+    return (
+        CandidateElement("h/a.html", 10.0, 500, access_count=100,
+                         probability=0.9, content_type="text"),
+        CandidateElement("h/b.gif", 11.0, 5000, access_count=50,
+                         probability=0.5, content_type="image"),
+        CandidateElement("h/c.html", 12.0, 100, access_count=5,
+                         probability=0.2, content_type="text"),
+        CandidateElement("h/d.mpg", 13.0, 9_000_000, access_count=80,
+                         probability=0.8, content_type="video"),
+    )
+
+
+class TestAdmission:
+    def test_requested_url_never_included(self):
+        message = ProxyFilter().apply(1, candidates(), "h/a.html")
+        assert "h/a.html" not in message.urls()
+
+    def test_max_elements_truncates_in_order(self):
+        message = ProxyFilter(max_elements=2).apply(1, candidates(), "h/zzz")
+        assert message.urls() == ["h/a.html", "h/b.gif"]
+
+    def test_max_elements_zero_suppresses_message(self):
+        assert ProxyFilter(max_elements=0).apply(1, candidates(), "h/zzz") is None
+
+    def test_min_access_count(self):
+        message = ProxyFilter(min_access_count=60).apply(1, candidates(), "h/zzz")
+        assert message.urls() == ["h/a.html", "h/d.mpg"]
+
+    def test_probability_threshold(self):
+        message = ProxyFilter(probability_threshold=0.6).apply(1, candidates(), "h/zzz")
+        assert message.urls() == ["h/a.html", "h/d.mpg"]
+
+    def test_max_resource_size(self):
+        message = ProxyFilter(max_resource_size=1000).apply(1, candidates(), "h/zzz")
+        assert message.urls() == ["h/a.html", "h/c.html"]
+
+    def test_excluded_content_types(self):
+        proxy_filter = ProxyFilter(excluded_content_types=frozenset({"image", "video"}))
+        message = proxy_filter.apply(1, candidates(), "h/zzz")
+        assert message.urls() == ["h/a.html", "h/c.html"]
+
+    def test_all_criteria_compose(self):
+        proxy_filter = ProxyFilter(
+            max_elements=1,
+            min_access_count=10,
+            probability_threshold=0.4,
+            max_resource_size=100_000,
+            excluded_content_types=frozenset({"image"}),
+        )
+        message = proxy_filter.apply(1, candidates(), "h/zzz")
+        assert message.urls() == ["h/a.html"]
+
+    def test_empty_result_returns_none(self):
+        assert ProxyFilter(min_access_count=10_000).apply(1, candidates(), "h/z") is None
+
+
+class TestRpvAndEnable:
+    def test_rpv_hit_suppresses_message(self):
+        proxy_filter = ProxyFilter(recently_piggybacked=frozenset({3, 4}))
+        assert proxy_filter.apply(3, candidates(), "h/z") is None
+        assert proxy_filter.apply(5, candidates(), "h/z") is not None
+
+    def test_disabled_filter_suppresses_everything(self):
+        assert ProxyFilter.disabled().apply(1, candidates(), "h/z") is None
+
+    def test_with_rpv_builder(self):
+        proxy_filter = ProxyFilter().with_rpv([1, 2])
+        assert proxy_filter.recently_piggybacked == frozenset({1, 2})
+        assert not proxy_filter.admits_volume(2)
+
+
+class TestStreamingConsumption:
+    def test_lazy_candidates_consumed_only_as_needed(self):
+        seen = []
+
+        def generator():
+            for candidate in candidates():
+                seen.append(candidate.url)
+                yield candidate
+
+        ProxyFilter(max_elements=1).apply(1, generator(), "h/zzz")
+        # Stops right after the first admitted element.
+        assert seen == ["h/a.html"]
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProxyFilter(max_elements=-1)
+        with pytest.raises(ValueError):
+            ProxyFilter(probability_threshold=1.5)
+        with pytest.raises(ValueError):
+            ProxyFilter(min_access_count=-2)
+        with pytest.raises(ValueError):
+            ProxyFilter(max_resource_size=-5)

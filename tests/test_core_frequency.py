@@ -1,0 +1,106 @@
+"""Unit tests for piggyback pacing policies."""
+
+import pytest
+
+from repro.core.frequency import (
+    AdaptiveGap,
+    AlwaysEnable,
+    MinimumGap,
+    RandomEnable,
+    make_policy,
+)
+
+
+class TestAlwaysEnable:
+    def test_always_true(self):
+        policy = AlwaysEnable()
+        assert all(policy.should_enable("s", float(t)) for t in range(5))
+
+
+class TestRandomEnable:
+    def test_probability_zero_never_enables(self):
+        policy = RandomEnable(0.0, seed=1)
+        assert not any(policy.should_enable("s", float(t)) for t in range(100))
+
+    def test_probability_one_always_enables(self):
+        policy = RandomEnable(1.0, seed=1)
+        assert all(policy.should_enable("s", float(t)) for t in range(100))
+
+    def test_rate_close_to_probability(self):
+        policy = RandomEnable(0.3, seed=2)
+        rate = sum(policy.should_enable("s", 0.0) for _ in range(5000)) / 5000
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomEnable(1.5)
+
+
+class TestMinimumGap:
+    def test_enables_before_any_piggyback(self):
+        policy = MinimumGap(gap=60.0)
+        assert policy.should_enable("s", 0.0)
+
+    def test_disables_within_gap(self):
+        policy = MinimumGap(gap=60.0)
+        policy.observe_piggyback("s", 100.0, useful=True)
+        assert not policy.should_enable("s", 130.0)
+        assert policy.should_enable("s", 160.0)
+
+    def test_gap_is_per_server(self):
+        policy = MinimumGap(gap=60.0)
+        policy.observe_piggyback("a", 100.0, useful=True)
+        assert policy.should_enable("b", 110.0)
+
+    def test_paper_default_one_minute(self):
+        # "disabling piggybacks from servers which have sent piggybacks
+        # within the last minute"
+        policy = MinimumGap()
+        policy.observe_piggyback("s", 0.0, useful=False)
+        assert not policy.should_enable("s", 59.0)
+        assert policy.should_enable("s", 60.0)
+
+
+class TestAdaptiveGap:
+    def test_useless_piggybacks_grow_the_gap(self):
+        policy = AdaptiveGap(initial_gap=60.0, max_gap=600.0)
+        policy.observe_piggyback("s", 0.0, useful=False)
+        assert policy.current_gap("s") == 120.0
+        policy.observe_piggyback("s", 200.0, useful=False)
+        assert policy.current_gap("s") == 240.0
+
+    def test_useful_piggybacks_shrink_the_gap(self):
+        policy = AdaptiveGap(initial_gap=60.0, min_gap=5.0)
+        policy.observe_piggyback("s", 0.0, useful=True)
+        assert policy.current_gap("s") == 30.0
+
+    def test_gap_clamped(self):
+        policy = AdaptiveGap(initial_gap=60.0, min_gap=50.0, max_gap=70.0)
+        policy.observe_piggyback("s", 0.0, useful=True)
+        assert policy.current_gap("s") == 50.0
+        policy.observe_piggyback("s", 100.0, useful=False)
+        assert policy.current_gap("s") == 70.0
+
+    def test_should_enable_respects_current_gap(self):
+        policy = AdaptiveGap(initial_gap=60.0)
+        policy.observe_piggyback("s", 0.0, useful=False)  # gap becomes 120
+        assert not policy.should_enable("s", 100.0)
+        assert policy.should_enable("s", 121.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveGap(initial_gap=10.0, min_gap=20.0, max_gap=30.0)
+        with pytest.raises(ValueError):
+            AdaptiveGap(grow=0.5)
+
+
+class TestMakePolicy:
+    def test_constructs_by_name(self):
+        assert isinstance(make_policy("always"), AlwaysEnable)
+        assert isinstance(make_policy("random", probability=0.5), RandomEnable)
+        assert isinstance(make_policy("min-gap", gap=30.0), MinimumGap)
+        assert isinstance(make_policy("adaptive"), AdaptiveGap)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_policy("nope")

@@ -1,0 +1,81 @@
+"""Unit tests for piggyback messages and the Section 2.3 byte model."""
+
+import pytest
+
+from repro.core.piggyback import (
+    ELEMENT_FIXED_BYTES,
+    MAX_VOLUME_ID,
+    VOLUME_ID_BYTES,
+    PiggybackElement,
+    PiggybackMessage,
+)
+
+
+class TestPiggybackElement:
+    def test_wire_bytes_omits_server_name(self):
+        element = PiggybackElement("www.sig.com/mafia.html", 866362345.0, 1530)
+        assert element.wire_bytes() == len("mafia.html") + ELEMENT_FIXED_BYTES
+
+    def test_wire_bytes_bare_host(self):
+        element = PiggybackElement("www.sig.com")
+        assert element.wire_bytes() == len("www.sig.com") + ELEMENT_FIXED_BYTES
+
+    def test_paper_byte_budget(self):
+        # Section 2.3: a typical 50-byte URL costs ~66 bytes per element.
+        url = "www.sig.com/" + "a" * 50
+        element = PiggybackElement(url)
+        assert element.wire_bytes() == 50 + 16
+
+    def test_frozen(self):
+        element = PiggybackElement("h/x")
+        with pytest.raises(AttributeError):
+            element.size = 3  # type: ignore[misc]
+
+
+class TestPiggybackMessage:
+    def make(self, count=3):
+        return PiggybackMessage(
+            volume_id=7,
+            elements=tuple(
+                PiggybackElement(f"h/p{i}.html", float(i), 100 * i) for i in range(count)
+            ),
+        )
+
+    def test_len_iter_bool(self):
+        message = self.make(3)
+        assert len(message) == 3
+        assert [e.url for e in message] == ["h/p0.html", "h/p1.html", "h/p2.html"]
+        assert bool(message)
+        assert not PiggybackMessage(volume_id=0, elements=())
+
+    def test_urls(self):
+        assert self.make(2).urls() == ["h/p0.html", "h/p1.html"]
+
+    def test_wire_bytes_sums_elements_plus_id(self):
+        message = self.make(2)
+        expected = VOLUME_ID_BYTES + sum(e.wire_bytes() for e in message)
+        assert message.wire_bytes() == expected
+
+    def test_volume_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            PiggybackMessage(volume_id=MAX_VOLUME_ID + 1, elements=())
+        with pytest.raises(ValueError):
+            PiggybackMessage(volume_id=-1, elements=())
+        # The boundary value itself is legal (32767 volumes per server).
+        PiggybackMessage(volume_id=MAX_VOLUME_ID, elements=())
+
+    def test_from_urls_with_metadata(self):
+        message = PiggybackMessage.from_urls(
+            3, ["h/a", "h/b"], metadata={"h/a": (11.0, 222)}
+        )
+        assert message.elements[0].last_modified == 11.0
+        assert message.elements[0].size == 222
+        assert message.elements[1].last_modified == 0.0
+
+    def test_paper_example_message_size(self):
+        # Section 2.3: 6 elements of ~66 bytes => ~398 bytes total.
+        elements = tuple(
+            PiggybackElement("www.sun.example/" + "x" * 50) for _ in range(6)
+        )
+        message = PiggybackMessage(volume_id=1, elements=elements)
+        assert message.wire_bytes() == 2 + 6 * 66

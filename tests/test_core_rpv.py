@@ -1,0 +1,76 @@
+"""Unit tests for recently-piggybacked-volume lists."""
+
+import pytest
+
+from repro.core.rpv import RpvList, RpvTable
+
+
+class TestRpvList:
+    def test_record_and_contains(self):
+        rpv = RpvList(timeout=30.0)
+        rpv.record(3, now=100.0)
+        assert 3 in rpv
+        assert 4 not in rpv
+
+    def test_active_ids_within_timeout(self):
+        rpv = RpvList(timeout=30.0)
+        rpv.record(3, now=100.0)
+        rpv.record(4, now=110.0)
+        assert rpv.active_ids(now=120.0) == frozenset({3, 4})
+
+    def test_expiry_drops_old_entries(self):
+        rpv = RpvList(timeout=30.0)
+        rpv.record(3, now=100.0)
+        rpv.record(4, now=125.0)
+        assert rpv.active_ids(now=131.0) == frozenset({4})
+        assert 3 not in rpv
+
+    def test_max_entries_evicts_oldest_fifo(self):
+        rpv = RpvList(timeout=1e9, max_entries=2)
+        rpv.record(1, 0.0)
+        rpv.record(2, 1.0)
+        rpv.record(3, 2.0)
+        assert 1 not in rpv
+        assert {2, 3} <= set(rpv.active_ids(3.0))
+
+    def test_rerecording_refreshes_position_and_time(self):
+        rpv = RpvList(timeout=30.0, max_entries=2)
+        rpv.record(1, 0.0)
+        rpv.record(2, 1.0)
+        rpv.record(1, 2.0)  # 1 is now the most recent
+        rpv.record(3, 3.0)  # evicts 2, not 1
+        assert 1 in rpv and 3 in rpv and 2 not in rpv
+        assert rpv.last_piggyback(1) == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RpvList(timeout=0.0)
+        with pytest.raises(ValueError):
+            RpvList(max_entries=0)
+
+
+class TestRpvTable:
+    def test_per_server_isolation(self):
+        table = RpvTable(timeout=30.0)
+        table.record("a.com", 1, 0.0)
+        table.record("b.com", 2, 0.0)
+        assert table.active_ids("a.com", 1.0) == frozenset({1})
+        assert table.active_ids("b.com", 1.0) == frozenset({2})
+
+    def test_unknown_server_empty(self):
+        table = RpvTable()
+        assert table.active_ids("x.com", 0.0) == frozenset()
+
+    def test_bounded_server_count_evicts_lru(self):
+        table = RpvTable(max_servers=2)
+        table.record("a.com", 1, 0.0)
+        table.record("b.com", 1, 1.0)
+        table.for_server("a.com")  # touch a.com so b.com is the LRU
+        table.record("c.com", 1, 2.0)
+        assert len(table) == 2
+        assert table.active_ids("b.com", 3.0) == frozenset()
+        assert table.active_ids("a.com", 3.0) == frozenset({1})
+
+    def test_invalid_max_servers(self):
+        with pytest.raises(ValueError):
+            RpvTable(max_servers=0)

@@ -1,0 +1,40 @@
+"""Smoke tests: the fast runnable examples must execute cleanly.
+
+The two trace-heavy examples (prefetching_proxy, log_analysis) are
+exercised indirectly by the analysis tests and benchmarks; running them
+here would double the suite's runtime for no extra coverage.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "wire_protocol_demo.py",
+    "volume_center_demo.py",
+    "extensions_demo.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_all_examples_present():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "prefetching_proxy.py", "log_analysis.py",
+            "wire_protocol_demo.py", "volume_center_demo.py",
+            "extensions_demo.py"} <= found

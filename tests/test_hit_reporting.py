@@ -1,0 +1,132 @@
+"""Tests for proxy-to-server cache-hit reporting (Section 5 extension)."""
+
+import pytest
+
+from repro.core.protocol import ProxyRequest
+from repro.httpmodel.piggy_codec import (
+    PiggyCodecError,
+    format_piggy_report,
+    parse_piggy_report,
+)
+from repro.proxy.proxy import PiggybackProxy, ProxyConfig
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+
+def make_pair(report=True):
+    resources = ResourceStore()
+    resources.add("h/a/page.html", size=1000, last_modified=10.0)
+    resources.add("h/a/img.gif", size=500, last_modified=10.0)
+    server = PiggybackServer(
+        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    )
+    proxy = PiggybackProxy(
+        server.handle,
+        ProxyConfig(name="p", freshness_interval=1000.0, report_cache_hits=report),
+    )
+    return proxy, server
+
+
+class TestReportCodec:
+    def test_round_trip(self):
+        report = (("h/a/x.html", 5), ("h/b y.html", 2))
+        parsed = parse_piggy_report(format_piggy_report(report))
+        assert parsed == report
+
+    def test_empty_report_no_header(self):
+        assert format_piggy_report(()) is None
+        assert parse_piggy_report(None) == ()
+
+    def test_malformed_values(self):
+        with pytest.raises(PiggyCodecError):
+            parse_piggy_report("x=1")
+        with pytest.raises(PiggyCodecError):
+            parse_piggy_report("r=/a|b|c")
+        with pytest.raises(PiggyCodecError):
+            parse_piggy_report("r=/a|not-a-number")
+
+
+class TestProxySide:
+    def test_hits_accumulate_and_flush_on_next_contact(self):
+        proxy, server = make_pair()
+        proxy.handle_client_get("h/a/page.html", now=0.0)     # fetch
+        proxy.handle_client_get("h/a/page.html", now=10.0)    # fresh hit
+        proxy.handle_client_get("h/a/page.html", now=20.0)    # fresh hit
+        captured = []
+        original = proxy.upstream
+
+        def spying_upstream(request: ProxyRequest):
+            captured.append(request.cache_hit_report)
+            return original(request)
+
+        proxy.upstream = spying_upstream
+        proxy.handle_client_get("h/a/img.gif", now=30.0)      # server contact
+        assert captured == [(("h/a/page.html", 2),)]
+
+    def test_report_cleared_after_flush(self):
+        proxy, server = make_pair()
+        proxy.handle_client_get("h/a/page.html", now=0.0)
+        proxy.handle_client_get("h/a/page.html", now=10.0)
+        proxy.handle_client_get("h/a/img.gif", now=20.0)      # flush
+        assert proxy._take_hit_report("h") == ()
+
+    def test_disabled_by_default(self):
+        proxy, _ = make_pair(report=False)
+        proxy.handle_client_get("h/a/page.html", now=0.0)
+        proxy.handle_client_get("h/a/page.html", now=10.0)
+        assert proxy._take_hit_report("h") == ()
+
+    def test_report_bounded_and_sorted_by_count(self):
+        proxy, server = make_pair()
+        config = ProxyConfig(name="p", freshness_interval=1e6,
+                             report_cache_hits=True, max_report_entries=1)
+        proxy = PiggybackProxy(server.handle, config)
+        proxy.handle_client_get("h/a/page.html", now=0.0)
+        proxy.handle_client_get("h/a/img.gif", now=1.0)
+        for t in (10.0, 20.0, 30.0):
+            proxy.handle_client_get("h/a/page.html", now=t)
+        proxy.handle_client_get("h/a/img.gif", now=40.0)
+        report = proxy._take_hit_report("h")
+        assert report == (("h/a/page.html", 3),)
+
+
+class TestServerSide:
+    def test_reported_hits_feed_volume_maintenance(self):
+        resources = ResourceStore()
+        resources.add("h/a/hidden.html", size=100, last_modified=1.0)
+        resources.add("h/a/other.html", size=100, last_modified=1.0)
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        server = PiggybackServer(resources, store)
+
+        request = ProxyRequest(
+            url="h/a/other.html", timestamp=100.0, source="p",
+            cache_hit_report=(("h/a/hidden.html", 4),),
+        )
+        response = server.handle(request)
+        assert server.stats.reported_cache_hits == 4
+        # hidden.html entered the volume via the report alone, so it can
+        # be piggybacked even though the server never served it directly.
+        assert response.piggyback is not None
+        assert "h/a/hidden.html" in response.piggyback.urls()
+
+    def test_unknown_urls_in_report_ignored(self):
+        proxy, server = make_pair()
+        request = ProxyRequest(
+            url="h/a/page.html", timestamp=0.0, source="p",
+            cache_hit_report=(("h/elsewhere/x.html", 3), ("h/a/img.gif", 0)),
+        )
+        server.handle(request)
+        assert server.stats.reported_cache_hits == 0
+
+    def test_end_to_end_popularity_restoration(self):
+        proxy, server = make_pair()
+        # page becomes a cache hit repeatedly; without reporting the
+        # server would see it exactly once.
+        proxy.handle_client_get("h/a/page.html", now=0.0)
+        for t in range(1, 6):
+            proxy.handle_client_get("h/a/page.html", now=float(t))
+        proxy.handle_client_get("h/a/img.gif", now=10.0)
+        lookup = server.volume_store.lookup("h/a/img.gif").materialized()
+        page = next(c for c in lookup.candidates if c.url == "h/a/page.html")
+        assert page.access_count == 6  # 1 direct + 5 reported

@@ -1,0 +1,86 @@
+"""Unit tests for chunked transfer-coding with trailers."""
+
+import pytest
+
+from repro.httpmodel.chunked import ChunkedDecodeError, decode_chunked, encode_chunked
+from repro.httpmodel.headers import Headers
+
+
+class TestEncode:
+    def test_empty_body_no_trailers(self):
+        assert encode_chunked(b"") == b"0\r\n\r\n"
+
+    def test_single_chunk(self):
+        encoded = encode_chunked(b"hello", chunk_size=4096)
+        assert encoded == b"5\r\nhello\r\n0\r\n\r\n"
+
+    def test_chunk_size_splits_body(self):
+        encoded = encode_chunked(b"abcdef", chunk_size=4)
+        assert encoded == b"4\r\nabcd\r\n2\r\nef\r\n0\r\n\r\n"
+
+    def test_trailers_after_zero_chunk(self):
+        trailers = Headers([("P-volume", "id=1; e=/x|0|1")])
+        encoded = encode_chunked(b"hi", trailers=trailers)
+        assert encoded.endswith(b"0\r\nP-volume: id=1; e=/x|0|1\r\n\r\n")
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            encode_chunked(b"x", chunk_size=0)
+
+
+class TestDecode:
+    def test_round_trip_no_trailers(self):
+        body, trailers, rest = decode_chunked(encode_chunked(b"payload", chunk_size=3))
+        assert body == b"payload"
+        assert len(trailers) == 0
+        assert rest == b""
+
+    def test_round_trip_with_trailers(self):
+        sent = Headers([("P-volume", "id=7"), ("X-Extra", "1")])
+        body, trailers, rest = decode_chunked(encode_chunked(b"data", trailers=sent))
+        assert body == b"data"
+        assert trailers == sent
+        assert rest == b""
+
+    def test_remainder_preserved_for_pipelining(self):
+        encoded = encode_chunked(b"one") + b"NEXT MESSAGE"
+        body, _, rest = decode_chunked(encoded)
+        assert body == b"one"
+        assert rest == b"NEXT MESSAGE"
+
+    def test_chunk_extensions_ignored(self):
+        data = b"5;ext=1\r\nhello\r\n0\r\n\r\n"
+        body, _, _ = decode_chunked(data)
+        assert body == b"hello"
+
+    def test_hex_sizes(self):
+        payload = b"x" * 0x1A
+        data = b"1a\r\n" + payload + b"\r\n0\r\n\r\n"
+        body, _, _ = decode_chunked(data)
+        assert body == payload
+
+    def test_truncated_size_line(self):
+        with pytest.raises(ChunkedDecodeError):
+            decode_chunked(b"5")
+
+    def test_truncated_chunk_data(self):
+        with pytest.raises(ChunkedDecodeError):
+            decode_chunked(b"5\r\nhel")
+
+    def test_missing_crlf_after_chunk(self):
+        with pytest.raises(ChunkedDecodeError):
+            decode_chunked(b"2\r\nabXX0\r\n\r\n")
+
+    def test_bad_size_token(self):
+        with pytest.raises(ChunkedDecodeError):
+            decode_chunked(b"zz\r\nab\r\n0\r\n\r\n")
+
+    def test_truncated_trailer_block(self):
+        with pytest.raises(ChunkedDecodeError):
+            decode_chunked(b"0\r\nP-volume: id=1")
+
+    def test_large_round_trip(self):
+        body = bytes(range(256)) * 100
+        decoded, _, rest = decode_chunked(encode_chunked(body, chunk_size=500))
+        assert decoded == body
+        assert rest == b""

@@ -1,0 +1,96 @@
+"""Unit tests for the packet model and persistent-connection pool."""
+
+import pytest
+
+from repro.httpmodel.connection import ConnectionPool, PacketModel
+from repro.httpmodel.dates import format_http_date, parse_http_date
+
+
+class TestPacketModel:
+    def test_packets_for_boundaries(self):
+        model = PacketModel(mss=1460)
+        assert model.packets_for(0) == 0
+        assert model.packets_for(1) == 1
+        assert model.packets_for(1460) == 1
+        assert model.packets_for(1461) == 2
+
+    def test_small_piggyback_often_free(self):
+        # Section 2.3: a ~398-byte piggyback usually fits in the response's
+        # final packet.
+        model = PacketModel(mss=1460)
+        assert model.extra_packets_for_piggyback(body_bytes=1000, piggyback_bytes=398) == 0
+
+    def test_piggyback_can_cost_one_packet(self):
+        model = PacketModel(mss=1460)
+        assert model.extra_packets_for_piggyback(body_bytes=1400, piggyback_bytes=398) == 1
+
+    def test_net_packet_change_counts_avoided_connections(self):
+        model = PacketModel(mss=1460)
+        # One extra packet but two avoided connections => net -3.
+        change = model.net_packet_change(
+            body_bytes=1400, piggyback_bytes=398, connections_avoided=2
+        )
+        assert change == 1 - 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PacketModel(mss=0)
+        with pytest.raises(ValueError):
+            PacketModel().packets_for(-1)
+
+
+class TestConnectionPool:
+    def test_first_use_opens(self):
+        pool = ConnectionPool(idle_timeout=60.0)
+        assert not pool.acquire("a.com", now=0.0)
+        assert pool.stats.opened == 1
+
+    def test_reuse_within_timeout(self):
+        pool = ConnectionPool(idle_timeout=60.0)
+        pool.acquire("a.com", now=0.0)
+        assert pool.acquire("a.com", now=30.0)
+        assert pool.stats.reused == 1
+        assert pool.stats.reuse_rate == pytest.approx(0.5)
+
+    def test_idle_timeout_closes(self):
+        pool = ConnectionPool(idle_timeout=60.0)
+        pool.acquire("a.com", now=0.0)
+        assert not pool.acquire("a.com", now=100.0)
+        assert pool.stats.closed_idle == 1
+
+    def test_extend_timeout_keeps_connection_warm(self):
+        pool = ConnectionPool(idle_timeout=60.0)
+        pool.acquire("a.com", now=0.0)
+        pool.extend_timeout("a.com", now=0.0, extra=120.0)
+        assert pool.acquire("a.com", now=150.0)
+
+    def test_capacity_evicts_lru(self):
+        pool = ConnectionPool(idle_timeout=1e9, max_connections=2)
+        pool.acquire("a.com", now=0.0)
+        pool.acquire("b.com", now=1.0)
+        pool.acquire("c.com", now=2.0)
+        assert len(pool) == 2
+        assert pool.stats.closed_evicted == 1
+        assert not pool.acquire("a.com", now=3.0)  # was evicted
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConnectionPool(idle_timeout=0.0)
+        with pytest.raises(ValueError):
+            ConnectionPool(max_connections=0)
+        pool = ConnectionPool()
+        with pytest.raises(ValueError):
+            pool.extend_timeout("a.com", 0.0, extra=-1.0)
+
+
+class TestHttpDates:
+    def test_round_trip(self):
+        stamp = 899721000.0
+        assert parse_http_date(format_http_date(stamp)) == stamp
+
+    def test_format_is_rfc1123(self):
+        assert format_http_date(899721000.0) == "Mon, 06 Jul 1998 10:30:00 GMT"
+
+    def test_unparseable_raises(self):
+        with pytest.raises(ValueError):
+            parse_http_date("not a date")

@@ -1,0 +1,122 @@
+"""Unit and property tests for delta encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.httpmodel.delta import (
+    DeltaError,
+    apply_delta,
+    delta_stats,
+    encode_delta,
+)
+
+
+class TestRoundTrip:
+    def test_identical_versions(self):
+        body = b"The quick brown fox jumps over the lazy dog" * 10
+        delta = encode_delta(body, body)
+        assert apply_delta(body, delta) == body
+        assert len(delta) < len(body) / 4
+
+    def test_small_edit_small_delta(self):
+        old = (b"<html><body>" + b"paragraph one. " * 50
+               + b"paragraph two. " * 50 + b"</body></html>")
+        new = old.replace(b"paragraph one. " * 1, b"paragraph ONE! ", 1)
+        delta = encode_delta(old, new)
+        assert apply_delta(old, delta) == new
+        # "most changes are small, relative to the size of the resource"
+        assert len(delta) < len(new) / 4
+
+    def test_empty_old(self):
+        new = b"entirely new content"
+        delta = encode_delta(b"", new)
+        assert apply_delta(b"", delta) == new
+
+    def test_empty_new(self):
+        delta = encode_delta(b"anything", b"")
+        assert apply_delta(b"anything", delta) == b""
+
+    def test_completely_different(self):
+        old = b"a" * 500
+        new = b"b" * 500
+        delta = encode_delta(old, new)
+        assert apply_delta(old, delta) == new
+
+    def test_appended_content(self):
+        old = b"stable prefix " * 40
+        new = old + b"breaking news!"
+        delta = encode_delta(old, new)
+        assert apply_delta(old, delta) == new
+        assert len(delta) < 80
+
+    def test_prepended_content(self):
+        old = b"0123456789abcdef" * 30
+        new = b"NEW HEADER " + old
+        delta = encode_delta(old, new)
+        assert apply_delta(old, delta) == new
+        assert len(delta) < 80
+
+
+class TestStats:
+    def test_savings_for_small_change(self):
+        old = bytes(range(256)) * 40
+        new = old[:5000] + b"XX" + old[5002:]
+        stats = delta_stats(old, new)
+        assert stats.new_size == len(new)
+        assert stats.savings > 0.8 * len(new)
+        assert stats.ratio < 0.2
+
+    def test_ratio_for_total_rewrite(self):
+        stats = delta_stats(b"a" * 100, b"b" * 100)
+        assert stats.ratio >= 1.0  # framing makes it slightly worse
+
+    def test_empty_new_ratio(self):
+        assert delta_stats(b"abc", b"").ratio == 0.0
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(DeltaError):
+            apply_delta(b"old", b"XXXX\x01")
+
+    def test_bad_version(self):
+        with pytest.raises(DeltaError):
+            apply_delta(b"old", b"RDLT\x63")
+
+    def test_truncated_copy(self):
+        with pytest.raises(DeltaError):
+            apply_delta(b"old", b"RDLT\x01\x01\x00\x00")
+
+    def test_copy_out_of_range(self):
+        import struct
+        delta = b"RDLT\x01\x01" + struct.pack(">II", 100, 50)
+        with pytest.raises(DeltaError):
+            apply_delta(b"short", delta)
+
+    def test_truncated_insert(self):
+        import struct
+        delta = b"RDLT\x01\x02" + struct.pack(">I", 10) + b"abc"
+        with pytest.raises(DeltaError):
+            apply_delta(b"", delta)
+
+    def test_unknown_op(self):
+        with pytest.raises(DeltaError):
+            apply_delta(b"", b"RDLT\x01\x7f")
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(ValueError):
+            encode_delta(b"a", b"b", block=2)
+
+
+class TestProperties:
+    @given(st.binary(max_size=3000), st.binary(max_size=3000))
+    def test_round_trip_arbitrary_pairs(self, old, new):
+        assert apply_delta(old, encode_delta(old, new)) == new
+
+    @given(st.binary(min_size=200, max_size=2000),
+           st.integers(min_value=0, max_value=199),
+           st.binary(max_size=30))
+    def test_round_trip_point_edits(self, old, position, patch):
+        new = old[:position] + patch + old[position + len(patch):]
+        assert apply_delta(old, encode_delta(old, new)) == new

@@ -1,0 +1,74 @@
+"""Unit tests for the Headers collection."""
+
+import pytest
+
+from repro.httpmodel.headers import Headers
+
+
+class TestBasics:
+    def test_add_and_get_case_insensitive(self):
+        headers = Headers()
+        headers.add("Content-Type", "text/html")
+        assert headers.get("content-type") == "text/html"
+        assert "CONTENT-TYPE" in headers
+
+    def test_get_default(self):
+        assert Headers().get("X-Missing", "fallback") == "fallback"
+        assert Headers().get("X-Missing") is None
+
+    def test_multiple_values_comma_joined(self):
+        headers = Headers()
+        headers.add("Accept", "text/html")
+        headers.add("Accept", "image/gif")
+        assert headers.get("Accept") == "text/html, image/gif"
+        assert headers.get_all("accept") == ["text/html", "image/gif"]
+
+    def test_set_replaces_all(self):
+        headers = Headers([("A", "1"), ("a", "2")])
+        headers.set("A", "3")
+        assert headers.get_all("a") == ["3"]
+
+    def test_remove(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        headers.remove("a")
+        assert "A" not in headers
+        assert len(headers) == 1
+
+    def test_equality_is_case_insensitive_on_names(self):
+        assert Headers([("A", "1")]) == Headers([("a", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        clone = original.copy()
+        clone.add("B", "2")
+        assert "B" not in original
+
+    def test_crlf_injection_rejected(self):
+        headers = Headers()
+        with pytest.raises(ValueError):
+            headers.add("Bad", "value\r\nInjected: yes")
+        with pytest.raises(ValueError):
+            headers.add("Bad\n", "v")
+
+
+class TestSerialization:
+    def test_serialize_format(self):
+        headers = Headers([("Host", "example.org"), ("TE", "chunked")])
+        assert headers.serialize() == b"Host: example.org\r\nTE: chunked\r\n"
+
+    def test_parse_block_round_trip(self):
+        original = Headers([("Host", "example.org"), ("X-Y", "a, b")])
+        parsed = Headers.parse_block(original.serialize())
+        assert parsed == original
+
+    def test_parse_block_strips_whitespace(self):
+        parsed = Headers.parse_block(b"Name:   padded value  \r\n")
+        assert parsed.get("Name") == "padded value"
+
+    def test_parse_block_rejects_missing_colon(self):
+        with pytest.raises(ValueError):
+            Headers.parse_block(b"no colon here\r\n")
+
+    def test_parse_empty_block(self):
+        assert len(Headers.parse_block(b"")) == 0

@@ -1,0 +1,134 @@
+"""Unit tests for HTTP/1.1 message serialization and stream parsing."""
+
+import io
+
+import pytest
+
+from repro.httpmodel.headers import Headers
+from repro.httpmodel.messages import (
+    HttpParseError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    read_response,
+)
+
+
+def stream(data: bytes):
+    return io.BufferedReader(io.BytesIO(data))
+
+
+class TestRequestRoundTrip:
+    def test_simple_get(self):
+        request = HttpRequest(method="GET", target="/mafia.html")
+        request.headers.set("Host", "sig.com")
+        request.headers.set("TE", "chunked")
+        parsed = read_request(stream(request.serialize()))
+        assert parsed.method == "GET"
+        assert parsed.target == "/mafia.html"
+        assert parsed.headers.get("Host") == "sig.com"
+        assert parsed.body == b""
+
+    def test_post_with_body(self):
+        request = HttpRequest(method="POST", target="/submit", body=b"k=v&x=1")
+        parsed = read_request(stream(request.serialize()))
+        assert parsed.body == b"k=v&x=1"
+        assert parsed.headers.get("Content-Length") == "7"
+
+    def test_paper_example_request_headers(self):
+        # The Section 2.3 example GET with TE and Piggy-filter headers.
+        request = HttpRequest(method="GET", target="/mafia.html")
+        request.headers.set("host", "sig.com")
+        request.headers.set("TE", "chunked")
+        request.headers.set("Piggy-filter", 'maxpiggy=10; rpv="3,4"')
+        parsed = read_request(stream(request.serialize()))
+        assert parsed.headers.get("Piggy-filter") == 'maxpiggy=10; rpv="3,4"'
+
+    def test_eof_on_idle_connection(self):
+        with pytest.raises(EOFError):
+            read_request(stream(b""))
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpParseError):
+            read_request(stream(b"GARBAGE\r\n\r\n"))
+
+    def test_truncated_body(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(HttpParseError):
+            read_request(stream(raw))
+
+
+class TestResponseRoundTrip:
+    def test_content_length_response(self):
+        response = HttpResponse(status=200, body=b"hello world")
+        parsed = read_response(stream(response.serialize()))
+        assert parsed.status == 200
+        assert parsed.reason == "OK"
+        assert parsed.body == b"hello world"
+        assert len(parsed.trailers) == 0
+
+    def test_chunked_response_with_trailers(self):
+        response = HttpResponse(status=200, body=b"data" * 100)
+        response.trailers.set("P-volume", "id=3; e=/a|1|2")
+        raw = response.serialize(chunk_size=64)
+        parsed = read_response(stream(raw))
+        assert parsed.body == b"data" * 100
+        assert parsed.trailers.get("P-volume") == "id=3; e=/a|1|2"
+
+    def test_trailer_header_announces_fields(self):
+        response = HttpResponse(status=200, body=b"x")
+        response.trailers.set("P-volume", "id=1")
+        parsed = read_response(stream(response.serialize()))
+        assert parsed.headers.get("Trailer") == "P-volume"
+        assert "chunked" in parsed.headers.get("Transfer-Encoding")
+
+    def test_304_has_no_body(self):
+        response = HttpResponse(status=304)
+        parsed = read_response(stream(response.serialize()))
+        assert parsed.status == 304
+        assert parsed.reason == "Not Modified"
+        assert parsed.body == b""
+
+    def test_chunked_304_with_piggyback_trailer(self):
+        # A validation response can still carry the P-volume trailer.
+        response = HttpResponse(status=304)
+        response.trailers.set("P-volume", "id=2")
+        parsed = read_response(stream(response.serialize()))
+        assert parsed.status == 304
+        assert parsed.trailers.get("P-volume") == "id=2"
+
+    def test_unknown_status_reason(self):
+        response = HttpResponse(status=418)
+        assert response.reason == "Unknown"
+
+    def test_malformed_status_line(self):
+        with pytest.raises(HttpParseError):
+            read_response(stream(b"HTTP/1.1\r\n\r\n"))
+
+    def test_bad_status_code(self):
+        with pytest.raises(HttpParseError):
+            read_response(stream(b"HTTP/1.1 abc OK\r\n\r\n"))
+
+
+class TestPipelining:
+    def test_two_responses_back_to_back(self):
+        first = HttpResponse(status=200, body=b"one").serialize()
+        second = HttpResponse(status=200, body=b"two").serialize()
+        reader = stream(first + second)
+        assert read_response(reader).body == b"one"
+        assert read_response(reader).body == b"two"
+
+    def test_chunked_then_plain(self):
+        chunked = HttpResponse(status=200, body=b"chunky")
+        chunked.trailers.set("X", "1")
+        plain = HttpResponse(status=200, body=b"plain")
+        reader = stream(chunked.serialize() + plain.serialize())
+        assert read_response(reader).body == b"chunky"
+        assert read_response(reader).body == b"plain"
+
+    def test_two_requests_back_to_back(self):
+        raw = (HttpRequest("GET", "/a").serialize()
+               + HttpRequest("GET", "/b").serialize())
+        reader = stream(raw)
+        assert read_request(reader).target == "/a"
+        assert read_request(reader).target == "/b"

@@ -1,0 +1,123 @@
+"""Unit tests for the Piggy-filter / P-volume wire codecs."""
+
+import pytest
+
+from repro.core.filters import ProxyFilter
+from repro.core.piggyback import PiggybackElement, PiggybackMessage
+from repro.httpmodel.piggy_codec import (
+    PiggyCodecError,
+    format_p_volume,
+    format_piggy_filter,
+    parse_p_volume,
+    parse_piggy_filter,
+)
+
+
+class TestPiggyFilterCodec:
+    def test_round_trip_full_filter(self):
+        original = ProxyFilter(
+            max_elements=10,
+            recently_piggybacked=frozenset({3, 4}),
+            probability_threshold=0.25,
+            min_access_count=5,
+            max_resource_size=65536,
+            excluded_content_types=frozenset({"image", "video"}),
+        )
+        parsed = parse_piggy_filter(format_piggy_filter(original))
+        assert parsed == original
+
+    def test_paper_example_value(self):
+        value = format_piggy_filter(
+            ProxyFilter(max_elements=10, recently_piggybacked=frozenset({3, 4}))
+        )
+        assert value == 'maxpiggy=10; rpv="3,4"'
+
+    def test_parse_paper_example(self):
+        parsed = parse_piggy_filter('maxpiggy=10; rpv="3,4";')
+        assert parsed.max_elements == 10
+        assert parsed.recently_piggybacked == frozenset({3, 4})
+        assert parsed.enabled
+
+    def test_disabled_filter_has_no_header(self):
+        assert format_piggy_filter(ProxyFilter.disabled()) is None
+
+    def test_missing_header_parses_as_disabled(self):
+        assert not parse_piggy_filter(None).enabled
+
+    def test_unconstrained_filter_still_emits_header(self):
+        value = format_piggy_filter(ProxyFilter())
+        assert value is not None
+        parsed = parse_piggy_filter(value)
+        assert parsed.enabled
+        assert parsed.max_elements is None
+
+    def test_unknown_attributes_ignored(self):
+        parsed = parse_piggy_filter("maxpiggy=5; future-knob=yes")
+        assert parsed.max_elements == 5
+
+    def test_malformed_attribute_raises(self):
+        with pytest.raises(PiggyCodecError):
+            parse_piggy_filter("maxpiggy")
+        with pytest.raises(PiggyCodecError):
+            parse_piggy_filter("maxpiggy=ten")
+        with pytest.raises(PiggyCodecError):
+            parse_piggy_filter('rpv="a,b"')
+
+    def test_probability_threshold_round_trip(self):
+        original = ProxyFilter(probability_threshold=0.2)
+        parsed = parse_piggy_filter(format_piggy_filter(original))
+        assert parsed.probability_threshold == pytest.approx(0.2)
+
+
+class TestPVolumeCodec:
+    def make_message(self):
+        return PiggybackMessage(
+            volume_id=7,
+            elements=(
+                PiggybackElement("www.sig.com/a/b.html", 866362345.0, 1530),
+                PiggybackElement("www.sig.com/i.gif", 866362000.0, 4096),
+            ),
+        )
+
+    def test_round_trip(self):
+        message = self.make_message()
+        parsed = parse_p_volume(format_p_volume(message))
+        assert parsed.volume_id == 7
+        assert parsed.urls() == message.urls()
+        assert [e.size for e in parsed] == [1530, 4096]
+        assert [e.last_modified for e in parsed] == [866362345.0, 866362000.0]
+
+    def test_url_with_delimiters_escaped(self):
+        message = PiggybackMessage(
+            volume_id=1,
+            elements=(PiggybackElement("h/a|b;c d.html", 1.0, 2),),
+        )
+        value = format_p_volume(message)
+        parsed = parse_p_volume(value)
+        assert parsed.elements[0].url == "h/a|b;c d.html"
+
+    def test_empty_message(self):
+        parsed = parse_p_volume(format_p_volume(PiggybackMessage(5, ())))
+        assert parsed.volume_id == 5
+        assert len(parsed) == 0
+
+    def test_missing_id_raises(self):
+        with pytest.raises(PiggyCodecError):
+            parse_p_volume("e=/a|1|2")
+
+    def test_malformed_element_raises(self):
+        with pytest.raises(PiggyCodecError):
+            parse_p_volume("id=1; e=/a|1")
+        with pytest.raises(PiggyCodecError):
+            parse_p_volume("id=1; e=/a|x|2")
+        with pytest.raises(PiggyCodecError):
+            parse_p_volume("id=zz")
+        with pytest.raises(PiggyCodecError):
+            parse_p_volume("id=1; garbage")
+
+    def test_last_modified_truncated_to_seconds(self):
+        message = PiggybackMessage(
+            volume_id=1, elements=(PiggybackElement("h/a", 123.9, 10),)
+        )
+        parsed = parse_p_volume(format_p_volume(message))
+        assert parsed.elements[0].last_modified == 123.0

@@ -1,0 +1,111 @@
+"""Integration tests for the wire-level transparent volume center."""
+
+import itertools
+
+import pytest
+
+from repro.httpmodel.messages import HttpRequest
+from repro.httpmodel.piggy_codec import P_VOLUME_HEADER, parse_p_volume
+from repro.httpwire.netcenter import TransparentHttpVolumeCenter
+from repro.httpwire.netclient import HttpConnection, fetch_once
+from repro.httpwire.netserver import PlainHttpServer
+from repro.server.volume_center import TransparentVolumeCenter
+from repro.volumes.sitewide import CrossHostVolumeStore
+
+HOST = "legacy.example"
+
+
+def make_clock():
+    counter = itertools.count()
+    return lambda: 1000.0 + next(counter) * 0.5
+
+
+@pytest.fixture()
+def legacy_origin():
+    resources = {
+        "/a/page.html": (b"<html>page</html>", 100.0),
+        "/a/img.gif": (b"GIF89a....", 100.0),
+        "/b/other.html": (b"<html>other</html>", 100.0),
+    }
+    with PlainHttpServer(resources) as server:
+        yield server
+
+
+def center_for(origin, center=None):
+    return TransparentHttpVolumeCenter(
+        origins={HOST: (origin.address, origin.port)},
+        center=center,
+        clock=make_clock(),
+    )
+
+
+def proxied_get(center, path, piggy_filter=None):
+    request = HttpRequest(method="GET", target=f"http://{HOST}{path}")
+    if piggy_filter is not None:
+        request.headers.set("TE", "chunked")
+        request.headers.set("Piggy-filter", piggy_filter)
+    return fetch_once(center.address, center.port, request)
+
+
+class TestTransparentCenter:
+    def test_plain_clients_pass_through_untouched(self, legacy_origin):
+        with center_for(legacy_origin) as center:
+            response = proxied_get(center, "/a/page.html")
+        assert response.status == 200
+        assert response.body == b"<html>page</html>"
+        assert response.trailers.get(P_VOLUME_HEADER) is None
+        assert response.headers.get("Via") == "1.1 repro-volume-center"
+        assert legacy_origin.requests_served == 1
+
+    def test_piggyback_injected_for_cooperating_clients(self, legacy_origin):
+        with center_for(legacy_origin) as center:
+            with HttpConnection(center.address, center.port) as connection:
+                first = HttpRequest(method="GET", target=f"http://{HOST}/a/img.gif")
+                first.headers.set("TE", "chunked")
+                first.headers.set("Piggy-filter", "maxpiggy=10")
+                connection.request(first)
+                second = HttpRequest(method="GET", target=f"http://{HOST}/a/page.html")
+                second.headers.set("TE", "chunked")
+                second.headers.set("Piggy-filter", "maxpiggy=10")
+                response = connection.request(second)
+        message = parse_p_volume(response.trailers.get(P_VOLUME_HEADER))
+        assert f"{HOST}/a/img.gif" in message.urls()
+
+    def test_origin_never_sees_the_extension_header(self, legacy_origin):
+        # PlainHttpServer would ignore it anyway; assert the exchange
+        # succeeds and the origin served plain 200s for every request.
+        with center_for(legacy_origin) as center:
+            proxied_get(center, "/a/page.html", piggy_filter="maxpiggy=5")
+            proxied_get(center, "/a/img.gif", piggy_filter="maxpiggy=5")
+        assert legacy_origin.requests_served == 2
+
+    def test_last_modified_flows_into_piggyback(self, legacy_origin):
+        with center_for(legacy_origin) as center:
+            proxied_get(center, "/a/img.gif", piggy_filter="maxpiggy=10")
+            response = proxied_get(center, "/a/page.html", piggy_filter="maxpiggy=10")
+        message = parse_p_volume(response.trailers.get(P_VOLUME_HEADER))
+        element = next(e for e in message if e.url.endswith("img.gif"))
+        assert element.last_modified == 100.0
+        assert element.size == len(b"GIF89a....")
+
+    def test_unknown_host_404(self, legacy_origin):
+        with center_for(legacy_origin) as center:
+            request = HttpRequest(method="GET", target="http://nowhere.example/x")
+            response = fetch_once(center.address, center.port, request)
+        assert response.status == 404
+
+    def test_missing_host_400(self, legacy_origin):
+        with center_for(legacy_origin) as center:
+            response = fetch_once(
+                center.address, center.port, HttpRequest(method="GET", target="/x")
+            )
+        assert response.status == 400
+
+    def test_cross_host_store_allowed(self, legacy_origin):
+        shared = TransparentVolumeCenter(shared_store=CrossHostVolumeStore())
+        with center_for(legacy_origin, center=shared) as center:
+            proxied_get(center, "/a/img.gif", piggy_filter="maxpiggy=10")
+            response = proxied_get(center, "/b/other.html", piggy_filter="maxpiggy=10")
+        # Cross-host store: even a different directory gets the hint.
+        message = parse_p_volume(response.trailers.get(P_VOLUME_HEADER))
+        assert any("img.gif" in url for url in message.urls())

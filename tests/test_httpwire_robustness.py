@@ -1,0 +1,149 @@
+"""Failure injection and concurrency tests for the wire layer."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.httpmodel.messages import HttpRequest, read_response
+from repro.httpwire.netclient import HttpConnection, fetch_once
+from repro.httpwire.netserver import PiggybackHttpServer
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeStore
+
+HOST = "www.robust.example"
+
+
+@pytest.fixture()
+def origin():
+    resources = ResourceStore()
+    resources.add(f"{HOST}/x.html", size=2048, last_modified=10.0)
+    for i in range(10):
+        resources.add(f"{HOST}/r{i}.html", size=100 + i, last_modified=10.0)
+    engine = PiggybackServer(resources, DirectoryVolumeStore())
+    server = PiggybackHttpServer(engine, site_host=HOST, clock=lambda: 1000.0)
+    with server:
+        yield server
+
+
+def raw_exchange(server, payload: bytes) -> bytes:
+    """Send raw bytes, read whatever comes back until close/timeout."""
+    with socket.create_connection((server.address, server.port), timeout=5.0) as sock:
+        sock.sendall(payload)
+        sock.settimeout(2.0)
+        chunks = []
+        try:
+            while True:
+                piece = sock.recv(4096)
+                if not piece:
+                    break
+                chunks.append(piece)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+class TestMalformedInput:
+    def test_garbage_request_line_gets_400(self, origin):
+        reply = raw_exchange(origin, b"NOT A REQUEST\r\n\r\n")
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_binary_garbage_gets_400_or_close(self, origin):
+        reply = raw_exchange(origin, bytes(range(256)) + b"\r\n\r\n")
+        assert reply == b"" or b"400" in reply.split(b"\r\n", 1)[0]
+
+    def test_header_without_colon_gets_400(self, origin):
+        reply = raw_exchange(origin, b"GET /x.html HTTP/1.1\r\nbadheader\r\n\r\n")
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_malformed_piggy_filter_does_not_break_the_get(self, origin):
+        request = HttpRequest(method="GET", target="/x.html")
+        request.headers.set("Host", HOST)
+        request.headers.set("Piggy-filter", "maxpiggy=banana")
+        # A broken filter is treated as "extension not spoken": the GET
+        # succeeds with a plain response and no piggyback trailer.
+        response = fetch_once(origin.address, origin.port, request)
+        assert response.status == 200
+        assert response.trailers.get("P-volume") is None
+
+    def test_malformed_piggy_report_ignored(self, origin):
+        request = HttpRequest(method="GET", target="/x.html")
+        request.headers.set("Host", HOST)
+        request.headers.set("Piggy-report", "r=broken")
+        response = fetch_once(origin.address, origin.port, request)
+        assert response.status == 200
+        assert origin.server.stats.reported_cache_hits == 0
+
+
+class TestDisconnects:
+    def test_client_disconnect_mid_headers_leaves_server_alive(self, origin):
+        with socket.create_connection((origin.address, origin.port)) as sock:
+            sock.sendall(b"GET /x.html HTTP/1.1\r\nHost: ")
+            # Abruptly close mid-header.
+        # The server must keep serving other clients.
+        request = HttpRequest(method="GET", target="/x.html")
+        request.headers.set("Host", HOST)
+        assert fetch_once(origin.address, origin.port, request).status == 200
+
+    def test_truncated_body_leaves_server_alive(self, origin):
+        payload = b"POST /x.html HTTP/1.1\r\nHost: h\r\nContent-Length: 100\r\n\r\nshort"
+        raw_exchange(origin, payload)
+        request = HttpRequest(method="GET", target="/x.html")
+        request.headers.set("Host", HOST)
+        assert fetch_once(origin.address, origin.port, request).status == 200
+
+    def test_connection_reconnects_after_server_side_close(self, origin):
+        connection = HttpConnection(origin.address, origin.port)
+        request = HttpRequest(method="GET", target="/x.html")
+        request.headers.set("Host", HOST)
+        assert connection.request(request).status == 200
+        # Force-close our socket; the next request must reconnect.
+        connection._sock.close()
+        assert connection.request(request).status == 200
+        connection.close()
+
+
+class TestConcurrency:
+    def test_many_parallel_clients(self, origin):
+        errors = []
+        counts = []
+
+        def worker(index):
+            try:
+                with HttpConnection(origin.address, origin.port) as connection:
+                    ok = 0
+                    for j in range(10):
+                        request = HttpRequest(
+                            method="GET", target=f"/r{(index + j) % 10}.html"
+                        )
+                        request.headers.set("Host", HOST)
+                        response = connection.request(request)
+                        if response.status == 200:
+                            ok += 1
+                    counts.append(ok)
+            except Exception as exc:  # noqa: BLE001 - collected for assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert sum(counts) == 80
+        assert origin.server.stats.requests == 80
+
+    def test_pipelined_requests_on_one_connection(self, origin):
+        with socket.create_connection((origin.address, origin.port)) as sock:
+            first = HttpRequest(method="GET", target="/r0.html")
+            first.headers.set("Host", HOST)
+            second = HttpRequest(method="GET", target="/r1.html")
+            second.headers.set("Host", HOST)
+            sock.sendall(first.serialize() + second.serialize())
+            reader = sock.makefile("rb")
+            one = read_response(reader)
+            two = read_response(reader)
+        assert one.status == two.status == 200
+        assert len(one.body) == 100
+        assert len(two.body) == 101

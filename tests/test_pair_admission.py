@@ -1,0 +1,66 @@
+"""Tests for HREF-restricted pair counting and ProxyConfig validation."""
+
+import pytest
+
+from repro.proxy.proxy import ProxyConfig
+from repro.volumes.probability import PairwiseConfig, PairwiseEstimator
+from repro.workloads.sitegen import SiteConfig, generate_site
+from repro.workloads.synth import ServerLogConfig, generate_server_log
+
+from conftest import make_record
+
+
+class TestPairAdmission:
+    def test_predicate_blocks_unlinked_pairs(self):
+        estimator = PairwiseEstimator(
+            PairwiseConfig(window=10.0,
+                           pair_admitted=lambda r, s: (r, s) == ("h/a", "h/b"))
+        )
+        estimator.observe(make_record(0.0, "s", "h/a"))
+        estimator.observe(make_record(1.0, "s", "h/b"))
+        estimator.observe(make_record(2.0, "s", "h/c"))
+        assert estimator.probability("h/a", "h/b") == 1.0
+        assert estimator.probability("h/a", "h/c") == 0.0
+        assert estimator.probability("h/b", "h/c") == 0.0
+
+    def test_site_reachability_predicate(self):
+        site = generate_site(SiteConfig(page_count=30, directory_count=5, seed=8))
+        page_url = next(u for u, p in site.pages.items() if p.embedded or p.links)
+        page = site.pages[page_url]
+        target = (page.embedded or page.links)[0]
+        assert site.is_reachable(page_url, target)
+        assert not site.is_reachable(target, page_url)  # images have no links
+        assert not site.is_reachable(page_url, "h/not/there.html")
+
+    def test_reachability_restricted_estimation_on_synthetic_log(self):
+        config = ServerLogConfig(
+            site=SiteConfig(host="www.r.example", page_count=30,
+                            directory_count=5, seed=9),
+            source_count=15, session_count=150, duration_days=1.0, seed=10,
+        )
+        trace, site = generate_server_log(config)
+        unrestricted = PairwiseEstimator(PairwiseConfig(window=300.0))
+        unrestricted.observe_trace(trace)
+        restricted = PairwiseEstimator(
+            PairwiseConfig(window=300.0, pair_admitted=site.is_reachable)
+        )
+        restricted.observe_trace(trace)
+        assert restricted.counter_count < unrestricted.counter_count
+        # Every surviving implication is a real link on the site.
+        for implication in restricted.implications(0.0):
+            assert site.is_reachable(implication.antecedent, implication.consequent)
+
+
+class TestProxyConfigValidation:
+    def test_rpv_timeout_bounded_by_freshness_interval(self):
+        # Section 2.2: an RPV entry older than Δ would block refreshes.
+        with pytest.raises(ValueError):
+            ProxyConfig(freshness_interval=10.0, rpv_timeout=60.0)
+
+    def test_valid_config_accepted(self):
+        config = ProxyConfig(freshness_interval=100.0, rpv_timeout=100.0)
+        assert config.rpv_timeout == 100.0
+
+    def test_nonpositive_freshness_rejected(self):
+        with pytest.raises(ValueError):
+            ProxyConfig(freshness_interval=0.0)

@@ -1,0 +1,78 @@
+"""The abstract's end-to-end claims, asserted on a single small workload.
+
+The paper promises to "reduce user-perceived latency and the number of
+TCP connections, improve cache coherency and cache replacement, and
+enable prefetching" with small piggybacked messages and no per-proxy
+server state.  Each test here pins one of those claims.
+"""
+
+import pytest
+
+from repro.analysis.simulator import EndToEndSimulator, SimulationConfig
+from repro.httpmodel.connection import ConnectionPool
+from repro.proxy.proxy import ProxyConfig
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.workloads.modifications import ModificationConfig
+
+
+@pytest.fixture(scope="module")
+def runs(small_server_log):
+    trace, site = small_server_log
+
+    def simulate(max_piggy):
+        config = SimulationConfig(
+            proxy=ProxyConfig(freshness_interval=600.0,
+                              max_piggyback_elements=max_piggy),
+            modifications=ModificationConfig(fast_fraction=0.15,
+                                             fast_mean_interval=1800.0),
+        )
+        simulator = EndToEndSimulator(
+            site, DirectoryVolumeStore(DirectoryVolumeConfig(level=1)),
+            config, horizon=trace.end_time + 1.0,
+        )
+        result = simulator.run(trace)
+        return simulator, result
+
+    with_piggyback = simulate(10)
+    without = simulate(0)
+    return trace, with_piggyback, without
+
+
+class TestAbstractClaims:
+    def test_fewer_server_connections(self, runs):
+        """Server contacts (each potentially a TCP connection) drop."""
+        _, (_, with_result), (_, without_result) = runs
+        assert with_result.server_requests < without_result.server_requests
+
+    def test_better_cache_coherency(self, runs):
+        """More requests served fresh, without more staleness."""
+        _, (_, with_result), (_, without_result) = runs
+        assert with_result.fresh_hit_rate > without_result.fresh_hit_rate
+        assert with_result.stale_rate <= without_result.stale_rate + 0.01
+
+    def test_no_per_proxy_server_state(self, runs):
+        """The server object holds no attribute keyed by proxy identity."""
+        _, (simulator, _), _ = runs
+        server = simulator.server
+        # Everything proxy-specific arrived in request filters; the server
+        # keeps only resources, a volume store, and aggregate stats.
+        assert set(vars(server)) == {"resources", "volume_store", "stats"}
+
+    def test_piggyback_overhead_is_small(self, runs):
+        """Piggyback bytes are a small fraction of body bytes moved."""
+        _, (_, with_result), _ = runs
+        assert with_result.piggyback_bytes < 0.1 * with_result.body_bytes
+
+    def test_transient_per_server_proxy_state_is_bounded(self, runs):
+        """The proxy's per-server RPV state is a bounded table."""
+        _, (simulator, _), _ = runs
+        rpv = simulator.proxy.rpv
+        assert len(rpv) <= rpv.max_servers
+
+    def test_connection_pool_benefits_from_locality(self, runs):
+        """Persistent connections get reused heavily under this workload."""
+        trace, _, _ = runs
+        pool = ConnectionPool(idle_timeout=60.0)
+        for record in trace:
+            pool.acquire("www.small.example", record.timestamp)
+        assert pool.stats.reuse_rate > 0.5

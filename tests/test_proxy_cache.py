@@ -1,0 +1,114 @@
+"""Unit tests for the proxy cache."""
+
+import pytest
+
+from repro.proxy.cache import CacheOutcome, ProxyCache
+
+
+class TestProbe:
+    def test_miss_then_fresh_hit(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        assert cache.probe("h/a", 0.0) is CacheOutcome.MISS
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0)
+        assert cache.probe("h/a", 50.0) is CacheOutcome.HIT_FRESH
+
+    def test_expired_hit_after_freshness_interval(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0)
+        assert cache.probe("h/a", 100.0) is CacheOutcome.HIT_EXPIRED
+
+    def test_stats_track_probes(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        cache.probe("h/a", 0.0)
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0)
+        cache.probe("h/a", 10.0)
+        cache.probe("h/a", 500.0)
+        assert cache.stats.misses == 1
+        assert cache.stats.fresh_hits == 1
+        assert cache.stats.expired_hits == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert cache.stats.fresh_hit_rate == pytest.approx(1 / 3)
+
+
+class TestPutAndValidate:
+    def test_put_replaces_existing(self):
+        cache = ProxyCache()
+        cache.put("h/a", size=10, last_modified=1.0, now=0.0)
+        cache.put("h/a", size=30, last_modified=2.0, now=5.0)
+        entry = cache.entry("h/a")
+        assert entry.size == 30
+        assert entry.last_modified == 2.0
+        assert cache.used_bytes == 30
+
+    def test_put_with_custom_freshness_interval(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0, freshness_interval=10.0)
+        assert cache.probe("h/a", 20.0) is CacheOutcome.HIT_EXPIRED
+
+    def test_validate_extends_expiration(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0)
+        cache.validate("h/a", now=90.0)
+        assert cache.probe("h/a", 150.0) is CacheOutcome.HIT_FRESH
+
+    def test_validate_unknown_is_noop(self):
+        ProxyCache().validate("h/none", now=0.0)
+
+    def test_oversized_object_rejected(self):
+        cache = ProxyCache(capacity_bytes=100)
+        assert cache.put("h/big", size=200, last_modified=0.0, now=0.0) is None
+        assert "h/big" not in cache
+
+
+class TestEviction:
+    def test_lru_eviction_under_pressure(self):
+        cache = ProxyCache(capacity_bytes=100)
+        cache.put("h/a", size=50, last_modified=0.0, now=0.0)
+        cache.put("h/b", size=50, last_modified=0.0, now=1.0)
+        cache.probe("h/a", 2.0)  # a is now more recently used than b
+        cache.put("h/c", size=50, last_modified=0.0, now=3.0)
+        assert "h/b" not in cache
+        assert "h/a" in cache and "h/c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_used_bytes_tracks_contents(self):
+        cache = ProxyCache(capacity_bytes=100)
+        cache.put("h/a", size=60, last_modified=0.0, now=0.0)
+        cache.put("h/b", size=60, last_modified=0.0, now=1.0)
+        assert cache.used_bytes == sum(e.size for e in cache.entries())
+        assert cache.used_bytes <= 100 or len(cache) == 1
+
+    def test_new_insert_protected_from_its_own_eviction(self):
+        cache = ProxyCache(capacity_bytes=100)
+        cache.put("h/a", size=90, last_modified=0.0, now=0.0)
+        cache.put("h/b", size=90, last_modified=0.0, now=1.0)
+        assert "h/b" in cache
+        assert "h/a" not in cache
+
+
+class TestPiggybackActions:
+    def test_freshen_extends_and_marks(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0)
+        cache.freshen_from_piggyback("h/a", now=90.0)
+        entry = cache.entry("h/a")
+        assert entry.last_piggyback == 90.0
+        assert cache.probe("h/a", 150.0) is CacheOutcome.HIT_FRESH
+        assert cache.stats.piggyback_freshenings == 1
+
+    def test_invalidate_removes_entry(self):
+        cache = ProxyCache()
+        cache.put("h/a", size=10, last_modified=0.0, now=0.0)
+        assert cache.invalidate("h/a")
+        assert "h/a" not in cache
+        assert cache.used_bytes == 0
+        assert not cache.invalidate("h/a")
+        assert cache.stats.invalidations == 1
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProxyCache(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            ProxyCache(freshness_interval=0.0)

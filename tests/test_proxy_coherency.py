@@ -1,0 +1,68 @@
+"""Unit tests for piggyback-driven cache coherency."""
+
+from repro.core.piggyback import PiggybackElement, PiggybackMessage
+from repro.proxy.cache import CacheOutcome, ProxyCache
+from repro.proxy.coherency import CoherencyManager
+
+
+def message(*elements):
+    return PiggybackMessage(volume_id=1, elements=tuple(elements))
+
+
+class TestProcess:
+    def test_current_copy_freshened(self):
+        cache = ProxyCache(freshness_interval=100.0)
+        cache.put("h/a", size=10, last_modified=50.0, now=0.0)
+        manager = CoherencyManager()
+        outcome = manager.process(cache, message(PiggybackElement("h/a", 50.0, 10)), now=90.0)
+        assert outcome.freshened == ("h/a",)
+        assert cache.probe("h/a", 150.0) is CacheOutcome.HIT_FRESH
+
+    def test_newer_cached_copy_also_counts_fresh(self):
+        cache = ProxyCache()
+        cache.put("h/a", size=10, last_modified=60.0, now=0.0)
+        manager = CoherencyManager()
+        outcome = manager.process(cache, message(PiggybackElement("h/a", 50.0, 10)), now=1.0)
+        assert outcome.freshened == ("h/a",)
+
+    def test_stale_copy_invalidated(self):
+        cache = ProxyCache()
+        cache.put("h/a", size=10, last_modified=50.0, now=0.0)
+        manager = CoherencyManager()
+        element = PiggybackElement("h/a", 70.0, 12)
+        outcome = manager.process(cache, message(element), now=1.0)
+        assert outcome.invalidated == (element,)
+        assert "h/a" not in cache
+
+    def test_uncached_reported(self):
+        cache = ProxyCache()
+        manager = CoherencyManager()
+        element = PiggybackElement("h/new", 10.0, 5)
+        outcome = manager.process(cache, message(element), now=0.0)
+        assert outcome.uncached == (element,)
+        assert not outcome.was_useful
+
+    def test_prefetch_candidates_are_stale_plus_uncached(self):
+        cache = ProxyCache()
+        cache.put("h/stale", size=10, last_modified=1.0, now=0.0)
+        cache.put("h/ok", size=10, last_modified=9.0, now=0.0)
+        manager = CoherencyManager()
+        stale = PiggybackElement("h/stale", 5.0, 10)
+        fresh = PiggybackElement("h/ok", 9.0, 10)
+        new = PiggybackElement("h/new", 2.0, 10)
+        outcome = manager.process(cache, message(stale, fresh, new), now=1.0)
+        assert outcome.prefetch_candidates() == (stale, new)
+
+    def test_stats_accumulate_across_messages(self):
+        cache = ProxyCache()
+        cache.put("h/a", size=10, last_modified=5.0, now=0.0)
+        manager = CoherencyManager()
+        manager.process(cache, message(PiggybackElement("h/a", 5.0, 10),
+                                       PiggybackElement("h/b", 1.0, 10)), now=1.0)
+        manager.process(cache, message(PiggybackElement("h/c", 1.0, 10)), now=2.0)
+        stats = manager.stats
+        assert stats.messages == 2
+        assert stats.elements == 3
+        assert stats.freshened == 1
+        assert stats.uncached == 2
+        assert stats.useful_fraction == 1 / 3

@@ -1,0 +1,81 @@
+"""Unit tests for informed fetching."""
+
+import pytest
+
+from repro.core.piggyback import PiggybackElement, PiggybackMessage
+from repro.proxy.fetch_queue import (
+    InformedFetchQueue,
+    simulate_fcfs_latency,
+    simulate_sjf_latency,
+)
+
+
+def remember(queue, *pairs):
+    queue.remember(
+        PiggybackMessage(1, tuple(PiggybackElement(url, 0.0, size) for url, size in pairs))
+    )
+
+
+class TestQueueOrdering:
+    def test_smallest_expected_first(self):
+        queue = InformedFetchQueue()
+        remember(queue, ("h/big", 100_000), ("h/small", 100), ("h/mid", 5_000))
+        for url in ("h/big", "h/small", "h/mid"):
+            queue.enqueue(url, now=0.0)
+        order = [f.url for f in queue.drain()]
+        assert order == ["h/small", "h/mid", "h/big"]
+
+    def test_unknown_sizes_assumed_large(self):
+        queue = InformedFetchQueue(default_size=1 << 20)
+        remember(queue, ("h/known", 100))
+        queue.enqueue("h/unknown", now=0.0)
+        queue.enqueue("h/known", now=0.0)
+        assert queue.pop().url == "h/known"
+
+    def test_duplicate_enqueues_coalesced(self):
+        queue = InformedFetchQueue()
+        queue.enqueue("h/a", now=0.0)
+        queue.enqueue("h/a", now=1.0)
+        assert len(queue) == 1
+
+    def test_pop_empty_returns_none(self):
+        assert InformedFetchQueue().pop() is None
+
+    def test_fifo_tiebreak_for_equal_sizes(self):
+        queue = InformedFetchQueue()
+        remember(queue, ("h/a", 100), ("h/b", 100))
+        queue.enqueue("h/a", now=0.0)
+        queue.enqueue("h/b", now=1.0)
+        assert [f.url for f in queue.drain()] == ["h/a", "h/b"]
+
+    def test_metadata_capacity_bounded(self):
+        queue = InformedFetchQueue(metadata_capacity=2)
+        remember(queue, ("h/a", 1), ("h/b", 2), ("h/c", 3))
+        assert queue.expected_size("h/c") == queue.default_size
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            InformedFetchQueue(default_size=-1)
+        with pytest.raises(ValueError):
+            InformedFetchQueue(metadata_capacity=0)
+
+
+class TestLatencyModel:
+    def test_sjf_never_worse_than_fcfs(self):
+        sizes = [5000, 100, 20_000, 400, 1_000]
+        assert simulate_sjf_latency(sizes, 1000.0) <= simulate_fcfs_latency(sizes, 1000.0)
+
+    def test_sjf_strictly_better_on_inverted_order(self):
+        sizes = [10_000, 100]
+        assert simulate_sjf_latency(sizes, 100.0) < simulate_fcfs_latency(sizes, 100.0)
+
+    def test_equal_for_sorted_input(self):
+        sizes = [100, 200, 300]
+        assert simulate_sjf_latency(sizes, 10.0) == simulate_fcfs_latency(sizes, 10.0)
+
+    def test_empty_queue_zero_latency(self):
+        assert simulate_fcfs_latency([], 100.0) == 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            simulate_fcfs_latency([10], 0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for adaptive freshness intervals."""
+
+import pytest
+
+from repro.core.piggyback import PiggybackElement, PiggybackMessage
+from repro.proxy.freshness import AdaptiveFreshness, FreshnessConfig
+
+
+class TestObservation:
+    def test_default_interval_before_any_change_seen(self):
+        adaptive = AdaptiveFreshness(FreshnessConfig(default_interval=3600.0))
+        assert adaptive.freshness_interval("h/a") == 3600.0
+
+    def test_change_interval_estimated_from_gaps(self):
+        adaptive = AdaptiveFreshness()
+        adaptive.observe("h/a", 1000.0)
+        adaptive.observe("h/a", 3000.0)
+        assert adaptive.estimated_change_interval("h/a") == pytest.approx(2000.0)
+
+    def test_repeated_same_mtime_is_not_a_change(self):
+        adaptive = AdaptiveFreshness()
+        adaptive.observe("h/a", 1000.0)
+        adaptive.observe("h/a", 1000.0)
+        assert adaptive.estimated_change_interval("h/a") is None
+
+    def test_older_mtime_ignored(self):
+        adaptive = AdaptiveFreshness()
+        adaptive.observe("h/a", 1000.0)
+        adaptive.observe("h/a", 500.0)
+        assert adaptive.estimated_change_interval("h/a") is None
+
+    def test_ewma_smooths_subsequent_gaps(self):
+        config = FreshnessConfig(ewma_weight=0.5)
+        adaptive = AdaptiveFreshness(config)
+        adaptive.observe("h/a", 0.0)
+        adaptive.observe("h/a", 100.0)   # first gap: 100
+        adaptive.observe("h/a", 400.0)   # second gap: 300 -> 0.5*300+0.5*100
+        assert adaptive.estimated_change_interval("h/a") == pytest.approx(200.0)
+
+    def test_observe_message(self):
+        adaptive = AdaptiveFreshness()
+        adaptive.observe_message(PiggybackMessage(1, (PiggybackElement("h/a", 10.0, 1),)))
+        adaptive.observe_message(PiggybackMessage(1, (PiggybackElement("h/a", 50.0, 1),)))
+        assert adaptive.estimated_change_interval("h/a") == pytest.approx(40.0)
+
+
+class TestIntervalSelection:
+    def test_delta_is_fraction_of_change_interval(self):
+        config = FreshnessConfig(fraction_of_change_interval=0.5,
+                                 min_interval=60.0, max_interval=1e6)
+        adaptive = AdaptiveFreshness(config)
+        adaptive.observe("h/a", 0.0)
+        adaptive.observe("h/a", 10_000.0)
+        assert adaptive.freshness_interval("h/a") == pytest.approx(5000.0)
+
+    def test_clamped_to_bounds(self):
+        config = FreshnessConfig(min_interval=100.0, max_interval=1000.0,
+                                 default_interval=500.0)
+        adaptive = AdaptiveFreshness(config)
+        adaptive.observe("h/fast", 0.0)
+        adaptive.observe("h/fast", 1.0)
+        assert adaptive.freshness_interval("h/fast") == 100.0
+        adaptive.observe("h/slow", 0.0)
+        adaptive.observe("h/slow", 1e7)
+        assert adaptive.freshness_interval("h/slow") == 1000.0
+
+    def test_should_cache_rejects_rapidly_changing(self):
+        adaptive = AdaptiveFreshness()
+        adaptive.observe("h/ticker", 0.0)
+        adaptive.observe("h/ticker", 10.0)
+        assert not adaptive.should_cache("h/ticker", min_change_interval=300.0)
+        assert adaptive.should_cache("h/unknown")
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FreshnessConfig(min_interval=0.0)
+        with pytest.raises(ValueError):
+            FreshnessConfig(fraction_of_change_interval=0.0)
+        with pytest.raises(ValueError):
+            FreshnessConfig(min_interval=10.0, default_interval=5.0)

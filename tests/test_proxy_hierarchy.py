@@ -1,0 +1,134 @@
+"""Tests for two-level cache hierarchies."""
+
+import pytest
+
+from repro.proxy.hierarchy import ParentProxyUpstream, build_chain
+from repro.proxy.proxy import ClientOutcome, PiggybackProxy, ProxyConfig
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+
+def make_origin():
+    resources = ResourceStore()
+    resources.add("h/a/page.html", size=2000, last_modified=100.0)
+    resources.add("h/a/img.gif", size=900, last_modified=100.0)
+    resources.add("h/a/more.html", size=700, last_modified=100.0)
+    return PiggybackServer(
+        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    ), resources
+
+
+def make_chain(parent_delta=600.0, child_delta=120.0):
+    server, resources = make_origin()
+    child, parent, boundary = build_chain(
+        server.handle,
+        ProxyConfig(name="parent", freshness_interval=parent_delta),
+        ProxyConfig(name="child", freshness_interval=child_delta),
+    )
+    return child, parent, boundary, server, resources
+
+
+class TestChainBasics:
+    def test_miss_propagates_to_origin(self):
+        child, parent, boundary, server, _ = make_chain()
+        result = child.handle_client_get("h/a/page.html", now=1000.0)
+        assert result.outcome is ClientOutcome.FETCHED
+        assert server.stats.requests == 1
+        assert boundary.stats.requests == 1
+        assert "h/a/page.html" in parent.cache
+        assert "h/a/page.html" in child.cache
+
+    def test_child_fresh_hit_touches_nobody(self):
+        child, parent, boundary, server, _ = make_chain()
+        child.handle_client_get("h/a/page.html", now=1000.0)
+        result = child.handle_client_get("h/a/page.html", now=1050.0)
+        assert result.outcome is ClientOutcome.CACHE_FRESH
+        assert boundary.stats.requests == 1
+        assert server.stats.requests == 1
+
+    def test_parent_cache_absorbs_child_expiry(self):
+        child, parent, boundary, server, _ = make_chain(
+            parent_delta=10_000.0, child_delta=100.0
+        )
+        child.handle_client_get("h/a/page.html", now=1000.0)
+        # Child's copy expired, parent's is still fresh: the revalidation
+        # is answered at the parent without contacting the origin.
+        result = child.handle_client_get("h/a/page.html", now=1500.0)
+        assert result.outcome is ClientOutcome.VALIDATED
+        assert boundary.stats.validated_at_parent == 1
+        assert server.stats.requests == 1
+
+    def test_unknown_resource_fails_through_chain(self):
+        child, _, _, _, _ = make_chain()
+        result = child.handle_client_get("h/missing.html", now=0.0)
+        assert result.outcome is ClientOutcome.FAILED
+
+
+class TestPiggybackPropagation:
+    def test_piggybacks_forwarded_to_child(self):
+        child, parent, boundary, server, _ = make_chain()
+        child.handle_client_get("h/a/img.gif", now=1000.0)
+        result = child.handle_client_get("h/a/page.html", now=1001.0)
+        # The origin's piggyback (naming img.gif) crossed both hops.
+        assert result.piggyback is not None
+        assert "h/a/img.gif" in result.piggyback.urls()
+        assert boundary.stats.piggybacks_forwarded >= 1
+        assert child.stats.piggybacks_received >= 1
+
+    def test_child_filter_rescopes_forwarded_message(self):
+        server, _ = make_origin()
+        child, parent, boundary = build_chain(
+            server.handle,
+            ProxyConfig(name="parent", freshness_interval=600.0),
+            ProxyConfig(name="child", freshness_interval=600.0,
+                        max_piggyback_resource_size=100),
+        )
+        child.handle_client_get("h/a/img.gif", now=1000.0)
+        result = child.handle_client_get("h/a/page.html", now=1001.0)
+        # img.gif (900 B) exceeds the child's piggyback size limit.
+        assert result.piggyback is None
+        assert boundary.stats.piggybacks_refiltered_away >= 1
+
+    def test_child_coherency_from_forwarded_piggyback(self):
+        child, parent, boundary, server, resources = make_chain(
+            parent_delta=10_000.0, child_delta=10_000.0
+        )
+        child.handle_client_get("h/a/img.gif", now=1000.0)
+        resources.set_modified("h/a/img.gif", 1050.0)
+        # Parent revalidates page... actually fetches it; its piggyback
+        # names img.gif with the new mtime, invalidating the child's copy.
+        child.handle_client_get("h/a/page.html", now=1100.0)
+        assert "h/a/img.gif" not in child.cache
+
+    def test_parent_cache_hits_carry_no_piggyback(self):
+        child, parent, boundary, server, _ = make_chain(
+            parent_delta=10_000.0, child_delta=50.0
+        )
+        child.handle_client_get("h/a/page.html", now=1000.0)
+        result = child.handle_client_get("h/a/page.html", now=2000.0)
+        # The parent answered from cache: no origin contact, no piggyback.
+        assert result.outcome is ClientOutcome.VALIDATED
+        assert result.piggyback is None
+
+
+class TestApplyToMessage:
+    def test_refilter_respects_rpv(self):
+        from repro.core.filters import ProxyFilter
+        from repro.core.piggyback import PiggybackElement, PiggybackMessage
+
+        message = PiggybackMessage(3, (PiggybackElement("h/x", 1.0, 10),))
+        hit = ProxyFilter(recently_piggybacked=frozenset({3}))
+        assert hit.apply_to_message(message, "h/req") is None
+        miss = ProxyFilter(recently_piggybacked=frozenset({4}))
+        assert miss.apply_to_message(message, "h/req") is not None
+
+    def test_refilter_count_criteria_pass_through(self):
+        from repro.core.filters import ProxyFilter
+        from repro.core.piggyback import PiggybackElement, PiggybackMessage
+
+        message = PiggybackMessage(1, (PiggybackElement("h/x", 1.0, 10),))
+        # Counts are unknown across hops; min_access_count must not zero
+        # out forwarded messages.
+        strict = ProxyFilter(min_access_count=100)
+        assert strict.apply_to_message(message, "h/req") is not None

@@ -1,0 +1,91 @@
+"""Unit tests for prefetch policy and usefulness accounting."""
+
+import pytest
+
+from repro.core.piggyback import PiggybackElement
+from repro.proxy.prefetch import PrefetchEngine, PrefetchPolicy
+
+
+def elements():
+    return (
+        PiggybackElement("h/small.html", last_modified=0.0, size=1000),
+        PiggybackElement("h/big.mpg", last_modified=0.0, size=10_000_000),
+        PiggybackElement("h/hot.html", last_modified=999.0, size=500),
+    )
+
+
+class TestPolicySelection:
+    def test_size_limit(self):
+        policy = PrefetchPolicy(max_resource_size=5000)
+        chosen = policy.select(elements(), now=1000.0)
+        assert [e.url for e in chosen] == ["h/small.html", "h/hot.html"]
+
+    def test_recently_modified_excluded(self):
+        # "The proxy may decide not to prefetch items that have a recent
+        # Last-Modified time" (Section 4).
+        policy = PrefetchPolicy(max_resource_size=None, min_modified_age=100.0)
+        chosen = policy.select(elements(), now=1000.0)
+        assert "h/hot.html" not in [e.url for e in chosen]
+
+    def test_max_per_message(self):
+        policy = PrefetchPolicy(max_resource_size=None, max_per_message=1)
+        chosen = policy.select(elements(), now=1000.0)
+        assert len(chosen) == 1
+
+    def test_disabled_selects_nothing(self):
+        policy = PrefetchPolicy(enabled=False)
+        assert policy.select(elements(), now=0.0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(max_resource_size=-1)
+        with pytest.raises(ValueError):
+            PrefetchPolicy(min_modified_age=-1.0)
+
+
+class TestEngineAccounting:
+    def make_engine(self, window=100.0):
+        return PrefetchEngine(
+            policy=PrefetchPolicy(max_resource_size=None), usefulness_window=window
+        )
+
+    def test_useful_prefetch(self):
+        engine = self.make_engine()
+        selected = engine.consider((PiggybackElement("h/a", 0.0, 100),), now=0.0)
+        assert [e.url for e in selected] == ["h/a"]
+        assert engine.on_client_request("h/a", now=50.0)
+        assert engine.stats.useful == 1
+        assert engine.stats.bytes_useful == 100
+
+    def test_futile_prefetch_expires(self):
+        engine = self.make_engine(window=100.0)
+        engine.consider((PiggybackElement("h/a", 0.0, 100),), now=0.0)
+        assert not engine.on_client_request("h/a", now=500.0)
+        assert engine.stats.futile == 1
+
+    def test_unrelated_request_not_covered(self):
+        engine = self.make_engine()
+        engine.consider((PiggybackElement("h/a", 0.0, 100),), now=0.0)
+        assert not engine.on_client_request("h/other", now=1.0)
+
+    def test_duplicate_prefetch_coalesced(self):
+        engine = self.make_engine()
+        first = engine.consider((PiggybackElement("h/a", 0.0, 100),), now=0.0)
+        second = engine.consider((PiggybackElement("h/a", 0.0, 100),), now=1.0)
+        assert len(first) == 1 and len(second) == 0
+        assert engine.stats.issued == 1
+
+    def test_finalize_marks_outstanding_futile(self):
+        engine = self.make_engine()
+        engine.consider((PiggybackElement("h/a", 0.0, 100),
+                         PiggybackElement("h/b", 0.0, 200)), now=0.0)
+        engine.on_client_request("h/a", now=1.0)
+        engine.finalize()
+        assert engine.stats.useful == 1
+        assert engine.stats.futile == 1
+        assert engine.stats.futile_fraction == pytest.approx(0.5)
+        assert engine.stats.wasted_bytes == 200
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PrefetchEngine(usefulness_window=0.0)

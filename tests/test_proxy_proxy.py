@@ -1,0 +1,194 @@
+"""Integration tests for PiggybackProxy against an in-process server."""
+
+import pytest
+
+from repro.core.frequency import MinimumGap
+from repro.proxy.prefetch import PrefetchPolicy
+from repro.proxy.proxy import ClientOutcome, PiggybackProxy, ProxyConfig
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+
+def make_pair(proxy_config=None, pacing=None):
+    resources = ResourceStore()
+    resources.add("h/a/page.html", size=2000, last_modified=100.0)
+    resources.add("h/a/img.gif", size=900, last_modified=100.0)
+    resources.add("h/a/more.html", size=700, last_modified=100.0)
+    server = PiggybackServer(
+        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    )
+    proxy = PiggybackProxy(
+        server.handle,
+        config=proxy_config or ProxyConfig(freshness_interval=100.0),
+        pacing=pacing,
+    )
+    return proxy, server, resources
+
+
+class TestBasicFlow:
+    def test_miss_fetch_then_fresh_hit(self):
+        proxy, server, _ = make_pair()
+        first = proxy.handle_client_get("h/a/page.html", now=1000.0)
+        assert first.outcome is ClientOutcome.FETCHED
+        assert first.bytes_from_server == 2000
+        second = proxy.handle_client_get("h/a/page.html", now=1050.0)
+        assert second.outcome is ClientOutcome.CACHE_FRESH
+        assert server.stats.requests == 1  # fresh hit never contacted the server
+
+    def test_expired_hit_sends_conditional_get(self):
+        proxy, server, _ = make_pair()
+        proxy.handle_client_get("h/a/page.html", now=1000.0)
+        result = proxy.handle_client_get("h/a/page.html", now=1200.0)
+        assert result.outcome is ClientOutcome.VALIDATED
+        assert server.stats.not_modified_responses == 1
+
+    def test_modified_resource_refetched(self):
+        proxy, server, resources = make_pair()
+        proxy.handle_client_get("h/a/page.html", now=1000.0)
+        resources.set_modified("h/a/page.html", 1100.0)
+        result = proxy.handle_client_get("h/a/page.html", now=1200.0)
+        assert result.outcome is ClientOutcome.FETCHED
+
+    def test_unknown_resource_fails(self):
+        proxy, _, _ = make_pair()
+        result = proxy.handle_client_get("h/missing.html", now=0.0)
+        assert result.outcome is ClientOutcome.FAILED
+
+
+class TestPiggybackIntegration:
+    def test_piggyback_freshens_cached_sibling(self):
+        proxy, server, _ = make_pair()
+        proxy.handle_client_get("h/a/img.gif", now=1000.0)
+        # img expires at 1100; a piggyback on another request refreshes it.
+        proxy.handle_client_get("h/a/page.html", now=1090.0)
+        result = proxy.handle_client_get("h/a/img.gif", now=1150.0)
+        assert result.outcome is ClientOutcome.CACHE_FRESH
+        assert proxy.coherency.stats.freshened >= 1
+
+    def test_piggyback_invalidates_stale_sibling(self):
+        proxy, server, resources = make_pair()
+        proxy.handle_client_get("h/a/img.gif", now=1000.0)
+        resources.set_modified("h/a/img.gif", 1050.0)
+        proxy.handle_client_get("h/a/page.html", now=1060.0)
+        assert "h/a/img.gif" not in proxy.cache
+        assert proxy.coherency.stats.invalidated >= 1
+
+    def test_rpv_suppresses_back_to_back_piggybacks(self):
+        proxy, server, _ = make_pair()
+        proxy.handle_client_get("h/a/img.gif", now=1000.0)
+        proxy.handle_client_get("h/a/page.html", now=1001.0)
+        received_before = proxy.stats.piggybacks_received
+        # Same volume within the RPV timeout: the filter blocks a repeat.
+        proxy.handle_client_get("h/a/more.html", now=1002.0)
+        assert proxy.stats.piggybacks_received == received_before
+
+    def test_rpv_expires_allowing_new_piggyback(self):
+        proxy, server, _ = make_pair()
+        proxy.handle_client_get("h/a/img.gif", now=1000.0)
+        proxy.handle_client_get("h/a/page.html", now=1001.0)
+        received_before = proxy.stats.piggybacks_received
+        proxy.handle_client_get("h/a/more.html", now=1200.0)  # past rpv_timeout
+        assert proxy.stats.piggybacks_received == received_before + 1
+
+    def test_pacing_policy_disables_filter(self):
+        proxy, server, _ = make_pair(pacing=MinimumGap(gap=1e9))
+        proxy.handle_client_get("h/a/img.gif", now=0.0)
+        proxy.handle_client_get("h/a/page.html", now=1.0)
+        # First piggyback arrives, then the gap policy silences the rest.
+        proxy.handle_client_get("h/a/more.html", now=2.0)
+        assert proxy.stats.piggybacks_received <= 2
+
+
+class TestPrefetching:
+    def prefetching_config(self):
+        return ProxyConfig(
+            freshness_interval=100.0,
+            prefetch=PrefetchPolicy(enabled=True, max_resource_size=None),
+        )
+
+    def test_prefetch_fetches_uncached_piggybacked_resources(self):
+        from conftest import make_record
+
+        proxy, server, _ = make_pair(self.prefetching_config())
+        # Another client of the server populated the volume with more.html.
+        server.volume_store.observe(
+            make_record(990.0, "other", "h/a/more.html", size=700, last_modified=100.0)
+        )
+        proxy.handle_client_get("h/a/page.html", now=1000.0)
+        # The piggyback named the uncached more.html => prefetch issued.
+        assert proxy.stats.prefetch_requests >= 1
+        assert proxy.prefetcher.stats.issued >= 1
+        assert "h/a/more.html" in proxy.cache
+
+    def test_prefetched_resource_served_from_cache(self):
+        proxy, server, _ = make_pair(self.prefetching_config())
+        proxy.handle_client_get("h/a/img.gif", now=1000.0)
+        result = proxy.handle_client_get("h/a/page.html", now=1001.0)
+        # img was already cached; any prefetch targeted an uncached sibling.
+        for url in ("h/a/more.html",):
+            if url in proxy.cache:
+                followup = proxy.handle_client_get(url, now=1002.0)
+                assert followup.outcome is ClientOutcome.CACHE_FRESH
+                assert followup.served_from_prefetch
+
+
+class TestStats:
+    def test_server_contact_rate(self):
+        proxy, _, _ = make_pair()
+        proxy.handle_client_get("h/a/page.html", now=0.0)
+        proxy.handle_client_get("h/a/page.html", now=10.0)
+        proxy.handle_client_get("h/a/page.html", now=20.0)
+        assert proxy.stats.client_requests == 3
+        assert proxy.stats.server_requests == 1
+        assert proxy.stats.server_contact_rate == pytest.approx(1 / 3)
+
+    def test_piggyback_bytes_tracked(self):
+        proxy, _, _ = make_pair()
+        proxy.handle_client_get("h/a/img.gif", now=0.0)
+        proxy.handle_client_get("h/a/page.html", now=1.0)
+        assert proxy.stats.piggyback_bytes_received > 0
+
+
+class TestAdaptivePacingIntegration:
+    def test_useless_piggyback_grows_the_gap(self):
+        from conftest import make_record
+        from repro.core.frequency import AdaptiveGap
+
+        pacing = AdaptiveGap(initial_gap=10.0, min_gap=1.0, max_gap=1000.0)
+        proxy, server, _ = make_pair(pacing=pacing)
+        # Seed the server's volume with a resource this proxy never
+        # cached: the piggyback naming it does no coherency work.
+        server.volume_store.observe(
+            make_record(0.0, "other", "h/a/more.html", size=700, last_modified=100.0)
+        )
+        proxy.handle_client_get("h/a/page.html", now=1.0)
+        assert pacing.current_gap("h") > 10.0
+
+    def test_useful_piggyback_shrinks_the_gap(self):
+        from repro.core.frequency import AdaptiveGap
+
+        pacing = AdaptiveGap(initial_gap=10.0, min_gap=1.0, max_gap=1000.0)
+        proxy, server, _ = make_pair(pacing=pacing)
+        proxy.handle_client_get("h/a/img.gif", now=0.0)
+        # The piggyback on page.html names the cached img.gif and
+        # freshens it: useful, so the gap shrinks.
+        proxy.handle_client_get("h/a/page.html", now=50.0)
+        assert pacing.current_gap("h") < 10.0
+
+
+class TestUpstreamFailures:
+    def test_upstream_exception_propagates(self):
+        def broken(request):
+            raise ConnectionError("origin unreachable")
+
+        proxy = PiggybackProxy(broken, ProxyConfig(name="p", freshness_interval=100.0))
+        with pytest.raises(ConnectionError):
+            proxy.handle_client_get("h/a/x.html", now=0.0)
+
+    def test_cache_still_serves_after_upstream_failure(self):
+        proxy, server, _ = make_pair()
+        proxy.handle_client_get("h/a/page.html", now=0.0)
+        proxy.upstream = None  # simulate the origin going away entirely
+        result = proxy.handle_client_get("h/a/page.html", now=50.0)
+        assert result.outcome is ClientOutcome.CACHE_FRESH

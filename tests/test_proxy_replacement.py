@@ -1,0 +1,126 @@
+"""Unit tests for cache replacement policies."""
+
+import pytest
+
+from repro.proxy.cache import CacheEntry, ProxyCache
+from repro.proxy.replacement import (
+    GreedyDualSizePolicy,
+    LruPolicy,
+    PiggybackAwareLruPolicy,
+    SizePolicy,
+)
+
+
+def entry(url, size=10, last_access=0.0, last_piggyback=None):
+    return CacheEntry(
+        url=url, size=size, last_modified=0.0, expires=1e9,
+        fetched_at=0.0, last_access=last_access, last_piggyback=last_piggyback,
+    )
+
+
+class TestLruPolicy:
+    def test_picks_least_recent(self):
+        entries = {e.url: e for e in (entry("a", last_access=5.0),
+                                      entry("b", last_access=1.0),
+                                      entry("c", last_access=9.0))}
+        assert LruPolicy().choose_victim(entries) == "b"
+
+    def test_respects_protect(self):
+        entries = {e.url: e for e in (entry("a", last_access=1.0),
+                                      entry("b", last_access=2.0))}
+        assert LruPolicy().choose_victim(entries, protect="a") == "b"
+
+    def test_empty_returns_none(self):
+        assert LruPolicy().choose_victim({}) is None
+
+
+class TestSizePolicy:
+    def test_picks_largest(self):
+        entries = {e.url: e for e in (entry("a", size=10),
+                                      entry("b", size=500),
+                                      entry("c", size=50))}
+        assert SizePolicy().choose_victim(entries) == "b"
+
+    def test_ties_broken_by_lru(self):
+        entries = {e.url: e for e in (entry("a", size=100, last_access=5.0),
+                                      entry("b", size=100, last_access=1.0))}
+        assert SizePolicy().choose_victim(entries) == "b"
+
+
+class TestGreedyDualSize:
+    def test_prefers_large_unused_objects(self):
+        policy = GreedyDualSizePolicy()
+        small, big = entry("small", size=10), entry("big", size=10_000)
+        entries = {"small": small, "big": big}
+        policy.on_insert(small, 0.0)
+        policy.on_insert(big, 0.0)
+        assert policy.choose_victim(entries) == "big"
+
+    def test_access_refreshes_h_value(self):
+        policy = GreedyDualSizePolicy()
+        a, b = entry("a", size=100), entry("b", size=100)
+        entries = {"a": a, "b": b}
+        policy.on_insert(a, 0.0)
+        policy.on_insert(b, 0.0)
+        # Evict one; inflation rises; re-credit "a" so "b" stays minimal.
+        victim = policy.choose_victim(entries)
+        del entries[victim]
+        survivor = entries[next(iter(entries))]
+        policy.on_access(survivor, 1.0)
+        c = entry("c", size=100)
+        entries["c"] = c
+        # c never credited => h defaults to current inflation => victim.
+        assert policy.choose_victim(entries) == "c"
+
+    def test_inflation_monotone_under_evictions(self):
+        policy = GreedyDualSizePolicy()
+        entries = {}
+        for i, size in enumerate((100, 10, 1000)):
+            e = entry(f"u{i}", size=size)
+            entries[e.url] = e
+            policy.on_insert(e, float(i))
+        first = policy.choose_victim(entries)
+        del entries[first]
+        policy.on_remove(entry(first))
+        second = policy.choose_victim(entries)
+        assert first == "u2"  # largest => smallest H with unit cost
+        assert second == "u0"
+
+    def test_integration_with_cache(self):
+        cache = ProxyCache(capacity_bytes=1000, policy=GreedyDualSizePolicy())
+        cache.put("h/big", size=900, last_modified=0.0, now=0.0)
+        cache.put("h/small", size=50, last_modified=0.0, now=1.0)
+        cache.put("h/mid", size=500, last_modified=0.0, now=2.0)
+        assert "h/big" not in cache
+        assert "h/small" in cache
+
+
+class TestPiggybackAwareLru:
+    def test_confirmation_acts_as_touch(self):
+        policy = PiggybackAwareLruPolicy()
+        confirmed = entry("a", last_access=100.0, last_piggyback=400.0)
+        plain = entry("b", last_access=300.0)
+        # a's piggyback confirmation (t=400) outranks b's access (t=300).
+        assert policy.choose_victim({"a": confirmed, "b": plain}) == "b"
+
+    def test_never_hurts_recently_used_entries(self):
+        policy = PiggybackAwareLruPolicy()
+        hot = entry("hot", last_access=500.0)  # never piggybacked
+        confirmed = entry("cold", last_access=10.0, last_piggyback=100.0)
+        assert policy.choose_victim({"hot": hot, "cold": confirmed}) == "cold"
+
+    def test_reduces_to_lru_without_piggybacks(self):
+        policy = PiggybackAwareLruPolicy()
+        entries = {e.url: e for e in (entry("a", last_access=5.0),
+                                      entry("b", last_access=1.0))}
+        assert policy.choose_victim(entries) == "b"
+
+    def test_discount_weakens_confirmations(self):
+        policy = PiggybackAwareLruPolicy(confirmation_discount=200.0)
+        confirmed = entry("a", last_access=0.0, last_piggyback=400.0)  # key 200
+        plain = entry("b", last_access=300.0)
+        assert policy.choose_victim({"a": confirmed, "b": plain}) == "a"
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValueError):
+            PiggybackAwareLruPolicy(confirmation_discount=-1.0)

@@ -1,0 +1,154 @@
+"""Unit tests for ResourceStore and PiggybackServer."""
+
+import pytest
+
+from repro.core.filters import ProxyFilter
+from repro.core.protocol import NOT_FOUND, NOT_MODIFIED, OK, ProxyRequest
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.workloads.modifications import ModificationConfig, ModificationProcess
+from repro.workloads.sitegen import SiteConfig, generate_site
+
+
+def make_server():
+    resources = ResourceStore()
+    resources.add("h/a/page.html", size=2000, last_modified=100.0)
+    resources.add("h/a/img.gif", size=900, last_modified=50.0)
+    resources.add("h/b/other.html", size=1500, last_modified=80.0)
+    store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    return PiggybackServer(resources, store)
+
+
+def get(server, url, t=1000.0, ims=None, piggy_filter=None):
+    return server.handle(
+        ProxyRequest(
+            url=url,
+            timestamp=t,
+            if_modified_since=ims,
+            piggyback_filter=piggy_filter or ProxyFilter(),
+            source="p1",
+        )
+    )
+
+
+class TestResourceStore:
+    def test_add_and_get(self):
+        store = ResourceStore()
+        record = store.add("h/x.html", size=10)
+        assert store.get("h/x.html") is record
+        assert record.content_type == "text"
+        assert "h/x.html" in store and len(store) == 1
+
+    def test_last_modified_static(self):
+        store = ResourceStore()
+        store.add("h/x.html", last_modified=42.0)
+        assert store.last_modified("h/x.html", 1000.0) == 42.0
+        store.set_modified("h/x.html", 500.0)
+        assert store.last_modified("h/x.html", 1000.0) == 500.0
+
+    def test_last_modified_with_process(self):
+        changes = ModificationProcess(
+            0.0, 10_000.0,
+            ModificationConfig(fast_fraction=1.0, fast_mean_interval=100.0),
+        )
+        store = ResourceStore(changes=changes)
+        store.add("h/x.html")
+        assert store.last_modified("h/x.html", 5000.0) <= 5000.0
+
+    def test_unknown_url_raises(self):
+        store = ResourceStore()
+        with pytest.raises(KeyError):
+            store.last_modified("h/none", 0.0)
+        with pytest.raises(KeyError):
+            store.set_modified("h/none", 0.0)
+
+    def test_from_site_covers_all_resources(self):
+        site = generate_site(SiteConfig(page_count=10, directory_count=3, seed=1))
+        store = ResourceStore.from_site(site)
+        assert store.urls() == set(site.resources)
+
+
+class TestRequestHandling:
+    def test_ok_response(self):
+        server = make_server()
+        response = get(server, "h/a/page.html")
+        assert response.status == OK
+        assert response.size == 2000
+        assert response.last_modified == 100.0
+
+    def test_not_found(self):
+        server = make_server()
+        response = get(server, "h/missing.html")
+        assert response.status == NOT_FOUND
+        assert server.stats.not_found_responses == 1
+
+    def test_if_modified_since_validation(self):
+        server = make_server()
+        fresh = get(server, "h/a/page.html", ims=100.0)
+        assert fresh.status == NOT_MODIFIED
+        assert fresh.size == 0
+        stale = get(server, "h/a/page.html", ims=99.0)
+        assert stale.status == OK
+
+    def test_not_modified_still_carries_piggyback(self):
+        server = make_server()
+        get(server, "h/a/img.gif")  # populate the volume
+        response = get(server, "h/a/page.html", ims=100.0)
+        assert response.status == NOT_MODIFIED
+        assert response.piggyback is not None
+        assert "h/a/img.gif" in response.piggyback.urls()
+
+
+class TestPiggybackGeneration:
+    def test_piggyback_from_same_volume_only(self):
+        server = make_server()
+        get(server, "h/a/img.gif", t=1.0)
+        get(server, "h/b/other.html", t=2.0)
+        response = get(server, "h/a/page.html", t=3.0)
+        assert response.piggyback.urls() == ["h/a/img.gif"]
+
+    def test_disabled_filter_suppresses_piggyback(self):
+        server = make_server()
+        get(server, "h/a/img.gif", t=1.0)
+        response = get(server, "h/a/page.html", piggy_filter=ProxyFilter.disabled())
+        assert response.piggyback is None
+
+    def test_requested_resource_not_in_own_piggyback(self):
+        server = make_server()
+        get(server, "h/a/page.html", t=1.0)
+        response = get(server, "h/a/page.html", t=2.0)
+        if response.piggyback is not None:
+            assert "h/a/page.html" not in response.piggyback.urls()
+
+    def test_rpv_filter_suppresses_repeat_volume(self):
+        server = make_server()
+        get(server, "h/a/img.gif", t=1.0)
+        first = get(server, "h/a/page.html", t=2.0)
+        volume_id = first.piggyback.volume_id
+        second = get(
+            server, "h/a/page.html", t=3.0,
+            piggy_filter=ProxyFilter(recently_piggybacked=frozenset({volume_id})),
+        )
+        assert second.piggyback is None
+
+    def test_stats_accumulate(self):
+        server = make_server()
+        get(server, "h/a/img.gif", t=1.0)
+        get(server, "h/a/page.html", t=2.0)
+        assert server.stats.requests == 2
+        assert server.stats.ok_responses == 2
+        assert server.stats.piggyback_messages >= 1
+        assert server.stats.piggyback_elements >= 1
+        assert server.stats.piggyback_bytes > 0
+        assert server.stats.mean_piggyback_size >= 1.0
+        assert 0.0 < server.stats.piggyback_rate <= 1.0
+
+    def test_volume_maintenance_sees_requests(self):
+        server = make_server()
+        get(server, "h/a/img.gif", t=1.0)
+        get(server, "h/a/page.html", t=2.0)
+        # img.gif then page.html were observed; a third request's piggyback
+        # leads with the most recently accessed element.
+        response = get(server, "h/a/img.gif", t=3.0)
+        assert response.piggyback.urls()[0] == "h/a/page.html"

@@ -1,0 +1,91 @@
+"""Tests for server-side Common Log Format access logging."""
+
+import io
+import threading
+
+from repro.core.protocol import OK, ProxyRequest, ServerResponse
+from repro.server.accesslog import AccessLogger
+from repro.traces.common_log import parse_lines
+
+
+def exchange(url="www.s.example/a/p.html", t=899721000.0, status=OK, size=100):
+    request = ProxyRequest(url=url, timestamp=t, source="10.0.0.1")
+    response = ServerResponse(url=url, status=status, timestamp=t, size=size)
+    return request, response
+
+
+class TestAccessLogger:
+    def test_lines_parse_back_as_records(self):
+        buffer = io.StringIO()
+        logger = AccessLogger(buffer)
+        logger.log(*exchange())
+        logger.log(*exchange(status=304, size=0, t=899721060.0))
+        records = list(parse_lines(buffer.getvalue().splitlines()))
+        assert len(records) == 2
+        assert records[0].source == "10.0.0.1"
+        assert records[0].status == 200
+        assert records[0].size == 100
+        assert records[1].status == 304
+
+    def test_counts_lines(self):
+        logger = AccessLogger(io.StringIO())
+        for _ in range(5):
+            logger.log(*exchange())
+        assert logger.lines_written == 5
+
+    def test_file_destination(self, tmp_path):
+        path = tmp_path / "access.log"
+        with AccessLogger(path) as logger:
+            logger.log(*exchange())
+        content = path.read_text()
+        assert "10.0.0.1" in content
+        assert '"GET /a/p.html' in content
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "access.log"
+        with AccessLogger(path) as logger:
+            logger.log(*exchange())
+        with AccessLogger(path) as logger:
+            logger.log(*exchange())
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_thread_safety(self):
+        buffer = io.StringIO()
+        logger = AccessLogger(buffer)
+
+        def worker():
+            for _ in range(50):
+                logger.log(*exchange())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert logger.lines_written == 200
+        assert len(buffer.getvalue().splitlines()) == 200
+
+    def test_wire_server_integration(self):
+        from repro.httpmodel.messages import HttpRequest
+        from repro.httpwire.netclient import fetch_once
+        from repro.httpwire.netserver import PiggybackHttpServer
+        from repro.server.resources import ResourceStore
+        from repro.server.server import PiggybackServer
+        from repro.volumes.directory import DirectoryVolumeStore
+
+        resources = ResourceStore()
+        resources.add("www.w.example/x.html", size=10, last_modified=1.0)
+        engine = PiggybackServer(resources, DirectoryVolumeStore())
+        buffer = io.StringIO()
+        logger = AccessLogger(buffer)
+        server = PiggybackHttpServer(
+            engine, site_host="www.w.example",
+            clock=lambda: 899721000.0, access_logger=logger,
+        )
+        with server:
+            request = HttpRequest(method="GET", target="/x.html")
+            request.headers.set("Host", "www.w.example")
+            fetch_once(server.address, server.port, request)
+        records = list(parse_lines(buffer.getvalue().splitlines()))
+        assert len(records) == 1
+        assert records[0].url == "/x.html"

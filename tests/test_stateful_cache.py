@@ -1,0 +1,100 @@
+"""Stateful property testing of the proxy cache (hypothesis)."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.proxy.cache import CacheOutcome, ProxyCache
+from repro.proxy.replacement import GreedyDualSizePolicy, LruPolicy
+
+URLS = [f"h/u{i}" for i in range(8)]
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Drive a byte-bounded cache through arbitrary operation sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = ProxyCache(capacity_bytes=200, freshness_interval=50.0,
+                                policy=LruPolicy())
+        self.clock = 0.0
+        self.model: dict[str, float] = {}  # url -> expiry we last assigned
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    @rule(url=st.sampled_from(URLS), size=st.integers(min_value=1, max_value=120))
+    def put(self, url, size):
+        now = self._tick()
+        entry = self.cache.put(url, size=size, last_modified=now, now=now)
+        if entry is not None:
+            self.model[url] = now + 50.0
+
+    @rule(url=st.sampled_from(URLS))
+    def probe(self, url):
+        now = self._tick()
+        outcome = self.cache.probe(url, now)
+        entry = self.cache.entry(url)
+        if outcome is CacheOutcome.MISS:
+            assert entry is None
+        elif outcome is CacheOutcome.HIT_FRESH:
+            assert entry is not None and entry.expires > now
+        else:
+            assert entry is not None and entry.expires <= now
+
+    @rule(url=st.sampled_from(URLS))
+    def validate(self, url):
+        now = self._tick()
+        self.cache.validate(url, now)
+
+    @rule(url=st.sampled_from(URLS))
+    def freshen(self, url):
+        now = self._tick()
+        self.cache.freshen_from_piggyback(url, now)
+        entry = self.cache.entry(url)
+        if entry is not None:
+            assert entry.expires == now + 50.0
+            assert entry.last_piggyback == now
+
+    @rule(url=st.sampled_from(URLS))
+    def invalidate(self, url):
+        was_present = url in self.cache
+        assert self.cache.invalidate(url) == was_present
+        assert url not in self.cache
+
+    @invariant()
+    def byte_accounting_consistent(self):
+        assert self.cache.used_bytes == sum(
+            e.size for e in self.cache.entries()
+        )
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.used_bytes <= 200 or len(self.cache) == 1
+
+    @invariant()
+    def stats_balance(self):
+        stats = self.cache.stats
+        assert stats.probes == stats.fresh_hits + stats.expired_hits + stats.misses
+
+
+class GdSizeCacheMachine(CacheMachine):
+    """Same operations, GD-Size replacement: invariants must still hold."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = ProxyCache(capacity_bytes=200, freshness_interval=50.0,
+                                policy=GreedyDualSizePolicy())
+
+
+TestCacheMachine = CacheMachine.TestCase
+TestGdSizeCacheMachine = GdSizeCacheMachine.TestCase
+TestCacheMachine.settings = settings(max_examples=30, stateful_step_count=40,
+                                     deadline=None)
+TestGdSizeCacheMachine.settings = settings(max_examples=30, stateful_step_count=40,
+                                           deadline=None)

@@ -1,0 +1,86 @@
+"""Unit tests for the Appendix-A log cleaning pipeline."""
+
+import pytest
+
+from repro.traces.clean import CleaningConfig, clean_trace
+from repro.traces.records import Trace
+
+from conftest import make_record
+
+
+def build_trace():
+    records = []
+    # Popular resource: 12 accesses.
+    for i in range(12):
+        records.append(make_record(float(i), "c%d" % (i % 4), "www.x.example/a/p.html"))
+    # Unpopular resource: 3 accesses.
+    for i in range(3):
+        records.append(make_record(100.0 + i, "c1", "www.x.example/a/rare.html"))
+    # Uncachable resources.
+    records.append(make_record(200.0, "c1", "www.x.example/cgi-bin/q"))
+    records.append(make_record(201.0, "c1", "www.x.example/a/p.html?x=1"))
+    # POST request.
+    records.append(make_record(202.0, "c1", "www.x.example/a/p.html", method="POST"))
+    # Duplicate URL forms.
+    for i in range(10):
+        records.append(make_record(300.0 + i, "c2", "http://WWW.X.example/"))
+    return Trace(records)
+
+
+class TestCleanTrace:
+    def test_default_pipeline(self):
+        cleaned, report = clean_trace(build_trace())
+        assert report.input_records == len(build_trace())
+        # POST dropped.
+        assert report.dropped_method == 1
+        # cgi and query URLs dropped.
+        assert report.dropped_uncachable == 2
+        # rare.html (3 < 10 accesses) dropped.
+        assert report.dropped_unpopular == 3
+        assert report.output_records == len(cleaned)
+        assert all(r.method == "GET" for r in cleaned)
+
+    def test_url_canonicalization_merges_duplicate_forms(self):
+        cleaned, _ = clean_trace(build_trace())
+        assert "www.x.example" in cleaned.urls()
+        assert not any(u.startswith("http://") for u in cleaned.urls())
+
+    def test_popularity_floor_counts_after_canonicalization(self):
+        # 10 accesses to http://WWW.X.example/ survive a floor of 10 only
+        # because canonicalization merged them into one resource.
+        cleaned, _ = clean_trace(build_trace(), CleaningConfig(min_accesses=10))
+        assert "www.x.example" in cleaned.urls()
+
+    def test_time_range_filter(self):
+        config = CleaningConfig(start_time=100.0, end_time=250.0, min_accesses=0)
+        cleaned, report = clean_trace(build_trace(), config)
+        assert report.dropped_time_range > 0
+        assert all(100.0 <= r.timestamp <= 250.0 for r in cleaned)
+
+    def test_keep_methods_empty_keeps_all(self):
+        config = CleaningConfig(keep_methods=(), min_accesses=0)
+        cleaned, report = clean_trace(build_trace(), config)
+        assert report.dropped_method == 0
+        assert any(r.method == "POST" for r in cleaned)
+
+    def test_disable_uncachable_drop(self):
+        config = CleaningConfig(drop_uncachable=False, min_accesses=0)
+        cleaned, report = clean_trace(build_trace(), config)
+        assert report.dropped_uncachable == 0
+        assert any("cgi" in r.url for r in cleaned)
+
+    def test_kept_fraction(self):
+        _, report = clean_trace(build_trace())
+        assert 0.0 < report.kept_fraction < 1.0
+        assert report.kept_fraction == report.output_records / report.input_records
+
+    def test_empty_trace(self):
+        cleaned, report = clean_trace(Trace([]))
+        assert len(cleaned) == 0
+        assert report.kept_fraction == 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CleaningConfig(min_accesses=-1)
+        with pytest.raises(ValueError):
+            CleaningConfig(start_time=10.0, end_time=5.0)

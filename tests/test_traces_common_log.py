@@ -1,0 +1,100 @@
+"""Unit tests for Common Log Format parsing and writing."""
+
+import pytest
+
+from repro.traces.common_log import (
+    LogParseError,
+    format_record,
+    parse_line,
+    parse_lines,
+    read_log,
+    write_log,
+)
+from repro.traces.records import Trace
+
+from conftest import make_record
+
+LINE = '10.0.0.1 - - [06/Jul/1998:10:30:00 +0000] "GET /a/b.html HTTP/1.0" 200 1530'
+
+
+class TestParseLine:
+    def test_basic_fields(self):
+        record = parse_line(LINE)
+        assert record.source == "10.0.0.1"
+        assert record.url == "/a/b.html"
+        assert record.method == "GET"
+        assert record.status == 200
+        assert record.size == 1530
+
+    def test_timestamp_is_utc(self):
+        record = parse_line(LINE)
+        # 06 Jul 1998 10:30:00 UTC
+        assert record.timestamp == 899721000.0
+
+    def test_timezone_offset_applied(self):
+        east = parse_line(LINE.replace("+0000", "+0200"))
+        assert east.timestamp == 899721000.0 - 7200
+
+    def test_negative_timezone_offset(self):
+        west = parse_line(LINE.replace("+0000", "-0500"))
+        assert west.timestamp == 899721000.0 + 18000
+
+    def test_dash_size_becomes_zero(self):
+        record = parse_line(LINE.replace("200 1530", "304 -"))
+        assert record.size == 0
+        assert record.status == 304
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(LogParseError):
+            parse_line("not a log line")
+
+    def test_bad_month_raises(self):
+        with pytest.raises(LogParseError):
+            parse_line(LINE.replace("Jul", "Xxx"))
+
+    def test_empty_request_field_raises(self):
+        with pytest.raises(LogParseError):
+            parse_line('h - - [06/Jul/1998:10:30:00 +0000] "" 200 10')
+
+    def test_request_without_protocol(self):
+        record = parse_line('h - - [06/Jul/1998:10:30:00 +0000] "GET /x" 200 10')
+        assert record.url == "/x"
+
+
+class TestParseLines:
+    def test_skips_malformed_by_default(self):
+        records = list(parse_lines([LINE, "garbage", "", LINE]))
+        assert len(records) == 2
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(LogParseError):
+            list(parse_lines([LINE, "garbage"], strict=True))
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_fields(self):
+        original = make_record(899721000.0, "10.1.2.3", "www.x.example/a/b.html",
+                               status=200, size=4321)
+        parsed = parse_line(format_record(original))
+        assert parsed.timestamp == original.timestamp
+        assert parsed.source == original.source
+        assert parsed.status == original.status
+        assert parsed.size == original.size
+        assert parsed.url == "/a/b.html"  # host lives outside CLF lines
+
+    def test_zero_size_round_trips_as_dash(self):
+        line = format_record(make_record(899721000.0, size=0))
+        assert line.endswith(" -")
+
+    def test_write_and_read_log(self, tmp_path):
+        trace = Trace(
+            [make_record(899721000.0 + i, "10.0.0.%d" % (i % 3),
+                         "www.x.example/d/p%d.html" % i, size=100 + i)
+             for i in range(20)]
+        )
+        path = tmp_path / "access.log"
+        write_log(trace, path)
+        loaded = read_log(path)
+        assert len(loaded) == 20
+        assert [r.timestamp for r in loaded] == [r.timestamp for r in trace]
+        assert [r.size for r in loaded] == [r.size for r in trace]

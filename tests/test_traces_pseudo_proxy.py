@@ -1,0 +1,71 @@
+"""Unit tests for pseudo-proxy trace extraction."""
+
+import pytest
+
+from repro.traces.pseudo_proxy import aggregate_sources, extract_pseudo_proxies
+from repro.traces.records import Trace
+
+from conftest import make_record
+
+
+def build_trace():
+    records = []
+    for i in range(6):
+        records.append(make_record(float(i), "10.1.1.5", "h/a%d" % i))
+    for i in range(3):
+        records.append(make_record(10.0 + i, "10.1.1.9", "h/b%d" % i))
+    records.append(make_record(20.0, "dialup.example.net", "h/c"))
+    return Trace(records)
+
+
+class TestExtractPseudoProxies:
+    def test_one_proxy_per_source(self):
+        proxies = list(extract_pseudo_proxies(build_trace()))
+        assert [p.source for p in proxies] == ["10.1.1.5", "10.1.1.9", "dialup.example.net"]
+
+    def test_ordered_by_request_count_descending(self):
+        proxies = list(extract_pseudo_proxies(build_trace()))
+        counts = [p.request_count for p in proxies]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_min_requests_filters_small_sources(self):
+        proxies = list(extract_pseudo_proxies(build_trace(), min_requests=3))
+        assert {p.source for p in proxies} == {"10.1.1.5", "10.1.1.9"}
+
+    def test_requests_in_time_order(self):
+        proxy = next(iter(extract_pseudo_proxies(build_trace())))
+        times = [r.timestamp for r in proxy.requests]
+        assert times == sorted(times)
+
+    def test_urls_helper(self):
+        proxy = next(iter(extract_pseudo_proxies(build_trace())))
+        assert proxy.urls() == {"h/a%d" % i for i in range(6)}
+
+    def test_invalid_min_requests(self):
+        with pytest.raises(ValueError):
+            list(extract_pseudo_proxies(build_trace(), min_requests=0))
+
+
+class TestAggregateSources:
+    def test_collapses_shared_prefix(self):
+        merged = aggregate_sources(build_trace(), prefix_octets=3)
+        assert merged.sources() == {"10.1.1", "dialup.example.net"}
+
+    def test_prefix_of_two_octets(self):
+        merged = aggregate_sources(build_trace(), prefix_octets=2)
+        assert "10.1" in merged.sources()
+
+    def test_non_ip_sources_untouched(self):
+        merged = aggregate_sources(build_trace())
+        assert "dialup.example.net" in merged.sources()
+
+    def test_record_payload_preserved(self):
+        merged = aggregate_sources(build_trace())
+        assert len(merged) == len(build_trace())
+        assert merged.urls() == build_trace().urls()
+
+    def test_invalid_prefix_octets(self):
+        with pytest.raises(ValueError):
+            aggregate_sources(build_trace(), prefix_octets=0)
+        with pytest.raises(ValueError):
+            aggregate_sources(build_trace(), prefix_octets=5)

@@ -1,0 +1,105 @@
+"""Unit tests for LogRecord and Trace containers."""
+
+import pytest
+
+from repro.traces.records import LogRecord, Trace
+
+from conftest import make_record
+
+
+class TestLogRecord:
+    def test_defaults(self):
+        record = make_record(1.0)
+        assert record.method == "GET"
+        assert record.status == 200
+        assert record.last_modified is None
+
+    def test_ordering_is_by_time_then_source_then_url(self):
+        a = LogRecord(1.0, "a", "h/x")
+        b = LogRecord(1.0, "b", "h/x")
+        c = LogRecord(0.5, "z", "h/z")
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_with_url_preserves_other_fields(self):
+        record = make_record(3.0, size=77, status=304)
+        changed = record.with_url("h/new")
+        assert changed.url == "h/new"
+        assert changed.size == 77
+        assert changed.status == 304
+        assert changed.timestamp == 3.0
+
+    def test_is_not_modified(self):
+        assert make_record(0.0, status=304).is_not_modified
+        assert not make_record(0.0, status=200).is_not_modified
+
+    def test_is_get(self):
+        assert make_record(0.0).is_get
+        assert not make_record(0.0, method="POST").is_get
+
+
+class TestTrace:
+    def make_trace(self):
+        return Trace(
+            [
+                make_record(5.0, "b", "h/2"),
+                make_record(1.0, "a", "h/1"),
+                make_record(3.0, "a", "h/1"),
+                make_record(9.0, "c", "h/3"),
+            ]
+        )
+
+    def test_sorted_on_construction(self):
+        trace = self.make_trace()
+        times = [r.timestamp for r in trace]
+        assert times == sorted(times)
+
+    def test_len_and_indexing(self):
+        trace = self.make_trace()
+        assert len(trace) == 4
+        assert trace[0].timestamp == 1.0
+        assert trace[-1].timestamp == 9.0
+
+    def test_slicing_returns_trace(self):
+        trace = self.make_trace()[1:3]
+        assert isinstance(trace, Trace)
+        assert len(trace) == 2
+
+    def test_start_end_duration(self):
+        trace = self.make_trace()
+        assert trace.start_time == 1.0
+        assert trace.end_time == 9.0
+        assert trace.duration == 8.0
+
+    def test_empty_trace_raises_on_start_time(self):
+        with pytest.raises(ValueError):
+            Trace([]).start_time
+
+    def test_between_half_open(self):
+        trace = self.make_trace()
+        window = trace.between(1.0, 5.0)
+        assert [r.timestamp for r in window] == [1.0, 3.0]
+
+    def test_sources_and_urls(self):
+        trace = self.make_trace()
+        assert trace.sources() == {"a", "b", "c"}
+        assert trace.urls() == {"h/1", "h/2", "h/3"}
+
+    def test_by_source_groups_in_time_order(self):
+        groups = self.make_trace().by_source()
+        assert [r.timestamp for r in groups["a"]] == [1.0, 3.0]
+
+    def test_url_counts(self):
+        counts = self.make_trace().url_counts()
+        assert counts == {"h/1": 2, "h/2": 1, "h/3": 1}
+
+    def test_filter(self):
+        kept = self.make_trace().filter(lambda r: r.source == "a")
+        assert len(kept) == 2
+
+    def test_map_urls(self):
+        mapped = self.make_trace().map_urls(lambda u: u.upper())
+        assert all(r.url.startswith("H/") for r in mapped)
+
+    def test_repr_mentions_count(self):
+        assert "4 records" in repr(self.make_trace())
+        assert repr(Trace([])) == "Trace(empty)"

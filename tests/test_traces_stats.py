@@ -1,0 +1,97 @@
+"""Unit tests for trace characterization (Tables 2 and 3)."""
+
+import pytest
+
+from repro.traces.records import Trace
+from repro.traces.stats import (
+    characterize_client_log,
+    characterize_server_log,
+    top_fraction_share,
+)
+
+from conftest import make_record
+
+
+class TestTopFractionShare:
+    def test_uniform_counts(self):
+        counts = {f"u{i}": 1 for i in range(10)}
+        assert top_fraction_share(counts, 0.1) == pytest.approx(0.1)
+
+    def test_skewed_counts(self):
+        counts = {"hot": 90, "a": 5, "b": 5}
+        assert top_fraction_share(counts, 0.33) == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert top_fraction_share({}, 0.1) == 0.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            top_fraction_share({"a": 1}, 0.0)
+        with pytest.raises(ValueError):
+            top_fraction_share({"a": 1}, 1.5)
+
+    def test_always_at_least_one_key(self):
+        counts = {"a": 10, "b": 1, "c": 1}
+        # 1% of 3 keys rounds up to one key.
+        assert top_fraction_share(counts, 0.01) == pytest.approx(10 / 12)
+
+
+class TestServerLogStats:
+    def build(self):
+        records = []
+        for i in range(50):
+            records.append(
+                make_record(i * 3600.0, "10.0.0.%d" % (i % 5),
+                            "www.s.example/p%d.html" % (i % 10), size=1000)
+            )
+        return Trace(records)
+
+    def test_core_counts(self):
+        stats = characterize_server_log(self.build())
+        assert stats.requests == 50
+        assert stats.clients == 5
+        assert stats.unique_resources == 10
+        assert stats.requests_per_source == pytest.approx(10.0)
+
+    def test_days_span(self):
+        stats = characterize_server_log(self.build())
+        assert stats.days == pytest.approx(49 * 3600.0 / 86400.0)
+
+    def test_size_statistics(self):
+        stats = characterize_server_log(self.build())
+        assert stats.mean_response_size == pytest.approx(1000.0)
+        assert stats.median_response_size == pytest.approx(1000.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_server_log(Trace([]))
+
+
+class TestClientLogStats:
+    def build(self):
+        records = []
+        for i in range(40):
+            host = "www.s%d.example" % (i % 4)
+            status = 304 if i % 10 == 0 else 200
+            records.append(
+                make_record(i * 60.0, "c%d" % (i % 3), f"{host}/p{i % 8}.html",
+                            status=status, size=0 if status == 304 else 500)
+            )
+        return Trace(records)
+
+    def test_core_counts(self):
+        stats = characterize_client_log(self.build())
+        assert stats.requests == 40
+        assert stats.distinct_servers == 4
+
+    def test_not_modified_fraction(self):
+        stats = characterize_client_log(self.build())
+        assert stats.not_modified_fraction == pytest.approx(4 / 40)
+
+    def test_mean_size_ignores_empty_responses(self):
+        stats = characterize_client_log(self.build())
+        assert stats.mean_response_size == pytest.approx(500.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_client_log(Trace([]))

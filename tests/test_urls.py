@@ -1,0 +1,97 @@
+"""Unit tests for URL canonicalization and directory prefixes."""
+
+import pytest
+
+from repro import urls
+
+
+class TestCanonicalize:
+    def test_strips_http_scheme(self):
+        assert urls.canonicalize("http://www.foo.com/a/b.html") == "www.foo.com/a/b.html"
+
+    def test_strips_https_scheme(self):
+        assert urls.canonicalize("https://www.foo.com/x") == "www.foo.com/x"
+
+    def test_lowercases_host_only(self):
+        assert urls.canonicalize("WWW.Foo.COM/A/B.html") == "www.foo.com/A/B.html"
+
+    def test_folds_trailing_slash_with_bare_host(self):
+        # The Appendix-A rule: http://www.foo.com/ == http://www.foo.com
+        assert urls.canonicalize("http://www.foo.com/") == urls.canonicalize("http://www.foo.com")
+
+    def test_removes_default_port(self):
+        assert urls.canonicalize("www.foo.com:80/a") == "www.foo.com/a"
+
+    def test_removes_fragment(self):
+        assert urls.canonicalize("www.foo.com/a.html#sec2") == "www.foo.com/a.html"
+
+    def test_keeps_query_string(self):
+        assert urls.canonicalize("www.foo.com/a?q=1") == "www.foo.com/a?q=1"
+
+    def test_strips_surrounding_whitespace(self):
+        assert urls.canonicalize("  www.foo.com/a \n") == "www.foo.com/a"
+
+
+class TestDirectoryPrefix:
+    def test_level_zero_is_host(self):
+        assert urls.directory_prefix("www.foo.com/a/b.html", 0) == "www.foo.com"
+
+    def test_paper_example_level_one(self):
+        # From Section 3.2.1: a/b.html and a/d/e.html share a 1-level volume.
+        one = urls.directory_prefix("www.foo.com/a/b.html", 1)
+        two = urls.directory_prefix("www.foo.com/a/d/e.html", 1)
+        other = urls.directory_prefix("www.foo.com/f/g.html", 1)
+        assert one == two == "www.foo.com/a"
+        assert other == "www.foo.com/f"
+
+    def test_paper_example_level_zero_groups_all(self):
+        prefixes = {
+            urls.directory_prefix(u, 0)
+            for u in (
+                "www.foo.com/a/b.html",
+                "www.foo.com/a/d/e.html",
+                "www.foo.com/f/g.html",
+            )
+        }
+        assert prefixes == {"www.foo.com"}
+
+    def test_resource_name_never_counts(self):
+        assert urls.directory_prefix("www.foo.com/b.html", 3) == "www.foo.com"
+
+    def test_deep_level_clamps_to_available_directories(self):
+        assert urls.directory_prefix("www.foo.com/a/b/c.html", 9) == "www.foo.com/a/b"
+
+    def test_bare_host(self):
+        assert urls.directory_prefix("www.foo.com", 2) == "www.foo.com"
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            urls.directory_prefix("www.foo.com/a", -1)
+
+
+class TestHelpers:
+    def test_split_host_path(self):
+        assert urls.split_host_path("www.foo.com/a/b") == ("www.foo.com", "a/b")
+        assert urls.split_host_path("www.foo.com") == ("www.foo.com", "")
+
+    def test_path_components(self):
+        assert urls.path_components("h/a/b/c.html") == ["a", "b", "c.html"]
+        assert urls.path_components("h") == []
+
+    def test_directory_levels(self):
+        assert urls.directory_levels("h/a/b/c.html") == 2
+        assert urls.directory_levels("h/c.html") == 0
+        assert urls.directory_levels("h") == 0
+
+    def test_uncachable_detects_cgi_and_query(self):
+        assert urls.looks_uncachable("www.foo.com/cgi-bin/x")
+        assert urls.looks_uncachable("www.foo.com/a?q=1")
+        assert not urls.looks_uncachable("www.foo.com/a/b.html")
+
+    def test_content_type_of(self):
+        assert urls.content_type_of("h/a/p.html") == "text"
+        assert urls.content_type_of("h/a/i.GIF") == "image"
+        assert urls.content_type_of("h/a/x.jpeg") == "image"
+        assert urls.content_type_of("h/a/app.class") == "applet"
+        assert urls.content_type_of("h/a/noext") == "text"
+        assert urls.content_type_of("h/a/v.mpg") == "video"

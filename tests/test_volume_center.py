@@ -1,0 +1,85 @@
+"""Unit tests for the transparent volume center."""
+
+import pytest
+
+from repro.core.filters import ProxyFilter
+from repro.core.protocol import OK, ProxyRequest, ServerResponse
+from repro.core.piggyback import PiggybackElement, PiggybackMessage
+from repro.server.volume_center import TransparentVolumeCenter
+from repro.volumes.sitewide import CrossHostVolumeStore, SiteWideVolumeStore
+
+
+def exchange(url, t, piggy_filter=None, piggyback=None):
+    request = ProxyRequest(
+        url=url, timestamp=t,
+        piggyback_filter=piggy_filter or ProxyFilter(), source="p1",
+    )
+    response = ServerResponse(
+        url=url, status=OK, timestamp=t, last_modified=1.0, size=100,
+        piggyback=piggyback,
+    )
+    return request, response
+
+
+class TestAnnotation:
+    def test_annotates_after_learning(self):
+        center = TransparentVolumeCenter()
+        center.annotate(*exchange("h1/a/x.html", 1.0))
+        annotated = center.annotate(*exchange("h1/a/y.html", 2.0))
+        assert annotated.piggyback is not None
+        assert annotated.piggyback.urls() == ["h1/a/x.html"]
+        assert center.stats.annotated_responses == 1
+
+    def test_per_host_stores_isolated(self):
+        center = TransparentVolumeCenter()
+        center.annotate(*exchange("h1/a/x.html", 1.0))
+        annotated = center.annotate(*exchange("h2/a/y.html", 2.0))
+        assert annotated.piggyback is None
+        assert center.stats.hosts_tracked == 2
+
+    def test_shared_store_mixes_hosts(self):
+        center = TransparentVolumeCenter(shared_store=CrossHostVolumeStore())
+        center.annotate(*exchange("h1/a/x.html", 1.0))
+        annotated = center.annotate(*exchange("h2/b/y.html", 2.0))
+        # Site-wide shared store: piggyback can name another host's resource.
+        assert annotated.piggyback is not None
+        assert "h1/a/x.html" in annotated.piggyback.urls()
+
+    def test_disabled_filter_passes_through(self):
+        center = TransparentVolumeCenter()
+        center.annotate(*exchange("h1/a/x.html", 1.0))
+        request, response = exchange("h1/a/y.html", 2.0,
+                                     piggy_filter=ProxyFilter.disabled())
+        annotated = center.annotate(request, response)
+        assert annotated.piggyback is None
+        assert center.stats.observed_responses == 2
+
+    def test_origin_piggyback_left_alone(self):
+        center = TransparentVolumeCenter()
+        center.annotate(*exchange("h1/a/x.html", 1.0))
+        origin_message = PiggybackMessage(
+            volume_id=9, elements=(PiggybackElement("h1/a/z.html"),)
+        )
+        request, response = exchange("h1/a/y.html", 2.0, piggyback=origin_message)
+        annotated = center.annotate(request, response)
+        assert annotated.piggyback is origin_message
+        assert center.stats.replaced_piggybacks == 1
+
+    def test_factory_and_shared_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            TransparentVolumeCenter(
+                store_factory=SiteWideVolumeStore, shared_store=SiteWideVolumeStore()
+            )
+
+    def test_custom_factory_used_per_host(self):
+        created = []
+
+        def factory():
+            store = SiteWideVolumeStore()
+            created.append(store)
+            return store
+
+        center = TransparentVolumeCenter(store_factory=factory)
+        center.annotate(*exchange("h1/a.html", 1.0))
+        center.annotate(*exchange("h2/b.html", 2.0))
+        assert len(created) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for directory-based volumes."""
+
+import pytest
+
+from repro.volumes.base import VolumeIdAllocator
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.volumes.sitewide import SiteWideVolumeStore
+
+from conftest import make_record
+
+
+def feed(store, specs):
+    """specs: iterable of (time, url) or (time, source, url)."""
+    for spec in specs:
+        if len(spec) == 2:
+            t, url = spec
+            store.observe(make_record(t, "c1", url))
+        else:
+            t, source, url = spec
+            store.observe(make_record(t, source, url))
+
+
+class TestVolumeIdAllocator:
+    def test_stable_ids(self):
+        allocator = VolumeIdAllocator()
+        first = allocator.id_for("a")
+        second = allocator.id_for("b")
+        assert allocator.id_for("a") == first
+        assert first != second
+
+    def test_dense_from_zero(self):
+        allocator = VolumeIdAllocator()
+        assert allocator.id_for("x") == 0
+        assert allocator.id_for("y") == 1
+
+
+class TestVolumeMembership:
+    def test_level1_groups_by_first_directory(self):
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        feed(store, [(0.0, "h/a/p.html"), (1.0, "h/a/d/q.html"), (2.0, "h/f/r.html")])
+        lookup = store.lookup("h/a/x.html").materialized()
+        urls = [c.url for c in lookup.candidates]
+        assert set(urls) == {"h/a/p.html", "h/a/d/q.html"}
+        assert store.volume_count() == 2
+
+    def test_level0_is_site_wide(self):
+        store = SiteWideVolumeStore()
+        feed(store, [(0.0, "h/a/p.html"), (1.0, "h/f/r.html")])
+        lookup = store.lookup("h/anything.html").materialized()
+        assert {c.url for c in lookup.candidates} == {"h/a/p.html", "h/f/r.html"}
+        assert store.volume_count() == 1
+
+    def test_lookup_unknown_volume_returns_none(self):
+        store = DirectoryVolumeStore()
+        assert store.lookup("h/nowhere/x.html") is None
+
+    def test_same_volume_same_id(self):
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        feed(store, [(0.0, "h/a/p.html")])
+        first = store.lookup("h/a/p.html").volume_id
+        feed(store, [(1.0, "h/a/q.html")])
+        assert store.lookup("h/a/q.html").volume_id == first
+
+
+class TestMoveToFront:
+    def test_most_recently_accessed_first(self):
+        store = DirectoryVolumeStore(
+            DirectoryVolumeConfig(level=1, partition_by_type=False)
+        )
+        feed(store, [(0.0, "h/a/1.html"), (1.0, "h/a/2.html"), (2.0, "h/a/3.html"),
+                     (3.0, "h/a/1.html")])
+        urls = [c.url for c in store.lookup("h/a/x.html").candidates]
+        assert urls == ["h/a/1.html", "h/a/3.html", "h/a/2.html"]
+
+    def test_plain_fifo_keeps_insertion_order(self):
+        store = DirectoryVolumeStore(
+            DirectoryVolumeConfig(level=1, partition_by_type=False, move_to_front=False)
+        )
+        feed(store, [(0.0, "h/a/1.html"), (1.0, "h/a/2.html"), (2.0, "h/a/1.html")])
+        urls = [c.url for c in store.lookup("h/a/x.html").candidates]
+        assert urls == ["h/a/2.html", "h/a/1.html"]
+
+    def test_partitioned_merge_is_globally_recency_ordered(self):
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        feed(store, [(0.0, "h/a/1.html"), (1.0, "h/a/i.gif"), (2.0, "h/a/2.html"),
+                     (3.0, "h/a/j.gif")])
+        urls = [c.url for c in store.lookup("h/a/x.html").candidates]
+        assert urls == ["h/a/j.gif", "h/a/2.html", "h/a/i.gif", "h/a/1.html"]
+
+
+class TestMaintenance:
+    def test_access_counts_accumulate(self):
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        feed(store, [(0.0, "h/a/1.html"), (1.0, "h/a/1.html"), (2.0, "h/a/2.html")])
+        by_url = {c.url: c for c in store.lookup("h/a/x.html").candidates}
+        assert by_url["h/a/1.html"].access_count == 2
+        assert by_url["h/a/2.html"].access_count == 1
+
+    def test_metadata_updates_with_latest_observation(self):
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        store.observe(make_record(0.0, "c1", "h/a/1.html", size=100, last_modified=1.0))
+        store.observe(make_record(5.0, "c1", "h/a/1.html", size=250, last_modified=4.0))
+        candidate = next(iter(store.lookup("h/a/z.html").candidates))
+        assert candidate.size == 250
+        assert candidate.last_modified == 4.0
+
+    def test_volume_size_bound_trims_tail(self):
+        store = DirectoryVolumeStore(
+            DirectoryVolumeConfig(level=1, max_volume_size=3, partition_by_type=False)
+        )
+        feed(store, [(float(i), f"h/a/p{i}.html") for i in range(6)])
+        assert store.volume_size("h/a/x.html") == 3
+        urls = {c.url for c in store.lookup("h/a/x.html").candidates}
+        # The most recently touched three survive.
+        assert urls == {"h/a/p3.html", "h/a/p4.html", "h/a/p5.html"}
+
+    def test_trim_balances_partitions(self):
+        store = DirectoryVolumeStore(
+            DirectoryVolumeConfig(level=1, max_volume_size=4, partition_by_type=True)
+        )
+        feed(store, [(float(i), f"h/a/p{i}.html") for i in range(4)])
+        feed(store, [(10.0 + i, f"h/a/i{i}.gif") for i in range(4)])
+        by_type = {}
+        for c in store.lookup("h/a/x.html").candidates:
+            by_type[c.content_type] = by_type.get(c.content_type, 0) + 1
+        # Trimming pops from the largest partition, so neither type floods.
+        assert by_type.get("image", 0) >= 1
+        assert by_type.get("text", 0) >= 1
+
+    def test_content_types_inferred(self):
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        feed(store, [(0.0, "h/a/p.html"), (1.0, "h/a/i.gif")])
+        types = {c.url: c.content_type for c in store.lookup("h/a/x").candidates}
+        assert types == {"h/a/p.html": "text", "h/a/i.gif": "image"}
+
+
+class TestValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DirectoryVolumeConfig(level=-1)
+        with pytest.raises(ValueError):
+            DirectoryVolumeConfig(max_volume_size=0)

@@ -1,0 +1,113 @@
+"""Tests for online (periodic) probability-volume construction."""
+
+import pytest
+
+from repro.analysis.prediction import ReplayConfig, replay
+from repro.traces.records import Trace
+from repro.volumes.online import OnlineProbabilityVolumeStore, OnlineVolumeConfig
+from repro.volumes.probability import PairwiseConfig
+
+from conftest import make_record
+
+
+def burst(source, start, urls=("h/a/p.html", "h/a/i1.gif", "h/a/i2.gif")):
+    return [make_record(start + i, source, url) for i, url in enumerate(urls)]
+
+
+def daily_trace(days=3, bursts_per_day=5):
+    records = []
+    for day in range(days):
+        for burst_index in range(bursts_per_day):
+            start = day * 86_400.0 + burst_index * 3_600.0
+            records.extend(burst(f"s{burst_index}", start))
+    return Trace(records)
+
+
+def make_store(rebuild_interval=86_400.0, min_observations=0, threshold=0.5):
+    return OnlineProbabilityVolumeStore(
+        OnlineVolumeConfig(
+            probability_threshold=threshold,
+            rebuild_interval=rebuild_interval,
+            pairwise=PairwiseConfig(window=300.0),
+            min_observations=min_observations,
+        )
+    )
+
+
+class TestRebuildSchedule:
+    def test_no_volumes_before_first_rebuild(self):
+        store = make_store()
+        for record in burst("s", 0.0):
+            store.observe(record)
+        assert store.rebuilds == 0
+        assert store.lookup("h/a/p.html") is None
+
+    def test_rebuild_fires_after_interval(self):
+        store = make_store()
+        store.observe_trace(daily_trace(days=2))
+        assert store.rebuilds >= 1
+        lookup = store.lookup("h/a/p.html")
+        assert lookup is not None
+        urls = {c.url for c in lookup.candidates}
+        assert urls == {"h/a/i1.gif", "h/a/i2.gif"}
+
+    def test_rebuild_count_tracks_days(self):
+        store = make_store()
+        store.observe_trace(daily_trace(days=4))
+        # Rebuilds happen at most once per elapsed interval.
+        assert 2 <= store.rebuilds <= 4
+
+    def test_min_observations_gate(self):
+        store = make_store(min_observations=10_000)
+        store.observe_trace(daily_trace(days=3))
+        assert store.rebuilds == 0
+
+    def test_quiet_period_catches_up_without_burst_rebuilds(self):
+        store = make_store()
+        records = burst("s", 0.0) + burst("s", 10 * 86_400.0)
+        for record in Trace(records):
+            store.observe(record)
+        # A 10-day gap triggers one rebuild, not ten.
+        assert store.rebuilds == 1
+
+    def test_manual_rebuild(self):
+        store = make_store()
+        for record in burst("s", 0.0):
+            store.observe(record)
+        store.rebuild()
+        assert store.rebuilds == 1
+        assert store.lookup("h/a/p.html") is not None
+
+
+class TestServing:
+    def test_volume_ids_stable_across_rebuilds(self):
+        store = make_store()
+        store.observe_trace(daily_trace(days=2))
+        first = store.lookup("h/a/p.html").volume_id
+        store.rebuild()
+        assert store.lookup("h/a/p.html").volume_id == first
+
+    def test_candidates_sorted_by_probability(self):
+        store = make_store(threshold=0.0)
+        store.observe_trace(daily_trace(days=2))
+        lookup = store.lookup("h/a/p.html")
+        probabilities = [c.probability for c in lookup.candidates]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_replay_works_end_to_end(self):
+        trace = daily_trace(days=3, bursts_per_day=8)
+        store = make_store()
+        metrics = replay(trace, store, ReplayConfig(max_elements=10))
+        # After the first rebuild, later bursts are predicted.
+        assert metrics.predicted_requests > 0
+        assert metrics.piggyback_messages > 0
+
+
+class TestValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            OnlineVolumeConfig(probability_threshold=2.0)
+        with pytest.raises(ValueError):
+            OnlineVolumeConfig(rebuild_interval=0.0)
+        with pytest.raises(ValueError):
+            OnlineVolumeConfig(min_observations=-1)

@@ -1,0 +1,111 @@
+"""Unit tests for popularity volumes and the fallback composition."""
+
+import pytest
+
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.volumes.popularity import (
+    FallbackVolumeStore,
+    PopularityConfig,
+    PopularityVolumeStore,
+)
+
+from conftest import make_record
+
+
+def feed(store, specs):
+    for t, url in specs:
+        store.observe(make_record(t, "c1", url, size=100))
+
+
+class TestPopularityVolumeStore:
+    def test_top_resources_by_count(self):
+        store = PopularityVolumeStore(PopularityConfig(top_count=2))
+        feed(store, [(0.0, "h/a")] * 5 + [(1.0, "h/b")] * 3 + [(2.0, "h/c")])
+        top = [url for url, _ in store.top_resources(now=2.0)]
+        assert top == ["h/a", "h/b"]
+
+    def test_lookup_returns_popular_volume(self):
+        store = PopularityVolumeStore(PopularityConfig(top_count=3))
+        feed(store, [(0.0, "h/a"), (1.0, "h/a"), (2.0, "h/b")])
+        lookup = store.lookup("h/anything").materialized()
+        urls = [c.url for c in lookup.candidates]
+        assert urls[0] == "h/a"
+        assert "h/b" in urls
+
+    def test_empty_store_returns_none(self):
+        assert PopularityVolumeStore().lookup("h/x") is None
+
+    def test_decay_dethrones_stale_resources(self):
+        config = PopularityConfig(top_count=1, half_life=100.0)
+        store = PopularityVolumeStore(config)
+        # Old heavy hitter...
+        feed(store, [(0.0, "h/old")] * 10)
+        # ...vs a newer, lighter one long after many half-lives.
+        feed(store, [(10_000.0, "h/new")] * 3)
+        top = [url for url, _ in store.top_resources(now=10_000.0)]
+        assert top == ["h/new"]
+
+    def test_metadata_carried_into_candidates(self):
+        store = PopularityVolumeStore()
+        store.observe(make_record(0.0, "c1", "h/a", size=123, last_modified=9.0))
+        candidate = next(iter(store.lookup("h/z").candidates))
+        assert candidate.size == 123
+        assert candidate.last_modified == 9.0
+
+    def test_volume_count(self):
+        store = PopularityVolumeStore()
+        assert store.volume_count() == 0
+        feed(store, [(0.0, "h/a")])
+        assert store.volume_count() == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PopularityConfig(top_count=0)
+        with pytest.raises(ValueError):
+            PopularityConfig(half_life=0.0)
+
+
+class TestFallbackVolumeStore:
+    def make(self):
+        primary = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+        fallback = PopularityVolumeStore(PopularityConfig(top_count=5))
+        return FallbackVolumeStore(primary, fallback)
+
+    def test_primary_preferred_when_it_has_companions(self):
+        store = self.make()
+        feed(store, [(0.0, "h/a/x.html"), (1.0, "h/a/y.html"),
+                     (2.0, "h/b/hot.html"), (3.0, "h/b/hot.html")])
+        lookup = store.lookup("h/a/x.html")
+        urls = [c.url for c in lookup.candidates]
+        assert "h/a/y.html" in urls
+        assert "h/b/hot.html" not in urls  # popularity volume not used
+
+    def test_fallback_used_for_unknown_resources(self):
+        store = self.make()
+        feed(store, [(0.0, "h/b/hot.html"), (1.0, "h/b/hot.html")])
+        lookup = store.lookup("h/never/seen.html")
+        assert lookup is not None
+        assert [c.url for c in lookup.candidates][0] == "h/b/hot.html"
+
+    def test_fallback_used_when_primary_volume_is_lonely(self):
+        store = self.make()
+        # The primary volume for h/a contains only the requested URL.
+        feed(store, [(0.0, "h/a/x.html"), (1.0, "h/popular/hit.html"),
+                     (2.0, "h/popular/hit.html")])
+        lookup = store.lookup("h/a/x.html")
+        urls = [c.url for c in lookup.candidates]
+        assert "h/popular/hit.html" in urls
+
+    def test_volume_ids_do_not_collide_across_stores(self):
+        store = self.make()
+        feed(store, [(0.0, "h/a/x.html"), (1.0, "h/a/y.html")])
+        primary_id = store.lookup("h/a/x.html").volume_id
+        fallback_id = store.lookup("h/unknown/z.html").volume_id
+        assert primary_id != fallback_id
+
+    def test_observe_feeds_both(self):
+        store = self.make()
+        feed(store, [(0.0, "h/a/x.html")])
+        assert store.primary.volume_count() == 1
+        assert store.fallback.volume_count() == 1
+        assert store.volume_count() == 2

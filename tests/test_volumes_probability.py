@@ -1,0 +1,212 @@
+"""Unit tests for pairwise estimation and probability-based volumes."""
+
+import pytest
+
+from repro.traces.records import Trace
+from repro.volumes.probability import (
+    PairwiseConfig,
+    PairwiseEstimator,
+    ProbabilityVolumeStore,
+    ProbabilityVolumes,
+    build_probability_volumes,
+)
+
+from conftest import make_record
+
+
+def feed(estimator, specs):
+    for t, source, url in specs:
+        estimator.observe(make_record(t, source, url))
+
+
+class TestPairwiseEstimator:
+    def test_simple_implication(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        feed(estimator, [(0.0, "s", "h/a"), (1.0, "s", "h/b")])
+        assert estimator.probability("h/a", "h/b") == 1.0
+        assert estimator.probability("h/b", "h/a") == 0.0
+
+    def test_proportion_of_antecedent_occurrences(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        # a followed by b once; a alone once.
+        feed(estimator, [(0.0, "s", "h/a"), (1.0, "s", "h/b"),
+                         (100.0, "s", "h/a")])
+        assert estimator.probability("h/a", "h/b") == pytest.approx(0.5)
+
+    def test_window_limits_crediting(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        feed(estimator, [(0.0, "s", "h/a"), (50.0, "s", "h/b")])
+        assert estimator.probability("h/a", "h/b") == 0.0
+
+    def test_sources_do_not_cross_credit(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        feed(estimator, [(0.0, "s1", "h/a"), (1.0, "s2", "h/b")])
+        assert estimator.probability("h/a", "h/b") == 0.0
+
+    def test_each_occurrence_credits_a_follower_once(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        # One a-occurrence followed by b twice: still one credit.
+        feed(estimator, [(0.0, "s", "h/a"), (1.0, "s", "h/b"), (2.0, "s", "h/b")])
+        assert estimator.probability("h/a", "h/b") == 1.0
+
+    def test_multiple_occurrences_can_push_probability_to_one(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        for start in (0.0, 100.0, 200.0):
+            feed(estimator, [(start, "s", "h/a"), (start + 1.0, "s", "h/b")])
+        assert estimator.probability("h/a", "h/b") == 1.0
+        assert estimator.occurrence_count("h/a") == 3
+
+    def test_self_pairs_never_counted(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        feed(estimator, [(0.0, "s", "h/a"), (1.0, "s", "h/a")])
+        assert estimator.probability("h/a", "h/a") == 0.0
+
+    def test_same_directory_restriction(self):
+        estimator = PairwiseEstimator(
+            PairwiseConfig(window=10.0, same_directory_level=1)
+        )
+        feed(estimator, [(0.0, "s", "h/a/x"), (1.0, "s", "h/a/y"), (2.0, "s", "h/b/z")])
+        assert estimator.probability("h/a/x", "h/a/y") == 1.0
+        assert estimator.probability("h/a/x", "h/b/z") == 0.0
+
+    def test_implications_sorted_and_thresholded(self):
+        estimator = PairwiseEstimator(PairwiseConfig(window=10.0))
+        feed(estimator, [(0.0, "s", "h/a"), (1.0, "s", "h/b"),
+                         (100.0, "s", "h/a"), (101.0, "s", "h/b"),
+                         (200.0, "s", "h/a"), (201.0, "s", "h/c")])
+        implications = estimator.implications(0.5)
+        assert [(i.antecedent, i.consequent) for i in implications] == [("h/a", "h/b")]
+        all_implications = estimator.implications(0.0)
+        assert len(all_implications) >= 2
+
+    def test_burst_fixture_learns_embedded_images(self, burst_trace):
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(burst_trace)
+        assert estimator.probability("www.b.example/a/p.html", "www.b.example/a/i1.gif") == 1.0
+        assert estimator.probability("www.b.example/a/p.html", "www.b.example/a/i2.gif") == 1.0
+
+
+class TestSampledCounters:
+    def build_trace(self):
+        records = []
+        # Popular pair: a->b 50 times.  Rare pair: c->d once.
+        for i in range(50):
+            records.append(make_record(i * 100.0, "s", "h/a"))
+            records.append(make_record(i * 100.0 + 1.0, "s", "h/b"))
+        records.append(make_record(9000.0, "s", "h/c"))
+        records.append(make_record(9001.0, "s", "h/d"))
+        return Trace(records)
+
+    def test_sampling_reduces_counters(self):
+        exact = PairwiseEstimator(PairwiseConfig(window=10.0))
+        exact.observe_trace(self.build_trace())
+        sampled = PairwiseEstimator(
+            PairwiseConfig(window=10.0, sample_counters=True,
+                           sampling_constant=0.5, sampling_threshold=0.5, seed=3)
+        )
+        sampled.observe_trace(self.build_trace())
+        assert sampled.counter_count <= exact.counter_count
+        assert sampled.skipped_pair_events >= 0
+
+    def test_frequent_pairs_still_estimated(self):
+        sampled = PairwiseEstimator(
+            PairwiseConfig(window=10.0, sample_counters=True,
+                           sampling_constant=2.0, sampling_threshold=0.2, seed=1)
+        )
+        sampled.observe_trace(self.build_trace())
+        # The popular a->b pair must get a counter early and a high estimate.
+        assert sampled.probability("h/a", "h/b") > 0.8
+
+
+class TestProbabilityVolumes:
+    def build(self):
+        return ProbabilityVolumes(
+            {
+                "h/a": [("h/b", 0.9), ("h/c", 0.3)],
+                "h/b": [("h/a", 0.5)],
+                "h/self": [("h/self", 1.0)],
+            }
+        )
+
+    def test_members_sorted_by_probability(self):
+        volumes = self.build()
+        assert volumes.members_of("h/a") == [("h/b", 0.9), ("h/c", 0.3)]
+
+    def test_missing_antecedent_empty(self):
+        assert self.build().members_of("h/zzz") == []
+
+    def test_implication_count(self):
+        assert self.build().implication_count() == 4
+
+    def test_symmetric_fraction(self):
+        volumes = self.build()
+        # Pairs: (a,b),(a,c),(b,a),(self,self); symmetric: (a,b),(b,a),(self,self).
+        assert volumes.symmetric_fraction() == pytest.approx(3 / 4)
+
+    def test_self_membership_fraction(self):
+        assert self.build().self_membership_fraction() == pytest.approx(1 / 3)
+
+    def test_membership_counts(self):
+        counts = self.build().membership_counts()
+        assert counts["h/a"] == 1
+        assert counts["h/b"] == 1
+
+    def test_filtered(self):
+        volumes = self.build().filtered(lambda r, s, p: p >= 0.5)
+        assert volumes.members_of("h/a") == [("h/b", 0.9)]
+        assert "h/a" in volumes
+
+    def test_empty_volumes_dropped(self):
+        volumes = ProbabilityVolumes({"h/a": []})
+        assert len(volumes) == 0
+
+
+class TestBuildAndStore:
+    def test_build_from_estimator(self, burst_trace):
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(burst_trace)
+        volumes = build_probability_volumes(estimator, 0.9)
+        members = dict(volumes.members_of("www.b.example/a/p.html"))
+        assert set(members) == {"www.b.example/a/i1.gif", "www.b.example/a/i2.gif"}
+
+    def test_store_lookup_carries_metadata(self, burst_trace):
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(burst_trace)
+        volumes = build_probability_volumes(estimator, 0.9)
+        store = ProbabilityVolumeStore(volumes)
+        for record in burst_trace:
+            store.observe(record)
+        lookup = store.lookup("www.b.example/a/p.html").materialized()
+        candidates = list(lookup.candidates)
+        assert all(c.probability >= 0.9 for c in candidates)
+        assert all(c.access_count > 0 for c in candidates)
+
+    def test_store_lookup_none_for_unknown(self):
+        store = ProbabilityVolumeStore(ProbabilityVolumes({}))
+        assert store.lookup("h/x") is None
+
+    def test_per_resource_volume_ids_distinct(self, burst_trace):
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(burst_trace)
+        volumes = build_probability_volumes(estimator, 0.3)
+        store = ProbabilityVolumeStore(volumes)
+        ids = {
+            store.lookup(url).volume_id
+            for url in volumes.antecedents()
+        }
+        assert len(ids) == len(volumes.antecedents())
+
+
+class TestValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            PairwiseConfig(window=0.0)
+        with pytest.raises(ValueError):
+            PairwiseConfig(sampling_threshold=0.0)
+        with pytest.raises(ValueError):
+            PairwiseConfig(same_directory_level=-1)
+
+    def test_implication_threshold_bounds(self):
+        estimator = PairwiseEstimator()
+        with pytest.raises(ValueError):
+            estimator.implications(-0.1)

@@ -1,0 +1,130 @@
+"""Unit tests for effectiveness measurement and volume thinning."""
+
+import pytest
+
+from repro.traces.records import Trace
+from repro.volumes.probability import ProbabilityVolumes
+from repro.volumes.thinning import (
+    combine_with_directory,
+    measure_effectiveness,
+    thin_by_effectiveness,
+)
+
+from conftest import make_record
+
+
+class TestMeasureEffectiveness:
+    def test_perfect_implication_is_fully_effective(self):
+        volumes = ProbabilityVolumes({"h/a": [("h/b", 1.0)]})
+        records = []
+        for start in (0.0, 1000.0, 2000.0):
+            records.append(make_record(start, "s", "h/a"))
+            records.append(make_record(start + 1.0, "s", "h/b"))
+        result = measure_effectiveness(Trace(records), volumes, window=300.0)
+        assert result.probability_of("h/a", "h/b") == pytest.approx(1.0)
+
+    def test_never_followed_implication_is_ineffective(self):
+        volumes = ProbabilityVolumes({"h/a": [("h/b", 0.9)]})
+        records = [make_record(float(i * 1000), "s", "h/a") for i in range(3)]
+        result = measure_effectiveness(Trace(records), volumes, window=300.0)
+        assert result.probability_of("h/a", "h/b") == 0.0
+
+    def test_redundant_predictions_not_credited(self):
+        # Both a1 and a2 precede b, but a1 always fires first, so a2's
+        # prediction of b is redundant every time.
+        volumes = ProbabilityVolumes(
+            {"h/a1": [("h/b", 1.0)], "h/a2": [("h/b", 1.0)]}
+        )
+        records = []
+        for start in (0.0, 1000.0):
+            records.append(make_record(start, "s", "h/a1"))
+            records.append(make_record(start + 1.0, "s", "h/a2"))
+            records.append(make_record(start + 2.0, "s", "h/b"))
+        result = measure_effectiveness(Trace(records), volumes, window=300.0)
+        assert result.probability_of("h/a1", "h/b") == pytest.approx(1.0)
+        assert result.probability_of("h/a2", "h/b") == 0.0
+
+    def test_prediction_expires_after_window(self):
+        volumes = ProbabilityVolumes({"h/a": [("h/b", 1.0)]})
+        records = [
+            make_record(0.0, "s", "h/a"),
+            make_record(500.0, "s", "h/b"),  # beyond the 300 s window
+        ]
+        result = measure_effectiveness(Trace(records), volumes, window=300.0)
+        assert result.probability_of("h/a", "h/b") == 0.0
+        assert result.opened[("h/a", "h/b")] == 1
+
+    def test_sources_tracked_independently(self):
+        volumes = ProbabilityVolumes({"h/a": [("h/b", 1.0)]})
+        records = [
+            make_record(0.0, "s1", "h/a"),
+            make_record(1.0, "s2", "h/b"),  # other source: no credit
+        ]
+        result = measure_effectiveness(Trace(records), volumes, window=300.0)
+        assert result.probability_of("h/a", "h/b") == 0.0
+
+    def test_denominator_counts_all_antecedent_occurrences(self):
+        volumes = ProbabilityVolumes({"h/a": [("h/b", 1.0)]})
+        records = [
+            make_record(0.0, "s", "h/a"),
+            make_record(1.0, "s", "h/b"),
+            make_record(1000.0, "s", "h/a"),  # not followed this time
+        ]
+        result = measure_effectiveness(Trace(records), volumes, window=300.0)
+        assert result.probability_of("h/a", "h/b") == pytest.approx(0.5)
+        assert result.antecedent_occurrences["h/a"] == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            measure_effectiveness(Trace([]), ProbabilityVolumes({}), window=0.0)
+
+
+class TestThinByEffectiveness:
+    def test_drops_low_effectiveness_pairs(self):
+        volumes = ProbabilityVolumes(
+            {"h/a1": [("h/b", 1.0)], "h/a2": [("h/b", 1.0)]}
+        )
+        records = []
+        for start in (0.0, 1000.0):
+            records.append(make_record(start, "s", "h/a1"))
+            records.append(make_record(start + 1.0, "s", "h/a2"))
+            records.append(make_record(start + 2.0, "s", "h/b"))
+        effectiveness = measure_effectiveness(Trace(records), volumes, window=300.0)
+        thinned = thin_by_effectiveness(volumes, effectiveness, threshold=0.2)
+        assert thinned.members_of("h/a1") == [("h/b", 1.0)]
+        assert thinned.members_of("h/a2") == []
+
+    def test_threshold_zero_keeps_everything_with_any_success(self):
+        volumes = ProbabilityVolumes({"h/a": [("h/b", 0.5)]})
+        records = [make_record(0.0, "s", "h/a"), make_record(1.0, "s", "h/b")]
+        effectiveness = measure_effectiveness(Trace(records), volumes, window=300.0)
+        thinned = thin_by_effectiveness(volumes, effectiveness, threshold=0.0)
+        assert thinned.implication_count() == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            thin_by_effectiveness(
+                ProbabilityVolumes({}),
+                measure_effectiveness(Trace([]), ProbabilityVolumes({})),
+                threshold=1.5,
+            )
+
+
+class TestCombineWithDirectory:
+    def test_cross_directory_pairs_dropped(self):
+        volumes = ProbabilityVolumes(
+            {"h/a/x": [("h/a/y", 0.9), ("h/b/z", 0.8)]}
+        )
+        combined = combine_with_directory(volumes, level=1)
+        assert combined.members_of("h/a/x") == [("h/a/y", 0.9)]
+
+    def test_level_zero_keeps_same_host_pairs(self):
+        volumes = ProbabilityVolumes(
+            {"h1/a": [("h1/b", 0.9), ("h2/c", 0.8)]}
+        )
+        combined = combine_with_directory(volumes, level=0)
+        assert combined.members_of("h1/a") == [("h1/b", 0.9)]
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            combine_with_directory(ProbabilityVolumes({}), level=-1)

@@ -1,0 +1,100 @@
+"""Unit tests for the browsing-session model."""
+
+import random
+
+import pytest
+
+from repro.workloads.sessions import SessionConfig, SessionGenerator
+from repro.workloads.sitegen import SiteConfig, generate_site
+
+
+@pytest.fixture(scope="module")
+def site():
+    return generate_site(
+        SiteConfig(host="www.s.example", page_count=60, directory_count=8,
+                   mean_images_per_page=3.0, seed=5)
+    )
+
+
+class TestSessionGeneration:
+    def test_events_in_time_order_per_kind(self, site):
+        generator = SessionGenerator(site)
+        events = generator.generate_session(random.Random(1), 100.0)
+        assert events[0].timestamp == 100.0
+        page_times = [e.timestamp for e in events if not e.is_embedded]
+        assert page_times == sorted(page_times)
+
+    def test_first_event_is_a_page(self, site):
+        generator = SessionGenerator(site)
+        events = generator.generate_session(random.Random(2), 0.0)
+        assert not events[0].is_embedded
+        assert events[0].url in site.pages
+
+    def test_embedded_events_follow_their_page_closely(self, site):
+        config = SessionConfig(image_fetch_probability=1.0, mean_image_gap=0.2)
+        generator = SessionGenerator(site, config)
+        rng = random.Random(3)
+        for _ in range(20):
+            events = generator.generate_session(rng, 0.0)
+            last_page_time = None
+            for event in events:
+                if not event.is_embedded:
+                    last_page_time = event.timestamp
+                else:
+                    assert last_page_time is not None
+                    assert event.timestamp >= last_page_time
+
+    def test_embedded_urls_belong_to_preceding_page(self, site):
+        config = SessionConfig(image_fetch_probability=1.0)
+        generator = SessionGenerator(site, config)
+        events = generator.generate_session(random.Random(4), 0.0)
+        current_page = None
+        for event in events:
+            if not event.is_embedded:
+                current_page = site.pages[event.url]
+            else:
+                assert event.url in current_page.embedded
+
+    def test_zero_image_probability_yields_only_pages(self, site):
+        config = SessionConfig(image_fetch_probability=0.0)
+        generator = SessionGenerator(site, config)
+        events = generator.generate_session(random.Random(5), 0.0)
+        assert all(not e.is_embedded for e in events)
+
+    def test_mean_session_length_tracks_config(self, site):
+        short = SessionConfig(mean_pages_per_session=1.0)
+        long = SessionConfig(mean_pages_per_session=10.0)
+        rng = random.Random(6)
+        count_pages = lambda cfg: sum(
+            sum(1 for e in SessionGenerator(site, cfg).generate_session(rng, 0.0)
+                if not e.is_embedded)
+            for _ in range(100)
+        )
+        assert count_pages(long) > 2 * count_pages(short)
+
+    def test_deterministic_with_seed(self, site):
+        generator = SessionGenerator(site)
+        a = generator.generate_session(random.Random(7), 50.0)
+        b = generator.generate_session(random.Random(7), 50.0)
+        assert a == b
+
+    def test_think_time_spaces_pages(self, site):
+        config = SessionConfig(mean_think_time=100.0, image_fetch_probability=0.0,
+                               mean_pages_per_session=20.0)
+        generator = SessionGenerator(site, config)
+        events = generator.generate_session(random.Random(8), 0.0)
+        gaps = [b.timestamp - a.timestamp for a, b in zip(events, events[1:])]
+        if gaps:
+            assert sum(gaps) / len(gaps) > 10.0
+
+
+class TestValidation:
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConfig(mean_pages_per_session=0.0)
+        with pytest.raises(ValueError):
+            SessionConfig(follow_link_probability=2.0)
+        with pytest.raises(ValueError):
+            SessionConfig(image_fetch_probability=-1.0)
+        with pytest.raises(ValueError):
+            SessionConfig(mean_think_time=0.0)

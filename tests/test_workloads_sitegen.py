@@ -1,0 +1,97 @@
+"""Unit tests for synthetic site generation."""
+
+import pytest
+
+from repro import urls
+from repro.workloads.sitegen import SiteConfig, generate_site
+
+
+def small_config(**kwargs):
+    defaults = dict(host="www.t.example", page_count=50, directory_count=8, seed=3)
+    defaults.update(kwargs)
+    return SiteConfig(**defaults)
+
+
+class TestSiteStructure:
+    def test_page_count_honoured(self):
+        site = generate_site(small_config())
+        assert len(site.pages) == 50
+
+    def test_every_page_is_a_resource(self):
+        site = generate_site(small_config())
+        assert set(site.pages) <= set(site.resources)
+
+    def test_every_embedded_image_is_a_resource(self):
+        site = generate_site(small_config())
+        for page in site.pages.values():
+            for image in page.embedded:
+                assert image in site.resources
+                assert site.resources[image].content_type == "image"
+
+    def test_embedded_images_live_in_page_directory(self):
+        site = generate_site(small_config(mean_images_per_page=4.0))
+        for page in site.pages.values():
+            page_dir = urls.directory_prefix(page.url, 99)
+            for image in page.embedded:
+                assert urls.directory_prefix(image, 99) == page_dir
+
+    def test_links_point_at_pages_not_self(self):
+        site = generate_site(small_config(links_per_page=5.0))
+        for page in site.pages.values():
+            for link in page.links:
+                assert link in site.pages
+                assert link != page.url
+
+    def test_all_urls_under_host(self):
+        site = generate_site(small_config())
+        assert all(u.startswith("www.t.example") for u in site.resources)
+
+    def test_max_depth_respected(self):
+        site = generate_site(small_config(max_depth=2, directory_count=20))
+        for url in site.resources:
+            # depth = number of directory components (excluding the file).
+            assert urls.directory_levels(url) <= 2
+
+    def test_sizes_positive(self):
+        site = generate_site(small_config())
+        assert all(r.size >= 64 for r in site.resources.values())
+
+    def test_popularity_ordering_covers_all_pages(self):
+        site = generate_site(small_config())
+        assert sorted(site.pages_by_popularity) == sorted(site.pages)
+
+
+class TestDeterminism:
+    def test_same_seed_same_site(self):
+        a = generate_site(small_config(seed=9))
+        b = generate_site(small_config(seed=9))
+        assert set(a.resources) == set(b.resources)
+        assert a.pages_by_popularity == b.pages_by_popularity
+        assert all(a.pages[u].links == b.pages[u].links for u in a.pages)
+
+    def test_different_seed_different_site(self):
+        a = generate_site(small_config(seed=1))
+        b = generate_site(small_config(seed=2))
+        assert set(a.resources) != set(b.resources) or a.pages_by_popularity != b.pages_by_popularity
+
+
+class TestImageSharing:
+    def test_high_sharing_yields_fewer_images(self):
+        many = generate_site(small_config(image_sharing=0.0, mean_images_per_page=3.0))
+        few = generate_site(small_config(image_sharing=0.9, mean_images_per_page=3.0))
+        count = lambda s: sum(1 for r in s.resources.values() if r.content_type == "image")
+        assert count(few) < count(many)
+
+
+class TestValidation:
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SiteConfig(page_count=0)
+        with pytest.raises(ValueError):
+            SiteConfig(directory_count=0)
+        with pytest.raises(ValueError):
+            SiteConfig(link_locality=1.5)
+        with pytest.raises(ValueError):
+            SiteConfig(image_sharing=-0.1)
+        with pytest.raises(ValueError):
+            SiteConfig(max_depth=0)

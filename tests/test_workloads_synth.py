@@ -1,0 +1,135 @@
+"""Unit tests for synthetic log generation and the named presets."""
+
+import pytest
+
+from repro.traces.stats import top_fraction_share
+from repro.workloads.synth import (
+    CLIENT_PRESETS,
+    SERVER_PRESETS,
+    ClientLogConfig,
+    ServerLogConfig,
+    client_log_preset,
+    generate_client_log,
+    generate_server_log,
+    server_log_preset,
+)
+from repro.workloads.sitegen import SiteConfig
+
+
+def quick_server_config(**kwargs):
+    defaults = dict(
+        site=SiteConfig(host="www.q.example", page_count=30, directory_count=5, seed=2),
+        source_count=20,
+        session_count=150,
+        duration_days=2.0,
+        seed=11,
+    )
+    defaults.update(kwargs)
+    return ServerLogConfig(**defaults)
+
+
+class TestGenerateServerLog:
+    def test_records_within_horizon(self):
+        trace, _ = generate_server_log(quick_server_config())
+        assert trace.start_time >= 0.0
+        assert trace.end_time <= 2.0 * 86400.0
+
+    def test_urls_belong_to_site(self):
+        trace, site = generate_server_log(quick_server_config())
+        assert trace.urls() <= set(site.resources)
+
+    def test_sources_bounded(self):
+        trace, _ = generate_server_log(quick_server_config())
+        assert len(trace.sources()) <= 20
+
+    def test_deterministic(self):
+        a, _ = generate_server_log(quick_server_config())
+        b, _ = generate_server_log(quick_server_config())
+        assert len(a) == len(b)
+        assert [r.url for r in a] == [r.url for r in b]
+
+    def test_method_override(self):
+        trace, _ = generate_server_log(quick_server_config(method="POST"))
+        assert all(r.method == "POST" for r in trace)
+
+    def test_last_modified_present_and_sane(self):
+        trace, _ = generate_server_log(quick_server_config())
+        assert all(r.last_modified is not None for r in trace)
+        assert all(r.last_modified <= r.timestamp for r in trace)
+
+    def test_source_activity_is_skewed(self):
+        trace, _ = generate_server_log(quick_server_config(session_count=600))
+        counts = {}
+        for record in trace:
+            counts[record.source] = counts.get(record.source, 0) + 1
+        # The busiest 10% of sources should take well over 10% of requests.
+        assert top_fraction_share(counts, 0.10) > 0.2
+
+    def test_resource_popularity_is_skewed(self):
+        trace, _ = generate_server_log(quick_server_config(session_count=600))
+        assert top_fraction_share(trace.url_counts(), 0.10) > 0.3
+
+
+class TestGenerateClientLog:
+    def test_spans_multiple_sites(self):
+        config = ClientLogConfig(site_count=5, source_count=10, session_count=80,
+                                 duration_days=1.0, seed=3)
+        trace, sites = generate_client_log(config)
+        assert len(sites) == 5
+        hosts = {u.split("/", 1)[0] for u in trace.urls()}
+        assert len(hosts) > 1
+
+    def test_not_modified_fraction_close_to_config(self):
+        config = ClientLogConfig(site_count=4, source_count=8, session_count=400,
+                                 duration_days=1.0, not_modified_fraction=0.5, seed=4)
+        trace, _ = generate_client_log(config)
+        fraction_304 = sum(1 for r in trace if r.status == 304) / len(trace)
+        # The marking pass targets the configured fraction exactly, capped
+        # by the number of repeat requests available.
+        assert 0.1 < fraction_304 <= 0.5
+
+    def test_304_responses_have_zero_size(self):
+        config = ClientLogConfig(site_count=3, source_count=5, session_count=200,
+                                 duration_days=1.0, not_modified_fraction=0.4, seed=5)
+        trace, _ = generate_client_log(config)
+        assert all(r.size == 0 for r in trace if r.status == 304)
+
+
+class TestPresets:
+    def test_all_server_presets_generate(self):
+        for name in SERVER_PRESETS:
+            trace, site = server_log_preset(name, scale=0.05)
+            assert len(trace) > 0, name
+            assert trace.urls() <= set(site.resources), name
+
+    def test_all_client_presets_generate(self):
+        for name in CLIENT_PRESETS:
+            trace, sites = client_log_preset(name, scale=0.05)
+            assert len(trace) > 0, name
+            assert len(sites) > 1, name
+
+    def test_marimba_is_post_dominated(self):
+        trace, _ = server_log_preset("marimba", scale=0.1)
+        assert all(r.method == "POST" for r in trace)
+
+    def test_relative_sizes_track_the_paper(self):
+        # Sun is the big busy site, Marimba the tiny one (Table 3).
+        sun, sun_site = server_log_preset("sun", scale=0.05)
+        marimba, marimba_site = server_log_preset("marimba", scale=0.05)
+        assert len(sun_site.resources) > 5 * len(marimba_site.resources)
+
+    def test_scale_changes_volume(self):
+        small, _ = server_log_preset("aiusa", scale=0.05)
+        large, _ = server_log_preset("aiusa", scale=0.2)
+        assert len(large) > 2 * len(small)
+
+    def test_seed_override_changes_trace(self):
+        a, _ = server_log_preset("aiusa", scale=0.05, seed=1)
+        b, _ = server_log_preset("aiusa", scale=0.05, seed=2)
+        assert [r.url for r in a] != [r.url for r in b]
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            server_log_preset("nope")
+        with pytest.raises(KeyError):
+            client_log_preset("nope")

@@ -1,0 +1,67 @@
+"""Unit tests for the Zipf sampler."""
+
+import random
+
+import pytest
+
+from repro.workloads.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_alpha_one_harmonic(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights == pytest.approx([1.0, 0.5, 1 / 3, 0.25])
+
+    def test_alpha_zero_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -0.5)
+
+
+class TestZipfSampler:
+    def test_first_item_most_popular(self):
+        sampler = ZipfSampler(["a", "b", "c", "d"], alpha=1.0)
+        rng = random.Random(1)
+        draws = sampler.sample_many(rng, 4000)
+        counts = {item: draws.count(item) for item in "abcd"}
+        assert counts["a"] > counts["b"] > counts["d"]
+
+    def test_empirical_matches_theoretical_probability(self):
+        sampler = ZipfSampler(list(range(10)), alpha=1.0)
+        rng = random.Random(2)
+        draws = sampler.sample_many(rng, 20000)
+        empirical = draws.count(0) / len(draws)
+        assert empirical == pytest.approx(sampler.probability_of_rank(0), abs=0.02)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(list(range(7)), alpha=0.8)
+        total = sum(sampler.probability_of_rank(i) for i in range(7))
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic_given_seeded_rng(self):
+        sampler = ZipfSampler(list(range(100)), alpha=1.0)
+        first = sampler.sample_many(random.Random(42), 50)
+        second = sampler.sample_many(random.Random(42), 50)
+        assert first == second
+
+    def test_single_item(self):
+        sampler = ZipfSampler(["only"])
+        assert sampler.sample(random.Random(0)) == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+    def test_rank_out_of_range(self):
+        sampler = ZipfSampler([1, 2, 3])
+        with pytest.raises(IndexError):
+            sampler.probability_of_rank(3)
+
+    def test_negative_count_rejected(self):
+        sampler = ZipfSampler([1])
+        with pytest.raises(ValueError):
+            sampler.sample_many(random.Random(0), -1)
