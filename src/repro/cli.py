@@ -223,6 +223,127 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+_FAULT_PROFILES = ("none", "delay", "throttle", "reset", "truncate", "garbage", "mixed")
+
+
+def _fault_schedule(profile: str):
+    """Deterministic per-connection fault plan for a named profile."""
+    from .httpwire.faults import Fault
+
+    if profile == "none":
+        return None
+    plans = {
+        "delay": [Fault.none(), Fault.delay(0.2)],
+        "throttle": [Fault.none(), Fault.throttle(64 * 1024)],
+        "reset": [Fault.none(), Fault.none(), Fault.reset_after(64)],
+        "truncate": [Fault.none(), Fault.none(), Fault.truncate_after(200)],
+        "garbage": [Fault.none(), Fault.none(), Fault.garbage()],
+        "mixed": [
+            Fault.none(),
+            Fault.delay(0.1),
+            Fault.none(),
+            Fault.reset_after(64),
+            Fault.none(),
+            Fault.truncate_after(200),
+            Fault.none(),
+            Fault.garbage(),
+        ],
+    }
+    return plans[profile]
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from .httpwire.faults import FaultInjectingInterposer
+    from .httpwire.loadgen import LoadConfig, run_load
+    from .httpwire.netproxy import PiggybackHttpProxy, UpstreamPolicy
+    from .httpwire.netserver import PiggybackHttpServer, synthetic_body
+    from .proxy.proxy import ProxyConfig
+    from .server.resources import ResourceStore
+    from .server.server import PiggybackServer
+    from .volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+    from .workloads.sitegen import SiteConfig, generate_site
+
+    host = "www.load.example"
+    site = generate_site(SiteConfig(host=host, page_count=args.pages,
+                                    directory_count=6, seed=args.seed))
+    resources = ResourceStore.from_site(site)
+    sizes = {url: record.size for url in resources.urls()
+             if (record := resources.get(url)) is not None}
+    urls = sorted(sizes)
+    engine = PiggybackServer(
+        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    )
+
+    with ExitStack() as stack:
+        origin = stack.enter_context(
+            PiggybackHttpServer(engine, site_host=host, max_workers=args.max_workers)
+        )
+        origin_address = (origin.address, origin.port)
+        if args.fault != "none":
+            interposer = stack.enter_context(
+                FaultInjectingInterposer(origin_address,
+                                         schedule=_fault_schedule(args.fault))
+            )
+            origin_address = (interposer.address, interposer.port)
+
+        if args.target == "origin":
+            address, port = origin_address
+            absolute_targets = False
+            piggy_filter = "maxpiggy=10"
+        else:
+            proxy = stack.enter_context(
+                PiggybackHttpProxy(
+                    origins={host: origin_address},
+                    config=ProxyConfig(name="loadtest-proxy"),
+                    upstream_policy=UpstreamPolicy(timeout=2.0, max_attempts=3,
+                                                   backoff=0.02),
+                    max_workers=args.max_workers,
+                )
+            )
+            address, port = proxy.address, proxy.port
+            absolute_targets = True
+            piggy_filter = None
+
+        def validate(url: str, response) -> bool:
+            if response.status == 200:
+                stale = (response.headers.get("X-Cache") or "") == "stale"
+                return stale or response.body == synthetic_body(url, sizes[url])
+            return response.status in (304, 404, 502)
+
+        try:
+            config = LoadConfig(
+                clients=args.clients,
+                requests_per_client=args.requests,
+                mode=args.mode,
+                rate=args.rate,
+                warmup_requests=args.warmup,
+                seed=args.seed,
+                ims_fraction=args.ims_fraction,
+                piggy_filter=piggy_filter,
+                absolute_targets=absolute_targets,
+            )
+        except ValueError as exc:
+            print(f"loadtest: {exc}", file=sys.stderr)
+            return 2
+        report = run_load(address, port, urls, config, validate=validate)
+
+        print(f"target               {args.target} (fault profile: {args.fault})")
+        print(report.format())
+        if args.target == "proxy":
+            stats = proxy.engine.stats
+            print(f"proxy server reqs    {stats.server_requests} "
+                  f"(contact rate {stats.server_contact_rate:.1%})")
+            print(f"upstream retries     {proxy.upstream.stats.retries} "
+                  f"(failures {proxy.upstream.stats.failures})")
+            print(f"stale responses      {proxy.stale_responses}")
+            print(f"proxy workers live   {proxy.active_workers()}")
+        print(f"origin requests      {engine.stats.requests}")
+        print(f"origin workers live  {origin.active_workers()}")
+    return 0 if report.corrupted == 0 else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     presets = args.presets or ["aiusa", "apache", "sun"]
     print("log     <2hr    <5min   updated  avg-piggyback")
@@ -303,6 +424,29 @@ def build_parser() -> argparse.ArgumentParser:
     roc.add_argument("--preset", default="aiusa")
     roc.add_argument("--scale", type=float, default=0.3)
     roc.set_defaults(handler=_cmd_roc)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="concurrent load against the live wire stack (latency/throughput)")
+    loadtest.add_argument("--target", choices=("origin", "proxy"), default="proxy",
+                          help="hit the origin directly or go through the proxy")
+    loadtest.add_argument("--clients", type=int, default=8)
+    loadtest.add_argument("--requests", type=int, default=25,
+                          help="requests per client")
+    loadtest.add_argument("--mode", choices=("closed", "open"), default="closed")
+    loadtest.add_argument("--rate", type=float, default=200.0,
+                          help="open-loop aggregate arrivals/second")
+    loadtest.add_argument("--warmup", type=int, default=2,
+                          help="per-client warmup requests excluded from latency")
+    loadtest.add_argument("--ims-fraction", type=float, default=0.3,
+                          help="fraction of revisits sent If-Modified-Since")
+    loadtest.add_argument("--pages", type=int, default=48,
+                          help="synthetic site size")
+    loadtest.add_argument("--max-workers", type=int, default=64)
+    loadtest.add_argument("--fault", choices=_FAULT_PROFILES, default="none",
+                          help="fault-injection profile between proxy and origin")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.set_defaults(handler=_cmd_loadtest)
     return parser
 
 

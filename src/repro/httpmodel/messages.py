@@ -23,6 +23,9 @@ _REASONS = {
     404: "Not Found",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

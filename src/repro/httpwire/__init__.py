@@ -1,11 +1,16 @@
 """Loopback-socket demonstration of the piggybacking protocol."""
 
+from .connbase import ThreadedWireServer, WireServerStats
 from .netclient import HttpConnection, fetch_once
 from .netserver import PiggybackHttpServer, PlainHttpServer, synthetic_body
-from .netproxy import HttpUpstream, PiggybackHttpProxy
+from .netproxy import HttpUpstream, PiggybackHttpProxy, UpstreamPolicy, UpstreamStats
 from .netcenter import TransparentHttpVolumeCenter
+from .loadgen import LoadConfig, LoadReport, percentile, run_load
+from .faults import Fault, FaultInjectingInterposer
 
 __all__ = [
+    "ThreadedWireServer",
+    "WireServerStats",
     "HttpConnection",
     "fetch_once",
     "PiggybackHttpServer",
@@ -13,5 +18,13 @@ __all__ = [
     "synthetic_body",
     "HttpUpstream",
     "PiggybackHttpProxy",
+    "UpstreamPolicy",
+    "UpstreamStats",
     "TransparentHttpVolumeCenter",
+    "LoadConfig",
+    "LoadReport",
+    "percentile",
+    "run_load",
+    "Fault",
+    "FaultInjectingInterposer",
 ]

@@ -1,0 +1,237 @@
+"""Shared hardened TCP frontend for every wire-layer server.
+
+All four wire servers (origin, proxy, volume center, fault interposer)
+used to hand-roll the same accept-loop/thread-per-connection skeleton with
+no socket timeouts and no bound on worker threads — a silent client leaked
+a thread forever and a burst of connections could spawn without limit.
+:class:`ThreadedWireServer` centralizes the hardened version:
+
+* every accepted socket gets a per-connection I/O timeout, so a client
+  that connects and never speaks is reclaimed instead of leaking;
+* concurrent workers are capped by a semaphore — excess connections wait
+  in the listen backlog (backpressure) rather than exhausting threads;
+* live workers and their sockets are tracked, so :meth:`stop` can drain
+  them deterministically and tests can assert zero leaked threads;
+* request parsing, 400/500 mapping, and keep-alive handling live in one
+  place; subclasses implement only :meth:`handle_request`.
+
+Response *serialization and sending happen on the worker thread with no
+engine lock held* — subclasses must confine their locking to metadata
+mutation so body serving is never globally serialized.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+
+__all__ = ["WireServerStats", "ThreadedWireServer"]
+
+
+@dataclass(slots=True)
+class WireServerStats:
+    """Wire-level counters, one instance per listening server."""
+
+    connections_accepted: int = 0
+    requests_served: int = 0
+    bad_requests: int = 0
+    idle_timeouts: int = 0
+    connection_errors: int = 0
+    internal_errors: int = 0
+
+
+@dataclass(slots=True)
+class _Connection:
+    """One live accepted connection: its socket and serving thread."""
+
+    sock: socket.socket
+    thread: threading.Thread = field(default=None)  # type: ignore[assignment]
+
+
+class ThreadedWireServer:
+    """Thread-per-connection HTTP server with timeouts and a worker cap."""
+
+    def __init__(
+        self,
+        address: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 64,
+        io_timeout: float = 30.0,
+        max_workers: int = 64,
+        name: str = "wire",
+    ):
+        if io_timeout <= 0:
+            raise ValueError("io_timeout must be positive")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.io_timeout = io_timeout
+        self.max_workers = max_workers
+        self.name = name
+        self.wire_stats = WireServerStats()
+        self._stats_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((address, port))
+        self._listener.listen(backlog)
+        # A blocking accept() is not woken by close() from another thread;
+        # a short timeout lets the accept loop notice shutdown promptly.
+        self._listener.settimeout(0.2)
+        self.address, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._worker_slots = threading.BoundedSemaphore(max_workers)
+        self._connections: dict[int, _Connection] = {}
+        self._connections_lock = threading.Lock()
+        self._connection_counter = 0
+
+    # -- subclass contract -------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Map one parsed request to a response (runs on a worker thread)."""
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Begin accepting connections; returns (address, port)."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self.name}:accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address, self.port
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, force-close live connections, join workers."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=drain_timeout)
+            self._accept_thread = None
+        with self._connections_lock:
+            live = list(self._connections.values())
+        for connection in live:
+            # shutdown() reaches the fd even while the worker's buffered
+            # reader holds a reference, waking any blocked read with EOF;
+            # close() alone would defer until the reader is released.
+            try:
+                connection.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+        for connection in live:
+            if connection.thread is not None:
+                connection.thread.join(timeout=drain_timeout)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def active_workers(self) -> int:
+        """Number of connection-serving threads currently alive."""
+        with self._connections_lock:
+            return len(self._connections)
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.wire_stats, counter, getattr(self.wire_stats, counter) + amount)
+
+    # -- accept/serve loops ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            # Backpressure: when all worker slots are busy, connections sit
+            # in the listen backlog instead of spawning unbounded threads.
+            if not self._worker_slots.acquire(timeout=0.1):
+                continue
+            try:
+                client, _ = self._listener.accept()
+            except TimeoutError:
+                self._worker_slots.release()
+                continue
+            except OSError:
+                self._worker_slots.release()
+                return  # listener closed
+            client.settimeout(self.io_timeout)
+            with self._connections_lock:
+                self._connection_counter += 1
+                key = self._connection_counter
+                connection = _Connection(sock=client)
+                self._connections[key] = connection
+            self._count("connections_accepted")
+            worker = threading.Thread(
+                target=self._worker_entry,
+                args=(key, client),
+                name=f"{self.name}:conn-{key}",
+                daemon=True,
+            )
+            connection.thread = worker
+            worker.start()
+
+    def _worker_entry(self, key: int, client: socket.socket) -> None:
+        try:
+            self._serve_connection(client)
+        finally:
+            with self._connections_lock:
+                self._connections.pop(key, None)
+            self._worker_slots.release()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        reader = client.makefile("rb")
+        try:
+            while self._running:
+                try:
+                    request = read_request(reader)
+                except EOFError:
+                    return
+                except TimeoutError:
+                    self._count("idle_timeouts")
+                    return
+                except HttpParseError:
+                    self._count("bad_requests")
+                    self._send(client, HttpResponse(status=400))
+                    return
+                except (ConnectionError, OSError):
+                    self._count("connection_errors")
+                    return
+                try:
+                    response = self.handle_request(request)
+                except Exception:  # noqa: BLE001 - one bad request never kills the worker
+                    self._count("internal_errors")
+                    response = HttpResponse(status=500)
+                if not self._send(client, response):
+                    return
+                self._count("requests_served")
+                if (request.headers.get("Connection") or "").lower() == "close":
+                    return
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _send(self, client: socket.socket, response: HttpResponse) -> bool:
+        """Serialize and send with no locks held; False on a dead client."""
+        try:
+            client.sendall(response.serialize())
+            return True
+        except (TimeoutError, ConnectionError, OSError):
+            self._count("connection_errors")
+            return False

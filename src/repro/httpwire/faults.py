@@ -1,0 +1,288 @@
+"""A fault-injecting TCP interposer for chaos-testing the wire stack.
+
+Sits between a client (usually the wire proxy) and an upstream (usually
+an origin server) as a plain TCP relay, and injects transport-level
+faults on a per-connection schedule: added latency, bandwidth caps,
+abrupt connection resets, truncated responses, and garbage bytes.  The
+paper's protocol claims graceful degradation — a proxy must survive all
+of these with nothing worse than a retry, a stale answer, or a 502.
+
+Faults are chosen deterministically by connection index, so a seeded test
+run injects exactly the same failure sequence every time::
+
+    plan = [Fault.none(), Fault.reset_after(100), Fault.delay(0.5)]
+    with FaultInjectingInterposer((host, port), schedule=plan) as chaos:
+        proxy = PiggybackHttpProxy({HOST: (chaos.address, chaos.port)})
+
+A list schedule cycles; a callable schedule receives the connection index
+and returns the :class:`Fault` to apply.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Fault", "FaultInjectingInterposer"]
+
+_CHUNK = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One connection's fault plan (applied to the upstream->client leg).
+
+    ``kind`` is one of ``none``, ``delay``, ``throttle``, ``reset``,
+    ``truncate``, ``garbage``.  Use the constructors below rather than
+    spelling kinds out.
+    """
+
+    kind: str = "none"
+    # delay: seconds to sit on the response before relaying it.
+    delay_seconds: float = 0.0
+    # throttle: cap on relayed bytes/second.
+    bytes_per_second: float = 0.0
+    # reset/truncate: how many response bytes to relay before cutting.
+    after_bytes: int = 0
+    # garbage: bytes substituted for the real response.
+    payload: bytes = b""
+
+    @classmethod
+    def none(cls) -> "Fault":
+        """Relay faithfully (the control case)."""
+        return cls(kind="none")
+
+    @classmethod
+    def delay(cls, seconds: float) -> "Fault":
+        """A slow origin: hold the response for *seconds* first."""
+        return cls(kind="delay", delay_seconds=seconds)
+
+    @classmethod
+    def throttle(cls, bytes_per_second: float) -> "Fault":
+        """A bandwidth-capped path."""
+        return cls(kind="throttle", bytes_per_second=bytes_per_second)
+
+    @classmethod
+    def reset_after(cls, after_bytes: int = 0) -> "Fault":
+        """Relay *after_bytes* of the response, then send a TCP RST."""
+        return cls(kind="reset", after_bytes=after_bytes)
+
+    @classmethod
+    def truncate_after(cls, after_bytes: int = 0) -> "Fault":
+        """Relay *after_bytes* of the response, then close cleanly.
+
+        Cutting inside a chunked body or its trailer block exercises the
+        truncated-trailer paths specifically.
+        """
+        return cls(kind="truncate", after_bytes=after_bytes)
+
+    @classmethod
+    def garbage(cls, payload: bytes = b"\x00\xffNOT HTTP AT ALL\r\n\r\n") -> "Fault":
+        """Replace the response with non-HTTP bytes, then close."""
+        return cls(kind="garbage", payload=payload)
+
+
+Schedule = Callable[[int], Fault]
+
+
+@dataclass(slots=True)
+class InterposerStats:
+    """What the interposer did, per fault kind."""
+
+    connections: int = 0
+    faults_applied: dict[str, int] = field(default_factory=dict)
+
+
+class FaultInjectingInterposer:
+    """Deterministic fault-injecting TCP relay in front of one upstream."""
+
+    def __init__(
+        self,
+        target: tuple[str, int],
+        schedule: Schedule | Sequence[Fault] | None = None,
+        address: str = "127.0.0.1",
+        port: int = 0,
+        io_timeout: float = 30.0,
+    ):
+        self.target = target
+        self.io_timeout = io_timeout
+        if schedule is None:
+            self._schedule: Schedule = lambda index: Fault.none()
+        elif callable(schedule):
+            self._schedule = schedule
+        else:
+            plan = list(schedule) or [Fault.none()]
+            self._schedule = lambda index: plan[index % len(plan)]
+        self.stats = InterposerStats()
+        self._stats_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((address, port))
+        self._listener.listen(64)
+        # close() does not wake a blocked accept(); poll with a timeout.
+        self._listener.settimeout(0.2)
+        self.address, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._live_sockets: set[socket.socket] = set()
+        self._live_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-interposer", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address, self.port
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        with self._live_lock:
+            live = list(self._live_sockets)
+        for sock in live:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FaultInjectingInterposer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- relay -------------------------------------------------------------
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._live_lock:
+            self._live_sockets.add(sock)
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._live_lock:
+            self._live_sockets.discard(sock)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _accept_loop(self) -> None:
+        index = 0
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            fault = self._schedule(index)
+            index += 1
+            with self._stats_lock:
+                self.stats.connections += 1
+                self.stats.faults_applied[fault.kind] = (
+                    self.stats.faults_applied.get(fault.kind, 0) + 1
+                )
+            threading.Thread(
+                target=self._relay_connection,
+                args=(client, fault),
+                name=f"fault-relay-{index}",
+                daemon=True,
+            ).start()
+
+    def _relay_connection(self, client: socket.socket, fault: Fault) -> None:
+        client.settimeout(self.io_timeout)
+        self._track(client)
+        try:
+            upstream = socket.create_connection(self.target, timeout=self.io_timeout)
+        except OSError:
+            self._untrack(client)
+            return
+        self._track(upstream)
+        # Client->upstream leg relays faithfully; faults hit the response.
+        forward = threading.Thread(
+            target=self._pump_plain, args=(client, upstream), daemon=True
+        )
+        forward.start()
+        try:
+            self._pump_response(upstream, client, fault)
+        finally:
+            self._untrack(upstream)
+            self._untrack(client)
+            forward.join(timeout=1.0)
+
+    def _pump_plain(self, source: socket.socket, sink: socket.socket) -> None:
+        try:
+            while True:
+                data = source.recv(_CHUNK)
+                if not data:
+                    break
+                sink.sendall(data)
+        except OSError:
+            pass
+        # Half-close so the upstream sees EOF but the response leg lives on.
+        try:
+            sink.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _pump_response(
+        self, upstream: socket.socket, client: socket.socket, fault: Fault
+    ) -> None:
+        relayed = 0
+        try:
+            if fault.kind == "garbage":
+                client.sendall(fault.payload)
+                return
+            if fault.kind == "delay" and fault.delay_seconds > 0:
+                self._interruptible_sleep(fault.delay_seconds)
+            while True:
+                budget = _CHUNK
+                if fault.kind in ("reset", "truncate"):
+                    budget = min(budget, fault.after_bytes - relayed)
+                    if budget <= 0:
+                        self._cut(client, rst=fault.kind == "reset")
+                        return
+                data = upstream.recv(budget)
+                if not data:
+                    return
+                client.sendall(data)
+                relayed += len(data)
+                if fault.kind == "throttle" and fault.bytes_per_second > 0:
+                    self._interruptible_sleep(len(data) / fault.bytes_per_second)
+        except OSError:
+            return
+
+    def _cut(self, client: socket.socket, rst: bool) -> None:
+        if rst:
+            try:
+                # SO_LINGER with zero timeout turns close() into a RST.
+                client.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            except OSError:
+                pass
+        try:
+            client.close()
+        except OSError:
+            pass
+
+    def _interruptible_sleep(self, seconds: float) -> None:
+        """Sleep in slices so stop() is never held up by a long fault."""
+        event = threading.Event()
+        remaining = seconds
+        while remaining > 0 and self._running:
+            step = min(remaining, 0.05)
+            event.wait(step)
+            remaining -= step

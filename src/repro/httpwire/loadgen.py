@@ -1,0 +1,330 @@
+"""Multi-client concurrent load generator for the wire stack.
+
+Drives a :class:`~repro.httpwire.netserver.PiggybackHttpServer` or
+:class:`~repro.httpwire.netproxy.PiggybackHttpProxy` with many concurrent
+clients and measures what the paper cares about at proxy scale: latency
+percentiles (p50/p95/p99), throughput, and piggyback-byte overhead.
+
+Two arrival models:
+
+* **closed-loop** — each client issues its next request as soon as the
+  previous response lands (classic benchmark loop; measures capacity);
+* **open-loop** — requests fire on a fixed global schedule at a target
+  rate regardless of completions (measures behavior under offered load,
+  where queueing delay is visible instead of hidden by backpressure).
+
+Runs are deterministic for a given seed: URL choice, IMS mix, and the
+open-loop schedule all derive from seeded RNGs.  A ``validate`` hook
+checks every response (status + body) so stress tests can assert *zero
+corrupted responses*, not just zero transport errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..httpmodel.headers import Headers
+from ..httpmodel.messages import HttpRequest, HttpResponse
+from ..httpmodel.piggy_codec import P_VOLUME_HEADER
+from .netclient import HttpConnection
+
+__all__ = ["LoadConfig", "LoadReport", "percentile", "run_load"]
+
+Validator = Callable[[str, HttpResponse], bool]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence (q in [0,100])."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class LoadConfig:
+    """One load run's parameters."""
+
+    clients: int = 8
+    requests_per_client: int = 50
+    mode: str = "closed"  # "closed" or "open"
+    rate: float = 200.0  # open-loop aggregate arrivals/second
+    warmup_requests: int = 0  # per client, excluded from latency stats
+    timeout: float = 10.0
+    seed: int = 0
+    # Fraction of requests sent conditional (If-Modified-Since) once the
+    # client has seen a Last-Modified for that URL — the paper's IMS mix.
+    ims_fraction: float = 0.0
+    piggy_filter: str | None = None  # sent as a Piggy-filter header
+    host_header: str | None = None
+    absolute_targets: bool = False  # proxy-style absolute-URI targets
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.requests_per_client < 1:
+            raise ValueError("requests_per_client must be >= 1")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop mode needs a positive rate")
+        if not 0.0 <= self.ims_fraction <= 1.0:
+            raise ValueError("ims_fraction must be in [0, 1]")
+        if self.warmup_requests >= self.requests_per_client:
+            raise ValueError("warmup_requests must be < requests_per_client")
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    mode: str = "closed"
+    clients: int = 0
+    requests: int = 0
+    measured_requests: int = 0
+    warmup_requests: int = 0
+    errors: int = 0
+    corrupted: int = 0
+    duration: float = 0.0
+    bytes_received: int = 0
+    piggyback_messages: int = 0
+    piggyback_bytes: int = 0
+    status_counts: dict[int, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.requests / self.duration
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(sorted(self.latencies), q)
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (used by ``repro loadtest``)."""
+        lines = [
+            f"mode                 {self.mode}",
+            f"clients              {self.clients}",
+            f"requests             {self.requests} "
+            f"(measured {self.measured_requests}, warmup {self.warmup_requests})",
+            f"errors               {self.errors}",
+            f"corrupted            {self.corrupted}",
+            f"duration             {self.duration:.3f}s",
+            f"throughput           {self.throughput_rps:.1f} req/s",
+            f"latency p50          {self.p50 * 1000.0:.2f} ms",
+            f"latency p95          {self.p95 * 1000.0:.2f} ms",
+            f"latency p99          {self.p99 * 1000.0:.2f} ms",
+            f"latency mean         {self.mean_latency * 1000.0:.2f} ms",
+            f"bytes received       {self.bytes_received}",
+            f"piggyback messages   {self.piggyback_messages}",
+            f"piggyback bytes      {self.piggyback_bytes}",
+        ]
+        statuses = ", ".join(
+            f"{status}:{count}" for status, count in sorted(self.status_counts.items())
+        )
+        lines.append(f"status counts        {statuses or 'none'}")
+        return "\n".join(lines)
+
+
+class _Accumulator:
+    """Thread-safe collector merged into the final LoadReport."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.report = LoadReport()
+
+    def record(
+        self,
+        latency: float,
+        response: HttpResponse | None,
+        *,
+        measured: bool,
+        corrupted: bool,
+    ) -> None:
+        with self.lock:
+            report = self.report
+            report.requests += 1
+            if measured:
+                report.measured_requests += 1
+            else:
+                report.warmup_requests += 1
+            if response is None:
+                report.errors += 1
+                return
+            report.status_counts[response.status] = (
+                report.status_counts.get(response.status, 0) + 1
+            )
+            report.bytes_received += len(response.body)
+            trailer = response.trailers.get(P_VOLUME_HEADER)
+            if trailer is not None:
+                report.piggyback_messages += 1
+                report.piggyback_bytes += len(trailer.encode("latin-1"))
+            if corrupted:
+                report.corrupted += 1
+            if measured:
+                report.latencies.append(latency)
+
+
+class _Client:
+    """One load-generating client: seeded RNG, IMS memory, persistence."""
+
+    def __init__(
+        self,
+        index: int,
+        address: str,
+        port: int,
+        urls: Sequence[str],
+        config: LoadConfig,
+        accumulator: _Accumulator,
+        validate: Validator | None,
+        schedule: Sequence[float] | None,
+        start_time: float,
+    ):
+        self.index = index
+        self.address = address
+        self.port = port
+        self.urls = urls
+        self.config = config
+        self.accumulator = accumulator
+        self.validate = validate
+        self.schedule = schedule  # this client's open-loop arrival offsets
+        self.start_time = start_time
+        self.rng = random.Random((config.seed << 16) ^ index)
+        self.last_modified_seen: dict[str, str] = {}
+
+    def _build_request(self, url: str) -> HttpRequest:
+        host, _, path = url.partition("/")
+        target = f"http://{url}" if self.config.absolute_targets else "/" + path
+        request = HttpRequest(method="GET", target=target, headers=Headers())
+        request.headers.set("Host", self.config.host_header or host)
+        request.headers.set("X-Proxy-Name", f"loadgen-{self.index}")
+        if self.config.piggy_filter is not None:
+            request.headers.set("TE", "chunked")
+            request.headers.set("Piggy-filter", self.config.piggy_filter)
+        ims = self.last_modified_seen.get(url)
+        if ims is not None and self.rng.random() < self.config.ims_fraction:
+            request.headers.set("If-Modified-Since", ims)
+        return request
+
+    def run(self) -> None:
+        connection = HttpConnection(self.address, self.port, timeout=self.config.timeout)
+        try:
+            for sequence in range(self.config.requests_per_client):
+                if self.schedule is not None:
+                    due = self.start_time + self.schedule[sequence]
+                    delay = due - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                url = self.urls[self.rng.randrange(len(self.urls))]
+                request = self._build_request(url)
+                measured = sequence >= self.config.warmup_requests
+                begin = time.perf_counter()
+                try:
+                    response = connection.request(request)
+                except (EOFError, TimeoutError, ConnectionError, OSError, ValueError):
+                    connection.close()
+                    self.accumulator.record(
+                        0.0, None, measured=measured, corrupted=False
+                    )
+                    continue
+                latency = time.perf_counter() - begin
+                lm = response.headers.get("Last-Modified")
+                if lm is not None:
+                    self.last_modified_seen[url] = lm
+                corrupted = bool(self.validate) and not self.validate(url, response)
+                self.accumulator.record(
+                    latency, response, measured=measured, corrupted=corrupted
+                )
+        finally:
+            connection.close()
+
+
+def _open_loop_schedules(config: LoadConfig) -> list[list[float]]:
+    """Deterministic per-client arrival offsets hitting the target rate.
+
+    Arrivals are Poisson (exponential gaps) across the aggregate stream,
+    dealt round-robin to clients, mirroring independent users behind one
+    offered-load process.
+    """
+    rng = random.Random(config.seed)
+    total = config.clients * config.requests_per_client
+    arrivals: list[float] = []
+    now = 0.0
+    for _ in range(total):
+        now += rng.expovariate(config.rate)
+        arrivals.append(now)
+    schedules: list[list[float]] = [[] for _ in range(config.clients)]
+    for position, offset in enumerate(arrivals):
+        schedules[position % config.clients].append(offset)
+    return schedules
+
+
+def run_load(
+    address: str,
+    port: int,
+    urls: Sequence[str],
+    config: LoadConfig = LoadConfig(),
+    validate: Validator | None = None,
+) -> LoadReport:
+    """Run one load generation pass and return the merged report."""
+    if not urls:
+        raise ValueError("need at least one URL to request")
+    accumulator = _Accumulator()
+    schedules = _open_loop_schedules(config) if config.mode == "open" else None
+    start_time = time.monotonic()
+    clients = [
+        _Client(
+            index,
+            address,
+            port,
+            urls,
+            config,
+            accumulator,
+            validate,
+            schedules[index] if schedules is not None else None,
+            start_time,
+        )
+        for index in range(config.clients)
+    ]
+    begin = time.perf_counter()
+    threads = [
+        threading.Thread(target=client.run, name=f"loadgen-{client.index}", daemon=True)
+        for client in clients
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report = accumulator.report
+    report.mode = config.mode
+    report.clients = config.clients
+    report.duration = time.perf_counter() - begin
+    return report

@@ -7,11 +7,15 @@ it forwards requests verbatim to legacy origins, watches the responses go
 by, maintains volumes per origin (or one cross-host store), and splices a
 ``P-volume`` trailer into responses for clients that sent a
 ``Piggy-filter`` header.  Origins remain blissfully unaware.
+
+Rides on :class:`~repro.httpwire.connbase.ThreadedWireServer` for
+per-connection timeouts and a worker cap; volume maintenance serializes
+under ``_center_lock`` while the origin round-trip and the relay of body
+bytes stay lock-free.
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
 from collections.abc import Callable
@@ -19,7 +23,7 @@ from collections.abc import Callable
 from ..core.protocol import OK, ProxyRequest, ServerResponse
 from ..httpmodel.dates import parse_http_date
 from ..httpmodel.headers import Headers
-from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..httpmodel.messages import HttpRequest, HttpResponse
 from ..httpmodel.piggy_codec import (
     P_VOLUME_HEADER,
     PIGGY_FILTER_HEADER,
@@ -28,12 +32,13 @@ from ..httpmodel.piggy_codec import (
     parse_piggy_filter,
 )
 from ..server.volume_center import TransparentVolumeCenter
+from .connbase import ThreadedWireServer
 from .netclient import HttpConnection
 
 __all__ = ["TransparentHttpVolumeCenter"]
 
 
-class TransparentHttpVolumeCenter:
+class TransparentHttpVolumeCenter(ThreadedWireServer):
     """On-path HTTP intermediary injecting piggybacks for legacy origins."""
 
     def __init__(
@@ -43,79 +48,22 @@ class TransparentHttpVolumeCenter:
         address: str = "127.0.0.1",
         port: int = 0,
         clock: Callable[[], float] | None = None,
+        io_timeout: float = 30.0,
+        max_workers: int = 64,
+        upstream_timeout: float = 10.0,
     ):
+        super().__init__(
+            address,
+            port,
+            io_timeout=io_timeout,
+            max_workers=max_workers,
+            name="volume-center",
+        )
         self.origins = origins
         self.center = center or TransparentVolumeCenter()
         self.clock = clock or time.time
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((address, port))
-        self._listener.listen(32)
-        self.address, self.port = self._listener.getsockname()
-        self._accept_thread: threading.Thread | None = None
-        self._running = False
+        self.upstream_timeout = upstream_timeout
         self._center_lock = threading.Lock()
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def start(self) -> tuple[str, int]:
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="volume-center", daemon=True
-        )
-        self._accept_thread.start()
-        return self.address, self.port
-
-    def stop(self) -> None:
-        self._running = False
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-
-    def __enter__(self) -> "TransparentHttpVolumeCenter":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    # -- connection handling -------------------------------------------------
-
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                client, _ = self._listener.accept()
-            except OSError:
-                return
-            threading.Thread(
-                target=self._serve_connection, args=(client,), daemon=True
-            ).start()
-
-    def _serve_connection(self, client: socket.socket) -> None:
-        reader = client.makefile("rb")
-        try:
-            while True:
-                try:
-                    request = read_request(reader)
-                except EOFError:
-                    return
-                except HttpParseError:
-                    client.sendall(HttpResponse(status=400).serialize())
-                    return
-                client.sendall(self._relay(request).serialize())
-                if (request.headers.get("Connection") or "").lower() == "close":
-                    return
-        except (ConnectionError, BrokenPipeError, OSError):
-            return
-        finally:
-            try:
-                reader.close()
-                client.close()
-            except OSError:
-                pass
 
     # -- relaying --------------------------------------------------------------
 
@@ -131,7 +79,7 @@ class TransparentHttpVolumeCenter:
             return None
         return host.lower(), target
 
-    def _relay(self, request: HttpRequest) -> HttpResponse:
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
         resolved = self._resolve(request)
         if resolved is None:
             return HttpResponse(status=400)
@@ -146,8 +94,11 @@ class TransparentHttpVolumeCenter:
                               headers=request.headers.copy(), body=request.body)
         forward.headers.remove(PIGGY_FILTER_HEADER)
         forward.headers.set("Host", host)
-        with HttpConnection(*origin) as connection:
-            upstream = connection.request(forward)
+        try:
+            with HttpConnection(*origin, timeout=self.upstream_timeout) as connection:
+                upstream = connection.request(forward)
+        except (EOFError, ConnectionError, OSError):
+            return HttpResponse(status=502)
 
         # Observe the exchange and, when the client asked, annotate it.
         try:

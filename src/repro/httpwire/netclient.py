@@ -3,6 +3,13 @@
 Used by the wire proxy to talk to origin servers and by tests/examples to
 talk to both.  One :class:`HttpConnection` holds one persistent TCP
 connection; :func:`fetch_once` is the convenience one-shot form.
+
+Every socket operation is bounded by the connection's timeout, so a
+wedged or silent peer surfaces as :class:`TimeoutError` instead of
+blocking the caller forever.  :meth:`HttpConnection.request` transparently
+reconnects once when the server closed the connection between exchanges;
+:meth:`HttpConnection.request_once` performs exactly one attempt and is
+the building block for caller-controlled retry policies.
 """
 
 from __future__ import annotations
@@ -27,23 +34,33 @@ class HttpConnection:
     def _ensure_connected(self) -> None:
         if self._sock is not None:
             return
+        # create_connection's timeout sticks to the socket, bounding every
+        # subsequent send/recv as well as the connect itself.
         self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
         self._reader = self._sock.makefile("rb")
 
-    def request(self, message: HttpRequest) -> HttpResponse:
-        """Send one request and read its response, reconnecting once on
-        a connection that the server closed between exchanges."""
+    def request_once(self, message: HttpRequest) -> HttpResponse:
+        """Send one request and read its response; no reconnect, no retry.
+
+        Any failure (timeout, reset, parse error) propagates after the
+        connection is closed, leaving it safe to retry on a fresh one.
+        """
         self._ensure_connected()
         try:
             assert self._sock is not None
             self._sock.sendall(message.serialize())
             return read_response(self._reader)
-        except (EOFError, ConnectionError, BrokenPipeError):
+        except BaseException:
             self.close()
-            self._ensure_connected()
-            assert self._sock is not None
-            self._sock.sendall(message.serialize())
-            return read_response(self._reader)
+            raise
+
+    def request(self, message: HttpRequest) -> HttpResponse:
+        """Send one request and read its response, reconnecting once on
+        a connection that the server closed between exchanges."""
+        try:
+            return self.request_once(message)
+        except (EOFError, ConnectionError, BrokenPipeError):
+            return self.request_once(message)
 
     def close(self) -> None:
         if self._reader is not None:

@@ -7,19 +7,32 @@ from its cache when fresh, otherwise forwards to the origin with a
 :class:`~repro.proxy.proxy.PiggybackProxy`), and returns the body to the
 client.  Bodies are kept in a side table because the policy-level cache
 tracks metadata only.
+
+Concurrency and degradation model:
+
+* :class:`HttpUpstream` keeps a *pool* of persistent connections per
+  origin — parallel cache misses fetch in parallel instead of
+  interleaving writes on one shared socket;
+* every upstream exchange is bounded by a timeout and retried with
+  exponential backoff (:class:`UpstreamPolicy`); a persistently failing
+  origin yields a synthetic ``502`` response instead of an exception, so
+  the proxy never wedges and never caches a broken fetch;
+* when the origin fails but a previously fetched body exists, the proxy
+  serves it stale (``X-Cache: stale`` plus a ``Warning`` header) — the
+  client always receives a well-formed HTTP response.
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
 from collections.abc import Callable
+from dataclasses import dataclass
 
-from ..core.protocol import OK, ProxyRequest, ServerResponse
+from ..core.protocol import NOT_FOUND, OK, ProxyRequest, ServerResponse
 from ..httpmodel.dates import format_http_date, parse_http_date
 from ..httpmodel.headers import Headers
-from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse
 from ..httpmodel.piggy_codec import (
     P_VOLUME_HEADER,
     PIGGY_FILTER_HEADER,
@@ -30,45 +43,115 @@ from ..httpmodel.piggy_codec import (
     parse_p_volume,
 )
 from ..proxy.proxy import ClientOutcome, PiggybackProxy, ProxyConfig
+from .connbase import ThreadedWireServer
 from .netclient import HttpConnection
 
-__all__ = ["HttpUpstream", "PiggybackHttpProxy"]
+__all__ = ["UpstreamPolicy", "UpstreamStats", "HttpUpstream", "PiggybackHttpProxy"]
+
+BAD_GATEWAY = 502
+
+_RETRYABLE = (EOFError, HttpParseError, ConnectionError, BrokenPipeError, OSError)
+
+
+@dataclass(frozen=True, slots=True)
+class UpstreamPolicy:
+    """Timeout/retry knobs for origin exchanges."""
+
+    timeout: float = 10.0
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    pool_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+
+
+@dataclass(slots=True)
+class UpstreamStats:
+    """Counters for the proxy's origin-facing side."""
+
+    exchanges: int = 0
+    retries: int = 0
+    failures: int = 0
 
 
 class HttpUpstream:
     """Adapter: ProxyRequest -> real HTTP exchange -> ServerResponse.
 
     Resolves each URL's host through *origins* (host -> (address, port)),
-    reuses persistent connections per origin, and records response bodies
-    in :attr:`bodies` so the wire proxy can serve them to clients.
+    draws persistent connections from a per-origin pool, and records
+    response bodies in a side table so the wire proxy can serve them to
+    clients (:meth:`body_for`).  Thread-safe.
     """
 
-    def __init__(self, origins: dict[str, tuple[str, int]], clock: Callable[[], float] | None = None):
+    def __init__(
+        self,
+        origins: dict[str, tuple[str, int]],
+        clock: Callable[[], float] | None = None,
+        policy: UpstreamPolicy = UpstreamPolicy(),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.origins = origins
         self.clock = clock or time.time
-        self.bodies: dict[str, bytes] = {}
-        self._connections: dict[str, HttpConnection] = {}
+        self.policy = policy
+        self.stats = UpstreamStats()
+        self._sleep = sleep
+        self._bodies: dict[str, bytes] = {}
+        self._pools: dict[str, list[HttpConnection]] = {}
         self._lock = threading.Lock()
+
+    # Body side table ----------------------------------------------------
+
+    @property
+    def bodies(self) -> dict[str, bytes]:
+        return self._bodies
+
+    def body_for(self, url: str) -> bytes | None:
+        with self._lock:
+            return self._bodies.get(url)
+
+    def _remember_body(self, url: str, body: bytes) -> None:
+        with self._lock:
+            self._bodies[url] = body
+
+    # Connection pool ----------------------------------------------------
 
     def close(self) -> None:
         with self._lock:
-            for connection in self._connections.values():
-                connection.close()
-            self._connections.clear()
+            pooled = [c for pool in self._pools.values() for c in pool]
+            self._pools.clear()
+        for connection in pooled:
+            connection.close()
 
-    def _connection_for(self, host: str) -> HttpConnection:
+    def _checkout(self, host: str) -> HttpConnection:
         origin = self.origins.get(host)
         if origin is None:
             raise KeyError(f"no origin registered for host {host!r}")
         with self._lock:
-            connection = self._connections.get(host)
-            if connection is None:
-                connection = HttpConnection(*origin)
-                self._connections[host] = connection
-            return connection
+            pool = self._pools.get(host)
+            if pool:
+                return pool.pop()
+        return HttpConnection(*origin, timeout=self.policy.timeout)
 
-    def __call__(self, request: ProxyRequest) -> ServerResponse:
-        host, _, path = request.url.partition("/")
+    def _checkin(self, host: str, connection: HttpConnection) -> None:
+        with self._lock:
+            pool = self._pools.setdefault(host, [])
+            if len(pool) < self.policy.pool_size:
+                pool.append(connection)
+                return
+        connection.close()
+
+    # Exchange -----------------------------------------------------------
+
+    def _build_request(self, request: ProxyRequest, host: str, path: str) -> HttpRequest:
         http_request = HttpRequest(method="GET", target="/" + path)
         http_request.headers.set("Host", host)
         if request.if_modified_since is not None:
@@ -83,8 +166,42 @@ class HttpUpstream:
         if report_value is not None:
             http_request.headers.set(PIGGY_REPORT_HEADER, report_value)
         http_request.headers.set("X-Proxy-Name", request.source)
+        return http_request
 
-        http_response = self._connection_for(host).request(http_request)
+    def __call__(self, request: ProxyRequest) -> ServerResponse:
+        host, _, path = request.url.partition("/")
+        http_request = self._build_request(request, host, path)
+        with self._lock:
+            self.stats.exchanges += 1
+
+        http_response = None
+        delay = self.policy.backoff
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                with self._lock:
+                    self.stats.retries += 1
+                if delay > 0:
+                    self._sleep(delay)
+                delay *= self.policy.backoff_factor
+            try:
+                connection = self._checkout(host)
+            except KeyError:
+                break  # unroutable host: no point retrying
+            try:
+                http_response = connection.request_once(http_request)
+            except _RETRYABLE:
+                connection.close()
+                continue
+            self._checkin(host, connection)
+            break
+        if http_response is None:
+            # Origin unreachable/garbled after all attempts: degrade to a
+            # synthetic 502 the engine will treat as FAILED — never cached.
+            with self._lock:
+                self.stats.failures += 1
+            return ServerResponse(
+                url=request.url, status=BAD_GATEWAY, timestamp=self.clock()
+            )
 
         last_modified = None
         lm_header = http_response.headers.get("Last-Modified")
@@ -101,7 +218,7 @@ class HttpUpstream:
             except PiggyCodecError:
                 piggyback = None  # a broken trailer must never break the fetch
         if http_response.status == OK:
-            self.bodies[request.url] = http_response.body
+            self._remember_body(request.url, http_response.body)
         return ServerResponse(
             url=request.url,
             status=http_response.status,
@@ -112,7 +229,7 @@ class HttpUpstream:
         )
 
 
-class PiggybackHttpProxy:
+class PiggybackHttpProxy(ThreadedWireServer):
     """Threaded wire frontend for one :class:`PiggybackProxy`."""
 
     def __init__(
@@ -122,76 +239,28 @@ class PiggybackHttpProxy:
         address: str = "127.0.0.1",
         port: int = 0,
         clock: Callable[[], float] | None = None,
+        upstream_policy: UpstreamPolicy = UpstreamPolicy(),
+        serve_stale_on_error: bool = True,
+        io_timeout: float = 30.0,
+        max_workers: int = 64,
     ):
-        self.clock = clock or time.time
-        self.upstream = HttpUpstream(origins, clock=self.clock)
-        self.engine = PiggybackProxy(self.upstream, config=config)
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((address, port))
-        self._listener.listen(32)
-        self.address, self.port = self._listener.getsockname()
-        self._accept_thread: threading.Thread | None = None
-        self._running = False
-        self._engine_lock = threading.Lock()
-
-    def start(self) -> tuple[str, int]:
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="piggyback-proxy", daemon=True
+        super().__init__(
+            address,
+            port,
+            io_timeout=io_timeout,
+            max_workers=max_workers,
+            name="piggyback-proxy",
         )
-        self._accept_thread.start()
-        return self.address, self.port
+        self.clock = clock or time.time
+        self.upstream = HttpUpstream(origins, clock=self.clock, policy=upstream_policy)
+        self.engine = PiggybackProxy(self.upstream, config=config)
+        self.serve_stale_on_error = serve_stale_on_error
+        self.stale_responses = 0
+        self._stale_lock = threading.Lock()
 
-    def stop(self) -> None:
-        self._running = False
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        super().stop(drain_timeout)
         self.upstream.close()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-
-    def __enter__(self) -> "PiggybackHttpProxy":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                client, _ = self._listener.accept()
-            except OSError:
-                return
-            threading.Thread(
-                target=self._serve_connection, args=(client,), daemon=True
-            ).start()
-
-    def _serve_connection(self, client: socket.socket) -> None:
-        reader = client.makefile("rb")
-        try:
-            while True:
-                try:
-                    request = read_request(reader)
-                except EOFError:
-                    return
-                except HttpParseError:
-                    client.sendall(HttpResponse(status=400).serialize())
-                    return
-                client.sendall(self._respond(request).serialize())
-                if (request.headers.get("Connection") or "").lower() == "close":
-                    return
-        except (ConnectionError, BrokenPipeError, OSError):
-            return
-        finally:
-            try:
-                reader.close()
-                client.close()
-            except OSError:
-                pass
 
     def _canonical_url(self, request: HttpRequest) -> str | None:
         """Canonical host/path from an absolute-URI proxy request target."""
@@ -205,17 +274,18 @@ class PiggybackHttpProxy:
             target = host + target
         return target.lower().rstrip("/") if "/" in target else target.lower()
 
-    def _respond(self, request: HttpRequest) -> HttpResponse:
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
         if request.method.upper() != "GET":
             return HttpResponse(status=501)
         url = self._canonical_url(request)
         if url is None:
             return HttpResponse(status=400)
-        with self._engine_lock:
-            result = self.engine.handle_client_get(url, self.clock())
+        # The engine serializes its own metadata; the upstream exchange and
+        # the body send below run without any proxy-wide lock.
+        result = self.engine.handle_client_get(url, self.clock())
         if result.outcome is ClientOutcome.FAILED:
-            return HttpResponse(status=404)
-        body = self.upstream.bodies.get(url, b"")
+            return self._degraded_response(url, result.upstream_status)
+        body = self.upstream.body_for(url) or b""
         headers = Headers()
         headers.set("Via", "1.1 repro-piggyback-proxy")
         headers.set("X-Cache", result.outcome.value)
@@ -223,3 +293,19 @@ class PiggybackHttpProxy:
         if entry is not None:
             headers.set("Last-Modified", format_http_date(entry.last_modified))
         return HttpResponse(status=200, headers=headers, body=body)
+
+    def _degraded_response(self, url: str, upstream_status: int) -> HttpResponse:
+        """Degrade gracefully: pass a real 404 through, serve stale when a
+        previously fetched copy exists, otherwise answer 502."""
+        if upstream_status == NOT_FOUND:
+            return HttpResponse(status=404)
+        stale = self.upstream.body_for(url) if self.serve_stale_on_error else None
+        if stale is not None:
+            with self._stale_lock:
+                self.stale_responses += 1
+            headers = Headers()
+            headers.set("Via", "1.1 repro-piggyback-proxy")
+            headers.set("X-Cache", "stale")
+            headers.set("Warning", '111 repro-piggyback-proxy "Revalidation Failed"')
+            return HttpResponse(status=200, headers=headers, body=stale)
+        return HttpResponse(status=BAD_GATEWAY)

@@ -5,11 +5,15 @@ TCP listener: requests carrying a ``Piggy-filter`` header get their
 response delivered with chunked transfer-coding and a ``P-volume`` trailer
 exactly as Section 2.3 describes; requests without the header get plain
 Content-Length responses, so legacy clients are unaffected.
+
+Both servers ride on :class:`~repro.httpwire.connbase.ThreadedWireServer`
+for per-connection timeouts, a worker cap, and drainable shutdown.  The
+piggyback engine serializes metadata under its volume-store lock; body
+bytes are synthesized and sent on the worker thread with no lock held.
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
 from collections.abc import Callable
@@ -17,7 +21,7 @@ from collections.abc import Callable
 from ..core.protocol import ProxyRequest
 from ..httpmodel.dates import format_http_date, parse_http_date
 from ..httpmodel.headers import Headers
-from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..httpmodel.messages import HttpRequest, HttpResponse
 from ..httpmodel.piggy_codec import (
     P_VOLUME_HEADER,
     PIGGY_FILTER_HEADER,
@@ -28,6 +32,7 @@ from ..httpmodel.piggy_codec import (
     parse_piggy_report,
 )
 from ..server.server import PiggybackServer
+from .connbase import ThreadedWireServer
 
 __all__ = ["PiggybackHttpServer", "PlainHttpServer", "synthetic_body"]
 
@@ -41,7 +46,7 @@ def synthetic_body(url: str, size: int) -> bytes:
     return (seed * repeats)[:size]
 
 
-class PiggybackHttpServer:
+class PiggybackHttpServer(ThreadedWireServer):
     """Threaded wire frontend for one :class:`PiggybackServer`."""
 
     def __init__(
@@ -52,82 +57,21 @@ class PiggybackHttpServer:
         port: int = 0,
         clock: Callable[[], float] | None = None,
         access_logger=None,
+        io_timeout: float = 30.0,
+        max_workers: int = 64,
     ):
+        super().__init__(
+            address,
+            port,
+            io_timeout=io_timeout,
+            max_workers=max_workers,
+            name=f"origin:{site_host}",
+        )
         self.server = server
         self.site_host = site_host
         self.clock = clock or time.time
         self.access_logger = access_logger
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((address, port))
-        self._listener.listen(32)
-        self.address, self.port = self._listener.getsockname()
-        self._accept_thread: threading.Thread | None = None
-        self._running = False
-
-    # -- lifecycle -------------------------------------------------------
-
-    def start(self) -> tuple[str, int]:
-        """Begin accepting connections; returns (address, port)."""
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"origin:{self.site_host}", daemon=True
-        )
-        self._accept_thread.start()
-        return self.address, self.port
-
-    def stop(self) -> None:
-        self._running = False
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-
-    def __enter__(self) -> "PiggybackHttpServer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    # -- connection handling ---------------------------------------------
-
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                client, _ = self._listener.accept()
-            except OSError:
-                return  # listener closed
-            worker = threading.Thread(
-                target=self._serve_connection, args=(client,), daemon=True
-            )
-            worker.start()
-
-    def _serve_connection(self, client: socket.socket) -> None:
-        reader = client.makefile("rb")
-        try:
-            while True:
-                try:
-                    request = read_request(reader)
-                except EOFError:
-                    return
-                except HttpParseError:
-                    client.sendall(HttpResponse(status=400).serialize())
-                    return
-                response = self._respond(request)
-                client.sendall(response.serialize())
-                if (request.headers.get("Connection") or "").lower() == "close":
-                    return
-        except (ConnectionError, BrokenPipeError, OSError):
-            return
-        finally:
-            try:
-                reader.close()
-                client.close()
-            except OSError:
-                pass
+        self._log_lock = threading.Lock()
 
     # -- request translation ----------------------------------------------
 
@@ -140,7 +84,7 @@ class PiggybackHttpServer:
         host = request.headers.get("Host") or self.site_host
         return f"{host.lower()}{target}".rstrip("/") if target != "/" else host.lower()
 
-    def _respond(self, request: HttpRequest) -> HttpResponse:
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
         if request.method.upper() not in ("GET", "HEAD"):
             return HttpResponse(status=501)
 
@@ -170,9 +114,12 @@ class PiggybackHttpServer:
             source=request.headers.get("X-Proxy-Name") or "wire-proxy",
             cache_hit_report=report,
         )
+        # Metadata critical section (inside server.handle); body below is
+        # built lock-free on this worker thread.
         result = self.server.handle(proxy_request)
         if self.access_logger is not None:
-            self.access_logger.log(proxy_request, result)
+            with self._log_lock:
+                self.access_logger.log(proxy_request, result)
 
         headers = Headers()
         headers.set("Server", "repro-piggyback/1.0")
@@ -191,7 +138,7 @@ class PiggybackHttpServer:
         )
 
 
-class PlainHttpServer:
+class PlainHttpServer(ThreadedWireServer):
     """A legacy origin: plain HTTP/1.1, no piggyback support whatsoever.
 
     Serves a static mapping of paths to (body, last_modified) pairs.  Used
@@ -204,79 +151,30 @@ class PlainHttpServer:
         resources: dict[str, tuple[bytes, float]],
         address: str = "127.0.0.1",
         port: int = 0,
+        io_timeout: float = 30.0,
+        max_workers: int = 64,
     ):
+        super().__init__(
+            address,
+            port,
+            backlog=16,
+            io_timeout=io_timeout,
+            max_workers=max_workers,
+            name="legacy-origin",
+        )
         self.resources = resources
         self.requests_served = 0
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((address, port))
-        self._listener.listen(16)
-        self.address, self.port = self._listener.getsockname()
-        self._accept_thread: threading.Thread | None = None
-        self._running = False
+        self._served_lock = threading.Lock()
 
-    def start(self) -> tuple[str, int]:
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="legacy-origin", daemon=True
-        )
-        self._accept_thread.start()
-        return self.address, self.port
-
-    def stop(self) -> None:
-        self._running = False
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-
-    def __enter__(self) -> "PlainHttpServer":
-        self.start()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                client, _ = self._listener.accept()
-            except OSError:
-                return
-            threading.Thread(
-                target=self._serve_connection, args=(client,), daemon=True
-            ).start()
-
-    def _serve_connection(self, client: socket.socket) -> None:
-        reader = client.makefile("rb")
-        try:
-            while True:
-                try:
-                    request = read_request(reader)
-                except EOFError:
-                    return
-                except HttpParseError:
-                    client.sendall(HttpResponse(status=400).serialize())
-                    return
-                entry = self.resources.get(request.target)
-                if entry is None:
-                    response = HttpResponse(status=404)
-                else:
-                    body, last_modified = entry
-                    response = HttpResponse(status=200, body=body)
-                    response.headers.set("Last-Modified", format_http_date(last_modified))
-                    response.headers.set("Server", "legacy/0.9")
-                self.requests_served += 1
-                client.sendall(response.serialize())
-                if (request.headers.get("Connection") or "").lower() == "close":
-                    return
-        except (ConnectionError, BrokenPipeError, OSError):
-            return
-        finally:
-            try:
-                reader.close()
-                client.close()
-            except OSError:
-                pass
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        entry = self.resources.get(request.target)
+        if entry is None:
+            response = HttpResponse(status=404)
+        else:
+            body, last_modified = entry
+            response = HttpResponse(status=200, body=body)
+            response.headers.set("Last-Modified", format_http_date(last_modified))
+            response.headers.set("Server", "legacy/0.9")
+        with self._served_lock:
+            self.requests_served += 1
+        return response

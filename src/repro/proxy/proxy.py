@@ -12,6 +12,7 @@ real-socket client in :mod:`repro.httpwire`.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import Enum
@@ -20,7 +21,7 @@ from .. import urls
 from ..core.filters import ProxyFilter
 from ..core.frequency import AlwaysEnable, PacingPolicy
 from ..core.piggyback import PiggybackMessage
-from ..core.protocol import ProxyRequest, ServerResponse
+from ..core.protocol import OK, ProxyRequest, ServerResponse
 from ..core.rpv import RpvTable
 from .cache import CacheOutcome, ProxyCache
 from .replacement import ReplacementPolicy
@@ -57,6 +58,9 @@ class ClientResult:
     piggyback_elements: int = 0
     bytes_from_server: int = 0
     piggyback: PiggybackMessage | None = None
+    # Raw status of the upstream exchange (OK for cache hits); lets the
+    # wire layer distinguish a genuine 404 from a transport-level failure.
+    upstream_status: int = OK
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,7 +114,13 @@ class ProxyStats:
 
 
 class PiggybackProxy:
-    """A caching proxy that speaks the piggybacking protocol."""
+    """A caching proxy that speaks the piggybacking protocol.
+
+    :meth:`handle_client_get` is thread-safe.  A single reentrant lock
+    guards cache/RPV/pacing/prefetch state, but is **released around every
+    upstream exchange** — concurrent misses fetch in parallel instead of
+    serializing behind one origin round-trip.
+    """
 
     def __init__(
         self,
@@ -134,35 +144,42 @@ class PiggybackProxy:
         self.fetch_queue = InformedFetchQueue()
         self.stats = ProxyStats()
         self._pending_hit_reports: dict[str, dict[str, int]] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
     def handle_client_get(self, url: str, now: float) -> ClientResult:
         """Serve one client GET, contacting the server only when needed."""
-        self.stats.client_requests += 1
-        from_prefetch = self.prefetcher.on_client_request(url, now)
-        outcome = self.cache.probe(url, now)
+        with self._lock:
+            self.stats.client_requests += 1
+            from_prefetch = self.prefetcher.on_client_request(url, now)
+            outcome = self.cache.probe(url, now)
 
-        if outcome is CacheOutcome.HIT_FRESH:
-            if self.config.report_cache_hits:
-                server, _ = urls.split_host_path(url)
-                report = self._pending_hit_reports.setdefault(server, {})
-                report[url] = report.get(url, 0) + 1
-            return ClientResult(
-                url=url,
-                outcome=ClientOutcome.CACHE_FRESH,
-                served_from_prefetch=from_prefetch,
-            )
+            if outcome is CacheOutcome.HIT_FRESH:
+                if self.config.report_cache_hits:
+                    server, _ = urls.split_host_path(url)
+                    report = self._pending_hit_reports.setdefault(server, {})
+                    report[url] = report.get(url, 0) + 1
+                return ClientResult(
+                    url=url,
+                    outcome=ClientOutcome.CACHE_FRESH,
+                    served_from_prefetch=from_prefetch,
+                )
 
-        if_modified_since = None
-        if outcome is CacheOutcome.HIT_EXPIRED:
-            entry = self.cache.entry(url)
-            if entry is not None:
-                if_modified_since = entry.last_modified
+            if_modified_since = None
+            if outcome is CacheOutcome.HIT_EXPIRED:
+                entry = self.cache.entry(url)
+                if entry is not None:
+                    if_modified_since = entry.last_modified
+            request = self._make_server_request(url, now, if_modified_since)
 
-        response = self._contact_server(url, now, if_modified_since)
-        piggyback_elements = response.piggyback_element_count
-        self._absorb_response(response, now)
+        response = self.upstream(request)  # network I/O: lock released
+
+        with self._lock:
+            piggyback_elements = response.piggyback_element_count
+            prefetch_urls = self._absorb_response(response, now)
+        for prefetch_url in prefetch_urls:
+            self._prefetch(prefetch_url, now)
 
         if response.is_not_modified:
             return ClientResult(
@@ -181,7 +198,9 @@ class PiggybackProxy:
                 bytes_from_server=response.size,
                 piggyback=response.piggyback,
             )
-        return ClientResult(url=url, outcome=ClientOutcome.FAILED)
+        return ClientResult(
+            url=url, outcome=ClientOutcome.FAILED, upstream_status=response.status
+        )
 
     # ------------------------------------------------------------------
 
@@ -206,9 +225,10 @@ class PiggybackProxy:
         entries = sorted(pending.items(), key=lambda item: -item[1])
         return tuple(entries[: self.config.max_report_entries])
 
-    def _contact_server(
+    def _make_server_request(
         self, url: str, now: float, if_modified_since: float | None
-    ) -> ServerResponse:
+    ) -> ProxyRequest:
+        """Build the upstream request (caller holds the lock)."""
         server, _ = urls.split_host_path(url)
         request = ProxyRequest(
             url=url,
@@ -219,15 +239,19 @@ class PiggybackProxy:
             cache_hit_report=self._take_hit_report(server),
         )
         self.stats.server_requests += 1
-        return self.upstream(request)
+        return request
 
     def _delta_for(self, url: str) -> float | None:
         if self.config.adaptive_freshness:
             return self.freshness.freshness_interval(url)
         return None
 
-    def _absorb_response(self, response: ServerResponse, now: float) -> None:
-        """Update cache and piggyback machinery from a server response."""
+    def _absorb_response(self, response: ServerResponse, now: float) -> list[str]:
+        """Update cache and piggyback machinery from a server response.
+
+        Returns the URLs the prefetch engine admitted; the caller fetches
+        them *after* releasing the lock (caller holds the lock).
+        """
         if response.is_ok:
             self.cache.put(
                 response.url,
@@ -242,7 +266,7 @@ class PiggybackProxy:
             self.cache.validate(response.url, now, self._delta_for(response.url))
 
         if response.piggyback is None:
-            return
+            return []
         server, _ = urls.split_host_path(response.url)
         message = response.piggyback
         self.stats.piggybacks_received += 1
@@ -254,8 +278,10 @@ class PiggybackProxy:
             self.freshness.observe_message(message)
         outcome = self.coherency.process(self.cache, message, now)
         self.pacing.observe_piggyback(server, now, useful=outcome.was_useful)
-        for element in self.prefetcher.consider(outcome.prefetch_candidates(), now):
-            self._prefetch(element.url, now)
+        return [
+            element.url
+            for element in self.prefetcher.consider(outcome.prefetch_candidates(), now)
+        ]
 
     def _prefetch(self, url: str, now: float) -> None:
         """Fetch a predicted resource ahead of demand (no nested piggyback)."""
@@ -265,13 +291,15 @@ class PiggybackProxy:
             piggyback_filter=ProxyFilter.disabled(),
             source=self.config.name,
         )
-        self.stats.prefetch_requests += 1
+        with self._lock:
+            self.stats.prefetch_requests += 1
         response = self.upstream(request)
         if response.is_ok:
-            self.cache.put(
-                url,
-                size=response.size,
-                last_modified=response.last_modified or 0.0,
-                now=now,
-                freshness_interval=self._delta_for(url),
-            )
+            with self._lock:
+                self.cache.put(
+                    url,
+                    size=response.size,
+                    last_modified=response.last_modified or 0.0,
+                    now=now,
+                    freshness_interval=self._delta_for(url),
+                )

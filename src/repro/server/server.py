@@ -49,7 +49,14 @@ class ServerStats:
 
 
 class PiggybackServer:
-    """A cooperating origin server with volumes and filter support."""
+    """A cooperating origin server with volumes and filter support.
+
+    :meth:`handle` is thread-safe: all metadata mutation (stats, volume
+    maintenance, filter application over the store's lazy candidates) runs
+    under the volume store's reentrant lock.  Response *bodies* are built
+    and sent by the wire layer outside this critical section, so body
+    serving is never globally serialized.
+    """
 
     def __init__(self, resources: ResourceStore, volume_store: VolumeStore):
         self.resources = resources
@@ -58,6 +65,10 @@ class PiggybackServer:
 
     def handle(self, request: ProxyRequest) -> ServerResponse:
         """Answer one proxy request, with piggyback when the filter allows."""
+        with self.volume_store.lock:
+            return self._handle_locked(request)
+
+    def _handle_locked(self, request: ProxyRequest) -> ServerResponse:
         self.stats.requests += 1
         self._absorb_cache_hit_report(request)
         record = self.resources.get(request.url)

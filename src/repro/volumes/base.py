@@ -10,6 +10,7 @@ access counters) can track the request stream.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -19,6 +20,10 @@ from ..core.piggyback import MAX_VOLUME_ID
 from ..traces.records import LogRecord
 
 __all__ = ["VolumeIdAllocator", "VolumeLookup", "VolumeStore"]
+
+# Guards lazy creation of per-store locks: two threads touching a store's
+# ``lock`` property for the first time must end up with the same lock.
+_LOCK_CREATION_GUARD = threading.Lock()
 
 
 class VolumeIdAllocator:
@@ -73,7 +78,25 @@ class VolumeLookup:
 
 
 class VolumeStore(ABC):
-    """Interface implemented by every volume construction scheme."""
+    """Interface implemented by every volume construction scheme.
+
+    Stores are single-threaded internally; concurrent users (the wire
+    servers) serialize every ``observe``/``lookup`` — *including the
+    consumption of lazy candidates* — under :attr:`lock`.  The lock is
+    reentrant and created lazily so existing subclasses need no changes.
+    """
+
+    @property
+    def lock(self) -> threading.RLock:
+        """Reentrant mutation lock shared by every user of this store."""
+        existing = getattr(self, "_store_lock", None)
+        if existing is None:
+            with _LOCK_CREATION_GUARD:
+                existing = getattr(self, "_store_lock", None)
+                if existing is None:
+                    existing = threading.RLock()
+                    self._store_lock = existing
+        return existing
 
     @abstractmethod
     def observe(self, record: LogRecord) -> None:

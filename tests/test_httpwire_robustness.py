@@ -2,6 +2,7 @@
 
 import socket
 import threading
+import time
 
 import pytest
 
@@ -147,3 +148,77 @@ class TestConcurrency:
         assert one.status == two.status == 200
         assert len(one.body) == 100
         assert len(two.body) == 101
+
+
+def build_server(**kwargs):
+    resources = ResourceStore()
+    resources.add(f"{HOST}/x.html", size=256, last_modified=10.0)
+    engine = PiggybackServer(resources, DirectoryVolumeStore())
+    return PiggybackHttpServer(
+        engine, site_host=HOST, clock=lambda: 1000.0, **kwargs
+    )
+
+
+def wait_until(predicate, deadline=3.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+class TestSocketTimeouts:
+    """Regression: accepted sockets used to have NO timeout, so a client
+    that connected and never spoke parked a worker thread forever."""
+
+    def test_silent_client_is_reclaimed(self):
+        with build_server(io_timeout=0.3) as server:
+            silent = socket.create_connection((server.address, server.port))
+            try:
+                assert wait_until(lambda: server.active_workers() >= 1)
+                # The worker must be reclaimed by the idle timeout even
+                # though the client never sends a byte or disconnects.
+                assert wait_until(lambda: server.active_workers() == 0)
+                assert server.wire_stats.idle_timeouts == 1
+            finally:
+                silent.close()
+            # And the server still serves normal traffic afterwards.
+            request = HttpRequest(method="GET", target="/x.html")
+            request.headers.set("Host", HOST)
+            assert fetch_once(server.address, server.port, request).status == 200
+
+    def test_half_request_client_is_reclaimed(self):
+        with build_server(io_timeout=0.3) as server:
+            stalled = socket.create_connection((server.address, server.port))
+            try:
+                stalled.sendall(b"GET /x.html HTTP/1.1\r\nHost: h")  # never finishes
+                assert wait_until(
+                    lambda: server.wire_stats.connections_accepted == 1
+                )
+                assert wait_until(lambda: server.wire_stats.idle_timeouts == 1)
+                assert wait_until(lambda: server.active_workers() == 0)
+            finally:
+                stalled.close()
+
+    def test_worker_cap_with_silent_clients_recovers(self):
+        """Silent clients saturating the worker cap are timed out, and the
+        queued well-behaved request is then served (backpressure, no 5xx)."""
+        with build_server(io_timeout=0.4, max_workers=2) as server:
+            hogs = [
+                socket.create_connection((server.address, server.port))
+                for _ in range(2)
+            ]
+            try:
+                assert wait_until(lambda: server.active_workers() == 2)
+                assert server.active_workers() <= 2
+                request = HttpRequest(method="GET", target="/x.html")
+                request.headers.set("Host", HOST)
+                # Waits in the listen backlog until a hog is reclaimed.
+                response = fetch_once(server.address, server.port, request)
+                assert response.status == 200
+                assert wait_until(lambda: server.wire_stats.idle_timeouts == 2)
+            finally:
+                for hog in hogs:
+                    hog.close()
+            assert wait_until(lambda: server.active_workers() == 0)

@@ -1,0 +1,272 @@
+"""Chaos tests: the wire proxy under transport-level fault injection.
+
+A :class:`FaultInjectingInterposer` sits between the proxy and its origin
+and injects truncated responses (including cuts inside the chunked
+trailer block), mid-body TCP resets, garbage bytes, and slow origins.
+The proxy must never crash, never poison its cache with a half-read
+response, and answer *every* client with a well-formed HTTP response —
+fresh, stale (``X-Cache: stale``) or ``502`` — with zero leaked worker
+threads afterwards.  Fault schedules are indexed by connection, so a
+seeded run injects the same failure sequence every time.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.httpmodel.messages import HttpRequest
+from repro.httpwire.faults import Fault, FaultInjectingInterposer
+from repro.httpwire.netclient import HttpConnection
+from repro.httpwire.netproxy import PiggybackHttpProxy, UpstreamPolicy
+from repro.httpwire.netserver import PiggybackHttpServer, synthetic_body
+from repro.proxy.proxy import ProxyConfig
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+HOST = "www.chaos.example"
+PAGES = {
+    f"{HOST}/d0/p{i}.html": 600 + 100 * i for i in range(6)
+}
+
+FAST_RETRIES = UpstreamPolicy(
+    timeout=0.5, max_attempts=3, backoff=0.01, backoff_factor=2.0
+)
+
+
+class TogglingSchedule:
+    """Callable schedule whose fault can be switched on/off mid-test."""
+
+    def __init__(self, fault: Fault):
+        self.fault = fault
+        self.enabled = True
+
+    def __call__(self, index: int) -> Fault:
+        return self.fault if self.enabled else Fault.none()
+
+
+def build_engine():
+    resources = ResourceStore()
+    for url, size in PAGES.items():
+        resources.add(url, size=size, last_modified=100.0)
+    return PiggybackServer(
+        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    )
+
+
+def proxy_get(connection: HttpConnection, url: str):
+    request = HttpRequest(method="GET", target=f"http://{url}")
+    request.headers.set("Host", HOST)
+    return connection.request_once(request)
+
+
+def assert_well_formed(url, response):
+    """Every degraded answer is still one of the allowed shapes."""
+    assert response.status in (200, 502), f"{url}: status {response.status}"
+    if response.status == 200:
+        cache_state = response.headers.get("X-Cache")
+        if cache_state == "stale":
+            assert response.headers.get("Warning") is not None
+        assert response.body == synthetic_body(url, PAGES[url])
+    else:
+        assert response.body == b""
+
+
+def wait_for_quiesce(baseline, deadline=2.0):
+    """Give daemon relay threads a moment to wind down after stop()."""
+    end = time.monotonic() + deadline
+    while threading.active_count() > baseline and time.monotonic() < end:
+        time.sleep(0.02)
+
+
+@pytest.fixture()
+def chaos_stack():
+    """origin <- interposer(schedule) <- proxy, with fast retry policy."""
+    baseline = threading.active_count()
+    engine = build_engine()
+    stacks = []
+
+    def build(schedule, policy=FAST_RETRIES, clock=None):
+        origin = PiggybackHttpServer(engine, site_host=HOST)
+        origin.start()
+        interposer = FaultInjectingInterposer(
+            (origin.address, origin.port), schedule=schedule
+        )
+        interposer.start()
+        proxy = PiggybackHttpProxy(
+            origins={HOST: (interposer.address, interposer.port)},
+            config=ProxyConfig(name="chaos-proxy"),
+            upstream_policy=policy,
+            clock=clock,
+        )
+        proxy.start()
+        stacks.append((origin, interposer, proxy))
+        return engine, origin, interposer, proxy
+
+    yield build
+    for origin, interposer, proxy in stacks:
+        proxy.stop()
+        interposer.stop()
+        origin.stop()
+        assert proxy.active_workers() == 0, "leaked proxy workers"
+        assert origin.active_workers() == 0, "leaked origin workers"
+    wait_for_quiesce(baseline)
+
+
+def fault_recovery_case(chaos_stack, fault):
+    """Every odd upstream connection fails; retries must mask it fully."""
+    schedule = lambda index: fault if index % 2 == 0 else Fault.none()
+    _, _, interposer, proxy = chaos_stack(schedule)
+    connection = HttpConnection(proxy.address, proxy.port, timeout=5.0)
+    try:
+        for url in PAGES:
+            response = proxy_get(connection, url)
+            assert response.status == 200
+            assert response.headers.get("X-Cache") != "stale"
+            assert response.body == synthetic_body(url, PAGES[url])
+    finally:
+        connection.close()
+    assert proxy.upstream.stats.retries > 0, "fault never actually hit"
+    assert proxy.upstream.stats.failures == 0
+    assert interposer.stats.faults_applied.get(fault.kind, 0) > 0
+
+
+def test_truncated_mid_response_is_retried(chaos_stack):
+    fault_recovery_case(chaos_stack, Fault.truncate_after(80))
+
+
+def test_truncated_inside_trailer_is_retried(chaos_stack):
+    # Cut after the body bytes have flowed: status line + headers + chunk
+    # framing of the smallest page put the cut inside the trailer block.
+    smallest = min(PAGES.values())
+    fault_recovery_case(chaos_stack, Fault.truncate_after(smallest + 250))
+
+
+def test_mid_body_reset_is_retried(chaos_stack):
+    fault_recovery_case(chaos_stack, Fault.reset_after(60))
+
+
+def test_garbage_response_is_retried(chaos_stack):
+    fault_recovery_case(chaos_stack, Fault.garbage())
+
+
+class ShiftableClock:
+    """time.time plus an adjustable offset, to expire cache freshness."""
+
+    def __init__(self):
+        self.offset = 0.0
+
+    def __call__(self):
+        return time.time() + self.offset
+
+
+def test_slow_origin_serves_stale_or_502(chaos_stack):
+    """An origin slower than the timeout degrades to stale/502, no crash."""
+    schedule = TogglingSchedule(Fault.delay(3.0))
+    schedule.enabled = False  # warm phase: no faults
+    clock = ShiftableClock()
+    engine, _, _, proxy = chaos_stack(
+        schedule,
+        policy=UpstreamPolicy(timeout=0.3, max_attempts=2, backoff=0.01),
+        clock=clock,
+    )
+    warm_url, cold_url = list(PAGES)[0], list(PAGES)[1]
+    connection = HttpConnection(proxy.address, proxy.port, timeout=10.0)
+    try:
+        assert proxy_get(connection, warm_url).status == 200
+
+        schedule.enabled = True
+        # Drop pooled (fault-free) connections so new fetches hit the fault,
+        # and age the cached copy past its freshness interval so the proxy
+        # must revalidate against the now-slow origin.
+        proxy.upstream.close()
+        clock.offset = 2 * 3600.0
+        engine.resources.add(warm_url, size=PAGES[warm_url], last_modified=500.0)
+
+        # The warmed URL revalidates against a now-slow origin -> stale copy.
+        stale = proxy_get(connection, warm_url)
+        assert stale.status == 200
+        assert stale.headers.get("X-Cache") == "stale"
+        assert stale.headers.get("Warning") is not None
+        assert stale.body == synthetic_body(warm_url, PAGES[warm_url])
+
+        # A never-fetched URL has no stale copy to fall back on -> 502.
+        cold = proxy_get(connection, cold_url)
+        assert cold.status == 502
+
+        # Origin recovers: the same client keeps working, cache unpoisoned.
+        schedule.enabled = False
+        proxy.upstream.close()
+        fresh = proxy_get(connection, cold_url)
+        assert fresh.status == 200
+        assert fresh.body == synthetic_body(cold_url, PAGES[cold_url])
+    finally:
+        connection.close()
+    assert proxy.upstream.stats.failures >= 2
+    assert proxy.wire_stats.internal_errors == 0
+
+
+def test_cache_never_poisoned_by_faults(chaos_stack):
+    """After arbitrary fault storms, remembered bodies are exact or absent."""
+    storm = [
+        Fault.garbage(),
+        Fault.truncate_after(40),
+        Fault.none(),
+        Fault.reset_after(10),
+        Fault.none(),
+    ]
+    _, _, _, proxy = chaos_stack(storm)
+    connection = HttpConnection(proxy.address, proxy.port, timeout=10.0)
+    try:
+        for url in PAGES:
+            response = proxy_get(connection, url)
+            assert_well_formed(url, response)
+    finally:
+        connection.close()
+    for url in PAGES:
+        body = proxy.upstream.body_for(url)
+        assert body is None or body == synthetic_body(url, PAGES[url]), (
+            f"poisoned cache body for {url}"
+        )
+    assert proxy.wire_stats.internal_errors == 0
+
+
+def test_chaos_outcomes_deterministic_across_runs():
+    """Three identical seeded runs classify every response identically."""
+    outcomes = []
+    for _ in range(3):
+        engine = build_engine()
+        plan = [
+            Fault.reset_after(60),
+            Fault.none(),
+            Fault.garbage(),
+            Fault.none(),
+        ]
+        with PiggybackHttpServer(engine, site_host=HOST) as origin:
+            with FaultInjectingInterposer(
+                (origin.address, origin.port), schedule=plan
+            ) as interposer:
+                with PiggybackHttpProxy(
+                    origins={HOST: (interposer.address, interposer.port)},
+                    config=ProxyConfig(name="chaos-proxy"),
+                    upstream_policy=FAST_RETRIES,
+                ) as proxy:
+                    connection = HttpConnection(
+                        proxy.address, proxy.port, timeout=10.0
+                    )
+                    statuses = []
+                    try:
+                        for url in sorted(PAGES):
+                            response = proxy_get(connection, url)
+                            assert_well_formed(url, response)
+                            statuses.append(response.status)
+                    finally:
+                        connection.close()
+                    assert proxy.active_workers() == 0 or statuses
+                outcomes.append(
+                    (tuple(statuses), proxy.upstream.stats.failures)
+                )
+        assert origin.active_workers() == 0
+        assert proxy.active_workers() == 0
+    assert outcomes[0] == outcomes[1] == outcomes[2]

@@ -1,0 +1,196 @@
+"""Seeded-random round-trip properties of the wire codecs.
+
+Complements the hypothesis suite in ``test_properties.py`` with explicit
+seeded ``random`` trials that target the wire stack's attack surface:
+header-injection-shaped URLs (embedded CR/LF, delimiters, whitespace,
+non-ASCII) through the ``P-volume``/``Piggy-report`` codecs, arbitrary
+bodies and chunk sizes through the chunked coder, and full
+``HttpResponse`` messages through serialize -> read_response.  Every
+trial is reproducible from its printed seed.
+"""
+
+import io
+import random
+import string
+
+from repro.core.filters import ProxyFilter
+from repro.core.piggyback import PiggybackElement, PiggybackMessage
+from repro.httpmodel.chunked import decode_chunked, encode_chunked
+from repro.httpmodel.headers import Headers
+from repro.httpmodel.messages import HttpResponse, read_response
+from repro.httpmodel.piggy_codec import (
+    format_p_volume,
+    format_piggy_filter,
+    format_piggy_report,
+    parse_p_volume,
+    parse_piggy_filter,
+    parse_piggy_report,
+)
+
+TRIALS = 200
+
+# Deliberately hostile alphabet: CR/LF for header injection, the codec's
+# own delimiters, quoting characters, whitespace, and non-ASCII.
+HOSTILE_CHARS = "\r\n|;=\"', %\t&?#" + "é世"
+URL_CHARS = string.ascii_lowercase + string.digits + "/._-" + HOSTILE_CHARS
+
+
+def random_url(rng: random.Random) -> str:
+    length = rng.randint(1, 40)
+    return "h/" + "".join(rng.choice(URL_CHARS) for _ in range(length))
+
+
+class TestPVolumeRoundTrip:
+    def test_random_messages_round_trip(self):
+        rng = random.Random(1234)
+        for trial in range(TRIALS):
+            elements = tuple(
+                PiggybackElement(
+                    url=random_url(rng),
+                    last_modified=float(rng.randint(0, 2_000_000_000)),
+                    size=rng.randint(0, 10_000_000),
+                )
+                for _ in range(rng.randint(0, 8))
+            )
+            message = PiggybackMessage(
+                volume_id=rng.randint(0, 32767), elements=elements
+            )
+            wire = format_p_volume(message)
+            # The wire value must be safe to place in an HTTP header.
+            assert "\r" not in wire and "\n" not in wire, f"trial {trial}"
+            parsed = parse_p_volume(wire)
+            assert parsed.volume_id == message.volume_id, f"trial {trial}"
+            assert parsed.elements == elements, f"trial {trial}"
+
+    def test_injection_shaped_urls_cannot_smuggle_elements(self):
+        rng = random.Random(99)
+        for trial in range(TRIALS):
+            # A URL that *looks like* extra codec attributes or a header.
+            hostile = (
+                f"h/a{rng.randint(0, 9)}.html\r\nSet-Cookie: x"
+                f"; e=/fake|0|0; id=1|{rng.randint(0, 99)}"
+            )
+            message = PiggybackMessage(
+                volume_id=7,
+                elements=(
+                    PiggybackElement(url=hostile, last_modified=100.0, size=10),
+                ),
+            )
+            parsed = parse_p_volume(format_p_volume(message))
+            assert len(parsed.elements) == 1, f"trial {trial}"
+            assert parsed.elements[0].url == hostile, f"trial {trial}"
+
+
+class TestPiggyReportRoundTrip:
+    def test_random_reports_round_trip(self):
+        rng = random.Random(777)
+        for trial in range(TRIALS):
+            report = tuple(
+                (random_url(rng), rng.randint(1, 10_000))
+                for _ in range(rng.randint(1, 10))
+            )
+            wire = format_piggy_report(report)
+            assert wire is not None
+            assert "\r" not in wire and "\n" not in wire, f"trial {trial}"
+            assert parse_piggy_report(wire) == report, f"trial {trial}"
+
+    def test_empty_report_is_absent(self):
+        assert format_piggy_report(()) is None
+        assert parse_piggy_report(None) == ()
+
+
+class TestPiggyFilterRoundTrip:
+    def test_random_filters_round_trip(self):
+        rng = random.Random(31337)
+        for trial in range(TRIALS):
+            original = ProxyFilter(
+                enabled=True,
+                max_elements=rng.choice([None, rng.randint(1, 1000)]),
+                recently_piggybacked=frozenset(
+                    rng.randint(0, 32767) for _ in range(rng.randint(0, 6))
+                ),
+                probability_threshold=rng.choice([0.0, 0.25, 0.5]),
+                min_access_count=rng.randint(0, 20),
+                max_resource_size=rng.choice([None, rng.randint(1, 1 << 20)]),
+                excluded_content_types=frozenset(
+                    rng.sample(["image", "video", "audio", "text"], rng.randint(0, 3))
+                ),
+            )
+            wire = format_piggy_filter(original)
+            assert wire is not None
+            parsed = parse_piggy_filter(wire)
+            assert parsed.max_elements == original.max_elements, f"trial {trial}"
+            assert (
+                parsed.recently_piggybacked == original.recently_piggybacked
+            ), f"trial {trial}"
+            assert (
+                parsed.probability_threshold == original.probability_threshold
+            ), f"trial {trial}"
+            assert parsed.min_access_count == original.min_access_count
+            assert parsed.max_resource_size == original.max_resource_size
+            assert (
+                parsed.excluded_content_types == original.excluded_content_types
+            ), f"trial {trial}"
+
+
+class TestChunkedRoundTrip:
+    def test_random_bodies_and_chunk_sizes(self):
+        rng = random.Random(2024)
+        for trial in range(TRIALS):
+            body = rng.randbytes(rng.randint(0, 5000))
+            chunk_size = rng.randint(1, 700)
+            trailers = Headers()
+            for _ in range(rng.randint(0, 3)):
+                name = "X-T" + "".join(rng.choices(string.ascii_letters, k=5))
+                # Leading/trailing OWS is (correctly) stripped on parse, so
+                # generate values already in canonical form.
+                value = "".join(
+                    rng.choices(string.ascii_letters + string.digits + " ;|=", k=12)
+                ).strip() or "v"
+                trailers.set(name, value)
+            encoded = encode_chunked(body, trailers, chunk_size=chunk_size)
+            decoded, parsed_trailers, remainder = decode_chunked(encoded)
+            assert decoded == body, f"trial {trial}"
+            assert remainder == b"", f"trial {trial}"
+            for name, value in trailers:
+                assert parsed_trailers.get(name) == value, f"trial {trial}"
+
+    def test_bodies_full_of_framing_bytes(self):
+        """Bodies that *contain* chunked framing must not confuse decode."""
+        rng = random.Random(55)
+        fragments = [b"0\r\n", b"\r\n\r\n", b"5\r\nhello\r\n", b"0\r\n\r\n"]
+        for trial in range(TRIALS):
+            body = b"".join(
+                rng.choice(fragments) for _ in range(rng.randint(1, 20))
+            )
+            encoded = encode_chunked(body, None, chunk_size=rng.randint(1, 16))
+            decoded, _, remainder = decode_chunked(encoded)
+            assert decoded == body, f"trial {trial}"
+            assert remainder == b"", f"trial {trial}"
+
+
+class TestHttpResponseRoundTrip:
+    def test_random_responses_round_trip_through_streams(self):
+        rng = random.Random(4242)
+        for trial in range(TRIALS):
+            # 304 is bodiless by HTTP semantics; pair it with an empty body.
+            status = rng.choice([200, 304, 404, 502])
+            body = b"" if status == 304 else rng.randbytes(rng.randint(0, 3000))
+            response = HttpResponse(status=status)
+            response.headers.set("Server", "prop-test")
+            response.headers.set("X-Trial", str(trial))
+            response.body = body
+            with_trailer = rng.random() < 0.5
+            if with_trailer:
+                response.trailers.set(
+                    "P-volume", f"id={rng.randint(0, 32767)}"
+                )
+            wire = response.serialize(chunk_size=rng.randint(1, 512))
+            parsed = read_response(io.BytesIO(wire))
+            assert parsed.status == response.status, f"trial {trial}"
+            assert parsed.body == body, f"trial {trial}"
+            assert parsed.headers.get("X-Trial") == str(trial)
+            if with_trailer:
+                assert parsed.trailers.get("P-volume") == response.trailers.get(
+                    "P-volume"
+                ), f"trial {trial}"
