@@ -8,13 +8,18 @@
 
 from _bench_util import print_series
 
-from repro.analysis.prediction import ReplayConfig, replay
-from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.analysis.prediction import ReplayConfig, replay, replay_many
+from repro.volumes.directory import DirectoryVolumeConfig
 from repro.volumes.probability import (
     PairwiseConfig,
     PairwiseEstimator,
     build_probability_volumes,
 )
+
+
+def _fast_replay(trace, store_config, config):
+    """One-point run on the interned engine (bit-identical to replay())."""
+    return replay_many(trace, [(store_config, config)], engine="fast")[0]
 
 
 def test_ablation_sampled_counters(benchmark, sun_log):
@@ -52,10 +57,8 @@ def test_ablation_move_to_front(benchmark, aiusa_log):
     trace, _ = aiusa_log
 
     def run_variant(move_to_front):
-        store = DirectoryVolumeStore(
-            DirectoryVolumeConfig(level=1, move_to_front=move_to_front)
-        )
-        return replay(trace, store, ReplayConfig(max_elements=10, access_filter=10))
+        config = DirectoryVolumeConfig(level=1, move_to_front=move_to_front)
+        return _fast_replay(trace, config, ReplayConfig(max_elements=10, access_filter=10))
 
     def run():
         return run_variant(True), run_variant(False)
@@ -82,8 +85,7 @@ def test_ablation_rpv_vs_random_pacing(benchmark, apache_log):
     base = ReplayConfig(max_elements=50, access_filter=10)
 
     def run_variant(config):
-        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
-        return replay(trace, store, config)
+        return _fast_replay(trace, DirectoryVolumeConfig(level=1), config)
 
     def run():
         from dataclasses import replace
@@ -122,11 +124,9 @@ def test_ablation_type_partitioning(benchmark, sun_log):
     trace, _ = sun_log
 
     def run_variant(partitioned):
-        store = DirectoryVolumeStore(
-            DirectoryVolumeConfig(level=1, partition_by_type=partitioned,
-                                  max_volume_size=50)
-        )
-        return replay(trace, store, ReplayConfig(max_elements=10))
+        config = DirectoryVolumeConfig(level=1, partition_by_type=partitioned,
+                                       max_volume_size=50)
+        return _fast_replay(trace, config, ReplayConfig(max_elements=10))
 
     def run():
         return run_variant(True), run_variant(False)
@@ -151,7 +151,6 @@ def test_ablation_offline_vs_online_volumes(benchmark, sun_log):
     """Offline whole-trace volumes (the paper's method) vs periodic daily
     rebuilds (the deployable variant of Section 3.3.1)."""
     from repro.volumes.online import OnlineProbabilityVolumeStore, OnlineVolumeConfig
-    from repro.volumes.probability import ProbabilityVolumeStore
 
     trace, _ = sun_log
 
@@ -159,8 +158,7 @@ def test_ablation_offline_vs_online_volumes(benchmark, sun_log):
         estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
         estimator.observe_trace(trace)
         volumes = build_probability_volumes(estimator, 0.25)
-        return replay(trace, ProbabilityVolumeStore(volumes),
-                      ReplayConfig(max_elements=50))
+        return _fast_replay(trace, volumes, ReplayConfig(max_elements=50))
 
     def run_online():
         store = OnlineProbabilityVolumeStore(

@@ -17,13 +17,14 @@ from ..traces.stats import (
     characterize_client_log,
     characterize_server_log,
 )
-from ..volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from ..volumes.directory import DirectoryVolumeConfig
 from ..volumes.probability import (
     PairwiseConfig,
     PairwiseEstimator,
-    ProbabilityVolumeStore,
     ProbabilityVolumes,
     build_probability_volumes,
+    build_probability_volumes_multi,
+    estimate_pairwise,
 )
 from ..volumes.thinning import (
     combine_with_directory,
@@ -32,7 +33,7 @@ from ..volumes.thinning import (
 )
 from .interarrival import PrefixLocality, directory_locality
 from .metrics import ReplayMetrics
-from .prediction import ReplayConfig, replay
+from .prediction import ReplayConfig, replay_many
 
 __all__ = [
     "DirectoryPoint",
@@ -91,29 +92,38 @@ def fig2_fig3_directory(
     prediction_window: float = 300.0,
     history_window: float = 7200.0,
     max_elements: int = 200,
+    engine: str = "fast",
 ) -> list[DirectoryPoint]:
     """Figures 2, 3(a), 3(b): piggyback size and accuracy of directory
     volumes across access filters.
 
     ``max_elements`` mirrors the paper's post-processing cap of 200
-    elements per piggyback message.
+    elements per piggyback message.  The whole grid is scored in one trace
+    pass (all points at one level share volume maintenance); pass
+    ``engine="reference"`` for the serial per-point baseline.
     """
-    points = []
+    cells = []
+    entries = []
     for level in levels:
+        config = DirectoryVolumeConfig(level=level)
         for access_filter in access_filters:
-            store = DirectoryVolumeStore(DirectoryVolumeConfig(level=level))
-            metrics = replay(
-                trace,
-                store,
-                ReplayConfig(
-                    prediction_window=prediction_window,
-                    history_window=history_window,
-                    max_elements=max_elements,
-                    access_filter=access_filter,
-                ),
+            cells.append((level, access_filter))
+            entries.append(
+                (
+                    config,
+                    ReplayConfig(
+                        prediction_window=prediction_window,
+                        history_window=history_window,
+                        max_elements=max_elements,
+                        access_filter=access_filter,
+                    ),
+                )
             )
-            points.append(_directory_point(level, access_filter, metrics))
-    return points
+    results = replay_many(trace, entries, engine=engine)
+    return [
+        _directory_point(level, access_filter, metrics)
+        for (level, access_filter), metrics in zip(cells, results)
+    ]
 
 
 def _directory_point(level: int, access_filter: int, metrics: ReplayMetrics) -> DirectoryPoint:
@@ -151,34 +161,39 @@ def fig4_rpv(
     min_gaps=(0.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0),
     prediction_window: float = 300.0,
     max_elements: int = 200,
+    engine: str = "fast",
 ) -> list[RpvPoint]:
     """Figure 4: enforcing a minimum time between piggybacks via RPV lists."""
-    points = []
+    cells = []
+    entries = []
     for level in levels:
+        config = DirectoryVolumeConfig(level=level)
         for access_filter in access_filters:
             for gap in min_gaps:
-                store = DirectoryVolumeStore(DirectoryVolumeConfig(level=level))
-                metrics = replay(
-                    trace,
-                    store,
-                    ReplayConfig(
-                        prediction_window=prediction_window,
-                        max_elements=max_elements,
-                        access_filter=access_filter,
-                        rpv_min_gap=gap if gap > 0 else None,
-                    ),
-                )
-                points.append(
-                    RpvPoint(
-                        level=level,
-                        access_filter=access_filter,
-                        min_gap=gap,
-                        mean_piggyback_size=metrics.mean_piggyback_size,
-                        fraction_predicted=metrics.fraction_predicted,
-                        piggyback_message_rate=metrics.piggyback_message_rate,
+                cells.append((level, access_filter, gap))
+                entries.append(
+                    (
+                        config,
+                        ReplayConfig(
+                            prediction_window=prediction_window,
+                            max_elements=max_elements,
+                            access_filter=access_filter,
+                            rpv_min_gap=gap if gap > 0 else None,
+                        ),
                     )
                 )
-    return points
+    results = replay_many(trace, entries, engine=engine)
+    return [
+        RpvPoint(
+            level=level,
+            access_filter=access_filter,
+            min_gap=gap,
+            mean_piggyback_size=metrics.mean_piggyback_size,
+            fraction_predicted=metrics.fraction_predicted,
+            piggyback_message_rate=metrics.piggyback_message_rate,
+        )
+        for (level, access_filter, gap), metrics in zip(cells, results)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -207,9 +222,16 @@ def prob_variants(
     estimator: PairwiseEstimator,
     window: float = 300.0,
     variants=PROB_VARIANTS,
+    base: ProbabilityVolumes | None = None,
 ) -> dict[str, ProbabilityVolumes]:
-    """Materialize the paper's four volume variants at one threshold."""
-    base = build_probability_volumes(estimator, threshold)
+    """Materialize the paper's four volume variants at one threshold.
+
+    ``base`` short-circuits the build when the caller already materialized
+    the threshold's volumes (e.g. via
+    :func:`~repro.volumes.probability.build_probability_volumes_multi`).
+    """
+    if base is None:
+        base = build_probability_volumes(estimator, threshold)
     out: dict[str, ProbabilityVolumes] = {}
     for variant in variants:
         if variant == "base":
@@ -231,17 +253,23 @@ def _replay_probability(
     window: float,
     history_window: float = 7200.0,
     max_elements: int | None = 200,
+    engine: str = "fast",
 ) -> ReplayMetrics:
-    store = ProbabilityVolumeStore(volumes)
-    return replay(
-        trace,
-        store,
-        ReplayConfig(
-            prediction_window=window,
-            history_window=history_window,
-            max_elements=max_elements,
-        ),
+    config = ReplayConfig(
+        prediction_window=window,
+        history_window=history_window,
+        max_elements=max_elements,
     )
+    return replay_many(trace, [(volumes, config)], engine=engine)[0]
+
+
+def _estimator_for(trace: Trace, window: float, engine: str):
+    """The pairwise estimator for *engine*, fully run over *trace*."""
+    if engine == "fast":
+        return estimate_pairwise(trace, PairwiseConfig(window=window))
+    estimator = PairwiseEstimator(PairwiseConfig(window=window))
+    estimator.observe_trace(trace)
+    return estimator
 
 
 def fig6_fig7_fig8_probability(
@@ -249,31 +277,43 @@ def fig6_fig7_fig8_probability(
     thresholds=DEFAULT_THRESHOLDS,
     variants=PROB_VARIANTS,
     window: float = 300.0,
+    engine: str = "fast",
 ) -> list[ProbabilityPoint]:
     """Figures 6, 7, 8: recall/precision vs piggyback size across
     thresholds, for the base, effectiveness-thinned, and combined variants.
 
-    One estimator pass is shared by all thresholds.
+    One estimator pass is shared by all thresholds, the base volumes for
+    all thresholds are materialized from one implication enumeration, and
+    every (threshold, variant) cell is scored in one replay pass.
     """
-    estimator = PairwiseEstimator(PairwiseConfig(window=window))
-    estimator.observe_trace(trace)
-    points = []
+    estimator = _estimator_for(trace, window, engine)
+    bases = build_probability_volumes_multi(estimator, thresholds)
+    cells = []
+    entries = []
+    config = ReplayConfig(
+        prediction_window=window, history_window=7200.0, max_elements=200
+    )
     for threshold in thresholds:
-        built = prob_variants(trace, threshold, estimator, window=window, variants=variants)
+        built = prob_variants(
+            trace, threshold, estimator, window=window, variants=variants,
+            base=bases[threshold],
+        )
         for variant, volumes in built.items():
-            metrics = _replay_probability(trace, volumes, window)
-            points.append(
-                ProbabilityPoint(
-                    variant=variant,
-                    probability_threshold=threshold,
-                    mean_piggyback_size=metrics.mean_piggyback_size,
-                    fraction_predicted=metrics.fraction_predicted,
-                    true_prediction_fraction=metrics.true_prediction_fraction,
-                    update_fraction=metrics.update_fraction,
-                    implication_count=volumes.implication_count(),
-                )
-            )
-    return points
+            cells.append((variant, threshold, volumes))
+            entries.append((volumes, config))
+    results = replay_many(trace, entries, engine=engine)
+    return [
+        ProbabilityPoint(
+            variant=variant,
+            probability_threshold=threshold,
+            mean_piggyback_size=metrics.mean_piggyback_size,
+            fraction_predicted=metrics.fraction_predicted,
+            true_prediction_fraction=metrics.true_prediction_fraction,
+            update_fraction=metrics.update_fraction,
+            implication_count=volumes.implication_count(),
+        )
+        for (variant, threshold, volumes), metrics in zip(cells, results)
+    ]
 
 
 def fig5a_fraction_vs_threshold(
@@ -283,10 +323,11 @@ def fig5a_fraction_vs_threshold(
     return fig6_fig7_fig8_probability(trace, thresholds=thresholds, window=window)
 
 
-def fig5b_implication_cdf(trace: Trace, window: float = 300.0) -> list[float]:
+def fig5b_implication_cdf(
+    trace: Trace, window: float = 300.0, engine: str = "fast"
+) -> list[float]:
     """Figure 5(b): the distribution of implication probabilities."""
-    estimator = PairwiseEstimator(PairwiseConfig(window=window))
-    estimator.observe_trace(trace)
+    estimator = _estimator_for(trace, window, engine)
     return sorted(imp.probability for imp in estimator.implications(0.0))
 
 
@@ -321,14 +362,16 @@ def table1_update_fraction(
     effectiveness_threshold: float = 0.2,
     window: float = 300.0,
     history_window: float = 7200.0,
+    engine: str = "fast",
 ) -> Table1Row:
     """Table 1: update fractions for thinned probability volumes."""
-    estimator = PairwiseEstimator(PairwiseConfig(window=window))
-    estimator.observe_trace(trace)
+    estimator = _estimator_for(trace, window, engine)
     base = build_probability_volumes(estimator, probability_threshold)
     effectiveness = measure_effectiveness(trace, base, window=window)
     volumes = thin_by_effectiveness(base, effectiveness, effectiveness_threshold)
-    metrics = _replay_probability(trace, volumes, window, history_window=history_window)
+    metrics = _replay_probability(
+        trace, volumes, window, history_window=history_window, engine=engine
+    )
     return Table1Row(
         log=log_name,
         prev_occurrence_2hr=metrics.prev_occurrence_history_fraction,
@@ -372,18 +415,17 @@ def sec23_overhead(
     probability_threshold: float = 0.2,
     window: float = 300.0,
     mss: int = 1460,
+    engine: str = "fast",
 ) -> OverheadSummary:
     """Measure piggyback sizes in bytes against the paper's 66 B/element
     budget and the claim that messages usually avoid extra packets."""
-    estimator = PairwiseEstimator(PairwiseConfig(window=window))
-    estimator.observe_trace(trace)
+    estimator = _estimator_for(trace, window, engine)
     volumes = build_probability_volumes(estimator, probability_threshold)
-    store = ProbabilityVolumeStore(volumes)
-    metrics = replay(
+    metrics = replay_many(
         trace,
-        store,
-        ReplayConfig(prediction_window=window, max_elements=200),
-    )
+        [(volumes, ReplayConfig(prediction_window=window, max_elements=200))],
+        engine=engine,
+    )[0]
 
     sizes = [r.size for r in trace if r.size > 0]
     mean_response = sum(sizes) / len(sizes) if sizes else 0.0
@@ -433,6 +475,7 @@ def sec4_prefetch_tradeoffs(
     thresholds=DEFAULT_THRESHOLDS,
     effectiveness_threshold: float = 0.2,
     window: float = 300.0,
+    engine: str = "fast",
 ) -> list[PrefetchTradeoffPoint]:
     """Recall-vs-futile-fetch tradeoff of prefetching from piggybacks.
 
@@ -440,14 +483,20 @@ def sec4_prefetch_tradeoffs(
     are opened predictions that never come true; the bandwidth increase
     estimates futile fetches relative to demand fetches.
     """
-    estimator = PairwiseEstimator(PairwiseConfig(window=window))
-    estimator.observe_trace(trace)
-    points = []
+    estimator = _estimator_for(trace, window, engine)
+    bases = build_probability_volumes_multi(estimator, thresholds)
+    config = ReplayConfig(
+        prediction_window=window, history_window=7200.0, max_elements=200
+    )
+    entries = []
     for threshold in thresholds:
-        base = build_probability_volumes(estimator, threshold)
+        base = bases[threshold]
         effectiveness = measure_effectiveness(trace, base, window=window)
         volumes = thin_by_effectiveness(base, effectiveness, effectiveness_threshold)
-        metrics = _replay_probability(trace, volumes, window)
+        entries.append((volumes, config))
+    results = replay_many(trace, entries, engine=engine)
+    points = []
+    for threshold, metrics in zip(thresholds, results):
         futile = 1.0 - metrics.true_prediction_fraction
         futile_predictions = metrics.predictions_opened - metrics.predictions_true
         bandwidth_increase = (

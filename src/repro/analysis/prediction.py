@@ -19,7 +19,7 @@ from ..volumes.base import VolumeStore
 from .metrics import ReplayMetrics
 from .windows import SourceState
 
-__all__ = ["ReplayConfig", "replay"]
+__all__ = ["ReplayConfig", "replay", "replay_many"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -173,3 +173,47 @@ def replay(trace: Trace, store: VolumeStore, config: ReplayConfig = ReplayConfig
                 else:
                     state.pending.pop(element.url, None)
     return metrics
+
+
+def replay_many(trace, entries, engine: str = "fast") -> list[ReplayMetrics]:
+    """Score several (store, config) pairs against one trace.
+
+    This is the multi-config mode of :func:`replay`: with the default
+    ``engine="fast"`` the interned engine makes a *single* pass over the
+    trace, sharing trace decoding and volume maintenance across all
+    configurations (entries that pass the same store/config object share
+    one maintained store).  Results are bit-identical to running
+    :func:`replay` serially per entry, which is exactly what
+    ``engine="reference"`` does.
+
+    Each entry is ``(store_or_config, ReplayConfig)`` where the store may
+    be a :class:`~repro.volumes.base.VolumeStore`, an interned store, or a
+    store config accepted by
+    :func:`repro.volumes.interned.build_interned_store`.  Store kinds
+    without an interned twin raise ``UnsupportedStoreError`` under the fast
+    engine — use ``engine="reference"`` for those.
+    """
+    if engine == "fast":
+        from .fastreplay import replay_interned_multi
+
+        return replay_interned_multi(trace, entries)
+    if engine != "reference":
+        raise ValueError(f"unknown engine {engine!r}")
+    from ..volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+    from ..volumes.probability import ProbabilityVolumes, ProbabilityVolumeStore
+
+    results = []
+    for store_like, config in entries:
+        if isinstance(store_like, DirectoryVolumeConfig):
+            store: VolumeStore = DirectoryVolumeStore(store_like)
+        elif isinstance(store_like, ProbabilityVolumes):
+            store = ProbabilityVolumeStore(store_like)
+        elif isinstance(store_like, VolumeStore):
+            store = store_like
+        else:
+            raise TypeError(
+                f"reference engine needs a VolumeStore or store config, "
+                f"got {type(store_like).__name__}"
+            )
+        results.append(replay(trace, store, config))
+    return results

@@ -344,6 +344,55 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if report.corrupted == 0 else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweeps import directory_sweep, threshold_sweep
+
+    trace = _load_trace(args)
+    if args.kind == "thresholds":
+        results = threshold_sweep(
+            trace,
+            args.thresholds,
+            engine=args.engine,
+            processes=args.processes,
+        )
+    else:
+        results = directory_sweep(
+            trace,
+            levels=args.levels,
+            access_filters=args.filters,
+            engine=args.engine,
+            processes=args.processes,
+        )
+    print(f"{'point':<28} {'avg-piggyback':>13} {'predicted':>9} {'true-pred':>9}")
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        rows.append(
+            {
+                "label": result.label,
+                "params": dict(result.params),
+                "mean_piggyback_size": metrics.mean_piggyback_size,
+                "fraction_predicted": metrics.fraction_predicted,
+                "true_prediction_fraction": metrics.true_prediction_fraction,
+                "piggyback_messages": metrics.piggyback_messages,
+                "piggyback_bytes": metrics.piggyback_bytes,
+            }
+        )
+        print(
+            f"{result.label:<28} {metrics.mean_piggyback_size:>13.2f}"
+            f" {metrics.fraction_predicted:>9.1%}"
+            f" {metrics.true_prediction_fraction:>9.1%}"
+        )
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump({"kind": args.kind, "engine": args.engine, "points": rows},
+                      handle, indent=2)
+        print(f"wrote {len(rows)} sweep points to {args.out}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     presets = args.presets or ["aiusa", "apache", "sun"]
     print("log     <2hr    <5min   updated  avg-piggyback")
@@ -395,6 +444,26 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=help_text)
         add_common(command)
         command.set_defaults(handler=handler)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative config sweep on the interned replay engine")
+    add_common(sweep)
+    sweep.add_argument("--kind", choices=("thresholds", "directory"),
+                       default="thresholds",
+                       help="probability-threshold or directory-volume sweep")
+    sweep.add_argument("--thresholds", type=float, nargs="*",
+                       default=[0.1, 0.2, 0.25, 0.3, 0.5],
+                       help="probability thresholds (kind=thresholds)")
+    sweep.add_argument("--levels", type=int, nargs="*", default=[0, 1, 2],
+                       help="directory levels (kind=directory)")
+    sweep.add_argument("--filters", type=int, nargs="*", default=[1, 10, 100],
+                       help="access filters (kind=directory)")
+    sweep.add_argument("--engine", choices=("fast", "reference"), default="fast")
+    sweep.add_argument("--processes", type=int, default=None,
+                       help="worker processes (default: one per CPU)")
+    sweep.add_argument("--out", default=None, help="write sweep points as JSON")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     table1 = sub.add_parser("table1", help="update fractions (Table 1)")
     table1.add_argument("--presets", nargs="*", default=None)

@@ -1,6 +1,7 @@
 """Trace substrate: log records, parsers, cleaning, and characterization."""
 
 from .records import LogRecord, Trace
+from .intern import CompiledTrace, SymbolTable, compile_trace
 from .common_log import (
     LogParseError,
     format_record,
@@ -22,6 +23,9 @@ from .stats import (
 __all__ = [
     "LogRecord",
     "Trace",
+    "SymbolTable",
+    "CompiledTrace",
+    "compile_trace",
     "LogParseError",
     "parse_line",
     "parse_lines",

@@ -1,0 +1,241 @@
+"""Interned, columnar trace representation for the high-throughput replay core.
+
+The replay and estimation hot loops spend most of their time hashing URL
+and source strings, re-parsing directory prefixes, and re-deriving content
+types.  A :class:`CompiledTrace` does all of that exactly once: URLs and
+sources are mapped to dense integer ids through :class:`SymbolTable`, the
+records become parallel arrays of primitives, and per-URL derived columns
+(wire bytes, content-type ids, directory-prefix ids per level, total
+access counts) are computed on demand and then reused by every sweep point
+that replays the same trace.
+
+Compiling is cheap (one pass) and memoized per :class:`~repro.traces.records.Trace`
+instance, so callers can freely call :func:`compile_trace` wherever a fast
+path needs one.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from collections.abc import Iterable
+from weakref import WeakKeyDictionary
+
+from .. import urls as url_utils
+from ..core.piggyback import ELEMENT_FIXED_BYTES
+from .records import Trace
+
+__all__ = ["SymbolTable", "CompiledTrace", "compile_trace"]
+
+_NAN = float("nan")
+
+
+class SymbolTable:
+    """Bidirectional mapping between strings and dense integer ids.
+
+    Ids are allocated in first-seen order starting at 0, so tables built
+    from the same stream are identical and id arrays can index plain lists.
+    """
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self, strings: Iterable[str] = ()):
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+        for string in strings:
+            self.intern(string)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, string: str) -> bool:
+        return string in self._ids
+
+    def intern(self, string: str) -> int:
+        """Return the id for *string*, allocating the next one if new."""
+        existing = self._ids.get(string)
+        if existing is not None:
+            return existing
+        next_id = len(self._strings)
+        self._ids[string] = next_id
+        self._strings.append(string)
+        return next_id
+
+    def id_of(self, string: str) -> int | None:
+        """The id for *string*, or None if it was never interned."""
+        return self._ids.get(string)
+
+    def string(self, symbol_id: int) -> str:
+        """The string for *symbol_id* (IndexError if unallocated)."""
+        return self._strings[symbol_id]
+
+    @property
+    def strings(self) -> list[str]:
+        """All interned strings, indexed by id.  Do not mutate."""
+        return self._strings
+
+
+class CompiledTrace:
+    """A trace compiled to parallel primitive arrays plus symbol tables.
+
+    Record columns (all indexed by record position):
+
+    * ``timestamps`` — float seconds
+    * ``source_ids`` / ``url_ids`` — dense ids into :attr:`sources` / :attr:`urls`
+    * ``sizes`` — response bytes
+    * ``mtimes`` — Last-Modified seconds, NaN when the record had none
+
+    Per-URL derived columns (indexed by url id) are built lazily and
+    cached: :meth:`wire_bytes`, :meth:`content_type_ids`,
+    :meth:`directory_prefix_ids`, :meth:`url_counts`.
+    """
+
+    __slots__ = (
+        "urls", "sources", "timestamps", "source_ids", "url_ids",
+        "sizes", "mtimes", "content_types",
+        "_wire_bytes", "_content_type_ids", "_url_counts", "_prefix_columns",
+        "__weakref__",
+    )
+
+    def __init__(self, trace: Iterable):
+        self.urls = SymbolTable()
+        self.sources = SymbolTable()
+        self.content_types = SymbolTable()
+        self.timestamps = array("d")
+        self.source_ids = array("l")
+        self.url_ids = array("l")
+        self.sizes = array("q")
+        self.mtimes = array("d")
+        intern_url = self.urls.intern
+        intern_source = self.sources.intern
+        for record in trace:
+            self.timestamps.append(record.timestamp)
+            self.source_ids.append(intern_source(record.source))
+            self.url_ids.append(intern_url(record.url))
+            self.sizes.append(record.size)
+            mtime = record.last_modified
+            self.mtimes.append(_NAN if mtime is None else mtime)
+        self._wire_bytes: list[int] | None = None
+        self._content_type_ids: list[int] | None = None
+        self._url_counts: list[int] | None = None
+        # level -> (SymbolTable of prefixes, list of prefix ids per url id)
+        self._prefix_columns: dict[int, tuple[SymbolTable, list[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.url_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTrace({len(self)} records, {len(self.urls)} urls, "
+            f"{len(self.sources)} sources)"
+        )
+
+    # -- per-URL derived columns -------------------------------------------
+
+    def wire_bytes(self) -> list[int]:
+        """Piggyback-element wire bytes per url id (paper's byte model)."""
+        if self._wire_bytes is None:
+            self._wire_bytes = [
+                _element_wire_bytes(url) for url in self.urls.strings
+            ]
+        return self._wire_bytes
+
+    def content_type_ids(self) -> list[int]:
+        """Coarse content-type id per url id (see :func:`repro.urls.content_type_of`)."""
+        if self._content_type_ids is None:
+            intern = self.content_types.intern
+            self._content_type_ids = [
+                intern(url_utils.content_type_of(url)) for url in self.urls.strings
+            ]
+        return self._content_type_ids
+
+    def content_type_id_set(self, names: Iterable[str]) -> frozenset[int]:
+        """Intern a set of content-type names to ids (for excluded-type sets)."""
+        self.content_type_ids()  # ensure the table is populated first
+        return frozenset(self.content_types.intern(name) for name in names)
+
+    def directory_prefix_ids(self, level: int) -> list[int]:
+        """Level-*level* directory-prefix id per url id.
+
+        Prefixes get their own dense id space per level (one
+        :class:`SymbolTable` each), so two URLs share a volume exactly when
+        their prefix ids are equal — no string comparison in the hot loop.
+        """
+        column = self._prefix_columns.get(level)
+        if column is None:
+            table = SymbolTable()
+            intern = table.intern
+            ids = [
+                intern(url_utils.directory_prefix(url, level))
+                for url in self.urls.strings
+            ]
+            column = (table, ids)
+            self._prefix_columns[level] = column
+        return column[1]
+
+    def directory_prefix_table(self, level: int) -> SymbolTable:
+        """The prefix symbol table backing :meth:`directory_prefix_ids`."""
+        self.directory_prefix_ids(level)
+        return self._prefix_columns[level][0]
+
+    def url_counts(self) -> list[int]:
+        """Total access count per url id over the whole trace."""
+        if self._url_counts is None:
+            counts = [0] * len(self.urls)
+            for url_id in self.url_ids:
+                counts[url_id] += 1
+            self._url_counts = counts
+        return self._url_counts
+
+    def ensure_url(self, url: str) -> int:
+        """Intern a URL that may not appear in the trace, extending columns.
+
+        Volume artifacts occasionally reference resources outside the
+        replayed window (thinned or combined volumes); derived columns
+        grow in step so id-indexed lookups stay valid.
+        """
+        known = len(self.urls)
+        url_id = self.urls.intern(url)
+        if url_id >= known:  # a genuinely new URL: extend built columns
+            if self._wire_bytes is not None:
+                self._wire_bytes.append(_element_wire_bytes(url))
+            if self._content_type_ids is not None:
+                self._content_type_ids.append(
+                    self.content_types.intern(url_utils.content_type_of(url))
+                )
+            if self._url_counts is not None:
+                self._url_counts.append(0)
+            for level, (table, ids) in self._prefix_columns.items():
+                ids.append(table.intern(url_utils.directory_prefix(url, level)))
+        return url_id
+
+    def has_mtime(self, index: int) -> bool:
+        """True when record *index* carried a Last-Modified value."""
+        return not math.isnan(self.mtimes[index])
+
+
+def _element_wire_bytes(url: str) -> int:
+    """Wire bytes of one piggyback element for *url* (host part omitted)."""
+    host, slash, path = url.partition("/")
+    length = len(path) if slash else len(host)
+    return length + ELEMENT_FIXED_BYTES
+
+
+_COMPILE_CACHE: "WeakKeyDictionary[Trace, CompiledTrace]" = WeakKeyDictionary()
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Compile *trace* once; repeated calls return the cached compilation."""
+    if isinstance(trace, CompiledTrace):
+        return trace
+    try:
+        compiled = _COMPILE_CACHE.get(trace)
+    except TypeError:  # unhashable/unweakrefable inputs: compile fresh
+        return CompiledTrace(trace)
+    if compiled is None:
+        compiled = CompiledTrace(trace)
+        try:
+            _COMPILE_CACHE[trace] = compiled
+        except TypeError:
+            pass
+    return compiled

@@ -9,6 +9,7 @@ what was requested, and what came back.
 from __future__ import annotations
 
 import bisect
+from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 
@@ -44,23 +45,47 @@ class LogRecord:
         return self.status == 304
 
 
+def _is_sorted(records: list[LogRecord]) -> bool:
+    """True if *records* is already in ``(timestamp, source, url)`` order."""
+    previous = None
+    for record in records:
+        if previous is not None and record < previous:
+            return False
+        previous = record
+    return True
+
+
 class Trace(Sequence[LogRecord]):
     """An immutable, time-sorted sequence of :class:`LogRecord` objects.
 
-    The constructor sorts its input once; all accessors then rely on the
-    sorted order (e.g. :meth:`between` uses binary search on timestamps).
+    The constructor sorts its input once — skipping the sort entirely when
+    the input already arrives in time order, which is the common case for
+    slices of existing traces and generated logs replayed in sweep loops.
+    All accessors then rely on the sorted order (e.g. :meth:`between` uses
+    binary search on timestamps).
     """
 
     def __init__(self, records: Iterable[LogRecord]):
-        self._records: list[LogRecord] = sorted(records)
-        self._times: list[float] = [r.timestamp for r in self._records]
+        materialized = list(records)
+        if not _is_sorted(materialized):
+            materialized.sort()
+        self._records: list[LogRecord] = materialized
+        self._times: list[float] = [r.timestamp for r in materialized]
+
+    @classmethod
+    def _presorted(cls, records: list[LogRecord], times: list[float]) -> "Trace":
+        """Internal: wrap an already-sorted record list without re-checking."""
+        trace = cls.__new__(cls)
+        trace._records = records
+        trace._times = times
+        return trace
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __getitem__(self, index):  # type: ignore[override]
         if isinstance(index, slice):
-            return Trace(self._records[index])
+            return Trace._presorted(self._records[index], self._times[index])
         return self._records[index]
 
     def __iter__(self) -> Iterator[LogRecord]:
@@ -102,11 +127,12 @@ class Trace(Sequence[LogRecord]):
         """Records with ``start <= timestamp < end`` (binary-searched)."""
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_left(self._times, end)
-        return Trace(self._records[lo:hi])
+        return Trace._presorted(self._records[lo:hi], self._times[lo:hi])
 
     def filter(self, predicate) -> "Trace":
         """A new trace containing records for which *predicate* is true."""
-        return Trace(r for r in self._records if predicate(r))
+        kept = [r for r in self._records if predicate(r)]
+        return Trace._presorted(kept, [r.timestamp for r in kept])
 
     def map_urls(self, mapper) -> "Trace":
         """A new trace with every record's URL passed through *mapper*."""
@@ -121,7 +147,4 @@ class Trace(Sequence[LogRecord]):
 
     def url_counts(self) -> dict[str, int]:
         """Access count per distinct URL."""
-        counts: dict[str, int] = {}
-        for record in self._records:
-            counts[record.url] = counts.get(record.url, 0) + 1
-        return counts
+        return Counter(r.url for r in self._records)

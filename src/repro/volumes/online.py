@@ -12,6 +12,7 @@ recently built artifact, never a half-updated structure.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from .. import urls
@@ -59,7 +60,7 @@ class OnlineProbabilityVolumeStore(VolumeStore):
         self._allocator = VolumeIdAllocator()
         self._sizes: dict[str, int] = {}
         self._mtimes: dict[str, float] = {}
-        self._access_counts: dict[str, int] = {}
+        self._access_counts: Counter[str] = Counter()
 
     def observe(self, record: LogRecord) -> None:
         self.estimator.observe(record)
@@ -68,7 +69,7 @@ class OnlineProbabilityVolumeStore(VolumeStore):
             self._sizes[record.url] = record.size
         if record.last_modified is not None:
             self._mtimes[record.url] = record.last_modified
-        self._access_counts[record.url] = self._access_counts.get(record.url, 0) + 1
+        self._access_counts[record.url] += 1
 
         if self._next_rebuild is None:
             self._next_rebuild = record.timestamp + self.config.rebuild_interval

@@ -16,22 +16,26 @@ estimates while rare coincidences usually never allocate state.
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import Counter, deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from .. import urls
 from ..core.filters import CandidateElement
-from ..traces.records import LogRecord
+from ..traces.intern import CompiledTrace, compile_trace
+from ..traces.records import LogRecord, Trace
 from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
 
 __all__ = [
     "PairwiseConfig",
     "PairwiseEstimator",
+    "InternedPairwiseEstimator",
+    "estimate_pairwise",
     "Implication",
     "ProbabilityVolumes",
     "ProbabilityVolumeStore",
     "build_probability_volumes",
+    "build_probability_volumes_multi",
 ]
 
 
@@ -96,7 +100,7 @@ class PairwiseEstimator:
     def __init__(self, config: PairwiseConfig = PairwiseConfig()):
         self.config = config
         self._windows: dict[str, deque[_Occurrence]] = {}
-        self._occurrences: dict[str, int] = {}
+        self._occurrences: Counter[str] = Counter()
         self._pair_counts: dict[tuple[str, str], int] = {}
         self._rng = random.Random(config.seed)
         self._skipped_pairs = 0
@@ -159,7 +163,7 @@ class PairwiseEstimator:
                 continue
             occurrence.credited.add(record.url)
             self._credit(occurrence.url, record.url)
-        self._occurrences[record.url] = self._occurrences.get(record.url, 0) + 1
+        self._occurrences[record.url] += 1
         window.append(_Occurrence(record.timestamp, record.url))
 
     def observe_trace(self, records: Iterable[LogRecord]) -> None:
@@ -191,6 +195,155 @@ class PairwiseEstimator:
                 results.append(Implication(antecedent, consequent, probability))
         results.sort(key=lambda imp: (imp.antecedent, -imp.probability, imp.consequent))
         return results
+
+
+class InternedPairwiseEstimator:
+    """Integer-id rewrite of :class:`PairwiseEstimator` over a compiled trace.
+
+    Produces *bit-identical* estimates: the iteration order, credit
+    decisions, and sampling RNG draws match the string-based estimator
+    exactly (same seed, same event sequence), so :meth:`implications`
+    returns the same :class:`Implication` list.  Per-event work drops to
+    integer hashing — pair counters are keyed by a single packed int and
+    directory agreement becomes an id comparison against a precomputed
+    prefix column instead of two URL parses.
+    """
+
+    _KEY_SHIFT = 32  # url-id spaces are far below 2^32
+
+    def __init__(self, compiled: CompiledTrace, config: PairwiseConfig = PairwiseConfig()):
+        self.compiled = compiled
+        self.config = config
+        self._windows: dict[int, deque[list]] = {}
+        self._occurrences: list[int] = [0] * len(compiled.urls)
+        self._pair_counts: dict[int, int] = {}
+        self._rng = random.Random(config.seed)
+        self._skipped_pairs = 0
+        self._position = 0
+        self._prefix_ids: list[int] | None = (
+            compiled.directory_prefix_ids(config.same_directory_level)
+            if config.same_directory_level is not None
+            else None
+        )
+
+    @property
+    def counter_count(self) -> int:
+        return len(self._pair_counts)
+
+    @property
+    def skipped_pair_events(self) -> int:
+        return self._skipped_pairs
+
+    def occurrence_count(self, url: str) -> int:
+        url_id = self.compiled.urls.id_of(url)
+        if url_id is None or url_id >= len(self._occurrences):
+            return 0
+        return self._occurrences[url_id]
+
+    def run(self, upto: int | None = None) -> "InternedPairwiseEstimator":
+        """Consume trace records up to index *upto* (default: all); idempotent."""
+        compiled = self.compiled
+        end = len(compiled) if upto is None else min(upto, len(compiled))
+        if self._position >= end:
+            return self
+        timestamps = compiled.timestamps
+        source_ids = compiled.source_ids
+        url_ids = compiled.url_ids
+        url_strings = compiled.urls.strings
+        windows = self._windows
+        occurrences = self._occurrences
+        pair_counts = self._pair_counts
+        prefix_ids = self._prefix_ids
+        config = self.config
+        horizon = config.window
+        sampling = config.sample_counters
+        admitted = config.pair_admitted
+        shift = self._KEY_SHIFT
+        rng_random = self._rng.random
+        for index in range(self._position, end):
+            url = url_ids[index]
+            timestamp = timestamps[index]
+            window = windows.get(source_ids[index])
+            if window is None:
+                window = deque()
+                windows[source_ids[index]] = window
+            cutoff = timestamp - horizon
+            while window and window[0][0] < cutoff:
+                window.popleft()
+            for occurrence in window:
+                antecedent = occurrence[1]
+                if antecedent == url:
+                    continue
+                credited = occurrence[2]
+                if url in credited:
+                    continue
+                if prefix_ids is not None and prefix_ids[antecedent] != prefix_ids[url]:
+                    continue
+                if admitted is not None and not admitted(
+                    url_strings[antecedent], url_strings[url]
+                ):
+                    continue
+                credited.add(url)
+                key = (antecedent << shift) | url
+                count = pair_counts.get(key)
+                if count is not None:
+                    pair_counts[key] = count + 1
+                    continue
+                if sampling:
+                    frequency = max(occurrences[antecedent], 1)
+                    probability = min(
+                        1.0,
+                        config.sampling_constant
+                        / (frequency * config.sampling_threshold),
+                    )
+                    if rng_random() >= probability:
+                        self._skipped_pairs += 1
+                        continue
+                pair_counts[key] = 1
+            occurrences[url] += 1
+            window.append([timestamp, url, set()])
+        self._position = end
+        return self
+
+    def probability(self, antecedent: str, consequent: str) -> float:
+        ids = self.compiled.urls
+        a_id = ids.id_of(antecedent)
+        c_id = ids.id_of(consequent)
+        if a_id is None or c_id is None or a_id >= len(self._occurrences):
+            return 0.0
+        occurrences = self._occurrences[a_id]
+        if occurrences == 0:
+            return 0.0
+        return self._pair_counts.get((a_id << self._KEY_SHIFT) | c_id, 0) / occurrences
+
+    def implications(self, threshold: float = 0.0) -> list[Implication]:
+        """Same contract (and exact results) as the string estimator."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        shift = self._KEY_SHIFT
+        mask = (1 << shift) - 1
+        strings = self.compiled.urls.strings
+        occurrences = self._occurrences
+        results = []
+        for key, count in self._pair_counts.items():
+            antecedent = key >> shift
+            occurred = occurrences[antecedent]
+            if occurred == 0:
+                continue
+            probability = count / occurred
+            if probability >= threshold:
+                results.append(
+                    Implication(strings[antecedent], strings[key & mask], probability)
+                )
+        results.sort(key=lambda imp: (imp.antecedent, -imp.probability, imp.consequent))
+        return results
+
+
+def estimate_pairwise(
+    trace: Trace | CompiledTrace, config: PairwiseConfig = PairwiseConfig()
+) -> InternedPairwiseEstimator:
+    """Compile *trace* (memoized) and run the interned estimator over it."""
+    return InternedPairwiseEstimator(compile_trace(trace), config).run()
 
 
 class ProbabilityVolumes:
@@ -258,15 +411,22 @@ class ProbabilityVolumes:
 
     def membership_counts(self) -> dict[str, int]:
         """How many distinct volumes each resource appears in."""
-        counts: dict[str, int] = {}
+        counts: Counter[str] = Counter()
         for pairs in self._members.values():
-            for consequent, _ in pairs:
-                counts[consequent] = counts.get(consequent, 0) + 1
+            counts.update(consequent for consequent, _ in pairs)
         return counts
+
+    def containing_volumes(self) -> dict[str, tuple[str, ...]]:
+        """Reverse index: resource -> antecedents whose volume contains it."""
+        containing: dict[str, list[str]] = {}
+        for url, pairs in self._members.items():
+            for consequent, _ in pairs:
+                containing.setdefault(consequent, []).append(url)
+        return {url: tuple(owners) for url, owners in containing.items()}
 
 
 def build_probability_volumes(
-    estimator: PairwiseEstimator, threshold: float
+    estimator: PairwiseEstimator | InternedPairwiseEstimator, threshold: float
 ) -> ProbabilityVolumes:
     """Materialize volumes from an estimator at probability threshold."""
     members: dict[str, list[tuple[str, float]]] = {}
@@ -275,6 +435,34 @@ def build_probability_volumes(
             (implication.consequent, implication.probability)
         )
     return ProbabilityVolumes(members)
+
+
+def build_probability_volumes_multi(
+    estimator: PairwiseEstimator | InternedPairwiseEstimator,
+    thresholds: Iterable[float],
+) -> dict[float, ProbabilityVolumes]:
+    """Materialize volumes at *all* thresholds from one counter enumeration.
+
+    The single-threshold builder re-walks every pair counter per sweep
+    point; here the counters are enumerated once at the lowest requested
+    threshold and each volume set is a filter of that list, which makes an
+    n-threshold sweep cost one enumeration instead of n.  Results are
+    identical to calling :func:`build_probability_volumes` per threshold.
+    """
+    wanted = sorted(set(thresholds))
+    if not wanted:
+        return {}
+    implications = estimator.implications(wanted[0])
+    built: dict[float, ProbabilityVolumes] = {}
+    for threshold in wanted:
+        members: dict[str, list[tuple[str, float]]] = {}
+        for implication in implications:
+            if implication.probability >= threshold:
+                members.setdefault(implication.antecedent, []).append(
+                    (implication.consequent, implication.probability)
+                )
+        built[threshold] = ProbabilityVolumes(members)
+    return built
 
 
 class ProbabilityVolumeStore(VolumeStore):
@@ -290,33 +478,56 @@ class ProbabilityVolumeStore(VolumeStore):
         self._allocator = VolumeIdAllocator()
         self._sizes: dict[str, int] = {}
         self._mtimes: dict[str, float] = {}
-        self._access_counts: dict[str, int] = {}
+        self._access_counts: Counter[str] = Counter()
+        # Per-antecedent cached candidate tuples.  A candidate embeds the
+        # consequent's size/mtime/access-count, so a cached tuple stays
+        # valid until ``observe`` changes one of its members — the reverse
+        # index (built lazily from the frozen volumes) finds exactly the
+        # antecedents to invalidate instead of flushing everything.
+        self._candidate_cache: dict[str, tuple[CandidateElement, ...]] = {}
+        self._containing: dict[str, tuple[str, ...]] | None = None
 
     def volume_count(self) -> int:
         return len(self.volumes)
 
+    def _invalidate_volumes_of(self, url: str) -> None:
+        if not self._candidate_cache:
+            return
+        if self._containing is None:
+            self._containing = self.volumes.containing_volumes()
+        cache = self._candidate_cache
+        for antecedent in self._containing.get(url, ()):
+            cache.pop(antecedent, None)
+
     def observe(self, record: LogRecord) -> None:
+        url = record.url
         if record.size:
-            self._sizes[record.url] = record.size
+            self._sizes[url] = record.size
         if record.last_modified is not None:
-            self._mtimes[record.url] = record.last_modified
-        self._access_counts[record.url] = self._access_counts.get(record.url, 0) + 1
+            self._mtimes[url] = record.last_modified
+        self._access_counts[url] += 1
+        # The access count changed, so cached tuples embedding this
+        # resource are stale; volumes not containing it stay cached.
+        self._invalidate_volumes_of(url)
 
     def lookup(self, url: str) -> VolumeLookup | None:
-        members = self.volumes.members_of(url)
-        if not members:
-            return None
-        candidates = tuple(
-            CandidateElement(
-                url=consequent,
-                last_modified=self._mtimes.get(consequent, 0.0),
-                size=self._sizes.get(consequent, 0),
-                access_count=self._access_counts.get(consequent, 0),
-                probability=probability,
-                content_type=urls.content_type_of(consequent),
+        candidates = self._candidate_cache.get(url)
+        if candidates is None:
+            members = self.volumes.members_of(url)
+            if not members:
+                return None
+            candidates = tuple(
+                CandidateElement(
+                    url=consequent,
+                    last_modified=self._mtimes.get(consequent, 0.0),
+                    size=self._sizes.get(consequent, 0),
+                    access_count=self._access_counts.get(consequent, 0),
+                    probability=probability,
+                    content_type=urls.content_type_of(consequent),
+                )
+                for consequent, probability in members
             )
-            for consequent, probability in members
-        )
+            self._candidate_cache[url] = candidates
         return VolumeLookup(
             volume_id=self._allocator.id_for(url), candidates=candidates
         )

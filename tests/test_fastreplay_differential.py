@@ -1,0 +1,196 @@
+"""Differential tests: the interned fast path must be bit-identical.
+
+Every configuration here runs both the reference engine
+(:func:`repro.analysis.prediction.replay` with string-keyed stores) and
+the interned engine (:func:`repro.analysis.fastreplay.replay_interned_multi`)
+on the same workloads and asserts *exact* equality of the resulting
+:class:`ReplayMetrics` — including the random-enable RNG streams, RPV
+suppression, wire-byte accounting, and the multi-config single-pass mode.
+The estimator twin is held to the same standard on `Implication` sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fastreplay import replay_interned, replay_interned_multi
+from repro.analysis.prediction import ReplayConfig, replay, replay_many
+from repro.core.filters import ProxyFilter
+from repro.traces.intern import compile_trace
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.volumes.interned import UnsupportedStoreError, build_interned_store
+from repro.volumes.probability import (
+    PairwiseConfig,
+    PairwiseEstimator,
+    ProbabilityVolumeStore,
+    build_probability_volumes,
+    build_probability_volumes_multi,
+    estimate_pairwise,
+)
+
+# The config grid exercises every admission criterion the fast path
+# reimplements: element caps, access filters (precounted and online),
+# RPV pacing, random-enable pacing, warmup exclusion, size and
+# content-type filters.
+REPLAY_CONFIGS = [
+    ReplayConfig(),
+    ReplayConfig(max_elements=5),
+    ReplayConfig(max_elements=0),
+    ReplayConfig(access_filter=3),
+    ReplayConfig(access_filter=3, precount_accesses=False),
+    ReplayConfig(rpv_min_gap=30.0, max_elements=10),
+    ReplayConfig(enable_probability=0.5, seed=11),
+    ReplayConfig(measure_after=50_000.0),
+    ReplayConfig(base_filter=ProxyFilter(max_resource_size=4000)),
+    ReplayConfig(base_filter=ProxyFilter(excluded_content_types=frozenset({"image"}))),
+    ReplayConfig(
+        max_elements=8,
+        access_filter=2,
+        rpv_min_gap=60.0,
+        enable_probability=0.8,
+        seed=3,
+        base_filter=ProxyFilter(max_resource_size=6000,
+                                excluded_content_types=frozenset({"image"})),
+    ),
+]
+
+DIRECTORY_CONFIGS = [
+    DirectoryVolumeConfig(level=0),
+    DirectoryVolumeConfig(level=1),
+    DirectoryVolumeConfig(level=2),
+    DirectoryVolumeConfig(level=1, move_to_front=False),
+    DirectoryVolumeConfig(level=1, partition_by_type=True, max_volume_size=20),
+    DirectoryVolumeConfig(level=0, max_volume_size=30),
+]
+
+
+def _reference(trace, store_config, config):
+    if isinstance(store_config, DirectoryVolumeConfig):
+        store = DirectoryVolumeStore(store_config)
+    else:
+        store = ProbabilityVolumeStore(store_config)
+    return replay(trace, store, config)
+
+
+@pytest.fixture(scope="module")
+def server_trace(small_server_log):
+    trace, _ = small_server_log
+    return trace
+
+
+@pytest.fixture(scope="module")
+def volumes(server_trace):
+    estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+    estimator.observe_trace(server_trace)
+    return build_probability_volumes(estimator, 0.2)
+
+
+class TestDirectoryDifferential:
+    @pytest.mark.parametrize("store_config", DIRECTORY_CONFIGS,
+                             ids=[repr(c) for c in DIRECTORY_CONFIGS])
+    def test_store_variants(self, server_trace, store_config):
+        config = ReplayConfig(max_elements=20, access_filter=2)
+        assert replay_interned(server_trace, store_config, config) == _reference(
+            server_trace, store_config, config
+        )
+
+    @pytest.mark.parametrize("config", REPLAY_CONFIGS,
+                             ids=[str(i) for i in range(len(REPLAY_CONFIGS))])
+    def test_replay_configs(self, server_trace, config):
+        store_config = DirectoryVolumeConfig(level=1)
+        assert replay_interned(server_trace, store_config, config) == _reference(
+            server_trace, store_config, config
+        )
+
+
+class TestProbabilityDifferential:
+    @pytest.mark.parametrize("config", REPLAY_CONFIGS,
+                             ids=[str(i) for i in range(len(REPLAY_CONFIGS))])
+    def test_replay_configs(self, server_trace, volumes, config):
+        assert replay_interned(server_trace, volumes, config) == _reference(
+            server_trace, volumes, config
+        )
+
+    def test_burst_trace(self, burst_trace):
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(burst_trace)
+        volumes = build_probability_volumes(estimator, 0.5)
+        for config in (ReplayConfig(), ReplayConfig(max_elements=1)):
+            assert replay_interned(burst_trace, volumes, config) == _reference(
+                burst_trace, volumes, config
+            )
+
+
+class TestMultiConfigSinglePass:
+    def test_matches_serial_reference(self, server_trace, volumes):
+        directory = DirectoryVolumeConfig(level=1)
+        entries = [
+            (directory, ReplayConfig(max_elements=10, access_filter=2)),
+            (directory, ReplayConfig(rpv_min_gap=30.0)),
+            (volumes, ReplayConfig()),
+            (volumes, ReplayConfig(enable_probability=0.5, seed=7)),
+        ]
+        fast = replay_interned_multi(server_trace, entries)
+        reference = replay_many(server_trace, entries, engine="reference")
+        assert fast == reference
+
+    def test_shared_store_does_not_leak_between_slots(self, server_trace):
+        # Two slots sharing one store object must each equal their own
+        # standalone run: maintenance is shared, scoring state is not.
+        directory = DirectoryVolumeConfig(level=0)
+        config_a = ReplayConfig(max_elements=5)
+        config_b = ReplayConfig(max_elements=50, rpv_min_gap=60.0)
+        both = replay_interned_multi(server_trace, [(directory, config_a),
+                                                    (directory, config_b)])
+        assert both[0] == replay_interned(server_trace, directory, config_a)
+        assert both[1] == replay_interned(server_trace, directory, config_b)
+
+    def test_accepts_reference_store_instances(self, server_trace, volumes):
+        config = ReplayConfig(max_elements=10)
+        fast = replay_interned_multi(
+            server_trace,
+            [(DirectoryVolumeStore(DirectoryVolumeConfig(level=1)), config),
+             (ProbabilityVolumeStore(volumes), config)],
+        )
+        assert fast[0] == _reference(server_trace, DirectoryVolumeConfig(level=1), config)
+        assert fast[1] == _reference(server_trace, volumes, config)
+
+    def test_unsupported_store_raises(self, server_trace):
+        from repro.volumes.online import OnlineProbabilityVolumeStore
+
+        with pytest.raises(UnsupportedStoreError):
+            build_interned_store(
+                compile_trace(server_trace), OnlineProbabilityVolumeStore()
+            )
+
+
+class TestEstimatorDifferential:
+    def test_exact_implications_identical(self, server_trace):
+        reference = PairwiseEstimator(PairwiseConfig(window=300.0))
+        reference.observe_trace(server_trace)
+        interned = estimate_pairwise(server_trace, PairwiseConfig(window=300.0))
+        assert interned.implications(0.0) == reference.implications(0.0)
+        assert interned.counter_count == reference.counter_count
+
+    def test_sampled_implications_identical(self, server_trace):
+        config = PairwiseConfig(window=300.0, sample_counters=True,
+                                sampling_threshold=0.25, seed=13)
+        reference = PairwiseEstimator(config)
+        reference.observe_trace(server_trace)
+        interned = estimate_pairwise(server_trace, config)
+        assert interned.implications(0.1) == reference.implications(0.1)
+        assert interned.counter_count == reference.counter_count
+        assert interned.skipped_pair_events == reference.skipped_pair_events
+
+    def test_multi_threshold_build_matches_per_threshold(self, server_trace):
+        estimator = PairwiseEstimator(PairwiseConfig(window=300.0))
+        estimator.observe_trace(server_trace)
+        thresholds = (0.1, 0.25, 0.5)
+        multi = build_probability_volumes_multi(estimator, thresholds)
+        for threshold in thresholds:
+            single = build_probability_volumes(estimator, threshold)
+            assert multi[threshold].implication_count() == single.implication_count()
+            for antecedent in single.antecedents():
+                assert multi[threshold].members_of(antecedent) == single.members_of(
+                    antecedent
+                )
