@@ -46,7 +46,37 @@ from ..volumes.interned import (
 from .metrics import ReplayMetrics
 from .prediction import ReplayConfig
 
-__all__ = ["replay_interned", "replay_interned_multi"]
+__all__ = ["IdentityIndex", "replay_interned", "replay_interned_multi"]
+
+
+class IdentityIndex:
+    """Deterministic small-int keys for distinct objects (by identity).
+
+    Replaces ``id()``-keyed containers in replay code: indices are
+    assigned in first-seen order, so any path that iterates, sorts, or
+    hashes by key is reproducible across runs — CPython memory addresses
+    are not.  Lookup is a linear ``is`` scan, which is fine for the
+    handful of stores a multi-config replay shares.
+    """
+
+    __slots__ = ("objects",)
+
+    def __init__(self) -> None:
+        self.objects: list[object] = []
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __contains__(self, obj: object) -> bool:
+        return any(seen is obj for seen in self.objects)
+
+    def index_of(self, obj: object) -> int:
+        """The object's index, assigning the next one on first sight."""
+        for index, seen in enumerate(self.objects):
+            if seen is obj:
+                return index
+        self.objects.append(obj)
+        return len(self.objects) - 1
 
 
 class _FastSourceState:
@@ -138,6 +168,7 @@ def replay_interned_multi(
     """
     compiled = compile_trace(trace)
     slots: list[_Slot] = []
+    source_identity = IdentityIndex()
     interned_cache: dict[int, object] = {}
     for store_like, config in entries:
         if isinstance(store_like, (InternedDirectoryStore, InternedProbabilityStore)):
@@ -145,25 +176,22 @@ def replay_interned_multi(
         else:
             # Share one interned twin per distinct reference store/config
             # object so multi-config entries keep shared maintenance.
-            key = id(store_like)
+            key = source_identity.index_of(store_like)
             store = interned_cache.get(key)
             if store is None:
                 store = build_interned_store(compiled, store_like)
                 interned_cache[key] = store
         slots.append(_Slot(compiled, store, config))
 
-    stores = []
-    seen_store_ids = set()
-    for slot in slots:
-        if id(slot.store) not in seen_store_ids:
-            seen_store_ids.add(id(slot.store))
-            stores.append(slot.store)
+    store_identity = IdentityIndex()
+    slot_store_keys = [store_identity.index_of(slot.store) for slot in slots]
+    stores = store_identity.objects  # distinct stores, first-seen order
     # Size-dirty invalidation is only needed for slots whose admission
     # depends on resource size; map each such store to those slots.
     size_watchers: dict[int, list[_Slot]] = {}
-    for slot in slots:
+    for slot, store_key in zip(slots, slot_store_keys):
         if slot.cacheable and slot.size_sensitive:
-            size_watchers.setdefault(id(slot.store), []).append(slot)
+            size_watchers.setdefault(store_key, []).append(slot)
 
     timestamps = compiled.timestamps
     source_ids = compiled.source_ids
@@ -207,11 +235,11 @@ def replay_interned_multi(
             state.requested[url] = now
 
         # -- 2. volume maintenance (once per distinct store) ---------------
-        for store in stores:
+        for store_key, store in enumerate(stores):
             store.observe_index(index)
             dirty = getattr(store, "size_dirty", None)
             if dirty:
-                watchers = size_watchers.get(id(store))
+                watchers = size_watchers.get(store_key)
                 if watchers:
                     for url_id in dirty:
                         for slot in watchers:

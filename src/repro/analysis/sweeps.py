@@ -172,9 +172,12 @@ def _partition_by_store(
     points: Sequence[SweepPoint], stores: Sequence[object], workers: int
 ) -> list[list[int]]:
     """Split point indices into ≤ *workers* chunks, keeping store groups whole."""
+    from .fastreplay import IdentityIndex
+
+    identity = IdentityIndex()
     groups: dict[int, list[int]] = {}
     for index, store in enumerate(stores):
-        groups.setdefault(id(store), []).append(index)
+        groups.setdefault(identity.index_of(store), []).append(index)
     # Largest groups first, then greedily onto the lightest chunk.
     chunks: list[list[int]] = [[] for _ in range(min(workers, len(groups)))]
     for group in sorted(groups.values(), key=len, reverse=True):

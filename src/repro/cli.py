@@ -393,6 +393,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .devtools.lint import Baseline, run_lint
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"lint: root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths] or None
+
+    baseline = None
+    baseline_path = root / args.baseline
+    if not args.write_baseline and not args.no_baseline and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"lint: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = run_lint(root, paths, baseline=baseline)
+    except OSError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} fingerprint(s) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     presets = args.presets or ["aiusa", "apache", "sun"]
     print("log     <2hr    <5min   updated  avg-piggyback")
@@ -464,6 +503,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: one per CPU)")
     sweep.add_argument("--out", default=None, help="write sweep points as JSON")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks (determinism, locks, resources, API)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src/ and benchmarks/)")
+    lint.add_argument("--root", default=".",
+                      help="repository root paths are resolved against")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="baseline file (relative to --root)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the committed baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from current findings")
+    lint.set_defaults(handler=_cmd_lint)
 
     table1 = sub.add_parser("table1", help="update fractions (Table 1)")
     table1.add_argument("--presets", nargs="*", default=None)

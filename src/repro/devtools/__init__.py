@@ -1,0 +1,23 @@
+"""Developer tooling that keeps the repo's invariants true by construction.
+
+The reproduction rests on two guarantees that ordinary tests only probe
+after the fact:
+
+* **bit-identical replay** — the reference engine
+  (:func:`repro.analysis.prediction.replay`) and the interned engine
+  (:mod:`repro.analysis.fastreplay`) must produce identical metrics, which
+  requires every analysis path to be deterministic (no wall clock, no
+  global RNG, no id()/set-order dependence);
+* **deadlock- and leak-free wiring** — the threaded wire stack must never
+  block on I/O while holding an engine lock, must acquire locks in one
+  global order, and must close/join every socket, file, and thread.
+
+:mod:`repro.devtools.lint` enforces both statically with an AST-walking
+rule engine (``repro lint``); :mod:`repro.devtools.lockorder` enforces the
+lock-ordering half dynamically by instrumenting the stack's locks during
+stress tests (``REPRO_LOCKORDER=1``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint", "lockorder"]

@@ -1,0 +1,51 @@
+"""``repro lint`` — AST-based invariant checker for this repo.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintReport` — run the engine programmatically;
+* :class:`Policy` — per-path scoping of rule families;
+* :class:`Baseline` — committed grandfather list (kept empty here);
+* ``# repro: allow[rule-id]`` — per-line suppression syntax.
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Baseline,
+    Finding,
+    LintReport,
+    ModuleRule,
+    ProjectRule,
+    Rule,
+    SourceModule,
+    collect_files,
+    register,
+    registered_rules,
+    run_lint,
+)
+from .policy import DEFAULT_POLICY, FAMILIES, Policy
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleRule",
+    "ProjectRule",
+    "Rule",
+    "SourceModule",
+    "Policy",
+    "DEFAULT_POLICY",
+    "FAMILIES",
+    "collect_files",
+    "register",
+    "registered_rules",
+    "run_lint",
+    "load_builtin_rules",
+]
+
+
+def load_builtin_rules() -> None:
+    """Import every built-in rule module (idempotent via the registry)."""
+    from . import api, determinism, locks, resources  # noqa: F401

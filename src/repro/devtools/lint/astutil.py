@@ -1,0 +1,97 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "import_map",
+    "dotted_name",
+    "resolved_call_name",
+    "annotate_parents",
+    "walk_body",
+    "receiver_text",
+]
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted import they are bound to.
+
+    ``import os.path`` binds ``os`` -> ``os``; ``import numpy as np`` binds
+    ``np`` -> ``numpy``; ``from time import time as now`` binds
+    ``now`` -> ``time.time``.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    table[alias.name.partition(".")[0]] = alias.name.partition(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                table[bound] = f"{node.module}.{alias.name}"
+    return table
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolved_call_name(node: ast.Call, imports: dict[str, str]) -> str | None:
+    """The fully-qualified name a call resolves to, through import aliases.
+
+    ``now()`` after ``from time import time as now`` resolves to
+    ``time.time``; ``dt.datetime.now()`` after ``import datetime as dt``
+    resolves to ``datetime.datetime.now``.
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = imports.get(head)
+    if resolved_head is None:
+        return dotted
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a ``_repro_parent`` attribute to every node."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    return getattr(node, "_repro_parent", None)
+
+
+def walk_body(nodes: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class defs."""
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def receiver_text(node: ast.expr) -> str:
+    """Best-effort textual name of a call receiver for heuristics."""
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return dotted
+    return type(node).__name__

@@ -1,0 +1,342 @@
+"""Core of the ``repro lint`` static-analysis framework.
+
+The engine is deliberately small: a rule is a class with an ``id``, a
+``family`` and a ``check`` hook; the runner parses every Python file in
+scope once, hands the shared :class:`SourceModule` to each module rule,
+and hands the whole parsed set to each project rule (rules that need a
+cross-file view, e.g. global lock ordering or codec parity).
+
+Suppression works per line with ``# repro: allow[rule-id]`` — on the
+offending line itself or on a standalone comment line directly above it.
+A committed JSON baseline (:class:`Baseline`) grandfathers known findings
+by content fingerprint so the CI gate can be enabled before every legacy
+violation is fixed; this repo keeps the baseline empty.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .policy import Policy
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ModuleRule",
+    "ProjectRule",
+    "SourceModule",
+    "Baseline",
+    "LintReport",
+    "register",
+    "registered_rules",
+    "run_lint",
+    "collect_files",
+]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s-]+)\]")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    family: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline."""
+        digest = hashlib.sha256(
+            f"{self.path}|{self.rule}|{self.snippet.strip()}".encode()
+        ).hexdigest()
+        return f"{self.path}:{self.rule}:{digest[:16]}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class SourceModule:
+    """One parsed source file shared by every rule that inspects it."""
+
+    def __init__(self, root: Path, path: Path, source: str, tree: ast.Module) -> None:
+        self.root = root
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self) -> dict[int, frozenset[str]]:
+        """Map line number -> rule ids allowed on that line.
+
+        A standalone ``# repro: allow[...]`` comment covers the next
+        non-blank line as well, so multi-line statements can carry the
+        waiver above themselves.
+        """
+        table: dict[int, set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            table.setdefault(number, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                # Standalone comment: extend to the following code line.
+                for follower in range(number + 1, len(self.lines) + 1):
+                    if self.lines[follower - 1].strip():
+                        table.setdefault(follower, set()).update(rules)
+                        break
+        return {line: frozenset(rules) for line, rules in table.items()}
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        allowed = self._suppressions.get(line)
+        if allowed is None:
+            return False
+        return rule in allowed or "*" in allowed
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def finding(
+        self, rule: "Rule", node: ast.AST | None, message: str, line: int | None = None
+    ) -> Finding:
+        """Build a Finding anchored at *node* (or an explicit line)."""
+        at_line = line if line is not None else getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) if line is None else 0
+        return Finding(
+            rule=rule.id,
+            family=rule.family,
+            path=self.relpath,
+            line=at_line,
+            col=col + 1,
+            message=message,
+            snippet=self.line_text(at_line),
+        )
+
+
+class Rule:
+    """Base interface; concrete rules subclass ModuleRule or ProjectRule."""
+
+    id: str = ""
+    family: str = ""
+    description: str = ""
+
+
+class ModuleRule(Rule):
+    """A rule checked one file at a time."""
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs every in-scope file at once (cross-file view)."""
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of *cls* to the global registry."""
+    rule = cls()
+    if not rule.id or not rule.family:
+        raise ValueError(f"rule {cls.__name__} must define id and family")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def registered_rules() -> list[Rule]:
+    return sorted(_REGISTRY.values(), key=lambda rule: rule.id)
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Committed set of grandfathered finding fingerprints."""
+
+    fingerprints: frozenset[str] = frozenset()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(fingerprints=frozenset(data.get("fingerprints", ())))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(fingerprints=frozenset(f.fingerprint() for f in findings))
+
+    def save(self, path: Path) -> None:
+        payload = {"version": 1, "fingerprints": sorted(self.fingerprints)}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [f.to_json() for f in self.findings],
+            "parse_errors": [f.to_json() for f in self.parse_errors],
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "clean": self.clean,
+            "rules": [
+                {"id": rule.id, "family": rule.family, "description": rule.description}
+                for rule in registered_rules()
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.parse_errors + self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            f" ({self.suppressed} suppressed, {self.baselined} baselined)"
+        )
+        lines.append("repro lint: " + ("clean — " if self.clean else "") + summary)
+        return "\n".join(lines)
+
+
+_DEFAULT_SCAN = ("src", "benchmarks")
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def collect_files(root: Path, paths: Sequence[Path] | None = None) -> list[Path]:
+    """Python files to lint: the given paths, or src/ + benchmarks/."""
+    targets: list[Path]
+    if paths:
+        targets = [path if path.is_absolute() else root / path for path in paths]
+    else:
+        targets = [root / name for name in _DEFAULT_SCAN]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_file() and target.suffix == ".py":
+            files.append(target)
+        elif target.is_dir():
+            files.extend(
+                found
+                for found in sorted(target.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(found.relative_to(root).parts)
+            )
+    return sorted(set(files))
+
+
+def _parse_modules(
+    root: Path, files: Sequence[Path], report: LintReport
+) -> list[SourceModule]:
+    modules: list[SourceModule] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                Finding(
+                    rule="parse-error",
+                    family="engine",
+                    path=path.relative_to(root).as_posix(),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(SourceModule(root, path, source, tree))
+    return modules
+
+
+def _iter_raw_findings(
+    modules: Sequence[SourceModule], policy: Policy, rules: Sequence[Rule]
+) -> Iterator[tuple[Finding, SourceModule | None]]:
+    by_path = {module.relpath: module for module in modules}
+    for rule in rules:
+        if isinstance(rule, ModuleRule):
+            for module in modules:
+                if not policy.applies(rule.family, module.relpath):
+                    continue
+                for finding in rule.check(module):
+                    yield finding, module
+        elif isinstance(rule, ProjectRule):
+            scoped = [m for m in modules if policy.applies(rule.family, m.relpath)]
+            if not scoped:
+                continue
+            for finding in rule.check_project(scoped):
+                yield finding, by_path.get(finding.path)
+
+
+def run_lint(
+    root: Path,
+    paths: Sequence[Path] | None = None,
+    *,
+    policy: Policy | None = None,
+    baseline: Baseline | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint *paths* (default: src/ + benchmarks/) under repo *root*."""
+    from . import load_builtin_rules
+    from .policy import DEFAULT_POLICY
+
+    load_builtin_rules()
+    active_policy = policy if policy is not None else DEFAULT_POLICY
+    active_rules = list(rules) if rules is not None else registered_rules()
+
+    report = LintReport()
+    files = collect_files(root, paths)
+    modules = _parse_modules(root, files, report)
+    report.files_checked = len(modules)
+
+    kept: list[Finding] = []
+    for finding, module in _iter_raw_findings(modules, active_policy, active_rules):
+        if module is not None and module.is_suppressed(finding.line, finding.rule):
+            report.suppressed += 1
+            continue
+        if baseline is not None and baseline.matches(finding):
+            report.baselined += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.findings = kept
+    return report

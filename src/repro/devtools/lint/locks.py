@@ -1,0 +1,253 @@
+"""Lock-discipline rules for the threaded wire stack.
+
+The stack's concurrency contract (docs/protocol.md): engine locks guard
+*metadata only* — no socket, file-opening, upstream-exchange, or sleep
+call may run while one is held; every pair of locks is acquired in one
+global order; and a lock is either used as a context manager or its
+``acquire()`` is immediately guarded by ``try/finally release()``.
+
+Lock expressions are recognized heuristically by name: any ``with`` item
+or call receiver whose final name component contains ``lock`` (so
+``self._lock``, ``self._stats_lock``, ``accumulator.lock`` all count).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from .astutil import dotted_name, import_map, resolved_call_name, walk_body
+from .engine import Finding, ModuleRule, ProjectRule, SourceModule, register
+
+# Attribute calls that block on the network or hand work to the peer.
+_BLOCKING_ATTRS = frozenset(
+    {
+        "recv",
+        "recv_into",
+        "recvfrom",
+        "sendall",
+        "sendto",
+        "accept",
+        "connect",
+        "connect_ex",
+        "makefile",
+        "request",
+        "request_once",
+        "urlopen",
+    }
+)
+
+_BLOCKING_CALLS = frozenset(
+    {"time.sleep", "socket.create_connection", "socket.socket", "open"}
+)
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """The lock's name when *expr* looks like a lock, else None."""
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    leaf = dotted.rsplit(".", 1)[-1]
+    return dotted if "lock" in leaf.lower() else None
+
+
+def _with_lock_items(node: ast.With) -> list[str]:
+    names = []
+    for item in node.items:
+        name = _lock_name(item.context_expr)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def _blocking_reason(call: ast.Call, imports: dict[str, str]) -> str | None:
+    resolved = resolved_call_name(call, imports)
+    if resolved in _BLOCKING_CALLS:
+        return f"{resolved}()"
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _BLOCKING_ATTRS:
+            return f".{func.attr}()"
+        if func.attr == "upstream":
+            return "upstream exchange"
+    if isinstance(func, ast.Name) and func.id == "upstream":
+        return "upstream exchange"
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute | ast.Name)
+        and dotted_name(func) in ("self.upstream",)
+    ):
+        return "upstream exchange"
+    return None
+
+
+@register
+class BlockingCallUnderLockRule(ModuleRule):
+    id = "lock-blocking-call"
+    family = "locks"
+    description = (
+        "No socket/file/upstream/sleep call may run inside a `with <lock>` "
+        "body; do the I/O after releasing the lock."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            locks = _with_lock_items(node)
+            if not locks:
+                continue
+            for inner in walk_body(node.body):
+                if not isinstance(inner, ast.Call):
+                    continue
+                # `self.upstream(...)` called while holding the engine lock
+                # is the exact deadlock/latency hazard PR 1 removed.
+                reason = _blocking_reason(inner, imports)
+                if reason is not None:
+                    yield module.finding(
+                        self,
+                        inner,
+                        f"blocking call {reason} while holding {locks[0]}",
+                    )
+
+
+@register
+class BareAcquireRule(ModuleRule):
+    id = "lock-bare-acquire"
+    family = "locks"
+    description = (
+        "lock.acquire() must be immediately followed by try/finally "
+        "release() (or replaced by a `with` block)."
+    )
+
+    def _release_in_finally(self, receiver: str, try_node: ast.Try) -> bool:
+        for stmt in try_node.finalbody:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                    and dotted_name(node.func.value) == receiver
+                ):
+                    return True
+        return False
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        guarded: set[int] = set()
+        # Pass 1: acquire-expression statements directly followed by a
+        # try/finally releasing the same receiver are the approved pattern.
+        for node in ast.walk(module.tree):
+            body = getattr(node, "body", None)
+            if not isinstance(body, list):
+                continue
+            for stmt, follower in zip(body, body[1:]):
+                if not (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Attribute)
+                    and stmt.value.func.attr == "acquire"
+                ):
+                    continue
+                receiver = dotted_name(stmt.value.func.value)
+                if (
+                    receiver is not None
+                    and isinstance(follower, ast.Try)
+                    and follower.finalbody
+                    and self._release_in_finally(receiver, follower)
+                ):
+                    guarded.add(id(stmt.value))  # repro: allow[det-id-key]
+        # Pass 2: every other acquire() on a lock-named receiver is bare.
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and _lock_name(node.func.value) is not None
+                and id(node) not in guarded  # repro: allow[det-id-key]
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"bare {dotted_name(node.func.value)}.acquire(); "
+                    "use `with` or try/finally release()",
+                )
+
+
+class _LockNesting(ast.NodeVisitor):
+    """Collect (outer, inner) edges from lexically nested with-lock scopes."""
+
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.stack: list[str] = []
+        self.edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def visit_With(self, node: ast.With) -> None:
+        names = _with_lock_items(node)
+        for name in names:
+            for outer in self.stack:
+                if outer != name:
+                    edge = (outer, name)
+                    self.edges.setdefault(edge, (self.module.relpath, node.lineno))
+        self.stack.extend(names)
+        self.generic_visit(node)
+        for _ in names:
+            self.stack.pop()
+
+
+def _find_cycles(edges: dict[tuple[str, str], tuple[str, int]]) -> list[list[str]]:
+    graph: dict[str, set[str]] = {}
+    for outer, inner in edges:
+        graph.setdefault(outer, set()).add(inner)
+    cycles: list[list[str]] = []
+    seen_cycles: set[frozenset[str]] = set()
+    for start in sorted(graph):
+        path = [start]
+        on_path = {start}
+
+        def dfs(node: str) -> None:
+            for successor in sorted(graph.get(node, ())):
+                if successor == start:
+                    key = frozenset(path)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        cycles.append(path + [start])
+                elif successor not in on_path:
+                    path.append(successor)
+                    on_path.add(successor)
+                    dfs(successor)
+                    on_path.discard(successor)
+                    path.pop()
+
+        dfs(start)
+    return cycles
+
+
+@register
+class LockOrderRule(ProjectRule):
+    id = "lock-order"
+    family = "locks"
+    description = (
+        "Nested `with <lock>` scopes define a global acquisition order; "
+        "any cycle in that order is a potential deadlock."
+    )
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+        by_path = {module.relpath: module for module in modules}
+        for module in modules:
+            visitor = _LockNesting(module)
+            visitor.visit(module.tree)
+            for edge, location in visitor.edges.items():
+                edges.setdefault(edge, location)
+        for cycle in _find_cycles(edges):
+            chain = " -> ".join(cycle)
+            first_edge = (cycle[0], cycle[1])
+            path, line = edges[first_edge]
+            module = by_path[path]
+            yield module.finding(
+                self,
+                None,
+                f"inconsistent lock acquisition order: {chain}",
+                line=line,
+            )

@@ -1,0 +1,204 @@
+"""Resource-hygiene rules: sockets, files, and threads must be reclaimed.
+
+PR 1's stress suites assert zero leaked worker threads after teardown;
+these rules keep new code from reintroducing leaks that only show up
+under load: a socket or file created without a ``with``/``close()``, a
+thread that is neither daemonic nor joined, and joins without a timeout
+(which turn a wedged peer into a wedged test run).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .astutil import dotted_name, import_map, resolved_call_name
+from .engine import Finding, ModuleRule, SourceModule, register
+
+_SOCKET_FACTORIES = frozenset({"socket.socket", "socket.create_connection"})
+
+
+def _functions(module: SourceModule) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _name_released(func: ast.AST, name: str) -> bool:
+    """True when *name* is closed, returned, stored, or handed off."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            # sock.close() / sock.shutdown() / stack.enter_context(sock) /
+            # self._track(sock): closing or transferring ownership.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "shutdown", "detach")
+                and dotted_name(node.func.value) == name
+            ):
+                return True
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == name
+                ):
+                    return True
+        elif isinstance(node, ast.withitem):
+            expr = node.context_expr
+            if isinstance(expr, ast.Name) and expr.id == name:
+                return True
+    return False
+
+
+class _LifetimeRule(ModuleRule):
+    """Shared shape: factory call assigned to a local must be reclaimed."""
+
+    factories: frozenset[str] = frozenset()
+    noun: str = "resource"
+
+    def _is_factory(self, call: ast.Call, imports: dict[str, str]) -> bool:
+        return resolved_call_name(call, imports) in self.factories
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        imports = import_map(module.tree)
+        for func in _functions(module):
+            for node in ast.walk(func):
+                if isinstance(node, ast.With):
+                    continue
+                if not (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and self._is_factory(node.value, imports)
+                ):
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue  # attribute targets follow the object's lifecycle
+                if self._inside_with(func, node) or _name_released(func, target.id):
+                    continue
+                yield module.finding(
+                    self,
+                    node.value,
+                    f"{self.noun} {target.id!r} is never closed on any path; "
+                    "use `with` or close() in a finally block",
+                )
+
+    @staticmethod
+    def _inside_with(func: ast.AST, assign: ast.Assign) -> bool:
+        """True when the factory call is a with-item (``with open(...) as f``)."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if item.context_expr is assign.value:
+                        return True
+        return False
+
+
+@register
+class SocketLifetimeRule(_LifetimeRule):
+    id = "res-socket-lifetime"
+    family = "resources"
+    description = "Sockets must be closed on all paths (with / try-finally)."
+    factories = _SOCKET_FACTORIES
+    noun = "socket"
+
+
+@register
+class FileLifetimeRule(_LifetimeRule):
+    id = "res-file-lifetime"
+    family = "resources"
+    description = "open() handles must be closed on all paths (with / try-finally)."
+    factories = frozenset({"open"})
+    noun = "file handle"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        yield from super().check(module)
+        # Also catch `open(path).read()`-style immediately-dropped handles.
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Call)
+                and self._is_factory(node.value, imports)
+            ):
+                yield module.finding(
+                    self,
+                    node.value,
+                    "open() result consumed inline and never closed; "
+                    "use a `with` block",
+                )
+
+
+@register
+class ThreadLifecycleRule(ModuleRule):
+    id = "res-thread-lifecycle"
+    family = "resources"
+    description = (
+        "Threads must be daemonic or joined by the function that owns them."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        imports = import_map(module.tree)
+        for func in _functions(module):
+            has_join = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                for node in ast.walk(func)
+            )
+            for node in ast.walk(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and resolved_call_name(node, imports) == "threading.Thread"
+                ):
+                    continue
+                daemonic = any(
+                    keyword.arg == "daemon"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                )
+                if daemonic or has_join:
+                    continue
+                yield module.finding(
+                    self,
+                    node,
+                    "thread is neither daemon=True nor joined in this function",
+                )
+
+
+@register
+class JoinTimeoutRule(ModuleRule):
+    id = "res-join-timeout"
+    family = "resources"
+    description = (
+        "join() must carry a timeout so a wedged thread cannot hang "
+        "teardown forever (str.join, with its iterable argument, is exempt)."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            ):
+                continue
+            # str.join always takes the iterable positionally; a zero-arg
+            # join() is a thread/process join.
+            if node.args:
+                continue
+            if any(keyword.arg == "timeout" for keyword in node.keywords):
+                continue
+            receiver = dotted_name(node.func.value) or "<expr>"
+            yield module.finding(
+                self, node, f"{receiver}.join() without a timeout can hang teardown"
+            )

@@ -1,0 +1,217 @@
+"""Runtime lock-order detector: the dynamic twin of the ``lock-order`` rule.
+
+The static rule only sees *lexically* nested ``with`` blocks; acquisition
+chains that cross call boundaries (proxy engine -> upstream pool, accept
+loop -> stats) are invisible to it.  This module closes the gap at run
+time: when ``REPRO_LOCKORDER=1``, every lock the wire stack creates
+through :func:`make_lock` / :func:`make_rlock` is wrapped so each
+acquisition records a *name -> name* edge from every lock the thread
+already holds.  A cycle in that graph means two code paths acquire the
+same pair of locks in opposite orders — a latent deadlock — and raises
+:class:`LockOrderError` immediately, with the offending chain, instead of
+wedging a stress run.
+
+Locks are named by their owning class attribute (``"HttpUpstream._lock"``)
+so the graph talks about lock *roles*, not instances; reentrant
+re-acquisition of the same role is ignored.  When the environment switch
+is off, the factories return plain ``threading`` primitives with zero
+overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderMonitor",
+    "InstrumentedLock",
+    "enabled",
+    "make_lock",
+    "make_rlock",
+    "monitor",
+]
+
+_ENV_SWITCH = "REPRO_LOCKORDER"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def enabled() -> bool:
+    """True when the environment asks for lock-order instrumentation."""
+    return os.environ.get(_ENV_SWITCH, "").strip().lower() in _TRUTHY
+
+
+class LockOrderError(RuntimeError):
+    """Two code paths acquire the same locks in opposite orders."""
+
+    def __init__(self, cycle: list[str]) -> None:
+        self.cycle = list(cycle)
+        super().__init__(
+            "lock acquisition order cycle: " + " -> ".join(self.cycle)
+        )
+
+
+class LockOrderMonitor:
+    """Global acquisition graph + per-thread held-lock stacks."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        # edge A -> B: some thread acquired B while holding A.
+        self._edges: dict[str, set[str]] = {}
+        self._local = threading.local()
+
+    # -- per-thread stack -------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held(self) -> tuple[str, ...]:
+        """Lock names the calling thread currently holds (outermost first)."""
+        return tuple(self._stack())
+
+    # -- recording --------------------------------------------------------
+
+    def before_acquire(self, name: str) -> None:
+        """Record edges for acquiring *name*; raise on an order cycle.
+
+        Called *before* blocking on the underlying primitive so a
+        would-be deadlock surfaces as an exception, not a hang.
+        """
+        stack = self._stack()
+        if name in stack:
+            return  # reentrant acquisition of the same lock role
+        with self._guard:
+            changed = False
+            edges = self._edges
+            for prior in stack:
+                successors = edges.setdefault(prior, set())
+                if name not in successors:
+                    successors.add(name)
+                    changed = True
+            if changed or stack:
+                cycle = self._cycle_through(name)
+                if cycle is not None:
+                    raise LockOrderError(cycle)
+
+    def on_acquired(self, name: str) -> None:
+        self._stack().append(name)
+
+    def on_release(self, name: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- graph queries ----------------------------------------------------
+
+    def _cycle_through(self, start: str) -> list[str] | None:
+        """A path start -> ... -> start in the edge graph, if one exists."""
+        path = [start]
+        seen = {start}
+
+        def dfs(node: str) -> list[str] | None:
+            for successor in sorted(self._edges.get(node, ())):
+                if successor == start:
+                    return path + [start]
+                if successor not in seen:
+                    seen.add(successor)
+                    path.append(successor)
+                    found = dfs(successor)
+                    if found is not None:
+                        return found
+                    path.pop()
+            return None
+
+        return dfs(start)
+
+    def edges(self) -> dict[str, frozenset[str]]:
+        """Snapshot of the acquisition graph (for tests and reports)."""
+        with self._guard:
+            return {name: frozenset(successors) for name, successors in self._edges.items()}
+
+    def reset(self) -> None:
+        with self._guard:
+            self._edges.clear()
+        self._local = threading.local()
+
+
+_MONITOR = LockOrderMonitor()
+
+
+def monitor() -> LockOrderMonitor:
+    """The process-wide monitor shared by every instrumented lock."""
+    return _MONITOR
+
+
+class InstrumentedLock:
+    """Wraps a threading lock, reporting acquisitions to the monitor.
+
+    Mirrors the ``Lock``/``RLock`` surface the wire stack uses: context
+    manager, ``acquire(blocking, timeout)``, ``release()``.
+    """
+
+    __slots__ = ("_inner", "_name", "_monitor")
+
+    def __init__(self, inner: Any, name: str, mon: LockOrderMonitor | None = None) -> None:
+        self._inner = inner
+        self._name = name
+        self._monitor = mon if mon is not None else _MONITOR
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._monitor.before_acquire(self._name)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor.on_acquired(self._name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.on_release(self._name)
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self._name!r} wrapping {self._inner!r}>"
+
+
+def make_lock(name: str) -> threading.Lock | InstrumentedLock:
+    """A ``threading.Lock``, instrumented when REPRO_LOCKORDER is on."""
+    if enabled():
+        return InstrumentedLock(threading.Lock(), name)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> threading.RLock | InstrumentedLock:
+    """A ``threading.RLock``, instrumented when REPRO_LOCKORDER is on."""
+    if enabled():
+        return InstrumentedLock(threading.RLock(), name)
+    return threading.RLock()
+
+
+@contextmanager
+def instrumented(name: str, inner: Any = None) -> Iterator[InstrumentedLock]:
+    """Context manager yielding a held instrumented lock (test helper)."""
+    lock = InstrumentedLock(inner if inner is not None else threading.Lock(), name)
+    with lock:
+        yield lock

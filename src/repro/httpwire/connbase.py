@@ -26,6 +26,7 @@ import socket
 import threading
 from dataclasses import dataclass, field
 
+from ..devtools.lockorder import make_lock
 from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
 
 __all__ = ["WireServerStats", "ThreadedWireServer"]
@@ -72,7 +73,7 @@ class ThreadedWireServer:
         self.max_workers = max_workers
         self.name = name
         self.wire_stats = WireServerStats()
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("ThreadedWireServer._stats_lock")
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((address, port))
@@ -85,7 +86,7 @@ class ThreadedWireServer:
         self._running = False
         self._worker_slots = threading.BoundedSemaphore(max_workers)
         self._connections: dict[int, _Connection] = {}
-        self._connections_lock = threading.Lock()
+        self._connections_lock = make_lock("ThreadedWireServer._connections_lock")
         self._connection_counter = 0
 
     # -- subclass contract -------------------------------------------------

@@ -26,6 +26,8 @@ import threading
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..devtools.lockorder import make_lock
+
 __all__ = ["Fault", "FaultInjectingInterposer"]
 
 _CHUNK = 4096
@@ -117,7 +119,7 @@ class FaultInjectingInterposer:
             plan = list(schedule) or [Fault.none()]
             self._schedule = lambda index: plan[index % len(plan)]
         self.stats = InterposerStats()
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("FaultInjectingInterposer._stats_lock")
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((address, port))
@@ -128,7 +130,7 @@ class FaultInjectingInterposer:
         self._accept_thread: threading.Thread | None = None
         self._running = False
         self._live_sockets: set[socket.socket] = set()
-        self._live_lock = threading.Lock()
+        self._live_lock = make_lock("FaultInjectingInterposer._live_lock")
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -27,6 +27,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..devtools.lockorder import make_lock
 from ..httpmodel.headers import Headers
 from ..httpmodel.messages import HttpRequest, HttpResponse
 from ..httpmodel.piggy_codec import P_VOLUME_HEADER
@@ -158,7 +159,7 @@ class _Accumulator:
     """Thread-safe collector merged into the final LoadReport."""
 
     def __init__(self) -> None:
-        self.lock = threading.Lock()
+        self.lock = make_lock("loadgen._Accumulator.lock")
         self.report = LoadReport()
 
     def record(
@@ -321,8 +322,14 @@ def run_load(
     ]
     for thread in threads:
         thread.start()
+    # Bounded drain: a wedged client fails the run instead of hanging it.
+    # Every request is bounded by the connection timeout, so the whole
+    # client is bounded by its request budget (plus generous slack).
+    deadline = time.monotonic() + max(
+        30.0, config.requests_per_client * (config.timeout + 1.0)
+    )
     for thread in threads:
-        thread.join()
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
     report = accumulator.report
     report.mode = config.mode
     report.clients = config.clients

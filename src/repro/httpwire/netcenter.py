@@ -16,10 +16,10 @@ bytes stay lock-free.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable
 
+from ..devtools.lockorder import make_lock
 from ..core.protocol import OK, ProxyRequest, ServerResponse
 from ..httpmodel.dates import parse_http_date
 from ..httpmodel.headers import Headers
@@ -63,7 +63,7 @@ class TransparentHttpVolumeCenter(ThreadedWireServer):
         self.center = center or TransparentVolumeCenter()
         self.clock = clock or time.time
         self.upstream_timeout = upstream_timeout
-        self._center_lock = threading.Lock()
+        self._center_lock = make_lock("TransparentHttpVolumeCenter._center_lock")
 
     # -- relaying --------------------------------------------------------------
 

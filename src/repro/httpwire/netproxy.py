@@ -24,11 +24,11 @@ Concurrency and degradation model:
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from ..devtools.lockorder import make_lock
 from ..core.protocol import NOT_FOUND, OK, ProxyRequest, ServerResponse
 from ..httpmodel.dates import format_http_date, parse_http_date
 from ..httpmodel.headers import Headers
@@ -106,7 +106,7 @@ class HttpUpstream:
         self._sleep = sleep
         self._bodies: dict[str, bytes] = {}
         self._pools: dict[str, list[HttpConnection]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("HttpUpstream._lock")
 
     # Body side table ----------------------------------------------------
 
@@ -256,7 +256,7 @@ class PiggybackHttpProxy(ThreadedWireServer):
         self.engine = PiggybackProxy(self.upstream, config=config)
         self.serve_stale_on_error = serve_stale_on_error
         self.stale_responses = 0
-        self._stale_lock = threading.Lock()
+        self._stale_lock = make_lock("PiggybackHttpProxy._stale_lock")
 
     def stop(self, drain_timeout: float = 5.0) -> None:
         super().stop(drain_timeout)

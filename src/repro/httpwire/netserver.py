@@ -14,10 +14,10 @@ bytes are synthesized and sent on the worker thread with no lock held.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable
 
+from ..devtools.lockorder import make_lock
 from ..core.protocol import ProxyRequest
 from ..httpmodel.dates import format_http_date, parse_http_date
 from ..httpmodel.headers import Headers
@@ -71,7 +71,7 @@ class PiggybackHttpServer(ThreadedWireServer):
         self.site_host = site_host
         self.clock = clock or time.time
         self.access_logger = access_logger
-        self._log_lock = threading.Lock()
+        self._log_lock = make_lock("PiggybackHttpServer._log_lock")
 
     # -- request translation ----------------------------------------------
 
@@ -164,7 +164,7 @@ class PlainHttpServer(ThreadedWireServer):
         )
         self.resources = resources
         self.requests_served = 0
-        self._served_lock = threading.Lock()
+        self._served_lock = make_lock("PlainHttpServer._served_lock")
 
     def handle_request(self, request: HttpRequest) -> HttpResponse:
         entry = self.resources.get(request.target)

@@ -12,11 +12,11 @@ real-socket client in :mod:`repro.httpwire`.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..devtools.lockorder import make_rlock
 from .. import urls
 from ..core.filters import ProxyFilter
 from ..core.frequency import AlwaysEnable, PacingPolicy
@@ -144,7 +144,7 @@ class PiggybackProxy:
         self.fetch_queue = InformedFetchQueue()
         self.stats = ProxyStats()
         self._pending_hit_reports: dict[str, dict[str, int]] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("PiggybackProxy._lock")
 
     # ------------------------------------------------------------------
 

@@ -9,10 +9,10 @@ paper ran on the AIUSA/Apache/Marimba/Sun logs.
 
 from __future__ import annotations
 
-import threading
 from pathlib import Path
 from typing import IO
 
+from ..devtools.lockorder import make_lock
 from ..core.protocol import ProxyRequest, ServerResponse
 from ..traces.common_log import format_record
 from ..traces.records import LogRecord
@@ -30,7 +30,7 @@ class AccessLogger:
         else:
             self._handle = destination
             self._owns_handle = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("AccessLogger._lock")
         self.lines_written = 0
 
     def log(self, request: ProxyRequest, response: ServerResponse) -> None:

@@ -39,7 +39,7 @@ class SymbolTable:
 
     __slots__ = ("_ids", "_strings")
 
-    def __init__(self, strings: Iterable[str] = ()):
+    def __init__(self, strings: Iterable[str] = ()) -> None:
         self._ids: dict[str, int] = {}
         self._strings: list[str] = []
         for string in strings:
@@ -97,7 +97,7 @@ class CompiledTrace:
         "__weakref__",
     )
 
-    def __init__(self, trace: Iterable):
+    def __init__(self, trace: Iterable) -> None:
         self.urls = SymbolTable()
         self.sources = SymbolTable()
         self.content_types = SymbolTable()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import bisect
 from collections import Counter
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 
 __all__ = ["LogRecord", "Trace"]
@@ -65,7 +65,7 @@ class Trace(Sequence[LogRecord]):
     binary search on timestamps).
     """
 
-    def __init__(self, records: Iterable[LogRecord]):
+    def __init__(self, records: Iterable[LogRecord]) -> None:
         materialized = list(records)
         if not _is_sorted(materialized):
             materialized.sort()
@@ -83,7 +83,7 @@ class Trace(Sequence[LogRecord]):
     def __len__(self) -> int:
         return len(self._records)
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: int | slice) -> "LogRecord | Trace":  # type: ignore[override]
         if isinstance(index, slice):
             return Trace._presorted(self._records[index], self._times[index])
         return self._records[index]
@@ -129,12 +129,12 @@ class Trace(Sequence[LogRecord]):
         hi = bisect.bisect_left(self._times, end)
         return Trace._presorted(self._records[lo:hi], self._times[lo:hi])
 
-    def filter(self, predicate) -> "Trace":
+    def filter(self, predicate: Callable[[LogRecord], bool]) -> "Trace":
         """A new trace containing records for which *predicate* is true."""
         kept = [r for r in self._records if predicate(r)]
         return Trace._presorted(kept, [r.timestamp for r in kept])
 
-    def map_urls(self, mapper) -> "Trace":
+    def map_urls(self, mapper: Callable[[str], str]) -> "Trace":
         """A new trace with every record's URL passed through *mapper*."""
         return Trace(r.with_url(mapper(r.url)) for r in self._records)
 

@@ -7,7 +7,6 @@ wins, monotone directions) rather than absolute numbers.
 import pytest
 
 from repro.analysis import experiments
-from repro.volumes.probability import PairwiseConfig, PairwiseEstimator
 
 
 @pytest.fixture(scope="module")

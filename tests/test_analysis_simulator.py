@@ -1,6 +1,5 @@
 """Tests for the end-to-end proxy/server simulator."""
 
-import pytest
 
 from repro.analysis.simulator import EndToEndSimulator, SimulationConfig
 from repro.proxy.prefetch import PrefetchPolicy

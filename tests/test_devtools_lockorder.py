@@ -1,0 +1,221 @@
+"""Tests for the runtime lock-order detector (``repro.devtools.lockorder``).
+
+The core scenario is the classic latent deadlock: thread 1 takes A then B,
+thread 2 takes B then A.  Under REPRO_LOCKORDER instrumentation the second
+ordering must raise :class:`LockOrderError` *before* blocking, instead of
+wedging — that's what lets the stress suites in CI run with the detector
+on and fail fast on an ordering regression.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.devtools.lockorder import (
+    InstrumentedLock,
+    LockOrderError,
+    LockOrderMonitor,
+    enabled,
+    make_lock,
+    make_rlock,
+    monitor,
+)
+
+
+@pytest.fixture()
+def fresh_monitor():
+    """Isolate each test from the process-wide acquisition graph."""
+    mon = LockOrderMonitor()
+    yield mon
+    mon.reset()
+
+
+def pair(mon: LockOrderMonitor) -> tuple[InstrumentedLock, InstrumentedLock]:
+    a = InstrumentedLock(threading.Lock(), "A", mon)
+    b = InstrumentedLock(threading.Lock(), "B", mon)
+    return a, b
+
+
+def test_inverted_order_raises(fresh_monitor):
+    a, b = pair(fresh_monitor)
+    with a:
+        with b:
+            pass
+    with pytest.raises(LockOrderError) as excinfo:
+        with b:
+            with a:
+                pass
+    assert excinfo.value.cycle[0] == excinfo.value.cycle[-1]
+    assert {"A", "B"} <= set(excinfo.value.cycle)
+
+
+def test_inverted_order_across_threads(fresh_monitor):
+    """Thread 1 A->B, thread 2 B->A: the second thread fails fast."""
+    a, b = pair(fresh_monitor)
+    ready = threading.Event()
+    errors: list[BaseException] = []
+
+    def forward():
+        with a:
+            with b:
+                pass
+        ready.set()
+
+    def backward():
+        ready.wait(timeout=5.0)
+        try:
+            with b:
+                with a:
+                    pass
+        except LockOrderError as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=forward, daemon=True),
+        threading.Thread(target=backward, daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert len(errors) == 1
+    assert isinstance(errors[0], LockOrderError)
+
+
+def test_consistent_order_is_fine(fresh_monitor):
+    a, b = pair(fresh_monitor)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert fresh_monitor.edges() == {"A": frozenset({"B"})}
+
+
+def test_three_lock_cycle(fresh_monitor):
+    """A->B, B->C, then C->A closes a cycle longer than a pair swap."""
+    mon = fresh_monitor
+    a = InstrumentedLock(threading.Lock(), "A", mon)
+    b = InstrumentedLock(threading.Lock(), "B", mon)
+    c = InstrumentedLock(threading.Lock(), "C", mon)
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with pytest.raises(LockOrderError) as excinfo:
+        with c:
+            with a:
+                pass
+    assert set(excinfo.value.cycle) == {"A", "B", "C"}
+
+
+def test_reentrant_same_role_is_ignored(fresh_monitor):
+    lock = InstrumentedLock(threading.RLock(), "R", fresh_monitor)
+    with lock:
+        with lock:
+            pass
+    assert fresh_monitor.edges() == {}
+
+
+def test_failed_acquire_does_not_push_stack(fresh_monitor):
+    inner = threading.Lock()
+    lock = InstrumentedLock(inner, "A", fresh_monitor)
+    inner.acquire()
+    try:
+        assert lock.acquire(blocking=False) is False
+        assert fresh_monitor.held() == ()
+    finally:
+        inner.release()
+
+
+def test_held_tracks_stack_outermost_first(fresh_monitor):
+    a, b = pair(fresh_monitor)
+    with a:
+        with b:
+            assert fresh_monitor.held() == ("A", "B")
+        assert fresh_monitor.held() == ("A",)
+    assert fresh_monitor.held() == ()
+
+
+def test_reset_clears_graph(fresh_monitor):
+    a, b = pair(fresh_monitor)
+    with a:
+        with b:
+            pass
+    assert fresh_monitor.edges()
+    fresh_monitor.reset()
+    assert fresh_monitor.edges() == {}
+    # After a reset the inverted order becomes the (new) canonical one.
+    with b:
+        with a:
+            pass
+
+
+# -- environment gating ---------------------------------------------------
+
+
+def test_factories_plain_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_LOCKORDER", raising=False)
+    assert not enabled()
+    assert isinstance(make_lock("x"), type(threading.Lock()))
+    assert not isinstance(make_lock("x"), InstrumentedLock)
+    assert not isinstance(make_rlock("x"), InstrumentedLock)
+
+
+def test_factories_instrumented_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCKORDER", "1")
+    assert enabled()
+    lock = make_lock("gate.test.lock")
+    rlock = make_rlock("gate.test.rlock")
+    assert isinstance(lock, InstrumentedLock)
+    assert isinstance(rlock, InstrumentedLock)
+    assert lock.name == "gate.test.lock"
+    # Instrumented locks keep the threading surface the wire stack uses.
+    assert lock.acquire(blocking=False) is True
+    assert lock.locked()
+    lock.release()
+    monitor().reset()
+
+
+@pytest.mark.parametrize("value", ["true", "YES", " on "])
+def test_enabled_accepts_truthy_spellings(monkeypatch, value):
+    monkeypatch.setenv("REPRO_LOCKORDER", value)
+    assert enabled()
+
+
+@pytest.mark.parametrize("value", ["0", "false", "", "off"])
+def test_enabled_rejects_falsy_spellings(monkeypatch, value):
+    monkeypatch.setenv("REPRO_LOCKORDER", value)
+    assert not enabled()
+
+
+def test_wire_stack_under_instrumentation(monkeypatch):
+    """End-to-end: a server built with REPRO_LOCKORDER=1 serves requests
+    through instrumented locks without tripping the detector."""
+    monkeypatch.setenv("REPRO_LOCKORDER", "1")
+    monitor().reset()
+    try:
+        from repro.httpmodel.headers import Headers
+        from repro.httpmodel.messages import HttpRequest
+        from repro.httpwire.netclient import HttpConnection
+        from repro.httpwire.netserver import PlainHttpServer
+
+        server = PlainHttpServer({"/x": (b"payload", 0.0)})
+        server.start()
+        try:
+            connection = HttpConnection("127.0.0.1", server.port, timeout=5.0)
+            try:
+                request = HttpRequest(method="GET", target="/x", headers=Headers())
+                request.headers.set("Host", "test")
+                response = connection.request(request)
+                assert response.status == 200
+                assert response.body == b"payload"
+            finally:
+                connection.close()
+        finally:
+            server.stop()
+    finally:
+        monitor().reset()

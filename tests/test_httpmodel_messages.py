@@ -4,7 +4,6 @@ import io
 
 import pytest
 
-from repro.httpmodel.headers import Headers
 from repro.httpmodel.messages import (
     HttpParseError,
     HttpRequest,

@@ -1,9 +1,8 @@
 """Tests for two-level cache hierarchies."""
 
-import pytest
 
-from repro.proxy.hierarchy import ParentProxyUpstream, build_chain
-from repro.proxy.proxy import ClientOutcome, PiggybackProxy, ProxyConfig
+from repro.proxy.hierarchy import build_chain
+from repro.proxy.proxy import ClientOutcome, ProxyConfig
 from repro.server.resources import ResourceStore
 from repro.server.server import PiggybackServer
 from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore

@@ -124,7 +124,7 @@ class TestPrefetching:
     def test_prefetched_resource_served_from_cache(self):
         proxy, server, _ = make_pair(self.prefetching_config())
         proxy.handle_client_get("h/a/img.gif", now=1000.0)
-        result = proxy.handle_client_get("h/a/page.html", now=1001.0)
+        proxy.handle_client_get("h/a/page.html", now=1001.0)
         # img was already cached; any prefetch targeted an uncached sibling.
         for url in ("h/a/more.html",):
             if url in proxy.cache:

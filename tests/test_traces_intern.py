@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro import urls as url_utils
 from repro.core.piggyback import PiggybackElement
-from repro.traces.intern import CompiledTrace, SymbolTable, compile_trace
+from repro.traces.intern import SymbolTable, compile_trace
 from repro.traces.records import Trace
 
 from conftest import make_record
