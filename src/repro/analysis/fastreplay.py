@@ -43,10 +43,25 @@ from ..volumes.interned import (
     InternedProbabilityStore,
     build_interned_store,
 )
+from ..telemetry import REGISTRY
 from .metrics import ReplayMetrics
 from .prediction import ReplayConfig
 
 __all__ = ["IdentityIndex", "replay_interned", "replay_interned_multi"]
+
+# Batch-level instrumentation only: one timer + one bulk increment per
+# replay pass, never per record, so the hot loop stays telemetry-free and
+# the engine remains bit-identical with telemetry enabled (no RNG, no
+# per-record branches).
+_TEL_REPLAY_RECORDS = REGISTRY.counter(
+    "analysis_replay_records_total", "trace records scored by the fast replay engine"
+)
+_TEL_REPLAY_CONFIGS = REGISTRY.counter(
+    "analysis_replay_configs_total", "configurations scored by fast replay passes"
+)
+_TEL_REPLAY_PASS_SECONDS = REGISTRY.histogram(
+    "analysis_replay_pass_seconds", "wall time of one multi-config replay pass"
+)
 
 
 class IdentityIndex:
@@ -166,6 +181,19 @@ def replay_interned_multi(
     :class:`ReplayMetrics` per entry, in order, bit-identical to the
     reference engine run serially.
     """
+    entries = list(entries)
+    with _TEL_REPLAY_PASS_SECONDS.time():
+        results = _replay_compiled_multi(trace, entries)
+    # compile_trace is memoized, so re-resolving the compiled form here is
+    # a dict hit, not a second compile.
+    _TEL_REPLAY_RECORDS.inc(len(compile_trace(trace)))
+    _TEL_REPLAY_CONFIGS.inc(len(entries))
+    return results
+
+
+def _replay_compiled_multi(
+    trace: Trace | CompiledTrace, entries
+) -> list[ReplayMetrics]:
     compiled = compile_trace(trace)
     slots: list[_Slot] = []
     source_identity = IdentityIndex()

@@ -37,8 +37,19 @@ from ..volumes.probability import (
     build_probability_volumes_multi,
     estimate_pairwise,
 )
+from ..telemetry import REGISTRY
 from .metrics import ReplayMetrics
 from .prediction import ReplayConfig, replay_many
+
+_TEL_SWEEP_POINTS = REGISTRY.counter(
+    "analysis_sweep_points_total", "sweep points submitted to run_sweep"
+)
+_TEL_SWEEP_POINTS_COMPLETED = REGISTRY.counter(
+    "analysis_sweep_points_completed_total", "sweep points whose metrics have arrived"
+)
+_TEL_SWEEP_SECONDS = REGISTRY.histogram(
+    "analysis_sweep_seconds", "wall time of one full sweep run"
+)
 
 __all__ = [
     "SweepPoint",
@@ -136,12 +147,25 @@ def run_sweep(
     points = list(points)
     if not points:
         return []
+    _TEL_SWEEP_POINTS.inc(len(points))
+    with _TEL_SWEEP_SECONDS.time():
+        return _run_sweep_engine(trace, points, engine=engine, processes=processes)
+
+
+def _run_sweep_engine(
+    trace: Trace | CompiledTrace,
+    points: list[SweepPoint],
+    *,
+    engine: str,
+    processes: int | None,
+) -> list[SweepResult]:
     if engine == "reference":
         metrics = replay_many(
             trace if isinstance(trace, Trace) else _reject_compiled(trace),
             [(p.store, p.config) for p in points],
             engine="reference",
         )
+        _TEL_SWEEP_POINTS_COMPLETED.inc(len(points))
         return [
             SweepResult(p.label, m, p.params) for p, m in zip(points, metrics)
         ]
@@ -161,6 +185,7 @@ def run_sweep(
     metrics = replay_many(
         compiled, [(s, p.config) for s, p in zip(stores, points)], engine="fast"
     )
+    _TEL_SWEEP_POINTS_COMPLETED.inc(len(points))
     return [SweepResult(p.label, m, p.params) for p, m in zip(points, metrics)]
 
 
@@ -208,6 +233,9 @@ def _run_parallel(
         _SHARED.clear()
     ordered: list[ReplayMetrics | None] = [None] * len(points)
     for indices, metrics in zip(chunks, chunk_metrics):
+        # Completion accounting happens in the parent: child processes have
+        # their own registry copies whose increments die with the fork.
+        _TEL_SWEEP_POINTS_COMPLETED.inc(len(indices))
         for index, metric in zip(indices, metrics):
             ordered[index] = metric
     return [

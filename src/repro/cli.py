@@ -58,6 +58,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.snapshot is not None or args.url is not None:
+        return _cmd_stats_telemetry(args)
     trace = _load_trace(args)
     if args.kind == "server":
         stats = characterize_server_log(trace)
@@ -75,6 +77,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"distinct servers     {stats.distinct_servers}")
         print(f"unique resources     {stats.unique_resources}")
         print(f"304 fraction         {stats.not_modified_fraction:.1%}")
+    return 0
+
+
+def _cmd_stats_telemetry(args: argparse.Namespace) -> int:
+    """Render a telemetry snapshot (file or live endpoint) as tables."""
+    from .telemetry.report import (
+        instrument_names,
+        load_snapshot_file,
+        load_snapshot_url,
+        missing_families,
+        render_report,
+    )
+
+    try:
+        if args.snapshot is not None:
+            snapshot, series = load_snapshot_file(args.snapshot)
+        else:
+            snapshot, series = load_snapshot_url(args.url)
+    except (OSError, ValueError) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(snapshot, series), end="")
+    if args.require:
+        missing = missing_families(instrument_names(snapshot, series), args.require)
+        if missing:
+            print(
+                "stats: missing required metric families: " + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -265,6 +297,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     from .volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
     from .workloads.sitegen import SiteConfig, generate_site
 
+    telemetry_requested = args.telemetry_out or args.telemetry_series
+    if telemetry_requested:
+        from . import telemetry
+
+        telemetry.enable()
+
     host = "www.load.example"
     site = generate_site(SiteConfig(host=host, page_count=args.pages,
                                     directory_count=6, seed=args.seed))
@@ -327,7 +365,23 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"loadtest: {exc}", file=sys.stderr)
             return 2
-        report = run_load(address, port, urls, config, validate=validate)
+        report = run_load(
+            address, port, urls, config, validate=validate,
+            flush_path=args.telemetry_series,
+            flush_interval=args.flush_interval,
+        )
+        if args.telemetry_out:
+            from .telemetry import REGISTRY, render_json, render_prometheus
+
+            snapshot = REGISTRY.snapshot()
+            rendered = (
+                render_json(snapshot)
+                if args.telemetry_out.endswith(".json")
+                else render_prometheus(snapshot)
+            )
+            with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"telemetry snapshot   {args.telemetry_out}")
 
         print(f"target               {args.target} (fault profile: {args.fault})")
         print(report.format())
@@ -469,9 +523,17 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True)
     generate.set_defaults(handler=_cmd_generate)
 
-    stats = sub.add_parser("stats", help="characterize a log (Tables 2/3)")
+    stats = sub.add_parser(
+        "stats",
+        help="characterize a log (Tables 2/3) or render a telemetry snapshot")
     add_common(stats)
     stats.add_argument("--kind", choices=("server", "client"), default="server")
+    stats.add_argument("--snapshot", default=None,
+                       help="render a telemetry dump (Prometheus text, JSON, or JSONL)")
+    stats.add_argument("--url", default=None,
+                       help="fetch and render a live /.repro/metrics endpoint")
+    stats.add_argument("--require", nargs="*", default=None,
+                       help="metric-family prefixes that must be present (exit 1 if not)")
     stats.set_defaults(handler=_cmd_stats)
 
     for name, handler, help_text in (
@@ -570,6 +632,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--fault", choices=_FAULT_PROFILES, default="none",
                           help="fault-injection profile between proxy and origin")
     loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--telemetry-out", default=None,
+                          help="enable telemetry and dump a final snapshot "
+                               "(Prometheus text, or JSON for *.json paths)")
+    loadtest.add_argument("--telemetry-series", default=None,
+                          help="enable telemetry and flush a JSONL time series here")
+    loadtest.add_argument("--flush-interval", type=float, default=0.5,
+                          help="seconds between time-series flushes")
     loadtest.set_defaults(handler=_cmd_loadtest)
     return parser
 

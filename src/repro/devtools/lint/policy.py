@@ -10,7 +10,9 @@ to the subtree where that property must hold:
 * ``resources`` — everything that creates sockets, files, or threads,
   including the benchmarks;
 * ``api`` — cross-file invariants (metrics parity, codec parity) over the
-  library source.
+  library source;
+* ``telemetry`` — metric-registration hygiene everywhere instruments are
+  registered (library source and benchmarks).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from dataclasses import dataclass
 
 __all__ = ["Policy", "DEFAULT_POLICY", "FAMILIES"]
 
-FAMILIES = ("determinism", "locks", "resources", "api")
+FAMILIES = ("determinism", "locks", "resources", "api", "telemetry")
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,5 +60,6 @@ DEFAULT_POLICY = Policy(
         ),
         ("resources", ("src/repro", "benchmarks")),
         ("api", ("src/repro",)),
+        ("telemetry", ("src/repro", "benchmarks")),
     )
 )

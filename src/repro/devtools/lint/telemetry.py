@@ -1,0 +1,138 @@
+"""Telemetry rules: metric registration hygiene.
+
+The metrics catalogue in ``docs/observability.md`` is only trustworthy if
+every instrument is registered with a *grep-able* literal name, the names
+follow one convention, and no two modules claim the same name for
+different purposes.  These rules pin all three properties at the
+``REGISTRY.counter/gauge/histogram`` call sites:
+
+* ``tel-literal-name`` — the name argument must be a string literal, not
+  a variable or f-string, so ``git grep <metric>`` finds the owner;
+* ``tel-name-format`` — names are ``snake_case`` (the Prometheus subset
+  this repo emits: ``^[a-z][a-z0-9_]*$``);
+* ``tel-duplicate-registration`` — one name, one call site.  Registering
+  the same name twice with the same kind is runtime-legal (idempotent)
+  but makes ownership ambiguous; with different kinds it raises at
+  import.  Either way the fix is one shared module-level instrument.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+
+from .astutil import dotted_name
+from .engine import Finding, ModuleRule, ProjectRule, SourceModule, register
+
+_REGISTER_METHODS = frozenset({"counter", "gauge", "histogram"})
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _registration_calls(module: SourceModule) -> Iterator[ast.Call]:
+    """Calls that look like instrument registrations on a metrics registry.
+
+    Heuristic: a ``counter``/``gauge``/``histogram`` method call whose
+    receiver is a dotted name ending in a component containing
+    ``registry`` (case-insensitive) — matches the module singleton
+    ``REGISTRY``, locals like ``registry``, and fields like
+    ``self.registry`` or ``self._registry``.
+    """
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REGISTER_METHODS
+        ):
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            continue
+        leaf = receiver.rsplit(".", 1)[-1]
+        if "registry" in leaf.lower():
+            yield node
+
+
+def _name_arg(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+@register
+class LiteralNameRule(ModuleRule):
+    id = "tel-literal-name"
+    family = "telemetry"
+    description = (
+        "Metric names at registry.counter/gauge/histogram call sites must "
+        "be string literals so every metric is grep-able to its owner."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for call in _registration_calls(module):
+            name = _name_arg(call)
+            if name is None:
+                yield module.finding(
+                    self, call, f"registry.{call.func.attr}() call without a metric name"  # type: ignore[union-attr]
+                )
+            elif not (isinstance(name, ast.Constant) and isinstance(name.value, str)):
+                yield module.finding(
+                    self,
+                    name,
+                    "metric name must be a string literal, not a computed value",
+                )
+
+
+@register
+class NameFormatRule(ModuleRule):
+    id = "tel-name-format"
+    family = "telemetry"
+    description = "Metric names are snake_case: ^[a-z][a-z0-9_]*$."
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for call in _registration_calls(module):
+            name = _name_arg(call)
+            if (
+                isinstance(name, ast.Constant)
+                and isinstance(name.value, str)
+                and _NAME_RE.match(name.value) is None
+            ):
+                yield module.finding(
+                    self,
+                    name,
+                    f"metric name {name.value!r} is not snake_case "
+                    "(^[a-z][a-z0-9_]*$)",
+                )
+
+
+@register
+class DuplicateRegistrationRule(ProjectRule):
+    id = "tel-duplicate-registration"
+    family = "telemetry"
+    description = (
+        "Each metric name is registered at exactly one call site; share "
+        "the module-level instrument instead of re-registering."
+    )
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        sites: dict[str, list[tuple[SourceModule, ast.expr]]] = {}
+        for module in modules:
+            for call in _registration_calls(module):
+                name = _name_arg(call)
+                if isinstance(name, ast.Constant) and isinstance(name.value, str):
+                    sites.setdefault(name.value, []).append((module, name))
+        for name, registrations in sorted(sites.items()):
+            if len(registrations) <= 1:
+                continue
+            first_module, first_node = registrations[0]
+            origin = f"{first_module.relpath}:{first_node.lineno}"
+            for module, node in registrations[1:]:
+                yield module.finding(
+                    self,
+                    node,
+                    f"metric {name!r} already registered at {origin}; "
+                    "share that instrument instead",
+                )

@@ -28,8 +28,49 @@ from dataclasses import dataclass, field
 
 from ..devtools.lockorder import make_lock
 from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
+from ..telemetry import REGISTRY, TRACE_HEADER, TRACER, render_json, render_prometheus
 
-__all__ = ["WireServerStats", "ThreadedWireServer"]
+__all__ = ["WireServerStats", "ThreadedWireServer", "METRICS_PATH"]
+
+# Introspection endpoint every ThreadedWireServer answers before
+# dispatching to its subclass handler.
+METRICS_PATH = "/.repro/metrics"
+
+_TEL_CONNECTIONS = REGISTRY.counter(
+    "wire_connections_accepted_total", "TCP connections accepted by wire servers"
+)
+_TEL_REQUESTS = REGISTRY.counter(
+    "wire_requests_served_total", "requests answered by wire servers"
+)
+_TEL_BAD_REQUESTS = REGISTRY.counter(
+    "wire_bad_requests_total", "unparseable requests answered with 400"
+)
+_TEL_IDLE_TIMEOUTS = REGISTRY.counter(
+    "wire_idle_timeouts_total", "connections reclaimed by the per-connection io timeout"
+)
+_TEL_CONN_ERRORS = REGISTRY.counter(
+    "wire_connection_errors_total", "reads/writes that failed on a dead client"
+)
+_TEL_INTERNAL_ERRORS = REGISTRY.counter(
+    "wire_internal_errors_total", "handler exceptions mapped to 500"
+)
+_TEL_ACTIVE_WORKERS = REGISTRY.gauge(
+    "wire_active_workers", "connection-serving threads currently alive"
+)
+_TEL_REQUEST_SECONDS = REGISTRY.histogram(
+    "wire_request_seconds", "server-side request handling latency"
+)
+
+# WireServerStats field -> global telemetry counter, so _count() keeps the
+# per-server dataclass and the process-wide registry in one step.
+_TEL_COUNTERS = {
+    "connections_accepted": _TEL_CONNECTIONS,
+    "requests_served": _TEL_REQUESTS,
+    "bad_requests": _TEL_BAD_REQUESTS,
+    "idle_timeouts": _TEL_IDLE_TIMEOUTS,
+    "connection_errors": _TEL_CONN_ERRORS,
+    "internal_errors": _TEL_INTERNAL_ERRORS,
+}
 
 
 @dataclass(slots=True)
@@ -149,6 +190,24 @@ class ThreadedWireServer:
     def _count(self, counter: str, amount: int = 1) -> None:
         with self._stats_lock:
             setattr(self.wire_stats, counter, getattr(self.wire_stats, counter) + amount)
+        _TEL_COUNTERS[counter].inc(amount)
+
+    # -- introspection endpoint --------------------------------------------
+
+    def _metrics_response(self, request: HttpRequest) -> HttpResponse:
+        """Serve the process-wide telemetry snapshot for ``METRICS_PATH``."""
+        snapshot = REGISTRY.snapshot()
+        if "format=json" in request.target:
+            body = render_json(
+                snapshot, spans=[record.to_json() for record in TRACER.recent()]
+            ).encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = render_prometheus(snapshot).encode("utf-8")
+            content_type = "text/plain; version=0.0.4"
+        response = HttpResponse(status=200, body=body)
+        response.headers.set("Content-Type", content_type)
+        return response
 
     # -- accept/serve loops ------------------------------------------------
 
@@ -183,12 +242,14 @@ class ThreadedWireServer:
             worker.start()
 
     def _worker_entry(self, key: int, client: socket.socket) -> None:
+        _TEL_ACTIVE_WORKERS.inc()
         try:
             self._serve_connection(client)
         finally:
             with self._connections_lock:
                 self._connections.pop(key, None)
             self._worker_slots.release()
+            _TEL_ACTIVE_WORKERS.dec()
 
     def _serve_connection(self, client: socket.socket) -> None:
         reader = client.makefile("rb")
@@ -209,7 +270,16 @@ class ThreadedWireServer:
                     self._count("connection_errors")
                     return
                 try:
-                    response = self.handle_request(request)
+                    if request.target.split("?", 1)[0] == METRICS_PATH:
+                        response = self._metrics_response(request)
+                    else:
+                        with _TEL_REQUEST_SECONDS.time(), TRACER.span(
+                            "wire.request",
+                            parent_header=request.headers.get(TRACE_HEADER),
+                        ) as span:
+                            span.tag("server", self.name)
+                            span.tag("target", request.target)
+                            response = self.handle_request(request)
                 except Exception:  # noqa: BLE001 - one bad request never kills the worker
                     self._count("internal_errors")
                     response = HttpResponse(status=500)

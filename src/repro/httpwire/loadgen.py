@@ -31,11 +31,25 @@ from ..devtools.lockorder import make_lock
 from ..httpmodel.headers import Headers
 from ..httpmodel.messages import HttpRequest, HttpResponse
 from ..httpmodel.piggy_codec import P_VOLUME_HEADER
+from ..telemetry import REGISTRY, TRACE_HEADER, TRACER, MetricsRegistry, PeriodicFlusher
 from .netclient import HttpConnection
 
 __all__ = ["LoadConfig", "LoadReport", "percentile", "run_load"]
 
 Validator = Callable[[str, HttpResponse], bool]
+
+# Global mirrors: the run-local registry below is the source of truth for
+# the report; these make client-side latency/error families visible on the
+# same process-wide snapshot as the server-side wire_* instruments.
+_TEL_CLIENT_REQUESTS = REGISTRY.counter(
+    "client_requests_total", "load-generator requests issued"
+)
+_TEL_CLIENT_ERRORS = REGISTRY.counter(
+    "client_errors_total", "load-generator requests that failed at the transport"
+)
+_TEL_CLIENT_REQUEST_SECONDS = REGISTRY.histogram(
+    "client_request_seconds", "load-generator end-to-end request latency"
+)
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -156,11 +170,50 @@ class LoadReport:
 
 
 class _Accumulator:
-    """Thread-safe collector merged into the final LoadReport."""
+    """Thread-safe collector backed by a run-local telemetry registry.
+
+    The registry (always enabled, independent of the global gate) is the
+    single source of truth for the run's aggregates; :meth:`report`
+    projects it into the :class:`LoadReport` shape, whose ``format()``
+    output stays byte-identical to the pre-telemetry implementation —
+    the latency histogram keeps raw samples so percentiles are exact,
+    not bucket-estimated.  Only the per-status breakdown stays a plain
+    dict (instruments are unlabelled by design).
+    """
 
     def __init__(self) -> None:
         self.lock = make_lock("loadgen._Accumulator.lock")
-        self.report = LoadReport()
+        self.registry = MetricsRegistry(enabled=True)
+        self._requests = self.registry.counter(
+            "loadgen_requests_total", "requests issued this run"
+        )
+        self._measured = self.registry.counter(
+            "loadgen_measured_requests_total", "requests counted in latency stats"
+        )
+        self._warmup = self.registry.counter(
+            "loadgen_warmup_requests_total", "warmup requests excluded from stats"
+        )
+        self._errors = self.registry.counter(
+            "loadgen_errors_total", "requests that failed at the transport"
+        )
+        self._corrupted = self.registry.counter(
+            "loadgen_corrupted_total", "responses failing the validate hook"
+        )
+        self._bytes = self.registry.counter(
+            "loadgen_bytes_received_total", "response body bytes received"
+        )
+        self._piggyback_messages = self.registry.counter(
+            "loadgen_piggyback_messages_total", "responses carrying a P-volume trailer"
+        )
+        self._piggyback_bytes = self.registry.counter(
+            "loadgen_piggyback_bytes_total", "P-volume trailer bytes received"
+        )
+        self._latency = self.registry.histogram(
+            "loadgen_latency_seconds",
+            "measured request latency",
+            keep_samples=True,
+        )
+        self._status_counts: dict[int, int] = {}
 
     def record(
         self,
@@ -170,28 +223,44 @@ class _Accumulator:
         measured: bool,
         corrupted: bool,
     ) -> None:
+        self._requests.inc()
+        if measured:
+            self._measured.inc()
+        else:
+            self._warmup.inc()
+        if response is None:
+            self._errors.inc()
+            return
         with self.lock:
-            report = self.report
-            report.requests += 1
-            if measured:
-                report.measured_requests += 1
-            else:
-                report.warmup_requests += 1
-            if response is None:
-                report.errors += 1
-                return
-            report.status_counts[response.status] = (
-                report.status_counts.get(response.status, 0) + 1
+            self._status_counts[response.status] = (
+                self._status_counts.get(response.status, 0) + 1
             )
-            report.bytes_received += len(response.body)
-            trailer = response.trailers.get(P_VOLUME_HEADER)
-            if trailer is not None:
-                report.piggyback_messages += 1
-                report.piggyback_bytes += len(trailer.encode("latin-1"))
-            if corrupted:
-                report.corrupted += 1
-            if measured:
-                report.latencies.append(latency)
+        self._bytes.inc(len(response.body))
+        trailer = response.trailers.get(P_VOLUME_HEADER)
+        if trailer is not None:
+            self._piggyback_messages.inc()
+            self._piggyback_bytes.inc(len(trailer.encode("latin-1")))
+        if corrupted:
+            self._corrupted.inc()
+        if measured:
+            self._latency.observe(latency)
+
+    def report(self) -> LoadReport:
+        """Project the registry into the classic LoadReport shape."""
+        with self.lock:
+            status_counts = dict(self._status_counts)
+        return LoadReport(
+            requests=self._requests.value,
+            measured_requests=self._measured.value,
+            warmup_requests=self._warmup.value,
+            errors=self._errors.value,
+            corrupted=self._corrupted.value,
+            bytes_received=self._bytes.value,
+            piggyback_messages=self._piggyback_messages.value,
+            piggyback_bytes=self._piggyback_bytes.value,
+            status_counts=status_counts,
+            latencies=list(self._latency.samples),
+        )
 
 
 class _Client:
@@ -247,16 +316,23 @@ class _Client:
                 url = self.urls[self.rng.randrange(len(self.urls))]
                 request = self._build_request(url)
                 measured = sequence >= self.config.warmup_requests
-                begin = time.perf_counter()
-                try:
-                    response = connection.request(request)
-                except (EOFError, TimeoutError, ConnectionError, OSError, ValueError):
-                    connection.close()
-                    self.accumulator.record(
-                        0.0, None, measured=measured, corrupted=False
-                    )
-                    continue
-                latency = time.perf_counter() - begin
+                _TEL_CLIENT_REQUESTS.inc()
+                with TRACER.span("client.request") as span:
+                    if span.header is not None:
+                        request.headers.set(TRACE_HEADER, span.header)
+                        span.tag("url", url)
+                    begin = time.perf_counter()
+                    try:
+                        response = connection.request(request)
+                    except (EOFError, TimeoutError, ConnectionError, OSError, ValueError):
+                        connection.close()
+                        _TEL_CLIENT_ERRORS.inc()
+                        self.accumulator.record(
+                            0.0, None, measured=measured, corrupted=False
+                        )
+                        continue
+                    latency = time.perf_counter() - begin
+                _TEL_CLIENT_REQUEST_SECONDS.observe(latency)
                 lm = response.headers.get("Last-Modified")
                 if lm is not None:
                     self.last_modified_seen[url] = lm
@@ -294,11 +370,26 @@ def run_load(
     urls: Sequence[str],
     config: LoadConfig = LoadConfig(),
     validate: Validator | None = None,
+    *,
+    flush_path: str | None = None,
+    flush_interval: float = 0.5,
 ) -> LoadReport:
-    """Run one load generation pass and return the merged report."""
+    """Run one load generation pass and return the merged report.
+
+    With *flush_path* set, a :class:`PeriodicFlusher` appends a JSONL
+    snapshot of the run-local registry plus the global registry every
+    *flush_interval* seconds, turning the run into a time series.
+    """
     if not urls:
         raise ValueError("need at least one URL to request")
     accumulator = _Accumulator()
+    flusher = (
+        PeriodicFlusher(
+            [accumulator.registry, REGISTRY], flush_path, interval=flush_interval
+        )
+        if flush_path is not None
+        else None
+    )
     schedules = _open_loop_schedules(config) if config.mode == "open" else None
     start_time = time.monotonic()
     clients = [
@@ -316,6 +407,8 @@ def run_load(
         for index in range(config.clients)
     ]
     begin = time.perf_counter()
+    if flusher is not None:
+        flusher.start()
     threads = [
         threading.Thread(target=client.run, name=f"loadgen-{client.index}", daemon=True)
         for client in clients
@@ -328,9 +421,13 @@ def run_load(
     deadline = time.monotonic() + max(
         30.0, config.requests_per_client * (config.timeout + 1.0)
     )
-    for thread in threads:
-        thread.join(timeout=max(0.0, deadline - time.monotonic()))
-    report = accumulator.report
+    try:
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+    finally:
+        if flusher is not None:
+            flusher.stop()
+    report = accumulator.report()
     report.mode = config.mode
     report.clients = config.clients
     report.duration = time.perf_counter() - begin

@@ -17,8 +17,25 @@ from __future__ import annotations
 import socket
 
 from ..httpmodel.messages import HttpRequest, HttpResponse, read_response
+from ..telemetry import REGISTRY
 
 __all__ = ["HttpConnection", "fetch_once"]
+
+_TEL_CONNECTS = REGISTRY.counter(
+    "wire_client_connects_total", "outbound TCP connections established"
+)
+_TEL_CONNECT_SECONDS = REGISTRY.histogram(
+    "wire_client_connect_seconds", "outbound TCP connect latency"
+)
+_TEL_CLIENT_REQUESTS = REGISTRY.counter(
+    "wire_client_requests_total", "request/response exchanges attempted"
+)
+_TEL_CLIENT_ERRORS = REGISTRY.counter(
+    "wire_client_errors_total", "exchanges that raised (timeout, reset, parse)"
+)
+_TEL_RECONNECTS = REGISTRY.counter(
+    "wire_client_reconnects_total", "transparent reconnects after a server-closed connection"
+)
 
 
 class HttpConnection:
@@ -36,8 +53,12 @@ class HttpConnection:
             return
         # create_connection's timeout sticks to the socket, bounding every
         # subsequent send/recv as well as the connect itself.
-        self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        with _TEL_CONNECT_SECONDS.time():
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
         self._reader = self._sock.makefile("rb")
+        _TEL_CONNECTS.inc()
 
     def request_once(self, message: HttpRequest) -> HttpResponse:
         """Send one request and read its response; no reconnect, no retry.
@@ -46,11 +67,13 @@ class HttpConnection:
         connection is closed, leaving it safe to retry on a fresh one.
         """
         self._ensure_connected()
+        _TEL_CLIENT_REQUESTS.inc()
         try:
             assert self._sock is not None
             self._sock.sendall(message.serialize())
             return read_response(self._reader)
         except BaseException:
+            _TEL_CLIENT_ERRORS.inc()
             self.close()
             raise
 
@@ -60,6 +83,7 @@ class HttpConnection:
         try:
             return self.request_once(message)
         except (EOFError, ConnectionError, BrokenPipeError):
+            _TEL_RECONNECTS.inc()
             return self.request_once(message)
 
     def close(self) -> None:

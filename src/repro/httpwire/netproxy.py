@@ -43,6 +43,7 @@ from ..httpmodel.piggy_codec import (
     parse_p_volume,
 )
 from ..proxy.proxy import ClientOutcome, PiggybackProxy, ProxyConfig
+from ..telemetry import REGISTRY, TRACE_HEADER, TRACER
 from .connbase import ThreadedWireServer
 from .netclient import HttpConnection
 
@@ -51,6 +52,22 @@ __all__ = ["UpstreamPolicy", "UpstreamStats", "HttpUpstream", "PiggybackHttpProx
 BAD_GATEWAY = 502
 
 _RETRYABLE = (EOFError, HttpParseError, ConnectionError, BrokenPipeError, OSError)
+
+_TEL_UPSTREAM_EXCHANGES = REGISTRY.counter(
+    "proxy_upstream_exchanges_total", "origin fetches attempted by the wire proxy"
+)
+_TEL_UPSTREAM_RETRIES = REGISTRY.counter(
+    "proxy_upstream_retries_total", "origin fetch attempts beyond the first"
+)
+_TEL_UPSTREAM_FAILURES = REGISTRY.counter(
+    "proxy_upstream_failures_total", "origin fetches degraded to a synthetic 502"
+)
+_TEL_UPSTREAM_SECONDS = REGISTRY.histogram(
+    "proxy_upstream_fetch_seconds", "origin fetch latency including retries"
+)
+_TEL_STALE_RESPONSES = REGISTRY.counter(
+    "proxy_stale_responses_total", "client requests answered from a stale body"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -166,13 +183,22 @@ class HttpUpstream:
         if report_value is not None:
             http_request.headers.set(PIGGY_REPORT_HEADER, report_value)
         http_request.headers.set("X-Proxy-Name", request.source)
+        trace_header = TRACER.current_header()
+        if trace_header is not None:
+            http_request.headers.set(TRACE_HEADER, trace_header)
         return http_request
 
     def __call__(self, request: ProxyRequest) -> ServerResponse:
+        with _TEL_UPSTREAM_SECONDS.time(), TRACER.span("proxy.upstream_fetch") as span:
+            span.tag("url", request.url)
+            return self._exchange(request)
+
+    def _exchange(self, request: ProxyRequest) -> ServerResponse:
         host, _, path = request.url.partition("/")
         http_request = self._build_request(request, host, path)
         with self._lock:
             self.stats.exchanges += 1
+        _TEL_UPSTREAM_EXCHANGES.inc()
 
         http_response = None
         delay = self.policy.backoff
@@ -180,6 +206,7 @@ class HttpUpstream:
             if attempt:
                 with self._lock:
                     self.stats.retries += 1
+                _TEL_UPSTREAM_RETRIES.inc()
                 if delay > 0:
                     self._sleep(delay)
                 delay *= self.policy.backoff_factor
@@ -199,6 +226,7 @@ class HttpUpstream:
             # synthetic 502 the engine will treat as FAILED — never cached.
             with self._lock:
                 self.stats.failures += 1
+            _TEL_UPSTREAM_FAILURES.inc()
             return ServerResponse(
                 url=request.url, status=BAD_GATEWAY, timestamp=self.clock()
             )
@@ -303,6 +331,7 @@ class PiggybackHttpProxy(ThreadedWireServer):
         if stale is not None:
             with self._stale_lock:
                 self.stale_responses += 1
+            _TEL_STALE_RESPONSES.inc()
             headers = Headers()
             headers.set("Via", "1.1 repro-piggyback-proxy")
             headers.set("X-Cache", "stale")

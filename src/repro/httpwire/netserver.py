@@ -32,9 +32,16 @@ from ..httpmodel.piggy_codec import (
     parse_piggy_report,
 )
 from ..server.server import PiggybackServer
+from ..telemetry import REGISTRY, SIZE_BUCKETS
 from .connbase import ThreadedWireServer
 
 __all__ = ["PiggybackHttpServer", "PlainHttpServer", "synthetic_body"]
+
+_TEL_PIGGYBACK_WIRE_BYTES = REGISTRY.histogram(
+    "server_piggyback_wire_bytes",
+    "serialized P-volume trailer size per piggybacked response",
+    buckets=SIZE_BUCKETS,
+)
 
 
 def synthetic_body(url: str, size: int) -> bytes:
@@ -132,7 +139,9 @@ class PiggybackHttpServer(ThreadedWireServer):
 
         trailers = Headers()
         if result.piggyback is not None:
-            trailers.set(P_VOLUME_HEADER, format_p_volume(result.piggyback))
+            p_volume_value = format_p_volume(result.piggyback)
+            trailers.set(P_VOLUME_HEADER, p_volume_value)
+            _TEL_PIGGYBACK_WIRE_BYTES.observe(float(len(p_volume_value)))
         return HttpResponse(
             status=result.status, headers=headers, body=body, trailers=trailers
         )

@@ -12,9 +12,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..telemetry import REGISTRY
 from .replacement import LruPolicy, ReplacementPolicy
 
 __all__ = ["CacheEntry", "CacheOutcome", "CacheStats", "ProxyCache"]
+
+_TEL_CACHE_PROBES = REGISTRY.counter(
+    "proxy_cache_probes_total", "cache probes for client requests"
+)
+_TEL_CACHE_FRESH_HITS = REGISTRY.counter(
+    "proxy_cache_fresh_hits_total", "probes answered by a fresh cached copy"
+)
+_TEL_CACHE_EXPIRED_HITS = REGISTRY.counter(
+    "proxy_cache_expired_hits_total", "probes finding an expired copy (revalidation)"
+)
+_TEL_CACHE_MISSES = REGISTRY.counter(
+    "proxy_cache_misses_total", "probes finding nothing cached"
+)
+_TEL_CACHE_EVICTIONS = REGISTRY.counter(
+    "proxy_cache_evictions_total", "entries evicted to fit the byte capacity"
+)
+_TEL_CACHE_INVALIDATIONS = REGISTRY.counter(
+    "proxy_cache_invalidations_total", "stale copies dropped on piggyback advice"
+)
+_TEL_CACHE_FRESHENINGS = REGISTRY.counter(
+    "proxy_cache_piggyback_freshenings_total",
+    "expirations extended because a piggyback confirmed the copy",
+)
 
 
 class CacheOutcome(Enum):
@@ -106,16 +130,20 @@ class ProxyCache:
     def probe(self, url: str, now: float) -> CacheOutcome:
         """Classify a client request against the cache and update stats."""
         self.stats.probes += 1
+        _TEL_CACHE_PROBES.inc()
         entry = self._entries.get(url)
         if entry is None:
             self.stats.misses += 1
+            _TEL_CACHE_MISSES.inc()
             return CacheOutcome.MISS
         entry.last_access = now
         self.policy.on_access(entry, now)
         if entry.is_fresh(now):
             self.stats.fresh_hits += 1
+            _TEL_CACHE_FRESH_HITS.inc()
             return CacheOutcome.HIT_FRESH
         self.stats.expired_hits += 1
+        _TEL_CACHE_EXPIRED_HITS.inc()
         return CacheOutcome.HIT_EXPIRED
 
     def put(
@@ -157,6 +185,7 @@ class ProxyCache:
                 break
             self._remove(victim_url)
             self.stats.evictions += 1
+            _TEL_CACHE_EVICTIONS.inc()
 
     def _remove(self, url: str) -> None:
         entry = self._entries.pop(url, None)
@@ -180,11 +209,13 @@ class ProxyCache:
         entry.expires = now + self.freshness_interval
         entry.last_piggyback = now
         self.stats.piggyback_freshenings += 1
+        _TEL_CACHE_FRESHENINGS.inc()
 
     def invalidate(self, url: str) -> bool:
         """Drop a stale copy reported by a piggyback; True if present."""
         if url in self._entries:
             self._remove(url)
             self.stats.invalidations += 1
+            _TEL_CACHE_INVALIDATIONS.inc()
             return True
         return False

@@ -14,8 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.piggyback import PiggybackElement
+from ..telemetry import REGISTRY
 
 __all__ = ["PrefetchPolicy", "PrefetchStats", "PrefetchEngine"]
+
+_TEL_PREFETCH_ISSUED = REGISTRY.counter(
+    "proxy_prefetch_issued_total", "prefetches admitted by the policy"
+)
+_TEL_PREFETCH_USEFUL = REGISTRY.counter(
+    "proxy_prefetch_useful_total", "prefetches used by a client within the window"
+)
+_TEL_PREFETCH_FUTILE = REGISTRY.counter(
+    "proxy_prefetch_futile_total", "prefetches never used within the window"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +121,7 @@ class PrefetchEngine:
             self._outstanding[element.url] = (now, element.size)
             self.stats.issued += 1
             self.stats.bytes_fetched += element.size
+            _TEL_PREFETCH_ISSUED.inc()
             selected.append(element)
         return selected
 
@@ -123,8 +135,10 @@ class PrefetchEngine:
         if now - issued_at <= self.usefulness_window:
             self.stats.useful += 1
             self.stats.bytes_useful += size
+            _TEL_PREFETCH_USEFUL.inc()
             return True
         self.stats.futile += 1
+        _TEL_PREFETCH_FUTILE.inc()
         return False
 
     def _expire(self, now: float) -> None:
@@ -133,6 +147,7 @@ class PrefetchEngine:
         for url in expired:
             del self._outstanding[url]
             self.stats.futile += 1
+            _TEL_PREFETCH_FUTILE.inc()
 
     def finalize(self) -> None:
         """Mark all still-outstanding prefetches futile (end of trace)."""

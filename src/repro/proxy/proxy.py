@@ -29,8 +29,37 @@ from .coherency import CoherencyManager
 from .fetch_queue import InformedFetchQueue
 from .freshness import AdaptiveFreshness
 from .prefetch import PrefetchEngine, PrefetchPolicy
+from ..telemetry import REGISTRY, TRACER
 
 __all__ = ["ClientOutcome", "ClientResult", "ProxyConfig", "ProxyStats", "PiggybackProxy"]
+
+_TEL_CLIENT_REQUESTS = REGISTRY.counter(
+    "proxy_client_requests_total", "client GETs handled by the piggyback proxy"
+)
+_TEL_CACHE_FRESH = REGISTRY.counter(
+    "proxy_outcome_cache_fresh_total", "client GETs served from fresh cache"
+)
+_TEL_VALIDATED = REGISTRY.counter(
+    "proxy_outcome_validated_total", "client GETs revalidated with a 304"
+)
+_TEL_FETCHED = REGISTRY.counter(
+    "proxy_outcome_fetched_total", "client GETs that fetched a full body"
+)
+_TEL_FAILED = REGISTRY.counter(
+    "proxy_outcome_failed_total", "client GETs whose upstream exchange failed"
+)
+_TEL_PIGGYBACKS_RECEIVED = REGISTRY.counter(
+    "proxy_piggybacks_received_total", "piggyback messages absorbed from servers"
+)
+_TEL_PIGGYBACK_ELEMENTS_RECEIVED = REGISTRY.counter(
+    "proxy_piggyback_elements_received_total", "piggyback elements absorbed from servers"
+)
+_TEL_PIGGYBACK_BYTES_RECEIVED = REGISTRY.counter(
+    "proxy_piggyback_bytes_received_total", "estimated piggyback payload bytes received"
+)
+_TEL_PREFETCH_REQUESTS = REGISTRY.counter(
+    "proxy_prefetch_requests_total", "prefetch fetches issued ahead of demand"
+)
 
 Upstream = Callable[[ProxyRequest], ServerResponse]
 
@@ -42,6 +71,14 @@ class ClientOutcome(Enum):
     VALIDATED = "validated"
     FETCHED = "fetched"
     FAILED = "failed"
+
+
+_TEL_OUTCOMES = {
+    ClientOutcome.CACHE_FRESH: _TEL_CACHE_FRESH,
+    ClientOutcome.VALIDATED: _TEL_VALIDATED,
+    ClientOutcome.FETCHED: _TEL_FETCHED,
+    ClientOutcome.FAILED: _TEL_FAILED,
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,10 +187,19 @@ class PiggybackProxy:
 
     def handle_client_get(self, url: str, now: float) -> ClientResult:
         """Serve one client GET, contacting the server only when needed."""
+        _TEL_CLIENT_REQUESTS.inc()
+        result = self._handle_client_get(url, now)
+        _TEL_OUTCOMES[result.outcome].inc()
+        return result
+
+    def _handle_client_get(self, url: str, now: float) -> ClientResult:
         with self._lock:
             self.stats.client_requests += 1
             from_prefetch = self.prefetcher.on_client_request(url, now)
-            outcome = self.cache.probe(url, now)
+            with TRACER.span("proxy.cache_lookup") as span:
+                outcome = self.cache.probe(url, now)
+                span.tag("url", url)
+                span.tag("outcome", outcome.name.lower())
 
             if outcome is CacheOutcome.HIT_FRESH:
                 if self.config.report_cache_hits:
@@ -272,6 +318,9 @@ class PiggybackProxy:
         self.stats.piggybacks_received += 1
         self.stats.piggyback_elements_received += len(message)
         self.stats.piggyback_bytes_received += message.wire_bytes()
+        _TEL_PIGGYBACKS_RECEIVED.inc()
+        _TEL_PIGGYBACK_ELEMENTS_RECEIVED.inc(len(message))
+        _TEL_PIGGYBACK_BYTES_RECEIVED.inc(message.wire_bytes())
         self.rpv.record(server, message.volume_id, now)
         self.fetch_queue.remember(message)
         if self.config.adaptive_freshness:
@@ -293,6 +342,7 @@ class PiggybackProxy:
         )
         with self._lock:
             self.stats.prefetch_requests += 1
+        _TEL_PREFETCH_REQUESTS.inc()
         response = self.upstream(request)
         if response.is_ok:
             with self._lock:

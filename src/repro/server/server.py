@@ -12,11 +12,35 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..core.protocol import NOT_FOUND, NOT_MODIFIED, OK, ProxyRequest, ServerResponse
+from ..telemetry import REGISTRY, SIZE_BUCKETS, TRACER
 from ..traces.records import LogRecord
 from ..volumes.base import VolumeStore
 from .resources import ResourceStore
 
 __all__ = ["ServerStats", "PiggybackServer"]
+
+_TEL_SERVER_REQUESTS = REGISTRY.counter(
+    "server_requests_total", "proxy requests handled by the piggyback server"
+)
+_TEL_VOLUME_LOOKUPS = REGISTRY.counter(
+    "server_volume_lookups_total", "volume-store lookups while building piggybacks"
+)
+_TEL_PIGGYBACK_MESSAGES = REGISTRY.counter(
+    "server_piggyback_messages_total", "responses that carried a piggyback message"
+)
+_TEL_PIGGYBACK_ELEMENTS = REGISTRY.histogram(
+    "server_piggyback_elements", "elements per piggyback message sent", buckets=SIZE_BUCKETS
+)
+_TEL_PIGGYBACK_BYTES = REGISTRY.counter(
+    "server_piggyback_bytes_total", "estimated piggyback payload bytes sent"
+)
+_TEL_RPV_SUPPRESSIONS = REGISTRY.counter(
+    "server_rpv_suppressions_total",
+    "piggybacks suppressed because the volume was recently piggybacked (RPV)",
+)
+_TEL_REPORTED_CACHE_HITS = REGISTRY.counter(
+    "server_reported_cache_hits_total", "cache hits learned from Piggy-report headers"
+)
 
 
 @dataclass(slots=True)
@@ -70,6 +94,7 @@ class PiggybackServer:
 
     def _handle_locked(self, request: ProxyRequest) -> ServerResponse:
         self.stats.requests += 1
+        _TEL_SERVER_REQUESTS.inc()
         self._absorb_cache_hit_report(request)
         record = self.resources.get(request.url)
         if record is None:
@@ -90,11 +115,17 @@ class PiggybackServer:
             self.stats.body_bytes += size
 
         self._observe_request(request, last_modified, record.size)
-        piggyback = self._build_piggyback(request)
+        with TRACER.span("server.piggyback") as span:
+            piggyback = self._build_piggyback(request)
+            if piggyback is not None:
+                span.tag("elements", str(len(piggyback)))
         if piggyback is not None:
             self.stats.piggyback_messages += 1
             self.stats.piggyback_elements += len(piggyback)
             self.stats.piggyback_bytes += piggyback.wire_bytes()
+            _TEL_PIGGYBACK_MESSAGES.inc()
+            _TEL_PIGGYBACK_ELEMENTS.observe(float(len(piggyback)))
+            _TEL_PIGGYBACK_BYTES.inc(piggyback.wire_bytes())
 
         return ServerResponse(
             url=request.url,
@@ -116,6 +147,7 @@ class PiggybackServer:
             if count < 1 or url not in self.resources:
                 continue
             self.stats.reported_cache_hits += count
+            _TEL_REPORTED_CACHE_HITS.inc(count)
             record = self.resources.get(url)
             for _ in range(min(count, 1000)):
                 self.volume_store.observe(
@@ -152,8 +184,11 @@ class PiggybackServer:
         if not request.piggyback_filter.enabled:
             return None
         lookup = self.volume_store.lookup(request.url)
+        _TEL_VOLUME_LOOKUPS.inc()
         if lookup is None:
             return None
+        if lookup.volume_id in request.piggyback_filter.recently_piggybacked:
+            _TEL_RPV_SUPPRESSIONS.inc()
         now = request.timestamp
         candidates = (
             self._with_current_mtime(candidate, now)

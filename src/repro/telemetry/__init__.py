@@ -1,0 +1,101 @@
+"""repro.telemetry — zero-dependency metrics and request tracing.
+
+The package owns two process-global singletons:
+
+``REGISTRY``
+    The :class:`~repro.telemetry.registry.MetricsRegistry` every runtime
+    layer registers its instruments in.  Registration always happens
+    (it is cheap and makes the metric catalog introspectable), but
+    values only move while the registry is enabled.
+
+``TRACER``
+    The :class:`~repro.telemetry.trace.Tracer` that assigns trace ids
+    and propagates them across hops via the ``X-Repro-Trace`` header.
+
+Both are **off by default**; instrumented hot paths pay one boolean
+check.  Turn them on programmatically with :func:`enable` (the load
+generator and CLI do this when asked) or for a whole process with the
+``REPRO_TELEMETRY=1`` environment variable, read once at import time.
+"""
+
+from .export import (
+    JSON_SCHEMA_VERSION,
+    parse_prometheus,
+    parse_snapshot_json,
+    render_json,
+    render_prometheus,
+    sparkline,
+)
+from .flush import PeriodicFlusher, merge_snapshots
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    env_enabled,
+    log_buckets,
+)
+from .trace import (
+    TRACE_HEADER,
+    Span,
+    SpanRecord,
+    Tracer,
+    format_trace_header,
+    parse_trace_header,
+)
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "TRACE_HEADER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PeriodicFlusher",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "JSON_SCHEMA_VERSION",
+    "enable",
+    "disable",
+    "enabled",
+    "env_enabled",
+    "format_trace_header",
+    "log_buckets",
+    "merge_snapshots",
+    "parse_prometheus",
+    "parse_snapshot_json",
+    "parse_trace_header",
+    "render_json",
+    "render_prometheus",
+    "sparkline",
+]
+
+REGISTRY = MetricsRegistry(enabled=env_enabled())
+TRACER = Tracer(enabled=env_enabled())
+
+
+def enable() -> None:
+    """Turn on the global metrics registry and tracer."""
+    REGISTRY.enable()
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn off the global metrics registry and tracer."""
+    REGISTRY.disable()
+    TRACER.disable()
+
+
+def enabled() -> bool:
+    """True when the global registry is collecting."""
+    return REGISTRY.enabled()

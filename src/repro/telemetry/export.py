@@ -1,0 +1,231 @@
+"""Snapshot exposition: Prometheus text format, JSON, and parsers.
+
+Rendering is pure (snapshot in, string out) so it can run anywhere — the
+wire server's ``/.repro/metrics`` endpoint, the periodic flusher, and
+``repro stats --snapshot file`` all share these functions.  The parsers
+invert the renderers far enough for the CLI to re-load a dumped
+snapshot; Prometheus parsing is deliberately minimal (no labels other
+than ``le``, which is all this repo emits).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from .registry import HistogramSnapshot, MetricsSnapshot
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "parse_prometheus",
+    "parse_snapshot_json",
+    "render_json",
+    "render_prometheus",
+    "sparkline",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: integral floats without trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The snapshot in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for name, value in snapshot.counters.items():
+        help_text = snapshot.help.get(name, "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {value}")
+    for name, gauge_value in snapshot.gauges.items():
+        help_text = snapshot.help.get(name, "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(gauge_value)}")
+    for name, histogram in snapshot.histograms.items():
+        help_text = snapshot.help.get(name, "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in histogram.cumulative():
+            lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f"{name}_sum {_fmt(histogram.sum)}")
+        lines.append(f"{name}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    snapshot: MetricsSnapshot,
+    spans: list[dict[str, object]] | None = None,
+    *,
+    indent: int | None = 2,
+) -> str:
+    """The snapshot (plus optional finished spans) as a JSON document."""
+    document: dict[str, object] = {
+        "schema": JSON_SCHEMA_VERSION,
+        "enabled": snapshot.enabled,
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "histograms": {
+            name: {
+                "bounds": list(hist.bounds),
+                "counts": list(hist.counts),
+                "count": hist.count,
+                "sum": hist.sum,
+                "min": hist.min,
+                "max": hist.max,
+            }
+            for name, hist in snapshot.histograms.items()
+        },
+        "help": dict(snapshot.help),
+    }
+    if spans is not None:
+        document["spans"] = spans
+    return json.dumps(document, indent=indent, sort_keys=True) + "\n"
+
+
+def parse_snapshot_json(text: str) -> MetricsSnapshot:
+    """Rebuild a :class:`MetricsSnapshot` from :func:`render_json` output."""
+    document = json.loads(text)
+    if not isinstance(document, dict) or "counters" not in document:
+        raise ValueError("not a telemetry JSON snapshot")
+    histograms: dict[str, HistogramSnapshot] = {}
+    for name, payload in dict(document.get("histograms", {})).items():
+        histograms[name] = HistogramSnapshot(
+            bounds=tuple(float(bound) for bound in payload["bounds"]),
+            counts=tuple(int(count) for count in payload["counts"]),
+            count=int(payload["count"]),
+            sum=float(payload["sum"]),
+            min=float(payload["min"]),
+            max=float(payload["max"]),
+        )
+    return MetricsSnapshot(
+        enabled=bool(document.get("enabled", False)),
+        counters={name: int(v) for name, v in dict(document.get("counters", {})).items()},
+        gauges={name: float(v) for name, v in dict(document.get("gauges", {})).items()},
+        histograms=histograms,
+        help={name: str(v) for name, v in dict(document.get("help", {})).items()},
+    )
+
+
+def _parse_number(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)
+
+
+def parse_prometheus(text: str) -> MetricsSnapshot:
+    """Rebuild a snapshot from :func:`render_prometheus` output.
+
+    Only the subset this repo emits is understood: unlabelled counters
+    and gauges, and histograms whose sole label is ``le``.  Histogram
+    ``min``/``max`` are not part of the exposition format and come back
+    as the bucket-range edges (0 for an empty histogram).
+    """
+    types: dict[str, str] = {}
+    help_texts: dict[str, str] = {}
+    values: dict[str, float] = {}
+    buckets: dict[str, list[tuple[float, int]]] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            help_texts[name] = help_text
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            continue
+        if '{le="' in name_part:
+            metric, _, label = name_part.partition("{le=\"")
+            bound = _parse_number(label.rstrip('"}'))
+            base = metric[: -len("_bucket")] if metric.endswith("_bucket") else metric
+            buckets.setdefault(base, []).append((bound, int(float(value_part))))
+        else:
+            values[name_part] = _parse_number(value_part)
+
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, HistogramSnapshot] = {}
+    for name, kind in types.items():
+        if kind == "counter":
+            counters[name] = int(values.get(name, 0))
+        elif kind == "gauge":
+            gauges[name] = values.get(name, 0.0)
+        elif kind == "histogram":
+            pairs = sorted(buckets.get(name, []), key=lambda pair: pair[0])
+            finite = [pair for pair in pairs if pair[0] != math.inf]
+            total = int(values.get(f"{name}_count", pairs[-1][1] if pairs else 0))
+            bounds = tuple(bound for bound, _ in finite)
+            counts: list[int] = []
+            previous = 0
+            for _, cumulative in finite:
+                counts.append(cumulative - previous)
+                previous = cumulative
+            counts.append(total - previous)  # overflow bucket
+            low = 0.0
+            high = 0.0
+            if total:
+                first_nonzero = next((i for i, c in enumerate(counts) if c), None)
+                last_nonzero = next(
+                    (i for i in range(len(counts) - 1, -1, -1) if counts[i]), None
+                )
+                if first_nonzero is not None and last_nonzero is not None:
+                    low = bounds[first_nonzero - 1] if first_nonzero >= 1 else 0.0
+                    high = (
+                        bounds[last_nonzero]
+                        if last_nonzero < len(bounds)
+                        else (bounds[-1] if bounds else 0.0)
+                    )
+            histograms[name] = HistogramSnapshot(
+                bounds=bounds,
+                counts=tuple(counts),
+                count=total,
+                sum=values.get(f"{name}_sum", 0.0),
+                min=low,
+                max=high,
+            )
+    return MetricsSnapshot(
+        enabled=True,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        help=help_texts,
+    )
+
+
+def sparkline(values: list[float] | tuple[float, ...]) -> str:
+    """ASCII-art sparkline (unicode block characters) for a value series."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(top, int(round((value / peak) * top)))] for value in values
+    )

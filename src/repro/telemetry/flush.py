@@ -1,0 +1,132 @@
+"""Periodic snapshot flusher: JSONL time series for long-running loads.
+
+A :class:`PeriodicFlusher` samples one or more registries every
+``interval`` seconds on a daemon thread and appends one compact JSON
+object per tick to a file.  ``loadgen`` starts one when asked for a
+time series, turning a stress run's end-of-run aggregates into a
+progression you can plot or feed to ``repro stats``.
+
+Counters/histogram moments are cumulative (Prometheus semantics); the
+consumer differences adjacent ticks for rates.  Each line carries both
+wall-clock time and elapsed-since-start so offline tooling never has to
+guess the run origin.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from .registry import MetricsRegistry, MetricsSnapshot
+
+__all__ = ["PeriodicFlusher", "merge_snapshots"]
+
+
+def merge_snapshots(snapshots: list[MetricsSnapshot]) -> MetricsSnapshot:
+    """Union of several registries' snapshots (later entries win on clash).
+
+    Registries in this repo keep globally unique metric names, so in
+    practice there is never a clash to resolve.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms = {}
+    help_texts: dict[str, str] = {}
+    enabled = False
+    for snapshot in snapshots:
+        enabled = enabled or snapshot.enabled
+        counters.update(snapshot.counters)
+        gauges.update(snapshot.gauges)
+        histograms.update(snapshot.histograms)
+        help_texts.update(snapshot.help)
+    return MetricsSnapshot(
+        enabled=enabled,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        help=help_texts,
+    )
+
+
+class PeriodicFlusher:
+    """Appends one JSON line per interval with a snapshot of the registries."""
+
+    def __init__(
+        self,
+        registries: list[MetricsRegistry],
+        path: str,
+        interval: float = 0.5,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not registries:
+            raise ValueError("at least one registry is required")
+        self._registries = list(registries)
+        self._path = path
+        self._interval = interval
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._start_perf = 0.0
+        self.ticks = 0
+
+    def _line(self) -> str:
+        snapshot = merge_snapshots(
+            [registry.snapshot() for registry in self._registries]
+        )
+        histograms: dict[str, object] = {}
+        for name, hist in snapshot.histograms.items():
+            histograms[name] = {
+                "count": hist.count,
+                "sum": round(hist.sum, 6),
+                "p50": round(hist.percentile(50.0), 6),
+                "p95": round(hist.percentile(95.0), 6),
+                "p99": round(hist.percentile(99.0), 6),
+            }
+        record = {
+            "time": round(time.time(), 3),
+            "elapsed": round(time.perf_counter() - self._start_perf, 3),
+            "counters": dict(snapshot.counters),
+            "gauges": dict(snapshot.gauges),
+            "histograms": histograms,
+        }
+        return json.dumps(record, sort_keys=True)
+
+    def _flush_once(self) -> None:
+        line = self._line()
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self.ticks += 1
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            self._flush_once()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("flusher already started")
+        self._start_perf = time.perf_counter()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="telemetry-flusher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_flush: bool = True) -> None:
+        """Stop the thread; by default write one last line with final totals."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop_event.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if final_flush:
+            self._flush_once()
+
+    def __enter__(self) -> "PeriodicFlusher":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+        return None

@@ -1,0 +1,512 @@
+"""Thread-safe metrics: counters, gauges, and fixed log-bucket histograms.
+
+One :class:`MetricsRegistry` owns a namespace of named instruments.  The
+registry is **disabled by default**: every mutation path checks a single
+boolean before touching any lock, so instrumented hot loops pay one
+attribute load and a branch when telemetry is off.  Instruments are
+lock-striped — each one is assigned one of a small fixed pool of locks at
+registration time, so unrelated counters do not contend on a single
+registry-wide lock, while the total lock count stays bounded.
+
+Design rules the rest of the repo relies on:
+
+* instrument **names are literal, snake_case, and globally unique** — the
+  ``tel-`` lint family enforces this so every metric is greppable;
+* registration is idempotent for the same kind and a hard error across
+  kinds, so two call sites can never silently alias one name;
+* nothing is ever called while holding an instrument lock — telemetry
+  can therefore be invoked under any engine lock without extending the
+  lock-order graph beyond a leaf edge.
+
+Histograms use a fixed geometric ("log") bucket layout chosen at
+registration (:func:`log_buckets`), which keeps merge/export trivial and
+bounds memory regardless of sample count.  An optional ``keep_samples``
+mode retains raw values for callers that need exact percentiles (the
+load generator's report stays byte-identical to its pre-telemetry form).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from bisect import bisect_left
+from dataclasses import dataclass
+from threading import Lock
+from time import perf_counter
+from types import TracebackType
+from typing import Union
+
+from ..devtools.lockorder import InstrumentedLock, make_lock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+_ENV_SWITCH = "REPRO_TELEMETRY"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def env_enabled() -> bool:
+    """True when the environment asks for telemetry at import time."""
+    return os.environ.get(_ENV_SWITCH, "").strip().lower() in _TRUTHY
+
+
+def log_buckets(minimum: float, maximum: float, factor: float = 2.0) -> tuple[float, ...]:
+    """Geometric bucket upper bounds from *minimum* up to at least *maximum*.
+
+    The returned bounds are the finite ``le`` edges; every histogram also
+    has an implicit overflow (``+Inf``) bucket above the last bound.
+    """
+    if minimum <= 0:
+        raise ValueError("minimum must be positive")
+    if maximum < minimum:
+        raise ValueError("maximum must be >= minimum")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    bounds: list[float] = []
+    bound = float(minimum)
+    while bound < maximum:
+        bounds.append(bound)
+        bound *= factor
+    bounds.append(bound)
+    return tuple(bounds)
+
+
+# 100 microseconds .. ~100 seconds, factor 2: 21 buckets — enough
+# resolution for wire latency without unbounded cardinality.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-4, 100.0, 2.0)
+_LockT = Union[Lock, InstrumentedLock]
+# 1 byte .. ~1 MiB, factor 4: for piggyback sizes and byte counts.
+SIZE_BUCKETS = log_buckets(1.0, float(1 << 20), 4.0)
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSnapshot:
+    """Immutable view of one histogram: per-bucket counts plus moments."""
+
+    bounds: tuple[float, ...]  # finite upper bounds, ascending
+    counts: tuple[int, ...]  # len(bounds) + 1 entries; last is overflow
+    count: int
+    sum: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.sum / self.count
+
+    def cumulative(self) -> tuple[tuple[float, int], ...]:
+        """(upper_bound, cumulative_count) pairs, Prometheus-style."""
+        running = 0
+        pairs: list[tuple[float, int]] = []
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self.counts[-1]))
+        return tuple(pairs)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile by log-linear interpolation in-bucket."""
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if running + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index >= 1 else self.min
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                lower = max(min(lower, upper), 0.0)
+                if upper <= lower:
+                    return upper
+                fraction = (rank - running) / bucket_count
+                return lower + (upper - lower) * fraction
+            running += bucket_count
+        return self.max
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """Point-in-time copy of every instrument in one registry."""
+
+    enabled: bool
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramSnapshot]
+    help: dict[str, str]
+
+
+class _NullTimer:
+    """Context manager that measures nothing (disabled-path timer)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Context manager observing elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_begin")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._begin = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._begin = perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._histogram.observe(perf_counter() - self._begin)
+        return None
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "help", "_registry", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry", lock: "_LockT"):
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """Last-write-wins float metric (also supports inc/dec)."""
+
+    __slots__ = ("name", "help", "_registry", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry", lock: "_LockT"):
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed log-bucket histogram with optional exact-sample retention."""
+
+    __slots__ = (
+        "name", "help", "_registry", "_lock", "_bounds", "_counts",
+        "_count", "_sum", "_min", "_max", "_samples",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        registry: "MetricsRegistry",
+        lock: "_LockT",
+        bounds: tuple[float, ...],
+        keep_samples: bool,
+    ):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and ascending")
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self._lock = lock
+        self._bounds = tuple(float(bound) for bound in bounds)
+        self._counts = [0] * (len(bounds) + 1)  # final slot = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._samples: list[float] | None = [] if keep_samples else None
+
+    def observe(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if self._samples is not None:
+                self._samples.append(value)
+
+    def time(self) -> Union[_Timer, _NullTimer]:
+        """Context manager that observes its own wall duration.
+
+        Returns a shared no-op when the registry is disabled, so hot
+        paths never read the clock for an unobserved interval.
+        """
+        if not self._registry._enabled:
+            return _NULL_TIMER
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """Raw observed values (empty unless ``keep_samples`` was set)."""
+        with self._lock:
+            return tuple(self._samples or ())
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile when samples are kept, bucket-estimated otherwise."""
+        snapshot = self._snapshot()
+        with self._lock:
+            samples = sorted(self._samples) if self._samples else None
+        if samples:
+            if len(samples) == 1:
+                return samples[0]
+            rank = (q / 100.0) * (len(samples) - 1)
+            low = int(rank)
+            high = min(low + 1, len(samples) - 1)
+            fraction = rank - low
+            return samples[low] * (1.0 - fraction) + samples[high] * fraction
+        return snapshot.percentile(q)
+
+    def _snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            count = self._count
+            return HistogramSnapshot(
+                bounds=self._bounds,
+                counts=tuple(self._counts),
+                count=count,
+                sum=self._sum,
+                min=self._min if count else 0.0,
+                max=self._max if count else 0.0,
+            )
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+            if self._samples is not None:
+                self._samples = []
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A namespace of named instruments sharing a small stripe-lock pool."""
+
+    def __init__(self, enabled: bool = False, stripes: int = 8):
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self._enabled = enabled
+        self._stripes = tuple(
+            make_lock("MetricsRegistry._stripe") for _ in range(stripes)
+        )
+        self._registry_lock = make_lock("MetricsRegistry._registry_lock")
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- gate --------------------------------------------------------------
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, name: str, kind: str) -> Instrument | None:
+        """Existing instrument for *name* (validating kind), else None.
+
+        Caller must hold ``_registry_lock``.
+        """
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"metric name {name!r} must be snake_case ([a-z][a-z0-9_]*)"
+            )
+        existing = self._instruments.get(name)
+        if existing is not None and existing.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {existing.kind}, "
+                f"requested {kind}"
+            )
+        return existing
+
+    def _next_stripe(self) -> "_LockT":
+        return self._stripes[len(self._instruments) % len(self._stripes)]
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Create (or return the existing) counter named *name*."""
+        with self._registry_lock:
+            existing = self._register(name, "counter")
+            if existing is not None:
+                return existing  # type: ignore[return-value]
+            instrument = Counter(name, help_text, self, self._next_stripe())
+            self._instruments[name] = instrument
+            return instrument
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Create (or return the existing) gauge named *name*."""
+        with self._registry_lock:
+            existing = self._register(name, "gauge")
+            if existing is not None:
+                return existing  # type: ignore[return-value]
+            instrument = Gauge(name, help_text, self, self._next_stripe())
+            self._instruments[name] = instrument
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        buckets: tuple[float, ...] | None = None,
+        keep_samples: bool = False,
+    ) -> Histogram:
+        """Create (or return the existing) histogram named *name*."""
+        with self._registry_lock:
+            existing = self._register(name, "histogram")
+            if existing is not None:
+                return existing  # type: ignore[return-value]
+            instrument = Histogram(
+                name,
+                help_text,
+                self,
+                self._next_stripe(),
+                bounds=buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS,
+                keep_samples=keep_samples,
+            )
+            self._instruments[name] = instrument
+            return instrument
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        with self._registry_lock:
+            return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Consistent-enough point-in-time copy of every instrument.
+
+        Each instrument is read under its own stripe lock; the snapshot is
+        not a global atomic cut (counters incremented while snapshotting
+        may or may not be included), which is the standard exporter
+        contract.
+        """
+        with self._registry_lock:
+            instruments = sorted(self._instruments.values(), key=lambda i: i.name)
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, HistogramSnapshot] = {}
+        help_texts: dict[str, str] = {}
+        for instrument in instruments:
+            help_texts[instrument.name] = instrument.help
+            if isinstance(instrument, Counter):
+                counters[instrument.name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.name] = instrument.value
+            else:
+                histograms[instrument.name] = instrument._snapshot()
+        return MetricsSnapshot(
+            enabled=self._enabled,
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            help=help_texts,
+        )
+
+    def reset(self) -> None:
+        """Zero every instrument's value; registrations are kept."""
+        with self._registry_lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument._reset()

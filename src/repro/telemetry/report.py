@@ -1,0 +1,238 @@
+"""Loading and rendering telemetry snapshots for the ``repro stats`` CLI.
+
+Accepts any of the three artifact shapes the subsystem produces —
+Prometheus text, a JSON snapshot, or a JSONL time series from the
+periodic flusher — and renders aligned tables plus ascii sparklines.
+The loader sniffs the format from content, not the file name, so dumps
+can be piped around freely.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .export import parse_prometheus, parse_snapshot_json, sparkline
+from .registry import MetricsSnapshot
+
+__all__ = [
+    "instrument_names",
+    "load_snapshot_file",
+    "load_snapshot_text",
+    "load_snapshot_url",
+    "missing_families",
+    "render_report",
+]
+
+
+def load_snapshot_text(text: str) -> tuple[MetricsSnapshot, list[dict[str, object]]]:
+    """(snapshot, series) from any supported dump format.
+
+    ``series`` is non-empty only for JSONL time-series input, in which
+    case the snapshot is synthesized from the final (cumulative) line.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty telemetry dump")
+    if stripped.startswith("{"):
+        first_line = stripped.splitlines()[0].strip()
+        if first_line.endswith("}"):
+            # A complete JSON object on the first line is either a JSONL
+            # series (flusher lines carry time/elapsed) or a compact
+            # snapshot; sniff by schema, not by line count — a short run
+            # can produce a single-line series.
+            try:
+                record = json.loads(first_line)
+            except json.JSONDecodeError:
+                record = None
+            if isinstance(record, dict) and "time" in record and "elapsed" in record:
+                return _load_series(stripped)
+        return parse_snapshot_json(stripped), []
+    return parse_prometheus(stripped), []
+
+
+def _load_series(text: str) -> tuple[MetricsSnapshot, list[dict[str, object]]]:
+    series: list[dict[str, object]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict) or "counters" not in record:
+            raise ValueError("not a telemetry JSONL series")
+        series.append(record)
+    if not series:
+        raise ValueError("empty telemetry series")
+    last = series[-1]
+    snapshot = MetricsSnapshot(
+        enabled=True,
+        counters={str(k): int(v) for k, v in dict(last.get("counters", {})).items()},
+        gauges={str(k): float(v) for k, v in dict(last.get("gauges", {})).items()},
+        histograms={},
+        help={},
+    )
+    return snapshot, series
+
+
+def load_snapshot_file(path: str) -> tuple[MetricsSnapshot, list[dict[str, object]]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_snapshot_text(handle.read())
+
+
+def load_snapshot_url(url: str) -> tuple[MetricsSnapshot, list[dict[str, object]]]:
+    """Fetch a live ``/.repro/metrics`` endpoint and parse the body.
+
+    The wire client lives above this package (it imports telemetry), so
+    the import is deferred to keep the package import-cycle free.
+    """
+    from urllib.parse import urlsplit
+
+    from ..httpmodel.headers import Headers
+    from ..httpmodel.messages import HttpRequest
+    from ..httpwire.netclient import fetch_once
+
+    parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+    if parts.hostname is None:
+        raise ValueError(f"cannot parse host from url {url!r}")
+    path = parts.path or "/.repro/metrics"
+    if parts.query:
+        path = f"{path}?{parts.query}"
+    request = HttpRequest(
+        method="GET",
+        target=path,
+        headers=Headers([("Host", parts.hostname)]),
+    )
+    response = fetch_once(parts.hostname, parts.port or 80, request)
+    if response.status != 200:
+        raise ValueError(f"metrics endpoint returned status {response.status}")
+    return load_snapshot_text(response.body.decode("utf-8"))
+
+
+def instrument_names(snapshot: MetricsSnapshot, series: list[dict[str, object]]) -> set[str]:
+    """Every metric name visible in the snapshot and/or series lines."""
+    names: set[str] = set()
+    names.update(snapshot.counters)
+    names.update(snapshot.gauges)
+    names.update(snapshot.histograms)
+    for record in series:
+        for key in ("counters", "gauges", "histograms"):
+            payload = record.get(key)
+            if isinstance(payload, dict):
+                names.update(str(name) for name in payload)
+    return names
+
+
+def missing_families(names: set[str], families: list[str]) -> list[str]:
+    """Required family prefixes with no matching instrument name."""
+    return [
+        family
+        for family in families
+        if not any(name.startswith(family) for name in names)
+    ]
+
+
+def _table(rows: list[tuple[str, ...]], header: tuple[str, ...]) -> list[str]:
+    widths = [len(column) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(header)).rstrip(),
+        "  ".join("-" * widths[index] for index in range(len(header))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)).rstrip()
+        )
+    return lines
+
+
+def _fmt_seconds(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _fmt_observation(name: str, value: float) -> str:
+    """Histogram stat formatted by the unit its name declares."""
+    if name.endswith("_seconds"):
+        return _fmt_seconds(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def render_report(
+    snapshot: MetricsSnapshot,
+    series: list[dict[str, object]] | None = None,
+) -> str:
+    """Human-readable tables + sparklines for a snapshot (and series)."""
+    sections: list[str] = []
+
+    if snapshot.counters:
+        rows = [
+            (name, str(value))
+            for name, value in sorted(snapshot.counters.items())
+        ]
+        sections.append("\n".join(["counters", *_table(rows, ("name", "value"))]))
+
+    if snapshot.gauges:
+        rows = [
+            (name, f"{value:g}")
+            for name, value in sorted(snapshot.gauges.items())
+        ]
+        sections.append("\n".join(["gauges", *_table(rows, ("name", "value"))]))
+
+    if snapshot.histograms:
+        rows = []
+        for name, hist in sorted(snapshot.histograms.items()):
+            rows.append(
+                (
+                    name,
+                    str(hist.count),
+                    _fmt_observation(name, hist.mean),
+                    _fmt_observation(name, hist.percentile(50.0)),
+                    _fmt_observation(name, hist.percentile(95.0)),
+                    _fmt_observation(name, hist.percentile(99.0)),
+                    sparkline([float(c) for c in hist.counts]),
+                )
+            )
+        sections.append(
+            "\n".join(
+                [
+                    "histograms",
+                    *_table(
+                        rows,
+                        ("name", "count", "mean", "p50", "p95", "p99", "buckets"),
+                    ),
+                ]
+            )
+        )
+
+    if series:
+        lines = ["time series (" + str(len(series)) + " ticks)"]
+        counter_names = sorted(
+            {
+                str(name)
+                for record in series
+                for name in dict(record.get("counters", {}) or {})
+            }
+        )
+        for name in counter_names:
+            totals = [
+                float(dict(record.get("counters", {}) or {}).get(name, 0))
+                for record in series
+            ]
+            deltas = [totals[0]] + [
+                max(0.0, later - earlier)
+                for earlier, later in zip(totals, totals[1:])
+            ]
+            lines.append(f"  {name}: {sparkline(deltas)} (total {int(totals[-1])})")
+        sections.append("\n".join(lines))
+
+    if not sections:
+        sections.append("(no instruments recorded)")
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,305 @@
+"""Request tracing: spans, per-hop timing, and ``X-Repro-Trace`` propagation.
+
+A *trace* is one client request's journey client → proxy → server; each
+hop records a :class:`Span` (name, wall-clock start, duration, tags,
+structured events) tied together by a shared 16-hex-digit trace id.  The
+id travels on the wire in the ``X-Repro-Trace`` request header::
+
+    X-Repro-Trace: <trace_id>-<span_id>
+
+where ``span_id`` is the 8-hex-digit id of the *sending* span, recorded
+as the receiving span's parent.  Propagation inside one process is
+thread-local: :meth:`Tracer.span` makes the new span current for its
+``with`` block, and :meth:`Tracer.current_header` formats the header for
+any outbound request issued on the same thread (the wire proxy's
+upstream fetch runs on the worker thread that accepted the client
+request, so no plumbing through the policy layers is needed).
+
+Like the metrics registry, the tracer is disabled by default and its
+:meth:`~Tracer.span` returns a shared no-op span when off, so
+instrumented request paths pay one branch.  Finished spans land in a
+bounded ring buffer for the JSON exporter and ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Union
+
+from ..devtools.lockorder import make_lock
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "format_trace_header",
+    "parse_trace_header",
+]
+
+TRACE_HEADER = "X-Repro-Trace"
+
+_HEADER_RE = re.compile(r"^([0-9a-f]{16})-([0-9a-f]{8})$")
+
+
+def format_trace_header(trace_id: str, span_id: str) -> str:
+    """The wire form of a trace context: ``<trace_id>-<span_id>``."""
+    return f"{trace_id}-{span_id}"
+
+
+def parse_trace_header(value: str | None) -> tuple[str, str] | None:
+    """(trace_id, parent_span_id) from a header value, None on garbage.
+
+    A malformed header must never break request handling, so this
+    returns None instead of raising.
+    """
+    if value is None:
+        return None
+    match = _HEADER_RE.match(value.strip())
+    if match is None:
+        return None
+    return match.group(1), match.group(2)
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span, as stored in the tracer's ring buffer."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_time: float  # wall clock (unix seconds)
+    duration: float  # seconds
+    tags: dict[str, str] = field(default_factory=dict)
+    events: list[tuple[float, str]] = field(default_factory=list)  # (offset_s, text)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": round(self.start_time, 6),
+            "duration": round(self.duration, 6),
+            "tags": dict(self.tags),
+            "events": [[round(offset, 6), text] for offset, text in self.events],
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    header: str | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
+
+    def tag(self, key: str, value: str) -> None:
+        return None
+
+    def event(self, text: str) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; use as a context manager around the timed work."""
+
+    __slots__ = (
+        "_tracer", "name", "trace_id", "span_id", "parent_id",
+        "_start_wall", "_start_perf", "_tags", "_events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start_wall = 0.0
+        self._start_perf = 0.0
+        self._tags: dict[str, str] = {}
+        self._events: list[tuple[float, str]] = []
+
+    @property
+    def header(self) -> str:
+        """This span's context formatted for the ``X-Repro-Trace`` header."""
+        return format_trace_header(self.trace_id, self.span_id)
+
+    def tag(self, key: str, value: str) -> None:
+        self._tags[key] = value
+
+    def event(self, text: str) -> None:
+        """Record a structured event at the current offset into the span."""
+        self._events.append((time.perf_counter() - self._start_perf, text))
+
+    def __enter__(self) -> "Span":
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        duration = time.perf_counter() - self._start_perf
+        if exc_type is not None:
+            self._tags.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self, duration)
+        return None
+
+
+SpanLike = Union[Span, _NullSpan]
+
+
+class Tracer:
+    """Creates spans, tracks the per-thread current span, keeps history."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        capacity: int = 512,
+        seed: int | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._enabled = enabled
+        self._finished: deque[SpanRecord] = deque(maxlen=capacity)
+        self._finished_lock = make_lock("Tracer._finished_lock")
+        self._local = threading.local()
+        # Ids only need to be unique-enough across processes; a per-tracer
+        # seeded stream keeps tests reproducible when they pass a seed.
+        self._rng = random.Random(
+            seed if seed is not None else (os.getpid() << 32) ^ time.time_ns()
+        )
+        self._rng_lock = make_lock("Tracer._rng_lock")
+
+    # -- gate --------------------------------------------------------------
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- id generation -----------------------------------------------------
+
+    def _new_trace_id(self) -> str:
+        with self._rng_lock:
+            return f"{self._rng.getrandbits(64):016x}"
+
+    def _new_span_id(self) -> str:
+        with self._rng_lock:
+            return f"{self._rng.getrandbits(32):08x}"
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, parent_header: str | None = None) -> SpanLike:
+        """A new span, child of *parent_header* or of the current span.
+
+        With no parent in either form, the span roots a fresh trace.
+        Returns the shared no-op span when tracing is disabled.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        parsed = parse_trace_header(parent_header)
+        if parsed is not None:
+            trace_id, parent_id = parsed
+        else:
+            current = self.current()
+            if current is not None:
+                trace_id, parent_id = current.trace_id, current.span_id
+            else:
+                trace_id = self._new_trace_id()
+                parent_id = None
+        return Span(self, name, trace_id, self._new_span_id(), parent_id)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span, duration: float) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is span:
+                del stack[index]
+                break
+        record = SpanRecord(
+            name=span.name,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start_time=span._start_wall,
+            duration=duration,
+            tags=span._tags,
+            events=span._events,
+        )
+        with self._finished_lock:
+            self._finished.append(record)
+
+    # -- context queries ---------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The innermost span open on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def current_header(self) -> str | None:
+        """Wire header for the current span (None when none / disabled)."""
+        current = self.current()
+        if current is None:
+            return None
+        return current.header
+
+    # -- history -----------------------------------------------------------
+
+    def recent(self) -> list[SpanRecord]:
+        """Finished spans, oldest first, up to the ring-buffer capacity."""
+        with self._finished_lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        with self._finished_lock:
+            self._finished.clear()
+        self._local = threading.local()

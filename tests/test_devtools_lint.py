@@ -513,6 +513,120 @@ def test_codec_parity_detects_missing_key(tmp_path):
     assert "beta" in report.findings[0].message
 
 
+# -- telemetry registration rules -----------------------------------------
+
+
+def test_computed_metric_name_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        from repro.telemetry import REGISTRY
+
+        PREFIX = "proxy"
+        COUNTER = REGISTRY.counter(PREFIX + "_hits_total", "cache hits")
+        """,
+    )
+    assert rule_ids(report) == ["tel-literal-name"]
+
+
+def test_fstring_metric_name_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        from repro.telemetry import REGISTRY
+
+        layer = "proxy"
+        HIST = REGISTRY.histogram(f"{layer}_seconds", "latency")
+        """,
+    )
+    assert rule_ids(report) == ["tel-literal-name"]
+
+
+def test_literal_snake_case_name_clean(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        from repro.telemetry import REGISTRY
+
+        COUNTER = REGISTRY.counter("proxy_hits_total", "cache hits")
+        GAUGE = REGISTRY.gauge("active_workers")
+        HIST = REGISTRY.histogram("request_seconds", "latency")
+        """,
+    )
+    assert report.clean
+
+
+def test_non_registry_receiver_ignored(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        def use(analyzer, name):
+            # Not a metrics registry: same method name, different receiver.
+            return analyzer.counter(name)
+        """,
+    )
+    assert report.clean
+
+
+def test_bad_name_format_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        from repro.telemetry import REGISTRY
+
+        COUNTER = REGISTRY.counter("ProxyHits", "camel case")
+        OTHER = REGISTRY.gauge("bad-dashes")
+        """,
+    )
+    assert rule_ids(report) == ["tel-name-format", "tel-name-format"]
+
+
+def test_duplicate_registration_across_files_flagged(tmp_path):
+    (tmp_path / "one.py").write_text(
+        'from repro.telemetry import REGISTRY\n'
+        'A = REGISTRY.counter("shared_total", "first owner")\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "two.py").write_text(
+        'from repro.telemetry import REGISTRY\n'
+        'B = REGISTRY.counter("shared_total", "second owner")\n',
+        encoding="utf-8",
+    )
+    report = run_lint(tmp_path, [tmp_path], policy=Policy.everywhere())
+    assert rule_ids(report) == ["tel-duplicate-registration"]
+    assert "one.py" in report.findings[0].message
+    assert report.findings[0].path == "two.py"
+
+
+def test_single_call_site_is_not_duplicate(tmp_path):
+    # One lexical call site executed many times (e.g. per-instance
+    # registries) is fine; the rule counts distinct source locations.
+    report = lint_snippet(
+        tmp_path,
+        """
+        from repro.telemetry import MetricsRegistry
+
+        class Accumulator:
+            def __init__(self):
+                self.registry = MetricsRegistry(enabled=True)
+                self.requests = self.registry.counter("acc_requests_total")
+        """,
+    )
+    assert report.clean
+
+
+def test_self_registry_receiver_matches(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        class Holder:
+            def build(self, suffix):
+                return self._registry.counter("base_" + suffix)
+        """,
+    )
+    assert rule_ids(report) == ["tel-literal-name"]
+
+
 # -- suppressions, policy, baseline --------------------------------------
 
 
@@ -674,4 +788,4 @@ def test_repository_is_lint_clean():
 
 def test_registry_has_all_rule_families():
     families = {rule.family for rule in registered_rules()}
-    assert {"determinism", "locks", "resources", "api"} <= families
+    assert {"determinism", "locks", "resources", "api", "telemetry"} <= families

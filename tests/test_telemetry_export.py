@@ -1,0 +1,200 @@
+"""Tests for snapshot exposition: Prometheus text, JSON, flusher JSONL."""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.telemetry import (
+    JSON_SCHEMA_VERSION,
+    MetricsRegistry,
+    PeriodicFlusher,
+    Tracer,
+    merge_snapshots,
+    parse_prometheus,
+    parse_snapshot_json,
+    render_json,
+    render_prometheus,
+    sparkline,
+)
+
+GOLDEN_PROMETHEUS = """\
+# HELP demo_total requests served
+# TYPE demo_total counter
+demo_total 3
+# TYPE demo_gauge gauge
+demo_gauge 1.5
+# HELP demo_seconds latency
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="1"} 1
+demo_seconds_bucket{le="2"} 1
+demo_seconds_bucket{le="+Inf"} 2
+demo_seconds_sum 3.5
+demo_seconds_count 2
+"""
+
+
+@pytest.fixture()
+def demo_registry():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("demo_total", "requests served").inc(3)
+    registry.gauge("demo_gauge").set(1.5)
+    histogram = registry.histogram("demo_seconds", "latency", buckets=(1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(3.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_golden_rendering(self, demo_registry):
+        assert render_prometheus(demo_registry.snapshot()) == GOLDEN_PROMETHEUS
+
+    def test_parse_inverts_render(self, demo_registry):
+        snapshot = demo_registry.snapshot()
+        parsed = parse_prometheus(render_prometheus(snapshot))
+        assert parsed.counters == snapshot.counters
+        assert parsed.gauges == snapshot.gauges
+        assert parsed.help["demo_total"] == "requests served"
+        histogram = parsed.histograms["demo_seconds"]
+        original = snapshot.histograms["demo_seconds"]
+        assert histogram.bounds == original.bounds
+        assert histogram.counts == original.counts
+        assert histogram.count == original.count
+        assert histogram.sum == pytest.approx(original.sum)
+
+    def test_parse_tolerates_blank_and_comment_lines(self):
+        text = "\n# just a comment\n# TYPE lone_total counter\nlone_total 9\n\n"
+        parsed = parse_prometheus(text)
+        assert parsed.counters == {"lone_total": 9}
+
+    def test_empty_histogram_round_trips(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.histogram("quiet_seconds", buckets=(1.0,))
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        histogram = parsed.histograms["quiet_seconds"]
+        assert histogram.count == 0
+        assert histogram.min == 0.0
+        assert histogram.max == 0.0
+
+
+class TestJson:
+    def test_schema_and_shape(self, demo_registry):
+        document = json.loads(render_json(demo_registry.snapshot()))
+        assert document["schema"] == JSON_SCHEMA_VERSION
+        assert document["enabled"] is True
+        assert document["counters"] == {"demo_total": 3}
+        assert document["gauges"] == {"demo_gauge": 1.5}
+        histogram = document["histograms"]["demo_seconds"]
+        assert histogram["bounds"] == [1.0, 2.0]
+        assert histogram["counts"] == [1, 0, 1]  # 0.5 -> le=1, 3.0 -> overflow
+        assert histogram["count"] == 2
+        assert "spans" not in document
+
+    def test_spans_embedded_when_given(self, demo_registry):
+        tracer = Tracer(enabled=True, seed=5)
+        with tracer.span("render"):
+            pass
+        spans = [record.to_json() for record in tracer.recent()]
+        document = json.loads(render_json(demo_registry.snapshot(), spans))
+        assert document["spans"][0]["name"] == "render"
+
+    def test_parse_inverts_render(self, demo_registry):
+        snapshot = demo_registry.snapshot()
+        parsed = parse_snapshot_json(render_json(snapshot))
+        assert parsed.counters == snapshot.counters
+        assert parsed.gauges == snapshot.gauges
+        assert parsed.histograms == snapshot.histograms
+        assert parsed.help == snapshot.help
+
+    def test_non_snapshot_json_rejected(self):
+        with pytest.raises(ValueError):
+            parse_snapshot_json('{"some": "other json"}')
+
+
+class TestMergeSnapshots:
+    def test_union_of_disjoint_registries(self):
+        first = MetricsRegistry(enabled=True)
+        first.counter("left_total").inc(1)
+        second = MetricsRegistry(enabled=True)
+        second.counter("right_total").inc(2)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged.counters == {"left_total": 1, "right_total": 2}
+        assert merged.enabled
+
+    def test_later_snapshot_wins_on_clash(self):
+        first = MetricsRegistry(enabled=True)
+        first.counter("same_total").inc(1)
+        second = MetricsRegistry(enabled=True)
+        second.counter("same_total").inc(5)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged.counters == {"same_total": 5}
+
+
+class TestPeriodicFlusher:
+    def test_final_flush_writes_totals(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("flush_total")
+        histogram = registry.histogram("flush_seconds", keep_samples=True)
+        path = tmp_path / "series.jsonl"
+        flusher = PeriodicFlusher([registry], str(path), interval=10.0)
+        flusher.start()
+        counter.inc(4)
+        histogram.observe(0.25)
+        flusher.stop()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert lines  # at least the final flush
+        record = json.loads(lines[-1])
+        assert record["counters"]["flush_total"] == 4
+        assert record["histograms"]["flush_seconds"]["count"] == 1
+        # Percentiles in the series are bucket-estimated from the snapshot;
+        # the single 0.25s sample lands in the (0.2048, 0.4096] bucket.
+        assert 0.2 <= record["histograms"]["flush_seconds"]["p50"] <= 0.41
+        assert record["elapsed"] >= 0.0
+        assert record["time"] > 0.0
+
+    def test_periodic_ticks_accumulate(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("tick_total").inc()
+        path = tmp_path / "ticks.jsonl"
+        with PeriodicFlusher([registry], str(path), interval=0.01) as flusher:
+            deadline = time.monotonic() + 10.0
+            while flusher.ticks < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) >= 3
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+
+    def test_validation(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            PeriodicFlusher([registry], str(tmp_path / "x"), interval=0.0)
+        with pytest.raises(ValueError):
+            PeriodicFlusher([], str(tmp_path / "x"))
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "▁▁▁"
+
+    def test_ramp_is_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[-1] == "█"
+        assert list(line) == sorted(line)
+
+    def test_peak_uses_top_block(self):
+        assert sparkline([0.0, 10.0])[-1] == "█"
+
+    def test_infinite_free_rendering(self):
+        # A plain numeric series; no NaN/inf handling is promised, callers
+        # pass counts and deltas.
+        line = sparkline([5.0])
+        assert line == "█"
+        assert not math.isnan(len(line))

@@ -1,0 +1,145 @@
+"""Tests for snapshot loading/rendering and the `repro stats` telemetry mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.telemetry import MetricsRegistry, render_json, render_prometheus
+from repro.telemetry.report import (
+    instrument_names,
+    load_snapshot_text,
+    missing_families,
+    render_report,
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("wire_requests_served_total", "requests").inc(7)
+    registry.gauge("wire_active_workers").set(2)
+    registry.histogram("client_request_seconds", "latency").observe(0.02)
+    return registry
+
+
+def series_line(counters, elapsed=1.0):
+    return json.dumps(
+        {
+            "time": 1700000000.0 + elapsed,
+            "elapsed": elapsed,
+            "counters": counters,
+            "gauges": {},
+            "histograms": {"client_request_seconds": {"count": 1, "sum": 0.02,
+                                                      "p50": 0.02, "p95": 0.02,
+                                                      "p99": 0.02}},
+        },
+        sort_keys=True,
+    )
+
+
+class TestFormatSniffing:
+    def test_prometheus_text(self, registry):
+        snapshot, series = load_snapshot_text(render_prometheus(registry.snapshot()))
+        assert snapshot.counters["wire_requests_served_total"] == 7
+        assert series == []
+
+    def test_json_snapshot_indented(self, registry):
+        snapshot, series = load_snapshot_text(render_json(registry.snapshot()))
+        assert snapshot.counters["wire_requests_served_total"] == 7
+        assert series == []
+
+    def test_json_snapshot_compact_single_line(self, registry):
+        text = render_json(registry.snapshot(), indent=None)
+        assert "\n" not in text.strip()
+        snapshot, series = load_snapshot_text(text)
+        assert snapshot.counters["wire_requests_served_total"] == 7
+        assert series == []
+
+    def test_jsonl_series_multi_line(self):
+        text = (
+            series_line({"wire_requests_served_total": 3}, elapsed=1.0)
+            + "\n"
+            + series_line({"wire_requests_served_total": 9}, elapsed=2.0)
+            + "\n"
+        )
+        snapshot, series = load_snapshot_text(text)
+        assert len(series) == 2
+        assert snapshot.counters["wire_requests_served_total"] == 9
+
+    def test_jsonl_series_single_line(self):
+        # A short run can flush exactly once; a single series line must
+        # still be recognized as a series, not mis-parsed as a snapshot.
+        snapshot, series = load_snapshot_text(
+            series_line({"wire_requests_served_total": 4})
+        )
+        assert len(series) == 1
+        assert snapshot.counters["wire_requests_served_total"] == 4
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            load_snapshot_text("   \n ")
+
+
+class TestRequiredFamilies:
+    def test_names_cover_snapshot_and_series(self, registry):
+        snapshot, _ = load_snapshot_text(render_prometheus(registry.snapshot()))
+        names = instrument_names(snapshot, [json.loads(series_line({"extra_total": 1}))])
+        assert "wire_requests_served_total" in names
+        assert "client_request_seconds" in names
+        assert "extra_total" in names
+
+    def test_missing_families_prefix_match(self):
+        names = {"wire_requests_served_total", "client_request_seconds"}
+        assert missing_families(names, ["wire_", "client_request"]) == []
+        assert missing_families(names, ["proxy_cache_"]) == ["proxy_cache_"]
+
+
+class TestRenderReport:
+    def test_tables_and_sparklines(self, registry):
+        report = render_report(registry.snapshot())
+        assert "counters" in report
+        assert "wire_requests_served_total" in report
+        assert "gauges" in report
+        assert "histograms" in report
+        assert "p95" in report
+
+    def test_series_section_shows_deltas(self, registry):
+        series = [
+            json.loads(series_line({"wire_requests_served_total": 3}, elapsed=1.0)),
+            json.loads(series_line({"wire_requests_served_total": 9}, elapsed=2.0)),
+        ]
+        report = render_report(registry.snapshot(), series)
+        assert "time series (2 ticks)" in report
+        assert "(total 9)" in report
+
+    def test_empty_snapshot(self):
+        registry = MetricsRegistry(enabled=True)
+        assert "no instruments recorded" in render_report(registry.snapshot())
+
+
+class TestStatsCli:
+    def test_snapshot_file_rendered(self, tmp_path, capsys, registry):
+        path = tmp_path / "snap.prom"
+        path.write_text(render_prometheus(registry.snapshot()), encoding="utf-8")
+        exit_code = cli_main(["stats", "--snapshot", str(path)])
+        assert exit_code == 0
+        assert "wire_requests_served_total" in capsys.readouterr().out
+
+    def test_require_satisfied_and_missing(self, tmp_path, capsys, registry):
+        path = tmp_path / "snap.prom"
+        path.write_text(render_prometheus(registry.snapshot()), encoding="utf-8")
+        assert cli_main(["stats", "--snapshot", str(path), "--require", "wire_"]) == 0
+        capsys.readouterr()
+        exit_code = cli_main(
+            ["stats", "--snapshot", str(path), "--require", "nonexistent_family_"]
+        )
+        assert exit_code == 1
+        assert "nonexistent_family_" in capsys.readouterr().err
+
+    def test_unreadable_snapshot_is_exit_2(self, tmp_path, capsys):
+        exit_code = cli_main(["stats", "--snapshot", str(tmp_path / "missing.prom")])
+        assert exit_code == 2
+        assert "stats:" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Tests for the tracer: header codec, parent resolution, span records."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    Tracer,
+    format_trace_header,
+    parse_trace_header,
+)
+
+TRACE_ID = "deadbeefdeadbeef"
+SPAN_ID = "cafef00d"
+
+
+class TestHeaderCodec:
+    def test_format_parse_roundtrip(self):
+        header = format_trace_header(TRACE_ID, SPAN_ID)
+        assert header == f"{TRACE_ID}-{SPAN_ID}"
+        assert parse_trace_header(header) == (TRACE_ID, SPAN_ID)
+
+    def test_surrounding_whitespace_tolerated(self):
+        assert parse_trace_header(f"  {TRACE_ID}-{SPAN_ID} ") == (TRACE_ID, SPAN_ID)
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "garbage",
+            "deadbeef-cafef00d",  # trace id too short
+            f"{TRACE_ID}-cafe",  # span id too short
+            f"{TRACE_ID.upper()}-{SPAN_ID}",  # hex must be lowercase
+            f"{TRACE_ID}_{SPAN_ID}",  # wrong separator
+            f"{TRACE_ID}-{SPAN_ID}-extra",
+        ],
+    )
+    def test_garbage_returns_none(self, value):
+        assert parse_trace_header(value) is None
+
+
+class TestDisabledTracer:
+    def test_span_is_shared_null(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a")
+        second = tracer.span("b")
+        assert first is second
+        assert first.header is None
+        with first as span:
+            span.tag("k", "v")
+            span.event("ignored")
+        assert tracer.recent() == []
+        assert tracer.current_header() is None
+
+
+class TestSpanLifecycle:
+    def test_root_span_records(self):
+        tracer = Tracer(enabled=True, seed=1)
+        with tracer.span("root") as span:
+            span.tag("url", "/x")
+            span.event("hit cache")
+        records = tracer.recent()
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "root"
+        assert record.parent_id is None
+        assert record.tags == {"url": "/x"}
+        assert [text for _, text in record.events] == ["hit cache"]
+        assert record.duration >= 0.0
+        assert parse_trace_header(f"{record.trace_id}-{record.span_id}") is not None
+
+    def test_nested_span_inherits_trace(self):
+        tracer = Tracer(enabled=True, seed=1)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_parent_header_overrides_current(self):
+        tracer = Tracer(enabled=True, seed=1)
+        header = format_trace_header(TRACE_ID, SPAN_ID)
+        with tracer.span("local"):
+            with tracer.span("remote_child", parent_header=header) as child:
+                assert child.trace_id == TRACE_ID
+                assert child.parent_id == SPAN_ID
+
+    def test_malformed_parent_header_starts_fresh_trace(self):
+        tracer = Tracer(enabled=True, seed=1)
+        with tracer.span("root", parent_header="not-a-header") as span:
+            assert span.parent_id is None
+
+    def test_current_header_matches_span_header(self):
+        tracer = Tracer(enabled=True, seed=1)
+        assert tracer.current_header() is None
+        with tracer.span("one") as span:
+            assert tracer.current_header() == span.header
+        assert tracer.current_header() is None
+
+    def test_exception_sets_error_tag_and_propagates(self):
+        tracer = Tracer(enabled=True, seed=1)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        (record,) = tracer.recent()
+        assert record.tags["error"] == "RuntimeError"
+
+    def test_seeded_tracers_are_reproducible(self):
+        ids = []
+        for _ in range(2):
+            tracer = Tracer(enabled=True, seed=99)
+            with tracer.span("a") as span:
+                ids.append((span.trace_id, span.span_id))
+        assert ids[0] == ids[1]
+
+
+class TestHistory:
+    def test_ring_buffer_caps_history(self):
+        tracer = Tracer(enabled=True, capacity=4, seed=1)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [record.name for record in tracer.recent()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_reset_clears_history(self):
+        tracer = Tracer(enabled=True, seed=1)
+        with tracer.span("gone"):
+            pass
+        tracer.reset()
+        assert tracer.recent() == []
+
+    def test_span_stack_is_thread_local(self):
+        tracer = Tracer(enabled=True, seed=1)
+        seen: dict[str, str | None] = {}
+
+        def worker() -> None:
+            seen["other_thread"] = tracer.current_header()
+
+        with tracer.span("main_thread_only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=10.0)
+        assert seen["other_thread"] is None
+
+    def test_record_json_shape(self):
+        tracer = Tracer(enabled=True, seed=1)
+        with tracer.span("jsonable") as span:
+            span.event("mark")
+        (record,) = tracer.recent()
+        payload = record.to_json()
+        assert payload["name"] == "jsonable"
+        assert payload["parent_id"] is None
+        assert isinstance(payload["events"], list)

@@ -1,0 +1,204 @@
+"""Wire-level telemetry: trace propagation and the metrics endpoint.
+
+These tests drive the real socket stack — ``netclient`` →
+``PiggybackHttpProxy`` → ``PiggybackHttpServer`` — with telemetry
+enabled, then assert that one client request produces spans on every hop
+sharing a single trace id, and that the ``/.repro/metrics`` endpoint
+serves a parseable snapshot in both exposition formats.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.httpmodel.messages import HttpRequest
+from repro.httpwire.connbase import METRICS_PATH
+from repro.httpwire.netclient import fetch_once
+from repro.httpwire.netproxy import PiggybackHttpProxy
+from repro.httpwire.netserver import PiggybackHttpServer
+from repro.proxy.proxy import ProxyConfig
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.telemetry import TRACE_HEADER, parse_prometheus
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+HOST = "www.tele.example"
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self._counter = itertools.count()
+        self.start = start
+
+    def __call__(self):
+        return self.start + next(self._counter) * 0.5
+
+
+@pytest.fixture()
+def telemetry_on():
+    telemetry.enable()
+    telemetry.TRACER.reset()
+    try:
+        yield
+    finally:
+        telemetry.disable()
+
+
+@pytest.fixture()
+def origin():
+    resources = ResourceStore()
+    resources.add(f"{HOST}/a/page.html", size=1200, last_modified=100.0)
+    resources.add(f"{HOST}/a/img.gif", size=300, last_modified=100.0)
+    engine = PiggybackServer(
+        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    )
+    server = PiggybackHttpServer(engine, site_host=HOST, clock=FakeClock())
+    with server:
+        yield server
+
+
+@pytest.fixture()
+def proxy(origin):
+    proxy = PiggybackHttpProxy(
+        origins={HOST: (origin.address, origin.port)},
+        config=ProxyConfig(name="tele-proxy", freshness_interval=3600.0),
+        clock=FakeClock(start=2000.0),
+    )
+    with proxy:
+        yield proxy
+
+
+def get(target, trace_header=None):
+    request = HttpRequest(method="GET", target=target)
+    request.headers.set("Host", HOST)
+    if trace_header is not None:
+        request.headers.set(TRACE_HEADER, trace_header)
+    return request
+
+
+class TestTracePropagation:
+    CLIENT_HEADER = "deadbeefdeadbeef-cafef00d"
+
+    def test_trace_id_spans_client_proxy_server(self, telemetry_on, origin, proxy):
+        response = fetch_once(
+            proxy.address,
+            proxy.port,
+            get(f"http://{HOST}/a/page.html", trace_header=self.CLIENT_HEADER),
+        )
+        assert response.status == 200
+        records = telemetry.TRACER.recent()
+        by_name = {record.name: record for record in records}
+        # Both wire hops (proxy and origin run in this process) plus the
+        # proxy's upstream fetch are on the client's trace.
+        assert "wire.request" in by_name
+        assert "proxy.upstream_fetch" in by_name
+        in_trace = [r for r in records if r.trace_id == "deadbeefdeadbeef"]
+        names = {record.name for record in in_trace}
+        assert {"wire.request", "proxy.upstream_fetch"} <= names
+        # Two wire.request spans: one per hop.
+        wire_spans = [r for r in in_trace if r.name == "wire.request"]
+        assert len(wire_spans) == 2
+        # The proxy-side wire span is parented on the client's span id.
+        assert any(r.parent_id == "cafef00d" for r in wire_spans)
+
+    def test_server_hop_parented_on_upstream_fetch(self, telemetry_on, origin, proxy):
+        fetch_once(
+            proxy.address,
+            proxy.port,
+            get(f"http://{HOST}/a/img.gif", trace_header=self.CLIENT_HEADER),
+        )
+        records = [
+            r for r in telemetry.TRACER.recent()
+            if r.trace_id == "deadbeefdeadbeef"
+        ]
+        upstream = next(r for r in records if r.name == "proxy.upstream_fetch")
+        server_span = next(
+            r for r in records
+            if r.name == "wire.request" and r.parent_id == upstream.span_id
+        )
+        assert server_span.tags["target"] == "/a/img.gif"
+
+    def test_requests_without_header_get_fresh_traces(self, telemetry_on, origin):
+        first = fetch_once(origin.address, origin.port, get("/a/page.html"))
+        second = fetch_once(origin.address, origin.port, get("/a/page.html"))
+        assert first.status == second.status == 200
+        wire_spans = [
+            r for r in telemetry.TRACER.recent() if r.name == "wire.request"
+        ]
+        assert len(wire_spans) == 2
+        assert wire_spans[0].trace_id != wire_spans[1].trace_id
+        assert all(r.parent_id is None for r in wire_spans)
+
+    def test_disabled_telemetry_adds_no_header_and_no_spans(self, origin, proxy):
+        assert not telemetry.enabled()
+        before = len(telemetry.TRACER.recent())
+        response = fetch_once(
+            proxy.address, proxy.port, get(f"http://{HOST}/a/page.html")
+        )
+        assert response.status == 200
+        assert len(telemetry.TRACER.recent()) == before
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, telemetry_on, origin):
+        fetch_once(origin.address, origin.port, get("/a/page.html"))
+        response = fetch_once(origin.address, origin.port, get(METRICS_PATH))
+        assert response.status == 200
+        assert response.headers.get("Content-Type", "").startswith("text/plain")
+        snapshot = parse_prometheus(response.body.decode("utf-8"))
+        assert snapshot.counters["wire_requests_served_total"] >= 1
+        assert "wire_request_seconds" in snapshot.histograms
+
+    def test_json_exposition_includes_spans(self, telemetry_on, origin):
+        fetch_once(origin.address, origin.port, get("/a/page.html"))
+        response = fetch_once(
+            origin.address, origin.port, get(f"{METRICS_PATH}?format=json")
+        )
+        assert response.status == 200
+        document = json.loads(response.body.decode("utf-8"))
+        assert document["counters"]["wire_requests_served_total"] >= 1
+        span_names = {span["name"] for span in document["spans"]}
+        assert "wire.request" in span_names
+
+    def test_endpoint_requests_not_traced(self, telemetry_on, origin):
+        telemetry.TRACER.reset()
+        fetch_once(origin.address, origin.port, get(METRICS_PATH))
+        assert all(
+            record.tags.get("target") != METRICS_PATH
+            for record in telemetry.TRACER.recent()
+        )
+
+    def test_endpoint_works_with_telemetry_disabled(self, origin):
+        assert not telemetry.enabled()
+        response = fetch_once(origin.address, origin.port, get(METRICS_PATH))
+        assert response.status == 200
+        snapshot = parse_prometheus(response.body.decode("utf-8"))
+        # Counters exist (registration always happens) but don't move.
+        assert "wire_requests_served_total" in snapshot.counters
+
+
+class TestProxyCacheCounters:
+    def test_cache_outcomes_counted(self, telemetry_on, origin, proxy):
+        before = telemetry.REGISTRY.snapshot().counters
+        request_target = f"http://{HOST}/a/page.html"
+        fetch_once(proxy.address, proxy.port, get(request_target))
+        fetch_once(proxy.address, proxy.port, get(request_target))
+        after = telemetry.REGISTRY.snapshot().counters
+        assert (
+            after["proxy_client_requests_total"]
+            - before["proxy_client_requests_total"]
+        ) == 2
+        assert (
+            after["proxy_cache_misses_total"] - before["proxy_cache_misses_total"]
+        ) == 1
+        assert (
+            after["proxy_cache_fresh_hits_total"]
+            - before["proxy_cache_fresh_hits_total"]
+        ) >= 1
+        assert (
+            after["server_requests_total"] - before["server_requests_total"]
+        ) == 1
