@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Wire serving-path throughput: cold per-request connections vs the fast path.
+
+Measures end-to-end loadtest throughput of the real-socket stack in two
+configurations at equal worker count:
+
+* ``origin_baseline`` — the pre-optimization worst case: a fresh TCP
+  connection per request (``Connection: close``) against a server with the
+  piggyback message cache disabled;
+* ``origin_fast`` — the serving fast path: persistent keep-alive
+  connections against a warm piggyback message cache (stable volume
+  epochs via ``move_to_front=False``).
+
+A third scenario, ``proxy_keepalive``, drives the caching proxy with
+keep-alive clients and reports the upstream pool reuse rate.
+
+The headline figure is ``speedup`` (fast rps / baseline rps); the PR that
+introduced the fast path requires >= 2x.  ``--baseline BENCH_wire.json``
+turns the committed numbers into a regression gate::
+
+    python benchmarks/bench_wire_throughput.py --out BENCH_wire.json
+    python benchmarks/bench_wire_throughput.py --clients 4 --requests 40 \
+        --baseline BENCH_wire.json --max-regression 3.0 --min-speedup 1.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from contextlib import ExitStack
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.httpwire.loadgen import LoadConfig, run_load  # noqa: E402
+from repro.httpwire.netproxy import PiggybackHttpProxy, UpstreamPolicy  # noqa: E402
+from repro.httpwire.netserver import PiggybackHttpServer, synthetic_body  # noqa: E402
+from repro.proxy.proxy import ProxyConfig  # noqa: E402
+from repro.server.resources import ResourceStore  # noqa: E402
+from repro.server.server import PiggybackServer  # noqa: E402
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore  # noqa: E402
+from repro.workloads.sitegen import SiteConfig, generate_site  # noqa: E402
+
+SCHEMA_VERSION = 1
+HOST = "www.bench.example"
+PIGGY_FILTER = "maxpiggy=10"
+
+
+def _build_engine(enable_cache: bool) -> tuple[PiggybackServer, dict[str, int]]:
+    site = generate_site(SiteConfig(host=HOST, page_count=48, directory_count=6, seed=0))
+    resources = ResourceStore.from_site(site)
+    sizes = {url: record.size for url in resources.urls()
+             if (record := resources.get(url)) is not None}
+    # move_to_front=False keeps volume membership order (and therefore the
+    # per-volume epochs) stable under repeated reads, so a warmed cache
+    # actually stays warm — exactly the configuration the fast path targets.
+    store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1, move_to_front=False))
+    return PiggybackServer(resources, store, enable_cache=enable_cache), sizes
+
+
+def _run_origin(keepalive: bool, enable_cache: bool, clients: int,
+                requests: int, repeat: int, max_workers: int) -> dict:
+    engine, sizes = _build_engine(enable_cache)
+    urls = sorted(sizes)
+
+    def validate(url: str, response) -> bool:
+        if response.status == 200:
+            return response.body == synthetic_body(url, sizes[url])
+        return response.status in (304, 404)
+
+    config = LoadConfig(
+        clients=clients, requests_per_client=requests, warmup_requests=2,
+        seed=0, ims_fraction=0.3, piggy_filter=PIGGY_FILTER,
+        keepalive=keepalive,
+    )
+    best_rps = 0.0
+    corrupted = 0
+    with PiggybackHttpServer(engine, site_host=HOST, max_workers=max_workers) as origin:
+        # One untimed warmup pass populates the piggyback cache and the
+        # synthetic-body memo before anything is measured.
+        run_load(origin.address, origin.port, urls, config, validate=validate)
+        for _ in range(repeat):
+            report = run_load(origin.address, origin.port, urls, config,
+                              validate=validate)
+            corrupted += report.corrupted
+            best_rps = max(best_rps, report.throughput_rps)
+    entry = {
+        "keepalive": keepalive,
+        "piggyback_cache": enable_cache,
+        "clients": clients,
+        "requests": clients * requests,
+        "rps": round(best_rps, 1),
+        "corrupted": corrupted,
+    }
+    if engine.piggyback_cache is not None:
+        stats = engine.piggyback_cache.stats
+        entry["cache_hit_rate"] = round(stats.hit_rate, 4)
+        entry["cache_hits"] = stats.hits
+        entry["cache_misses"] = stats.misses
+    return entry
+
+
+def _run_proxy(clients: int, requests: int, repeat: int, max_workers: int) -> dict:
+    engine, sizes = _build_engine(enable_cache=True)
+    urls = sorted(sizes)
+    config = LoadConfig(
+        clients=clients, requests_per_client=requests, warmup_requests=2,
+        seed=0, ims_fraction=0.0, absolute_targets=True, keepalive=True,
+    )
+    best_rps = 0.0
+    corrupted = 0
+    with ExitStack() as stack:
+        origin = stack.enter_context(
+            PiggybackHttpServer(engine, site_host=HOST, max_workers=max_workers)
+        )
+        proxy = stack.enter_context(
+            PiggybackHttpProxy(
+                origins={HOST: (origin.address, origin.port)},
+                config=ProxyConfig(name="bench-proxy"),
+                upstream_policy=UpstreamPolicy(timeout=5.0),
+                max_workers=max_workers,
+            )
+        )
+        run_load(proxy.address, proxy.port, urls, config)
+        for _ in range(repeat):
+            report = run_load(proxy.address, proxy.port, urls, config)
+            corrupted += report.corrupted
+            best_rps = max(best_rps, report.throughput_rps)
+        pool = proxy.upstream.stats
+        return {
+            "keepalive": True,
+            "clients": clients,
+            "requests": clients * requests,
+            "rps": round(best_rps, 1),
+            "corrupted": corrupted,
+            "pool_reuse_rate": round(pool.pool_reuse_rate, 4),
+            "pool_reuses": pool.pool_reuses,
+            "pool_connects": pool.pool_connects,
+        }
+
+
+def check_regression(report: dict, baseline_path: Path, max_regression: float) -> int:
+    """Throughput must stay within *max_regression* of the committed run."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = 0
+    for name, entry in report["benchmarks"].items():
+        base_entry = baseline.get("benchmarks", {}).get(name)
+        if base_entry is None:
+            print(f"  {name}: no baseline entry, skipping")
+            continue
+        floor = base_entry["rps"] / max_regression
+        status = "ok" if entry["rps"] >= floor else "REGRESSION"
+        if status != "ok":
+            failures += 1
+        print(f"  {name}: {entry['rps']:.0f} req/s vs baseline "
+              f"{base_entry['rps']:.0f} (floor {floor:.0f}) -> {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per client per pass")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed passes; best run is kept")
+    parser.add_argument("--max-workers", type=int, default=64)
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument("--baseline", default=None,
+                        help="compare against a committed BENCH_wire.json")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail if req/s drops below baseline/this")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless fast/baseline speedup meets this")
+    args = parser.parse_args(argv)
+
+    print("scenario: origin_baseline (no keep-alive, cache disabled)")
+    baseline_entry = _run_origin(False, False, args.clients, args.requests,
+                                 args.repeat, args.max_workers)
+    print(f"  {baseline_entry['rps']:.0f} req/s")
+    print("scenario: origin_fast (keep-alive, warm piggyback cache)")
+    fast_entry = _run_origin(True, True, args.clients, args.requests,
+                             args.repeat, args.max_workers)
+    print(f"  {fast_entry['rps']:.0f} req/s "
+          f"(cache hit rate {fast_entry.get('cache_hit_rate', 0.0):.1%})")
+    print("scenario: proxy_keepalive (keep-alive through the caching proxy)")
+    proxy_entry = _run_proxy(args.clients, args.requests, args.repeat,
+                             args.max_workers)
+    print(f"  {proxy_entry['rps']:.0f} req/s "
+          f"(pool reuse rate {proxy_entry['pool_reuse_rate']:.1%})")
+
+    speedup = (fast_entry["rps"] / baseline_entry["rps"]
+               if baseline_entry["rps"] else 0.0)
+    corrupted = (baseline_entry["corrupted"] + fast_entry["corrupted"]
+                 + proxy_entry["corrupted"])
+    report = {
+        "schema": SCHEMA_VERSION,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "speedup": round(speedup, 2),
+        "benchmarks": {
+            "origin_baseline": baseline_entry,
+            "origin_fast": fast_entry,
+            "proxy_keepalive": proxy_entry,
+        },
+    }
+    print(f"\nspeedup (origin_fast / origin_baseline): {speedup:.2f}x")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    failed = False
+    if corrupted:
+        print(f"{corrupted} corrupted response(s) during benchmarking")
+        failed = True
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"speedup {speedup:.2f}x below required {args.min_speedup:g}x")
+        failed = True
+    if args.baseline:
+        print(f"\nregression check vs {args.baseline} "
+              f"(max {args.max_regression:g}x):")
+        failures = check_regression(report, Path(args.baseline), args.max_regression)
+        if failures:
+            print(f"{failures} benchmark(s) regressed")
+            failed = True
+        else:
+            print("no regressions")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

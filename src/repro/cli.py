@@ -361,6 +361,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 ims_fraction=args.ims_fraction,
                 piggy_filter=piggy_filter,
                 absolute_targets=absolute_targets,
+                keepalive=args.keepalive,
             )
         except ValueError as exc:
             print(f"loadtest: {exc}", file=sys.stderr)
@@ -383,16 +384,28 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 handle.write(rendered)
             print(f"telemetry snapshot   {args.telemetry_out}")
 
+        keepalive_label = "on" if args.keepalive else "off"
         print(f"target               {args.target} (fault profile: {args.fault})")
+        print(f"keep-alive           {keepalive_label}")
         print(report.format())
         if args.target == "proxy":
             stats = proxy.engine.stats
+            pool = proxy.upstream.stats
             print(f"proxy server reqs    {stats.server_requests} "
                   f"(contact rate {stats.server_contact_rate:.1%})")
-            print(f"upstream retries     {proxy.upstream.stats.retries} "
-                  f"(failures {proxy.upstream.stats.failures})")
+            print(f"upstream retries     {pool.retries} "
+                  f"(failures {pool.failures})")
+            print(f"upstream pool        reuses {pool.pool_reuses}, "
+                  f"connects {pool.pool_connects}, retired {pool.pool_retired} "
+                  f"(reuse rate {pool.pool_reuse_rate:.1%})")
             print(f"stale responses      {proxy.stale_responses}")
             print(f"proxy workers live   {proxy.active_workers()}")
+        if engine.piggyback_cache is not None:
+            cache_stats = engine.piggyback_cache.stats
+            print(f"piggyback cache      hits {cache_stats.hits}, "
+                  f"misses {cache_stats.misses}, "
+                  f"evictions {cache_stats.evictions} "
+                  f"(hit rate {cache_stats.hit_rate:.1%})")
         print(f"origin requests      {engine.stats.requests}")
         print(f"origin workers live  {origin.active_workers()}")
     return 0 if report.corrupted == 0 else 1
@@ -631,6 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--max-workers", type=int, default=64)
     loadtest.add_argument("--fault", choices=_FAULT_PROFILES, default="none",
                           help="fault-injection profile between proxy and origin")
+    loadtest.add_argument("--keepalive", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="reuse persistent client connections "
+                               "(--no-keepalive forces one connection per request)")
     loadtest.add_argument("--seed", type=int, default=0)
     loadtest.add_argument("--telemetry-out", default=None,
                           help="enable telemetry and dump a final snapshot "

@@ -47,7 +47,13 @@ class ProxyRequest:
 
 @dataclass(frozen=True, slots=True)
 class ServerResponse:
-    """A server->proxy response with optional piggyback trailer."""
+    """A server->proxy response with optional piggyback trailer.
+
+    ``piggyback_wire`` optionally carries the serialized ``P-volume``
+    header value for ``piggyback`` (the server's serving-path cache stores
+    trailers pre-formatted); wire frontends use it to skip re-serializing.
+    It is derived data, excluded from equality and repr.
+    """
 
     url: str
     status: int
@@ -55,6 +61,7 @@ class ServerResponse:
     last_modified: float | None = None
     size: int = 0
     piggyback: PiggybackMessage | None = None
+    piggyback_wire: str | None = field(default=None, compare=False, repr=False)
 
     @property
     def is_ok(self) -> bool:

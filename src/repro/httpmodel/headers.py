@@ -4,6 +4,11 @@ HTTP/1.1 header field names are case-insensitive; values preserve their
 original form.  Multiple fields with the same name are folded with commas
 on :meth:`Headers.get`, as RFC 2616 allows, but kept separate internally
 so round-trips preserve the original message.
+
+Lookups go through a casefolded side index so ``get``/``__contains__``
+are dict probes rather than list scans, and :meth:`serialize` caches the
+encoded header block until the next mutation — both matter on the wire
+serving path, where the same response headers are rendered per request.
 """
 
 from __future__ import annotations
@@ -18,6 +23,10 @@ class Headers:
 
     def __init__(self, items: Iterable[tuple[str, str]] = ()):
         self._items: list[tuple[str, str]] = []
+        # Casefolded name -> values in insertion order.  Maintained by
+        # every mutator; the invariant is that it always mirrors _items.
+        self._index: dict[str, list[str]] = {}
+        self._wire: bytes | None = None
         for name, value in items:
             self.add(name, value)
 
@@ -28,8 +37,7 @@ class Headers:
         return iter(self._items)
 
     def __contains__(self, name: str) -> bool:
-        lowered = name.lower()
-        return any(k.lower() == lowered for k, _ in self._items)
+        return name.lower() in self._index
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Headers):
@@ -45,7 +53,10 @@ class Headers:
         """Append a field, keeping any existing same-named fields."""
         if "\r" in name or "\n" in name or "\r" in value or "\n" in value:
             raise ValueError("header fields must not contain CR or LF")
-        self._items.append((name, str(value)))
+        value = str(value)
+        self._items.append((name, value))
+        self._index.setdefault(name.lower(), []).append(value)
+        self._wire = None
 
     def set(self, name: str, value: str) -> None:
         """Replace all fields named *name* with a single field."""
@@ -54,28 +65,47 @@ class Headers:
 
     def remove(self, name: str) -> None:
         lowered = name.lower()
+        if lowered not in self._index:
+            return
+        del self._index[lowered]
         self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+        self._wire = None
 
     def get(self, name: str, default: str | None = None) -> str | None:
         """All values for *name*, comma-joined; *default* when absent."""
-        lowered = name.lower()
-        values = [v for k, v in self._items if k.lower() == lowered]
+        values = self._index.get(name.lower())
         if not values:
             return default
         return ", ".join(values)
 
     def get_all(self, name: str) -> list[str]:
-        lowered = name.lower()
-        return [v for k, v in self._items if k.lower() == lowered]
+        return list(self._index.get(name.lower(), ()))
 
     def copy(self) -> "Headers":
-        return Headers(self._items)
+        clone = Headers.__new__(Headers)
+        clone._items = list(self._items)
+        clone._index = {name: list(values) for name, values in self._index.items()}
+        clone._wire = self._wire
+        return clone
 
     def serialize(self) -> bytes:
-        """The header block as raw bytes, without the blank line."""
-        return b"".join(
-            f"{name}: {value}\r\n".encode("latin-1") for name, value in self._items
-        )
+        """The header block as raw bytes, without the blank line.
+
+        Cached until the next mutation, so repeated serialization of the
+        same headers (e.g. a static response served many times) encodes
+        once.
+        """
+        wire = self._wire
+        if wire is None:
+            wire = b"".join(
+                f"{name}: {value}\r\n".encode("latin-1") for name, value in self._items
+            )
+            self._wire = wire
+        return wire
+
+    def write_to(self, out: bytearray) -> None:
+        """Append the serialized header block to *out*."""
+        out += self.serialize()
 
     @classmethod
     def parse_block(cls, block: bytes) -> "Headers":

@@ -8,6 +8,7 @@ over real sockets or in-memory byte strings.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import BinaryIO
 
@@ -29,6 +30,11 @@ _REASONS = {
 }
 
 
+@functools.lru_cache(maxsize=256)
+def _status_line(version: str, status: int, reason: str) -> bytes:
+    return f"{version} {status} {reason}\r\n".encode("latin-1")
+
+
 class HttpParseError(ValueError):
     """Raised when bytes cannot be parsed as an HTTP/1.1 message."""
 
@@ -44,11 +50,12 @@ class HttpRequest:
     version: str = "HTTP/1.1"
 
     def serialize(self) -> bytes:
-        headers = self.headers.copy()
-        if self.body and headers.get("Content-Length") is None:
-            headers.set("Content-Length", str(len(self.body)))
         start = f"{self.method} {self.target} {self.version}\r\n".encode("latin-1")
-        return start + headers.serialize() + b"\r\n" + self.body
+        if self.body and "Content-Length" not in self.headers:
+            headers = self.headers.copy()
+            headers.set("Content-Length", str(len(self.body)))
+            return start + headers.serialize() + b"\r\n" + self.body
+        return start + self.headers.serialize() + b"\r\n" + self.body
 
 
 @dataclass(slots=True)
@@ -73,19 +80,54 @@ class HttpResponse:
 
     def serialize(self, chunk_size: int = 4096) -> bytes:
         """Serialize, using chunked coding whenever trailers are present."""
-        headers = self.headers.copy()
-        start = f"{self.version} {self.status} {self.reason}\r\n".encode("latin-1")
+        out = bytearray()
+        self.serialize_into(out, chunk_size=chunk_size)
+        return bytes(out)
+
+    def serialize_into(self, out: bytearray, chunk_size: int = 4096) -> None:
+        """Append the serialized message to *out*.
+
+        Byte-identical to :meth:`serialize`, but writes into a reusable
+        buffer and skips the header copy when the framing headers
+        (Content-Length / Transfer-Encoding / Trailer) are absent from the
+        stored headers — the common case on the serving path, where
+        framing can simply be appended after the cached header block.
+        """
+        out += _status_line(self.version, self.status, self.reason)
+        headers = self.headers
         if len(self.trailers) or self.is_chunked:
-            headers.set("Transfer-Encoding", "chunked")
-            headers.remove("Content-Length")
-            if len(self.trailers):
-                names = ", ".join(sorted({name for name, _ in self.trailers}))
-                headers.set("Trailer", names)
-            payload = encode_chunked(self.body, self.trailers, chunk_size=chunk_size)
+            if (
+                "Transfer-Encoding" in headers
+                or "Content-Length" in headers
+                or "Trailer" in headers
+            ):
+                headers = headers.copy()
+                headers.set("Transfer-Encoding", "chunked")
+                headers.remove("Content-Length")
+                if len(self.trailers):
+                    names = ", ".join(sorted({name for name, _ in self.trailers}))
+                    headers.set("Trailer", names)
+                headers.write_to(out)
+            else:
+                # set() is remove-then-append, so appending the framing
+                # lines after the untouched block yields the same bytes.
+                headers.write_to(out)
+                out += b"Transfer-Encoding: chunked\r\n"
+                if len(self.trailers):
+                    names = ", ".join(sorted({name for name, _ in self.trailers}))
+                    out += f"Trailer: {names}\r\n".encode("latin-1")
+            out += b"\r\n"
+            out += encode_chunked(self.body, self.trailers, chunk_size=chunk_size)
         else:
-            headers.set("Content-Length", str(len(self.body)))
-            payload = self.body
-        return start + headers.serialize() + b"\r\n" + payload
+            if "Content-Length" in headers:
+                headers = headers.copy()
+                headers.set("Content-Length", str(len(self.body)))
+                headers.write_to(out)
+            else:
+                headers.write_to(out)
+                out += b"Content-Length: %d\r\n" % len(self.body)
+            out += b"\r\n"
+            out += self.body
 
 
 def _read_until_blank_line(stream: BinaryIO) -> bytes:

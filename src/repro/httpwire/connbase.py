@@ -253,6 +253,7 @@ class ThreadedWireServer:
 
     def _serve_connection(self, client: socket.socket) -> None:
         reader = client.makefile("rb")
+        send_buffer = bytearray()
         try:
             while self._running:
                 try:
@@ -283,7 +284,7 @@ class ThreadedWireServer:
                 except Exception:  # noqa: BLE001 - one bad request never kills the worker
                     self._count("internal_errors")
                     response = HttpResponse(status=500)
-                if not self._send(client, response):
+                if not self._send(client, response, send_buffer):
                     return
                 self._count("requests_served")
                 if (request.headers.get("Connection") or "").lower() == "close":
@@ -298,10 +299,25 @@ class ThreadedWireServer:
             except OSError:
                 pass
 
-    def _send(self, client: socket.socket, response: HttpResponse) -> bool:
-        """Serialize and send with no locks held; False on a dead client."""
+    def _send(
+        self,
+        client: socket.socket,
+        response: HttpResponse,
+        buffer: bytearray | None = None,
+    ) -> bool:
+        """Serialize and send with no locks held; False on a dead client.
+
+        Serializes into the caller's reusable per-connection *buffer* (one
+        allocation amortized over a keep-alive connection's lifetime) and
+        issues a single ``sendall``.
+        """
+        if buffer is None:
+            buffer = bytearray()
+        else:
+            del buffer[:]
+        response.serialize_into(buffer)
         try:
-            client.sendall(response.serialize())
+            client.sendall(buffer)
             return True
         except (TimeoutError, ConnectionError, OSError):
             self._count("connection_errors")

@@ -82,6 +82,10 @@ class LoadConfig:
     piggy_filter: str | None = None  # sent as a Piggy-filter header
     host_header: str | None = None
     absolute_targets: bool = False  # proxy-style absolute-URI targets
+    # Keep-alive axis: True reuses one persistent connection per client;
+    # False opens a fresh connection per request and sends
+    # ``Connection: close`` — the HTTP/1.0-style worst case.
+    keepalive: bool = True
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -299,6 +303,8 @@ class _Client:
         if self.config.piggy_filter is not None:
             request.headers.set("TE", "chunked")
             request.headers.set("Piggy-filter", self.config.piggy_filter)
+        if not self.config.keepalive:
+            request.headers.set("Connection", "close")
         ims = self.last_modified_seen.get(url)
         if ims is not None and self.rng.random() < self.config.ims_fraction:
             request.headers.set("If-Modified-Since", ims)
@@ -313,6 +319,10 @@ class _Client:
                     delay = due - time.monotonic()
                     if delay > 0:
                         time.sleep(delay)
+                if not self.config.keepalive:
+                    # Fresh connection per request; the server closes its
+                    # side after answering a Connection: close request.
+                    connection.close()
                 url = self.urls[self.rng.randrange(len(self.urls))]
                 request = self._build_request(url)
                 measured = sequence >= self.config.warmup_requests

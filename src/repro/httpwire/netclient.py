@@ -48,6 +48,12 @@ class HttpConnection:
         self._sock: socket.socket | None = None
         self._reader = None
 
+    @property
+    def connected(self) -> bool:
+        """Whether a live socket is currently held (best effort: a peer
+        close is only discovered on the next exchange)."""
+        return self._sock is not None
+
     def _ensure_connected(self) -> None:
         if self._sock is not None:
             return
@@ -66,11 +72,15 @@ class HttpConnection:
         Any failure (timeout, reset, parse error) propagates after the
         connection is closed, leaving it safe to retry on a fresh one.
         """
+        return self._exchange(message.serialize())
+
+    def _exchange(self, wire: bytes) -> HttpResponse:
+        """Send pre-serialized request bytes and read one response."""
         self._ensure_connected()
         _TEL_CLIENT_REQUESTS.inc()
         try:
             assert self._sock is not None
-            self._sock.sendall(message.serialize())
+            self._sock.sendall(wire)
             return read_response(self._reader)
         except BaseException:
             _TEL_CLIENT_ERRORS.inc()
@@ -79,12 +89,16 @@ class HttpConnection:
 
     def request(self, message: HttpRequest) -> HttpResponse:
         """Send one request and read its response, reconnecting once on
-        a connection that the server closed between exchanges."""
+        a connection that the server closed between exchanges.
+
+        The request is serialized once; the retry resends the same bytes.
+        """
+        wire = message.serialize()
         try:
-            return self.request_once(message)
+            return self._exchange(wire)
         except (EOFError, ConnectionError, BrokenPipeError):
             _TEL_RECONNECTS.inc()
-            return self.request_once(message)
+            return self._exchange(wire)
 
     def close(self) -> None:
         if self._reader is not None:

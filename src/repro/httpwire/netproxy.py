@@ -68,6 +68,18 @@ _TEL_UPSTREAM_SECONDS = REGISTRY.histogram(
 _TEL_STALE_RESPONSES = REGISTRY.counter(
     "proxy_stale_responses_total", "client requests answered from a stale body"
 )
+_TEL_POOL_REUSES = REGISTRY.counter(
+    "proxy_upstream_pool_reuses_total",
+    "origin exchanges served on a pooled persistent connection",
+)
+_TEL_POOL_CONNECTS = REGISTRY.counter(
+    "proxy_upstream_pool_connects_total",
+    "fresh origin connections opened because no pooled one was usable",
+)
+_TEL_POOL_RETIRED = REGISTRY.counter(
+    "proxy_upstream_pool_retired_total",
+    "pooled connections dropped as idle-expired or broken on reuse",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +91,7 @@ class UpstreamPolicy:
     backoff: float = 0.05
     backoff_factor: float = 2.0
     pool_size: int = 16
+    idle_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -89,6 +102,8 @@ class UpstreamPolicy:
             raise ValueError("backoff must be non-negative")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if self.idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
 
 
 @dataclass(slots=True)
@@ -98,6 +113,17 @@ class UpstreamStats:
     exchanges: int = 0
     retries: int = 0
     failures: int = 0
+    pool_reuses: int = 0
+    pool_connects: int = 0
+    pool_retired: int = 0
+
+    @property
+    def pool_reuse_rate(self) -> float:
+        """Fraction of connection checkouts satisfied by the pool."""
+        checkouts = self.pool_reuses + self.pool_connects
+        if checkouts == 0:
+            return 0.0
+        return self.pool_reuses / checkouts
 
 
 class HttpUpstream:
@@ -122,7 +148,9 @@ class HttpUpstream:
         self.stats = UpstreamStats()
         self._sleep = sleep
         self._bodies: dict[str, bytes] = {}
-        self._pools: dict[str, list[HttpConnection]] = {}
+        # host -> [(connection, idle_since)] with the freshest at the tail
+        # (LIFO reuse); idle_since is a monotonic clock reading.
+        self._pools: dict[str, list[tuple[HttpConnection, float]]] = {}
         self._lock = make_lock("HttpUpstream._lock")
 
     # Body side table ----------------------------------------------------
@@ -143,28 +171,73 @@ class HttpUpstream:
 
     def close(self) -> None:
         with self._lock:
-            pooled = [c for pool in self._pools.values() for c in pool]
+            pooled = [entry[0] for pool in self._pools.values() for entry in pool]
             self._pools.clear()
         for connection in pooled:
             connection.close()
 
-    def _checkout(self, host: str) -> HttpConnection:
+    def _note(self, field: str, counter, amount: int = 1) -> None:
+        """Bump one UpstreamStats field plus its global telemetry twin."""
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + amount)
+        counter.inc(amount)
+
+    def _connect(self, host: str) -> HttpConnection:
         origin = self.origins.get(host)
         if origin is None:
             raise KeyError(f"no origin registered for host {host!r}")
-        with self._lock:
-            pool = self._pools.get(host)
-            if pool:
-                return pool.pop()
+        self._note("pool_connects", _TEL_POOL_CONNECTS)
         return HttpConnection(*origin, timeout=self.policy.timeout)
 
+    def _checkout(self, host: str) -> tuple[HttpConnection, bool]:
+        """A usable connection for *host* plus whether it was pooled.
+
+        Idle-expired pool entries encountered on the way are retired;
+        their sockets are closed outside the lock.
+        """
+        if host not in self.origins:
+            raise KeyError(f"no origin registered for host {host!r}")
+        now = time.monotonic()
+        expired: list[HttpConnection] = []
+        connection: HttpConnection | None = None
+        with self._lock:
+            pool = self._pools.get(host)
+            while pool:
+                candidate, idle_since = pool.pop()
+                if now - idle_since > self.policy.idle_timeout:
+                    expired.append(candidate)
+                    continue
+                connection = candidate
+                break
+        for old in expired:
+            old.close()
+        if expired:
+            self._note("pool_retired", _TEL_POOL_RETIRED, len(expired))
+        if connection is not None:
+            self._note("pool_reuses", _TEL_POOL_REUSES)
+            return connection, True
+        return self._connect(host), False
+
     def _checkin(self, host: str, connection: HttpConnection) -> None:
+        now = time.monotonic()
+        expired: list[HttpConnection] = []
+        overflow: HttpConnection | None = None
         with self._lock:
             pool = self._pools.setdefault(host, [])
+            # The oldest entries sit at the front; age them out so a
+            # bursty load does not park dead sockets forever.
+            while pool and now - pool[0][1] > self.policy.idle_timeout:
+                expired.append(pool.pop(0)[0])
             if len(pool) < self.policy.pool_size:
-                pool.append(connection)
-                return
-        connection.close()
+                pool.append((connection, now))
+            else:
+                overflow = connection
+        for old in expired:
+            old.close()
+        if expired:
+            self._note("pool_retired", _TEL_POOL_RETIRED, len(expired))
+        if overflow is not None:
+            overflow.close()
 
     # Exchange -----------------------------------------------------------
 
@@ -187,6 +260,36 @@ class HttpUpstream:
         if trace_header is not None:
             http_request.headers.set(TRACE_HEADER, trace_header)
         return http_request
+
+    def _attempt(self, host: str, http_request: HttpRequest) -> HttpResponse:
+        """One logical fetch attempt against *host*.
+
+        A *reused* pooled connection that fails was most likely closed by
+        the origin while idle — keep-alive housekeeping, not an origin
+        failure — so it is retired and the request retried immediately on
+        a fresh connection without consuming one of the policy's retry
+        attempts.  Only a failure on a fresh connection propagates to the
+        caller's retry/backoff loop.
+        """
+        connection, reused = self._checkout(host)
+        try:
+            response = connection.request_once(http_request)
+        except _RETRYABLE:
+            connection.close()
+            if not reused:
+                raise
+            self._note("pool_retired", _TEL_POOL_RETIRED)
+            # Still an attempt beyond the first for observability, even
+            # though it does not count against max_attempts.
+            self._note("retries", _TEL_UPSTREAM_RETRIES)
+            connection = self._connect(host)
+            try:
+                response = connection.request_once(http_request)
+            except _RETRYABLE:
+                connection.close()
+                raise
+        self._checkin(host, connection)
+        return response
 
     def __call__(self, request: ProxyRequest) -> ServerResponse:
         with _TEL_UPSTREAM_SECONDS.time(), TRACER.span("proxy.upstream_fetch") as span:
@@ -211,15 +314,11 @@ class HttpUpstream:
                     self._sleep(delay)
                 delay *= self.policy.backoff_factor
             try:
-                connection = self._checkout(host)
+                http_response = self._attempt(host, http_request)
             except KeyError:
                 break  # unroutable host: no point retrying
-            try:
-                http_response = connection.request_once(http_request)
             except _RETRYABLE:
-                connection.close()
                 continue
-            self._checkin(host, connection)
             break
         if http_response is None:
             # Origin unreachable/garbled after all attempts: degrade to a

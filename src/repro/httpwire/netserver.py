@@ -14,6 +14,7 @@ bytes are synthesized and sent on the worker thread with no lock held.
 
 from __future__ import annotations
 
+import functools
 import time
 from collections.abc import Callable
 
@@ -44,8 +45,15 @@ _TEL_PIGGYBACK_WIRE_BYTES = REGISTRY.histogram(
 )
 
 
+@functools.lru_cache(maxsize=1024)
 def synthetic_body(url: str, size: int) -> bytes:
-    """Deterministic body bytes for a resource of the given size."""
+    """Deterministic body bytes for a resource of the given size.
+
+    Memoized: the function is pure and a server keeps answering for the
+    same (url, size) pairs, so the repeated-seed build runs once per
+    resource instead of once per request.  Callers must not mutate the
+    returned bytes (they never do — ``bytes`` is immutable).
+    """
     if size <= 0:
         return b""
     seed = f"<!-- {url} -->".encode("ascii", errors="replace")
@@ -139,7 +147,11 @@ class PiggybackHttpServer(ThreadedWireServer):
 
         trailers = Headers()
         if result.piggyback is not None:
-            p_volume_value = format_p_volume(result.piggyback)
+            # The engine's serving-path cache hands back pre-serialized
+            # trailer bytes; only uncacheable paths serialize here.
+            p_volume_value = result.piggyback_wire
+            if p_volume_value is None:
+                p_volume_value = format_p_volume(result.piggyback)
             trailers.set(P_VOLUME_HEADER, p_volume_value)
             _TEL_PIGGYBACK_WIRE_BYTES.observe(float(len(p_volume_value)))
         return HttpResponse(

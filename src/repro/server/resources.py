@@ -34,6 +34,20 @@ class ResourceStore:
     def __init__(self, changes: ModificationProcess | None = None):
         self._records: dict[str, ResourceRecord] = {}
         self._changes = changes
+        self._epoch = 0
+
+    @property
+    def version(self) -> int | None:
+        """Metadata epoch for cache keys; None when mtimes are dynamic.
+
+        Bumped by :meth:`add` and :meth:`set_modified`.  With a
+        :class:`ModificationProcess` attached, Last-Modified values vary
+        with the *request* time rather than store mutations, so no epoch
+        can version them — callers must treat every read as fresh.
+        """
+        if self._changes is not None:
+            return None
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self._records)
@@ -56,6 +70,7 @@ class ResourceStore:
             last_modified=last_modified,
         )
         self._records[url] = record
+        self._epoch += 1
         return record
 
     def get(self, url: str) -> ResourceRecord | None:
@@ -83,6 +98,7 @@ class ResourceStore:
         if record is None:
             raise KeyError(f"unknown resource {url!r}")
         record.last_modified = when
+        self._epoch += 1
 
     @classmethod
     def from_site(

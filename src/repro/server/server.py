@@ -11,10 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..core.filters import ProxyFilter
+from ..core.piggyback import PiggybackMessage
 from ..core.protocol import NOT_FOUND, NOT_MODIFIED, OK, ProxyRequest, ServerResponse
+from ..httpmodel.piggy_codec import format_p_volume
 from ..telemetry import REGISTRY, SIZE_BUCKETS, TRACER
 from ..traces.records import LogRecord
-from ..volumes.base import VolumeStore
+from ..volumes.base import VolumeStore, VolumeVersion
+from .piggyback_cache import PiggybackMessageCache, canonical_filter
 from .resources import ResourceStore
 
 __all__ = ["ServerStats", "PiggybackServer"]
@@ -75,57 +79,94 @@ class ServerStats:
 class PiggybackServer:
     """A cooperating origin server with volumes and filter support.
 
-    :meth:`handle` is thread-safe: all metadata mutation (stats, volume
-    maintenance, filter application over the store's lazy candidates) runs
-    under the volume store's reentrant lock.  Response *bodies* are built
-    and sent by the wire layer outside this critical section, so body
-    serving is never globally serialized.
+    :meth:`handle` is thread-safe and holds the volume store's reentrant
+    lock only for the short mutation section — stats, cache-hit
+    absorption, volume maintenance, and a version probe.  Piggyback
+    construction runs *outside* that lock: a hit in the serialized-message
+    cache replays precomputed ``P-volume`` bytes without touching the
+    store at all, and a miss filters an immutable snapshot
+    (:meth:`~repro.volumes.base.VolumeStore.snapshot_lookup`).  Response
+    *bodies* are built and sent by the wire layer on the worker thread, so
+    body serving is never globally serialized.
+
+    The cache is automatically bypassed when resource metadata is
+    time-dependent (a :class:`~repro.workloads.modifications.ModificationProcess`
+    is attached — ``resources.version`` is None); that path keeps the
+    original single-lock, lazily truncated build, so the simulator's
+    behavior and cost are unchanged.
     """
 
-    def __init__(self, resources: ResourceStore, volume_store: VolumeStore):
+    def __init__(
+        self,
+        resources: ResourceStore,
+        volume_store: VolumeStore,
+        *,
+        piggyback_cache: PiggybackMessageCache | None = None,
+        enable_cache: bool = True,
+    ):
         self.resources = resources
         self.volume_store = volume_store
         self.stats = ServerStats()
+        if piggyback_cache is not None:
+            self.piggyback_cache: PiggybackMessageCache | None = piggyback_cache
+        else:
+            self.piggyback_cache = PiggybackMessageCache() if enable_cache else None
 
     def handle(self, request: ProxyRequest) -> ServerResponse:
         """Answer one proxy request, with piggyback when the filter allows."""
-        with self.volume_store.lock:
-            return self._handle_locked(request)
+        store = self.volume_store
+        piggyback_filter = request.piggyback_filter
+        version: VolumeVersion | None = None
+        with store.lock:
+            self.stats.requests += 1
+            _TEL_SERVER_REQUESTS.inc()
+            self._absorb_cache_hit_report(request)
+            record = self.resources.get(request.url)
+            if record is None:
+                self.stats.not_found_responses += 1
+                return ServerResponse(
+                    url=request.url, status=NOT_FOUND, timestamp=request.timestamp
+                )
 
-    def _handle_locked(self, request: ProxyRequest) -> ServerResponse:
-        self.stats.requests += 1
-        _TEL_SERVER_REQUESTS.inc()
-        self._absorb_cache_hit_report(request)
-        record = self.resources.get(request.url)
-        if record is None:
-            self.stats.not_found_responses += 1
-            return ServerResponse(
-                url=request.url, status=NOT_FOUND, timestamp=request.timestamp
-            )
+            last_modified = self.resources.last_modified(request.url, request.timestamp)
+            if request.if_modified_since is not None and request.if_modified_since >= last_modified:
+                status = NOT_MODIFIED
+                size = 0
+                self.stats.not_modified_responses += 1
+            else:
+                status = OK
+                size = record.size
+                self.stats.ok_responses += 1
+                self.stats.body_bytes += size
 
-        last_modified = self.resources.last_modified(request.url, request.timestamp)
-        if request.if_modified_since is not None and request.if_modified_since >= last_modified:
-            status = NOT_MODIFIED
-            size = 0
-            self.stats.not_modified_responses += 1
-        else:
-            status = OK
-            size = record.size
-            self.stats.ok_responses += 1
-            self.stats.body_bytes += size
+            self._observe_request(request, last_modified, record.size)
+            if piggyback_filter.enabled:
+                store.note_min_access(piggyback_filter.min_access_count)
+                version = store.lookup_version(request.url)
+                _TEL_VOLUME_LOOKUPS.inc()
 
-        self._observe_request(request, last_modified, record.size)
+        piggyback: PiggybackMessage | None = None
+        wire_value: str | None = None
         with TRACER.span("server.piggyback") as span:
-            piggyback = self._build_piggyback(request)
+            if version is not None:
+                if version.volume_id in piggyback_filter.recently_piggybacked:
+                    _TEL_RPV_SUPPRESSIONS.inc()
+                else:
+                    piggyback, wire_value = self._piggyback_for(
+                        request, piggyback_filter, version
+                    )
             if piggyback is not None:
                 span.tag("elements", str(len(piggyback)))
+
         if piggyback is not None:
-            self.stats.piggyback_messages += 1
-            self.stats.piggyback_elements += len(piggyback)
-            self.stats.piggyback_bytes += piggyback.wire_bytes()
+            wire_bytes = piggyback.wire_bytes()
+            with store.lock:
+                self.stats.piggyback_messages += 1
+                self.stats.piggyback_elements += len(piggyback)
+                self.stats.piggyback_bytes += wire_bytes
             _TEL_PIGGYBACK_MESSAGES.inc()
             _TEL_PIGGYBACK_ELEMENTS.observe(float(len(piggyback)))
-            _TEL_PIGGYBACK_BYTES.inc(piggyback.wire_bytes())
+            _TEL_PIGGYBACK_BYTES.inc(wire_bytes)
 
         return ServerResponse(
             url=request.url,
@@ -134,7 +175,76 @@ class PiggybackServer:
             last_modified=last_modified,
             size=size,
             piggyback=piggyback,
+            piggyback_wire=wire_value,
         )
+
+    def _piggyback_for(
+        self,
+        request: ProxyRequest,
+        piggyback_filter: ProxyFilter,
+        version: VolumeVersion,
+    ) -> tuple[PiggybackMessage | None, str | None]:
+        """Build (or replay) the piggyback for a non-suppressed request.
+
+        Returns the message plus, on the cached path, its serialized
+        ``P-volume`` value so wire frontends skip re-serialization.
+        """
+        canonical = canonical_filter(piggyback_filter)
+        cache = self.piggyback_cache
+        resources_version = self.resources.version
+        store = self.volume_store
+
+        if cache is None or resources_version is None:
+            # Uncacheable (dynamic mtimes or cache disabled): the original
+            # single-lock build, lazily truncated by the filter.
+            with store.lock:
+                lookup = store.lookup(request.url)
+                if lookup is None:
+                    return None, None
+                now = request.timestamp
+                candidates = (
+                    self._with_current_mtime(candidate, now)
+                    for candidate in lookup.candidates
+                )
+                return canonical.apply(version.volume_id, candidates, request.url), None
+
+        key = (
+            version.volume_id,
+            version.epoch,
+            resources_version,
+            request.url,
+            canonical,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached.message, cached.wire_value
+
+        snapshot = store.snapshot_lookup(request.url)
+        if snapshot is None:
+            return None, None
+        lookup, fresh_version = snapshot
+        now = request.timestamp
+        candidates = (
+            self._with_current_mtime(candidate, now) for candidate in lookup.candidates
+        )
+        message = canonical.apply(lookup.volume_id, candidates, request.url)
+        wire_value = format_p_volume(message) if message is not None else None
+        # Store under the version the snapshot was actually taken at; if
+        # resource metadata moved underneath us meanwhile, skip caching —
+        # the computed message is still a valid answer for this request.
+        if self.resources.version == resources_version:
+            cache.put(
+                (
+                    fresh_version.volume_id,
+                    fresh_version.epoch,
+                    resources_version,
+                    request.url,
+                    canonical,
+                ),
+                message,
+                wire_value,
+            )
+        return message, wire_value
 
     def _absorb_cache_hit_report(self, request: ProxyRequest) -> None:
         """Feed proxy-reported cache hits into volume maintenance.
@@ -173,30 +283,13 @@ class PiggybackServer:
             )
         )
 
-    def _build_piggyback(self, request: ProxyRequest):
-        """Apply the proxy filter to the volume of the requested resource.
-
-        Candidate Last-Modified times are refreshed from the resource store
-        before filtering: volume maintenance only sees a resource when it
-        is requested, but the piggyback must reflect modifications that
-        happened since — that is the entire coherency mechanism.
-        """
-        if not request.piggyback_filter.enabled:
-            return None
-        lookup = self.volume_store.lookup(request.url)
-        _TEL_VOLUME_LOOKUPS.inc()
-        if lookup is None:
-            return None
-        if lookup.volume_id in request.piggyback_filter.recently_piggybacked:
-            _TEL_RPV_SUPPRESSIONS.inc()
-        now = request.timestamp
-        candidates = (
-            self._with_current_mtime(candidate, now)
-            for candidate in lookup.candidates
-        )
-        return request.piggyback_filter.apply(lookup.volume_id, candidates, request.url)
-
     def _with_current_mtime(self, candidate, now: float):
+        """Refresh a candidate's Last-Modified from the resource store.
+
+        Volume maintenance only sees a resource when it is requested, but
+        the piggyback must reflect modifications that happened since —
+        that is the entire coherency mechanism.
+        """
         if candidate.url not in self.resources:
             return candidate
         current = self.resources.last_modified(candidate.url, now)

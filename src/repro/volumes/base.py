@@ -10,6 +10,7 @@ access counters) can track the request stream.
 
 from __future__ import annotations
 
+import functools
 import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
@@ -19,7 +20,7 @@ from ..core.filters import CandidateElement
 from ..core.piggyback import MAX_VOLUME_ID
 from ..traces.records import LogRecord
 
-__all__ = ["VolumeIdAllocator", "VolumeLookup", "VolumeStore"]
+__all__ = ["VolumeIdAllocator", "VolumeLookup", "VolumeVersion", "VolumeStore"]
 
 # Guards lazy creation of per-store locks: two threads touching a store's
 # ``lock`` property for the first time must end up with the same lock.
@@ -77,6 +78,21 @@ class VolumeLookup:
         return VolumeLookup(self.volume_id, tuple(self.candidates))
 
 
+@dataclass(frozen=True, slots=True)
+class VolumeVersion:
+    """A volume's identity plus its mutation epoch at one point in time.
+
+    Two equal versions guarantee the volume's piggyback-relevant state
+    (membership, candidate order, sizes, mtimes, and any access-count
+    crossing at or below the store's count ceiling) is unchanged, so
+    anything derived from a lookup — including serialized ``P-volume``
+    trailer bytes — may be reused verbatim.
+    """
+
+    volume_id: int
+    epoch: int
+
+
 class VolumeStore(ABC):
     """Interface implemented by every volume construction scheme.
 
@@ -84,7 +100,37 @@ class VolumeStore(ABC):
     servers) serialize every ``observe``/``lookup`` — *including the
     consumption of lazy candidates* — under :attr:`lock`.  The lock is
     reentrant and created lazily so existing subclasses need no changes.
+
+    Every store also carries a monotonic :attr:`epoch`, bumped on each
+    ``observe`` (subclass ``observe`` methods are wrapped automatically),
+    and answers :meth:`lookup_version` / :meth:`snapshot_lookup` so
+    readers can version what they derive from a lookup.  Stores with
+    finer-grained change tracking (directory, probability) override
+    ``lookup_version`` with per-volume epochs that stay put on no-op
+    repeat touches, which is what makes serving-path caching effective.
     """
+
+    # Class-level defaults so plain subclasses need no __init__ changes.
+    _store_epoch = 0
+    _count_ceiling = 0
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        observe = cls.__dict__.get("observe")
+        if (
+            observe is None
+            or getattr(observe, "__isabstractmethod__", False)
+            or getattr(observe, "_repro_epoch_wrapped", False)
+        ):
+            return
+
+        @functools.wraps(observe)
+        def observe_and_bump(self, record: LogRecord) -> None:
+            observe(self, record)
+            self._store_epoch += 1
+
+        observe_and_bump._repro_epoch_wrapped = True  # type: ignore[attr-defined]
+        cls.observe = observe_and_bump  # type: ignore[method-assign]
 
     @property
     def lock(self) -> threading.RLock:
@@ -105,6 +151,59 @@ class VolumeStore(ABC):
     @abstractmethod
     def lookup(self, url: str) -> VolumeLookup | None:
         """Volume id and ordered candidates for a request, or None."""
+
+    @property
+    def epoch(self) -> int:
+        """Store-wide mutation counter; bumped on every ``observe``."""
+        return self._store_epoch
+
+    @property
+    def count_ceiling(self) -> int:
+        """Largest ``min_access_count`` any filter has asked this store about."""
+        return self._count_ceiling
+
+    def note_min_access(self, min_access_count: int) -> None:
+        """Record that a filter with this ``min_access_count`` is in play.
+
+        Access-count increments only change piggyback admission when they
+        cross some filter's minimum; stores with per-volume epochs bump a
+        volume's epoch on an increment to count ``c`` iff ``c`` is at or
+        below this ceiling (any seen filter's minimum is ≤ the ceiling, so
+        increments past it cannot change any cached admission decision).
+        Call under :attr:`lock` before reading :meth:`lookup_version`.
+        """
+        if min_access_count > self._count_ceiling:
+            self._count_ceiling = min_access_count
+
+    def lookup_version(self, url: str) -> VolumeVersion | None:
+        """The version of *url*'s volume, or None when it has none.
+
+        Must be called under :attr:`lock`.  The base implementation
+        derives the version from a full :meth:`lookup` plus the
+        store-wide epoch; subclasses override it with a cheap per-volume
+        probe.
+        """
+        lookup = self.lookup(url)
+        if lookup is None:
+            return None
+        return VolumeVersion(lookup.volume_id, self._store_epoch)
+
+    def snapshot_lookup(self, url: str) -> tuple[VolumeLookup, VolumeVersion] | None:
+        """One consistent, immutable read: materialized lookup + version.
+
+        Takes :attr:`lock` internally; the returned candidates are a
+        concrete tuple, safe to consume (and re-consume) with no lock
+        held.  As long as ``lookup_version(url)`` still equals the
+        returned version, anything derived from the snapshot is current.
+        """
+        with self.lock:
+            version = self.lookup_version(url)
+            if version is None:
+                return None
+            lookup = self.lookup(url)
+            if lookup is None:
+                return None
+            return lookup.materialized(), version
 
     def volume_count(self) -> int:
         """Number of distinct volumes currently known (best effort)."""

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from .. import urls
 from ..core.filters import CandidateElement
 from ..traces.records import LogRecord
-from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore, VolumeVersion
 
 __all__ = ["DirectoryVolumeConfig", "DirectoryVolumeStore"]
 
@@ -76,6 +76,7 @@ class _VolumeFifos:
     def __init__(self, partition_by_type: bool):
         self._partition_by_type = partition_by_type
         self._fifos: dict[str, OrderedDict[str, _Entry]] = {}
+        self._last_touch_url: str | None = None
 
     def __len__(self) -> int:
         return sum(len(f) for f in self._fifos.values())
@@ -90,9 +91,17 @@ class _VolumeFifos:
 
     def touch(
         self, record: LogRecord, content_type: str, move_to_front: bool, touch: int
-    ) -> None:
+    ) -> tuple[bool, int]:
+        """Account one request; returns (piggyback-visible change?, count).
+
+        "Piggyback-visible" means the candidate *bytes* a lookup yields
+        changed: membership, order, a size, or an mtime — everything except
+        a bare access-count increment, which the caller versions separately
+        against the store's count ceiling.
+        """
         fifo = self._fifo_for(content_type)
         entry = fifo.get(record.url)
+        changed = entry is None
         if entry is None:
             entry = _Entry(
                 url=record.url,
@@ -103,16 +112,25 @@ class _VolumeFifos:
                 last_touch=touch,
             )
             fifo[record.url] = entry
+            # A fresh entry carries the newest touch, so it heads the
+            # volume-wide recency order from here on.
+            self._last_touch_url = record.url
         entry.access_count += 1
-        if record.size:
+        if record.size and entry.size != record.size:
             entry.size = record.size
-        if record.last_modified is not None:
+            changed = True
+        if record.last_modified is not None and entry.last_modified != record.last_modified:
             entry.last_modified = record.last_modified
+            changed = True
         entry.candidate = None  # invalidate the cached immutable view
         if move_to_front:
             # Plain FIFO keeps insertion order; move-to-front refreshes it.
             entry.last_touch = touch
             fifo.move_to_end(record.url)
+            if self._last_touch_url != record.url:
+                changed = True  # global recency order was reshuffled
+                self._last_touch_url = record.url
+        return changed, entry.access_count
 
     def trim_to(self, max_size: int) -> int:
         """Drop tail entries until total size is within *max_size*."""
@@ -144,6 +162,10 @@ class DirectoryVolumeStore(VolumeStore):
         self._allocator = VolumeIdAllocator()
         self._volumes: dict[str, _VolumeFifos] = {}
         self._touch_counter = 0
+        # Per-volume epochs: bumped only on piggyback-visible changes, so a
+        # steady request mix over a settled volume keeps its epoch (and any
+        # serialized piggyback derived from it) stable.
+        self._epochs: dict[str, int] = {}
 
     def volume_key(self, url: str) -> str:
         """The directory prefix defining the volume for *url*."""
@@ -164,14 +186,25 @@ class DirectoryVolumeStore(VolumeStore):
             volume = _VolumeFifos(self.config.partition_by_type)
             self._volumes[key] = volume
         self._touch_counter += 1
-        volume.touch(
+        changed, access_count = volume.touch(
             record,
             urls.content_type_of(record.url),
             move_to_front=self.config.move_to_front,
             touch=self._touch_counter,
         )
         if self.config.max_volume_size is not None:
-            volume.trim_to(self.config.max_volume_size)
+            if volume.trim_to(self.config.max_volume_size):
+                changed = True
+        # A bare count increment is invisible in piggyback bytes unless it
+        # can cross some seen filter's min_access_count (<= the ceiling).
+        if changed or access_count <= self._count_ceiling:
+            self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    def lookup_version(self, url: str) -> VolumeVersion | None:
+        key = self.volume_key(url)
+        if key not in self._volumes:
+            return None
+        return VolumeVersion(self._allocator.id_for(key), self._epochs.get(key, 0))
 
     def lookup(self, url: str) -> VolumeLookup | None:
         key = self.volume_key(url)

@@ -117,6 +117,16 @@ class InternedDirectoryStore:
     def volume_count(self) -> int:
         return len(self._volumes)
 
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter (bumps on every ``observe_index``).
+
+        Derived from the touch counter so the replay hot path pays nothing
+        extra; the fast replay engine keeps its own finer-grained message
+        invalidation, this is for external readers versioning snapshots.
+        """
+        return self._touch_counter
+
     def observe_index(self, index: int) -> None:
         """Account record *index* of the compiled trace."""
         compiled = self.compiled
@@ -180,6 +190,17 @@ class InternedProbabilityStore:
 
     def volume_count(self) -> int:
         return len(self.volumes)
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter (bumps on every ``observe_index``).
+
+        Computed from the access-count column on demand, so the per-record
+        maintenance path stays exactly three list operations; the replay
+        engine's ``size_dirty`` queue remains the precise invalidation
+        channel for its own message cache.
+        """
+        return sum(self.access_counts)
 
     def observe_index(self, index: int) -> None:
         compiled = self.compiled

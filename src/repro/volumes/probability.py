@@ -24,7 +24,7 @@ from .. import urls
 from ..core.filters import CandidateElement
 from ..traces.intern import CompiledTrace, compile_trace
 from ..traces.records import LogRecord, Trace
-from .base import VolumeIdAllocator, VolumeLookup, VolumeStore
+from .base import VolumeIdAllocator, VolumeLookup, VolumeStore, VolumeVersion
 
 __all__ = [
     "PairwiseConfig",
@@ -486,29 +486,47 @@ class ProbabilityVolumeStore(VolumeStore):
         # antecedents to invalidate instead of flushing everything.
         self._candidate_cache: dict[str, tuple[CandidateElement, ...]] = {}
         self._containing: dict[str, tuple[str, ...]] | None = None
+        # Per-antecedent epochs, bumped only on piggyback-visible changes
+        # (a member's size/mtime changed, or a count crossed the ceiling).
+        self._epochs: dict[str, int] = {}
 
     def volume_count(self) -> int:
         return len(self.volumes)
 
+    def _containing_volumes(self) -> dict[str, tuple[str, ...]]:
+        if self._containing is None:
+            self._containing = self.volumes.containing_volumes()
+        return self._containing
+
     def _invalidate_volumes_of(self, url: str) -> None:
         if not self._candidate_cache:
             return
-        if self._containing is None:
-            self._containing = self.volumes.containing_volumes()
         cache = self._candidate_cache
-        for antecedent in self._containing.get(url, ()):
+        for antecedent in self._containing_volumes().get(url, ()):
             cache.pop(antecedent, None)
 
     def observe(self, record: LogRecord) -> None:
         url = record.url
-        if record.size:
+        visible = False
+        if record.size and self._sizes.get(url) != record.size:
             self._sizes[url] = record.size
-        if record.last_modified is not None:
+            visible = True
+        if record.last_modified is not None and self._mtimes.get(url) != record.last_modified:
             self._mtimes[url] = record.last_modified
+            visible = True
         self._access_counts[url] += 1
         # The access count changed, so cached tuples embedding this
         # resource are stale; volumes not containing it stay cached.
         self._invalidate_volumes_of(url)
+        if visible or self._access_counts[url] <= self._count_ceiling:
+            epochs = self._epochs
+            for antecedent in self._containing_volumes().get(url, ()):
+                epochs[antecedent] = epochs.get(antecedent, 0) + 1
+
+    def lookup_version(self, url: str) -> VolumeVersion | None:
+        if url not in self.volumes:
+            return None
+        return VolumeVersion(self._allocator.id_for(url), self._epochs.get(url, 0))
 
     def lookup(self, url: str) -> VolumeLookup | None:
         candidates = self._candidate_cache.get(url)

@@ -72,3 +72,63 @@ class TestSerialization:
 
     def test_parse_empty_block(self):
         assert len(Headers.parse_block(b"")) == 0
+
+
+class TestLookupIndexInvariants:
+    """The casefolded lookup index must stay a faithful mirror of the
+    ordered item list through every mutation sequence."""
+
+    def test_insertion_order_and_duplicates_preserved(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Host", "example.org")
+        headers.add("set-cookie", "b=2")
+        assert list(headers) == [
+            ("Set-Cookie", "a=1"), ("Host", "example.org"), ("set-cookie", "b=2")
+        ]
+        assert headers.get("SET-COOKIE") == "a=1, b=2"
+        assert headers.get_all("set-Cookie") == ["a=1", "b=2"]
+
+    def test_set_moves_field_to_end(self):
+        headers = Headers([("A", "1"), ("B", "2"), ("a", "3")])
+        headers.set("A", "9")
+        assert list(headers) == [("B", "2"), ("A", "9")]
+        assert headers.get("a") == "9"
+
+    def test_remove_then_contains_and_get(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        headers.remove("a")
+        assert "A" not in headers
+        assert headers.get("A") is None
+        assert headers.get_all("A") == []
+        assert list(headers) == [("B", "2")]
+
+    def test_remove_absent_is_noop(self):
+        headers = Headers([("A", "1")])
+        headers.remove("missing")
+        assert list(headers) == [("A", "1")]
+
+    def test_serialize_cache_invalidated_by_every_mutator(self):
+        headers = Headers([("A", "1")])
+        assert headers.serialize() == b"A: 1\r\n"
+        headers.add("B", "2")
+        assert headers.serialize() == b"A: 1\r\nB: 2\r\n"
+        headers.set("A", "9")
+        assert headers.serialize() == b"B: 2\r\nA: 9\r\n"
+        headers.remove("B")
+        assert headers.serialize() == b"A: 9\r\n"
+
+    def test_copy_shares_no_mutable_state(self):
+        original = Headers([("A", "1"), ("A", "2")])
+        clone = original.copy()
+        clone.add("A", "3")
+        clone.remove("A")
+        assert original.get_all("A") == ["1", "2"]
+        assert original.serialize() == b"A: 1\r\nA: 2\r\n"
+
+    def test_write_to_appends_serialized_block(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        out = bytearray(b"GET / HTTP/1.1\r\n")
+        headers.write_to(out)
+        assert bytes(out) == b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\n"
+

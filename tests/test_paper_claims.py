@@ -55,8 +55,12 @@ class TestAbstractClaims:
         _, (simulator, _), _ = runs
         server = simulator.server
         # Everything proxy-specific arrived in request filters; the server
-        # keeps only resources, a volume store, and aggregate stats.
-        assert set(vars(server)) == {"resources", "volume_store", "stats"}
+        # keeps only resources, a volume store, aggregate stats, and a
+        # message cache keyed by canonicalized filter (shared across
+        # proxies, never by proxy identity).
+        assert set(vars(server)) == {
+            "resources", "volume_store", "stats", "piggyback_cache"
+        }
 
     def test_piggyback_overhead_is_small(self, runs):
         """Piggyback bytes are a small fraction of body bytes moved."""

@@ -1,0 +1,302 @@
+"""Differential tests for the serving-path piggyback message cache.
+
+The contract: a :class:`PiggybackServer` with the serialized-message cache
+enabled must be *observably identical* to one with it disabled — same
+statuses, same piggyback messages, and bit-identical ``P-volume`` trailer
+bytes — across filter permutations, volume mutations, resource-metadata
+changes, and RPV states.  The cache may only change how fast answers are
+produced, never what they say.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.filters import ProxyFilter
+from repro.core.protocol import OK, ProxyRequest
+from repro.httpmodel.piggy_codec import format_p_volume
+from repro.server.piggyback_cache import PiggybackMessageCache, canonical_filter
+from repro.server.resources import ResourceStore
+from repro.server.server import PiggybackServer
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+from repro.volumes.probability import ProbabilityVolumes, ProbabilityVolumeStore
+
+URLS = [
+    "h/a/page.html",
+    "h/a/img.gif",
+    "h/a/deep/doc.html",
+    "h/b/other.html",
+    "h/b/chart.gif",
+    "h/c/lone.html",
+]
+
+FILTERS = [
+    ProxyFilter(),
+    ProxyFilter(max_elements=1),
+    ProxyFilter(max_elements=0),
+    ProxyFilter(min_access_count=2),
+    ProxyFilter(max_resource_size=1000),
+    ProxyFilter(excluded_content_types=frozenset({"image"})),
+    ProxyFilter(min_access_count=1, max_elements=2),
+    ProxyFilter.disabled(),
+]
+
+
+def make_resources() -> ResourceStore:
+    resources = ResourceStore()
+    for index, url in enumerate(URLS):
+        resources.add(url, size=500 + 400 * index, last_modified=100.0 + index)
+    return resources
+
+
+def make_pair(store_factory):
+    """Two servers over identical state: cached and uncached."""
+    cached = PiggybackServer(make_resources(), store_factory(), enable_cache=True)
+    plain = PiggybackServer(make_resources(), store_factory(), enable_cache=False)
+    return cached, plain
+
+
+def directory_store():
+    return DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+
+
+def stable_directory_store():
+    return DirectoryVolumeStore(DirectoryVolumeConfig(level=1, move_to_front=False))
+
+
+def probability_store():
+    members = {
+        "h/a/page.html": [("h/a/img.gif", 0.9), ("h/a/deep/doc.html", 0.6)],
+        "h/a/img.gif": [("h/a/page.html", 0.8)],
+        "h/b/other.html": [("h/b/chart.gif", 0.7), ("h/a/page.html", 0.4)],
+    }
+    return ProbabilityVolumeStore(ProbabilityVolumes(members))
+
+
+def request(url, t=1000.0, piggy_filter=None, ims=None):
+    return ProxyRequest(
+        url=url,
+        timestamp=t,
+        if_modified_since=ims,
+        piggyback_filter=piggy_filter or ProxyFilter(),
+        source="p1",
+    )
+
+
+def assert_identical(cached_response, plain_response):
+    """Observable identity: status, metadata, and the exact trailer bytes.
+
+    Piggyback *messages* are compared by their wire-visible content
+    (volume id, element urls/mtimes/sizes) rather than full dataclass
+    equality — candidates embed server-internal attributes like
+    access_count that never reach the wire, and a cached message
+    legitimately replays the counts from build time.
+    """
+    assert cached_response.status == plain_response.status
+    assert cached_response.last_modified == plain_response.last_modified
+    assert cached_response.size == plain_response.size
+    if plain_response.piggyback is None:
+        assert cached_response.piggyback is None
+        return
+    assert cached_response.piggyback is not None
+    expected_wire = format_p_volume(plain_response.piggyback)
+    actual_wire = cached_response.piggyback_wire
+    if actual_wire is None:
+        actual_wire = format_p_volume(cached_response.piggyback)
+    assert actual_wire == expected_wire
+    assert format_p_volume(cached_response.piggyback) == expected_wire
+
+
+@pytest.mark.parametrize(
+    "store_factory", [directory_store, stable_directory_store, probability_store]
+)
+@pytest.mark.parametrize("piggy_filter", FILTERS)
+def test_cached_matches_uncached_across_filters(store_factory, piggy_filter):
+    """Same request stream, same answers, bit-identical trailers."""
+    cached, plain = make_pair(store_factory)
+    t = 1000.0
+    for _round in range(4):
+        for url in URLS:
+            t += 1.0
+            assert_identical(
+                cached.handle(request(url, t, piggy_filter)),
+                plain.handle(request(url, t, piggy_filter)),
+            )
+
+
+@pytest.mark.parametrize("store_factory", [directory_store, stable_directory_store])
+def test_cached_matches_uncached_through_mutations(store_factory):
+    """Volume growth, resource mtime changes, and new resources all
+    invalidate exactly as the uncached server would observe them."""
+    cached, plain = make_pair(store_factory)
+    f = ProxyFilter()
+    t = 1000.0
+
+    def sweep():
+        nonlocal t
+        for url in list(cached.resources.urls()):
+            t += 1.0
+            assert_identical(
+                cached.handle(request(url, t, f)), plain.handle(request(url, t, f))
+            )
+
+    sweep()
+    sweep()  # warmed: second sweep should be serving hits
+    for server in (cached, plain):
+        server.resources.set_modified("h/a/img.gif", 2000.0)
+    sweep()  # mtime change must surface through the cache
+    for server in (cached, plain):
+        server.resources.add("h/a/new.html", size=640, last_modified=2100.0)
+    sweep()  # a new sibling changes volume membership
+
+
+def test_warm_cache_actually_hits():
+    server = PiggybackServer(
+        make_resources(), stable_directory_store(), enable_cache=True
+    )
+    f = ProxyFilter()
+    for t in range(6):
+        server.handle(request("h/a/page.html", 1000.0 + t, f))
+    stats = server.piggyback_cache.stats
+    assert stats.hits > 0
+    assert stats.hits + stats.misses == 6
+
+
+def test_rpv_suppression_bypasses_and_does_not_poison_cache():
+    server = PiggybackServer(
+        make_resources(), stable_directory_store(), enable_cache=True
+    )
+    f = ProxyFilter()
+    server.handle(request("h/a/img.gif", 999.0, f))  # give the volume a sibling
+    first = server.handle(request("h/a/page.html", 1000.0, f))
+    assert first.piggyback is not None
+    volume_id = first.piggyback.volume_id
+    suppressed = server.handle(
+        request("h/a/page.html", 1001.0, f.with_rpv([volume_id]))
+    )
+    assert suppressed.piggyback is None
+    again = server.handle(request("h/a/page.html", 1002.0, f))
+    assert again.piggyback == first.piggyback
+    assert again.piggyback_wire == format_p_volume(first.piggyback)
+
+
+def test_rpv_variants_share_cache_entries():
+    """Filters differing only in RPV canonicalize to one cache key."""
+    base = ProxyFilter(max_elements=4)
+    assert canonical_filter(base) is base
+    assert canonical_filter(base.with_rpv([7, 9])) == base
+
+
+def test_negative_results_are_cached():
+    server = PiggybackServer(
+        make_resources(), stable_directory_store(), enable_cache=True
+    )
+    # h/c/lone.html is alone in its volume: the message is always empty.
+    f = ProxyFilter()
+    for t in range(3):
+        response = server.handle(request("h/c/lone.html", 1000.0 + t, f))
+        assert response.piggyback is None
+    stats = server.piggyback_cache.stats
+    assert stats.hits >= 1
+
+
+def test_dynamic_resources_bypass_cache():
+    from repro.workloads.modifications import ModificationConfig, ModificationProcess
+
+    changes = ModificationProcess(
+        0.0, 10_000.0, ModificationConfig(fast_fraction=1.0, fast_mean_interval=50.0)
+    )
+    resources = ResourceStore(changes=changes)
+    for url in URLS:
+        resources.add(url, size=700)
+    assert resources.version is None
+    server = PiggybackServer(resources, stable_directory_store(), enable_cache=True)
+    for t in range(4):
+        server.handle(request("h/a/page.html", 1000.0 + 100 * t))
+    stats = server.piggyback_cache.stats
+    assert stats.hits == 0 and stats.misses == 0
+
+
+def test_lru_eviction_is_bounded_and_counted():
+    cache = PiggybackMessageCache(max_entries=4)
+    server = PiggybackServer(
+        make_resources(), stable_directory_store(), piggyback_cache=cache
+    )
+    t = 1000.0
+    for _round in range(3):
+        for url in URLS:  # 6 distinct URLs > 4 entries
+            t += 1.0
+            server.handle(request(url, t))
+    assert len(cache) <= 4
+    assert cache.stats.evictions > 0
+    assert cache.stats.entries <= 4
+
+
+def test_min_access_count_crossing_invalidates():
+    """Admission flips when a sibling crosses the filter's minaccess
+    threshold; the cached trailer must flip with it."""
+    cached, plain = make_pair(stable_directory_store)
+    f = ProxyFilter(min_access_count=2)
+    t = 1000.0
+    # Drive the sibling's access count up one request at a time; after
+    # each bump the piggyback for page.html must match the uncached build.
+    for _ in range(4):
+        t += 1.0
+        assert_identical(
+            cached.handle(request("h/a/img.gif", t, f)),
+            plain.handle(request("h/a/img.gif", t, f)),
+        )
+        t += 1.0
+        assert_identical(
+            cached.handle(request("h/a/page.html", t, f)),
+            plain.handle(request("h/a/page.html", t, f)),
+        )
+
+
+def test_concurrent_readers_with_mutation_stay_coherent():
+    """Hammer handle() from many threads while a mutator thread bumps
+    resource mtimes; every response must equal a fresh uncached build.
+
+    Run under REPRO_LOCKORDER=1 in CI to also verify lock ordering.
+    """
+    server = PiggybackServer(
+        make_resources(), stable_directory_store(), enable_cache=True
+    )
+    errors: list[str] = []
+    barrier = threading.Barrier(5)
+
+    def reader(index: int) -> None:
+        barrier.wait()
+        for step in range(120):
+            url = URLS[(index + step) % len(URLS)]
+            response = server.handle(request(url, 5000.0 + step))
+            if response.status != OK:
+                errors.append(f"bad status {response.status} for {url}")
+            if response.piggyback is not None and response.piggyback_wire is not None:
+                if response.piggyback_wire != format_p_volume(response.piggyback):
+                    errors.append(f"wire mismatch for {url}")
+
+    def mutator() -> None:
+        barrier.wait()
+        for step in range(40):
+            server.resources.set_modified(URLS[step % len(URLS)], 6000.0 + step)
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(4)]
+    threads.append(threading.Thread(target=mutator))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors, errors[:5]
+    # Post-quiesce differential: an uncached server sharing the *same*
+    # resources and volume store must answer identically to the cache,
+    # whatever interleaving the threads produced.
+    oracle = PiggybackServer(server.resources, server.volume_store, enable_cache=False)
+    t = 9000.0
+    for url in URLS:
+        t += 1.0
+        plain_response = oracle.handle(request(url, t))
+        t += 1.0
+        assert_identical(server.handle(request(url, t)), plain_response)
