@@ -310,13 +310,26 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     sizes = {url: record.size for url in resources.urls()
              if (record := resources.get(url)) is not None}
     urls = sorted(sizes)
-    engine = PiggybackServer(
-        resources, DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
-    )
+    durable = None
+    if args.state_dir:
+        from .server.durability import DurableState
+
+        durable = DurableState(
+            args.state_dir,
+            lambda: DirectoryVolumeStore(DirectoryVolumeConfig(level=1)),
+            resources=resources,
+        )
+        store = durable.store
+    else:
+        store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
+    engine = PiggybackServer(resources, store)
 
     with ExitStack() as stack:
+        if durable is not None:
+            stack.callback(durable.close, snapshot=True)
         origin = stack.enter_context(
-            PiggybackHttpServer(engine, site_host=host, max_workers=args.max_workers)
+            PiggybackHttpServer(engine, site_host=host, max_workers=args.max_workers,
+                                durable_state=durable)
         )
         origin_address = (origin.address, origin.port)
         if args.fault != "none":
@@ -408,7 +421,74 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                   f"(hit rate {cache_stats.hit_rate:.1%})")
         print(f"origin requests      {engine.stats.requests}")
         print(f"origin workers live  {origin.active_workers()}")
+        if durable is not None:
+            journal = durable.store.journal
+            print(f"durable state        generation {durable.generation}, "
+                  f"journal seq {journal.last_seq} "
+                  f"({journal.bytes_written} bytes)")
     return 0 if report.corrupted == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from .httpwire.netserver import PiggybackHttpServer
+    from .server.durability import BufferedAccessLogger, DurableState
+    from .server.resources import ResourceStore
+    from .server.server import PiggybackServer
+    from .volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+    from .workloads.sitegen import SiteConfig, generate_site
+
+    site = generate_site(SiteConfig(host=args.host, page_count=args.pages,
+                                    directory_count=6, seed=args.seed))
+    resources = ResourceStore.from_site(site)
+    state = DurableState(
+        args.state_dir,
+        lambda: DirectoryVolumeStore(DirectoryVolumeConfig(level=args.level)),
+        resources=resources,
+        sync=args.sync,
+    )
+    engine = PiggybackServer(resources, state.store)
+    logger = None
+    if args.access_log:
+        logger = BufferedAccessLogger(args.access_log,
+                                      interval=args.flush_interval)
+    try:
+        with PiggybackHttpServer(
+            engine,
+            site_host=args.host,
+            address=args.address,
+            port=args.port,
+            max_workers=args.max_workers,
+            access_logger=logger,
+            durable_state=state,
+        ) as origin:
+            recovery = state.recovery
+            print(f"serving {args.host} on {origin.address}:{origin.port}")
+            print(f"state dir            {state.state_dir}")
+            print(f"generation           {state.generation}")
+            print(f"recovered            seq {recovery.last_seq} "
+                  f"(snapshot {'yes' if recovery.snapshot_loaded else 'no'}, "
+                  f"replayed {recovery.replayed_records}, "
+                  f"torn tail bytes {recovery.torn_tail_bytes})")
+            sys.stdout.flush()
+            deadline = (None if args.max_seconds is None
+                        else time_mod.monotonic() + args.max_seconds)
+            try:
+                while deadline is None or time_mod.monotonic() < deadline:
+                    time_mod.sleep(0.05)
+                    if origin.draining and origin.active_workers() == 0:
+                        break
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if logger is not None:
+            logger.close()
+        state.close(snapshot=args.snapshot_on_exit)
+    journal = state.store.journal
+    print(f"journal              seq {journal.last_seq} "
+          f"({journal.bytes_written} bytes)")
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -656,7 +736,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="enable telemetry and flush a JSONL time series here")
     loadtest.add_argument("--flush-interval", type=float, default=0.5,
                           help="seconds between time-series flushes")
+    loadtest.add_argument("--state-dir", default=None,
+                          help="serve from a durable state directory "
+                               "(journal + snapshot, recovered on start)")
     loadtest.set_defaults(handler=_cmd_loadtest)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a durable piggyback origin until interrupted")
+    serve.add_argument("--state-dir", required=True,
+                       help="state directory (journal, snapshot, meta); "
+                            "created and recovered on start")
+    serve.add_argument("--host", default="www.serve.example",
+                       help="synthetic site host name")
+    serve.add_argument("--address", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--pages", type=int, default=48,
+                       help="synthetic site size")
+    serve.add_argument("--level", type=int, default=1,
+                       help="directory-volume level")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-workers", type=int, default=64)
+    serve.add_argument("--access-log", default=None,
+                       help="buffered CLF access log path")
+    serve.add_argument("--flush-interval", type=float, default=1.0,
+                       help="access-log flush period in seconds")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="exit after this many seconds (smoke tests)")
+    serve.add_argument("--sync", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="fsync each journal append "
+                            "(--no-sync trades durability for speed)")
+    serve.add_argument("--snapshot-on-exit", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="fold the journal into a snapshot on clean exit")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

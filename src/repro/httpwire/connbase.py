@@ -22,19 +22,34 @@ mutation so body serving is never globally serialized.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 from ..devtools.lockorder import make_lock
 from ..httpmodel.messages import HttpParseError, HttpRequest, HttpResponse, read_request
 from ..telemetry import REGISTRY, TRACE_HEADER, TRACER, render_json, render_prometheus
 
-__all__ = ["WireServerStats", "ThreadedWireServer", "METRICS_PATH"]
+__all__ = [
+    "WireServerStats",
+    "ThreadedWireServer",
+    "METRICS_PATH",
+    "ADMIN_PREFIX",
+    "STATUS_PATH",
+    "DRAIN_PATH",
+]
 
 # Introspection endpoint every ThreadedWireServer answers before
 # dispatching to its subclass handler.
 METRICS_PATH = "/.repro/metrics"
+
+# Reserved admin namespace: every path under it is answered by the wire
+# layer (or a subclass admin hook), never by the application handler.
+ADMIN_PREFIX = "/.repro/"
+STATUS_PATH = "/.repro/status"
+DRAIN_PATH = "/.repro/drain"
 
 _TEL_CONNECTIONS = REGISTRY.counter(
     "wire_connections_accepted_total", "TCP connections accepted by wire servers"
@@ -125,6 +140,7 @@ class ThreadedWireServer:
         self.address, self.port = self._listener.getsockname()
         self._accept_thread: threading.Thread | None = None
         self._running = False
+        self._draining = False
         self._worker_slots = threading.BoundedSemaphore(max_workers)
         self._connections: dict[int, _Connection] = {}
         self._connections_lock = make_lock("ThreadedWireServer._connections_lock")
@@ -135,6 +151,14 @@ class ThreadedWireServer:
     def handle_request(self, request: HttpRequest) -> HttpResponse:
         """Map one parsed request to a response (runs on a worker thread)."""
         raise NotImplementedError
+
+    def handle_admin(self, request: HttpRequest, path: str) -> HttpResponse | None:
+        """Answer a subclass-specific ``/.repro/`` path, or None for 404."""
+        return None
+
+    def admin_status(self) -> dict[str, Any]:
+        """Extra subclass fields merged into the ``/.repro/status`` body."""
+        return {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -175,6 +199,27 @@ class ThreadedWireServer:
             if connection.thread is not None:
                 connection.thread.join(timeout=drain_timeout)
 
+    def drain(self) -> None:
+        """Refuse new connections; let in-flight requests finish.
+
+        Closes the listener (new connects get ECONNREFUSED) and flips the
+        serve loops into lame-duck mode: each worker completes the request
+        it is currently handling — including the drain request itself —
+        sends the response, and closes its connection.  Workers blocked
+        waiting for a next keep-alive request are reclaimed by EOF or the
+        io timeout.  Idempotent; :meth:`stop` remains the hard shutdown.
+        """
+        self._draining = True
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def __enter__(self):
         self.start()
         return self
@@ -208,6 +253,39 @@ class ThreadedWireServer:
         response = HttpResponse(status=200, body=body)
         response.headers.set("Content-Type", content_type)
         return response
+
+    def _json_response(self, payload: dict[str, Any], status: int = 200) -> HttpResponse:
+        response = HttpResponse(
+            status=status, body=json.dumps(payload, indent=1).encode("utf-8")
+        )
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    def _admin_response(self, request: HttpRequest, path: str) -> HttpResponse:
+        """Dispatch one request under :data:`ADMIN_PREFIX`."""
+        method = request.method.upper()
+        if path == STATUS_PATH and method == "GET":
+            with self._stats_lock:
+                stats = asdict(self.wire_stats)
+            payload: dict[str, Any] = {
+                "server": self.name,
+                "address": self.address,
+                "port": self.port,
+                "draining": self._draining,
+                "active_workers": self.active_workers(),
+                "wire_stats": stats,
+            }
+            payload.update(self.admin_status())
+            return self._json_response(payload)
+        if path == DRAIN_PATH and method == "POST":
+            self.drain()
+            return self._json_response(
+                {"draining": True, "active_workers": self.active_workers()}
+            )
+        response = self.handle_admin(request, path)
+        if response is not None:
+            return response
+        return HttpResponse(status=404, body=b"unknown admin endpoint\n")
 
     # -- accept/serve loops ------------------------------------------------
 
@@ -271,8 +349,11 @@ class ThreadedWireServer:
                     self._count("connection_errors")
                     return
                 try:
-                    if request.target.split("?", 1)[0] == METRICS_PATH:
+                    path = request.target.split("?", 1)[0]
+                    if path == METRICS_PATH:
                         response = self._metrics_response(request)
+                    elif path.startswith(ADMIN_PREFIX):
+                        response = self._admin_response(request, path)
                     else:
                         with _TEL_REQUEST_SECONDS.time(), TRACER.span(
                             "wire.request",
@@ -287,6 +368,8 @@ class ThreadedWireServer:
                 if not self._send(client, response, send_buffer):
                     return
                 self._count("requests_served")
+                if self._draining:
+                    return  # lame duck: current request answered, now close
                 if (request.headers.get("Connection") or "").lower() == "close":
                     return
         finally:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import functools
 import time
 from collections.abc import Callable
+from dataclasses import asdict
+from typing import Any
 
 from ..devtools.lockorder import make_lock
 from ..core.protocol import ProxyRequest
@@ -74,6 +76,7 @@ class PiggybackHttpServer(ThreadedWireServer):
         access_logger=None,
         io_timeout: float = 30.0,
         max_workers: int = 64,
+        durable_state=None,
     ):
         super().__init__(
             address,
@@ -87,6 +90,31 @@ class PiggybackHttpServer(ThreadedWireServer):
         self.clock = clock or time.time
         self.access_logger = access_logger
         self._log_lock = make_lock("PiggybackHttpServer._log_lock")
+        self.durable_state = durable_state
+        if durable_state is not None and server.piggyback_cache is not None:
+            # An admin reload swaps the store state behind its lock; any
+            # trailer bytes cached against pre-reload versions must go.
+            durable_state.invalidate_hooks.append(server.piggyback_cache.clear)
+
+    # -- admin endpoints ----------------------------------------------------
+
+    def admin_status(self) -> dict[str, Any]:
+        if self.durable_state is None:
+            return {}
+        return {"durable_state": self.durable_state.status()}
+
+    def handle_admin(self, request: HttpRequest, path: str):
+        if path not in ("/.repro/snapshot", "/.repro/reload"):
+            return None
+        if request.method.upper() != "POST":
+            return HttpResponse(status=405, body=b"POST required\n")
+        if self.durable_state is None:
+            return HttpResponse(status=503, body=b"no durable state attached\n")
+        if path == "/.repro/snapshot":
+            info = self.durable_state.snapshot_now()
+            return self._json_response(asdict(info))
+        report = self.durable_state.reload()
+        return self._json_response(asdict(report))
 
     # -- request translation ----------------------------------------------
 

@@ -1,0 +1,71 @@
+"""repro.server.durability — durable origin state with warm restart.
+
+A serving origin accumulates volume state (FIFO orders, access counts,
+pairwise counters) that the paper assumes survives for the duration of a
+log.  This package makes that state crash-safe:
+
+- :mod:`.journal` — append-only, CRC-framed, fsynced write-ahead journal
+  of observations; tail-tolerant reader.
+- :mod:`.snapshot` — atomic checksummed snapshots plus the generation /
+  epoch-base meta floor.
+- :mod:`.state` — :func:`~.state.recover_state` (idempotent crash
+  recovery), :class:`~.state.JournaledVolumeStore` (journal before
+  mutate), and :class:`~.state.DurableState` (per-process manager with
+  snapshot-now / reload / status for the admin endpoints).
+- :mod:`.logflush` — buffered access logging with a background flusher.
+- :mod:`.chaos` — the SIGKILL fault-injection switch the crash-recovery
+  test harness drives via ``REPRO_DURABILITY_KILL``.
+
+Epochs published by a recovered store are offset by a per-generation
+base (see :data:`~.snapshot.GENERATION_STRIDE`), so piggyback cache
+keys minted before a crash can never collide with keys minted after —
+the epoch space is monotone across process generations.
+"""
+
+from .chaos import KILL_ENV
+from .journal import JournalRecord, JournalTail, JournalWriter, read_journal
+from .logflush import BufferedAccessLogger, FlushScheduler
+from .snapshot import (
+    GENERATION_STRIDE,
+    META_NAME,
+    SNAPSHOT_NAME,
+    SnapshotPayload,
+    StateFormatError,
+    StateMeta,
+    load_meta,
+    load_snapshot,
+    write_snapshot,
+)
+from .state import (
+    DurableState,
+    JournaledVolumeStore,
+    RecoveryError,
+    RecoveryReport,
+    SnapshotInfo,
+    recover_state,
+)
+
+__all__ = [
+    "KILL_ENV",
+    "JournalRecord",
+    "JournalTail",
+    "JournalWriter",
+    "read_journal",
+    "BufferedAccessLogger",
+    "FlushScheduler",
+    "GENERATION_STRIDE",
+    "META_NAME",
+    "SNAPSHOT_NAME",
+    "SnapshotPayload",
+    "StateFormatError",
+    "StateMeta",
+    "load_meta",
+    "load_snapshot",
+    "write_snapshot",
+    "DurableState",
+    "JournaledVolumeStore",
+    "RecoveryError",
+    "RecoveryReport",
+    "SnapshotInfo",
+    "recover_state",
+]

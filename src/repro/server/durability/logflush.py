@@ -1,0 +1,186 @@
+"""Buffered access logging with a background flush scheduler.
+
+The plain :class:`~repro.server.accesslog.AccessLogger` writes one line
+per request under its lock — fine for tests, but a durable origin wants
+request threads off the filesystem: lines are formatted and buffered in
+memory, and a scheduler thread drains the buffer to disk periodically
+(or immediately once the buffer crosses a high-water mark).
+
+Flushing follows the same lock discipline as snapshots: the buffer is
+swapped out under the lock, and the file write happens outside it, so a
+slow disk never stalls request threads.  ``close()`` performs a final
+synchronous flush; buffered lines are *not* crash-durable by design —
+the access log feeds offline analysis, not recovery, which is exactly
+why it tolerates buffering while volume mutations go through the
+write-ahead journal.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Callable
+
+from ...core.protocol import ProxyRequest, ServerResponse
+from ...devtools.lockorder import make_lock
+from ...telemetry import REGISTRY
+from ...traces.common_log import format_record
+from ...traces.records import LogRecord
+
+__all__ = ["FlushScheduler", "BufferedAccessLogger"]
+
+_TEL_BUFFERED = REGISTRY.counter(
+    "server_accesslog_buffered_lines_total", "Access-log lines accepted into the buffer"
+)
+_TEL_FLUSHES = REGISTRY.counter(
+    "server_accesslog_flushes_total", "Access-log buffer flushes to disk"
+)
+_TEL_FLUSHED_LINES = REGISTRY.counter(
+    "server_accesslog_flushed_lines_total", "Access-log lines written to disk"
+)
+
+
+class FlushScheduler:
+    """Runs a flush callable on a daemon thread: periodic or on demand.
+
+    The scheduler sleeps on an event for *interval* seconds; callers can
+    cut a sleep short with :meth:`wake` (used when a buffer crosses its
+    high-water mark).  Exceptions from the callable stop the thread and
+    are re-raised from :meth:`stop`, so a broken disk surfaces instead
+    of silently dropping lines forever.
+    """
+
+    def __init__(self, flush: Callable[[], None], interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("flush interval must be positive")
+        self._flush = flush
+        self._interval = interval
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-log-flush", daemon=True
+        )
+
+    def start(self) -> "FlushScheduler":
+        self._thread.start()
+        return self
+
+    def wake(self) -> None:
+        """Request an immediate flush (no-op if one is already pending)."""
+        self._wake.set()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self._interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self._flush()
+            except BaseException as exc:  # surface via stop(), don't spin
+                self._failure = exc
+                return
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the thread and re-raise any flush failure it swallowed."""
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout)
+        if self._failure is not None:
+            failure = self._failure
+            self._failure = None
+            raise failure
+
+
+class BufferedAccessLogger:
+    """Drop-in :class:`~repro.server.accesslog.AccessLogger` replacement.
+
+    ``log()`` only formats and appends to an in-memory list; a
+    :class:`FlushScheduler` (started by the constructor) drains the list
+    to *path* every *interval* seconds, or as soon as *max_buffer* lines
+    accumulate.  With ``sync=True`` each flush is fsynced.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        interval: float = 1.0,
+        max_buffer: int = 256,
+        sync: bool = False,
+    ) -> None:
+        if max_buffer < 1:
+            raise ValueError("max_buffer must be >= 1")
+        self.path = Path(path)
+        self._max_buffer = max_buffer
+        self._sync = sync
+        self._buffer: list[str] = []
+        self._lock = make_lock("BufferedAccessLogger._lock")
+        # Serializes whole flushes so two drains can't interleave their
+        # writes; acquired before (never after) the buffer lock.
+        self._io_lock = make_lock("BufferedAccessLogger._io_lock")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+        self.lines_written = 0
+        self.flushes = 0
+        self._scheduler = FlushScheduler(self.flush, interval).start()
+
+    def log(self, request: ProxyRequest, response: ServerResponse) -> None:
+        """Buffer one exchange; never touches the filesystem."""
+        record = LogRecord(
+            timestamp=request.timestamp,
+            source=request.source,
+            url=request.url,
+            method="GET",
+            status=response.status,
+            size=response.size,
+        )
+        line = format_record(record)
+        with self._lock:
+            self._buffer.append(line)
+            depth = len(self._buffer)
+        _TEL_BUFFERED.inc()
+        if depth >= self._max_buffer:
+            self._scheduler.wake()
+
+    def buffered(self) -> int:
+        """Lines currently waiting in memory."""
+        with self._lock:
+            return len(self._buffer)
+
+    def flush(self) -> None:
+        """Drain the buffer to disk (swap under the buffer lock, write
+        outside it, whole drains serialized by the io lock)."""
+        with self._io_lock:
+            with self._lock:
+                if not self._buffer:
+                    return
+                lines = self._buffer
+                self._buffer = []
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+            if self._sync:
+                os.fsync(self._handle.fileno())
+            self.lines_written += len(lines)
+            self.flushes += 1
+        _TEL_FLUSHES.inc()
+        _TEL_FLUSHED_LINES.inc(len(lines))
+
+    def close(self) -> None:
+        """Stop the scheduler, flush what remains, and close the file."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._scheduler.stop()
+        finally:
+            self.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "BufferedAccessLogger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,296 @@
+"""Snapshot and metadata files for the durable origin state directory.
+
+A state directory contains three kinds of files::
+
+    meta.json          generation + epoch-base floor, rewritten at startup
+    snapshot.json      one full store-state snapshot (atomic, checksummed)
+    journal-<G>.log    append-only journal for process generation G
+
+``snapshot.json`` and ``meta.json`` are written with the atomic
+temp-file + ``os.replace`` + fsync protocol, so a crash can never tear
+them: a reader sees the old complete file or the new complete file.  A
+snapshot or meta file that fails validation therefore indicates external
+damage (disk corruption, manual edits), and loading raises
+:class:`StateFormatError` instead of guessing — unlike the journal,
+whose torn tails are an *expected* crash artifact and are tolerated.
+
+``meta.json`` exists to close a narrow hole: a process that crashed
+before its first journal append (or whose journal ``begin`` record was
+itself torn) would otherwise leave no durable trace of the epoch base it
+was serving at.  Meta is written — atomically, before serving starts —
+by every generation, so recovery always finds a floor to raise the next
+base above.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ...telemetry import REGISTRY
+from ...volumes.base import VolumeStore
+from ...volumes.state import capture_store_state, restore_store_state
+from ..resources import ResourceStore
+from .chaos import chaos_point, chaos_write
+
+__all__ = [
+    "StateFormatError",
+    "SnapshotPayload",
+    "StateMeta",
+    "GENERATION_STRIDE",
+    "META_NAME",
+    "SNAPSHOT_NAME",
+    "journal_name",
+    "journal_generation",
+    "write_snapshot",
+    "load_snapshot",
+    "write_meta",
+    "load_meta",
+    "capture_resources",
+    "restore_resources",
+]
+
+_META_FORMAT = "repro-state-meta"
+_SNAPSHOT_FORMAT = "repro-state-snapshot"
+_VERSION = 1
+
+META_NAME = "meta.json"
+SNAPSHOT_NAME = "snapshot.json"
+
+# Epoch bases advance by this stride per process generation.  Any single
+# generation minting 2**40 epochs (one per observe) would have journaled
+# for years; the stride guarantees post-restart epochs strictly exceed
+# every pre-crash epoch while staying far from int overflow concerns.
+GENERATION_STRIDE = 1 << 40
+
+_TEL_SNAPSHOT_WRITES = REGISTRY.counter(
+    "server_snapshot_writes_total", "Durable state snapshots written"
+)
+_TEL_SNAPSHOT_BYTES = REGISTRY.counter(
+    "server_snapshot_bytes_total", "Bytes written into state snapshots"
+)
+
+
+class StateFormatError(ValueError):
+    """A snapshot or meta file exists but is not valid."""
+
+
+def journal_name(generation: int) -> str:
+    return f"journal-{generation:08d}.log"
+
+
+def journal_generation(name: str) -> int | None:
+    """Generation number encoded in a journal file name, or None."""
+    if not (name.startswith("journal-") and name.endswith(".log")):
+        return None
+    digits = name[len("journal-"):-len(".log")]
+    return int(digits) if digits.isdigit() else None
+
+
+def _atomic_write(path: Path, text: str, kind: str) -> None:
+    """Atomic durable write, routed through the chaos kill switch."""
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        chaos_write(handle, text.encode("utf-8"), kind)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    chaos_point(f"{kind}-replace")
+    directory = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory)
+    finally:
+        os.close(directory)
+
+
+def _checksum(payload: Any) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def _load_validated(path: Path, expected_format: str) -> dict[str, Any]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StateFormatError(f"{path} is not valid JSON") from exc
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise StateFormatError(f"{path} is not a {expected_format} file")
+    if payload.get("version") != _VERSION:
+        raise StateFormatError(
+            f"{path} has unsupported version {payload.get('version')!r}"
+        )
+    return payload
+
+
+# --- meta ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StateMeta:
+    """Durable floor for generation and epoch base."""
+
+    generation: int
+    epoch_base: int
+
+
+def write_meta(state_dir: str | Path, meta: StateMeta) -> None:
+    payload = {
+        "format": _META_FORMAT,
+        "version": _VERSION,
+        "generation": meta.generation,
+        "epoch_base": meta.epoch_base,
+    }
+    _atomic_write(Path(state_dir) / META_NAME, json.dumps(payload, indent=1), "meta")
+
+
+def load_meta(state_dir: str | Path) -> StateMeta | None:
+    """The recorded meta, or None when the file does not exist."""
+    path = Path(state_dir) / META_NAME
+    if not path.exists():
+        return None
+    payload = _load_validated(path, _META_FORMAT)
+    try:
+        return StateMeta(
+            generation=int(payload["generation"]),
+            epoch_base=int(payload["epoch_base"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StateFormatError(f"malformed meta file {path}: {exc}") from exc
+
+
+# --- resources ----------------------------------------------------------
+
+
+def capture_resources(resources: ResourceStore) -> dict[str, Any]:
+    """JSON-safe payload of a resource store's records and epoch."""
+    return {
+        "epoch": resources._epoch,
+        "records": [
+            [record.url, record.size, record.content_type, record.last_modified]
+            for record in sorted(
+                (resources.get(url) for url in resources.urls()),
+                key=lambda record: record.url,  # type: ignore[union-attr]
+            )
+            if record is not None
+        ],
+    }
+
+
+def restore_resources(resources: ResourceStore, payload: dict[str, Any]) -> None:
+    """Replace *resources*' records with a captured payload."""
+    resources._records.clear()
+    for url, size, content_type, last_modified in payload["records"]:
+        resources.add(
+            str(url),
+            size=int(size),
+            content_type=str(content_type),
+            last_modified=float(last_modified),
+        )
+    resources._epoch = int(payload["epoch"])
+
+
+# --- snapshot -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotPayload:
+    """A decoded snapshot: state plus its position in the journal order."""
+
+    generation: int
+    state_epoch_base: int
+    last_seq: int
+    store_state: dict[str, Any]
+    resources_state: dict[str, Any] | None
+
+
+def write_snapshot(
+    state_dir: str | Path,
+    *,
+    generation: int,
+    state_epoch_base: int,
+    last_seq: int,
+    store_state: dict[str, Any],
+    resources_state: dict[str, Any] | None,
+) -> int:
+    """Atomically persist a snapshot; returns its size in bytes.
+
+    ``store_state`` must be a consistent capture (taken under the store
+    lock) of the state as of journal sequence ``last_seq``; recovery
+    replays only records after that point.  ``state_epoch_base`` records
+    the base in effect, so restarts can mint strictly larger epochs.
+    """
+    body = {"store": store_state, "resources": resources_state}
+    payload = {
+        "format": _SNAPSHOT_FORMAT,
+        "version": _VERSION,
+        "generation": generation,
+        "state_epoch_base": state_epoch_base,
+        "last_seq": last_seq,
+        "checksum": _checksum(body),
+        "store": store_state,
+        "resources": resources_state,
+    }
+    text = json.dumps(payload, indent=1)
+    _atomic_write(Path(state_dir) / SNAPSHOT_NAME, text, "snapshot")
+    _TEL_SNAPSHOT_WRITES.inc()
+    _TEL_SNAPSHOT_BYTES.inc(len(text))
+    return len(text)
+
+
+def load_snapshot(state_dir: str | Path) -> SnapshotPayload | None:
+    """The persisted snapshot, or None when no snapshot exists.
+
+    Raises :class:`StateFormatError` on a file that exists but fails
+    format or checksum validation — snapshots are written atomically, so
+    corruption is never a crash artifact and never silently skipped.
+    """
+    path = Path(state_dir) / SNAPSHOT_NAME
+    if not path.exists():
+        return None
+    payload = _load_validated(path, _SNAPSHOT_FORMAT)
+    try:
+        body = {"store": payload["store"], "resources": payload["resources"]}
+        expected = int(payload["checksum"])
+        actual = _checksum(body)
+        if actual != expected:
+            raise StateFormatError(
+                f"snapshot {path} failed its checksum "
+                f"(expected {expected}, computed {actual})"
+            )
+        return SnapshotPayload(
+            generation=int(payload["generation"]),
+            state_epoch_base=int(payload["state_epoch_base"]),
+            last_seq=int(payload["last_seq"]),
+            store_state=payload["store"],
+            resources_state=payload["resources"],
+        )
+    except StateFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StateFormatError(f"malformed snapshot {path}: {exc}") from exc
+
+
+def restore_into(
+    store: VolumeStore,
+    resources: ResourceStore | None,
+    snapshot: SnapshotPayload,
+) -> None:
+    """Load a snapshot's state into a fresh store (and resource store)."""
+    restore_store_state(store, snapshot.store_state)
+    if resources is not None and snapshot.resources_state is not None:
+        restore_resources(resources, snapshot.resources_state)
+
+
+def capture_snapshot_state(
+    store: VolumeStore, resources: ResourceStore | None
+) -> tuple[dict[str, Any], dict[str, Any] | None]:
+    """Capture store + resource state (caller holds the store lock)."""
+    return (
+        capture_store_state(store),
+        None if resources is None else capture_resources(resources),
+    )

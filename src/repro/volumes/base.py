@@ -59,6 +59,21 @@ class VolumeIdAllocator:
     def known_keys(self) -> set[str]:
         return set(self._ids)
 
+    def assignments(self) -> dict[str, int]:
+        """Current key -> id mapping, in allocation order (for persistence)."""
+        return dict(self._ids)
+
+    def restore(self, assignments: dict[str, int]) -> None:
+        """Replace the mapping with a persisted one.
+
+        The mapping must be dense (ids 0..n-1): ids are allocated densely,
+        so anything else is a corrupt artifact.
+        """
+        ids = {str(key): int(value) for key, value in assignments.items()}
+        if sorted(ids.values()) != list(range(len(ids))):
+            raise ValueError("allocator mapping is not dense")
+        self._ids = ids
+
 
 @dataclass(frozen=True, slots=True)
 class VolumeLookup:
@@ -108,11 +123,19 @@ class VolumeStore(ABC):
     finer-grained change tracking (directory, probability) override
     ``lookup_version`` with per-volume epochs that stay put on no-op
     repeat touches, which is what makes serving-path caching effective.
+
+    All published epochs are offset by :attr:`epoch_base`.  A process
+    recovering persisted state (:mod:`repro.server.durability`) raises
+    the base past every epoch the previous process generation could have
+    served, so a ``VolumeVersion`` minted after a crash-restart can never
+    collide with one cached before it — epochs are monotone across
+    process generations, never reused.
     """
 
     # Class-level defaults so plain subclasses need no __init__ changes.
     _store_epoch = 0
     _count_ceiling = 0
+    _epoch_base = 0
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -155,7 +178,22 @@ class VolumeStore(ABC):
     @property
     def epoch(self) -> int:
         """Store-wide mutation counter; bumped on every ``observe``."""
-        return self._store_epoch
+        return self._epoch_base + self._store_epoch
+
+    @property
+    def epoch_base(self) -> int:
+        """Offset added to every published epoch (generation barrier)."""
+        return self._epoch_base
+
+    def raise_epoch_base(self, base: int) -> None:
+        """Raise :attr:`epoch_base` to at least *base* (never lowers it).
+
+        Called by recovery with a value strictly greater than any epoch
+        the previous process generation could have minted, so versions
+        derived from restored state invalidate every stale cache key.
+        """
+        if base > self._epoch_base:
+            self._epoch_base = base
 
     @property
     def count_ceiling(self) -> int:
@@ -186,7 +224,7 @@ class VolumeStore(ABC):
         lookup = self.lookup(url)
         if lookup is None:
             return None
-        return VolumeVersion(lookup.volume_id, self._store_epoch)
+        return VolumeVersion(lookup.volume_id, self._epoch_base + self._store_epoch)
 
     def snapshot_lookup(self, url: str) -> tuple[VolumeLookup, VolumeVersion] | None:
         """One consistent, immutable read: materialized lookup + version.

@@ -204,7 +204,9 @@ class DirectoryVolumeStore(VolumeStore):
         key = self.volume_key(url)
         if key not in self._volumes:
             return None
-        return VolumeVersion(self._allocator.id_for(key), self._epochs.get(key, 0))
+        return VolumeVersion(
+            self._allocator.id_for(key), self._epoch_base + self._epochs.get(key, 0)
+        )
 
     def lookup(self, url: str) -> VolumeLookup | None:
         key = self.volume_key(url)

@@ -6,24 +6,80 @@ the result.  That split needs a durable artifact — this module stores
 :class:`~repro.volumes.probability.ProbabilityVolumes` as versioned JSON
 together with the construction parameters, so a server can be restarted
 (or a volume center redeployed) without re-estimating anything.
+
+Artifacts are written **atomically**: the payload goes to a same-directory
+temp file, is fsynced, and is renamed into place with ``os.replace`` (the
+directory is fsynced too).  A reader therefore always sees either the old
+complete artifact or the new complete artifact — never a torn one — which
+is the same rule the durability journal/snapshot layer
+(:mod:`repro.server.durability`) follows.
+
+Format version 2 adds a CRC-32 checksum over the canonical volumes
+payload, detecting bit rot that still parses as JSON; version-1 files
+(no checksum) remain loadable.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 from .probability import ProbabilityVolumes
 
-__all__ = ["VolumeArtifact", "save_volumes", "load_volumes", "VolumeFormatError"]
+__all__ = [
+    "VolumeArtifact",
+    "save_volumes",
+    "load_volumes",
+    "VolumeFormatError",
+    "atomic_write_text",
+]
 
 _FORMAT = "repro-probability-volumes"
-_VERSION = 1
+_VERSION = 2
+_COMPATIBLE_VERSIONS = frozenset({1, 2})
 
 
 class VolumeFormatError(ValueError):
     """Raised when a volume file is not a valid persisted artifact."""
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write *text* to *path* atomically and durably.
+
+    temp file in the same directory -> write -> flush -> fsync ->
+    ``os.replace`` -> fsync the directory.  A crash at any point leaves
+    either the previous file or the new one, plus at worst a stale
+    ``*.tmp`` that writers overwrite and readers ignore.
+    """
+    target = Path(path)
+    temp = target.with_name(target.name + ".tmp")
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, target)
+    directory = os.open(target.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory)
+    finally:
+        os.close(directory)
+
+
+def _volumes_payload(volumes: ProbabilityVolumes) -> dict[str, list[list[Any]]]:
+    return {
+        antecedent: [[consequent, probability]
+                     for consequent, probability in volumes.members_of(antecedent)]
+        for antecedent in sorted(volumes.antecedents())
+    }
+
+
+def _volumes_checksum(payload: dict[str, list[list[Any]]]) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,10 +103,12 @@ def save_volumes(
     combine_level: int | None = None,
     source_log: str = "",
 ) -> None:
-    """Write *volumes* and their construction parameters to *path*."""
+    """Atomically write *volumes* and their construction parameters to *path*."""
+    volume_payload = _volumes_payload(volumes)
     payload = {
         "format": _FORMAT,
         "version": _VERSION,
+        "checksum": _volumes_checksum(volume_payload),
         "parameters": {
             "probability_threshold": probability_threshold,
             "window": window,
@@ -58,19 +116,15 @@ def save_volumes(
             "combine_level": combine_level,
             "source_log": source_log,
         },
-        "volumes": {
-            antecedent: [[consequent, probability]
-                         for consequent, probability in volumes.members_of(antecedent)]
-            for antecedent in sorted(volumes.antecedents())
-        },
+        "volumes": volume_payload,
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_volumes(path: str | Path) -> VolumeArtifact:
     """Load a persisted volume artifact; raises :class:`VolumeFormatError`
-    on anything that is not one."""
+    on anything that is not one.  Accepts format versions 1 (no checksum)
+    and 2 (checksummed)."""
     try:
         with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -78,15 +132,23 @@ def load_volumes(path: str | Path) -> VolumeArtifact:
         raise VolumeFormatError(f"not a JSON volume file: {path}") from exc
     if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
         raise VolumeFormatError(f"unrecognized volume file format in {path}")
-    if payload.get("version") != _VERSION:
-        raise VolumeFormatError(
-            f"unsupported volume file version {payload.get('version')!r}"
-        )
+    version = payload.get("version")
+    if version not in _COMPATIBLE_VERSIONS:
+        raise VolumeFormatError(f"unsupported volume file version {version!r}")
     try:
+        raw_volumes = payload["volumes"]
+        if version >= 2:
+            expected = int(payload["checksum"])
+            actual = _volumes_checksum(raw_volumes)
+            if actual != expected:
+                raise VolumeFormatError(
+                    f"volume file {path} failed its checksum "
+                    f"(expected {expected}, computed {actual})"
+                )
         members = {
             antecedent: [(str(consequent), float(probability))
                          for consequent, probability in pairs]
-            for antecedent, pairs in payload["volumes"].items()
+            for antecedent, pairs in raw_volumes.items()
         }
         parameters = payload["parameters"]
         artifact = VolumeArtifact(
@@ -103,6 +165,8 @@ def load_volumes(path: str | Path) -> VolumeArtifact:
             ),
             source_log=str(parameters.get("source_log", "")),
         )
+    except VolumeFormatError:
+        raise
     except (KeyError, TypeError, ValueError) as exc:
         raise VolumeFormatError(f"malformed volume file {path}: {exc}") from exc
     return artifact

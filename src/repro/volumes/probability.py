@@ -526,7 +526,9 @@ class ProbabilityVolumeStore(VolumeStore):
     def lookup_version(self, url: str) -> VolumeVersion | None:
         if url not in self.volumes:
             return None
-        return VolumeVersion(self._allocator.id_for(url), self._epochs.get(url, 0))
+        return VolumeVersion(
+            self._allocator.id_for(url), self._epoch_base + self._epochs.get(url, 0)
+        )
 
     def lookup(self, url: str) -> VolumeLookup | None:
         candidates = self._candidate_cache.get(url)

@@ -1,0 +1,161 @@
+"""Subprocess driver and shared helpers for the crash-recovery chaos tests.
+
+Run as a script, this process opens a durable state directory, observes a
+deterministic stream of records (printing ``ACK <i>`` after each one is
+durably applied), optionally snapshots mid-stream, and exits — unless the
+``REPRO_DURABILITY_KILL`` switch the parent set SIGKILLs it first at a
+precise byte offset inside a journal or snapshot write.
+
+Imported as a module, it provides the pieces both sides share: the store
+factory, the deterministic record stream, the trailer oracle (serialized
+``P-volume`` bytes for every URL, computed exactly the way the serving
+path does), and the subprocess runner.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.filters import ProxyFilter
+from repro.httpmodel.piggy_codec import format_p_volume
+from repro.server.durability import DurableState
+from repro.traces.records import LogRecord
+from repro.volumes.base import VolumeStore
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
+
+HOST = "www.chaos.example"
+FILTER = ProxyFilter(max_elements=10, min_access_count=2)
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def make_store() -> DirectoryVolumeStore:
+    """The store factory both the child and every oracle must share."""
+    return DirectoryVolumeStore(
+        DirectoryVolumeConfig(level=1, max_volume_size=6)
+    )
+
+
+def make_records(seed: int, count: int) -> list[LogRecord]:
+    """A deterministic request stream: same (seed, count) -> same records."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(count):
+        directory = rng.randrange(4)
+        page = rng.randrange(8)
+        extension = rng.choice(["html", "gif", "css"])
+        records.append(
+            LogRecord(
+                timestamp=1000.0 + i,
+                source=f"client{rng.randrange(3)}",
+                url=f"{HOST}/d{directory}/page{page}.{extension}",
+                size=500 + 97 * page,
+                last_modified=900.0 + 7.0 * page,
+            )
+        )
+    return records
+
+
+def record_urls(records: list[LogRecord]) -> list[str]:
+    return sorted({record.url for record in records})
+
+
+def trailer_map(
+    store: VolumeStore, urls: list[str], proxy_filter: ProxyFilter = FILTER
+) -> dict[str, str | None]:
+    """Serialized P-volume trailer per URL, via the real serving path.
+
+    This is the differential oracle's unit of comparison: two stores are
+    equivalent exactly when every URL yields bit-identical trailer bytes
+    (or identically no trailer).
+    """
+    trailers: dict[str, str | None] = {}
+    for url in urls:
+        snapshot = store.snapshot_lookup(url)
+        if snapshot is None:
+            trailers[url] = None
+            continue
+        lookup, _version = snapshot
+        message = proxy_filter.apply(lookup.volume_id, lookup.candidates, url)
+        trailers[url] = None if message is None else format_p_volume(message)
+    return trailers
+
+
+def feed(store: VolumeStore, records: list[LogRecord]) -> VolumeStore:
+    """Observe *records* into *store* under its lock; returns the store."""
+    with store.lock:
+        for record in records:
+            store.observe(record)
+    return store
+
+
+def run_driver(
+    state_dir: str | Path,
+    seed: int,
+    count: int,
+    *,
+    snapshot_at: int = -1,
+    kill: str | None = None,
+    timeout: float = 60.0,
+) -> tuple[int, int, str]:
+    """Run this module as a child process; returns (rc, acked, stdout).
+
+    ``acked`` counts the ``ACK`` lines the child printed before exiting
+    (or being killed) — every acked record was durably journaled first.
+    """
+    env = dict(os.environ)
+    env.pop("REPRO_DURABILITY_KILL", None)
+    if kill is not None:
+        env["REPRO_DURABILITY_KILL"] = kill
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(_SRC) if not existing else str(_SRC) + os.pathsep + existing
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            str(state_dir),
+            str(seed),
+            str(count),
+            str(snapshot_at),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    acked = sum(
+        1 for line in proc.stdout.splitlines() if line.startswith("ACK ")
+    )
+    return proc.returncode, acked, proc.stdout
+
+
+def main(argv: list[str]) -> int:
+    state_dir, seed, count, snapshot_at = (
+        argv[1],
+        int(argv[2]),
+        int(argv[3]),
+        int(argv[4]),
+    )
+    state = DurableState(state_dir, make_store)
+    records = make_records(seed, count)
+    for index, record in enumerate(records):
+        with state.store.lock:
+            state.store.observe(record)
+        # The observe returned, so the journal append was fsynced: this
+        # record survives any crash from here on.  Say so.
+        print(f"ACK {index}", flush=True)
+        if index == snapshot_at:
+            state.snapshot_now()
+            print("SNAPSHOT", flush=True)
+    state.close()
+    print("DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,190 @@
+"""Unit tests for the durability journal: framing, fsync contract, and
+the tail-tolerant reader.
+
+The reader's tolerance is exhaustively characterized: a journal truncated
+at *every possible byte offset* must decode to a clean prefix of the
+original records and report the torn tail — never raise, never invent a
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.server.durability import JournalWriter, read_journal
+from repro.server.durability.journal import MAX_RECORD_BYTES, record_to_log_record
+from repro.traces.records import LogRecord
+
+
+def _record(i: int) -> LogRecord:
+    return LogRecord(
+        timestamp=100.0 + i,
+        source=f"c{i % 3}",
+        url=f"www.j.example/d{i % 2}/p{i}.html",
+        status=200,
+        size=512 + i,
+        last_modified=None if i % 4 == 0 else 50.0 + i,
+    )
+
+
+def _write_sample(path, count=5):
+    writer = JournalWriter(
+        path, next_seq=1, generation=1, epoch_base=7, sync=True
+    )
+    records = [_record(i) for i in range(count)]
+    for record in records:
+        writer.append_observation(record)
+    writer.append_ceiling(3)
+    writer.append_resource("www.j.example/extra.gif", 99, "image", 12.5)
+    writer.close()
+    return records
+
+
+def test_roundtrip_preserves_records_and_sequence(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    originals = _write_sample(path)
+    records, tail = read_journal(path)
+    assert tail.clean and tail.torn_bytes == 0 and tail.reason is None
+
+    begin = records[0]
+    assert begin.kind == "begin"
+    assert begin.fields["next_seq"] == 1
+    assert begin.fields["generation"] == 1
+    assert begin.fields["base"] == 7
+
+    observations = [r for r in records if r.kind == "obs"]
+    assert [r.seq for r in observations] == [1, 2, 3, 4, 5]
+    assert [record_to_log_record(r) for r in observations] == originals
+
+    cap = next(r for r in records if r.kind == "cap")
+    assert cap.fields["min"] == 3 and cap.seq == 6
+    res = next(r for r in records if r.kind == "res")
+    assert res.seq == 7
+    assert res.fields == {
+        "url": "www.j.example/extra.gif", "sz": 99, "ct": "image", "lm": 12.5,
+    }
+
+
+def test_writer_tracks_seq_and_bytes(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    writer = JournalWriter(path, next_seq=41, generation=3, epoch_base=0)
+    assert writer.last_seq == 40
+    assert writer.append_observation(_record(0)) == 41
+    assert writer.append_observation(_record(1)) == 42
+    assert writer.last_seq == 42
+    assert writer.bytes_written == path.stat().st_size
+    writer.close()
+    with pytest.raises(ValueError):
+        writer.append_observation(_record(2))
+
+
+def test_writer_refuses_existing_file(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    path.write_bytes(b"")
+    with pytest.raises(FileExistsError):
+        JournalWriter(path, next_seq=1, generation=1, epoch_base=0)
+
+
+def test_truncation_at_every_byte_yields_a_clean_prefix(tmp_path):
+    """The exhaustive torn-write sweep: all truncation points, no surprises."""
+    path = tmp_path / "journal-00000001.log"
+    _write_sample(path, count=4)
+    data = path.read_bytes()
+    full_records, _ = read_journal(path)
+    boundaries = 0
+    for cut in range(len(data) + 1):
+        torn = tmp_path / "torn.log"
+        torn.write_bytes(data[:cut])
+        records, tail = read_journal(torn)
+        # Always a prefix of the intact decode, never reordered/invented.
+        assert records == full_records[: len(records)]
+        assert tail.torn_bytes == cut - tail.offset
+        if tail.clean:
+            boundaries += 1
+            assert tail.offset == cut
+        else:
+            assert tail.reason is not None
+        torn.unlink()
+    # Clean cuts happen exactly at frame boundaries (plus offset zero).
+    assert boundaries == len(full_records) + 1
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_garbage_suffix_is_reported_not_replayed(tmp_path, seed):
+    path = tmp_path / "journal-00000001.log"
+    _write_sample(path, count=3)
+    data = path.read_bytes()
+    rng = random.Random(seed)
+    garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+    path.write_bytes(data + garbage)
+    records, tail = read_journal(path)
+    assert len(records) >= 1  # the intact frames all decode
+    assert not tail.clean
+    assert tail.offset <= len(data)
+    assert tail.torn_bytes >= len(garbage)
+
+
+def test_corrupt_magic_stops_the_scan(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    _write_sample(path, count=2)
+    data = bytearray(path.read_bytes())
+    data[0] = 0xFF  # corrupt the very first frame's magic
+    path.write_bytes(bytes(data))
+    records, tail = read_journal(path)
+    assert records == []
+    assert tail.reason == "bad frame magic"
+    assert tail.offset == 0
+
+
+def test_crc_mismatch_stops_the_scan(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    _write_sample(path, count=3)
+    intact, _ = read_journal(path)
+    data = bytearray(path.read_bytes())
+    # Flip one byte inside the *last* frame's payload.
+    data[-1] ^= 0x40
+    path.write_bytes(bytes(data))
+    records, tail = read_journal(path)
+    assert not tail.clean
+    assert tail.reason == "frame checksum mismatch"
+    assert len(records) == len(intact) - 1
+
+
+def test_implausible_length_stops_the_scan(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    header = struct.Struct("<2sII")
+    path.write_bytes(header.pack(b"RJ", MAX_RECORD_BYTES + 1, 0))
+    records, tail = read_journal(path)
+    assert records == [] and tail.reason == "implausible frame length"
+
+
+def test_valid_crc_invalid_json_stops_the_scan(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    payload = b"this is not json"
+    frame = struct.Struct("<2sII").pack(b"RJ", len(payload), zlib.crc32(payload))
+    path.write_bytes(frame + payload)
+    records, tail = read_journal(path)
+    assert records == [] and tail.reason == "unparseable frame payload"
+
+
+def test_valid_json_missing_seq_stops_the_scan(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    payload = json.dumps({"t": "obs"}).encode()
+    frame = struct.Struct("<2sII").pack(b"RJ", len(payload), zlib.crc32(payload))
+    path.write_bytes(frame + payload)
+    records, tail = read_journal(path)
+    assert records == [] and tail.reason == "unparseable frame payload"
+
+
+def test_unsynced_writer_still_produces_readable_frames(tmp_path):
+    path = tmp_path / "journal-00000001.log"
+    writer = JournalWriter(path, next_seq=1, generation=1, epoch_base=0, sync=False)
+    writer.append_observation(_record(0))
+    writer.close()
+    records, tail = read_journal(path)
+    assert tail.clean and [r.kind for r in records] == ["begin", "obs"]

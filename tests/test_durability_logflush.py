@@ -1,0 +1,132 @@
+"""Buffered access logging: buffering semantics, flush triggers, failure
+surfacing, and drop-in compatibility with the wire server."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.protocol import ProxyRequest, ServerResponse
+from repro.server.durability import BufferedAccessLogger, FlushScheduler
+from repro.traces import read_log
+
+
+def _exchange(index: int):
+    request = ProxyRequest(
+        url=f"www.log.example/page{index}.html",
+        timestamp=1000.0 + index,
+        source=f"client{index % 2}",
+    )
+    response = ServerResponse(
+        url=request.url,
+        status=200,
+        timestamp=request.timestamp,
+        size=100 + index,
+    )
+    return request, response
+
+
+def test_log_buffers_without_touching_disk(tmp_path):
+    path = tmp_path / "access.log"
+    with BufferedAccessLogger(path, interval=60.0, max_buffer=1000) as logger:
+        for index in range(5):
+            logger.log(*_exchange(index))
+        assert logger.buffered() == 5
+        assert logger.lines_written == 0
+        assert path.stat().st_size == 0  # nothing flushed yet
+        logger.flush()
+        assert logger.buffered() == 0
+        assert logger.lines_written == 5
+    # The file parses as a Common Log Format trace, in order.
+    records = read_log(path)
+    assert [record.url for record in records] == [
+        f"/page{i}.html" for i in range(5)
+    ]
+
+
+def test_high_water_mark_triggers_a_flush_without_waiting(tmp_path):
+    path = tmp_path / "access.log"
+    with BufferedAccessLogger(path, interval=60.0, max_buffer=4) as logger:
+        for index in range(4):
+            logger.log(*_exchange(index))
+        deadline = time.monotonic() + 5
+        while logger.lines_written < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # The 60s interval never elapsed; the wake did the work.
+        assert logger.lines_written == 4
+
+
+def test_periodic_flush_drains_the_buffer(tmp_path):
+    path = tmp_path / "access.log"
+    with BufferedAccessLogger(path, interval=0.05, max_buffer=10_000) as logger:
+        logger.log(*_exchange(0))
+        deadline = time.monotonic() + 5
+        while logger.lines_written < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert logger.lines_written == 1
+
+
+def test_close_flushes_the_tail_and_is_idempotent(tmp_path):
+    path = tmp_path / "access.log"
+    logger = BufferedAccessLogger(path, interval=60.0)
+    logger.log(*_exchange(0))
+    logger.close()
+    logger.close()
+    assert len(read_log(path)) == 1
+
+
+def test_sync_mode_writes_identical_content(tmp_path):
+    plain = tmp_path / "plain.log"
+    synced = tmp_path / "synced.log"
+    with BufferedAccessLogger(plain, interval=60.0) as a, BufferedAccessLogger(
+        synced, interval=60.0, sync=True
+    ) as b:
+        for index in range(3):
+            a.log(*_exchange(index))
+            b.log(*_exchange(index))
+    assert plain.read_bytes() == synced.read_bytes()
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError):
+        BufferedAccessLogger(tmp_path / "x.log", max_buffer=0)
+    with pytest.raises(ValueError):
+        FlushScheduler(lambda: None, interval=0.0)
+
+
+def test_scheduler_surfaces_flush_failures_on_stop():
+    calls = []
+
+    def broken_flush():
+        calls.append(1)
+        raise OSError("disk gone")
+
+    scheduler = FlushScheduler(broken_flush, interval=60.0).start()
+    scheduler.wake()
+    deadline = time.monotonic() + 5
+    while not calls and time.monotonic() < deadline:
+        time.sleep(0.01)
+    with pytest.raises(OSError, match="disk gone"):
+        scheduler.stop()
+
+
+def test_concurrent_logging_loses_nothing(tmp_path):
+    path = tmp_path / "access.log"
+    per_thread = 200
+    with BufferedAccessLogger(path, interval=0.02, max_buffer=32) as logger:
+        def worker(worker_id: int):
+            for index in range(per_thread):
+                logger.log(*_exchange(worker_id * per_thread + index))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+    assert logger.lines_written == 4 * per_thread
+    assert len(read_log(path)) == 4 * per_thread
