@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Connection scaling of the async wire stack: C10K idle + active keep-alive.
+
+Two questions, one benchmark:
+
+* **Concurrency** — how many simultaneously-open keep-alive connections
+  can the event-loop origin hold while still answering new requests
+  promptly?  For each tier (1k / 5k / 10k by default, capped by the
+  process fd limit), the bench opens that many idle keep-alive
+  connections — each has issued one real request, so the server's idle
+  clock is running — then drives an active keep-alive workload through
+  them and reports p50/p95/p99 latency plus process RSS.  The threaded
+  stack cannot play this game at all: its thread-per-connection model
+  tops out at ``max_workers`` live connections.
+
+* **Throughput parity** — holding C10K must not cost the common case.
+  The ``throughput_8_clients`` entry interleaves timed passes of the
+  threaded and async origins under the identical 8-client keep-alive
+  workload (the existing ``BENCH_wire.json`` scenario) and reports the
+  async/threaded ratio.  Passes alternate backends so machine noise
+  hits both equally, and the ratio compares **medians** across passes —
+  sustained throughput — because best-of-N rewards whichever backend
+  catches more scheduler-noise spikes; per-backend best is still
+  reported for reference.
+
+The report merges into ``BENCH_wire.json`` as an ``async_scaling``
+section (the throughput scenarios already there are left untouched)::
+
+    python benchmarks/bench_wire_scaling.py --out BENCH_wire.json
+    python benchmarks/bench_wire_scaling.py --tiers 200,500 --probes 200 \
+        --repeat 2 --min-connections 500 --min-ratio 0.5   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import socket
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.httpwire.aio import AsyncPiggybackHttpServer  # noqa: E402
+from repro.httpwire.loadgen import LoadConfig, percentile, run_load  # noqa: E402
+from repro.httpwire.netserver import PiggybackHttpServer  # noqa: E402
+from repro.server.resources import ResourceStore  # noqa: E402
+from repro.server.server import PiggybackServer  # noqa: E402
+from repro.volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore  # noqa: E402
+from repro.workloads.sitegen import SiteConfig, generate_site  # noqa: E402
+
+HOST = "www.bench.example"
+
+# Keep-alive GET sent by every idle connection once at setup (so the
+# server's per-connection idle clock is genuinely running) and by the
+# active probes during measurement.
+_PROBE_PAGE = "/d0/p0.html"
+
+
+def _build_engine() -> tuple[PiggybackServer, list[str]]:
+    site = generate_site(SiteConfig(host=HOST, page_count=48, directory_count=6, seed=0))
+    resources = ResourceStore.from_site(site)
+    urls = sorted(resources.urls())
+    store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1, move_to_front=False))
+    return PiggybackServer(resources, store), urls
+
+
+def _rss_kib() -> int:
+    """Peak resident set of this process in KiB (Linux ru_maxrss unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _raise_fd_limit() -> int:
+    """Lift the soft fd limit to the hard one; return the new soft limit."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+        soft = hard
+    return soft
+
+
+def _read_response(raw: socket.socket) -> bytes:
+    """Read one complete keep-alive response off *raw* (Content-Length framed)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = raw.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-response")
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+            break
+    while len(rest) < length:
+        chunk = raw.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
+
+
+def _open_idle_connections(
+    address: str, port: int, count: int, timeout: float
+) -> list[socket.socket]:
+    """Open *count* keep-alive connections, one served request each."""
+    request = (
+        f"GET {_PROBE_PAGE} HTTP/1.1\r\nHost: {HOST}\r\n\r\n"
+    ).encode()
+    connections: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            raw = socket.create_connection((address, port), timeout=timeout)
+            raw.sendall(request)
+            _read_response(raw)
+            connections.append(raw)
+    except OSError:
+        for raw in connections:
+            raw.close()
+        raise
+    return connections
+
+
+def _run_scaling_tier(
+    server: AsyncPiggybackHttpServer, tier: int, probes: int
+) -> dict:
+    """Hold *tier* idle connections, then probe actively through them."""
+    idle = _open_idle_connections(server.address, server.port, tier, timeout=30.0)
+    try:
+        # Probe through a rotating subset of the held connections so the
+        # measurement exercises reuse of long-idle sockets, not fresh ones.
+        latencies: list[float] = []
+        for index in range(probes):
+            raw = idle[(index * 37) % len(idle)]
+            begin = time.perf_counter()
+            raw.sendall(
+                f"GET {_PROBE_PAGE} HTTP/1.1\r\nHost: {HOST}\r\n\r\n".encode()
+            )
+            _read_response(raw)
+            latencies.append((time.perf_counter() - begin) * 1000.0)
+        latencies.sort()
+        stats = server.wire_stats
+        return {
+            "connections": tier,
+            "active_probes": probes,
+            "p50_ms": round(percentile(latencies, 50.0), 3),
+            "p95_ms": round(percentile(latencies, 95.0), 3),
+            "p99_ms": round(percentile(latencies, 99.0), 3),
+            "rss_kib": _rss_kib(),
+            "server_connections_live": server.active_workers(),
+            "requests_served_total": stats.requests_served,
+        }
+    finally:
+        for raw in idle:
+            raw.close()
+        # Give the loop a beat to reap the closed connections before the
+        # next tier piles on.
+        deadline = time.time() + 10.0
+        while server.active_workers() > 0 and time.time() < deadline:
+            time.sleep(0.05)
+
+
+def _interleaved_throughput(
+    clients: int, requests: int, repeat: int, max_workers: int
+) -> dict:
+    """Median-of-*repeat* interleaved 8-client throughput, both backends."""
+    engine_threaded, urls = _build_engine()
+    engine_async, _ = _build_engine()
+    config = LoadConfig(
+        clients=clients, requests_per_client=requests, warmup_requests=2,
+        seed=0, ims_fraction=0.3, keepalive=True,
+    )
+    passes: dict[str, list[float]] = {"threaded": [], "async": []}
+    with PiggybackHttpServer(
+        engine_threaded, site_host=HOST, max_workers=max_workers
+    ) as threaded, AsyncPiggybackHttpServer(
+        engine_async, site_host=HOST
+    ) as asynchronous:
+        servers = {"threaded": threaded, "async": asynchronous}
+        # Warmup pass each (message caches, synthetic-body memo).
+        for server in servers.values():
+            run_load(server.address, server.port, urls, config)
+        for _ in range(repeat):
+            for backend, server in servers.items():
+                report = run_load(server.address, server.port, urls, config)
+                passes[backend].append(report.throughput_rps)
+    median = {
+        backend: percentile(sorted(values), 50.0)
+        for backend, values in passes.items()
+    }
+    ratio = median["async"] / median["threaded"] if median["threaded"] else 0.0
+    return {
+        "clients": clients,
+        "requests": clients * requests,
+        "passes": repeat,
+        "threaded_rps": round(median["threaded"], 1),
+        "async_rps": round(median["async"], 1),
+        "threaded_best_rps": round(max(passes["threaded"]), 1),
+        "async_best_rps": round(max(passes["async"]), 1),
+        "async_over_threaded": round(ratio, 3),
+    }
+
+
+def merge_report(out_path: Path, section: dict) -> dict:
+    """Merge the ``async_scaling`` section into an existing BENCH file."""
+    if out_path.exists():
+        document = json.loads(out_path.read_text())
+    else:
+        document = {"schema": 1, "benchmarks": {}}
+    document["async_scaling"] = section
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiers", default="1000,5000,10000",
+                        help="comma-separated idle-connection tiers")
+    parser.add_argument("--probes", type=int, default=400,
+                        help="active keep-alive probes per tier")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=250,
+                        help="requests per client per throughput pass")
+    parser.add_argument("--repeat", type=int, default=15,
+                        help="interleaved timed passes per backend; medians compared")
+    parser.add_argument("--max-workers", type=int, default=64,
+                        help="threaded-stack worker cap for the comparison")
+    parser.add_argument("--out", default=None,
+                        help="merge the async_scaling section into this JSON")
+    parser.add_argument("--min-connections", type=int, default=None,
+                        help="fail unless the largest completed tier >= this")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="fail unless async/threaded rps ratio >= this")
+    args = parser.parse_args(argv)
+
+    fd_limit = _raise_fd_limit()
+    # Each in-process idle connection costs two fds (client + server end);
+    # keep headroom for listeners, site files, and the loadgen clients.
+    max_conns = max(64, (fd_limit - 256) // 2)
+    tiers = []
+    for raw_tier in args.tiers.split(","):
+        tier = int(raw_tier)
+        if tier > max_conns:
+            print(f"tier {tier} capped to {max_conns} by fd limit {fd_limit}")
+            tier = max_conns
+        if tier not in tiers:
+            tiers.append(tier)
+
+    engine, _ = _build_engine()
+    tier_entries = []
+    # io_timeout generous so held-idle connections survive tier setup.
+    with AsyncPiggybackHttpServer(engine, site_host=HOST, io_timeout=300.0) as server:
+        for tier in tiers:
+            print(f"tier {tier}: opening idle keep-alive connections...")
+            entry = _run_scaling_tier(server, tier, args.probes)
+            tier_entries.append(entry)
+            print(f"  {entry['connections']} conns held, probe p50 "
+                  f"{entry['p50_ms']:.2f}ms p99 {entry['p99_ms']:.2f}ms, "
+                  f"rss {entry['rss_kib'] / 1024:.0f} MiB")
+
+    print(f"throughput: interleaved {args.clients}-client keep-alive, "
+          f"median of {args.repeat}")
+    throughput = _interleaved_throughput(
+        args.clients, args.requests, args.repeat, args.max_workers
+    )
+    print(f"  threaded {throughput['threaded_rps']:.0f} req/s, "
+          f"async {throughput['async_rps']:.0f} req/s "
+          f"(ratio {throughput['async_over_threaded']:.2f})")
+
+    section = {
+        "fd_limit": fd_limit,
+        "tiers": tier_entries,
+        "max_connections_sustained": max(
+            (entry["connections"] for entry in tier_entries), default=0
+        ),
+        "throughput_8_clients": throughput,
+    }
+
+    if args.out:
+        out_path = Path(args.out)
+        document = merge_report(out_path, section)
+        out_path.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    failed = False
+    sustained = section["max_connections_sustained"]
+    if args.min_connections is not None and sustained < args.min_connections:
+        print(f"sustained {sustained} connections, below required "
+              f"{args.min_connections}")
+        failed = True
+    if args.min_ratio is not None and \
+            throughput["async_over_threaded"] < args.min_ratio:
+        print(f"async/threaded ratio {throughput['async_over_threaded']:.2f} "
+              f"below required {args.min_ratio:g}")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

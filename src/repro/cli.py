@@ -287,10 +287,11 @@ def _fault_schedule(profile: str):
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
+    from .httpwire.backends import load_runner, origin_server_class, proxy_server_class
     from .httpwire.faults import FaultInjectingInterposer
-    from .httpwire.loadgen import LoadConfig, run_load
-    from .httpwire.netproxy import PiggybackHttpProxy, UpstreamPolicy
-    from .httpwire.netserver import PiggybackHttpServer, synthetic_body
+    from .httpwire.loadgen import LoadConfig
+    from .httpwire.netproxy import UpstreamPolicy
+    from .httpwire.netserver import synthetic_body
     from .proxy.proxy import ProxyConfig
     from .server.resources import ResourceStore
     from .server.server import PiggybackServer
@@ -324,12 +325,21 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         store = DirectoryVolumeStore(DirectoryVolumeConfig(level=1))
     engine = PiggybackServer(resources, store)
 
+    origin_cls = origin_server_class(args.backend)
+    proxy_cls = proxy_server_class(args.backend)
+    run = load_runner(args.backend)
+    # The worker cap is a threaded-stack knob; the async stack multiplexes
+    # on one loop and takes a (much higher) connection cap instead.
+    scale_kwargs = (
+        {} if args.backend == "async" else {"max_workers": args.max_workers}
+    )
+
     with ExitStack() as stack:
         if durable is not None:
             stack.callback(durable.close, snapshot=True)
         origin = stack.enter_context(
-            PiggybackHttpServer(engine, site_host=host, max_workers=args.max_workers,
-                                durable_state=durable)
+            origin_cls(engine, site_host=host, durable_state=durable,
+                       idle_timeout=args.idle_timeout, **scale_kwargs)
         )
         origin_address = (origin.address, origin.port)
         if args.fault != "none":
@@ -345,12 +355,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             piggy_filter = "maxpiggy=10"
         else:
             proxy = stack.enter_context(
-                PiggybackHttpProxy(
+                proxy_cls(
                     origins={host: origin_address},
                     config=ProxyConfig(name="loadtest-proxy"),
                     upstream_policy=UpstreamPolicy(timeout=2.0, max_attempts=3,
                                                    backoff=0.02),
-                    max_workers=args.max_workers,
+                    idle_timeout=args.idle_timeout,
+                    **scale_kwargs,
                 )
             )
             address, port = proxy.address, proxy.port
@@ -375,11 +386,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 piggy_filter=piggy_filter,
                 absolute_targets=absolute_targets,
                 keepalive=args.keepalive,
+                max_inflight=args.max_inflight,
             )
         except ValueError as exc:
             print(f"loadtest: {exc}", file=sys.stderr)
             return 2
-        report = run_load(
+        report = run(
             address, port, urls, config, validate=validate,
             flush_path=args.telemetry_series,
             flush_interval=args.flush_interval,
@@ -399,6 +411,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
         keepalive_label = "on" if args.keepalive else "off"
         print(f"target               {args.target} (fault profile: {args.fault})")
+        print(f"backend              {args.backend}")
         print(f"keep-alive           {keepalive_label}")
         print(report.format())
         if args.target == "proxy":
@@ -432,7 +445,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time as time_mod
 
-    from .httpwire.netserver import PiggybackHttpServer
+    from .httpwire.backends import origin_server_class
     from .server.durability import BufferedAccessLogger, DurableState
     from .server.resources import ResourceStore
     from .server.server import PiggybackServer
@@ -453,18 +466,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.access_log:
         logger = BufferedAccessLogger(args.access_log,
                                       interval=args.flush_interval)
+    origin_cls = origin_server_class(args.backend)
+    scale_kwargs = (
+        {} if args.backend == "async" else {"max_workers": args.max_workers}
+    )
     try:
-        with PiggybackHttpServer(
+        with origin_cls(
             engine,
             site_host=args.host,
             address=args.address,
             port=args.port,
-            max_workers=args.max_workers,
             access_logger=logger,
             durable_state=state,
+            idle_timeout=args.idle_timeout,
+            **scale_kwargs,
         ) as origin:
             recovery = state.recovery
-            print(f"serving {args.host} on {origin.address}:{origin.port}")
+            print(f"serving {args.host} on {origin.address}:{origin.port} "
+                  f"({args.backend} backend)")
             print(f"state dir            {state.state_dir}")
             print(f"generation           {state.generation}")
             print(f"recovered            seq {recovery.last_seq} "
@@ -709,6 +728,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent load against the live wire stack (latency/throughput)")
     loadtest.add_argument("--target", choices=("origin", "proxy"), default="proxy",
                           help="hit the origin directly or go through the proxy")
+    loadtest.add_argument("--backend", choices=("threaded", "async"),
+                          default="threaded",
+                          help="wire stack: thread-per-connection or event loop")
     loadtest.add_argument("--clients", type=int, default=8)
     loadtest.add_argument("--requests", type=int, default=25,
                           help="requests per client")
@@ -722,6 +744,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--pages", type=int, default=48,
                           help="synthetic site size")
     loadtest.add_argument("--max-workers", type=int, default=64)
+    loadtest.add_argument("--idle-timeout", type=float, default=None,
+                          help="server-side keep-alive idle reap timeout in "
+                               "seconds (default: no reaping)")
+    loadtest.add_argument("--max-inflight", type=int, default=0,
+                          help="async open-loop cap on in-flight exchanges "
+                               "(0 = unbounded; threaded runner ignores it)")
     loadtest.add_argument("--fault", choices=_FAULT_PROFILES, default="none",
                           help="fault-injection profile between proxy and origin")
     loadtest.add_argument("--keepalive", action=argparse.BooleanOptionalAction,
@@ -757,7 +785,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--level", type=int, default=1,
                        help="directory-volume level")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--backend", choices=("threaded", "async"),
+                       default="threaded",
+                       help="wire stack: thread-per-connection or event loop")
     serve.add_argument("--max-workers", type=int, default=64)
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       help="server-side keep-alive idle reap timeout in "
+                            "seconds (default: no reaping)")
     serve.add_argument("--access-log", default=None,
                        help="buffered CLF access log path")
     serve.add_argument("--flush-interval", type=float, default=1.0,

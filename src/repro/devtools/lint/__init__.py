@@ -48,4 +48,4 @@ __all__ = [
 
 def load_builtin_rules() -> None:
     """Import every built-in rule module (idempotent via the registry)."""
-    from . import api, determinism, locks, resources, telemetry  # noqa: F401
+    from . import aio, api, determinism, locks, resources, telemetry  # noqa: F401

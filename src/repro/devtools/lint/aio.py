@@ -1,0 +1,162 @@
+"""Event-loop hygiene rules for the asyncio wire stack.
+
+One blocking call inside a coroutine stalls *every* connection
+multiplexed on the loop — the exact failure mode the async frontend
+exists to avoid, and one that no functional test catches (everything
+still works, just ten thousand times more serially).  These rules scan
+``async def`` bodies under ``src/repro/httpwire/aio`` for the classic
+offenders:
+
+* synchronous sleeps, fsyncs, and socket construction/exchange calls
+  (``aio-blocking-call``) — such work belongs on the handler executor
+  via ``run_in_executor``;
+* ``lock.acquire()`` that is not awaited (``aio-unawaited-acquire``) —
+  a ``threading.Lock`` parks the loop thread, and an un-awaited
+  ``asyncio.Lock.acquire()`` silently never acquires.
+
+Receivers are recognized heuristically by name, mirroring the ``locks``
+family: any receiver whose final name component contains ``lock``,
+``sem``, or ``condition`` counts as a synchronization primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .astutil import (
+    annotate_parents,
+    dotted_name,
+    import_map,
+    parent_of,
+    resolved_call_name,
+    walk_body,
+)
+from .engine import Finding, ModuleRule, SourceModule, register
+
+# Calls that always block the calling thread, resolved through import
+# aliases.  `socket.socket` construction is included: a raw socket in a
+# coroutine is a sign the sync wire client leaked into the async stack.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "socket.create_connection",
+        "socket.socket",
+        "select.select",
+        "open",
+    }
+)
+
+# Attribute calls that block on a socket (or hand bytes to the peer).
+# Only flagged when *not* directly awaited, so async methods that happen
+# to share a name (`await upstream.connect()`) stay clean.
+_BLOCKING_ATTRS = frozenset(
+    {
+        "recv",
+        "recv_into",
+        "recvfrom",
+        "sendall",
+        "sendto",
+        "accept",
+        "connect",
+        "connect_ex",
+        "makefile",
+    }
+)
+
+_PRIMITIVE_MARKERS = ("lock", "sem", "condition")
+
+
+def _primitive_name(expr: ast.expr) -> str | None:
+    """The receiver's dotted name when it looks like a sync primitive."""
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    leaf = dotted.rsplit(".", 1)[-1].lower()
+    if any(marker in leaf for marker in _PRIMITIVE_MARKERS):
+        return dotted
+    return None
+
+
+def _async_bodies(tree: ast.Module) -> Iterator[tuple[ast.AsyncFunctionDef, ast.AST]]:
+    """Yield (coroutine, node) for every node lexically inside an
+    ``async def`` body, without crossing into nested function scopes
+    (each nested coroutine is visited as its own root)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            for inner in walk_body(node.body):
+                yield node, inner
+
+
+def _is_awaited(node: ast.Call) -> bool:
+    parent = parent_of(node)
+    return isinstance(parent, ast.Await)
+
+
+@register
+class AioBlockingCallRule(ModuleRule):
+    id = "aio-blocking-call"
+    family = "aio"
+    description = (
+        "No synchronous sleep/fsync/socket call may run inside a "
+        "coroutine; offload blocking work with run_in_executor."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        imports = import_map(module.tree)
+        annotate_parents(module.tree)
+        for coroutine, inner in _async_bodies(module.tree):
+            if not isinstance(inner, ast.Call):
+                continue
+            resolved = resolved_call_name(inner, imports)
+            if resolved in _BLOCKING_CALLS:
+                yield module.finding(
+                    self,
+                    inner,
+                    f"blocking call {resolved}() inside "
+                    f"coroutine {coroutine.name}()",
+                )
+                continue
+            func = inner.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _BLOCKING_ATTRS
+                and not _is_awaited(inner)
+            ):
+                yield module.finding(
+                    self,
+                    inner,
+                    f"blocking socket call .{func.attr}() inside "
+                    f"coroutine {coroutine.name}()",
+                )
+
+
+@register
+class AioUnawaitedAcquireRule(ModuleRule):
+    id = "aio-unawaited-acquire"
+    family = "aio"
+    description = (
+        "Inside a coroutine, .acquire() on a lock/semaphore must be "
+        "awaited (asyncio primitive) — a sync primitive blocks the loop."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        annotate_parents(module.tree)
+        for coroutine, inner in _async_bodies(module.tree):
+            if not (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "acquire"
+            ):
+                continue
+            receiver = _primitive_name(inner.func.value)
+            if receiver is None or _is_awaited(inner):
+                continue
+            yield module.finding(
+                self,
+                inner,
+                f"un-awaited {receiver}.acquire() inside "
+                f"coroutine {coroutine.name}()",
+            )

@@ -12,7 +12,9 @@ to the subtree where that property must hold:
 * ``api`` — cross-file invariants (metrics parity, codec parity) over the
   library source;
 * ``telemetry`` — metric-registration hygiene everywhere instruments are
-  registered (library source and benchmarks).
+  registered (library source and benchmarks);
+* ``aio`` — event-loop hygiene (no blocking calls in coroutines) for the
+  asyncio wire stack.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from dataclasses import dataclass
 
 __all__ = ["Policy", "DEFAULT_POLICY", "FAMILIES"]
 
-FAMILIES = ("determinism", "locks", "resources", "api", "telemetry")
+FAMILIES = ("determinism", "locks", "resources", "api", "telemetry", "aio")
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,5 +63,6 @@ DEFAULT_POLICY = Policy(
         ("resources", ("src/repro", "benchmarks")),
         ("api", ("src/repro",)),
         ("telemetry", ("src/repro", "benchmarks")),
+        ("aio", ("src/repro/httpwire/aio", "src/repro/httpmodel/aio.py")),
     )
 )

@@ -1,0 +1,147 @@
+"""Async twins of the HTTP/1.1 stream readers in :mod:`.messages`.
+
+Same grammar, same error contract, different I/O substrate: these
+coroutines read from an :class:`asyncio.StreamReader` instead of a
+buffered binary file object.  Control flow deliberately mirrors
+``read_request``/``read_response`` line by line — the differential suite
+holds the two stacks to byte-identical behavior, so any divergence here
+is a bug.
+
+Error mapping matches the sync readers exactly:
+
+* :class:`EOFError` — connection closed cleanly before a message start
+  (the idle keep-alive close);
+* :class:`~.messages.HttpParseError` — malformed bytes or a connection
+  closed mid-message.
+
+StreamReader's internal line-length limit surfaces as ``ValueError``;
+it is translated to :class:`HttpParseError` so callers see one parse
+error type regardless of backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .chunked import decode_chunked
+from .headers import Headers
+from .messages import HttpParseError, HttpRequest, HttpResponse, _split_head
+
+__all__ = ["read_request_async", "read_response_async"]
+
+
+async def _readline(reader: asyncio.StreamReader) -> bytes:
+    try:
+        return await reader.readline()
+    except asyncio.LimitOverrunError as exc:  # pragma: no cover - limit config
+        raise HttpParseError(f"header line exceeds stream limit: {exc}") from exc
+    except ValueError as exc:
+        raise HttpParseError(f"header line exceeds stream limit: {exc}") from exc
+
+
+async def _read_until_blank_line_async(reader: asyncio.StreamReader) -> bytes:
+    """Read a start line plus header block, returning everything read."""
+    # Fast path: protocol-fed readers (the async wire server's
+    # ``_ConnReader``) claim a whole head with one buffer scan instead
+    # of a coroutine round-trip per header line — the terminator
+    # grammar is identical (see ``_find_head_end``), so the error and
+    # byte contracts are unchanged.
+    read_head = getattr(reader, "read_head", None)
+    if read_head is not None:
+        return await read_head()
+    data = bytearray()
+    while True:
+        line = await _readline(reader)
+        if not line:
+            if not data:
+                raise EOFError("connection closed before message start")
+            raise HttpParseError("connection closed inside header block")
+        data.extend(line)
+        if line in (b"\r\n", b"\n"):
+            return bytes(data)
+
+
+async def _read_exact_async(reader: asyncio.StreamReader, count: int) -> bytes:
+    try:
+        return await reader.readexactly(count)
+    except asyncio.IncompleteReadError as exc:
+        raise HttpParseError("connection closed inside message body") from exc
+
+
+async def _read_chunked_async(
+    reader: asyncio.StreamReader,
+) -> tuple[bytes, Headers]:
+    """Incrementally read a chunked body plus trailers from a stream."""
+    raw = bytearray()
+    while True:
+        size_line = await _readline(reader)
+        if not size_line:
+            raise HttpParseError("connection closed inside chunked body")
+        raw.extend(size_line)
+        try:
+            size = int(size_line.split(b";", 1)[0].strip(), 16)
+        except ValueError as exc:
+            raise HttpParseError(f"bad chunk size line {size_line!r}") from exc
+        if size == 0:
+            break
+        raw.extend(await _read_exact_async(reader, size + 2))
+    while True:
+        line = await _readline(reader)
+        if not line:
+            raise HttpParseError("connection closed inside trailer block")
+        raw.extend(line)
+        if line in (b"\r\n", b"\n"):
+            break
+    body, trailers, _ = decode_chunked(bytes(raw))
+    return body, trailers
+
+
+async def read_request_async(reader: asyncio.StreamReader) -> HttpRequest:
+    """Read one request message from an asyncio stream.
+
+    Raises :class:`EOFError` on a cleanly closed idle connection and
+    :class:`HttpParseError` on malformed or truncated messages — the
+    same contract as the sync :func:`~.messages.read_request`.
+    """
+    head = await _read_until_blank_line_async(reader)
+    start_line, headers = _split_head(head)
+    parts = start_line.split()
+    if len(parts) != 3:
+        raise HttpParseError(f"malformed request line: {start_line!r}")
+    method, target, version = parts
+    if not version.upper().startswith("HTTP/"):
+        raise HttpParseError(f"bad protocol version in request line: {start_line!r}")
+    body = b""
+    if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+        body, _ = await _read_chunked_async(reader)
+    else:
+        length = headers.get("Content-Length")
+        if length is not None:
+            body = await _read_exact_async(reader, int(length))
+    return HttpRequest(method=method, target=target, headers=headers,
+                       body=body, version=version)
+
+
+async def read_response_async(reader: asyncio.StreamReader) -> HttpResponse:
+    """Read one response message from an asyncio stream."""
+    head = await _read_until_blank_line_async(reader)
+    start_line, headers = _split_head(head)
+    parts = start_line.split(None, 2)
+    if len(parts) < 2:
+        raise HttpParseError(f"malformed status line: {start_line!r}")
+    version, status_text = parts[0], parts[1]
+    reason = parts[2] if len(parts) == 3 else ""
+    try:
+        status = int(status_text)
+    except ValueError as exc:
+        raise HttpParseError(f"bad status code {status_text!r}") from exc
+    body = b""
+    trailers = Headers()
+    if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+        body, trailers = await _read_chunked_async(reader)
+    elif status not in (204, 304):
+        length = headers.get("Content-Length")
+        if length is not None:
+            body = await _read_exact_async(reader, int(length))
+    return HttpResponse(status=status, headers=headers, body=body,
+                        trailers=trailers, reason=reason, version=version)

@@ -1,16 +1,20 @@
 """Loopback-socket demonstration of the piggybacking protocol."""
 
-from .connbase import ThreadedWireServer, WireServerStats
+from .connbase import ThreadedWireServer, WireServerCore, WireServerStats
 from .netclient import HttpConnection, fetch_once
 from .netserver import PiggybackHttpServer, PlainHttpServer, synthetic_body
 from .netproxy import HttpUpstream, PiggybackHttpProxy, UpstreamPolicy, UpstreamStats
 from .netcenter import TransparentHttpVolumeCenter
-from .loadgen import LoadConfig, LoadReport, percentile, run_load
+from .loadgen import ClientState, LoadConfig, LoadReport, percentile, run_load
 from .faults import Fault, FaultInjectingInterposer
+from .backends import BACKENDS
 
 __all__ = [
     "ThreadedWireServer",
+    "WireServerCore",
     "WireServerStats",
+    "BACKENDS",
+    "ClientState",
     "HttpConnection",
     "fetch_once",
     "PiggybackHttpServer",

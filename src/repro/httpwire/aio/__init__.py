@@ -1,0 +1,28 @@
+"""Event-loop wire stack: asyncio twins of the threaded servers/client.
+
+Selectable everywhere via ``--backend threaded|async`` (see
+:mod:`repro.httpwire.backends`).  The threaded stack remains the
+differential oracle — both backends share the application cores and
+must produce byte-identical responses.
+"""
+
+from .server import AsyncWireServer
+from .client import AsyncHttpConnection, fetch_once_async
+from .apps import (
+    AsyncPiggybackHttpProxy,
+    AsyncPiggybackHttpServer,
+    AsyncPlainHttpServer,
+    AsyncTransparentHttpVolumeCenter,
+)
+from .loadgen import run_load_async
+
+__all__ = [
+    "AsyncWireServer",
+    "AsyncHttpConnection",
+    "fetch_once_async",
+    "AsyncPiggybackHttpServer",
+    "AsyncPlainHttpServer",
+    "AsyncPiggybackHttpProxy",
+    "AsyncTransparentHttpVolumeCenter",
+    "run_load_async",
+]

@@ -1,0 +1,120 @@
+"""Async HTTP/1.1 client with persistent connections.
+
+Event-loop twin of :class:`~repro.httpwire.netclient.HttpConnection`:
+one :class:`AsyncHttpConnection` holds one persistent TCP connection,
+every operation is bounded by the connection timeout, and
+:meth:`AsyncHttpConnection.request` transparently reconnects once when
+the server closed the connection between exchanges — resending the same
+serialized bytes, exactly like the sync client.  Shares the sync
+client's ``wire_client_*`` telemetry instruments so both backends show
+up in one snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ...httpmodel.aio import read_response_async
+from ...httpmodel.messages import HttpRequest, HttpResponse
+
+# Shared with the sync client: one instrument family for both backends.
+from ..netclient import (
+    _TEL_CLIENT_ERRORS,
+    _TEL_CLIENT_REQUESTS,
+    _TEL_CONNECT_SECONDS,
+    _TEL_CONNECTS,
+    _TEL_RECONNECTS,
+)
+
+__all__ = ["AsyncHttpConnection", "fetch_once_async"]
+
+# StreamReader line limit matching the async server's.
+_STREAM_LIMIT = 1 << 20
+
+
+class AsyncHttpConnection:
+    """A persistent async client connection to one host:port."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live stream is currently held (best effort: a peer
+        close is only discovered on the next exchange)."""
+        return self._writer is not None
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        with _TEL_CONNECT_SECONDS.time():
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port, limit=_STREAM_LIMIT),
+                self.timeout,
+            )
+        _TEL_CONNECTS.inc()
+
+    async def request_once(self, message: HttpRequest) -> HttpResponse:
+        """Send one request and read its response; no reconnect, no retry.
+
+        Any failure (timeout, reset, parse error) propagates after the
+        connection is closed, leaving it safe to retry on a fresh one.
+        """
+        return await self._exchange(message.serialize())
+
+    async def _exchange(self, wire: bytes) -> HttpResponse:
+        """Send pre-serialized request bytes and read one response."""
+        await self._ensure_connected()
+        _TEL_CLIENT_REQUESTS.inc()
+        try:
+            assert self._writer is not None and self._reader is not None
+            self._writer.write(wire)
+            await asyncio.wait_for(self._writer.drain(), self.timeout)
+            return await asyncio.wait_for(read_response_async(self._reader), self.timeout)
+        except BaseException:
+            _TEL_CLIENT_ERRORS.inc()
+            self.close()
+            raise
+
+    async def request(self, message: HttpRequest) -> HttpResponse:
+        """Send one request and read its response, reconnecting once on
+        a connection that the server closed between exchanges.
+
+        The request is serialized once; the retry resends the same bytes.
+        """
+        wire = message.serialize()
+        try:
+            return await self._exchange(wire)
+        except (EOFError, ConnectionError, BrokenPipeError):
+            _TEL_RECONNECTS.inc()
+            return await self._exchange(wire)
+
+    def close(self) -> None:
+        """Drop the connection; safe to call repeatedly and from sync code."""
+        writer = self._writer
+        self._reader = None
+        self._writer = None
+        if writer is not None:
+            try:
+                writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def __aenter__(self) -> "AsyncHttpConnection":
+        await self._ensure_connected()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()
+
+
+async def fetch_once_async(
+    host: str, port: int, message: HttpRequest, timeout: float = 10.0
+) -> HttpResponse:
+    """Open a connection, perform one exchange, and close."""
+    async with AsyncHttpConnection(host, port, timeout=timeout) as connection:
+        return await connection.request(message)

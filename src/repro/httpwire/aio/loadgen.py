@@ -1,0 +1,200 @@
+"""Open-loop async load generator: thousands of clients, one thread.
+
+The threaded runner in :mod:`repro.httpwire.loadgen` spends one OS
+thread per client, which tops out around a few hundred clients — not
+enough to saturate the event-loop server it is supposed to measure.
+This runner multiplexes every client onto one asyncio loop: each client
+is a per-connection coroutine state machine driving one persistent
+:class:`~.client.AsyncHttpConnection`, firing on the same deterministic
+Poisson arrival schedule the threaded runner uses.
+
+Determinism and comparability are inherited rather than re-implemented:
+
+* request streams come from the shared
+  :class:`~repro.httpwire.loadgen.ClientState` (seeded RNG, IMS memory),
+  so for a given seed both runners issue identical request sequences;
+* results flow through the same ``_Accumulator``, so
+  :class:`~repro.httpwire.loadgen.LoadReport` output is shaped (and
+  formatted) identically across backends.
+
+``LoadConfig.max_inflight`` bounds exchanges simultaneously in flight
+across all clients (0 = unbounded): with target-RPS arrivals this is the
+open-loop backpressure valve — arrivals past the bound queue on the
+semaphore instead of stampeding a saturated server.
+
+Client trace spans are deliberately not opened here: the tracer's span
+context is thread-local, and interleaved coroutine await points would
+corrupt parent linkage across clients sharing the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Sequence
+
+from ...telemetry import REGISTRY, PeriodicFlusher
+from ..loadgen import (
+    _TEL_CLIENT_ERRORS,
+    _TEL_CLIENT_REQUEST_SECONDS,
+    _TEL_CLIENT_REQUESTS,
+    _TEL_ERROR_KIND,
+    ClientState,
+    LoadConfig,
+    LoadReport,
+    Validator,
+    _Accumulator,
+    _open_loop_schedules,
+    classify_error,
+)
+from .client import AsyncHttpConnection
+
+__all__ = ["run_load_async"]
+
+
+async def _client_run(
+    state: ClientState,
+    address: str,
+    port: int,
+    config: LoadConfig,
+    accumulator: _Accumulator,
+    validate: Validator | None,
+    schedule: Sequence[float] | None,
+    start_time: float,
+    inflight: asyncio.Semaphore | None,
+) -> None:
+    """One client's request loop — the async twin of ``_Client.run``."""
+    connection = AsyncHttpConnection(address, port, timeout=config.timeout)
+    try:
+        for sequence in range(config.requests_per_client):
+            if schedule is not None:
+                due = start_time + schedule[sequence]
+                delay = due - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            if not config.keepalive:
+                # Fresh connection per request; the server closes its
+                # side after answering a Connection: close request.
+                connection.close()
+            url = state.next_url()
+            request = state.build_request(url)
+            measured = sequence >= config.warmup_requests
+            _TEL_CLIENT_REQUESTS.inc()
+            if inflight is not None:
+                await inflight.acquire()
+            try:
+                fresh = not connection.connected
+                begin = time.perf_counter()
+                try:
+                    response = await connection.request(request)
+                except (
+                    EOFError, TimeoutError, ConnectionError, OSError, ValueError
+                ) as exc:
+                    connection.close()
+                    kind = classify_error(exc, fresh)
+                    _TEL_CLIENT_ERRORS.inc()
+                    _TEL_ERROR_KIND[kind].inc()
+                    accumulator.record(
+                        0.0, None, measured=measured, corrupted=False,
+                        error_kind=kind,
+                    )
+                    continue
+                latency = time.perf_counter() - begin
+            finally:
+                if inflight is not None:
+                    inflight.release()
+            _TEL_CLIENT_REQUEST_SECONDS.observe(latency)
+            state.note_response(url, response)
+            corrupted = bool(validate) and not validate(url, response)
+            accumulator.record(
+                latency, response, measured=measured, corrupted=corrupted
+            )
+    finally:
+        connection.close()
+
+
+async def _run(
+    address: str,
+    port: int,
+    urls: Sequence[str],
+    config: LoadConfig,
+    accumulator: _Accumulator,
+    validate: Validator | None,
+) -> None:
+    schedules = _open_loop_schedules(config) if config.mode == "open" else None
+    inflight = (
+        asyncio.Semaphore(config.max_inflight) if config.max_inflight > 0 else None
+    )
+    start_time = time.monotonic()
+    tasks = [
+        asyncio.create_task(
+            _client_run(
+                ClientState(index, urls, config),
+                address,
+                port,
+                config,
+                accumulator,
+                validate,
+                schedules[index] if schedules is not None else None,
+                start_time,
+                inflight,
+            ),
+            name=f"loadgen-{index}",
+        )
+        for index in range(config.clients)
+    ]
+    # Bounded drain mirroring the threaded runner: a wedged client fails
+    # the run instead of hanging it.
+    budget = max(30.0, config.requests_per_client * (config.timeout + 1.0))
+    done, pending = await asyncio.wait(tasks, timeout=budget)
+    for task in pending:
+        task.cancel()
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    for task in done:
+        exc = task.exception()
+        if exc is not None:
+            raise exc
+
+
+def run_load_async(
+    address: str,
+    port: int,
+    urls: Sequence[str],
+    config: LoadConfig = LoadConfig(),
+    validate: Validator | None = None,
+    *,
+    flush_path: str | None = None,
+    flush_interval: float = 0.5,
+) -> LoadReport:
+    """Run one async load pass and return the merged report.
+
+    Same contract, knobs, and report shape as
+    :func:`repro.httpwire.loadgen.run_load`; call it from sync code (it
+    owns its event loop for the duration of the run).
+    """
+    if not urls:
+        raise ValueError("need at least one URL to request")
+    accumulator = _Accumulator()
+    flusher = (
+        PeriodicFlusher(
+            [accumulator.registry, REGISTRY], flush_path, interval=flush_interval
+        )
+        if flush_path is not None
+        else None
+    )
+    begin = time.perf_counter()
+    if flusher is not None:
+        flusher.start()
+    try:
+        asyncio.run(_run(address, port, urls, config, accumulator, validate))
+    finally:
+        if flusher is not None:
+            flusher.stop()
+    report = accumulator.report()
+    report.mode = config.mode
+    report.clients = config.clients
+    report.duration = time.perf_counter() - begin
+    if config.mode == "open":
+        report.target_rps = config.rate
+    return report

@@ -1,0 +1,86 @@
+"""Backend registry: one name → the matching wire-server classes.
+
+``repro serve``, ``repro loadtest``, and test harnesses pick the wire
+stack by name — ``threaded`` (thread-per-connection, the differential
+oracle) or ``async`` (single event loop, C10K).  The asyncio package is
+imported lazily so merely importing :mod:`repro.httpwire` never pays for
+it.
+
+Both stacks expose the same constructor surface for the parameters the
+callers here use; ``max_workers`` (threaded) and ``max_connections``
+(async) intentionally remain backend-specific tuning knobs.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__all__ = [
+    "BACKENDS",
+    "origin_server_class",
+    "plain_server_class",
+    "proxy_server_class",
+    "volume_center_class",
+    "load_runner",
+]
+
+BACKENDS = ("threaded", "async")
+
+
+def _check(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown wire backend {backend!r} (choose from {BACKENDS})")
+
+
+def _aio():
+    return importlib.import_module("repro.httpwire.aio")
+
+
+def origin_server_class(backend: str):
+    """The piggyback origin frontend class for *backend*."""
+    _check(backend)
+    if backend == "async":
+        return _aio().AsyncPiggybackHttpServer
+    from .netserver import PiggybackHttpServer
+
+    return PiggybackHttpServer
+
+
+def plain_server_class(backend: str):
+    """The legacy (no-piggyback) origin frontend class for *backend*."""
+    _check(backend)
+    if backend == "async":
+        return _aio().AsyncPlainHttpServer
+    from .netserver import PlainHttpServer
+
+    return PlainHttpServer
+
+
+def proxy_server_class(backend: str):
+    """The caching proxy frontend class for *backend*."""
+    _check(backend)
+    if backend == "async":
+        return _aio().AsyncPiggybackHttpProxy
+    from .netproxy import PiggybackHttpProxy
+
+    return PiggybackHttpProxy
+
+
+def volume_center_class(backend: str):
+    """The transparent volume-center frontend class for *backend*."""
+    _check(backend)
+    if backend == "async":
+        return _aio().AsyncTransparentHttpVolumeCenter
+    from .netcenter import TransparentHttpVolumeCenter
+
+    return TransparentHttpVolumeCenter
+
+
+def load_runner(backend: str):
+    """The ``run_load``-shaped load-generator entry point for *backend*."""
+    _check(backend)
+    if backend == "async":
+        return _aio().run_load_async
+    from .loadgen import run_load
+
+    return run_load

@@ -15,6 +15,15 @@ a thread forever and a burst of connections could spawn without limit.
 * request parsing, 400/500 mapping, and keep-alive handling live in one
   place; subclasses implement only :meth:`handle_request`.
 
+Everything that is *not* about threads or sockets — the wire counters,
+the ``/.repro/metrics`` endpoint, the ``/.repro/`` admin namespace, the
+request dispatch with its 500 mapping and trace span — lives in
+:class:`WireServerCore`, which the asyncio stack
+(:mod:`repro.httpwire.aio`) shares verbatim.  Both frontends therefore
+answer byte-identical responses and expose the same admin semantics; the
+differential suite in ``tests/test_wire_aio_differential.py`` holds them
+to that.
+
 Response *serialization and sending happen on the worker thread with no
 engine lock held* — subclasses must confine their locking to metadata
 mutation so body serving is never globally serialized.
@@ -34,6 +43,7 @@ from ..telemetry import REGISTRY, TRACE_HEADER, TRACER, render_json, render_prom
 
 __all__ = [
     "WireServerStats",
+    "WireServerCore",
     "ThreadedWireServer",
     "METRICS_PATH",
     "ADMIN_PREFIX",
@@ -41,8 +51,8 @@ __all__ = [
     "DRAIN_PATH",
 ]
 
-# Introspection endpoint every ThreadedWireServer answers before
-# dispatching to its subclass handler.
+# Introspection endpoint every wire server answers before dispatching to
+# its subclass handler.
 METRICS_PATH = "/.repro/metrics"
 
 # Reserved admin namespace: every path under it is answered by the wire
@@ -62,6 +72,10 @@ _TEL_BAD_REQUESTS = REGISTRY.counter(
 )
 _TEL_IDLE_TIMEOUTS = REGISTRY.counter(
     "wire_idle_timeouts_total", "connections reclaimed by the per-connection io timeout"
+)
+_TEL_IDLE_REAPED = REGISTRY.counter(
+    "server_idle_reaped_total",
+    "keep-alive connections retired after idling past the idle timeout",
 )
 _TEL_CONN_ERRORS = REGISTRY.counter(
     "wire_connection_errors_total", "reads/writes that failed on a dead client"
@@ -83,6 +97,7 @@ _TEL_COUNTERS = {
     "requests_served": _TEL_REQUESTS,
     "bad_requests": _TEL_BAD_REQUESTS,
     "idle_timeouts": _TEL_IDLE_TIMEOUTS,
+    "idle_reaped": _TEL_IDLE_REAPED,
     "connection_errors": _TEL_CONN_ERRORS,
     "internal_errors": _TEL_INTERNAL_ERRORS,
 }
@@ -96,6 +111,7 @@ class WireServerStats:
     requests_served: int = 0
     bad_requests: int = 0
     idle_timeouts: int = 0
+    idle_reaped: int = 0
     connection_errors: int = 0
     internal_errors: int = 0
 
@@ -108,7 +124,137 @@ class _Connection:
     thread: threading.Thread = field(default=None)  # type: ignore[assignment]
 
 
-class ThreadedWireServer:
+class WireServerCore:
+    """Backend-neutral half of a wire server: counters, admin, dispatch.
+
+    Both :class:`ThreadedWireServer` and the asyncio frontend
+    (:class:`repro.httpwire.aio.server.AsyncWireServer`) inherit this, so
+    the ``/.repro/`` namespace, the telemetry wiring, and the
+    request-routing behavior (including the 500 mapping and the
+    ``wire.request`` span) are one implementation — the precondition for
+    byte-identical responses across backends.
+
+    The inheriting frontend must provide ``name``, ``address``, ``port``,
+    ``wire_stats``, ``_stats_lock``, and ``_draining`` attributes plus an
+    :meth:`active_workers` / :meth:`drain` implementation.
+    """
+
+    name: str
+    address: str
+    port: int
+    wire_stats: WireServerStats
+    _draining: bool
+
+    # -- subclass contract -------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Map one parsed request to a response (runs off the accept path)."""
+        raise NotImplementedError
+
+    def handle_admin(self, request: HttpRequest, path: str) -> HttpResponse | None:
+        """Answer a subclass-specific ``/.repro/`` path, or None for 404."""
+        return None
+
+    def admin_status(self) -> dict[str, Any]:
+        """Extra subclass fields merged into the ``/.repro/status`` body."""
+        return {}
+
+    def active_workers(self) -> int:
+        """Connections currently being served (threads or coroutine tasks)."""
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Refuse new connections; let in-flight requests finish."""
+        raise NotImplementedError
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- counters ----------------------------------------------------------
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.wire_stats, counter, getattr(self.wire_stats, counter) + amount)
+        _TEL_COUNTERS[counter].inc(amount)
+
+    # -- introspection endpoint --------------------------------------------
+
+    def _metrics_response(self, request: HttpRequest) -> HttpResponse:
+        """Serve the process-wide telemetry snapshot for ``METRICS_PATH``."""
+        snapshot = REGISTRY.snapshot()
+        if "format=json" in request.target:
+            body = render_json(
+                snapshot, spans=[record.to_json() for record in TRACER.recent()]
+            ).encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = render_prometheus(snapshot).encode("utf-8")
+            content_type = "text/plain; version=0.0.4"
+        response = HttpResponse(status=200, body=body)
+        response.headers.set("Content-Type", content_type)
+        return response
+
+    def _json_response(self, payload: dict[str, Any], status: int = 200) -> HttpResponse:
+        response = HttpResponse(
+            status=status, body=json.dumps(payload, indent=1).encode("utf-8")
+        )
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    def _admin_response(self, request: HttpRequest, path: str) -> HttpResponse:
+        """Dispatch one request under :data:`ADMIN_PREFIX`."""
+        method = request.method.upper()
+        if path == STATUS_PATH and method == "GET":
+            with self._stats_lock:
+                stats = asdict(self.wire_stats)
+            payload: dict[str, Any] = {
+                "server": self.name,
+                "address": self.address,
+                "port": self.port,
+                "draining": self._draining,
+                "active_workers": self.active_workers(),
+                "wire_stats": stats,
+            }
+            payload.update(self.admin_status())
+            return self._json_response(payload)
+        if path == DRAIN_PATH and method == "POST":
+            self.drain()
+            return self._json_response(
+                {"draining": True, "active_workers": self.active_workers()}
+            )
+        response = self.handle_admin(request, path)
+        if response is not None:
+            return response
+        return HttpResponse(status=404, body=b"unknown admin endpoint\n")
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Route one parsed request: metrics, admin, or the app handler."""
+        path = request.target.split("?", 1)[0]
+        if path == METRICS_PATH:
+            return self._metrics_response(request)
+        if path.startswith(ADMIN_PREFIX):
+            return self._admin_response(request, path)
+        with _TEL_REQUEST_SECONDS.time(), TRACER.span(
+            "wire.request",
+            parent_header=request.headers.get(TRACE_HEADER),
+        ) as span:
+            span.tag("server", self.name)
+            span.tag("target", request.target)
+            return self.handle_request(request)
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch with the 500 mapping applied; never raises."""
+        try:
+            return self._dispatch(request)
+        except Exception:  # noqa: BLE001 - one bad request never kills the worker
+            self._count("internal_errors")
+            return HttpResponse(status=500)
+
+
+class ThreadedWireServer(WireServerCore):
     """Thread-per-connection HTTP server with timeouts and a worker cap."""
 
     def __init__(
@@ -118,14 +264,22 @@ class ThreadedWireServer:
         *,
         backlog: int = 64,
         io_timeout: float = 30.0,
+        idle_timeout: float | None = None,
         max_workers: int = 64,
         name: str = "wire",
     ):
         if io_timeout <= 0:
             raise ValueError("io_timeout must be positive")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive when set")
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.io_timeout = io_timeout
+        # Keep-alive reaping: once a connection has served a request, the
+        # wait for its *next* request is bounded by this instead of the
+        # io timeout, so mostly-idle keep-alive clients do not pin a
+        # worker thread for the full io_timeout.  None keeps old behavior.
+        self.idle_timeout = idle_timeout
         self.max_workers = max_workers
         self.name = name
         self.wire_stats = WireServerStats()
@@ -145,20 +299,6 @@ class ThreadedWireServer:
         self._connections: dict[int, _Connection] = {}
         self._connections_lock = make_lock("ThreadedWireServer._connections_lock")
         self._connection_counter = 0
-
-    # -- subclass contract -------------------------------------------------
-
-    def handle_request(self, request: HttpRequest) -> HttpResponse:
-        """Map one parsed request to a response (runs on a worker thread)."""
-        raise NotImplementedError
-
-    def handle_admin(self, request: HttpRequest, path: str) -> HttpResponse | None:
-        """Answer a subclass-specific ``/.repro/`` path, or None for 404."""
-        return None
-
-    def admin_status(self) -> dict[str, Any]:
-        """Extra subclass fields merged into the ``/.repro/status`` body."""
-        return {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -216,10 +356,6 @@ class ThreadedWireServer:
         except OSError:
             pass
 
-    @property
-    def draining(self) -> bool:
-        return self._draining
-
     def __enter__(self):
         self.start()
         return self
@@ -231,61 +367,6 @@ class ThreadedWireServer:
         """Number of connection-serving threads currently alive."""
         with self._connections_lock:
             return len(self._connections)
-
-    def _count(self, counter: str, amount: int = 1) -> None:
-        with self._stats_lock:
-            setattr(self.wire_stats, counter, getattr(self.wire_stats, counter) + amount)
-        _TEL_COUNTERS[counter].inc(amount)
-
-    # -- introspection endpoint --------------------------------------------
-
-    def _metrics_response(self, request: HttpRequest) -> HttpResponse:
-        """Serve the process-wide telemetry snapshot for ``METRICS_PATH``."""
-        snapshot = REGISTRY.snapshot()
-        if "format=json" in request.target:
-            body = render_json(
-                snapshot, spans=[record.to_json() for record in TRACER.recent()]
-            ).encode("utf-8")
-            content_type = "application/json"
-        else:
-            body = render_prometheus(snapshot).encode("utf-8")
-            content_type = "text/plain; version=0.0.4"
-        response = HttpResponse(status=200, body=body)
-        response.headers.set("Content-Type", content_type)
-        return response
-
-    def _json_response(self, payload: dict[str, Any], status: int = 200) -> HttpResponse:
-        response = HttpResponse(
-            status=status, body=json.dumps(payload, indent=1).encode("utf-8")
-        )
-        response.headers.set("Content-Type", "application/json")
-        return response
-
-    def _admin_response(self, request: HttpRequest, path: str) -> HttpResponse:
-        """Dispatch one request under :data:`ADMIN_PREFIX`."""
-        method = request.method.upper()
-        if path == STATUS_PATH and method == "GET":
-            with self._stats_lock:
-                stats = asdict(self.wire_stats)
-            payload: dict[str, Any] = {
-                "server": self.name,
-                "address": self.address,
-                "port": self.port,
-                "draining": self._draining,
-                "active_workers": self.active_workers(),
-                "wire_stats": stats,
-            }
-            payload.update(self.admin_status())
-            return self._json_response(payload)
-        if path == DRAIN_PATH and method == "POST":
-            self.drain()
-            return self._json_response(
-                {"draining": True, "active_workers": self.active_workers()}
-            )
-        response = self.handle_admin(request, path)
-        if response is not None:
-            return response
-        return HttpResponse(status=404, body=b"unknown admin endpoint\n")
 
     # -- accept/serve loops ------------------------------------------------
 
@@ -332,6 +413,7 @@ class ThreadedWireServer:
     def _serve_connection(self, client: socket.socket) -> None:
         reader = client.makefile("rb")
         send_buffer = bytearray()
+        served = 0
         try:
             while self._running:
                 try:
@@ -339,7 +421,10 @@ class ThreadedWireServer:
                 except EOFError:
                     return
                 except TimeoutError:
-                    self._count("idle_timeouts")
+                    if served and self.idle_timeout is not None:
+                        self._count("idle_reaped")
+                    else:
+                        self._count("idle_timeouts")
                     return
                 except HttpParseError:
                     self._count("bad_requests")
@@ -348,30 +433,19 @@ class ThreadedWireServer:
                 except (ConnectionError, OSError):
                     self._count("connection_errors")
                     return
-                try:
-                    path = request.target.split("?", 1)[0]
-                    if path == METRICS_PATH:
-                        response = self._metrics_response(request)
-                    elif path.startswith(ADMIN_PREFIX):
-                        response = self._admin_response(request, path)
-                    else:
-                        with _TEL_REQUEST_SECONDS.time(), TRACER.span(
-                            "wire.request",
-                            parent_header=request.headers.get(TRACE_HEADER),
-                        ) as span:
-                            span.tag("server", self.name)
-                            span.tag("target", request.target)
-                            response = self.handle_request(request)
-                except Exception:  # noqa: BLE001 - one bad request never kills the worker
-                    self._count("internal_errors")
-                    response = HttpResponse(status=500)
+                response = self._respond(request)
                 if not self._send(client, response, send_buffer):
                     return
                 self._count("requests_served")
+                served += 1
                 if self._draining:
                     return  # lame duck: current request answered, now close
                 if (request.headers.get("Connection") or "").lower() == "close":
                     return
+                if self.idle_timeout is not None:
+                    # Between requests the connection is idle; bound the
+                    # wait for the next one by the (shorter) idle timeout.
+                    client.settimeout(min(self.io_timeout, self.idle_timeout))
         finally:
             try:
                 reader.close()

@@ -34,7 +34,15 @@ from ..httpmodel.piggy_codec import P_VOLUME_HEADER
 from ..telemetry import REGISTRY, TRACE_HEADER, TRACER, MetricsRegistry, PeriodicFlusher
 from .netclient import HttpConnection
 
-__all__ = ["LoadConfig", "LoadReport", "percentile", "run_load"]
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "ClientState",
+    "ERROR_KINDS",
+    "classify_error",
+    "percentile",
+    "run_load",
+]
 
 Validator = Callable[[str, HttpResponse], bool]
 
@@ -50,6 +58,50 @@ _TEL_CLIENT_ERRORS = REGISTRY.counter(
 _TEL_CLIENT_REQUEST_SECONDS = REGISTRY.histogram(
     "client_request_seconds", "load-generator end-to-end request latency"
 )
+
+# Per-kind failure mirrors backing the report's errors breakdown.
+_TEL_ERR_CONNECT = REGISTRY.counter(
+    "client_errors_connect_total", "load-generator failures establishing a connection"
+)
+_TEL_ERR_TIMEOUT = REGISTRY.counter(
+    "client_errors_timeout_total", "load-generator requests that timed out"
+)
+_TEL_ERR_RESET = REGISTRY.counter(
+    "client_errors_reset_total", "load-generator connections reset or closed mid-exchange"
+)
+_TEL_ERR_CORRUPT = REGISTRY.counter(
+    "client_errors_corrupt_total", "load-generator responses that failed to parse"
+)
+
+# Breakdown key order is also the rendering order in LoadReport.format().
+ERROR_KINDS = ("connect", "timeout", "reset", "corrupt")
+
+_TEL_ERROR_KIND = {
+    "connect": _TEL_ERR_CONNECT,
+    "timeout": _TEL_ERR_TIMEOUT,
+    "reset": _TEL_ERR_RESET,
+    "corrupt": _TEL_ERR_CORRUPT,
+}
+
+
+def classify_error(exc: BaseException, fresh: bool) -> str:
+    """Map a transport exception to one errors-breakdown kind.
+
+    *fresh* says whether the exchange began without an established
+    connection — a generic OSError then means the connect itself failed
+    rather than an established connection dying under us.
+    """
+    if isinstance(exc, ConnectionRefusedError):
+        return "connect"
+    if isinstance(exc, TimeoutError):  # also asyncio.TimeoutError on 3.11+
+        return "timeout"
+    if isinstance(exc, (EOFError, ConnectionError, BrokenPipeError)):
+        return "reset"
+    if isinstance(exc, OSError):
+        return "connect" if fresh else "reset"
+    if isinstance(exc, ValueError):  # HttpParseError and friends
+        return "corrupt"
+    return "reset"
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -86,6 +138,10 @@ class LoadConfig:
     # False opens a fresh connection per request and sends
     # ``Connection: close`` — the HTTP/1.0-style worst case.
     keepalive: bool = True
+    # Async open-loop backpressure valve: cap on exchanges simultaneously
+    # in flight across all clients (0 = unbounded).  Ignored by the
+    # threaded runner, whose in-flight count is bounded by ``clients``.
+    max_inflight: int = 0
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -100,6 +156,8 @@ class LoadConfig:
             raise ValueError("ims_fraction must be in [0, 1]")
         if self.warmup_requests >= self.requests_per_client:
             raise ValueError("warmup_requests must be < requests_per_client")
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0")
 
 
 @dataclass(slots=True)
@@ -119,6 +177,10 @@ class LoadReport:
     piggyback_bytes: int = 0
     status_counts: dict[int, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
+    error_breakdown: dict[str, int] = field(default_factory=dict)
+    # Offered load for open-loop runs (None for closed loop); rendered
+    # against the achieved throughput so saturation is visible.
+    target_rps: float | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -154,10 +216,11 @@ class LoadReport:
             f"clients              {self.clients}",
             f"requests             {self.requests} "
             f"(measured {self.measured_requests}, warmup {self.warmup_requests})",
-            f"errors               {self.errors}",
+            f"errors               {self.errors}{self._format_error_breakdown()}",
             f"corrupted            {self.corrupted}",
             f"duration             {self.duration:.3f}s",
             f"throughput           {self.throughput_rps:.1f} req/s",
+            *self._format_offered_load(),
             f"latency p50          {self.p50 * 1000.0:.2f} ms",
             f"latency p95          {self.p95 * 1000.0:.2f} ms",
             f"latency p99          {self.p99 * 1000.0:.2f} ms",
@@ -171,6 +234,25 @@ class LoadReport:
         )
         lines.append(f"status counts        {statuses or 'none'}")
         return "\n".join(lines)
+
+    def _format_error_breakdown(self) -> str:
+        if not self.error_breakdown:
+            return ""
+        parts = ", ".join(
+            f"{kind} {self.error_breakdown.get(kind, 0)}" for kind in ERROR_KINDS
+        )
+        return f" ({parts})"
+
+    def _format_offered_load(self) -> list[str]:
+        """Open-loop only: achieved vs target RPS, saturation at a glance."""
+        if self.target_rps is None:
+            return []
+        achieved = self.throughput_rps
+        ratio = achieved / self.target_rps * 100.0 if self.target_rps > 0 else 0.0
+        return [
+            f"offered load         target {self.target_rps:.1f} req/s, "
+            f"achieved {achieved:.1f} req/s ({ratio:.1f}%)"
+        ]
 
 
 class _Accumulator:
@@ -200,6 +282,24 @@ class _Accumulator:
         self._errors = self.registry.counter(
             "loadgen_errors_total", "requests that failed at the transport"
         )
+        self._errors_connect = self.registry.counter(
+            "loadgen_errors_connect_total", "failures establishing a connection"
+        )
+        self._errors_timeout = self.registry.counter(
+            "loadgen_errors_timeout_total", "requests that timed out"
+        )
+        self._errors_reset = self.registry.counter(
+            "loadgen_errors_reset_total", "connections reset or closed mid-exchange"
+        )
+        self._errors_corrupt = self.registry.counter(
+            "loadgen_errors_corrupt_total", "responses that failed to parse"
+        )
+        self._errors_by_kind = {
+            "connect": self._errors_connect,
+            "timeout": self._errors_timeout,
+            "reset": self._errors_reset,
+            "corrupt": self._errors_corrupt,
+        }
         self._corrupted = self.registry.counter(
             "loadgen_corrupted_total", "responses failing the validate hook"
         )
@@ -226,6 +326,7 @@ class _Accumulator:
         *,
         measured: bool,
         corrupted: bool,
+        error_kind: str | None = None,
     ) -> None:
         self._requests.inc()
         if measured:
@@ -234,6 +335,9 @@ class _Accumulator:
             self._warmup.inc()
         if response is None:
             self._errors.inc()
+            kind_counter = self._errors_by_kind.get(error_kind or "")
+            if kind_counter is not None:
+                kind_counter.inc()
             return
         with self.lock:
             self._status_counts[response.status] = (
@@ -264,7 +368,53 @@ class _Accumulator:
             piggyback_bytes=self._piggyback_bytes.value,
             status_counts=status_counts,
             latencies=list(self._latency.samples),
+            error_breakdown={
+                kind: counter.value
+                for kind, counter in self._errors_by_kind.items()
+            },
         )
+
+
+class ClientState:
+    """Deterministic per-client request stream: seeded RNG and IMS memory.
+
+    Shared by the threaded runner below and the async runner in
+    :mod:`repro.httpwire.aio.loadgen` so both backends issue the exact
+    same request sequence for a given (seed, index) — the property the
+    differential suite relies on.  RNG draw order is part of the
+    contract: one draw for the URL, then at most one for the IMS coin.
+    """
+
+    def __init__(self, index: int, urls: Sequence[str], config: LoadConfig):
+        self.index = index
+        self.urls = urls
+        self.config = config
+        self.rng = random.Random((config.seed << 16) ^ index)
+        self.last_modified_seen: dict[str, str] = {}
+
+    def next_url(self) -> str:
+        return self.urls[self.rng.randrange(len(self.urls))]
+
+    def build_request(self, url: str) -> HttpRequest:
+        host, _, path = url.partition("/")
+        target = f"http://{url}" if self.config.absolute_targets else "/" + path
+        request = HttpRequest(method="GET", target=target, headers=Headers())
+        request.headers.set("Host", self.config.host_header or host)
+        request.headers.set("X-Proxy-Name", f"loadgen-{self.index}")
+        if self.config.piggy_filter is not None:
+            request.headers.set("TE", "chunked")
+            request.headers.set("Piggy-filter", self.config.piggy_filter)
+        if not self.config.keepalive:
+            request.headers.set("Connection", "close")
+        ims = self.last_modified_seen.get(url)
+        if ims is not None and self.rng.random() < self.config.ims_fraction:
+            request.headers.set("If-Modified-Since", ims)
+        return request
+
+    def note_response(self, url: str, response: HttpResponse) -> None:
+        lm = response.headers.get("Last-Modified")
+        if lm is not None:
+            self.last_modified_seen[url] = lm
 
 
 class _Client:
@@ -285,30 +435,12 @@ class _Client:
         self.index = index
         self.address = address
         self.port = port
-        self.urls = urls
         self.config = config
         self.accumulator = accumulator
         self.validate = validate
         self.schedule = schedule  # this client's open-loop arrival offsets
         self.start_time = start_time
-        self.rng = random.Random((config.seed << 16) ^ index)
-        self.last_modified_seen: dict[str, str] = {}
-
-    def _build_request(self, url: str) -> HttpRequest:
-        host, _, path = url.partition("/")
-        target = f"http://{url}" if self.config.absolute_targets else "/" + path
-        request = HttpRequest(method="GET", target=target, headers=Headers())
-        request.headers.set("Host", self.config.host_header or host)
-        request.headers.set("X-Proxy-Name", f"loadgen-{self.index}")
-        if self.config.piggy_filter is not None:
-            request.headers.set("TE", "chunked")
-            request.headers.set("Piggy-filter", self.config.piggy_filter)
-        if not self.config.keepalive:
-            request.headers.set("Connection", "close")
-        ims = self.last_modified_seen.get(url)
-        if ims is not None and self.rng.random() < self.config.ims_fraction:
-            request.headers.set("If-Modified-Since", ims)
-        return request
+        self.state = ClientState(index, urls, config)
 
     def run(self) -> None:
         connection = HttpConnection(self.address, self.port, timeout=self.config.timeout)
@@ -323,29 +455,33 @@ class _Client:
                     # Fresh connection per request; the server closes its
                     # side after answering a Connection: close request.
                     connection.close()
-                url = self.urls[self.rng.randrange(len(self.urls))]
-                request = self._build_request(url)
+                url = self.state.next_url()
+                request = self.state.build_request(url)
                 measured = sequence >= self.config.warmup_requests
                 _TEL_CLIENT_REQUESTS.inc()
                 with TRACER.span("client.request") as span:
                     if span.header is not None:
                         request.headers.set(TRACE_HEADER, span.header)
                         span.tag("url", url)
+                    fresh = not connection.connected
                     begin = time.perf_counter()
                     try:
                         response = connection.request(request)
-                    except (EOFError, TimeoutError, ConnectionError, OSError, ValueError):
+                    except (
+                        EOFError, TimeoutError, ConnectionError, OSError, ValueError
+                    ) as exc:
                         connection.close()
+                        kind = classify_error(exc, fresh)
                         _TEL_CLIENT_ERRORS.inc()
+                        _TEL_ERROR_KIND[kind].inc()
                         self.accumulator.record(
-                            0.0, None, measured=measured, corrupted=False
+                            0.0, None, measured=measured, corrupted=False,
+                            error_kind=kind,
                         )
                         continue
                     latency = time.perf_counter() - begin
                 _TEL_CLIENT_REQUEST_SECONDS.observe(latency)
-                lm = response.headers.get("Last-Modified")
-                if lm is not None:
-                    self.last_modified_seen[url] = lm
+                self.state.note_response(url, response)
                 corrupted = bool(self.validate) and not self.validate(url, response)
                 self.accumulator.record(
                     latency, response, measured=measured, corrupted=corrupted
@@ -441,4 +577,6 @@ def run_load(
     report.mode = config.mode
     report.clients = config.clients
     report.duration = time.perf_counter() - begin
+    if config.mode == "open":
+        report.target_rps = config.rate
     return report

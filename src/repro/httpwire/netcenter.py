@@ -35,30 +35,24 @@ from ..server.volume_center import TransparentVolumeCenter
 from .connbase import ThreadedWireServer
 from .netclient import HttpConnection
 
-__all__ = ["TransparentHttpVolumeCenter"]
+__all__ = ["VolumeCenterApp", "TransparentHttpVolumeCenter"]
 
 
-class TransparentHttpVolumeCenter(ThreadedWireServer):
-    """On-path HTTP intermediary injecting piggybacks for legacy origins."""
+class VolumeCenterApp:
+    """Backend-neutral volume-center logic shared by both wire frontends.
 
-    def __init__(
+    The origin round-trip inside :meth:`handle_request` is *blocking*
+    socket I/O — the asyncio frontend in :mod:`repro.httpwire.aio` runs
+    it on an executor thread.
+    """
+
+    def _init_center_app(
         self,
         origins: dict[str, tuple[str, int]],
-        center: TransparentVolumeCenter | None = None,
-        address: str = "127.0.0.1",
-        port: int = 0,
-        clock: Callable[[], float] | None = None,
-        io_timeout: float = 30.0,
-        max_workers: int = 64,
-        upstream_timeout: float = 10.0,
-    ):
-        super().__init__(
-            address,
-            port,
-            io_timeout=io_timeout,
-            max_workers=max_workers,
-            name="volume-center",
-        )
+        center: TransparentVolumeCenter | None,
+        clock: Callable[[], float] | None,
+        upstream_timeout: float,
+    ) -> None:
         self.origins = origins
         self.center = center or TransparentVolumeCenter()
         self.clock = clock or time.time
@@ -140,3 +134,30 @@ class TransparentHttpVolumeCenter(ThreadedWireServer):
             trailers=trailers,
             reason=upstream.reason,
         )
+
+
+class TransparentHttpVolumeCenter(VolumeCenterApp, ThreadedWireServer):
+    """On-path HTTP intermediary injecting piggybacks for legacy origins."""
+
+    def __init__(
+        self,
+        origins: dict[str, tuple[str, int]],
+        center: TransparentVolumeCenter | None = None,
+        address: str = "127.0.0.1",
+        port: int = 0,
+        clock: Callable[[], float] | None = None,
+        io_timeout: float = 30.0,
+        idle_timeout: float | None = None,
+        max_workers: int = 64,
+        upstream_timeout: float = 10.0,
+    ):
+        ThreadedWireServer.__init__(
+            self,
+            address,
+            port,
+            io_timeout=io_timeout,
+            idle_timeout=idle_timeout,
+            max_workers=max_workers,
+            name="volume-center",
+        )
+        self._init_center_app(origins, center, clock, upstream_timeout)

@@ -47,7 +47,13 @@ from ..telemetry import REGISTRY, TRACE_HEADER, TRACER
 from .connbase import ThreadedWireServer
 from .netclient import HttpConnection
 
-__all__ = ["UpstreamPolicy", "UpstreamStats", "HttpUpstream", "PiggybackHttpProxy"]
+__all__ = [
+    "UpstreamPolicy",
+    "UpstreamStats",
+    "HttpUpstream",
+    "PiggybackProxyApp",
+    "PiggybackHttpProxy",
+]
 
 BAD_GATEWAY = 502
 
@@ -356,38 +362,29 @@ class HttpUpstream:
         )
 
 
-class PiggybackHttpProxy(ThreadedWireServer):
-    """Threaded wire frontend for one :class:`PiggybackProxy`."""
+class PiggybackProxyApp:
+    """Backend-neutral proxy logic: one :class:`PiggybackProxy` on HTTP.
 
-    def __init__(
+    Shared by the threaded frontend below and the asyncio frontend in
+    :mod:`repro.httpwire.aio` so both answer byte-identical responses.
+    Note the upstream exchange is *blocking* socket I/O — the asyncio
+    frontend runs :meth:`handle_request` on an executor thread.
+    """
+
+    def _init_proxy_app(
         self,
         origins: dict[str, tuple[str, int]],
-        config: ProxyConfig = ProxyConfig(name="wire-proxy"),
-        address: str = "127.0.0.1",
-        port: int = 0,
-        clock: Callable[[], float] | None = None,
-        upstream_policy: UpstreamPolicy = UpstreamPolicy(),
-        serve_stale_on_error: bool = True,
-        io_timeout: float = 30.0,
-        max_workers: int = 64,
-    ):
-        super().__init__(
-            address,
-            port,
-            io_timeout=io_timeout,
-            max_workers=max_workers,
-            name="piggyback-proxy",
-        )
+        config: ProxyConfig,
+        clock: Callable[[], float] | None,
+        upstream_policy: UpstreamPolicy,
+        serve_stale_on_error: bool,
+    ) -> None:
         self.clock = clock or time.time
         self.upstream = HttpUpstream(origins, clock=self.clock, policy=upstream_policy)
         self.engine = PiggybackProxy(self.upstream, config=config)
         self.serve_stale_on_error = serve_stale_on_error
         self.stale_responses = 0
         self._stale_lock = make_lock("PiggybackHttpProxy._stale_lock")
-
-    def stop(self, drain_timeout: float = 5.0) -> None:
-        super().stop(drain_timeout)
-        self.upstream.close()
 
     def _canonical_url(self, request: HttpRequest) -> str | None:
         """Canonical host/path from an absolute-URI proxy request target."""
@@ -437,3 +434,37 @@ class PiggybackHttpProxy(ThreadedWireServer):
             headers.set("Warning", '111 repro-piggyback-proxy "Revalidation Failed"')
             return HttpResponse(status=200, headers=headers, body=stale)
         return HttpResponse(status=BAD_GATEWAY)
+
+
+class PiggybackHttpProxy(PiggybackProxyApp, ThreadedWireServer):
+    """Threaded wire frontend for one :class:`PiggybackProxy`."""
+
+    def __init__(
+        self,
+        origins: dict[str, tuple[str, int]],
+        config: ProxyConfig = ProxyConfig(name="wire-proxy"),
+        address: str = "127.0.0.1",
+        port: int = 0,
+        clock: Callable[[], float] | None = None,
+        upstream_policy: UpstreamPolicy = UpstreamPolicy(),
+        serve_stale_on_error: bool = True,
+        io_timeout: float = 30.0,
+        idle_timeout: float | None = None,
+        max_workers: int = 64,
+    ):
+        ThreadedWireServer.__init__(
+            self,
+            address,
+            port,
+            io_timeout=io_timeout,
+            idle_timeout=idle_timeout,
+            max_workers=max_workers,
+            name="piggyback-proxy",
+        )
+        self._init_proxy_app(
+            origins, config, clock, upstream_policy, serve_stale_on_error
+        )
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        super().stop(drain_timeout)
+        self.upstream.close()

@@ -1,15 +1,18 @@
 """A real-socket HTTP/1.1 origin server speaking the piggyback extension.
 
-Wraps a :class:`~repro.server.server.PiggybackServer` behind a threaded
-TCP listener: requests carrying a ``Piggy-filter`` header get their
-response delivered with chunked transfer-coding and a ``P-volume`` trailer
-exactly as Section 2.3 describes; requests without the header get plain
+Wraps a :class:`~repro.server.server.PiggybackServer` behind a TCP
+listener: requests carrying a ``Piggy-filter`` header get their response
+delivered with chunked transfer-coding and a ``P-volume`` trailer exactly
+as Section 2.3 describes; requests without the header get plain
 Content-Length responses, so legacy clients are unaffected.
 
-Both servers ride on :class:`~repro.httpwire.connbase.ThreadedWireServer`
-for per-connection timeouts, a worker cap, and drainable shutdown.  The
-piggyback engine serializes metadata under its volume-store lock; body
-bytes are synthesized and sent on the worker thread with no lock held.
+The request/response translation lives in :class:`PiggybackOriginApp`
+and :class:`PlainOriginApp` — backend-neutral mixins that pair with
+either frontend: :class:`~repro.httpwire.connbase.ThreadedWireServer`
+here, or the asyncio loop in :mod:`repro.httpwire.aio`.  Both frontends
+therefore produce byte-identical responses.  The piggyback engine
+serializes metadata under its volume-store lock; body bytes are
+synthesized and sent on the serving thread/task with no lock held.
 """
 
 from __future__ import annotations
@@ -38,7 +41,13 @@ from ..server.server import PiggybackServer
 from ..telemetry import REGISTRY, SIZE_BUCKETS
 from .connbase import ThreadedWireServer
 
-__all__ = ["PiggybackHttpServer", "PlainHttpServer", "synthetic_body"]
+__all__ = [
+    "PiggybackOriginApp",
+    "PiggybackHttpServer",
+    "PlainOriginApp",
+    "PlainHttpServer",
+    "synthetic_body",
+]
 
 _TEL_PIGGYBACK_WIRE_BYTES = REGISTRY.histogram(
     "server_piggyback_wire_bytes",
@@ -63,28 +72,24 @@ def synthetic_body(url: str, size: int) -> bytes:
     return (seed * repeats)[:size]
 
 
-class PiggybackHttpServer(ThreadedWireServer):
-    """Threaded wire frontend for one :class:`PiggybackServer`."""
+class PiggybackOriginApp:
+    """Backend-neutral origin logic: one :class:`PiggybackServer` on HTTP.
 
-    def __init__(
+    Holds everything that is *not* about sockets or threads — request
+    translation, admin snapshot/reload, access logging — so the threaded
+    and asyncio frontends share a single implementation and answer
+    byte-identical responses.  Frontends call :meth:`_init_origin_app`
+    after their own socket setup.
+    """
+
+    def _init_origin_app(
         self,
         server: PiggybackServer,
         site_host: str,
-        address: str = "127.0.0.1",
-        port: int = 0,
-        clock: Callable[[], float] | None = None,
-        access_logger=None,
-        io_timeout: float = 30.0,
-        max_workers: int = 64,
-        durable_state=None,
-    ):
-        super().__init__(
-            address,
-            port,
-            io_timeout=io_timeout,
-            max_workers=max_workers,
-            name=f"origin:{site_host}",
-        )
+        clock: Callable[[], float] | None,
+        access_logger,
+        durable_state,
+    ) -> None:
         self.server = server
         self.site_host = site_host
         self.clock = clock or time.time
@@ -187,30 +192,38 @@ class PiggybackHttpServer(ThreadedWireServer):
         )
 
 
-class PlainHttpServer(ThreadedWireServer):
-    """A legacy origin: plain HTTP/1.1, no piggyback support whatsoever.
-
-    Serves a static mapping of paths to (body, last_modified) pairs.  Used
-    to demonstrate the transparent volume center, which adds piggybacks on
-    behalf of servers exactly like this one.
-    """
+class PiggybackHttpServer(PiggybackOriginApp, ThreadedWireServer):
+    """Threaded wire frontend for one :class:`PiggybackServer`."""
 
     def __init__(
         self,
-        resources: dict[str, tuple[bytes, float]],
+        server: PiggybackServer,
+        site_host: str,
         address: str = "127.0.0.1",
         port: int = 0,
+        clock: Callable[[], float] | None = None,
+        access_logger=None,
         io_timeout: float = 30.0,
+        idle_timeout: float | None = None,
         max_workers: int = 64,
+        durable_state=None,
     ):
-        super().__init__(
+        ThreadedWireServer.__init__(
+            self,
             address,
             port,
-            backlog=16,
             io_timeout=io_timeout,
+            idle_timeout=idle_timeout,
             max_workers=max_workers,
-            name="legacy-origin",
+            name=f"origin:{site_host}",
         )
+        self._init_origin_app(server, site_host, clock, access_logger, durable_state)
+
+
+class PlainOriginApp:
+    """Backend-neutral legacy origin: static resources, no piggyback."""
+
+    def _init_plain_app(self, resources: dict[str, tuple[bytes, float]]) -> None:
         self.resources = resources
         self.requests_served = 0
         self._served_lock = make_lock("PlainHttpServer._served_lock")
@@ -227,3 +240,33 @@ class PlainHttpServer(ThreadedWireServer):
         with self._served_lock:
             self.requests_served += 1
         return response
+
+
+class PlainHttpServer(PlainOriginApp, ThreadedWireServer):
+    """A legacy origin: plain HTTP/1.1, no piggyback support whatsoever.
+
+    Serves a static mapping of paths to (body, last_modified) pairs.  Used
+    to demonstrate the transparent volume center, which adds piggybacks on
+    behalf of servers exactly like this one.
+    """
+
+    def __init__(
+        self,
+        resources: dict[str, tuple[bytes, float]],
+        address: str = "127.0.0.1",
+        port: int = 0,
+        io_timeout: float = 30.0,
+        idle_timeout: float | None = None,
+        max_workers: int = 64,
+    ):
+        ThreadedWireServer.__init__(
+            self,
+            address,
+            port,
+            backlog=16,
+            io_timeout=io_timeout,
+            idle_timeout=idle_timeout,
+            max_workers=max_workers,
+            name="legacy-origin",
+        )
+        self._init_plain_app(resources)

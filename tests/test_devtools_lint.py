@@ -627,6 +627,128 @@ def test_self_registry_receiver_matches(tmp_path):
     assert rule_ids(report) == ["tel-literal-name"]
 
 
+# -- aio event-loop hygiene rules -----------------------------------------
+
+
+def test_blocking_sleep_in_coroutine_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+        """,
+    )
+    assert rule_ids(report) == ["aio-blocking-call"]
+
+
+def test_blocking_sleep_through_alias_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        from time import sleep as pause
+
+        async def handler():
+            pause(0.1)
+        """,
+    )
+    assert rule_ids(report) == ["aio-blocking-call"]
+
+
+def test_sync_socket_call_in_coroutine_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        async def pump(sock, payload):
+            sock.sendall(payload)
+        """,
+    )
+    assert rule_ids(report) == ["aio-blocking-call"]
+
+
+def test_awaited_async_connect_is_clean(tmp_path):
+    # Async methods sharing a blocking-socket name are fine when awaited.
+    report = lint_snippet(
+        tmp_path,
+        """
+        async def dial(upstream):
+            await upstream.connect()
+        """,
+    )
+    assert report.clean
+
+
+def test_asyncio_sleep_is_clean(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import asyncio
+
+        async def pace():
+            await asyncio.sleep(0.1)
+        """,
+    )
+    assert report.clean
+
+
+def test_blocking_call_outside_coroutine_is_out_of_scope(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        def worker():
+            time.sleep(0.1)
+        """,
+    )
+    assert report.clean
+
+
+def test_unawaited_acquire_in_coroutine_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        async def grab(self):
+            self._conn_sem.acquire()
+        """,
+    )
+    assert rule_ids(report) == ["aio-unawaited-acquire"]
+
+
+def test_awaited_acquire_is_clean(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        async def grab(self):
+            await self._conn_sem.acquire()
+        """,
+    )
+    assert report.clean
+
+
+def test_aio_suppression(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        async def handler():
+            time.sleep(0.1)  # repro: allow[aio-blocking-call]
+        """,
+    )
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_aio_family_scoped_to_async_stack():
+    from repro.devtools.lint.policy import DEFAULT_POLICY
+
+    assert DEFAULT_POLICY.applies("aio", "src/repro/httpwire/aio/server.py")
+    assert DEFAULT_POLICY.applies("aio", "src/repro/httpmodel/aio.py")
+    assert not DEFAULT_POLICY.applies("aio", "src/repro/httpwire/netserver.py")
+
+
 # -- suppressions, policy, baseline --------------------------------------
 
 
@@ -788,4 +910,4 @@ def test_repository_is_lint_clean():
 
 def test_registry_has_all_rule_families():
     families = {rule.family for rule in registered_rules()}
-    assert {"determinism", "locks", "resources", "api", "telemetry"} <= families
+    assert {"determinism", "locks", "resources", "api", "telemetry", "aio"} <= families
