@@ -581,7 +581,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     try:
-        report = run_lint(root, paths, baseline=baseline)
+        report = run_lint(
+            root, paths, baseline=baseline, interprocedural=args.interprocedural
+        )
     except OSError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -596,6 +598,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.render_text())
     return 0 if report.clean else 1
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .devtools.flow import build_callgraph
+    from .devtools.lint.engine import LintReport, _parse_modules, collect_files
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"flow: root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths] or None
+    scratch = LintReport()
+    files = collect_files(root, paths)
+    modules = _parse_modules(root, files, scratch)
+    graph = build_callgraph(modules)
+
+    if args.dot:
+        output = graph.to_dot(include_external=args.external)
+    else:
+        edges = sum(
+            len(site.targets) for sites in graph.calls.values() for site in sites
+        )
+        output = "\n".join(
+            (
+                f"modules:   {len(modules)}",
+                f"functions: {len(graph.functions)}",
+                f"classes:   {len(graph.classes)}",
+                f"edges:     {edges}",
+            )
+        )
+    if args.out:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -692,7 +732,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore the committed baseline")
     lint.add_argument("--write-baseline", action="store_true",
                       help="rewrite the baseline from current findings")
+    lint.add_argument("--interprocedural", action="store_true",
+                      help="additionally run the whole-program flow passes "
+                           "(call-graph construction; slower)")
     lint.set_defaults(handler=_cmd_lint)
+
+    flow = sub.add_parser(
+        "flow",
+        help="whole-program call graph: export DOT or summary statistics")
+    flow.add_argument("paths", nargs="*",
+                      help="files or directories (default: src/ and benchmarks/)")
+    flow.add_argument("--root", default=".",
+                      help="repository root paths are resolved against")
+    flow.add_argument("--dot", action="store_true",
+                      help="emit the resolved call graph as Graphviz DOT")
+    flow.add_argument("--external", action="store_true",
+                      help="include dashed edges to external callees in DOT")
+    flow.add_argument("--out", default=None, help="write output to a file")
+    flow.set_defaults(handler=_cmd_flow)
 
     table1 = sub.add_parser("table1", help="update fractions (Table 1)")
     table1.add_argument("--presets", nargs="*", default=None)

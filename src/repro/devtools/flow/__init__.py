@@ -1,0 +1,49 @@
+"""Whole-program (interprocedural) analysis over the repro source tree.
+
+``repro.devtools.flow`` layers a project call graph on top of the AST
+lint engine (:mod:`repro.devtools.lint`) and runs three chain-aware
+passes over it:
+
+* :class:`~repro.devtools.flow.rules.FlowBlockingReachableRule`
+  (``flow-blocking-reachable``) — transitive blocking reachability from
+  the event-loop surface;
+* :class:`~repro.devtools.flow.rules.FlowLockAcrossBlockingRule`
+  (``flow-lock-across-blocking``) — lock regions that reach blocking
+  operations at any depth, and awaits under sync locks;
+* :class:`~repro.devtools.flow.rules.FlowDeterminismTaintRule`
+  (``flow-determinism-taint``) — nondeterministic data flowing into
+  piggyback trailers, journal records, or replay metrics.
+
+Run them with ``repro lint --interprocedural``; export the graph with
+``repro flow --dot``.
+"""
+
+from .callgraph import (
+    AwaitSite,
+    CallGraph,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    build_callgraph,
+    looks_like_lock,
+)
+from .rules import (
+    FlowBlockingReachableRule,
+    FlowDeterminismTaintRule,
+    FlowLockAcrossBlockingRule,
+    blocking_witnesses,
+)
+
+__all__ = [
+    "AwaitSite",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "build_callgraph",
+    "blocking_witnesses",
+    "looks_like_lock",
+    "FlowBlockingReachableRule",
+    "FlowDeterminismTaintRule",
+    "FlowLockAcrossBlockingRule",
+]

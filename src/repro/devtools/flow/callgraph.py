@@ -1,0 +1,752 @@
+"""Project-wide call graph with class-hierarchy dispatch approximation.
+
+This is the substrate for the interprocedural ``flow-*`` passes: a
+module-resolved graph of every function and method in scope, with call
+edges that survive the three things a per-function AST rule cannot see
+through:
+
+* **aliases** — ``import time as t``, ``from time import sleep``,
+  relative imports, package re-exports, and module-level name bindings
+  (``_sleep = time.sleep``) all resolve to canonical dotted names;
+* **method dispatch** — ``self.volume_store.observe(...)`` resolves to
+  *every* ``observe`` implementation reachable through the receiver's
+  declared or inferred class, using class-hierarchy analysis (CHA):
+  the static type's own definition, inherited definitions, and every
+  subclass override;
+* **call-site context** — each edge records its ``file:line`` plus
+  whether the call is awaited and which lock-like ``with`` region (if
+  any) lexically encloses it, so passes can report full evidence chains
+  and reason about lock regions.
+
+The graph is deliberately an over-approximation: an edge means "this
+call *may* dispatch here".  Calls that cross threads by construction —
+``Thread(target=fn)``, ``loop.run_in_executor(pool, fn)`` — produce no
+edge because the callee is passed as data, never called, which is
+exactly the semantics the event-loop passes need.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from ..lint.astutil import dotted_name, name_bindings, resolve_dotted
+from ..lint.engine import SourceModule
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "AwaitSite",
+    "CallGraph",
+    "build_callgraph",
+    "looks_like_lock",
+]
+
+_LOCK_MARKERS = ("lock", "mutex", "guard", "sem", "condition")
+
+# Methods whose function argument runs on another thread (or executor):
+# passing a callable to them must NOT create a call edge.
+_DISPATCHING_ATTRS = frozenset({"run_in_executor", "submit", "map", "call_soon_threadsafe"})
+
+
+def looks_like_lock(receiver: str | None) -> bool:
+    """Heuristic: does this dotted receiver name a synchronization primitive?"""
+    if not receiver:
+        return False
+    leaf = receiver.rsplit(".", 1)[-1].lower()
+    return any(marker in leaf for marker in _LOCK_MARKERS)
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    relpath: str
+    name: str
+    cls: str | None
+    lineno: int
+    is_async: bool
+
+    @property
+    def frame(self) -> str:
+        return f"{self.relpath}:{self.lineno}"
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One class: resolved bases, own methods, inferred attribute types."""
+
+    qualname: str
+    module: str
+    bases: tuple[str, ...]
+    methods: dict[str, str] = field(default_factory=dict)
+    attr_types: dict[str, set[str]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call expression inside one function."""
+
+    caller: str
+    relpath: str
+    lineno: int
+    col: int
+    targets: tuple[str, ...]  # resolved project function qualnames (CHA set)
+    external: str | None  # canonical dotted name outside the project
+    attr: str | None  # unresolved method name (receiver type unknown)
+    receiver: str | None  # textual receiver, for heuristics
+    awaited: bool
+    blocking_arg: bool  # acquire()-style call with blocking semantics
+    lock_context: str | None  # innermost enclosing with-lock receiver
+
+    @property
+    def frame(self) -> str:
+        return f"{self.relpath}:{self.lineno}"
+
+
+@dataclass(frozen=True, slots=True)
+class AwaitSite:
+    """One ``await`` expression and its enclosing lock region, if any."""
+
+    caller: str
+    relpath: str
+    lineno: int
+    lock_context: str | None
+
+    @property
+    def frame(self) -> str:
+        return f"{self.relpath}:{self.lineno}"
+
+
+class CallGraph:
+    """Functions, classes, and may-call edges over one set of modules."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.calls: dict[str, list[CallSite]] = {}
+        self.awaits: dict[str, list[AwaitSite]] = {}
+        self.module_functions: dict[str, dict[str, str]] = {}
+        self.aliases: dict[str, str] = {}  # re-export name -> canonical name
+        self.subclasses: dict[str, set[str]] = {}
+        # AST node per function, for passes that need expression-level
+        # analysis (determinism taint) on top of the resolved call sites.
+        self.nodes: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+
+    # -- canonical names ---------------------------------------------------
+
+    def canonical(self, name: str) -> str:
+        """Follow re-export aliases to the defining module's name."""
+        seen = set()
+        while name in self.aliases and name not in seen:
+            seen.add(name)
+            name = self.aliases[name]
+        return name
+
+    # -- hierarchy queries -------------------------------------------------
+
+    def _ancestors(self, cls_qual: str) -> Iterator[str]:
+        """*cls_qual* plus every project base class, DFS, cycle-safe."""
+        stack = [cls_qual]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            yield current
+            info = self.classes.get(current)
+            if info is not None:
+                stack.extend(base for base in info.bases if base in self.classes)
+
+    def _descendants(self, cls_qual: str) -> Iterator[str]:
+        stack = [cls_qual]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            yield current
+            stack.extend(self.subclasses.get(current, ()))
+
+    def resolve_method(self, cls_qual: str, method: str) -> tuple[str, ...]:
+        """CHA dispatch set for ``<cls>().<method>()``.
+
+        The inherited definition (first hit walking up the bases) plus
+        every override in the subclass tree — any of them may run.
+        """
+        targets: set[str] = set()
+        for ancestor in self._ancestors(cls_qual):
+            info = self.classes.get(ancestor)
+            if info is not None and method in info.methods:
+                targets.add(info.methods[method])
+                break
+        for descendant in self._descendants(cls_qual):
+            info = self.classes.get(descendant)
+            if info is not None and method in info.methods:
+                targets.add(info.methods[method])
+        return tuple(sorted(targets))
+
+    def inherits_from(self, cls_qual: str, base_suffix: str) -> bool:
+        """Does *cls_qual* (transitively) extend a base whose dotted name
+        ends with *base_suffix* (e.g. ``asyncio.BufferedProtocol``)?"""
+        for ancestor in self._ancestors(cls_qual):
+            info = self.classes.get(ancestor)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base == base_suffix or base.endswith("." + base_suffix) or (
+                    "." in base_suffix and base.endswith(base_suffix)
+                ):
+                    return True
+        return False
+
+    def sites(self, qualname: str) -> Sequence[CallSite]:
+        return self.calls.get(qualname, ())
+
+    # -- export ------------------------------------------------------------
+
+    def to_dot(self, *, include_external: bool = False) -> str:
+        """Graphviz DOT rendering of the resolved call edges."""
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box, fontsize=9];"]
+        emitted: set[tuple[str, str]] = set()
+        for qualname in sorted(self.functions):
+            lines.append(f'  "{qualname}";')
+        for caller in sorted(self.calls):
+            for site in self.calls[caller]:
+                for target in site.targets:
+                    if (caller, target) not in emitted:
+                        emitted.add((caller, target))
+                        lines.append(f'  "{caller}" -> "{target}";')
+                if include_external and site.external is not None:
+                    edge = (caller, site.external)
+                    if edge not in emitted:
+                        emitted.add(edge)
+                        lines.append(
+                            f'  "{site.external}" [shape=ellipse, style=dashed];\n'
+                            f'  "{caller}" -> "{site.external}" [style=dashed];'
+                        )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# -- construction ----------------------------------------------------------
+
+
+class _ModuleDecls:
+    """Per-module context shared between the two build passes."""
+
+    def __init__(self, sm: SourceModule) -> None:
+        self.sm = sm
+        self.modname = sm.module_name
+        self.bindings = name_bindings(sm.tree, package=sm.package)
+        # function qualname -> (node, class qualname or None)
+        self.function_nodes: dict[str, tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]] = {}
+
+
+def _direct_defs(
+    body: Sequence[ast.stmt],
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function defs at any statement depth, not inside nested defs."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+            continue
+        if isinstance(node, (ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_callgraph(modules: Sequence[SourceModule]) -> CallGraph:
+    """Build the whole-program graph for one set of parsed modules."""
+    graph = CallGraph()
+    decls = [_ModuleDecls(sm) for sm in modules if sm.module_name]
+
+    # Pass A: declarations (classes, functions, re-export aliases).
+    for decl in decls:
+        _collect_declarations(graph, decl)
+    _finalize_hierarchy(graph, decls)
+    for decl in decls:
+        _infer_attr_types(graph, decl)
+
+    # Pass B: call edges.
+    for decl in decls:
+        for qualname, (node, cls_qual) in decl.function_nodes.items():
+            graph.nodes[qualname] = node
+            _collect_calls(graph, decl, qualname, node, cls_qual)
+    return graph
+
+
+def _collect_declarations(graph: CallGraph, decl: _ModuleDecls) -> None:
+    modname = decl.modname
+    graph.module_functions.setdefault(modname, {})
+
+    # Re-export aliases: a binding `repro.volumes.DirectoryVolumeStore`
+    # -> `repro.volumes.directory.DirectoryVolumeStore` lets later name
+    # resolution reach the defining module.
+    for local, target in decl.bindings.items():
+        exported = f"{modname}.{local}"
+        if exported != target:
+            graph.aliases[exported] = target
+
+    def declare_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        prefix: str,
+        cls_info: ClassInfo | None,
+    ) -> None:
+        qualname = f"{prefix}.{node.name}"
+        if qualname in graph.functions:  # redefinition: keep the first
+            return
+        graph.functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            module=modname,
+            relpath=decl.sm.relpath,
+            name=node.name,
+            cls=cls_info.qualname if cls_info is not None else None,
+            lineno=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        decl.function_nodes[qualname] = (node, cls_info.qualname if cls_info else None)
+        if cls_info is not None:
+            cls_info.methods.setdefault(node.name, qualname)
+        elif prefix == modname:
+            graph.module_functions[modname][node.name] = qualname
+        for inner in _direct_defs(node.body):
+            declare_function(inner, f"{qualname}.<locals>", None)
+
+    def declare_class(node: ast.ClassDef, prefix: str) -> None:
+        qualname = f"{prefix}.{node.name}"
+        bases: list[str] = []
+        for base in node.bases:
+            base_dotted = dotted_name(base)
+            if base_dotted is not None:
+                bases.append(resolve_dotted(base_dotted, decl.bindings))
+        info = ClassInfo(qualname=qualname, module=modname, bases=tuple(bases))
+        graph.classes.setdefault(qualname, info)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                declare_function(stmt, qualname, info)
+            elif isinstance(stmt, ast.ClassDef):
+                declare_class(stmt, qualname)
+
+    for stmt in decl.sm.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            declare_function(stmt, modname, None)
+        elif isinstance(stmt, ast.ClassDef):
+            declare_class(stmt, modname)
+
+
+def _finalize_hierarchy(graph: CallGraph, decls: Sequence[_ModuleDecls]) -> None:
+    """Canonicalize base names and build the subclass map."""
+    for info in graph.classes.values():
+        canonical_bases: list[str] = []
+        for base in info.bases:
+            resolved = graph.canonical(base)
+            if "." not in resolved:
+                # Bare name: try the declaring module's own namespace.
+                local = f"{info.module}.{resolved}"
+                if local in graph.classes:
+                    resolved = local
+            canonical_bases.append(resolved)
+        info.bases = tuple(canonical_bases)
+        for base in info.bases:
+            if base in graph.classes:
+                graph.subclasses.setdefault(base, set()).add(info.qualname)
+
+
+def _resolve_class_name(graph: CallGraph, decl: _ModuleDecls, dotted: str) -> str | None:
+    """Resolve a type-ish dotted name to a project class qualname."""
+    resolved = graph.canonical(resolve_dotted(dotted, decl.bindings))
+    if resolved in graph.classes:
+        return resolved
+    local = f"{decl.modname}.{resolved}"
+    if "." not in resolved and local in graph.classes:
+        return local
+    return None
+
+
+def _annotation_class(graph: CallGraph, decl: _ModuleDecls, annotation: ast.expr | None) -> str | None:
+    """Project class named by a (possibly Optional/quoted) annotation."""
+    if annotation is None:
+        return None
+    node: ast.expr = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # T | None: prefer the class side.
+        for side in (node.left, node.right):
+            found = _annotation_class(graph, decl, side)
+            if found is not None:
+                return found
+        return None
+    if isinstance(node, ast.Subscript):  # Optional[T] / list[T]: look inside
+        return _annotation_class(graph, decl, node.slice)
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    return _resolve_class_name(graph, decl, dotted)
+
+
+def _infer_attr_types(graph: CallGraph, decl: _ModuleDecls) -> None:
+    """Approximate ``self.<attr>`` types from assignments and annotations."""
+    for qualname, (node, cls_qual) in decl.function_nodes.items():
+        if cls_qual is None:
+            continue
+        info = graph.classes.get(cls_qual)
+        if info is None:
+            continue
+        param_types = _parameter_types(graph, decl, node)
+        for stmt in ast.walk(node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            inferred = _annotation_class(graph, decl, annotation)
+            if inferred is None and value is not None:
+                inferred = _value_class(graph, decl, value, param_types)
+            if inferred is not None:
+                info.attr_types.setdefault(attr, set()).add(inferred)
+
+    # Class-body annotations (`store: VolumeStore`) count too.
+    for info in graph.classes.values():
+        if info.module != decl.modname:
+            continue
+        cls_node = _class_node(decl, info.qualname)
+        if cls_node is None:
+            continue
+        for stmt in cls_node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                inferred = _annotation_class(graph, decl, stmt.annotation)
+                if inferred is not None:
+                    info.attr_types.setdefault(stmt.target.id, set()).add(inferred)
+
+
+def _class_node(decl: _ModuleDecls, qualname: str) -> ast.ClassDef | None:
+    """Find the ClassDef node for a class declared in this module."""
+    suffix = qualname[len(decl.modname) + 1 :] if qualname.startswith(decl.modname + ".") else None
+    if not suffix:
+        return None
+    parts = suffix.split(".")
+    body: Sequence[ast.stmt] = decl.sm.tree.body
+    node: ast.ClassDef | None = None
+    for part in parts:
+        node = None
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == part:
+                node = stmt
+                body = stmt.body
+                break
+        if node is None:
+            return None
+    return node
+
+
+def _value_class(
+    graph: CallGraph,
+    decl: _ModuleDecls,
+    value: ast.expr,
+    param_types: dict[str, str],
+) -> str | None:
+    """Class qualname a value expression constructs or forwards."""
+    if isinstance(value, ast.Call):
+        call_dotted = dotted_name(value.func)
+        if call_dotted is not None:
+            return _resolve_class_name(graph, decl, call_dotted)
+        return None
+    if isinstance(value, ast.Name):
+        return param_types.get(value.id)
+    return None
+
+
+def _parameter_types(
+    graph: CallGraph, decl: _ModuleDecls, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> dict[str, str]:
+    types: dict[str, str] = {}
+    args = list(node.args.posonlyargs) + list(node.args.args) + list(node.args.kwonlyargs)
+    for arg in args:
+        found = _annotation_class(graph, decl, arg.annotation)
+        if found is not None:
+            types[arg.arg] = found
+    return types
+
+
+def _local_types(
+    graph: CallGraph,
+    decl: _ModuleDecls,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Local variable name -> project class, from ctor calls/annotations."""
+    types = _parameter_types(graph, decl, node)
+    for stmt in _statements_no_nested(node.body):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        annotation: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value, annotation = stmt.target, stmt.value, stmt.annotation
+        if not isinstance(target, ast.Name):
+            continue
+        inferred = _annotation_class(graph, decl, annotation)
+        if inferred is None and value is not None:
+            inferred = _value_class(graph, decl, value, types)
+        if inferred is not None:
+            types[target.id] = inferred
+    return types
+
+
+def _statements_no_nested(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _with_lock_name(item: ast.withitem) -> str | None:
+    context = item.context_expr
+    if isinstance(context, ast.Call):
+        context = context.func  # `with self._lock.acquire_timeout():` style
+    dotted = dotted_name(context)
+    if dotted is not None and looks_like_lock(dotted):
+        return dotted
+    return None
+
+
+def _collect_calls(
+    graph: CallGraph,
+    decl: _ModuleDecls,
+    qualname: str,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls_qual: str | None,
+) -> None:
+    local_types = _local_types(graph, decl, node)
+    sites: list[CallSite] = []
+    await_sites: list[AwaitSite] = []
+
+    def visit(current: ast.AST, lock: str | None, awaited: bool) -> None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            # `async with` guards with asyncio primitives, which park the
+            # coroutine, not the loop thread — only sync `with` regions
+            # count as held-lock context.
+            inner_lock = lock
+            for item in current.items:
+                visit(item.context_expr, lock, False)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, lock, False)
+                if isinstance(current, ast.With):
+                    lock_name = _with_lock_name(item)
+                    if lock_name is not None:
+                        inner_lock = lock_name
+            for stmt in current.body:
+                visit(stmt, inner_lock, False)
+            return
+        if isinstance(current, ast.Await):
+            await_sites.append(
+                AwaitSite(
+                    caller=qualname,
+                    relpath=decl.sm.relpath,
+                    lineno=current.lineno,
+                    lock_context=lock,
+                )
+            )
+            visit(current.value, lock, True)
+            return
+        if isinstance(current, ast.Call):
+            sites.append(_resolve_call(graph, decl, qualname, cls_qual, current, lock, awaited, local_types))
+            for child in ast.iter_child_nodes(current):
+                if child is not current.func or not isinstance(child, (ast.Name, ast.Attribute)):
+                    visit(child, lock, False)
+            return
+        for child in ast.iter_child_nodes(current):
+            visit(child, lock, False)
+
+    for stmt in node.body:
+        visit(stmt, None, False)
+    graph.calls[qualname] = sites
+    graph.awaits[qualname] = await_sites
+
+
+def _call_blocking_arg(call: ast.Call) -> bool:
+    """Does an ``acquire()``-style call block (no ``blocking=False``)?"""
+    for arg in call.args[:1]:
+        if isinstance(arg, ast.Constant) and arg.value in (False, 0):
+            return False
+    for keyword in call.keywords:
+        if keyword.arg == "blocking" and isinstance(keyword.value, ast.Constant):
+            if keyword.value.value in (False, 0):
+                return False
+    return True
+
+
+def _make_site(
+    decl: _ModuleDecls,
+    qualname: str,
+    call: ast.Call,
+    lock: str | None,
+    awaited: bool,
+    *,
+    targets: Iterable[str] = (),
+    external: str | None = None,
+    attr: str | None = None,
+    receiver: str | None = None,
+) -> CallSite:
+    return CallSite(
+        caller=qualname,
+        relpath=decl.sm.relpath,
+        lineno=call.lineno,
+        col=call.col_offset,
+        targets=tuple(sorted(set(targets))),
+        external=external,
+        attr=attr,
+        receiver=receiver,
+        awaited=awaited,
+        blocking_arg=_call_blocking_arg(call),
+        lock_context=lock,
+    )
+
+
+def _resolve_call(
+    graph: CallGraph,
+    decl: _ModuleDecls,
+    qualname: str,
+    cls_qual: str | None,
+    call: ast.Call,
+    lock: str | None,
+    awaited: bool,
+    local_types: dict[str, str],
+) -> CallSite:
+    func = call.func
+
+    # `super().method()` -> dispatch up the hierarchy only.
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "super"
+        and cls_qual is not None
+    ):
+        info = graph.classes.get(cls_qual)
+        targets: list[str] = []
+        if info is not None:
+            for base in info.bases:
+                targets.extend(graph.resolve_method(base, func.attr))
+        return _make_site(
+            decl, qualname, call, lock, awaited, targets=targets, attr=func.attr, receiver="super()"
+        )
+
+    if isinstance(func, ast.Name):
+        name = func.id
+        nested = f"{qualname}.<locals>.{name}"
+        if nested in graph.functions:
+            return _make_site(decl, qualname, call, lock, awaited, targets=(nested,))
+        module_fn = graph.module_functions.get(decl.modname, {}).get(name)
+        if module_fn is not None:
+            return _make_site(decl, qualname, call, lock, awaited, targets=(module_fn,))
+        resolved = graph.canonical(resolve_dotted(name, decl.bindings))
+        if resolved in graph.functions:
+            return _make_site(decl, qualname, call, lock, awaited, targets=(resolved,))
+        if resolved in graph.classes:
+            ctor = graph.resolve_method(resolved, "__init__")
+            return _make_site(
+                decl, qualname, call, lock, awaited, targets=ctor, external=resolved
+            )
+        return _make_site(decl, qualname, call, lock, awaited, external=resolved)
+
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        receiver = func.value
+        receiver_dotted = dotted_name(receiver)
+
+        # self.method() / self.attr.method()
+        if receiver_dotted is not None and cls_qual is not None:
+            if receiver_dotted == "self":
+                targets = list(graph.resolve_method(cls_qual, attr))
+                if targets:
+                    return _make_site(
+                        decl, qualname, call, lock, awaited, targets=targets,
+                        attr=attr, receiver=receiver_dotted,
+                    )
+                return _make_site(
+                    decl, qualname, call, lock, awaited, attr=attr, receiver=receiver_dotted
+                )
+            head, _, rest = receiver_dotted.partition(".")
+            if head == "self" and rest and "." not in rest:
+                attr_classes: set[str] = set()
+                for ancestor in graph._ancestors(cls_qual):
+                    ancestor_info = graph.classes.get(ancestor)
+                    if ancestor_info is not None:
+                        attr_classes.update(ancestor_info.attr_types.get(rest, ()))
+                targets = []
+                for attr_cls in attr_classes:
+                    targets.extend(graph.resolve_method(attr_cls, attr))
+                if targets:
+                    return _make_site(
+                        decl, qualname, call, lock, awaited, targets=targets,
+                        attr=attr, receiver=receiver_dotted,
+                    )
+
+        # local/parameter with an inferred project type
+        if isinstance(receiver, ast.Name) and receiver.id in local_types:
+            targets = list(graph.resolve_method(local_types[receiver.id], attr))
+            if targets:
+                return _make_site(
+                    decl, qualname, call, lock, awaited, targets=targets,
+                    attr=attr, receiver=receiver.id,
+                )
+
+        if receiver_dotted is not None:
+            resolved = graph.canonical(resolve_dotted(receiver_dotted, decl.bindings))
+            # ClassName.method (unbound/static reference)
+            if resolved in graph.classes:
+                targets = list(graph.resolve_method(resolved, attr))
+                if targets:
+                    return _make_site(
+                        decl, qualname, call, lock, awaited, targets=targets,
+                        attr=attr, receiver=receiver_dotted,
+                    )
+            # module.function through an import alias
+            full = graph.canonical(f"{resolved}.{attr}")
+            if full in graph.functions:
+                return _make_site(decl, qualname, call, lock, awaited, targets=(full,))
+            if full in graph.classes:
+                ctor = graph.resolve_method(full, "__init__")
+                return _make_site(
+                    decl, qualname, call, lock, awaited, targets=ctor, external=full
+                )
+            # external dotted call (time.sleep, os.fsync, sock.recv, ...)
+            return _make_site(
+                decl, qualname, call, lock, awaited,
+                external=full if "." in resolved or resolved in decl.bindings.values() else None,
+                attr=attr, receiver=receiver_dotted,
+            )
+
+        # receiver is an arbitrary expression: unresolved attribute call
+        return _make_site(decl, qualname, call, lock, awaited, attr=attr)
+
+    return _make_site(decl, qualname, call, lock, awaited)

@@ -49,3 +49,4 @@ __all__ = [
 def load_builtin_rules() -> None:
     """Import every built-in rule module (idempotent via the registry)."""
     from . import aio, api, determinism, locks, resources, telemetry  # noqa: F401
+    from ..flow import rules as flow_rules  # noqa: F401

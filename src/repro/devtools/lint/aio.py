@@ -27,7 +27,7 @@ from collections.abc import Iterable, Iterator
 from .astutil import (
     annotate_parents,
     dotted_name,
-    import_map,
+    name_bindings,
     parent_of,
     resolved_call_name,
     walk_body,
@@ -105,7 +105,11 @@ class AioBlockingCallRule(ModuleRule):
     )
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
-        imports = import_map(module.tree)
+        # Full name-binding resolution (not just import aliases): catches
+        # `import time as t; t.sleep(...)`, `from time import sleep`,
+        # relative imports, and module-level aliases like
+        # `_sleep = time.sleep`.
+        imports = name_bindings(module.tree, package=module.package)
         annotate_parents(module.tree)
         for coroutine, inner in _async_bodies(module.tree):
             if not isinstance(inner, ast.Call):

@@ -1,4 +1,4 @@
-"""Small AST helpers shared by the rule modules."""
+"""Small AST helpers shared by the rule modules and the flow layer."""
 
 from __future__ import annotations
 
@@ -7,7 +7,9 @@ from collections.abc import Iterator
 
 __all__ = [
     "import_map",
+    "name_bindings",
     "dotted_name",
+    "resolve_dotted",
     "resolved_call_name",
     "annotate_parents",
     "walk_body",
@@ -37,6 +39,67 @@ def import_map(tree: ast.Module) -> dict[str, str]:
     return table
 
 
+def _resolve_relative(module_part: str | None, level: int, package: str | None) -> str | None:
+    """Absolute module named by ``from <dots><module_part> import ...``.
+
+    *package* is the importing module's package (``repro.httpwire.aio``
+    for ``repro.httpwire.aio.server``).  None when it cannot be resolved.
+    """
+    if level == 0:
+        return module_part
+    if package is None:
+        return None
+    parts = package.split(".")
+    if level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (level - 1)]
+    if module_part:
+        base.append(module_part)
+    return ".".join(base) if base else None
+
+
+def name_bindings(tree: ast.Module, package: str | None = None) -> dict[str, str]:
+    """:func:`import_map` extended with name-binding resolution.
+
+    Beyond plain and aliased imports this also resolves:
+
+    * relative imports (``from . import journal``), when *package* — the
+      importing module's package — is supplied;
+    * module-level single-target aliases of dotted names
+      (``_sleep = time.sleep``), folded through the table in source
+      order so chains of aliases resolve.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    table[alias.name.partition(".")[0]] = alias.name.partition(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            resolved_module = _resolve_relative(node.module, node.level, package)
+            if resolved_module is None:
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                table[bound] = f"{resolved_module}.{alias.name}"
+    for stmt in tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        dotted = dotted_name(value)
+        if dotted is None:
+            continue
+        table[target.id] = resolve_dotted(dotted, table)
+    return table
+
+
 def dotted_name(node: ast.expr) -> str | None:
     """Render ``a.b.c`` attribute/name chains; None for anything else."""
     parts: list[str] = []
@@ -50,21 +113,28 @@ def dotted_name(node: ast.expr) -> str | None:
     return None
 
 
+def resolve_dotted(dotted: str, bindings: dict[str, str]) -> str:
+    """Resolve the head of a dotted name through a binding table."""
+    head, _, rest = dotted.partition(".")
+    resolved_head = bindings.get(head)
+    if resolved_head is None:
+        return dotted
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
 def resolved_call_name(node: ast.Call, imports: dict[str, str]) -> str | None:
     """The fully-qualified name a call resolves to, through import aliases.
 
     ``now()`` after ``from time import time as now`` resolves to
     ``time.time``; ``dt.datetime.now()`` after ``import datetime as dt``
-    resolves to ``datetime.datetime.now``.
+    resolves to ``datetime.datetime.now``.  Pass a
+    :func:`name_bindings` table to additionally resolve module-level
+    aliases like ``_sleep = time.sleep``.
     """
     dotted = dotted_name(node.func)
     if dotted is None:
         return None
-    head, _, rest = dotted.partition(".")
-    resolved_head = imports.get(head)
-    if resolved_head is None:
-        return dotted
-    return f"{resolved_head}.{rest}" if rest else resolved_head
+    return resolve_dotted(dotted, imports)
 
 
 def annotate_parents(tree: ast.AST) -> None:

@@ -18,9 +18,11 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import os
 import re
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from pathlib import Path
 
 from .policy import Policy
@@ -44,7 +46,12 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s-]+)\]")
 
 @dataclass(frozen=True, slots=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Interprocedural rules attach *evidence*: the call chain that
+    establishes the violation, as ``path:line`` frames ordered from the
+    entry point down to the offending operation.
+    """
 
     rule: str
     family: str
@@ -53,16 +60,26 @@ class Finding:
     col: int
     message: str
     snippet: str = ""
+    evidence: tuple[str, ...] = ()
 
     def fingerprint(self) -> str:
-        """Line-number-independent identity used by the baseline."""
+        """Line-number-independent identity used by the baseline.
+
+        The digest covers only the rule and the offending line's text —
+        never the path — so a fingerprint survives repo relocation; the
+        repo-relative path scopes it as a plain prefix.
+        """
         digest = hashlib.sha256(
-            f"{self.path}|{self.rule}|{self.snippet.strip()}".encode()
+            f"{self.rule}|{self.snippet.strip()}".encode()
         ).hexdigest()
         return f"{self.path}:{self.rule}:{digest[:16]}"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        if not self.evidence:
+            return head
+        frames = "\n".join(f"    {frame}" for frame in self.evidence)
+        return f"{head}\n{frames}"
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -73,6 +90,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "fingerprint": self.fingerprint(),
+            "evidence": list(self.evidence),
         }
 
 
@@ -82,18 +100,52 @@ class SourceModule:
     def __init__(self, root: Path, path: Path, source: str, tree: ast.Module) -> None:
         self.root = root
         self.path = path
-        self.relpath = path.relative_to(root).as_posix()
+        try:
+            self.relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            # Outside the root (explicit path argument): still produce a
+            # relative path so fingerprints stay relocation-stable.
+            self.relpath = Path(os.path.relpath(path, root)).as_posix()
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
         self._suppressions = self._parse_suppressions()
 
+    @property
+    def module_name(self) -> str:
+        """Dotted module name derived from the repo-relative path.
+
+        ``src/repro/httpwire/aio/server.py`` -> ``repro.httpwire.aio.server``;
+        ``__init__`` segments are dropped so packages name themselves.
+        """
+        parts = list(Path(self.relpath).parts)
+        if parts and parts[0] in ("src", "lib"):
+            parts = parts[1:]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(part for part in parts if part)
+
+    @property
+    def package(self) -> str | None:
+        """The module's containing package (itself, for ``__init__``)."""
+        name = self.module_name
+        if not name:
+            return None
+        if self.relpath.endswith("__init__.py"):
+            return name
+        return name.rsplit(".", 1)[0] if "." in name else None
+
     def _parse_suppressions(self) -> dict[int, frozenset[str]]:
-        """Map line number -> rule ids allowed on that line.
+        """Map line number -> rule patterns allowed on that line.
 
         A standalone ``# repro: allow[...]`` comment covers the next
-        non-blank line as well, so multi-line statements can carry the
-        waiver above themselves.
+        code line as well (skipping blanks and further comments), so
+        multi-line statements can carry the waiver above themselves.
+        When that next code line is a decorator, coverage extends
+        through the decorator stack to the ``def``/``class`` line the
+        finding actually anchors on.
         """
         table: dict[int, set[str]] = {}
         for number, text in enumerate(self.lines, start=1):
@@ -104,17 +156,42 @@ class SourceModule:
             table.setdefault(number, set()).update(rules)
             if text.lstrip().startswith("#"):
                 # Standalone comment: extend to the following code line.
-                for follower in range(number + 1, len(self.lines) + 1):
-                    if self.lines[follower - 1].strip():
-                        table.setdefault(follower, set()).update(rules)
+                follower = number + 1
+                while follower <= len(self.lines):
+                    stripped = self.lines[follower - 1].strip()
+                    if stripped and not stripped.startswith("#"):
                         break
+                    follower += 1
+                while follower <= len(self.lines):
+                    stripped = self.lines[follower - 1].strip()
+                    table.setdefault(follower, set()).update(rules)
+                    if not stripped.startswith("@"):
+                        break
+                    # Decorated statement: keep walking down to the
+                    # def/class line (covering decorator continuation
+                    # lines on the way).
+                    follower += 1
+                    while follower <= len(self.lines):
+                        next_stripped = self.lines[follower - 1].strip()
+                        if next_stripped.startswith(("def ", "async def", "class ", "@")):
+                            break
+                        table.setdefault(follower, set()).update(rules)
+                        follower += 1
         return {line: frozenset(rules) for line, rules in table.items()}
 
     def is_suppressed(self, line: int, rule: str) -> bool:
+        """True when *rule* is waived on *line*.
+
+        Patterns may be exact rule ids, ``*``, or globs over rule ids
+        (``aio-*`` waives the whole family).
+        """
         allowed = self._suppressions.get(line)
         if allowed is None:
             return False
-        return rule in allowed or "*" in allowed
+        return any(
+            pattern == rule or pattern == "*" or fnmatchcase(rule, pattern)
+            for pattern in allowed
+        )
 
     def line_text(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -122,7 +199,12 @@ class SourceModule:
         return ""
 
     def finding(
-        self, rule: "Rule", node: ast.AST | None, message: str, line: int | None = None
+        self,
+        rule: "Rule",
+        node: ast.AST | None,
+        message: str,
+        line: int | None = None,
+        evidence: Sequence[str] = (),
     ) -> Finding:
         """Build a Finding anchored at *node* (or an explicit line)."""
         at_line = line if line is not None else getattr(node, "lineno", 1)
@@ -135,15 +217,22 @@ class SourceModule:
             col=col + 1,
             message=message,
             snippet=self.line_text(at_line),
+            evidence=tuple(evidence),
         )
 
 
 class Rule:
-    """Base interface; concrete rules subclass ModuleRule or ProjectRule."""
+    """Base interface; concrete rules subclass ModuleRule or ProjectRule.
+
+    Rules marked ``interprocedural`` are whole-program passes over the
+    flow layer's call graph; they only run when ``run_lint`` is invoked
+    with ``interprocedural=True`` (``repro lint --interprocedural``).
+    """
 
     id: str = ""
     family: str = ""
     description: str = ""
+    interprocedural: bool = False
 
 
 class ModuleRule(Rule):
@@ -180,21 +269,55 @@ def registered_rules() -> list[Rule]:
 
 @dataclass(slots=True)
 class Baseline:
-    """Committed set of grandfathered finding fingerprints."""
+    """Committed set of grandfathered finding fingerprints.
+
+    Fingerprints are keyed by repo-relative path, so a committed
+    baseline survives the repository being checked out anywhere.
+    Legacy entries that carry an absolute path (written by older
+    versions, or by runs with an absolute ``--root``) are migrated on
+    load: the path component is rewritten relative to the repo root and
+    ``migrated`` counts how many entries changed, so callers can
+    persist the rewritten file.
+    """
 
     fingerprints: frozenset[str] = frozenset()
+    migrated: int = 0
+
+    @staticmethod
+    def _split_fingerprint(entry: str) -> tuple[str, str, str] | None:
+        """``path:rule:digest`` components, or None for malformed entries."""
+        head, sep, digest = entry.rpartition(":")
+        if not sep:
+            return None
+        path, sep, rule = head.rpartition(":")
+        if not sep:
+            return None
+        return path, rule, digest
 
     @classmethod
-    def load(cls, path: Path) -> "Baseline":
+    def load(cls, path: Path, root: Path | None = None) -> "Baseline":
         data = json.loads(path.read_text(encoding="utf-8"))
-        return cls(fingerprints=frozenset(data.get("fingerprints", ())))
+        anchor = (root if root is not None else path.parent).resolve()
+        entries: set[str] = set()
+        migrated = 0
+        for entry in data.get("fingerprints", ()):
+            parts = cls._split_fingerprint(str(entry))
+            if parts is not None:
+                entry_path, rule, digest = parts
+                if Path(entry_path).is_absolute():
+                    relative = Path(os.path.relpath(entry_path, anchor)).as_posix()
+                    entries.add(f"{relative}:{rule}:{digest}")
+                    migrated += 1
+                    continue
+            entries.add(str(entry))
+        return cls(fingerprints=frozenset(entries), migrated=migrated)
 
     @classmethod
     def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
         return cls(fingerprints=frozenset(f.fingerprint() for f in findings))
 
     def save(self, path: Path) -> None:
-        payload = {"version": 1, "fingerprints": sorted(self.fingerprints)}
+        payload = {"version": 2, "fingerprints": sorted(self.fingerprints)}
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     def matches(self, finding: Finding) -> bool:
@@ -289,9 +412,11 @@ def _parse_modules(
 
 
 def _iter_raw_findings(
-    modules: Sequence[SourceModule], policy: Policy, rules: Sequence[Rule]
+    modules: Sequence[SourceModule],
+    policy: Policy,
+    rules: Sequence[Rule],
+    by_path: Mapping[str, SourceModule],
 ) -> Iterator[tuple[Finding, SourceModule | None]]:
-    by_path = {module.relpath: module for module in modules}
     for rule in rules:
         if isinstance(rule, ModuleRule):
             for module in modules:
@@ -307,6 +432,25 @@ def _iter_raw_findings(
                 yield finding, by_path.get(finding.path)
 
 
+def _frame_suppressed(
+    finding: Finding, by_path: Mapping[str, SourceModule]
+) -> bool:
+    """True when any evidence frame carries a waiver for the rule.
+
+    An interprocedural finding is a whole call chain; allowing the rule
+    on *any* frame of that chain (e.g. at the documented fsync-under-
+    lock site in the durability journal) waives every chain through it.
+    """
+    for frame in finding.evidence:
+        frame_path, _, frame_line = frame.rpartition(":")
+        module = by_path.get(frame_path)
+        if module is None or not frame_line.isdigit():
+            continue
+        if module.is_suppressed(int(frame_line), finding.rule):
+            return True
+    return False
+
+
 def run_lint(
     root: Path,
     paths: Sequence[Path] | None = None,
@@ -314,23 +458,41 @@ def run_lint(
     policy: Policy | None = None,
     baseline: Baseline | None = None,
     rules: Sequence[Rule] | None = None,
+    interprocedural: bool = False,
 ) -> LintReport:
-    """Lint *paths* (default: src/ + benchmarks/) under repo *root*."""
+    """Lint *paths* (default: src/ + benchmarks/) under repo *root*.
+
+    With ``interprocedural=True`` the whole-program flow passes (call
+    graph construction plus the ``flow-*`` rules) run in addition to
+    the per-module rules; they are skipped by default because graph
+    construction is noticeably slower than single-file checks.
+    """
     from . import load_builtin_rules
     from .policy import DEFAULT_POLICY
 
     load_builtin_rules()
     active_policy = policy if policy is not None else DEFAULT_POLICY
-    active_rules = list(rules) if rules is not None else registered_rules()
+    if rules is not None:
+        active_rules = list(rules)
+    else:
+        active_rules = [
+            rule
+            for rule in registered_rules()
+            if interprocedural or not rule.interprocedural
+        ]
 
     report = LintReport()
     files = collect_files(root, paths)
     modules = _parse_modules(root, files, report)
     report.files_checked = len(modules)
+    by_path = {module.relpath: module for module in modules}
 
     kept: list[Finding] = []
-    for finding, module in _iter_raw_findings(modules, active_policy, active_rules):
+    for finding, module in _iter_raw_findings(modules, active_policy, active_rules, by_path):
         if module is not None and module.is_suppressed(finding.line, finding.rule):
+            report.suppressed += 1
+            continue
+        if finding.evidence and _frame_suppressed(finding, by_path):
             report.suppressed += 1
             continue
         if baseline is not None and baseline.matches(finding):

@@ -14,7 +14,11 @@ to the subtree where that property must hold:
 * ``telemetry`` — metric-registration hygiene everywhere instruments are
   registered (library source and benchmarks);
 * ``aio`` — event-loop hygiene (no blocking calls in coroutines) for the
-  asyncio wire stack.
+  asyncio wire stack;
+* ``flow`` — whole-program interprocedural passes (transitive blocking
+  reachability, lock-held-across-blocking, determinism taint) over the
+  library source; these see every file so call chains resolve across
+  package boundaries.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from dataclasses import dataclass
 
 __all__ = ["Policy", "DEFAULT_POLICY", "FAMILIES"]
 
-FAMILIES = ("determinism", "locks", "resources", "api", "telemetry", "aio")
+FAMILIES = ("determinism", "locks", "resources", "api", "telemetry", "aio", "flow")
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,5 +68,6 @@ DEFAULT_POLICY = Policy(
         ("api", ("src/repro",)),
         ("telemetry", ("src/repro", "benchmarks")),
         ("aio", ("src/repro/httpwire/aio", "src/repro/httpmodel/aio.py")),
+        ("flow", ("src/repro",)),
     )
 )

@@ -195,18 +195,33 @@ class InstrumentedLock:
         return f"<InstrumentedLock {self._name!r} wrapping {self._inner!r}>"
 
 
-def make_lock(name: str) -> threading.Lock | InstrumentedLock:
-    """A ``threading.Lock``, instrumented when REPRO_LOCKORDER is on."""
+def make_lock(name: str) -> Any:
+    """A ``threading.Lock``, instrumented when REPRO_LOCKORDER is on.
+
+    Composes with the race sanitizer: under ``REPRO_RACE=1`` the result
+    is additionally wrapped in :class:`repro.devtools.racecheck.RaceLock`
+    so one acquisition feeds both detectors.
+    """
+    from . import racecheck
+
+    lock: Any = threading.Lock()
     if enabled():
-        return InstrumentedLock(threading.Lock(), name)
-    return threading.Lock()
+        lock = InstrumentedLock(lock, name)
+    return racecheck.wrap_lock(lock, name)
 
 
-def make_rlock(name: str) -> threading.RLock | InstrumentedLock:
-    """A ``threading.RLock``, instrumented when REPRO_LOCKORDER is on."""
+def make_rlock(name: str) -> Any:
+    """A ``threading.RLock``, instrumented when REPRO_LOCKORDER is on.
+
+    Same composition as :func:`make_lock`, reentrancy preserved: the
+    race monitor counts holds per name, so nested acquires balance.
+    """
+    from . import racecheck
+
+    lock: Any = threading.RLock()
     if enabled():
-        return InstrumentedLock(threading.RLock(), name)
-    return threading.RLock()
+        lock = InstrumentedLock(lock, name)
+    return racecheck.wrap_lock(lock, name)
 
 
 @contextmanager

@@ -1,0 +1,347 @@
+"""Runtime race sanitizer: lockset tracking for hot shared state.
+
+The static ``flow-*`` passes prove properties about call *chains*; this
+module is their dynamic counterpart for data. When ``REPRO_RACE=1``,
+the shared objects the serving stack mutates from multiple threads —
+piggyback message cache entries, upstream connection pools, metrics
+instruments, volume-store tables — are wrapped in
+:class:`SharedStateProxy`, and every lock built through
+:func:`repro.devtools.lockorder.make_lock` additionally reports to the
+race monitor. Each proxied *write* is then checked Eraser-style:
+
+* while a single thread writes, the object is in its **exclusive**
+  phase and nothing is recorded;
+* the first write from a second thread moves it to **shared** and
+  initializes the candidate lockset to the locks that thread holds;
+* every later write intersects the candidate set with the writer's
+  held locks. When the intersection is empty *and* the write
+  interleaves with a different thread's write, no common lock protects
+  the object — a :class:`RaceError` is raised at the mutation site,
+  naming the object, the operation, and both threads.
+
+Reads are deliberately not checked: a read after ``Thread.join()`` is
+synchronized by the join itself, which lockset analysis cannot see, and
+flagging it would make every test's post-join assertion a false
+positive. Unsynchronized *writes* are what corrupt state, and they are
+exactly what this catches. For the same reason a clean ownership
+handoff (build under one thread, mutate under another, never
+interleaved) stays silent.
+
+When ``REPRO_RACE`` is off, :func:`share` and :func:`wrap_lock` return
+their argument unchanged — zero overhead, identical types.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any
+from collections.abc import Callable, Iterator
+
+__all__ = [
+    "RaceError",
+    "RaceMonitor",
+    "RaceLock",
+    "SharedStateProxy",
+    "enabled",
+    "monitor",
+    "share",
+    "wrap_lock",
+]
+
+_ENV_SWITCH = "REPRO_RACE"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def enabled() -> bool:
+    """True when the environment asks for race instrumentation."""
+    return os.environ.get(_ENV_SWITCH, "").strip().lower() in _TRUTHY
+
+
+class RaceError(RuntimeError):
+    """Two threads mutate shared state with no common lock held."""
+
+    def __init__(
+        self,
+        obj_name: str,
+        operation: str,
+        thread: str,
+        other_thread: str,
+        held: frozenset[str],
+        candidate_was: frozenset[str],
+    ) -> None:
+        self.obj_name = obj_name
+        self.operation = operation
+        self.thread = thread
+        self.other_thread = other_thread
+        self.held = held
+        self.candidate_was = candidate_was
+        super().__init__(
+            f"unsynchronized write {obj_name}.{operation} from thread "
+            f"{thread!r} (interleaving with {other_thread!r}): no common "
+            f"lock protects the object — this thread holds "
+            f"{sorted(held) or '{}'}, previous writers shared "
+            f"{sorted(candidate_was) or '{}'}"
+        )
+
+
+class _ObjectState:
+    """Eraser-style per-object phase + candidate lockset."""
+
+    __slots__ = ("name", "guard", "owner", "shared", "candidate", "last_writer")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.guard = threading.Lock()
+        self.owner: int | None = None
+        self.shared = False
+        self.candidate: frozenset[str] | None = None
+        self.last_writer: int | None = None
+
+
+class RaceMonitor:
+    """Per-thread counted locksets plus per-object write checking."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    # -- lockset bookkeeping (driven by RaceLock) --------------------------
+
+    def _held(self) -> dict[str, int]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = {}
+            self._local.held = held
+        return held
+
+    def note_acquired(self, name: str) -> None:
+        held = self._held()
+        held[name] = held.get(name, 0) + 1
+
+    def note_released(self, name: str) -> None:
+        held = self._held()
+        count = held.get(name, 0)
+        if count <= 1:
+            held.pop(name, None)
+        else:
+            held[name] = count - 1
+
+    def lockset(self) -> frozenset[str]:
+        """Names of the locks the calling thread currently holds."""
+        return frozenset(self._held())
+
+    # -- write checking ----------------------------------------------------
+
+    def check_write(self, state: _ObjectState, operation: str) -> None:
+        """Record one write to *state*'s object; raise on a lockset race."""
+        ident = threading.get_ident()
+        locks = self.lockset()
+        with state.guard:
+            if state.owner is None:
+                state.owner = ident
+            if not state.shared:
+                if ident == state.owner:
+                    state.last_writer = ident
+                    return
+                # Second thread: the object is shared from now on. The
+                # transition write itself never raises — Thread.start()
+                # orders it after the builder's writes (a clean handoff),
+                # and lockset analysis cannot see that edge. A real race
+                # trips on the next interleaved write instead.
+                state.shared = True
+                state.candidate = locks
+                state.last_writer = ident
+                return
+            else:
+                assert state.candidate is not None
+                state.candidate = state.candidate & locks
+                previous, state.last_writer = state.last_writer, ident
+                interleaved = previous is not None and previous != ident
+            if state.candidate:
+                return  # a common lock still protects every writer
+            if not interleaved:
+                # A single thread kept writing after a clean handoff —
+                # only an *interleaving* unlocked write is a race.
+                return
+            other = "?" if previous is None else _thread_name(previous)
+            raise RaceError(
+                obj_name=state.name,
+                operation=operation,
+                thread=threading.current_thread().name,
+                other_thread=other,
+                held=locks,
+                candidate_was=state.candidate if state.candidate is not None else frozenset(),
+            )
+
+
+def _thread_name(ident: int) -> str:
+    for thread in threading.enumerate():
+        if thread.ident == ident:
+            return thread.name
+    return f"thread-{ident}"
+
+
+_MONITOR = RaceMonitor()
+
+
+def monitor() -> RaceMonitor:
+    """The process-wide monitor shared by every proxy and race lock."""
+    return _MONITOR
+
+
+class RaceLock:
+    """Wraps any lock-shaped object, reporting holds to the race monitor.
+
+    Composes with the lock-order layer: ``make_lock`` builds
+    ``RaceLock(InstrumentedLock(threading.Lock()))`` when both switches
+    are on, so one acquisition feeds both detectors.
+    """
+
+    __slots__ = ("_inner", "_name", "_monitor")
+
+    def __init__(self, inner: Any, name: str, mon: RaceMonitor | None = None) -> None:
+        self._inner = inner
+        self._name = name
+        self._monitor = mon if mon is not None else _MONITOR
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got: bool = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor.note_acquired(self._name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.note_released(self._name)
+
+    def __enter__(self) -> "RaceLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked: bool = self._inner.locked()
+        return locked
+
+    def __repr__(self) -> str:
+        return f"<RaceLock {self._name!r} wrapping {self._inner!r}>"
+
+
+# Mutating methods across the container types the serving stack shares
+# (dict, OrderedDict, list, set, deque). Calling any of these through a
+# proxy counts as a write.
+_WRITE_METHODS = frozenset(
+    {
+        "pop",
+        "popitem",
+        "popleft",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+
+class SharedStateProxy:
+    """Transparent wrapper that reports container mutations as writes.
+
+    Read paths (``[]``, ``in``, ``len``, iteration, non-mutating
+    methods) forward without recording, so the proxy never flags
+    join-synchronized reads and costs nothing on the read-mostly hot
+    paths.
+    """
+
+    __slots__ = ("_inner", "_state", "_monitor")
+
+    def __init__(self, inner: Any, name: str, mon: RaceMonitor | None = None) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_state", _ObjectState(name))
+        object.__setattr__(self, "_monitor", mon if mon is not None else _MONITOR)
+
+    # -- write dunders --
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._monitor.check_write(self._state, "__setitem__")
+        self._inner[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        self._monitor.check_write(self._state, "__delitem__")
+        del self._inner[key]
+
+    # -- read dunders (plain forwards) --
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._inner[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._inner)
+
+    def __bool__(self) -> bool:
+        return bool(self._inner)
+
+    def __eq__(self, other: object) -> bool:
+        return bool(self._inner == other)
+
+    def __ne__(self, other: object) -> bool:
+        return bool(self._inner != other)
+
+    def __hash__(self) -> int:  # proxies are identity-hashed, like locks
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return f"<SharedStateProxy {self._state.name!r} around {self._inner!r}>"
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if name in _WRITE_METHODS and callable(attr):
+            mon: RaceMonitor = self._monitor
+            state: _ObjectState = self._state
+            bound: Callable[..., Any] = attr
+
+            def checked(*args: Any, **kwargs: Any) -> Any:
+                mon.check_write(state, name)
+                return bound(*args, **kwargs)
+
+            return checked
+        return attr
+
+
+def share(obj: Any, name: str) -> Any:
+    """Wrap *obj* for race checking when ``REPRO_RACE`` is on.
+
+    Call sites pass the container they are about to share across
+    threads; with the switch off the object is returned unchanged, so
+    the wiring has zero cost in production configurations.
+    """
+    if enabled():
+        return SharedStateProxy(obj, name)
+    return obj
+
+
+def wrap_lock(lock: Any, name: str) -> Any:
+    """Wrap an existing lock so holds feed the race monitor when on."""
+    if enabled():
+        return RaceLock(lock, name)
+    return lock

@@ -29,6 +29,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..devtools.lockorder import make_lock
+from ..devtools.racecheck import share
 from ..core.protocol import NOT_FOUND, OK, ProxyRequest, ServerResponse
 from ..httpmodel.dates import format_http_date, parse_http_date
 from ..httpmodel.headers import Headers
@@ -153,10 +154,12 @@ class HttpUpstream:
         self.policy = policy
         self.stats = UpstreamStats()
         self._sleep = sleep
-        self._bodies: dict[str, bytes] = {}
+        self._bodies: dict[str, bytes] = share({}, "HttpUpstream._bodies")
         # host -> [(connection, idle_since)] with the freshest at the tail
         # (LIFO reuse); idle_since is a monotonic clock reading.
-        self._pools: dict[str, list[tuple[HttpConnection, float]]] = {}
+        self._pools: dict[str, list[tuple[HttpConnection, float]]] = share(
+            {}, "HttpUpstream._pools"
+        )
         self._lock = make_lock("HttpUpstream._lock")
 
     # Body side table ----------------------------------------------------

@@ -259,6 +259,12 @@ class JournaledVolumeStore(VolumeStore):
     # -- write-ahead mutations ------------------------------------------
 
     def observe(self, record: LogRecord) -> None:
+        # Write-ahead contract: the observation must be durable (journal
+        # append + fsync) *before* the in-memory apply becomes visible,
+        # and both must happen under the store lock so a concurrent
+        # snapshot never sees state the journal cannot replay.  The
+        # fsync-under-lock chain this creates is deliberate.
+        # repro: allow[flow-lock-across-blocking]
         self._journal.append_observation(record)
         self._inner.observe(record)
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, replace
 from ..core.filters import ProxyFilter
 from ..core.piggyback import PiggybackMessage
 from ..devtools.lockorder import make_lock
+from ..devtools.racecheck import share
 from ..telemetry import REGISTRY
 
 __all__ = [
@@ -106,7 +107,9 @@ class PiggybackMessageCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: OrderedDict[CacheKey, CachedPiggyback] = OrderedDict()
+        self._entries: OrderedDict[CacheKey, CachedPiggyback] = share(
+            OrderedDict(), "PiggybackMessageCache._entries"
+        )
         self._lock = make_lock("PiggybackMessageCache._lock")
         self._hits = 0
         self._misses = 0

@@ -37,6 +37,7 @@ from types import TracebackType
 from typing import Union
 
 from ..devtools.lockorder import InstrumentedLock, make_lock
+from ..devtools.racecheck import share
 
 __all__ = [
     "Counter",
@@ -389,7 +390,9 @@ class MetricsRegistry:
             make_lock("MetricsRegistry._stripe") for _ in range(stripes)
         )
         self._registry_lock = make_lock("MetricsRegistry._registry_lock")
-        self._instruments: dict[str, Instrument] = {}
+        self._instruments: dict[str, Instrument] = share(
+            {}, "MetricsRegistry._instruments"
+        )
 
     # -- gate --------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..core.filters import CandidateElement
 from ..core.piggyback import MAX_VOLUME_ID
+from ..devtools import racecheck
 from ..traces.records import LogRecord
 
 __all__ = ["VolumeIdAllocator", "VolumeLookup", "VolumeVersion", "VolumeStore"]
@@ -163,7 +164,9 @@ class VolumeStore(ABC):
             with _LOCK_CREATION_GUARD:
                 existing = getattr(self, "_store_lock", None)
                 if existing is None:
-                    existing = threading.RLock()
+                    existing = racecheck.wrap_lock(
+                        threading.RLock(), f"{type(self).__name__}.lock"
+                    )
                     self._store_lock = existing
         return existing
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from .. import urls
 from ..core.filters import CandidateElement
+from ..devtools.racecheck import share
 from ..traces.records import LogRecord
 from .base import VolumeIdAllocator, VolumeLookup, VolumeStore, VolumeVersion
 
@@ -160,12 +161,14 @@ class DirectoryVolumeStore(VolumeStore):
     def __init__(self, config: DirectoryVolumeConfig = DirectoryVolumeConfig()):
         self.config = config
         self._allocator = VolumeIdAllocator()
-        self._volumes: dict[str, _VolumeFifos] = {}
+        self._volumes: dict[str, _VolumeFifos] = share(
+            {}, "DirectoryVolumeStore._volumes"
+        )
         self._touch_counter = 0
         # Per-volume epochs: bumped only on piggyback-visible changes, so a
         # steady request mix over a settled volume keeps its epoch (and any
         # serialized piggyback derived from it) stable.
-        self._epochs: dict[str, int] = {}
+        self._epochs: dict[str, int] = share({}, "DirectoryVolumeStore._epochs")
 
     def volume_key(self, url: str) -> str:
         """The directory prefix defining the volume for *url*."""

@@ -910,4 +910,229 @@ def test_repository_is_lint_clean():
 
 def test_registry_has_all_rule_families():
     families = {rule.family for rule in registered_rules()}
-    assert {"determinism", "locks", "resources", "api", "telemetry", "aio"} <= families
+    assert {
+        "determinism",
+        "locks",
+        "resources",
+        "api",
+        "telemetry",
+        "aio",
+        "flow",
+    } <= families
+
+
+# -- aio alias resolution (name bindings) --------------------------------
+
+
+def test_blocking_sleep_through_bound_name_alias_flagged(tmp_path):
+    # `_sleep = time.sleep` is a module-level name binding, not an
+    # import — it must still resolve to the blocking call.
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        _sleep = time.sleep
+
+        async def handler():
+            _sleep(0.1)
+        """,
+    )
+    assert rule_ids(report) == ["aio-blocking-call"]
+
+
+def test_blocking_sleep_through_alias_chain_flagged(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time as t
+
+        pause = t.sleep
+        nap = pause
+
+        async def handler():
+            nap(0.1)
+        """,
+    )
+    assert rule_ids(report) == ["aio-blocking-call"]
+
+
+def test_relative_import_resolves_through_package(tmp_path):
+    # name_bindings resolves `from .sync import fsync_all` against the
+    # importing module's package, so the flow layer sees project-local
+    # names; the aio rule itself keys on stdlib names and stays clean.
+    from repro.devtools.lint.astutil import name_bindings
+    import ast
+
+    tree = ast.parse("from .sync import fsync_all\nfrom ..core import util\n")
+    bindings = name_bindings(tree, package="repro.httpwire.aio")
+    assert bindings["fsync_all"] == "repro.httpwire.aio.sync.fsync_all"
+    assert bindings["util"] == "repro.httpwire.core.util"
+
+
+# -- baseline relocation --------------------------------------------------
+
+
+def test_baseline_digest_is_path_independent(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    report_a = lint_snippet(tmp_path / "a", "import time\n\ndef f():\n    return time.time()\n")
+    report_b = lint_snippet(tmp_path / "b", "import time\n\ndef f():\n    return time.time()\n")
+    digest_a = report_a.findings[0].fingerprint().rpartition(":")[2]
+    digest_b = report_b.findings[0].fingerprint().rpartition(":")[2]
+    assert digest_a == digest_b
+
+
+def test_baseline_migrates_absolute_path_entries(tmp_path):
+    report = lint_snippet(tmp_path, "import time\n\ndef f():\n    return time.time()\n")
+    finding = report.findings[0]
+    relative_fp = finding.fingerprint()
+    path_part, _, tail = relative_fp.partition(":")
+    absolute_fp = f"{tmp_path / path_part}:{tail}"
+
+    baseline_path = tmp_path / "lint-baseline.json"
+    baseline_path.write_text(json.dumps({"fingerprints": [absolute_fp]}), encoding="utf-8")
+
+    baseline = Baseline.load(baseline_path, root=tmp_path)
+    assert baseline.migrated == 1
+    assert baseline.matches(finding)
+
+    # Persisting the migrated baseline writes relocatable entries.
+    baseline.save(baseline_path)
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 2
+    assert payload["fingerprints"] == [relative_fp]
+
+
+def test_baseline_survives_checkout_relocation(tmp_path):
+    # Simulate the repo moving: lint in one root, match in another.
+    snippet = "import time\n\ndef f():\n    return time.time()\n"
+    (tmp_path / "old-checkout").mkdir()
+    (tmp_path / "new-checkout").mkdir()
+    old_report = lint_snippet(tmp_path / "old-checkout", snippet)
+    baseline = Baseline.from_findings(old_report.findings)
+    baseline_path = tmp_path / "old-checkout" / "lint-baseline.json"
+    baseline.save(baseline_path)
+
+    new_report = lint_snippet(tmp_path / "new-checkout", snippet)
+    reloaded = Baseline.load(baseline_path)
+    assert reloaded.matches(new_report.findings[0])
+
+
+# -- policy scoping edge cases -------------------------------------------
+
+
+def test_policy_overlapping_prefixes_apply_once(tmp_path):
+    policy = Policy(
+        scopes=(("determinism", ("src/repro", "src/repro/analysis")),)
+    )
+    # Both prefixes match; the family applies (no double-reporting).
+    assert policy.applies("determinism", "src/repro/analysis/metrics.py")
+    path = tmp_path / "src" / "repro" / "analysis" / "m.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("import time\n\ndef f():\n    return time.time()\n", encoding="utf-8")
+    report = run_lint(tmp_path, [path], policy=policy)
+    assert rule_ids(report) == ["det-wall-clock"]
+
+
+def test_policy_prefix_is_a_path_boundary():
+    policy = Policy(scopes=(("determinism", ("src/repro/analysis",)),))
+    assert policy.applies("determinism", "src/repro/analysis/metrics.py")
+    assert not policy.applies("determinism", "src/repro/analysis2/metrics.py")
+    assert policy.applies("determinism", "src/repro/analysis")
+    assert not policy.applies("determinism", "src/repro/analysis.py")
+
+
+def test_rule_family_glob_suppression(tmp_path):
+    # allow[det-*] waives every determinism rule on the line, but not
+    # other families.
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return time.time()  # repro: allow[det-*]
+        """,
+    )
+    assert report.findings == []
+    assert report.suppressed == 1
+
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return time.time()  # repro: allow[lock-*]
+        """,
+    )
+    assert rule_ids(report) == ["det-wall-clock"]
+
+
+def test_suppression_on_decorated_statement(tmp_path):
+    # A standalone waiver above a decorator stack covers a finding
+    # anchored on any decorator line of the stack.
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        def tag(value):
+            def deco(fn):
+                return fn
+
+            return deco
+
+        # repro: allow[det-wall-clock]
+        @tag(time.time())
+        def stamp():
+            return 0
+        """,
+    )
+    assert report.findings == []
+    assert report.suppressed >= 1
+
+
+def test_standalone_waiver_reaches_def_through_decorators():
+    # Unit-level check: a waiver above the decorator stack extends
+    # through every decorator line down to the def line itself.
+    import ast as ast_mod
+
+    from repro.devtools.lint.engine import SourceModule
+
+    source = textwrap.dedent(
+        """
+        # repro: allow[api-example]
+        @deco_one
+        @deco_two
+        def anchored():
+            pass
+        """
+    ).lstrip()
+    module = SourceModule(
+        Path("/r"), Path("/r/m.py"), source, ast_mod.parse(source)
+    )
+    for line in (2, 3, 4):  # both decorators and the def line
+        assert module.is_suppressed(line, "api-example"), line
+    assert not module.is_suppressed(5, "api-example")
+
+
+def test_suppression_on_multiline_statement(tmp_path):
+    # The waiver above a multi-line statement covers its anchor line
+    # even though the statement continues past it.
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            # repro: allow[det-wall-clock]
+            value = time.time() + sum(
+                [1, 2]
+            )
+            return value
+        """,
+    )
+    assert report.findings == []
+    assert report.suppressed == 1

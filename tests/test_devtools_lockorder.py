@@ -159,6 +159,7 @@ def test_reset_clears_graph(fresh_monitor):
 
 def test_factories_plain_when_disabled(monkeypatch):
     monkeypatch.delenv("REPRO_LOCKORDER", raising=False)
+    monkeypatch.delenv("REPRO_RACE", raising=False)
     assert not enabled()
     assert isinstance(make_lock("x"), type(threading.Lock()))
     assert not isinstance(make_lock("x"), InstrumentedLock)
@@ -167,6 +168,7 @@ def test_factories_plain_when_disabled(monkeypatch):
 
 def test_factories_instrumented_when_enabled(monkeypatch):
     monkeypatch.setenv("REPRO_LOCKORDER", "1")
+    monkeypatch.delenv("REPRO_RACE", raising=False)
     assert enabled()
     lock = make_lock("gate.test.lock")
     rlock = make_rlock("gate.test.rlock")
@@ -174,6 +176,22 @@ def test_factories_instrumented_when_enabled(monkeypatch):
     assert isinstance(rlock, InstrumentedLock)
     assert lock.name == "gate.test.lock"
     # Instrumented locks keep the threading surface the wire stack uses.
+    assert lock.acquire(blocking=False) is True
+    assert lock.locked()
+    lock.release()
+    monitor().reset()
+
+
+def test_factories_compose_race_layer(monkeypatch):
+    from repro.devtools.racecheck import RaceLock
+
+    monkeypatch.setenv("REPRO_LOCKORDER", "1")
+    monkeypatch.setenv("REPRO_RACE", "1")
+    lock = make_lock("gate.test.composed")
+    # RaceLock outermost, lock-order instrumentation inside: one acquire
+    # feeds both detectors.
+    assert isinstance(lock, RaceLock)
+    assert isinstance(lock._inner, InstrumentedLock)
     assert lock.acquire(blocking=False) is True
     assert lock.locked()
     lock.release()
