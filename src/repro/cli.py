@@ -284,6 +284,136 @@ def _fault_schedule(profile: str):
     return plans[profile]
 
 
+def _bind_error(kind: str, exc: OSError, address: str, port: int) -> int:
+    """Print the actionable one-liner for a port collision; re-raise others."""
+    import errno
+
+    if exc.errno != errno.EADDRINUSE:
+        raise exc
+    print(
+        f"{kind}: cannot listen on {address}:{port} — the port is already in "
+        f"use (stop the process bound to it, pick a different --port, or use "
+        f"--port 0 to let the kernel choose a free one)",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _dump_telemetry(path: str) -> None:
+    from .telemetry import REGISTRY, render_json, render_prometheus
+
+    snapshot = REGISTRY.snapshot()
+    rendered = (
+        render_json(snapshot)
+        if path.endswith(".json")
+        else render_prometheus(snapshot)
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(f"telemetry snapshot   {path}")
+
+
+def _print_cluster_report(status: dict) -> float:
+    """Per-shard balance + stickiness section; returns the max/min ratio."""
+    shard_routes = status["shard_routes"]
+    total = max(1, sum(shard_routes))
+    parts = ", ".join(
+        f"s{index} {count / total:.0%} ({count})"
+        for index, count in enumerate(shard_routes)
+    )
+    ratio = max(shard_routes) / max(1, min(shard_routes))
+    sticky = status["sticky"]
+    lookups = max(1, sticky["hits"] + sticky["misses"] + sticky["repins"])
+    routing = status["routing"]
+    print(f"shard balance        {parts}  (max/min {ratio:.2f})")
+    print(f"sticky sessions      pins {sticky['pins']}, "
+          f"hit rate {sticky['hits'] / lookups:.1%} "
+          f"(hits {sticky['hits']}, misses {sticky['misses']}, "
+          f"repins {sticky['repins']})")
+    print(f"health               ejections {routing['ejections']}, "
+          f"readmissions {routing['readmissions']}")
+    print(f"routing snapshot     version {routing['snapshot_version']}, "
+          f"age {routing['snapshot_age_seconds']:.2f}s "
+          f"(ttl {routing['snapshot_ttl']:.1f}s)")
+    print(f"lb retries           {status['retried']} "
+          f"(unroutable {status['unroutable']})")
+    return ratio
+
+
+def _cmd_loadtest_cluster(args: argparse.Namespace) -> int:
+    """Drive an in-process sharded cluster through its LB front tier."""
+    from .httpwire.backends import load_runner
+    from .httpwire.loadgen import LoadConfig
+    from .httpwire.netserver import synthetic_body
+    from .lb.balancer import LbPolicy
+    from .lb.cluster import ClusterConfig, LocalCluster
+
+    if args.telemetry_out or args.telemetry_series:
+        from . import telemetry
+
+        telemetry.enable()
+
+    config = ClusterConfig(
+        shards=args.shards,
+        replicas=args.replicas,
+        pages=args.pages,
+        seed=args.seed,
+        backend=args.backend,
+        max_workers=args.max_workers,
+        idle_timeout=args.idle_timeout,
+        policy=LbPolicy(snapshot_ttl=args.snapshot_ttl),
+    )
+    run = load_runner(args.backend)
+    with LocalCluster(config) as cluster:
+        sizes = cluster.sizes
+
+        def validate(url: str, response) -> bool:
+            if response.status == 200:
+                return response.body == synthetic_body(url, sizes[url])
+            return response.status in (304, 404, 502)
+
+        try:
+            load = LoadConfig(
+                clients=args.clients,
+                requests_per_client=args.requests,
+                mode=args.mode,
+                rate=args.rate,
+                warmup_requests=args.warmup,
+                seed=args.seed,
+                ims_fraction=args.ims_fraction,
+                piggy_filter="maxpiggy=10",
+                keepalive=args.keepalive,
+                max_inflight=args.max_inflight,
+            )
+        except ValueError as exc:
+            print(f"loadtest: {exc}", file=sys.stderr)
+            return 2
+        report = run(
+            cluster.lb.address, cluster.lb.port, cluster.urls, load,
+            validate=validate,
+            flush_path=args.telemetry_series,
+            flush_interval=args.flush_interval,
+        )
+        if args.telemetry_out:
+            _dump_telemetry(args.telemetry_out)
+        print(f"target               cluster "
+              f"({args.shards} shards x {args.replicas} replicas)")
+        print(f"backend              {args.backend}")
+        print(f"keep-alive           {'on' if args.keepalive else 'off'}")
+        print(report.format())
+        ratio = _print_cluster_report(cluster.status())
+    if report.corrupted:
+        return 1
+    if args.balance_within is not None and ratio > args.balance_within:
+        print(
+            f"loadtest: shard balance {ratio:.2f} exceeds "
+            f"--balance-within {args.balance_within:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
@@ -297,6 +427,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     from .server.server import PiggybackServer
     from .volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
     from .workloads.sitegen import SiteConfig, generate_site
+
+    if args.target == "cluster":
+        return _cmd_loadtest_cluster(args)
 
     telemetry_requested = args.telemetry_out or args.telemetry_series
     if telemetry_requested:
@@ -397,17 +530,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             flush_interval=args.flush_interval,
         )
         if args.telemetry_out:
-            from .telemetry import REGISTRY, render_json, render_prometheus
-
-            snapshot = REGISTRY.snapshot()
-            rendered = (
-                render_json(snapshot)
-                if args.telemetry_out.endswith(".json")
-                else render_prometheus(snapshot)
-            )
-            with open(args.telemetry_out, "w", encoding="utf-8") as handle:
-                handle.write(rendered)
-            print(f"telemetry snapshot   {args.telemetry_out}")
+            _dump_telemetry(args.telemetry_out)
 
         keepalive_label = "on" if args.keepalive else "off"
         print(f"target               {args.target} (fault profile: {args.fault})")
@@ -442,9 +565,97 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if report.corrupted == 0 else 1
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _wait_serving(server, max_seconds: float | None) -> None:
+    """Foreground wait loop shared by serve/cluster: until drained,
+    interrupted, or the optional deadline."""
     import time as time_mod
 
+    deadline = (None if max_seconds is None
+                else time_mod.monotonic() + max_seconds)
+    try:
+        while deadline is None or time_mod.monotonic() < deadline:
+            time_mod.sleep(0.05)
+            if server.draining and server.active_workers() == 0:
+                break
+    except KeyboardInterrupt:
+        pass
+
+
+def _parse_backend_specs(specs: list[str]):
+    """``SHARD:HOST:PORT`` triples → BackendSlots with per-shard replicas."""
+    from .lb.routing import BackendSlot
+
+    slots: list[BackendSlot] = []
+    replicas: dict[int, int] = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"bad --backends entry {spec!r} "
+                             f"(expected SHARD:HOST:PORT)")
+        try:
+            shard, port = int(parts[0]), int(parts[2])
+        except ValueError as exc:
+            raise ValueError(f"bad --backends entry {spec!r}: {exc}") from exc
+        replica = replicas.get(shard, 0)
+        replicas[shard] = replica + 1
+        slots.append(BackendSlot(shard, replica, parts[1], port))
+    if not slots:
+        raise ValueError("--lb needs at least one --backends entry")
+    shard_count = max(slot.shard for slot in slots) + 1
+    missing = sorted(set(range(shard_count)) - set(replicas))
+    if missing:
+        raise ValueError(f"shards with no backend: {missing}")
+    return shard_count, slots
+
+
+def _cmd_serve_lb(args: argparse.Namespace) -> int:
+    """Run only the LB front tier against already-running origins."""
+    from .httpwire.backends import lb_server_class
+    from .lb.balancer import LbPolicy
+    from .lb.cluster import _transition_hook
+    from .lb.health import HealthChecker, HealthPolicy
+    from .lb.routing import RoutingTable
+
+    try:
+        shard_count, slots = _parse_backend_specs(args.backends or [])
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    table = RoutingTable(shard_count, slots, snapshot_ttl=args.snapshot_ttl)
+    lb_cls = lb_server_class(args.backend)
+    scale_kwargs = (
+        {} if args.backend == "async" else {"max_workers": args.max_workers}
+    )
+    try:
+        lb = lb_cls(
+            table,
+            address=args.address,
+            port=args.port,
+            policy=LbPolicy(snapshot_ttl=args.snapshot_ttl),
+            site_host=args.host,
+            idle_timeout=args.idle_timeout,
+            **scale_kwargs,
+        )
+    except OSError as exc:
+        return _bind_error("serve", exc, args.address, args.port)
+    checker = HealthChecker(
+        table, HealthPolicy(interval=args.probe_interval),
+        on_transition=_transition_hook(lb),
+    )
+    try:
+        with lb:
+            checker.start()
+            print(f"load balancer on {lb.address}:{lb.port} "
+                  f"({args.backend} backend, {shard_count} shards, "
+                  f"{len(slots)} backends)")
+            sys.stdout.flush()
+            _wait_serving(lb, args.max_seconds)
+    finally:
+        checker.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
     from .httpwire.backends import origin_server_class
     from .server.durability import BufferedAccessLogger, DurableState
     from .server.resources import ResourceStore
@@ -452,8 +663,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .volumes.directory import DirectoryVolumeConfig, DirectoryVolumeStore
     from .workloads.sitegen import SiteConfig, generate_site
 
+    if args.lb:
+        return _cmd_serve_lb(args)
+    if not args.state_dir:
+        print("serve: --state-dir is required (except with --lb)",
+              file=sys.stderr)
+        return 2
+
     site = generate_site(SiteConfig(host=args.host, page_count=args.pages,
-                                    directory_count=6, seed=args.seed))
+                                    directory_count=args.directories,
+                                    max_depth=args.max_depth, seed=args.seed))
     resources = ResourceStore.from_site(site)
     state = DurableState(
         args.state_dir,
@@ -471,16 +690,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         {} if args.backend == "async" else {"max_workers": args.max_workers}
     )
     try:
-        with origin_cls(
-            engine,
-            site_host=args.host,
-            address=args.address,
-            port=args.port,
-            access_logger=logger,
-            durable_state=state,
-            idle_timeout=args.idle_timeout,
-            **scale_kwargs,
-        ) as origin:
+        try:
+            origin = origin_cls(
+                engine,
+                site_host=args.host,
+                address=args.address,
+                port=args.port,
+                access_logger=logger,
+                durable_state=state,
+                idle_timeout=args.idle_timeout,
+                **scale_kwargs,
+            )
+        except OSError as exc:
+            return _bind_error("serve", exc, args.address, args.port)
+        with origin:
             recovery = state.recovery
             print(f"serving {args.host} on {origin.address}:{origin.port} "
                   f"({args.backend} backend)")
@@ -491,15 +714,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"replayed {recovery.replayed_records}, "
                   f"torn tail bytes {recovery.torn_tail_bytes})")
             sys.stdout.flush()
-            deadline = (None if args.max_seconds is None
-                        else time_mod.monotonic() + args.max_seconds)
-            try:
-                while deadline is None or time_mod.monotonic() < deadline:
-                    time_mod.sleep(0.05)
-                    if origin.draining and origin.active_workers() == 0:
-                        break
-            except KeyboardInterrupt:
-                pass
+            _wait_serving(origin, args.max_seconds)
     finally:
         if logger is not None:
             logger.close()
@@ -507,6 +722,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     journal = state.store.journal
     print(f"journal              seq {journal.last_seq} "
           f"({journal.bytes_written} bytes)")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Spawn a sharded origin fleet and serve through the LB front tier."""
+    import time as time_mod
+
+    from .lb.balancer import LbPolicy
+    from .lb.cluster import ClusterConfig, ClusterError, ProcessCluster
+    from .lb.health import HealthPolicy
+
+    config = ClusterConfig(
+        shards=args.shards,
+        replicas=args.replicas,
+        host=args.host,
+        pages=args.pages,
+        seed=args.seed,
+        level=args.level,
+        backend=args.backend,
+        address=args.address,
+        lb_port=args.port,
+        max_workers=args.max_workers,
+        idle_timeout=args.idle_timeout,
+        policy=LbPolicy(snapshot_ttl=args.snapshot_ttl),
+        health=HealthPolicy(interval=args.probe_interval),
+        state_dir=args.state_dir,
+        sync_journal=args.sync,
+    )
+    cluster = ProcessCluster(config)
+    try:
+        try:
+            address, port = cluster.start()
+        except ClusterError as exc:
+            print(f"cluster: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            return _bind_error("cluster", exc, args.address, args.port)
+        print(f"cluster lb on {address}:{port} "
+              f"({args.backend} backend, {args.shards} shards x "
+              f"{args.replicas} replicas)")
+        print(f"state base           {cluster.state_base}")
+        for shard, replica, backend_port, state_dir in cluster.layout():
+            print(f"  shard {shard} replica {replica}   "
+                  f"{config.address}:{backend_port}  {state_dir}")
+        sys.stdout.flush()
+        deadline = (None if args.max_seconds is None
+                    else time_mod.monotonic() + args.max_seconds)
+        try:
+            while deadline is None or time_mod.monotonic() < deadline:
+                time_mod.sleep(0.2)
+                for shard, replica, code in cluster.poll():
+                    print(f"cluster: shard {shard} replica {replica} exited "
+                          f"with code {code}", file=sys.stderr)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        cluster.stop()
     return 0
 
 
@@ -783,8 +1055,20 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest = sub.add_parser(
         "loadtest",
         help="concurrent load against the live wire stack (latency/throughput)")
-    loadtest.add_argument("--target", choices=("origin", "proxy"), default="proxy",
-                          help="hit the origin directly or go through the proxy")
+    loadtest.add_argument("--target", choices=("origin", "proxy", "cluster"),
+                          default="proxy",
+                          help="hit the origin directly, go through the proxy, "
+                               "or drive a sharded cluster through its LB")
+    loadtest.add_argument("--shards", type=int, default=3,
+                          help="cluster shard count (target=cluster)")
+    loadtest.add_argument("--replicas", type=int, default=1,
+                          help="replicas per shard (target=cluster)")
+    loadtest.add_argument("--snapshot-ttl", type=float, default=1.0,
+                          help="LB routing-snapshot TTL in seconds "
+                               "(target=cluster)")
+    loadtest.add_argument("--balance-within", type=float, default=None,
+                          help="fail if per-shard route counts differ by more "
+                               "than this max/min factor (target=cluster)")
     loadtest.add_argument("--backend", choices=("threaded", "async"),
                           default="threaded",
                           help="wire stack: thread-per-connection or event loop")
@@ -828,10 +1112,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run a durable piggyback origin until interrupted")
-    serve.add_argument("--state-dir", required=True,
+        help="run a durable piggyback origin (or, with --lb, a cluster "
+             "front tier) until interrupted")
+    serve.add_argument("--state-dir", default=None,
                        help="state directory (journal, snapshot, meta); "
-                            "created and recovered on start")
+                            "created and recovered on start "
+                            "(required except with --lb)")
+    serve.add_argument("--lb", action="store_true",
+                       help="serve the load-balancer front tier instead of "
+                            "an origin, routing to --backends")
+    serve.add_argument("--backends", nargs="*", default=None,
+                       metavar="SHARD:HOST:PORT",
+                       help="origin backends for --lb; repeat a shard id to "
+                            "add replicas (e.g. 0:127.0.0.1:8081 "
+                            "0:127.0.0.1:8082 1:127.0.0.1:8083)")
+    serve.add_argument("--snapshot-ttl", type=float, default=1.0,
+                       help="LB routing-snapshot TTL in seconds (--lb)")
+    serve.add_argument("--probe-interval", type=float, default=0.5,
+                       help="LB health-probe interval in seconds (--lb)")
     serve.add_argument("--host", default="www.serve.example",
                        help="synthetic site host name")
     serve.add_argument("--address", default="127.0.0.1")
@@ -839,6 +1137,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen port (0 picks a free one)")
     serve.add_argument("--pages", type=int, default=48,
                        help="synthetic site size")
+    serve.add_argument("--directories", type=int, default=6,
+                       help="synthetic site directory count")
+    serve.add_argument("--max-depth", type=int, default=4,
+                       help="synthetic site directory nesting depth")
     serve.add_argument("--level", type=int, default=1,
                        help="directory-volume level")
     serve.add_argument("--seed", type=int, default=0)
@@ -863,6 +1165,43 @@ def build_parser() -> argparse.ArgumentParser:
                        default=False,
                        help="fold the journal into a snapshot on clean exit")
     serve.set_defaults(handler=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="spawn a sharded origin fleet behind the LB front tier")
+    cluster.add_argument("--shards", type=int, default=3)
+    cluster.add_argument("--replicas", type=int, default=1,
+                         help="origin replicas per shard")
+    cluster.add_argument("--state-dir", default=None,
+                         help="base directory for per-shard durable state "
+                              "(default: a fresh temporary directory)")
+    cluster.add_argument("--host", default="www.cluster.example",
+                         help="synthetic site host name")
+    cluster.add_argument("--address", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=0,
+                         help="LB listen port (0 picks a free one)")
+    cluster.add_argument("--pages", type=int, default=48,
+                         help="synthetic site size")
+    cluster.add_argument("--level", type=int, default=1,
+                         help="directory-volume level")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--backend", choices=("threaded", "async"),
+                         default="threaded",
+                         help="wire stack for the LB and every origin")
+    cluster.add_argument("--max-workers", type=int, default=32,
+                         help="worker cap per origin and for the LB")
+    cluster.add_argument("--idle-timeout", type=float, default=None,
+                         help="server-side keep-alive idle reap timeout")
+    cluster.add_argument("--snapshot-ttl", type=float, default=1.0,
+                         help="LB routing-snapshot TTL in seconds")
+    cluster.add_argument("--probe-interval", type=float, default=0.5,
+                         help="health-probe interval in seconds")
+    cluster.add_argument("--max-seconds", type=float, default=None,
+                         help="exit after this many seconds (smoke tests)")
+    cluster.add_argument("--sync", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="fsync each origin journal append")
+    cluster.set_defaults(handler=_cmd_cluster)
     return parser
 
 

@@ -4,7 +4,8 @@ Three whole-program properties that per-file rules structurally cannot
 check, because the offending code is always *somewhere else*:
 
 * ``flow-blocking-reachable`` — no call chain from the event-loop
-  surface (coroutines and protocol callbacks in ``repro.httpwire.aio``)
+  surface (coroutines and protocol callbacks in ``repro.httpwire.aio``
+  and the async LB front tier ``repro.lb.aio``)
   may reach a synchronous sleep/fsync/socket/lock-acquire, at any depth;
 * ``flow-lock-across-blocking`` — a ``with <lock>:`` region must not
   call, at any depth, something that blocks, and a coroutine must not
@@ -66,7 +67,7 @@ SOCKET_ATTRS = frozenset(
     }
 )
 
-_AIO_PREFIX = "repro.httpwire.aio"
+_AIO_PREFIXES = ("repro.httpwire.aio", "repro.lb.aio")
 _PROTOCOL_BASES = ("asyncio.BufferedProtocol", "asyncio.Protocol")
 
 
@@ -206,9 +207,9 @@ class FlowBlockingReachableRule(ProjectRule):
         roots: list[str] = []
         for qualname in sorted(graph.functions):
             info = graph.functions[qualname]
-            if info.is_async and info.module.startswith(_AIO_PREFIX):
+            if info.is_async and info.module.startswith(_AIO_PREFIXES):
                 roots.append(qualname)
-            elif info.cls is not None and info.module.startswith(_AIO_PREFIX):
+            elif info.cls is not None and info.module.startswith(_AIO_PREFIXES):
                 # Sync protocol callbacks (buffer_updated, eof_received,
                 # connection_made, ...) also run on the loop thread.
                 if any(graph.inherits_from(info.cls, base) for base in _PROTOCOL_BASES):

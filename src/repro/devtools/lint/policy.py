@@ -62,12 +62,24 @@ DEFAULT_POLICY = Policy(
         ),
         (
             "locks",
-            ("src/repro/httpwire", "src/repro/proxy", "src/repro/server"),
+            (
+                "src/repro/httpwire",
+                "src/repro/proxy",
+                "src/repro/server",
+                "src/repro/lb",
+            ),
         ),
         ("resources", ("src/repro", "benchmarks")),
         ("api", ("src/repro",)),
         ("telemetry", ("src/repro", "benchmarks")),
-        ("aio", ("src/repro/httpwire/aio", "src/repro/httpmodel/aio.py")),
+        (
+            "aio",
+            (
+                "src/repro/httpwire/aio",
+                "src/repro/httpmodel/aio.py",
+                "src/repro/lb/aio.py",
+            ),
+        ),
         ("flow", ("src/repro",)),
     )
 )

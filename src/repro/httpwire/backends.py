@@ -21,6 +21,7 @@ __all__ = [
     "plain_server_class",
     "proxy_server_class",
     "volume_center_class",
+    "lb_server_class",
     "load_runner",
 ]
 
@@ -74,6 +75,16 @@ def volume_center_class(backend: str):
     from .netcenter import TransparentHttpVolumeCenter
 
     return TransparentHttpVolumeCenter
+
+
+def lb_server_class(backend: str):
+    """The cluster load-balancer front-tier class for *backend*."""
+    _check(backend)
+    if backend == "async":
+        return importlib.import_module("repro.lb.aio").AsyncLbHttpServer
+    from ..lb.balancer import LbHttpServer
+
+    return LbHttpServer
 
 
 def load_runner(backend: str):

@@ -1,0 +1,53 @@
+"""Event-loop frontend for the load balancer.
+
+Same :class:`~repro.lb.balancer.LoadBalancerApp` core as the threaded
+server — routing, stickiness, raw relay, and retry behave identically —
+bolted onto :class:`~repro.httpwire.aio.server.AsyncWireServer`.  The
+forwarder blocks on pooled sync sockets (exactly like the async proxy's
+upstream), so handlers always run offloaded to the executor; the event
+loop only does accept/parse/send.
+"""
+
+from __future__ import annotations
+
+from ..httpwire.aio.server import AsyncWireServer
+from .balancer import LbPolicy, LoadBalancerApp
+from .routing import RoutingTable
+
+__all__ = ["AsyncLbHttpServer"]
+
+
+class AsyncLbHttpServer(LoadBalancerApp, AsyncWireServer):
+    """Asyncio front-tier server sharing the threaded LB's core."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        address: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        policy: LbPolicy | None = None,
+        site_host: str = "origin.example",
+        io_timeout: float = 30.0,
+        idle_timeout: float | None = None,
+        max_connections: int = 20000,
+        executor_workers: int = 32,
+        name: str = "lb",
+    ):
+        AsyncWireServer.__init__(
+            self,
+            address,
+            port,
+            io_timeout=io_timeout,
+            idle_timeout=idle_timeout,
+            max_connections=max_connections,
+            # Forwarding blocks on pooled sync backend sockets.
+            offload_handler=True,
+            executor_workers=executor_workers,
+            name=name,
+        )
+        self._init_lb_app(table, policy=policy, site_host=site_host)
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        AsyncWireServer.stop(self, drain_timeout)
+        self.close_lb()

@@ -1,0 +1,301 @@
+"""Raw-byte relay from origin backends to the front-tier client.
+
+The differential guarantee this subsystem makes — piggyback trailers
+through the LB are *byte-identical* to direct single-origin serving —
+is structural here, not tested-into-existence: the forwarder never
+re-serializes an origin response.  It reads exactly one response off the
+backend socket while capturing the wire bytes (framing-aware: chunked
+bodies including the trailer block, or Content-Length), and hands the
+front tier a :class:`RelayedResponse` whose ``serialize_into`` appends
+those captured bytes verbatim.  Both wire backends send responses solely
+through ``serialize_into`` (``connbase._send`` and the aio server), so
+the subclass override is the only seam needed.
+
+Backend connections are pooled per slot with the same discipline as
+:class:`~repro.httpwire.netproxy.HttpUpstream`: LIFO checkout (keeps the
+warm end warm), idle retirement with sockets closed outside the lock,
+and one fresh-connection retry when a *reused* connection fails — a
+pooled socket the origin closed during idle is indistinguishable from a
+dead origin until a fresh connect answers.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import BinaryIO
+
+from ..devtools.lockorder import make_lock
+from ..devtools.racecheck import share
+from ..httpmodel.headers import Headers
+from ..httpmodel.messages import HttpParseError, HttpResponse
+from .routing import BackendSlot
+
+__all__ = ["BackendError", "Forwarder", "RelayedResponse", "read_raw_response"]
+
+_RETRYABLE = (EOFError, HttpParseError, ConnectionError, BrokenPipeError, OSError)
+
+
+class BackendError(Exception):
+    """A backend failed to produce a response (connect, I/O, or parse).
+
+    Carries the slot so the balancer can eject it passively and retry
+    the request on a surviving replica.
+    """
+
+    def __init__(self, slot: BackendSlot, cause: BaseException):
+        super().__init__(f"backend {slot.key} ({slot.address}:{slot.port}): {cause}")
+        self.slot = slot
+        self.cause = cause
+
+
+class RelayedResponse(HttpResponse):
+    """An origin response whose serialized form is the captured wire bytes.
+
+    The parsed fields (status, headers, trailers) exist for the front
+    tier's bookkeeping — status counters, admin introspection — but
+    serialization bypasses them entirely and replays ``raw``.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(
+        self,
+        raw: bytes,
+        *,
+        status: int,
+        headers: Headers,
+        trailers: Headers,
+        reason: str,
+        version: str,
+    ):
+        super().__init__(
+            status=status,
+            headers=headers,
+            trailers=trailers,
+            reason=reason,
+            version=version,
+        )
+        self.raw = raw
+
+    def serialize_into(self, out: bytearray, chunk_size: int = 4096) -> None:
+        out += self.raw
+
+
+def _read_head(stream: BinaryIO, raw: bytearray) -> bytes:
+    """Read status line + header block, appending the bytes to *raw*."""
+    head = bytearray()
+    while True:
+        line = stream.readline()
+        if not line:
+            if not head:
+                raise EOFError("backend closed before response start")
+            raise HttpParseError("backend closed inside response head")
+        head.extend(line)
+        if line in (b"\r\n", b"\n"):
+            raw.extend(head)
+            return bytes(head)
+
+
+def _read_exact(stream: BinaryIO, count: int, raw: bytearray) -> None:
+    remaining = count
+    while remaining:
+        piece = stream.read(remaining)
+        if not piece:
+            raise HttpParseError("backend closed inside response body")
+        raw.extend(piece)
+        remaining -= len(piece)
+
+
+def _read_chunked(stream: BinaryIO, raw: bytearray) -> Headers:
+    """Consume a chunked body plus trailer block; returns the trailers."""
+    while True:
+        size_line = stream.readline()
+        if not size_line:
+            raise HttpParseError("backend closed inside chunked body")
+        raw.extend(size_line)
+        try:
+            size = int(size_line.split(b";", 1)[0].strip(), 16)
+        except ValueError as exc:
+            raise HttpParseError(f"bad chunk size line {size_line!r}") from exc
+        if size == 0:
+            break
+        _read_exact(stream, size + 2, raw)
+    trailer_block = bytearray()
+    while True:
+        line = stream.readline()
+        if not line:
+            raise HttpParseError("backend closed inside trailer block")
+        raw.extend(line)
+        if line in (b"\r\n", b"\n"):
+            break
+        trailer_block.extend(line)
+    return Headers.parse_block(bytes(trailer_block))
+
+
+def read_raw_response(stream: BinaryIO) -> RelayedResponse:
+    """Read one response, capturing its exact wire bytes for relay."""
+    raw = bytearray()
+    head = _read_head(stream, raw)
+    start_line, _, header_block = head.partition(b"\r\n")
+    try:
+        headers = Headers.parse_block(header_block.rsplit(b"\r\n\r\n", 1)[0])
+    except ValueError as exc:
+        raise HttpParseError(str(exc)) from exc
+    parts = start_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2:
+        raise HttpParseError(f"malformed status line: {start_line!r}")
+    version, status_text = parts[0], parts[1]
+    reason = parts[2] if len(parts) == 3 else ""
+    try:
+        status = int(status_text)
+    except ValueError as exc:
+        raise HttpParseError(f"bad status code {status_text!r}") from exc
+    trailers = Headers()
+    if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+        trailers = _read_chunked(stream, raw)
+    elif status not in (204, 304):
+        length = headers.get("Content-Length")
+        if length is not None:
+            _read_exact(stream, int(length), raw)
+    return RelayedResponse(
+        bytes(raw),
+        status=status,
+        headers=headers,
+        trailers=trailers,
+        reason=reason,
+        version=version,
+    )
+
+
+class _BackendConnection:
+    """One persistent raw-relay connection to a backend."""
+
+    def __init__(self, slot: BackendSlot, timeout: float):
+        self.slot = slot
+        self.sock = socket.create_connection((slot.address, slot.port), timeout=timeout)
+        self.reader: BinaryIO = self.sock.makefile("rb")
+
+    def exchange(self, wire: bytes) -> RelayedResponse:
+        self.sock.sendall(wire)
+        return read_raw_response(self.reader)
+
+    def close(self) -> None:
+        try:
+            self.reader.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Forwarder:
+    """Pooled raw-relay forwarding to backend slots."""
+
+    def __init__(
+        self,
+        *,
+        timeout: float = 10.0,
+        pool_size: int = 32,
+        idle_timeout: float = 30.0,
+    ):
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self.idle_timeout = idle_timeout
+        self._lock = make_lock("Forwarder._lock")
+        self._pools: dict[str, list[tuple[_BackendConnection, float]]] = share(
+            {}, "Forwarder._pools"
+        )
+
+    # -- pool --------------------------------------------------------------
+
+    def _checkout(self, slot: BackendSlot) -> tuple[_BackendConnection, bool]:
+        """A pooled connection (reused=True) or a fresh one (False).
+
+        Expired idlers are collected under the lock but closed outside
+        it; connect for a fresh connection also happens outside the lock.
+        """
+        now = time.monotonic()
+        expired: list[_BackendConnection] = []
+        connection: _BackendConnection | None = None
+        with self._lock:
+            pool = self._pools.get(slot.key, [])
+            while pool:
+                candidate, parked = pool.pop()  # LIFO: most recently used
+                if now - parked > self.idle_timeout:
+                    expired.append(candidate)
+                    continue
+                connection = candidate
+                break
+        for idler in expired:
+            idler.close()
+        if connection is not None:
+            return connection, True
+        return _BackendConnection(slot, self.timeout), False
+
+    def _checkin(self, connection: _BackendConnection) -> None:
+        overflow: _BackendConnection | None = None
+        with self._lock:
+            pool = self._pools.setdefault(connection.slot.key, [])
+            if len(pool) >= self.pool_size:
+                overflow = connection
+            else:
+                pool.append((connection, time.monotonic()))
+        if overflow is not None:
+            overflow.close()
+
+    def discard_backend(self, slot: BackendSlot) -> None:
+        """Close every pooled connection to *slot* (after an ejection)."""
+        with self._lock:
+            parked = self._pools.pop(slot.key, [])
+        for connection, _ in parked:
+            connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            for connection, _ in pool:
+                connection.close()
+
+    def pooled(self) -> int:
+        with self._lock:
+            return sum(len(pool) for pool in self._pools.values())
+
+    # -- forwarding --------------------------------------------------------
+
+    def forward(self, slot: BackendSlot, wire: bytes) -> RelayedResponse:
+        """Send pre-serialized request bytes to *slot*, relay the response.
+
+        A failure on a reused connection gets one fresh-connection retry
+        (the idler may simply have been closed by the origin); a failure
+        on a fresh connection is the backend's fault and surfaces as
+        :class:`BackendError` for the balancer's eject-and-retry logic.
+        """
+        try:
+            connection, reused = self._checkout(slot)
+        except _RETRYABLE as exc:
+            raise BackendError(slot, exc) from exc
+        try:
+            response = connection.exchange(wire)
+        except _RETRYABLE as first:
+            connection.close()
+            if not reused:
+                raise BackendError(slot, first) from first
+            try:
+                connection = _BackendConnection(slot, self.timeout)
+            except _RETRYABLE as exc:
+                raise BackendError(slot, exc) from exc
+            try:
+                response = connection.exchange(wire)
+            except _RETRYABLE as exc:
+                connection.close()
+                raise BackendError(slot, exc) from exc
+        except BaseException:
+            connection.close()
+            raise
+        self._checkin(connection)
+        return response

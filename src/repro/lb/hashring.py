@@ -1,0 +1,80 @@
+"""Consistent hashing of volume partitions onto shards.
+
+The unit of partitioning is not the URL but the *volume key*: the origin
+host plus the top-level directory prefix.  Directory volumes (the
+paper's Section 2.2 construction) group resources by directory, so
+routing every URL under ``host/d3/`` to the same shard means that
+shard's volume store sees the complete access stream for the ``d3``
+volume — its piggyback trailers are byte-identical to what a lone origin
+serving the same partition would emit.  Hashing per-URL instead would
+split one volume's accesses across shards and destroy prediction
+quality.
+
+Classic consistent hashing with virtual nodes keeps the key→shard map
+stable under resharding: growing from N to N+1 shards remaps only
+~1/(N+1) of the keys, so most shards keep their warm volume state.  The
+hash is MD5 (stable across processes and runs — ``hash()`` is salted and
+would re-deal the ring every restart).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["ConsistentHashRing", "partition_key"]
+
+
+def partition_key(url: str) -> str:
+    """The volume key a URL belongs to: host plus top-level directory.
+
+    ``www.x.example/d3/p7.html`` → ``www.x.example/d3``;
+    ``www.x.example/index.html`` and ``www.x.example`` → ``www.x.example``.
+    """
+    host, _, path = url.partition("/")
+    if not path:
+        return host
+    top, separator, _ = path.partition("/")
+    if not separator:
+        # A root-level resource: it belongs to the site-root partition.
+        return host
+    return f"{host}/{top}"
+
+
+def _point(label: str) -> int:
+    """Stable 64-bit ring position for one virtual-node label."""
+    digest = hashlib.md5(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Immutable ring mapping partition keys to shard indices."""
+
+    def __init__(self, shard_count: int, vnodes: int = 64):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shard_count = shard_count
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(shard_count):
+            for vnode in range(vnodes):
+                points.append((_point(f"shard-{shard}:vnode-{vnode}"), shard))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def shard_for_key(self, key: str) -> int:
+        """The shard owning one partition key."""
+        if self.shard_count == 1:
+            return 0
+        position = _point(key)
+        index = bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0  # wrap: past the last point lands on the first
+        return self._shards[index]
+
+    def shard_for_url(self, url: str) -> int:
+        """The shard owning one canonical URL (host/path, no scheme)."""
+        return self.shard_for_key(partition_key(url))

@@ -1,0 +1,148 @@
+"""Active health checking against origin ``/.repro/status`` endpoints.
+
+The balancer's passive ejection (forwarding failure → out of rotation)
+only ever removes backends; this prober is what brings them back.  Each
+round it GETs every slot's status endpoint with a short timeout and
+folds the result into the routing table's consecutive-count thresholds:
+
+* a reachable origin reporting ``"draining": true`` is marked lame-duck
+  — kept out of new routing while its in-flight requests finish;
+* an unreachable or erroring origin accumulates failures toward
+  ejection;
+* an ejected origin that answers ``ok_threshold`` consecutive probes is
+  readmitted (this is the recovery half of the SIGKILL→eject→restart→
+  readmit cycle the fault tests exercise).
+
+Transitions are reported to an optional callback so the owning balancer
+can drop sticky pins and pooled connections for ejected slots — state
+that would otherwise route the next pinned request straight into the
+corpse.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..httpmodel.messages import HttpParseError, HttpRequest
+from ..httpwire.connbase import STATUS_PATH
+from ..httpwire.netclient import fetch_once
+from .routing import BackendSlot, RoutingTable
+
+__all__ = ["HealthChecker", "HealthPolicy"]
+
+_PROBE_ERRORS = (
+    EOFError,
+    HttpParseError,
+    ConnectionError,
+    BrokenPipeError,
+    OSError,
+    TimeoutError,
+    ValueError,
+)
+
+
+@dataclass(slots=True)
+class HealthPolicy:
+    """Probe cadence and hysteresis thresholds."""
+
+    interval: float = 0.5
+    timeout: float = 2.0
+    fail_threshold: int = 2
+    ok_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.fail_threshold < 1 or self.ok_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+
+
+class HealthChecker:
+    """Background prober folding status probes into a routing table."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        policy: HealthPolicy | None = None,
+        *,
+        on_transition: Callable[[BackendSlot, str], None] | None = None,
+    ):
+        self.table = table
+        self.policy = policy or HealthPolicy()
+        self.on_transition = on_transition
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._rounds = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="lb:health", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "HealthChecker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    # -- probing -----------------------------------------------------------
+
+    def probe_once(self) -> None:
+        """One full round: probe every slot and fold the results in."""
+        for slot in self.table.slots:
+            ok, draining = self._probe(slot)
+            transition = self.table.note_probe(
+                slot,
+                ok,
+                draining=draining,
+                fail_threshold=self.policy.fail_threshold,
+                ok_threshold=self.policy.ok_threshold,
+            )
+            if transition is not None and self.on_transition is not None:
+                self.on_transition(slot, transition)
+        self._rounds += 1
+
+    def _probe(self, slot: BackendSlot) -> tuple[bool, bool]:
+        """(reachable-and-sane, draining) for one backend."""
+        request = HttpRequest(method="GET", target=STATUS_PATH)
+        request.headers.set("Host", f"{slot.address}:{slot.port}")
+        request.headers.set("Connection", "close")
+        try:
+            response = fetch_once(
+                slot.address, slot.port, request, timeout=self.policy.timeout
+            )
+            if response.status != 200:
+                return False, False
+            payload = json.loads(response.body.decode("utf-8"))
+        except _PROBE_ERRORS:
+            return False, False
+        return True, bool(payload.get("draining"))
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.probe_once()
+            # Event.wait doubles as the interruptible sleep, so stop()
+            # never waits out a full probe interval.
+            self._stop.wait(self.policy.interval)

@@ -1,0 +1,361 @@
+"""Routing state: backend slots, health marks, and TTL'd snapshots.
+
+The balancer's hot path must not take a lock per request: at high
+concurrency even an uncontended acquire per routing decision shows up,
+and a contended one serializes the whole front tier (SNIPPETS.md §1 —
+moving selection state off the hot path halved p95 at concurrency=50).
+The split here:
+
+* :class:`BackendSlot` — one long-lived object per origin backend,
+  identity-stable across health transitions.  Its inflight gauge and
+  routed counter are guarded by a tiny per-slot lock (never held across
+  I/O), so least-connections scoring reads fresh values without any
+  table-wide coordination.
+* :class:`RoutingSnapshot` — an immutable per-shard view of the healthy
+  replica sets.  Requests read it as one attribute load.
+* :class:`RoutingTable` — the mutable source of truth: health marks from
+  the active prober and from passive forwarding failures.  A version
+  counter plus a snapshot TTL decide when :meth:`current` rebuilds; all
+  rebuilds happen under the table lock, at most one per TTL interval
+  unless health actually changed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from ..devtools.lockorder import make_lock
+from ..telemetry import REGISTRY
+
+__all__ = ["BackendSlot", "RoutingSnapshot", "RoutingTable"]
+
+_TEL_EJECTIONS = REGISTRY.counter(
+    "lb_health_ejections_total",
+    "backends removed from rotation (probe failures or forwarding errors)",
+)
+_TEL_READMISSIONS = REGISTRY.counter(
+    "lb_health_readmissions_total",
+    "ejected backends returned to rotation after passing probes",
+)
+_TEL_SNAPSHOT_AGE = REGISTRY.gauge(
+    "lb_routing_snapshot_age_seconds",
+    "age of the routing-table snapshot when it was last replaced "
+    "(the effective refresh period)",
+)
+
+
+class BackendSlot:
+    """One origin backend: address, identity, and live load counters."""
+
+    __slots__ = (
+        "shard",
+        "replica",
+        "address",
+        "port",
+        "weight",
+        "_lock",
+        "_inflight",
+        "_routed",
+        "_errors",
+    )
+
+    def __init__(
+        self,
+        shard: int,
+        replica: int,
+        address: str,
+        port: int,
+        weight: float = 1.0,
+    ):
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.shard = shard
+        self.replica = replica
+        self.address = address
+        self.port = port
+        self.weight = weight
+        self._lock = make_lock("BackendSlot._lock")
+        self._inflight = 0
+        self._routed = 0
+        self._errors = 0
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by stickiness, health marks, and reports."""
+        return f"s{self.shard}r{self.replica}"
+
+    def __repr__(self) -> str:
+        return f"BackendSlot({self.key} {self.address}:{self.port})"
+
+    # -- load accounting ---------------------------------------------------
+
+    def begin(self) -> None:
+        with self._lock:
+            self._inflight += 1
+            self._routed += 1
+
+    def finish(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def note_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def routed(self) -> int:
+        with self._lock:
+            return self._routed
+
+    @property
+    def errors(self) -> int:
+        with self._lock:
+            return self._errors
+
+    def load_score(self) -> float:
+        """Weighted least-connections score (lower is better)."""
+        with self._lock:
+            inflight = self._inflight
+        return inflight / self.weight
+
+
+class RoutingSnapshot:
+    """Immutable view: healthy, non-draining replicas per shard."""
+
+    __slots__ = ("version", "built", "shards")
+
+    def __init__(
+        self,
+        version: int,
+        built: float,
+        shards: tuple[tuple[BackendSlot, ...], ...],
+    ):
+        self.version = version
+        self.built = built
+        self.shards = shards
+
+    def healthy_count(self) -> int:
+        return sum(len(replicas) for replicas in self.shards)
+
+
+class _Health:
+    """Mutable health mark for one slot (guarded by the table lock)."""
+
+    __slots__ = ("healthy", "draining", "consecutive_failures", "consecutive_oks")
+
+    def __init__(self) -> None:
+        self.healthy = True
+        self.draining = False
+        self.consecutive_failures = 0
+        self.consecutive_oks = 0
+
+
+class RoutingTable:
+    """Source of truth for cluster membership and health."""
+
+    def __init__(
+        self,
+        shard_count: int,
+        slots: list[BackendSlot],
+        *,
+        snapshot_ttl: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if snapshot_ttl < 0:
+            raise ValueError("snapshot_ttl must be non-negative")
+        for slot in slots:
+            if not 0 <= slot.shard < shard_count:
+                raise ValueError(f"slot {slot.key} names shard out of range")
+        self.shard_count = shard_count
+        self.snapshot_ttl = snapshot_ttl
+        self._clock = clock
+        self._lock = make_lock("RoutingTable._lock")
+        self._slots = list(slots)
+        self._health = {slot.key: _Health() for slot in slots}
+        self._version = 1
+        self._ejections = 0
+        self._readmissions = 0
+        self._snapshot = self._build(self._version)
+
+    # -- hot path ----------------------------------------------------------
+
+    def current(self) -> RoutingSnapshot:
+        """The routing snapshot, rebuilt at most once per TTL interval.
+
+        The fast path is one attribute read plus two comparisons; only a
+        stale or out-of-version snapshot pays for the table lock, and
+        whoever loses the race to rebuild simply returns the fresh
+        snapshot built by the winner.
+        """
+        snapshot = self._snapshot
+        if (
+            snapshot.version == self._version
+            and self._clock() - snapshot.built <= self.snapshot_ttl
+        ):
+            return snapshot
+        with self._lock:
+            snapshot = self._snapshot
+            now = self._clock()
+            if snapshot.version == self._version and now - snapshot.built <= self.snapshot_ttl:
+                return snapshot
+            _TEL_SNAPSHOT_AGE.set(now - snapshot.built)
+            rebuilt = self._build(self._version)
+            self._snapshot = rebuilt
+            return rebuilt
+
+    def _build(self, version: int) -> RoutingSnapshot:
+        shards: list[tuple[BackendSlot, ...]] = []
+        for shard in range(self.shard_count):
+            shards.append(
+                tuple(
+                    slot
+                    for slot in self._slots
+                    if slot.shard == shard and self._usable(slot)
+                )
+            )
+        return RoutingSnapshot(version, self._clock(), tuple(shards))
+
+    def _usable(self, slot: BackendSlot) -> bool:
+        health = self._health[slot.key]
+        return health.healthy and not health.draining
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def slots(self) -> tuple[BackendSlot, ...]:
+        with self._lock:
+            return tuple(self._slots)
+
+    def slot_for_key(self, key: str) -> BackendSlot | None:
+        with self._lock:
+            for slot in self._slots:
+                if slot.key == key:
+                    return slot
+        return None
+
+    # -- health transitions ------------------------------------------------
+
+    def eject(self, slot: BackendSlot, *, reason: str = "probe") -> bool:
+        """Remove *slot* from rotation.  True when this call ejected it."""
+        with self._lock:
+            health = self._health[slot.key]
+            if not health.healthy:
+                return False
+            health.healthy = False
+            health.consecutive_oks = 0
+            self._version += 1
+            self._ejections += 1
+        _TEL_EJECTIONS.inc()
+        return True
+
+    def readmit(self, slot: BackendSlot) -> bool:
+        """Return *slot* to rotation.  True when this call readmitted it."""
+        with self._lock:
+            health = self._health[slot.key]
+            if health.healthy:
+                return False
+            health.healthy = True
+            health.consecutive_failures = 0
+            self._version += 1
+            self._readmissions += 1
+        _TEL_READMISSIONS.inc()
+        return True
+
+    def set_draining(self, slot: BackendSlot, draining: bool) -> None:
+        """Mark a backend lame-duck (no new requests; in-flight finish)."""
+        with self._lock:
+            health = self._health[slot.key]
+            if health.draining == draining:
+                return
+            health.draining = draining
+            self._version += 1
+
+    def note_probe(
+        self,
+        slot: BackendSlot,
+        ok: bool,
+        *,
+        draining: bool = False,
+        fail_threshold: int = 2,
+        ok_threshold: int = 2,
+    ) -> str | None:
+        """Fold one active-probe result in; returns the transition if any.
+
+        Thresholds are consecutive counts, so one dropped probe packet
+        does not flap a healthy backend out of rotation.
+        """
+        transition: str | None = None
+        with self._lock:
+            health = self._health[slot.key]
+            if ok:
+                health.consecutive_failures = 0
+                health.consecutive_oks += 1
+                if not health.healthy and health.consecutive_oks >= ok_threshold:
+                    health.healthy = True
+                    self._version += 1
+                    self._readmissions += 1
+                    transition = "readmitted"
+            else:
+                health.consecutive_oks = 0
+                health.consecutive_failures += 1
+                if health.healthy and health.consecutive_failures >= fail_threshold:
+                    health.healthy = False
+                    self._version += 1
+                    self._ejections += 1
+                    transition = "ejected"
+            if ok and health.draining != draining:
+                health.draining = draining
+                self._version += 1
+        if transition == "ejected":
+            _TEL_EJECTIONS.inc()
+        elif transition == "readmitted":
+            _TEL_READMISSIONS.inc()
+        return transition
+
+    def is_healthy(self, slot: BackendSlot) -> bool:
+        with self._lock:
+            return self._health[slot.key].healthy
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, object]:
+        """JSON-shaped health/routing state for the admin namespace."""
+        snapshot = self._snapshot
+        with self._lock:
+            backends = [
+                {
+                    "key": slot.key,
+                    "shard": slot.shard,
+                    "replica": slot.replica,
+                    "address": slot.address,
+                    "port": slot.port,
+                    "weight": slot.weight,
+                    "healthy": self._health[slot.key].healthy,
+                    "draining": self._health[slot.key].draining,
+                    "inflight": slot.inflight,
+                    "routed": slot.routed,
+                    "errors": slot.errors,
+                }
+                for slot in self._slots
+            ]
+            ejections = self._ejections
+            readmissions = self._readmissions
+            version = self._version
+        return {
+            "shards": self.shard_count,
+            "snapshot_ttl": self.snapshot_ttl,
+            "snapshot_version": snapshot.version,
+            "snapshot_age_seconds": max(0.0, self._clock() - snapshot.built),
+            "table_version": version,
+            "ejections": ejections,
+            "readmissions": readmissions,
+            "backends": backends,
+        }

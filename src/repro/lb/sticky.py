@@ -1,0 +1,102 @@
+"""Sticky sessions: pin each client to one replica within its shard.
+
+The origin's RPV suppression state is keyed by proxy identity
+(``X-Proxy-Name``) and lives in exactly one origin process.  If a proxy's
+requests alternated between a shard's replicas, each replica would
+believe the proxy holds none of the volumes the *other* replica already
+piggybacked, and re-send them — correct but wasteful, defeating the
+paper's point.  Pinning ``(client, shard)`` to a replica keeps each
+proxy's suppression state coherent for every partition it talks to.
+
+The table is plain in-memory state behind one small lock (SNIPPETS.md §1:
+sticky lookups are cheap; the thing to keep off the hot path is routing
+*rebuilds*, not pin reads).  Pins are validated against the current
+snapshot on every hit: a pin to an ejected or drained replica is dropped
+and the client re-pinned by least-connections, counted as a repin.
+Capacity is bounded; when full, the oldest pin is evicted (insertion
+order — a proxy population is small and stable, so LRU machinery would
+be dead weight).
+"""
+
+from __future__ import annotations
+
+from ..devtools.lockorder import make_lock
+from ..devtools.racecheck import share
+from .routing import BackendSlot
+
+__all__ = ["StickySessions"]
+
+
+class StickySessions:
+    """Bounded ``(client, shard) -> BackendSlot`` pin table."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = make_lock("StickySessions._lock")
+        self._pins: dict[tuple[str, int], BackendSlot] = share(
+            {}, name="StickySessions._pins"
+        )
+        self._hits = 0
+        self._misses = 0
+        self._repins = 0
+        self._evictions = 0
+
+    def resolve(
+        self,
+        client: str,
+        shard: int,
+        candidates: tuple[BackendSlot, ...],
+    ) -> tuple[BackendSlot | None, bool]:
+        """Return ``(pinned_slot, hit)`` if the pin is still usable.
+
+        A pin pointing outside *candidates* (replica ejected, draining,
+        or removed) is discarded here and counted as a repin; the caller
+        picks a fresh replica and records it with :meth:`pin`.
+        """
+        key = (client, shard)
+        with self._lock:
+            slot = self._pins.get(key)
+            if slot is None:
+                self._misses += 1
+                return None, False
+            if slot in candidates:
+                self._hits += 1
+                return slot, True
+            del self._pins[key]
+            self._repins += 1
+            return None, False
+
+    def pin(self, client: str, shard: int, slot: BackendSlot) -> None:
+        """Record a pin, evicting the oldest entry when at capacity."""
+        key = (client, shard)
+        with self._lock:
+            if key not in self._pins and len(self._pins) >= self.capacity:
+                oldest = next(iter(self._pins))
+                del self._pins[oldest]
+                self._evictions += 1
+            self._pins[key] = slot
+
+    def forget_slot(self, slot: BackendSlot) -> int:
+        """Drop every pin to *slot* (on ejection); returns pins dropped."""
+        with self._lock:
+            stale = [key for key, pinned in self._pins.items() if pinned is slot]
+            for key in stale:
+                del self._pins[key]
+            self._repins += len(stale)
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pins)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "pins": len(self._pins),
+                "hits": self._hits,
+                "misses": self._misses,
+                "repins": self._repins,
+                "evictions": self._evictions,
+            }

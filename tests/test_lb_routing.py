@@ -1,0 +1,309 @@
+"""Unit coverage for the LB building blocks: partitioning, the hash
+ring, routing snapshots and health marks, sticky pins, and the
+raw-relay response reader."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.httpmodel.headers import Headers
+from repro.httpmodel.messages import HttpParseError, HttpResponse
+from repro.lb.forward import RelayedResponse, read_raw_response
+from repro.lb.hashring import ConsistentHashRing, partition_key
+from repro.lb.routing import BackendSlot, RoutingTable
+from repro.lb.sticky import StickySessions
+
+
+class FakeClock:
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def __call__(self):
+        return self.value
+
+
+def make_slots(shards, replicas=1):
+    return [
+        BackendSlot(shard, replica, "127.0.0.1", 9000 + 10 * shard + replica)
+        for shard in range(shards)
+        for replica in range(replicas)
+    ]
+
+
+# -- partition keys --------------------------------------------------------
+
+
+def test_partition_key_host_plus_top_directory():
+    assert partition_key("www.x.example/d3/p7.html") == "www.x.example/d3"
+    assert partition_key("www.x.example/d3/d4/p7.html") == "www.x.example/d3"
+
+
+def test_partition_key_root_resources_map_to_host():
+    assert partition_key("www.x.example/index.html") == "www.x.example"
+    assert partition_key("www.x.example") == "www.x.example"
+
+
+def test_partition_key_groups_a_volume_onto_one_key():
+    keys = {
+        partition_key(f"www.x.example/d1/p{i}.html") for i in range(20)
+    }
+    assert keys == {"www.x.example/d1"}
+
+
+# -- consistent hashing ----------------------------------------------------
+
+
+def test_ring_is_deterministic_across_instances():
+    first = ConsistentHashRing(4)
+    second = ConsistentHashRing(4)
+    keys = [f"host/d{i}" for i in range(200)]
+    assert [first.shard_for_key(k) for k in keys] == [
+        second.shard_for_key(k) for k in keys
+    ]
+
+
+def test_ring_assigns_in_range_and_uses_every_shard():
+    ring = ConsistentHashRing(4)
+    shards = {ring.shard_for_key(f"host/d{i}") for i in range(500)}
+    assert shards == {0, 1, 2, 3}
+
+
+def test_ring_single_shard_short_circuits():
+    ring = ConsistentHashRing(1)
+    assert ring.shard_for_key("anything") == 0
+
+
+def test_ring_reshard_moves_a_minority_of_keys():
+    before = ConsistentHashRing(4)
+    after = ConsistentHashRing(5)
+    keys = [f"host/d{i}" for i in range(1000)]
+    moved = sum(
+        1 for k in keys if before.shard_for_key(k) != after.shard_for_key(k)
+    )
+    # Consistent hashing moves ~1/5 of keys when growing 4 -> 5; plain
+    # modulo hashing would move ~4/5.  Allow generous slack.
+    assert moved < 400
+
+
+def test_ring_validates_arguments():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(0)
+    with pytest.raises(ValueError):
+        ConsistentHashRing(2, vnodes=0)
+
+
+# -- backend slots ---------------------------------------------------------
+
+
+def test_slot_load_accounting_and_score():
+    slot = BackendSlot(0, 0, "127.0.0.1", 9000, weight=2.0)
+    assert slot.load_score() == 0.0
+    slot.begin()
+    slot.begin()
+    assert slot.inflight == 2
+    assert slot.routed == 2
+    assert slot.load_score() == pytest.approx(1.0)
+    slot.finish()
+    assert slot.inflight == 1
+
+
+def test_slot_rejects_nonpositive_weight():
+    with pytest.raises(ValueError):
+        BackendSlot(0, 0, "127.0.0.1", 9000, weight=0.0)
+
+
+# -- routing table ---------------------------------------------------------
+
+
+def test_snapshot_reused_within_ttl_and_rebuilt_after():
+    clock = FakeClock()
+    table = RoutingTable(2, make_slots(2), snapshot_ttl=1.0, clock=clock)
+    first = table.current()
+    clock.value = 0.5
+    assert table.current() is first
+    clock.value = 1.5
+    assert table.current() is not first
+
+
+def test_eject_bumps_version_and_rebuilds_immediately():
+    clock = FakeClock()
+    slots = make_slots(2, replicas=2)
+    table = RoutingTable(2, slots, snapshot_ttl=100.0, clock=clock)
+    before = table.current()
+    assert len(before.shards[0]) == 2
+    assert table.eject(slots[0])
+    after = table.current()
+    assert after is not before
+    assert len(after.shards[0]) == 1
+    assert after.shards[0][0] is slots[1]
+    # double ejection is a no-op
+    assert not table.eject(slots[0])
+
+
+def test_readmit_restores_rotation():
+    slots = make_slots(1, replicas=2)
+    table = RoutingTable(1, slots, snapshot_ttl=0.0)
+    table.eject(slots[0])
+    assert not table.is_healthy(slots[0])
+    assert table.readmit(slots[0])
+    assert table.is_healthy(slots[0])
+    assert len(table.current().shards[0]) == 2
+    assert not table.readmit(slots[0])
+
+
+def test_probe_thresholds_need_consecutive_results():
+    slots = make_slots(1, replicas=1)
+    table = RoutingTable(1, slots, snapshot_ttl=0.0)
+    slot = slots[0]
+    # one failure does not eject
+    assert table.note_probe(slot, False) is None
+    assert table.is_healthy(slot)
+    # an intervening success resets the failure streak
+    assert table.note_probe(slot, True) is None
+    assert table.note_probe(slot, False) is None
+    assert table.note_probe(slot, False) == "ejected"
+    assert not table.is_healthy(slot)
+    # recovery needs two consecutive oks
+    assert table.note_probe(slot, True) is None
+    assert table.note_probe(slot, False) is None
+    assert table.note_probe(slot, True) is None
+    assert table.note_probe(slot, True) == "readmitted"
+    assert table.is_healthy(slot)
+
+
+def test_draining_backend_left_out_of_snapshot():
+    slots = make_slots(1, replicas=2)
+    table = RoutingTable(1, slots, snapshot_ttl=0.0)
+    table.note_probe(slots[0], True, draining=True)
+    snapshot = table.current()
+    assert [s.key for s in snapshot.shards[0]] == [slots[1].key]
+    # recovery: the origin stops reporting draining
+    table.note_probe(slots[0], True, draining=False)
+    assert len(table.current().shards[0]) == 2
+
+
+def test_table_status_shape():
+    slots = make_slots(2, replicas=2)
+    table = RoutingTable(2, slots, snapshot_ttl=5.0)
+    table.eject(slots[0])
+    status = table.status()
+    assert status["shards"] == 2
+    assert status["ejections"] == 1
+    assert len(status["backends"]) == 4
+    ejected = [b for b in status["backends"] if not b["healthy"]]
+    assert [b["key"] for b in ejected] == [slots[0].key]
+
+
+def test_table_validates_slots_and_config():
+    with pytest.raises(ValueError):
+        RoutingTable(0, [])
+    with pytest.raises(ValueError):
+        RoutingTable(1, [BackendSlot(3, 0, "127.0.0.1", 9000)])
+    with pytest.raises(ValueError):
+        RoutingTable(1, make_slots(1), snapshot_ttl=-1.0)
+
+
+# -- sticky sessions -------------------------------------------------------
+
+
+def test_sticky_miss_then_pin_then_hit():
+    slots = make_slots(1, replicas=2)
+    sticky = StickySessions()
+    candidates = tuple(slots)
+    assert sticky.resolve("proxy-a", 0, candidates) == (None, False)
+    sticky.pin("proxy-a", 0, slots[1])
+    assert sticky.resolve("proxy-a", 0, candidates) == (slots[1], True)
+    assert sticky.stats()["hits"] == 1
+
+
+def test_sticky_pin_to_removed_replica_is_dropped():
+    slots = make_slots(1, replicas=2)
+    sticky = StickySessions()
+    sticky.pin("proxy-a", 0, slots[0])
+    survivor_only = (slots[1],)
+    assert sticky.resolve("proxy-a", 0, survivor_only) == (None, False)
+    assert sticky.stats()["repins"] == 1
+
+
+def test_sticky_forget_slot_drops_every_pin():
+    slots = make_slots(2, replicas=1)
+    sticky = StickySessions()
+    sticky.pin("a", 0, slots[0])
+    sticky.pin("b", 0, slots[0])
+    sticky.pin("c", 1, slots[1])
+    assert sticky.forget_slot(slots[0]) == 2
+    assert len(sticky) == 1
+
+
+def test_sticky_capacity_evicts_oldest():
+    slots = make_slots(1)
+    sticky = StickySessions(capacity=2)
+    sticky.pin("a", 0, slots[0])
+    sticky.pin("b", 0, slots[0])
+    sticky.pin("c", 0, slots[0])
+    assert len(sticky) == 2
+    assert sticky.resolve("a", 0, tuple(slots)) == (None, False)
+    assert sticky.resolve("b", 0, tuple(slots))[0] is slots[0]
+    assert sticky.stats()["evictions"] == 1
+
+
+# -- raw response reader ---------------------------------------------------
+
+
+def serialize(response):
+    out = bytearray()
+    response.serialize_into(out)
+    return bytes(out)
+
+
+def test_raw_reader_captures_content_length_response_verbatim():
+    response = HttpResponse(status=200, body=b"hello body")
+    wire = serialize(response)
+    relayed = read_raw_response(io.BytesIO(wire))
+    assert relayed.raw == wire
+    assert relayed.status == 200
+    assert serialize(relayed) == wire
+
+
+def test_raw_reader_captures_chunked_trailers_verbatim():
+    trailers = Headers()
+    trailers.set("P-volume", "v=abc;u=1")
+    response = HttpResponse(status=200, body=b"x" * 5000, trailers=trailers)
+    wire = serialize(response)
+    relayed = read_raw_response(io.BytesIO(wire))
+    assert relayed.raw == wire
+    assert relayed.trailers.get("P-volume") == "v=abc;u=1"
+    assert serialize(relayed) == wire
+
+
+def test_raw_reader_handles_bodiless_statuses():
+    response = HttpResponse(status=304)
+    response.headers.set("Content-Length", "0")
+    wire = serialize(response)
+    relayed = read_raw_response(io.BytesIO(wire))
+    assert relayed.raw == wire
+    assert relayed.status == 304
+
+
+def test_raw_reader_rejects_truncated_body():
+    response = HttpResponse(status=200, body=b"full body bytes")
+    wire = serialize(response)
+    with pytest.raises(HttpParseError):
+        read_raw_response(io.BytesIO(wire[:-4]))
+
+
+def test_raw_reader_eof_on_empty_stream():
+    with pytest.raises(EOFError):
+        read_raw_response(io.BytesIO(b""))
+
+
+def test_relayed_response_serializes_bytes_not_fields():
+    response = HttpResponse(status=200, body=b"payload")
+    wire = serialize(response)
+    relayed = read_raw_response(io.BytesIO(wire))
+    # Mutating parsed fields must not affect what goes on the wire.
+    relayed.headers.set("X-Tampered", "yes")
+    assert serialize(relayed) == wire
+    assert isinstance(relayed, RelayedResponse)
