@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Scale sweep: streaming vs in-memory trace engines, throughput and memory.
+
+For each record-count tier this script generates an internet-scale trace
+straight into the on-disk chunk format, then measures the same analysis
+workload — one pairwise-estimation pass plus a two-config replay (directory
+volumes and probability volumes) — two ways:
+
+* **streaming**: ``open_chunked_trace`` + the chunk-streaming engines;
+  resident state is symbol tables + per-URL columns + live per-client
+  state, independent of record count;
+* **in-memory**: materialize every record into a ``Trace``, compile, and
+  run the array-backed fast engines — memory grows linearly with records.
+
+Each engine runs in its own subprocess so ``ru_maxrss`` isolates its true
+peak; the parent only generates the trace file and compares results.  The
+two paths must produce **bit-identical** metrics (``identical`` per tier);
+the memory claim is that streaming peak RSS stays roughly flat up the
+sweep while in-memory RSS grows with the tier.
+
+Results land in ``BENCH_scale.json``; the committed copy documents the
+full 10k → 10M sweep.  CI reruns a reduced sweep (10k → 500k) and gates:
+
+    python benchmarks/bench_scale_sweep.py \
+        --tiers 10000,100000,500000 --out BENCH_scale.json \
+        --max-slowdown 1.5 --max-streaming-rss-mb 350 --min-inmem-rss-ratio 1.3
+
+The in-memory engine is skipped above ``--inmem-max-records`` (a 10M
+record list would need several GB); the skip is recorded per tier, never
+silent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+SCHEMA_VERSION = 1
+DEFAULT_TIERS = "10000,100000,1000000,10000000"
+
+
+def _workload_spec(records: int, seed: int) -> dict:
+    """The InternetConfig knobs for one tier (deterministic in the tier)."""
+    return {
+        "record_count": records,
+        "origin_count": 120,
+        "client_count": 2_000_000,
+        "sessions_per_second": 2.0,
+        "bot_fraction": 0.05,
+        "seed": seed,
+    }
+
+
+def _run_workload(trace) -> list[str]:
+    """The measured analysis pass; returns a metrics fingerprint."""
+    from repro.analysis.fastreplay import replay_interned_multi
+    from repro.analysis.prediction import ReplayConfig
+    from repro.volumes.directory import DirectoryVolumeConfig
+    from repro.volumes.probability import (
+        PairwiseConfig,
+        build_probability_volumes,
+        estimate_pairwise,
+    )
+
+    # The paper's own state-bounding knobs: same-directory restriction and
+    # sampled counter creation.  Without them, dense crawler traffic makes
+    # pair state quadratic in the window — in BOTH engines — which would
+    # measure the workload's blow-up, not the engines' memory behavior.
+    pairwise = PairwiseConfig(
+        window=30.0, same_directory_level=1, sample_counters=True, seed=1
+    )
+    estimator = estimate_pairwise(trace, pairwise)
+    volumes = build_probability_volumes(estimator, 0.1)
+    metrics = replay_interned_multi(
+        trace,
+        [
+            (DirectoryVolumeConfig(level=1), ReplayConfig(max_elements=10)),
+            (volumes, ReplayConfig(max_elements=10, enable_probability=0.9, seed=7)),
+        ],
+    )
+    fingerprint = [repr(m) for m in metrics]
+    fingerprint.append(f"counters={estimator.counter_count}")
+    return fingerprint
+
+
+def _worker(spec: dict) -> None:
+    """Child-process entry: run one engine, print a JSON result line."""
+    from repro.traces.chunked import open_chunked_trace
+    from repro.traces.records import Trace
+
+    start = time.perf_counter()
+    if spec["mode"] == "streaming":
+        trace = open_chunked_trace(spec["path"])
+        fingerprint = _run_workload(trace)
+    else:
+        disk = open_chunked_trace(spec["path"])
+        records = list(disk.records())
+        trace = Trace(records)
+        fingerprint = _run_workload(trace)
+    seconds = time.perf_counter() - start
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({
+        "seconds": round(seconds, 3),
+        "rss_kb": rss_kb,
+        "fingerprint": fingerprint,
+    }))
+
+
+def _measure(mode: str, path: str) -> dict:
+    spec = json.dumps({"mode": mode, "path": path})
+    proc = subprocess.run(
+        [sys.executable, __file__, "--worker-json", spec],
+        capture_output=True, text=True, check=True,
+    )
+    result = json.loads(proc.stdout.strip().splitlines()[-1])
+    result["rss_mb"] = round(result.pop("rss_kb") / 1024.0, 1)
+    return result
+
+
+def run_sweep(tiers: list[int], inmem_max: int, seed: int, keep_dir: str | None) -> dict:
+    from repro.workloads.internet import InternetConfig, write_internet_trace
+
+    out_tiers = []
+    with tempfile.TemporaryDirectory(dir=keep_dir) as workdir:
+        for records in tiers:
+            path = str(Path(workdir) / f"scale-{records}.rpchunk")
+            spec = _workload_spec(records, seed)
+            start = time.perf_counter()
+            written, chunks = write_internet_trace(InternetConfig(**spec), path)
+            gen_seconds = time.perf_counter() - start
+            file_bytes = Path(path).stat().st_size
+            print(f"[{records:>10}] generated {written} records, {chunks} chunks, "
+                  f"{file_bytes / 1e6:.1f} MB in {gen_seconds:.1f}s", flush=True)
+
+            streaming = _measure("streaming", path)
+            print(f"[{records:>10}] streaming: {streaming['seconds']}s, "
+                  f"{streaming['rss_mb']} MB peak", flush=True)
+
+            tier: dict = {
+                "records": records,
+                "file_bytes": file_bytes,
+                "gen_seconds": round(gen_seconds, 2),
+                "streaming": {k: streaming[k] for k in ("seconds", "rss_mb")},
+                "inmem": None,
+                "identical": None,
+                "inmem_skipped": records > inmem_max,
+            }
+            if records > inmem_max:
+                print(f"[{records:>10}] in-memory engine skipped "
+                      f"(tier above --inmem-max-records={inmem_max})", flush=True)
+            else:
+                inmem = _measure("inmem", path)
+                tier["inmem"] = {k: inmem[k] for k in ("seconds", "rss_mb")}
+                tier["identical"] = inmem["fingerprint"] == streaming["fingerprint"]
+                print(f"[{records:>10}] in-memory: {inmem['seconds']}s, "
+                      f"{inmem['rss_mb']} MB peak, identical={tier['identical']}",
+                      flush=True)
+            Path(path).unlink()
+            out_tiers.append(tier)
+    return {"schema": SCHEMA_VERSION, "workload": "internet", "seed": seed,
+            "tiers": out_tiers}
+
+
+def apply_gates(report: dict, args: argparse.Namespace) -> list[str]:
+    failures = []
+    tiers = report["tiers"]
+    for tier in tiers:
+        if tier["identical"] is False:
+            failures.append(
+                f"{tier['records']}: streaming metrics differ from in-memory")
+    compared = [t for t in tiers if t["inmem"]]
+    if args.max_slowdown is not None and compared:
+        smallest = compared[0]
+        ratio = smallest["streaming"]["seconds"] / smallest["inmem"]["seconds"]
+        if ratio > args.max_slowdown:
+            failures.append(
+                f"{smallest['records']}: streaming {ratio:.2f}x slower than "
+                f"in-memory (limit {args.max_slowdown}x)")
+    if args.max_streaming_rss_mb is not None:
+        for tier in tiers:
+            rss = tier["streaming"]["rss_mb"]
+            if rss > args.max_streaming_rss_mb:
+                failures.append(
+                    f"{tier['records']}: streaming peak RSS {rss} MB over "
+                    f"ceiling {args.max_streaming_rss_mb} MB")
+    if args.min_inmem_rss_ratio is not None and compared:
+        largest = compared[-1]
+        ratio = largest["inmem"]["rss_mb"] / largest["streaming"]["rss_mb"]
+        if ratio < args.min_inmem_rss_ratio:
+            failures.append(
+                f"{largest['records']}: in-memory RSS only {ratio:.2f}x "
+                f"streaming (expected >= {args.min_inmem_rss_ratio}x)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiers", default=DEFAULT_TIERS,
+                        help="comma-separated record counts")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--inmem-max-records", type=int, default=2_000_000,
+                        help="skip the in-memory engine above this tier")
+    parser.add_argument("--max-slowdown", type=float, default=None,
+                        help="gate: streaming/in-memory time ratio at the smallest tier")
+    parser.add_argument("--max-streaming-rss-mb", type=float, default=None,
+                        help="gate: streaming peak RSS ceiling (every tier)")
+    parser.add_argument("--min-inmem-rss-ratio", type=float, default=None,
+                        help="gate: in-memory/streaming RSS ratio at the largest compared tier")
+    parser.add_argument("--workdir", default=None,
+                        help="directory for the temporary chunk files")
+    parser.add_argument("--regate", default=None, metavar="REPORT",
+                        help="re-apply gates to an existing report instead of "
+                             "rerunning the sweep (writes to --out, or in place)")
+    parser.add_argument("--worker-json", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.worker_json is not None:
+        _worker(json.loads(args.worker_json))
+        return 0
+
+    if args.regate:
+        report = json.loads(Path(args.regate).read_text())
+        args.out = args.out or args.regate
+    else:
+        tiers = sorted({int(t) for t in args.tiers.split(",") if t.strip()})
+        report = run_sweep(tiers, args.inmem_max_records, args.seed, args.workdir)
+    failures = apply_gates(report, args)
+    report["gates"] = {
+        "max_slowdown": args.max_slowdown,
+        "max_streaming_rss_mb": args.max_streaming_rss_mb,
+        "min_inmem_rss_ratio": args.min_inmem_rss_ratio,
+        "failures": failures,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed" if (args.max_slowdown or args.max_streaming_rss_mb
+                                 or args.min_inmem_rss_ratio)
+          else "done (no gates requested)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,23 @@ ids, columnar arrays) and interned volume stores, and it can score several
 configuration (trace decoding, volume maintenance) is paid once, and the
 per-configuration scoring state is kept in parallel.
 
-Equivalence contract: for every supported store kind the engine produces
-**bit-identical** :class:`~repro.analysis.metrics.ReplayMetrics` to running
-the reference ``replay()`` serially with a fresh store per configuration —
-including the random-enable pacing RNG streams, RPV suppression decisions,
-and the piggyback byte accounting.  ``tests/test_fastreplay_differential.py``
-enforces this across the preset workloads.
+It also accepts a :class:`~repro.traces.intern.ChunkedCompiledTrace`
+(in-memory chunk list or bound to an on-disk chunk file), in which case the
+pass streams chunk by chunk through the *same* batch kernel: only the
+symbol tables, per-URL columns, and per-source scoring state stay resident
+— O(clients + volumes), never O(records).  At chunk boundaries the driver
+additionally prunes per-source state whose timestamps have aged past every
+configured window (such entries can no longer influence any score), so
+memory tracks the *active* client population on long traces.
+
+Equivalence contract: for every supported store kind, and for both trace
+representations, the engine produces **bit-identical**
+:class:`~repro.analysis.metrics.ReplayMetrics` to running the reference
+``replay()`` serially with a fresh store per configuration — including the
+random-enable pacing RNG streams, RPV suppression decisions, and the
+piggyback byte accounting.  ``tests/test_fastreplay_differential.py`` and
+``tests/test_streaming_differential.py`` enforce this across the preset
+workloads and across chunk sizes.
 
 Two additional rewrites make the per-request cost low:
 
@@ -32,7 +43,7 @@ import random
 
 from ..core.piggyback import VOLUME_ID_BYTES
 from ..core.rpv import RpvList
-from ..traces.intern import CompiledTrace, compile_trace
+from ..traces.intern import ChunkedCompiledTrace, CompiledTrace, compile_trace
 from ..traces.records import Trace
 from ..volumes.interned import (
     ACCESS_COUNT,
@@ -62,6 +73,11 @@ _TEL_REPLAY_CONFIGS = REGISTRY.counter(
 _TEL_REPLAY_PASS_SECONDS = REGISTRY.histogram(
     "analysis_replay_pass_seconds", "wall time of one multi-config replay pass"
 )
+
+#: Streaming drivers prune expired per-source state every this many records.
+#: Pruning is O(live state), so the interval amortizes it to ~nothing while
+#: keeping peak memory tied to the active client population.
+PRUNE_INTERVAL_RECORDS = 1 << 18
 
 
 class IdentityIndex:
@@ -97,12 +113,13 @@ class IdentityIndex:
 class _FastSourceState:
     """Per-source replay state with url-id keys."""
 
-    __slots__ = ("carried", "requested", "pending")
+    __slots__ = ("carried", "requested", "pending", "last_seen")
 
     def __init__(self) -> None:
         self.carried: dict[int, float] = {}
         self.requested: dict[int, float] = {}
         self.pending: dict[int, float] = {}
+        self.last_seen = float("-inf")
 
 
 class _Slot:
@@ -116,7 +133,7 @@ class _Slot:
         "cacheable", "size_sensitive", "message_cache",
     )
 
-    def __init__(self, compiled: CompiledTrace, store, config: ReplayConfig):
+    def __init__(self, compiled, store, config: ReplayConfig):
         self.config = config
         self.store = store
         self.metrics = ReplayMetrics()
@@ -163,23 +180,27 @@ class _Slot:
 
 
 def replay_interned(
-    trace: Trace | CompiledTrace, store_or_config, config: ReplayConfig = ReplayConfig()
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
+    store_or_config,
+    config: ReplayConfig = ReplayConfig(),
 ) -> ReplayMetrics:
     """Replay one configuration on the interned fast path."""
     return replay_interned_multi(trace, [(store_or_config, config)])[0]
 
 
 def replay_interned_multi(
-    trace: Trace | CompiledTrace, entries
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace, entries
 ) -> list[ReplayMetrics]:
     """Score many (store, config) pairs in one pass over *trace*.
 
     ``entries`` is a sequence of ``(store_or_config, ReplayConfig)`` pairs;
     stores may be interned stores, reference stores, or store configs (see
     :func:`repro.volumes.interned.build_interned_store`).  Entries sharing
-    a store object (by identity) share its maintenance work.  Returns one
-    :class:`ReplayMetrics` per entry, in order, bit-identical to the
-    reference engine run serially.
+    a store object (by identity) share its maintenance work.  Passing a
+    :class:`ChunkedCompiledTrace` makes this a bounded-memory streaming
+    pass (chunks are decoded one at a time; results are bit-identical).
+    Returns one :class:`ReplayMetrics` per entry, in order, bit-identical
+    to the reference engine run serially.
     """
     entries = list(entries)
     with _TEL_REPLAY_PASS_SECONDS.time():
@@ -192,7 +213,7 @@ def replay_interned_multi(
 
 
 def _replay_compiled_multi(
-    trace: Trace | CompiledTrace, entries
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace, entries
 ) -> list[ReplayMetrics]:
     compiled = compile_trace(trace)
     slots: list[_Slot] = []
@@ -221,13 +242,52 @@ def _replay_compiled_multi(
         if slot.cacheable and slot.size_sensitive:
             size_watchers.setdefault(store_key, []).append(slot)
 
-    timestamps = compiled.timestamps
-    source_ids = compiled.source_ids
-    url_ids = compiled.url_ids
     wire = compiled.wire_bytes()
     type_ids = compiled.content_type_ids()
 
-    for index in range(len(compiled)):
+    if isinstance(compiled, ChunkedCompiledTrace):
+        since_prune = 0
+        last_time: float | None = None
+        for chunk in compiled.chunks():
+            _replay_batch(
+                slots, stores, size_watchers, wire, type_ids,
+                chunk.timestamps, chunk.source_ids, chunk.url_ids, chunk.sizes,
+            )
+            since_prune += len(chunk)
+            if len(chunk):
+                last_time = chunk.timestamps[-1]
+            if since_prune >= PRUNE_INTERVAL_RECORDS and last_time is not None:
+                _prune_slots(slots, last_time)
+                since_prune = 0
+    else:
+        _replay_batch(
+            slots, stores, size_watchers, wire, type_ids,
+            compiled.timestamps, compiled.source_ids, compiled.url_ids,
+            compiled.sizes,
+        )
+
+    return [slot.metrics for slot in slots]
+
+
+def _replay_batch(
+    slots: list[_Slot],
+    stores: list,
+    size_watchers: dict[int, list[_Slot]],
+    wire: list[int],
+    type_ids: list[int],
+    timestamps,
+    source_ids,
+    url_ids,
+    sizes,
+) -> None:
+    """Score one batch of parallel record columns against every slot.
+
+    This is the whole hot loop: the in-memory path calls it once with the
+    full-trace columns, the streaming path once per chunk.  Both paths run
+    the exact same per-record statements, which is what makes streaming
+    results bit-identical by construction.
+    """
+    for index in range(len(url_ids)):
         now = timestamps[index]
         source = source_ids[index]
         url = url_ids[index]
@@ -261,10 +321,12 @@ def _replay_compiled_multi(
                 pending.pop(url, None)
             carried.pop(url, None)
             state.requested[url] = now
+            state.last_seen = now
 
         # -- 2. volume maintenance (once per distinct store) ---------------
+        size = sizes[index]
         for store_key, store in enumerate(stores):
-            store.observe_index(index)
+            store.observe_id(url, size)
             dirty = getattr(store, "size_dirty", None)
             if dirty:
                 watchers = size_watchers.get(store_key)
@@ -389,7 +451,53 @@ def _replay_compiled_multi(
                     else:
                         pending.pop(element, None)
 
-    return [slot.metrics for slot in slots]
+
+# Rebuilding a pruned dict only pays off once it is big enough to matter.
+_PRUNE_MIN_ENTRIES = 64
+
+
+def _prune_slots(slots: list[_Slot], now: float) -> None:
+    """Reclaim per-source state that can no longer affect any outcome.
+
+    Only the streaming driver calls this (at chunk boundaries).  Every
+    scoring read compares an entry's timestamp against a window —
+    ``carried``/``pending`` against the prediction window, ``requested``
+    against the history window — so entries strictly older than their
+    window answer exactly like absent entries, and whole sources idle past
+    every window can be dropped.  RPV lists self-expire on read
+    (``active_ids`` calls ``expire``), so explicitly expiring one here and
+    dropping it when empty reproduces what the next engine read would have
+    done anyway.  Metrics therefore remain bit-identical to the unpruned
+    in-memory pass; the differential suite covers configurations that
+    exercise every pruned structure.
+    """
+    for slot in slots:
+        horizon = now - max(slot.window, slot.history, slot.recent)
+        history_cutoff = now - slot.history
+        window_cutoff = now - slot.window
+        states = slot.states
+        rpvs = slot.rpvs
+        dead = [source for source, state in states.items() if state.last_seen < horizon]
+        for source in dead:
+            del states[source]
+            rpv = rpvs.get(source)
+            if rpv is not None:
+                rpv.expire(now)
+                if len(rpv) == 0:
+                    del rpvs[source]
+        for state in states.values():
+            requested = state.requested
+            if len(requested) > _PRUNE_MIN_ENTRIES:
+                for url in [u for u, t in requested.items() if t < history_cutoff]:
+                    del requested[url]
+            carried = state.carried
+            if len(carried) > _PRUNE_MIN_ENTRIES:
+                for url in [u for u, t in carried.items() if t < window_cutoff]:
+                    del carried[url]
+            pending = state.pending
+            if len(pending) > _PRUNE_MIN_ENTRIES:
+                for url in [u for u, t in pending.items() if t < window_cutoff]:
+                    del pending[url]
 
 
 def _rpv_for(slot: _Slot, source: int, now: float) -> RpvList | None:

@@ -13,7 +13,11 @@ the fastest applicable engine:
   pool.  The compiled trace and the point list are published as module
   globals before forking, so workers inherit them copy-on-write instead of
   pickling the trace per task; only point indices cross the pipe out and
-  only :class:`ReplayMetrics` cross back.
+  only :class:`ReplayMetrics` cross back.  With a *file-backed*
+  :class:`~repro.traces.intern.ChunkedCompiledTrace` the workers inherit
+  only the symbol tables and per-URL columns; each worker re-opens the
+  chunk file for its own sequential pass, so an n-way sweep over a 10M
+  record trace never holds the records in any process.
 * **reference**: the original serial per-point ``replay()``, kept as the
   semantic baseline (the fast paths are bit-identical to it; the
   differential suite enforces that).
@@ -29,7 +33,7 @@ import os
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from ..traces.intern import CompiledTrace, compile_trace
+from ..traces.intern import ChunkedCompiledTrace, CompiledTrace, compile_trace
 from ..traces.records import Trace
 from ..volumes.directory import DirectoryVolumeConfig
 from ..volumes.probability import (
@@ -131,7 +135,7 @@ def _default_processes() -> int:
 
 
 def run_sweep(
-    trace: Trace | CompiledTrace,
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
     points: Sequence[SweepPoint],
     *,
     engine: str = "fast",
@@ -153,7 +157,7 @@ def run_sweep(
 
 
 def _run_sweep_engine(
-    trace: Trace | CompiledTrace,
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
     points: list[SweepPoint],
     *,
     engine: str,
@@ -190,7 +194,10 @@ def _run_sweep_engine(
 
 
 def _reject_compiled(trace):
-    raise TypeError("the reference engine needs the original Trace, not a CompiledTrace")
+    raise TypeError(
+        "the reference engine needs the original Trace, not a compiled or "
+        "chunked trace"
+    )
 
 
 def _partition_by_store(
@@ -212,7 +219,7 @@ def _partition_by_store(
 
 
 def _run_parallel(
-    compiled: CompiledTrace,
+    compiled: CompiledTrace | ChunkedCompiledTrace,
     points: Sequence[SweepPoint],
     stores: Sequence[object],
     chunks: list[list[int]],
@@ -248,7 +255,7 @@ def _run_parallel(
 
 
 def threshold_sweep(
-    trace: Trace | CompiledTrace,
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
     thresholds: Iterable[float],
     *,
     window: float = 300.0,
@@ -295,7 +302,7 @@ def threshold_sweep(
 
 
 def directory_sweep(
-    trace: Trace | CompiledTrace,
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
     levels: Iterable[int] = (0, 1, 2),
     access_filters: Iterable[int] = (1, 10, 100),
     *,
@@ -336,7 +343,7 @@ def directory_sweep(
 
 
 def rpv_sweep(
-    trace: Trace | CompiledTrace,
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
     levels: Iterable[int] = (0, 1),
     access_filters: Iterable[int] = (10, 50),
     min_gaps: Iterable[float] = (0.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0),

@@ -4,6 +4,8 @@
 
     repro-web generate --preset sun --out sun.log
     repro-web stats --log sun.log --kind server
+    repro-web trace gen --out net.rpchunk --records 1000000
+    repro-web trace stats net.rpchunk --kind client
     repro-web fig1 --preset att_client
     repro-web fig2 --preset aiusa
     repro-web fig6 --preset sun
@@ -107,6 +109,78 @@ def _cmd_stats_telemetry(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    """Generate an internet-scale trace straight into a chunk file."""
+    from .workloads.internet import InternetConfig, write_internet_trace
+
+    config = InternetConfig(
+        record_count=args.records,
+        origin_count=args.origins,
+        client_count=args.clients,
+        sessions_per_second=args.rate,
+        bot_fraction=args.bot_fraction,
+        seed=args.seed,
+    )
+    records, chunks = write_internet_trace(config, args.out, chunk_records=args.chunk_records)
+    import os
+
+    print(
+        f"wrote {records} records in {chunks} chunks to {args.out} "
+        f"({os.path.getsize(args.out)} bytes)"
+    )
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    """Characterize an on-disk chunk file in one streaming pass.
+
+    Unlike ``stats`` (which cleans its input), this reports the raw trace:
+    the chunk file is the artifact under test, byte for byte.
+    """
+    from .traces.chunked import ChunkFileError, open_chunked_trace
+
+    try:
+        trace = open_chunked_trace(args.chunks)
+    except (OSError, ChunkFileError) as exc:
+        print(f"trace stats: {exc}", file=sys.stderr)
+        return 2
+    if args.kind == "server":
+        stats = characterize_server_log(trace)
+        print(f"days                 {stats.days:.1f}")
+        print(f"requests             {stats.requests}")
+        print(f"clients              {stats.clients}")
+        print(f"requests/source      {stats.requests_per_source:.2f}")
+        print(f"unique resources     {stats.unique_resources}")
+        print(f"top-10% req share    {stats.top_decile_request_share:.1%}")
+        print(f"mean response bytes  {stats.mean_response_size:.0f}")
+        print(f"median response bytes {stats.median_response_size:.0f}")
+    else:
+        stats = characterize_client_log(trace)
+        print(f"days                 {stats.days:.1f}")
+        print(f"requests             {stats.requests}")
+        print(f"distinct servers     {stats.distinct_servers}")
+        print(f"unique resources     {stats.unique_resources}")
+        print(f"304 fraction         {stats.not_modified_fraction:.1%}")
+        print(f"mean response bytes  {stats.mean_response_size:.0f}")
+    return 0
+
+
+def _cmd_trace_verify(args: argparse.Namespace) -> int:
+    """Walk every frame of a chunk file, checking CRCs and structure."""
+    from .traces.chunked import ChunkFileError, verify_chunk_file
+
+    try:
+        info = verify_chunk_file(args.chunks)
+    except (OSError, ChunkFileError) as exc:
+        print(f"trace verify: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.chunks}: ok — {info['records']} records, {info['chunks']} chunks, "
+        f"{info['urls']} urls, {info['sources']} sources"
+    )
     return 0
 
 
@@ -959,6 +1033,42 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--require", nargs="*", default=None,
                        help="metric-family prefixes that must be present (exit 1 if not)")
     stats.set_defaults(handler=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="chunked trace files: generate at scale, characterize, verify")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_gen = trace_sub.add_parser(
+        "gen",
+        help="stream a multi-tenant internet-scale trace into a chunk file")
+    trace_gen.add_argument("--out", required=True, help="chunk file to write")
+    trace_gen.add_argument("--records", type=int, default=1_000_000,
+                           help="exact number of records to emit")
+    trace_gen.add_argument("--origins", type=int, default=200,
+                           help="origin server count (each gets its own site)")
+    trace_gen.add_argument("--clients", type=int, default=2_000_000,
+                           help="client population size (Zipf-sampled by rank)")
+    trace_gen.add_argument("--rate", type=float, default=0.25,
+                           help="base session arrivals per second")
+    trace_gen.add_argument("--bot-fraction", type=float, default=0.05,
+                           help="fraction of sessions that are crawler sweeps")
+    trace_gen.add_argument("--chunk-records", type=int, default=65536,
+                           help="records per chunk frame")
+    trace_gen.add_argument("--seed", type=int, default=0)
+    trace_gen.set_defaults(handler=_cmd_trace_gen)
+
+    trace_stats = trace_sub.add_parser(
+        "stats",
+        help="characterize an on-disk chunk file in one streaming pass")
+    trace_stats.add_argument("chunks", help="chunk file to read")
+    trace_stats.add_argument("--kind", choices=("server", "client"), default="server")
+    trace_stats.set_defaults(handler=_cmd_trace_stats)
+
+    trace_verify = trace_sub.add_parser(
+        "verify", help="check every frame CRC and the trailer of a chunk file")
+    trace_verify.add_argument("chunks", help="chunk file to read")
+    trace_verify.set_defaults(handler=_cmd_trace_verify)
 
     for name, handler, help_text in (
         ("fig1", _cmd_fig1, "directory-prefix locality (Figure 1)"),

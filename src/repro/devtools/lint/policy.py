@@ -3,8 +3,9 @@
 Each family guards a different architectural property, so each is scoped
 to the subtree where that property must hold:
 
-* ``determinism`` — the replay substrate (analysis/traces/volumes) that
-  backs the bit-identical fast-vs-reference guarantee;
+* ``determinism`` — the replay substrate (analysis/traces/volumes) and
+  the seeded workload generators that back the bit-identical
+  fast-vs-reference guarantee;
 * ``locks`` — the threaded wire stack (httpwire/proxy/server) whose
   contract is "no blocking I/O under an engine lock, one global order";
 * ``resources`` — everything that creates sockets, files, or threads,
@@ -58,7 +59,12 @@ DEFAULT_POLICY = Policy(
     scopes=(
         (
             "determinism",
-            ("src/repro/analysis", "src/repro/traces", "src/repro/volumes"),
+            (
+                "src/repro/analysis",
+                "src/repro/traces",
+                "src/repro/volumes",
+                "src/repro/workloads",
+            ),
         ),
         (
             "locks",

@@ -1,7 +1,22 @@
 """Trace substrate: log records, parsers, cleaning, and characterization."""
 
 from .records import LogRecord, Trace
-from .intern import CompiledTrace, SymbolTable, compile_trace
+from .intern import (
+    COMPILE_CACHE,
+    ChunkedCompiledTrace,
+    CompileCache,
+    CompiledTrace,
+    SymbolTable,
+    TraceChunk,
+    compile_trace,
+)
+from .chunked import (
+    ChunkFileError,
+    ChunkWriter,
+    open_chunked_trace,
+    verify_chunk_file,
+    write_chunked_trace,
+)
 from .common_log import (
     LogParseError,
     format_record,
@@ -25,7 +40,16 @@ __all__ = [
     "Trace",
     "SymbolTable",
     "CompiledTrace",
+    "TraceChunk",
+    "ChunkedCompiledTrace",
+    "CompileCache",
+    "COMPILE_CACHE",
     "compile_trace",
+    "ChunkFileError",
+    "ChunkWriter",
+    "open_chunked_trace",
+    "verify_chunk_file",
+    "write_chunked_trace",
     "LogParseError",
     "parse_line",
     "parse_lines",

@@ -1,0 +1,393 @@
+"""Compact on-disk chunk format for :class:`ChunkedCompiledTrace`.
+
+Layout (all integers little-endian)::
+
+    file    := HEADER frame* trailer FOOTER
+    HEADER  := b"RPCHUNK1"
+    frame   := b"CHNK" u32(payload_len) u32(crc32) payload
+    trailer := b"TRLR" u32(payload_len) u32(crc32) payload
+    FOOTER  := u64(trailer_byte_offset) b"RPCHKEND"
+
+A chunk frame's payload carries the *new* URL/source/method strings this
+chunk introduced (delta-encoded against the shared symbol tables, so ids
+are assigned in stream order exactly as in-memory compilation assigns
+them) followed by the columnar arrays: timestamps ``d``, source/url ids
+and sizes ``q``, mtimes ``d`` (NaN for absent), statuses ``H``, method
+ids ``B``.  The trailer carries the complete final URL table with
+whole-trace access counts, so readers can install the full URL id space
+*before* streaming the first chunk — that is what keeps one-pass
+streaming consumers (which may need whole-trace access counts, e.g.
+``precount_accesses`` replay configurations) bit-identical to the
+in-memory engines without a second pass.
+
+Every frame is CRC32-protected and the reader fails loudly with the
+damaged byte offset on corruption or truncation (:class:`ChunkFileError`).
+The reader is sequential: :meth:`ChunkedCompiledTrace.chunks` opens a
+fresh file handle per pass and exactly one chunk is resident at a time.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import zlib
+from array import array
+from collections.abc import Iterable, Iterator
+from typing import BinaryIO
+
+from .intern import DEFAULT_CHUNK_RECORDS, ChunkedCompiledTrace, TraceChunk
+from .records import LogRecord
+
+__all__ = [
+    "ChunkFileError",
+    "ChunkWriter",
+    "write_chunked_trace",
+    "open_chunked_trace",
+    "verify_chunk_file",
+]
+
+MAGIC = b"RPCHUNK1"
+END_MAGIC = b"RPCHKEND"
+CHUNK_MARKER = b"CHNK"
+TRAILER_MARKER = b"TRLR"
+
+_FRAME_HEADER = struct.Struct("<4sII")  # marker, payload length, crc32
+_FOOTER = struct.Struct("<Q8s")  # trailer offset, end magic
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+class ChunkFileError(ValueError):
+    """A chunk file is corrupt or truncated.
+
+    ``offset`` is the byte offset of the damage (frame start for CRC
+    mismatches, end of the readable bytes for truncation).
+    """
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(f"{message} (byte offset {offset})")
+        self.offset = offset
+
+
+def _array_bytes(column: array) -> bytes:
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        swapped = array(column.typecode, column)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return column.tobytes()
+
+
+def _array_from(typecode: str, data: bytes) -> array:
+    column = array(typecode)
+    column.frombytes(data)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        column.byteswap()
+    return column
+
+
+def _pack_strings(strings: list[str]) -> bytes:
+    parts = [_U32.pack(len(strings))]
+    for string in strings:
+        encoded = string.encode("utf-8")
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+class _PayloadReader:
+    """Cursor over one frame's payload with truncation-checked reads."""
+
+    __slots__ = ("_view", "_pos", "_base_offset")
+
+    def __init__(self, payload: bytes, base_offset: int) -> None:
+        self._view = memoryview(payload)
+        self._pos = 0
+        self._base_offset = base_offset
+
+    def take(self, count: int, what: str) -> memoryview:
+        end = self._pos + count
+        if end > len(self._view):
+            raise ChunkFileError(
+                f"frame payload too short reading {what}",
+                self._base_offset + len(self._view),
+            )
+        piece = self._view[self._pos:end]
+        self._pos = end
+        return piece
+
+    def u32(self, what: str) -> int:
+        value: int = _U32.unpack(self.take(4, what))[0]
+        return value
+
+    def u64(self, what: str) -> int:
+        value: int = _U64.unpack(self.take(8, what))[0]
+        return value
+
+    def strings(self, what: str) -> list[str]:
+        count = self.u32(f"{what} count")
+        out: list[str] = []
+        for _ in range(count):
+            length = self.u32(f"{what} length")
+            out.append(bytes(self.take(length, what)).decode("utf-8"))
+        return out
+
+
+class ChunkWriter:
+    """Stream records into the on-disk chunk format.
+
+    Owns a :class:`ChunkedCompiledTrace` as its interning context; chunks
+    are flushed every ``chunk_records`` records, and :meth:`close` writes
+    the URL-table trailer and footer.  Usable as a context manager.
+    """
+
+    def __init__(
+        self, path: str, chunk_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> None:
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self.path = path
+        self.chunk_records = chunk_records
+        self.context = ChunkedCompiledTrace()
+        self.chunk_count = 0
+        self._batch: list[LogRecord] = []
+        self._flushed_urls = 0
+        self._flushed_sources = 0
+        self._flushed_methods = 0
+        self._file: BinaryIO | None = open(path, "wb")
+        self._file.write(MAGIC)
+
+    @property
+    def record_count(self) -> int:
+        return self.context.record_count + len(self._batch)
+
+    def append(self, record: LogRecord) -> None:
+        self._batch.append(record)
+        if len(self._batch) >= self.chunk_records:
+            self._flush_batch()
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def _write_frame(self, marker: bytes, payload: bytes) -> None:
+        assert self._file is not None
+        self._file.write(_FRAME_HEADER.pack(marker, len(payload), zlib.crc32(payload)))
+        self._file.write(payload)
+
+    def _flush_batch(self) -> None:
+        if not self._batch:
+            return
+        context = self.context
+        chunk = context.compile_chunk(self._batch)
+        self._batch.clear()
+        new_urls = context.urls.strings[self._flushed_urls:]
+        new_sources = context.sources.strings[self._flushed_sources:]
+        new_methods = context.methods.strings[self._flushed_methods:]
+        self._flushed_urls = len(context.urls)
+        self._flushed_sources = len(context.sources)
+        self._flushed_methods = len(context.methods)
+        payload = b"".join(
+            (
+                _U64.pack(chunk.start),
+                _U32.pack(len(chunk)),
+                _pack_strings(new_urls),
+                _pack_strings(new_sources),
+                _pack_strings(new_methods),
+                _array_bytes(chunk.timestamps),
+                _array_bytes(chunk.source_ids),
+                _array_bytes(chunk.url_ids),
+                _array_bytes(chunk.sizes),
+                _array_bytes(chunk.mtimes),
+                _array_bytes(chunk.statuses),
+                _array_bytes(chunk.method_ids),
+            )
+        )
+        self._write_frame(CHUNK_MARKER, payload)
+        self.chunk_count += 1
+
+    def close(self) -> None:
+        """Flush pending records, write the trailer and footer, close the file."""
+        if self._file is None:
+            return
+        self._flush_batch()
+        context = self.context
+        counts = array("Q", context.url_counts())
+        trailer = b"".join(
+            (
+                _U64.pack(context.record_count),
+                _U32.pack(self.chunk_count),
+                _pack_strings(context.urls.strings),
+                _array_bytes(counts),
+            )
+        )
+        trailer_offset = self._file.tell()
+        self._write_frame(TRAILER_MARKER, trailer)
+        self._file.write(_FOOTER.pack(trailer_offset, END_MAGIC))
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "ChunkWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_chunked_trace(
+    records: Iterable[LogRecord],
+    path: str,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> tuple[int, int]:
+    """Write *records* to *path*; returns (record_count, chunk_count)."""
+    with ChunkWriter(path, chunk_records) as writer:
+        writer.extend(records)
+    return writer.context.record_count, writer.chunk_count
+
+
+def _read_exact(handle: BinaryIO, count: int, offset: int, what: str) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise ChunkFileError(f"truncated chunk file reading {what}", offset + len(data))
+    return data
+
+
+def _read_frame(
+    handle: BinaryIO, offset: int, expect: bytes | None = None
+) -> tuple[bytes, bytes, int]:
+    """Read one frame at *offset*; returns (marker, payload, next_offset)."""
+    header = _read_exact(handle, _FRAME_HEADER.size, offset, "frame header")
+    marker, length, crc = _FRAME_HEADER.unpack(header)
+    if marker not in (CHUNK_MARKER, TRAILER_MARKER):
+        raise ChunkFileError(f"unknown frame marker {marker!r}", offset)
+    if expect is not None and marker != expect:
+        raise ChunkFileError(
+            f"expected {expect!r} frame, found {marker!r}", offset
+        )
+    payload = _read_exact(
+        handle, length, offset + _FRAME_HEADER.size, "frame payload"
+    )
+    if zlib.crc32(payload) != crc:
+        raise ChunkFileError(f"CRC mismatch in {marker!r} frame", offset)
+    return marker, payload, offset + _FRAME_HEADER.size + length
+
+
+def _decode_chunk(
+    payload: bytes, payload_offset: int, context: ChunkedCompiledTrace
+) -> TraceChunk:
+    reader = _PayloadReader(payload, payload_offset)
+    start = reader.u64("chunk start")
+    count = reader.u32("record count")
+    # Delta strings intern in stream order; on re-iteration (or after the
+    # trailer preloaded the URL table) intern() is an idempotent lookup.
+    for url in reader.strings("url delta"):
+        context.urls.intern(url)
+    for source in reader.strings("source delta"):
+        context.sources.intern(source)
+    for method in reader.strings("method delta"):
+        context.methods.intern(method)
+    chunk = TraceChunk(start=start)
+    chunk.timestamps = _array_from("d", bytes(reader.take(8 * count, "timestamps")))
+    chunk.source_ids = _array_from("q", bytes(reader.take(8 * count, "source ids")))
+    chunk.url_ids = _array_from("q", bytes(reader.take(8 * count, "url ids")))
+    chunk.sizes = _array_from("q", bytes(reader.take(8 * count, "sizes")))
+    chunk.mtimes = _array_from("d", bytes(reader.take(8 * count, "mtimes")))
+    chunk.statuses = _array_from("H", bytes(reader.take(2 * count, "statuses")))
+    chunk.method_ids = _array_from("B", bytes(reader.take(count, "method ids")))
+    return chunk
+
+
+def _read_header(handle: BinaryIO) -> None:
+    header = _read_exact(handle, len(MAGIC), 0, "file header")
+    if header != MAGIC:
+        raise ChunkFileError(f"not a chunk file (bad magic {header!r})", 0)
+
+
+def _read_layout(handle: BinaryIO) -> tuple[int, int]:
+    """Validate header/footer; returns (trailer_offset, file_size)."""
+    _read_header(handle)
+    handle.seek(0, 2)
+    size = handle.tell()
+    if size < len(MAGIC) + _FOOTER.size:
+        raise ChunkFileError("chunk file too short for a footer", size)
+    handle.seek(size - _FOOTER.size)
+    trailer_offset, end_magic = _FOOTER.unpack(
+        _read_exact(handle, _FOOTER.size, size - _FOOTER.size, "footer")
+    )
+    if end_magic != END_MAGIC:
+        raise ChunkFileError(
+            f"missing end magic (found {end_magic!r}); file was not finalized",
+            size - _FOOTER.size,
+        )
+    if not len(MAGIC) <= trailer_offset <= size - _FOOTER.size:
+        raise ChunkFileError(
+            f"footer points outside the file (trailer offset {trailer_offset})",
+            size - _FOOTER.size,
+        )
+    return trailer_offset, size
+
+
+def open_chunked_trace(path: str) -> ChunkedCompiledTrace:
+    """Bind a :class:`ChunkedCompiledTrace` to an on-disk chunk file.
+
+    Reads the trailer eagerly (complete URL table + whole-trace access
+    counts + record count) and returns a trace whose :meth:`chunks`
+    re-opens the file and streams frames sequentially, one chunk resident
+    at a time.  Raises :class:`ChunkFileError` on damage, naming the
+    offset.
+    """
+    with open(path, "rb") as handle:
+        trailer_offset, _ = _read_layout(handle)
+        handle.seek(trailer_offset)
+        _, trailer, _ = _read_frame(handle, trailer_offset, expect=TRAILER_MARKER)
+    reader = _PayloadReader(trailer, trailer_offset + _FRAME_HEADER.size)
+    record_count = reader.u64("record count")
+    chunk_count = reader.u32("chunk count")
+    url_strings = reader.strings("url table")
+    counts = _array_from(
+        "Q", bytes(reader.take(8 * len(url_strings), "url counts"))
+    )
+
+    def _stream() -> Iterator[TraceChunk]:
+        with open(path, "rb") as chunks_handle:
+            _read_header(chunks_handle)
+            offset = len(MAGIC)
+            for _ in range(chunk_count):
+                _, payload, next_offset = _read_frame(
+                    chunks_handle, offset, expect=CHUNK_MARKER
+                )
+                yield _decode_chunk(
+                    payload, offset + _FRAME_HEADER.size, chunked
+                )
+                offset = next_offset
+
+    chunked = ChunkedCompiledTrace(chunk_source=_stream)
+    chunked.record_count = record_count
+    chunked.preload_urls(url_strings, counts)
+    return chunked
+
+
+def verify_chunk_file(path: str) -> dict[str, int]:
+    """Walk every frame, verifying CRCs; returns summary counts.
+
+    Raises :class:`ChunkFileError` (with the damaged offset) on the first
+    corrupt or truncated frame.
+    """
+    chunked = open_chunked_trace(path)
+    records = 0
+    chunk_frames = 0
+    for chunk in chunked.chunks():
+        records += len(chunk)
+        chunk_frames += 1
+    if records != chunked.record_count:
+        raise ChunkFileError(
+            f"trailer claims {chunked.record_count} records, frames hold {records}",
+            0,
+        )
+    return {
+        "records": records,
+        "chunks": chunk_frames,
+        "urls": len(chunked.urls),
+        "sources": len(chunked.sources),
+    }

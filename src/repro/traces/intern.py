@@ -9,25 +9,63 @@ records become parallel arrays of primitives, and per-URL derived columns
 access counts) are computed on demand and then reused by every sweep point
 that replays the same trace.
 
-Compiling is cheap (one pass) and memoized per :class:`~repro.traces.records.Trace`
-instance, so callers can freely call :func:`compile_trace` wherever a fast
-path needs one.
+For traces too large to hold as whole-trace arrays there is
+:class:`ChunkedCompiledTrace`: the same symbol tables and per-URL derived
+columns, but the record columns live in fixed-size :class:`TraceChunk`
+slabs that stream through the consumer one at a time.  Chunks can come
+from an in-memory list (small traces, tests) or from the compact on-disk
+format in :mod:`repro.traces.chunked`, so compile -> store -> iterate
+never materializes the whole trace.  Because URLs are interned in stream
+order in both representations, the id spaces agree and the streaming
+engines stay bit-identical to the in-memory ones.
+
+Compiling is cheap (one pass) and memoized per
+:class:`~repro.traces.records.Trace` instance through a bounded
+:class:`CompileCache` (LRU over weakly-referenced traces), so callers can
+freely call :func:`compile_trace` wherever a fast path needs one without
+leaking compilations in long-lived processes.
 """
 
 from __future__ import annotations
 
 import math
+import weakref
 from array import array
-from collections.abc import Iterable
-from weakref import WeakKeyDictionary
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Iterator
+from typing import Union
 
 from .. import urls as url_utils
 from ..core.piggyback import ELEMENT_FIXED_BYTES
-from .records import Trace
+from ..telemetry import REGISTRY
+from .records import LogRecord, Trace
 
-__all__ = ["SymbolTable", "CompiledTrace", "compile_trace"]
+__all__ = [
+    "SymbolTable",
+    "CompiledTrace",
+    "TraceChunk",
+    "ChunkedCompiledTrace",
+    "CompileCache",
+    "COMPILE_CACHE",
+    "compile_trace",
+    "DEFAULT_CHUNK_RECORDS",
+]
 
 _NAN = float("nan")
+
+#: Default records per chunk: large enough that per-chunk overhead
+#: (boundary syncs, frame headers) vanishes, small enough that one chunk's
+#: columns are a few megabytes.
+DEFAULT_CHUNK_RECORDS = 65536
+
+_TEL_COMPILE_CACHE_HITS = REGISTRY.counter(
+    "trace_compile_cache_hits_total",
+    "compile_trace calls served from the bounded LRU cache",
+)
+_TEL_COMPILE_CACHE_MISSES = REGISTRY.counter(
+    "trace_compile_cache_misses_total",
+    "compile_trace calls that compiled a trace fresh",
+)
 
 
 class SymbolTable:
@@ -75,60 +113,30 @@ class SymbolTable:
         return self._strings
 
 
-class CompiledTrace:
-    """A trace compiled to parallel primitive arrays plus symbol tables.
+class _InternedColumns:
+    """Symbol tables plus lazily-built per-URL derived columns.
 
-    Record columns (all indexed by record position):
-
-    * ``timestamps`` — float seconds
-    * ``source_ids`` / ``url_ids`` — dense ids into :attr:`sources` / :attr:`urls`
-    * ``sizes`` — response bytes
-    * ``mtimes`` — Last-Modified seconds, NaN when the record had none
-
-    Per-URL derived columns (indexed by url id) are built lazily and
-    cached: :meth:`wire_bytes`, :meth:`content_type_ids`,
-    :meth:`directory_prefix_ids`, :meth:`url_counts`.
+    Shared by the whole-trace :class:`CompiledTrace` and the streaming
+    :class:`ChunkedCompiledTrace`; both keep the invariant that by the
+    time a derived column is read, :attr:`urls` holds every URL the trace
+    references, so columns are built once over the full table and only
+    extended by :meth:`ensure_url`.
     """
 
     __slots__ = (
-        "urls", "sources", "timestamps", "source_ids", "url_ids",
-        "sizes", "mtimes", "content_types",
+        "urls", "sources", "content_types",
         "_wire_bytes", "_content_type_ids", "_url_counts", "_prefix_columns",
-        "__weakref__",
     )
 
-    def __init__(self, trace: Iterable) -> None:
+    def __init__(self) -> None:
         self.urls = SymbolTable()
         self.sources = SymbolTable()
         self.content_types = SymbolTable()
-        self.timestamps = array("d")
-        self.source_ids = array("l")
-        self.url_ids = array("l")
-        self.sizes = array("q")
-        self.mtimes = array("d")
-        intern_url = self.urls.intern
-        intern_source = self.sources.intern
-        for record in trace:
-            self.timestamps.append(record.timestamp)
-            self.source_ids.append(intern_source(record.source))
-            self.url_ids.append(intern_url(record.url))
-            self.sizes.append(record.size)
-            mtime = record.last_modified
-            self.mtimes.append(_NAN if mtime is None else mtime)
         self._wire_bytes: list[int] | None = None
         self._content_type_ids: list[int] | None = None
         self._url_counts: list[int] | None = None
         # level -> (SymbolTable of prefixes, list of prefix ids per url id)
         self._prefix_columns: dict[int, tuple[SymbolTable, list[int]]] = {}
-
-    def __len__(self) -> int:
-        return len(self.url_ids)
-
-    def __repr__(self) -> str:
-        return (
-            f"CompiledTrace({len(self)} records, {len(self.urls)} urls, "
-            f"{len(self.sources)} sources)"
-        )
 
     # -- per-URL derived columns -------------------------------------------
 
@@ -178,15 +186,6 @@ class CompiledTrace:
         self.directory_prefix_ids(level)
         return self._prefix_columns[level][0]
 
-    def url_counts(self) -> list[int]:
-        """Total access count per url id over the whole trace."""
-        if self._url_counts is None:
-            counts = [0] * len(self.urls)
-            for url_id in self.url_ids:
-                counts[url_id] += 1
-            self._url_counts = counts
-        return self._url_counts
-
     def ensure_url(self, url: str) -> int:
         """Intern a URL that may not appear in the trace, extending columns.
 
@@ -209,9 +208,262 @@ class CompiledTrace:
                 ids.append(table.intern(url_utils.directory_prefix(url, level)))
         return url_id
 
+
+class CompiledTrace(_InternedColumns):
+    """A trace compiled to parallel primitive arrays plus symbol tables.
+
+    Record columns (all indexed by record position):
+
+    * ``timestamps`` — float seconds
+    * ``source_ids`` / ``url_ids`` — dense ids into :attr:`sources` / :attr:`urls`
+    * ``sizes`` — response bytes
+    * ``mtimes`` — Last-Modified seconds, NaN when the record had none
+
+    Per-URL derived columns (indexed by url id) are built lazily and
+    cached: :meth:`wire_bytes`, :meth:`content_type_ids`,
+    :meth:`directory_prefix_ids`, :meth:`url_counts`.
+    """
+
+    __slots__ = (
+        "timestamps", "source_ids", "url_ids", "sizes", "mtimes",
+        "__weakref__",
+    )
+
+    def __init__(self, trace: Iterable[LogRecord]) -> None:
+        super().__init__()
+        self.timestamps = array("d")
+        self.source_ids = array("l")
+        self.url_ids = array("l")
+        self.sizes = array("q")
+        self.mtimes = array("d")
+        intern_url = self.urls.intern
+        intern_source = self.sources.intern
+        for record in trace:
+            self.timestamps.append(record.timestamp)
+            self.source_ids.append(intern_source(record.source))
+            self.url_ids.append(intern_url(record.url))
+            self.sizes.append(record.size)
+            mtime = record.last_modified
+            self.mtimes.append(_NAN if mtime is None else mtime)
+
+    def __len__(self) -> int:
+        return len(self.url_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTrace({len(self)} records, {len(self.urls)} urls, "
+            f"{len(self.sources)} sources)"
+        )
+
+    def url_counts(self) -> list[int]:
+        """Total access count per url id over the whole trace."""
+        if self._url_counts is None:
+            counts = [0] * len(self.urls)
+            for url_id in self.url_ids:
+                counts[url_id] += 1
+            self._url_counts = counts
+        return self._url_counts
+
     def has_mtime(self, index: int) -> bool:
         """True when record *index* carried a Last-Modified value."""
         return not math.isnan(self.mtimes[index])
+
+
+class TraceChunk:
+    """One fixed-size columnar slab of a :class:`ChunkedCompiledTrace`.
+
+    Holds the same record columns as :class:`CompiledTrace` plus HTTP
+    status and method-id columns so a chunk stream is a lossless container
+    for :class:`~repro.traces.records.LogRecord` sequences (client-log
+    statistics need statuses; round-tripping needs methods).  ``start`` is
+    the chunk's global record offset in the trace.
+    """
+
+    __slots__ = (
+        "start", "timestamps", "source_ids", "url_ids", "sizes", "mtimes",
+        "statuses", "method_ids",
+    )
+
+    def __init__(self, start: int = 0) -> None:
+        self.start = start
+        self.timestamps = array("d")
+        self.source_ids = array("q")
+        self.url_ids = array("q")
+        self.sizes = array("q")
+        self.mtimes = array("d")
+        self.statuses = array("H")
+        self.method_ids = array("B")
+
+    def __len__(self) -> int:
+        return len(self.url_ids)
+
+    def __repr__(self) -> str:
+        return f"TraceChunk(start={self.start}, {len(self)} records)"
+
+    def records(
+        self, urls: SymbolTable, sources: SymbolTable, methods: SymbolTable
+    ) -> Iterator[LogRecord]:
+        """Reconstruct the chunk's records (needs the owning tables)."""
+        url_strings = urls.strings
+        source_strings = sources.strings
+        method_strings = methods.strings
+        for index in range(len(self.url_ids)):
+            mtime = self.mtimes[index]
+            yield LogRecord(
+                timestamp=self.timestamps[index],
+                source=source_strings[self.source_ids[index]],
+                url=url_strings[self.url_ids[index]],
+                method=method_strings[self.method_ids[index]],
+                status=self.statuses[index],
+                size=self.sizes[index],
+                last_modified=None if math.isnan(mtime) else mtime,
+            )
+
+
+class ChunkedCompiledTrace(_InternedColumns):
+    """A compiled trace whose record columns stream through fixed chunks.
+
+    The symbol tables and per-URL derived columns are whole-trace (they
+    are O(urls), which every consumer needs anyway); only the O(records)
+    columns are chunked.  Two ways to get one:
+
+    * :meth:`from_records` compiles an iterable into an in-memory chunk
+      list (small traces, tests);
+    * :func:`repro.traces.chunked.open_chunked_trace` binds one to an
+      on-disk chunk file, where every :meth:`chunks` call re-reads the
+      file sequentially and only one chunk is resident at a time.
+
+    In both cases the URL table is complete before any consumer runs (the
+    builder interned every URL; the file trailer carries the full table),
+    so url ids, derived columns, and whole-trace access counts are
+    identical to compiling the same records into a :class:`CompiledTrace`
+    — the property the bit-identical streaming engines rely on.
+    """
+
+    __slots__ = (
+        "methods", "record_count", "_chunks", "_chunk_source", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        chunk_source: Callable[[], Iterator[TraceChunk]] | None = None,
+    ) -> None:
+        super().__init__()
+        self.methods = SymbolTable()
+        self.record_count = 0
+        self._url_counts = []  # maintained eagerly while chunks are built
+        self._chunks: list[TraceChunk] = []
+        self._chunk_source = chunk_source
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[LogRecord],
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> "ChunkedCompiledTrace":
+        """Compile *records* into an in-memory chunk list."""
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        chunked = cls()
+        batch: list[LogRecord] = []
+        for record in records:
+            batch.append(record)
+            if len(batch) >= chunk_records:
+                chunked._chunks.append(chunked.compile_chunk(batch))
+                batch.clear()
+        if batch:
+            chunked._chunks.append(chunked.compile_chunk(batch))
+        return chunked
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    def __repr__(self) -> str:
+        backing = "file-backed" if self._chunk_source is not None else "in-memory"
+        return (
+            f"ChunkedCompiledTrace({self.record_count} records, "
+            f"{len(self.urls)} urls, {backing})"
+        )
+
+    def compile_chunk(self, records: Iterable[LogRecord]) -> TraceChunk:
+        """Intern and columnarize one batch of records into a new chunk.
+
+        Updates the symbol tables, whole-trace access counts, and record
+        count; the caller decides where the chunk lives (in-memory list,
+        on-disk frame).
+        """
+        chunk = TraceChunk(start=self.record_count)
+        intern_url = self.urls.intern
+        intern_source = self.sources.intern
+        intern_method = self.methods.intern
+        counts = self._url_counts
+        assert counts is not None  # eager for chunked traces
+        timestamps = chunk.timestamps
+        source_ids = chunk.source_ids
+        url_ids = chunk.url_ids
+        sizes = chunk.sizes
+        mtimes = chunk.mtimes
+        statuses = chunk.statuses
+        method_ids = chunk.method_ids
+        for record in records:
+            timestamps.append(record.timestamp)
+            source_ids.append(intern_source(record.source))
+            url_id = intern_url(record.url)
+            url_ids.append(url_id)
+            sizes.append(record.size)
+            mtime = record.last_modified
+            mtimes.append(_NAN if mtime is None else mtime)
+            statuses.append(record.status)
+            method_ids.append(intern_method(record.method))
+            if url_id == len(counts):
+                counts.append(1)
+            else:
+                counts[url_id] += 1
+        self.record_count += len(chunk)
+        return chunk
+
+    def preload_urls(self, url_strings: Iterable[str], counts: Iterable[int]) -> None:
+        """Install the complete URL table and access counts up front.
+
+        Used by the chunk-file reader: the trailer carries the final URL
+        table, so consumers see the full id space before the first chunk
+        streams (matching in-memory compilation, where the table is
+        complete before any derived column is read).
+        """
+        for url in url_strings:
+            self.urls.intern(url)
+        assert self._url_counts is not None
+        self._url_counts[:] = list(counts)
+        if len(self._url_counts) != len(self.urls):
+            raise ValueError(
+                "url count column does not match the url table "
+                f"({len(self._url_counts)} counts, {len(self.urls)} urls)"
+            )
+
+    def chunks(self) -> Iterator[TraceChunk]:
+        """Iterate the trace's chunks in order (restartable).
+
+        File-backed traces open a fresh sequential reader per call, so
+        multi-pass consumers (estimator pass then replay pass; forked
+        sweep workers) each stream the file independently.
+        """
+        if self._chunk_source is not None:
+            return self._chunk_source()
+        return iter(self._chunks)
+
+    def records(self) -> Iterator[LogRecord]:
+        """Reconstruct the full record stream (one chunk resident at a time)."""
+        for chunk in self.chunks():
+            yield from chunk.records(self.urls, self.sources, self.methods)
+
+    def url_counts(self) -> list[int]:
+        """Total access count per url id over the whole trace."""
+        assert self._url_counts is not None
+        return self._url_counts
+
+
+#: Anything the fast engines accept as an already-compiled trace.
+CompiledLike = Union[CompiledTrace, ChunkedCompiledTrace]
 
 
 def _element_wire_bytes(url: str) -> int:
@@ -221,21 +473,83 @@ def _element_wire_bytes(url: str) -> int:
     return length + ELEMENT_FIXED_BYTES
 
 
-_COMPILE_CACHE: "WeakKeyDictionary[Trace, CompiledTrace]" = WeakKeyDictionary()
+class CompileCache:
+    """Bounded LRU of ``Trace -> CompiledTrace`` keyed by weak identity.
+
+    Entries hold the trace only weakly (a dead trace's entry is removed by
+    its weakref callback), and the cache is capped so long-lived processes
+    compiling many streamed segments cannot accumulate compilations
+    without bound.  :meth:`evict` drops a specific trace's entry — or
+    everything — explicitly.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[weakref.ref[Trace], CompiledTrace] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, trace: Trace) -> CompiledTrace | None:
+        """The cached compilation of *trace*, refreshing its LRU position.
+
+        Raises TypeError for non-weakrefable inputs (the caller compiles
+        fresh without caching).
+        """
+        key = weakref.ref(trace)
+        compiled = self._entries.get(key)
+        if compiled is not None:
+            self._entries.move_to_end(key)
+        return compiled
+
+    def put(self, trace: Trace, compiled: CompiledTrace) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        key = weakref.ref(trace, self._entries_discard)
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _entries_discard(self, key: weakref.ref) -> None:
+        self._entries.pop(key, None)
+
+    def evict(self, trace: Trace | None = None) -> int:
+        """Drop *trace*'s entry (or all entries when None); returns count dropped."""
+        if trace is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        try:
+            key = weakref.ref(trace)
+        except TypeError:
+            return 0
+        return 1 if self._entries.pop(key, None) is not None else 0
 
 
-def compile_trace(trace: Trace) -> CompiledTrace:
-    """Compile *trace* once; repeated calls return the cached compilation."""
-    if isinstance(trace, CompiledTrace):
+#: Process-global compile cache used by :func:`compile_trace`.
+COMPILE_CACHE = CompileCache()
+
+
+def compile_trace(trace: Trace | CompiledLike) -> CompiledLike:
+    """Compile *trace* once; repeated calls return the cached compilation.
+
+    Already-compiled inputs (whole-trace or chunked) pass through.  The
+    cache is the bounded :data:`COMPILE_CACHE` LRU; hits and misses are
+    counted in the ``trace_compile_cache_*`` telemetry pair.
+    """
+    if isinstance(trace, (CompiledTrace, ChunkedCompiledTrace)):
         return trace
     try:
-        compiled = _COMPILE_CACHE.get(trace)
+        compiled = COMPILE_CACHE.get(trace)
     except TypeError:  # unhashable/unweakrefable inputs: compile fresh
+        _TEL_COMPILE_CACHE_MISSES.inc()
         return CompiledTrace(trace)
-    if compiled is None:
-        compiled = CompiledTrace(trace)
-        try:
-            _COMPILE_CACHE[trace] = compiled
-        except TypeError:
-            pass
+    if compiled is not None:
+        _TEL_COMPILE_CACHE_HITS.inc()
+        return compiled
+    _TEL_COMPILE_CACHE_MISSES.inc()
+    compiled = CompiledTrace(trace)
+    COMPILE_CACHE.put(trace, compiled)
     return compiled

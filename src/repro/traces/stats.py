@@ -5,14 +5,25 @@ and server logs: request counts, distinct servers/clients, unique resources,
 requests per source, response-size statistics, and the concentration
 statistics quoted in Appendix A (top-1% of servers' share of resources,
 share of requests going to the most popular resources).
+
+Both characterizers run as a **single streaming pass** carrying only
+per-key counters — no list of records or sizes is ever materialized — and
+accept either an in-memory :class:`~repro.traces.records.Trace` or a
+:class:`~repro.traces.intern.ChunkedCompiledTrace` (including one bound to
+an on-disk chunk file, where the pass decodes one chunk at a time).  The
+size median comes from a size histogram expanded to order statistics and
+the mean from an exact integer sum, so results are identical across
+representations.
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
 
 from .. import urls
+from .intern import ChunkedCompiledTrace
 from .records import Trace
 
 __all__ = [
@@ -24,14 +35,63 @@ __all__ = [
 ]
 
 
-def _median(values: list[float]) -> float:
-    if not values:
+class _SizeStats:
+    """Streaming mean/median of positive response sizes via a histogram.
+
+    Response sizes repeat heavily (every hit on a resource contributes the
+    same value), so a ``Counter`` stays tiny while representing the full
+    multiset; the median is the middle order statistic read off the sorted
+    histogram, exactly what sorting the value list would produce.
+    """
+
+    __slots__ = ("count", "total", "histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.histogram: Counter[int] = Counter()
+
+    def add(self, size: int) -> None:
+        if size > 0:
+            self.count += 1
+            self.total += size
+            self.histogram[size] += 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def median(self) -> float:
+        if not self.count:
+            return 0.0
+        # 0-based ranks of the one or two middle order statistics.
+        upper = self.count // 2
+        lower = upper if self.count % 2 else upper - 1
+        seen = 0
+        lower_value: float | None = None
+        for size in sorted(self.histogram):
+            seen += self.histogram[size]
+            if lower_value is None and seen > lower:
+                lower_value = float(size)
+            if seen > upper:
+                if self.count % 2:
+                    return float(size)
+                assert lower_value is not None
+                return (lower_value + size) / 2.0
+        raise AssertionError("histogram exhausted before median rank")
+
+
+def _top_share(counts, fraction: float) -> float:
+    """Share of the total captured by the top *fraction* of count values."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(counts, reverse=True)
+    if not ordered:
         return 0.0
-    ordered = sorted(values)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        return float(ordered[mid])
-    return (ordered[mid - 1] + ordered[mid]) / 2.0
+    top = max(1, math.ceil(len(ordered) * fraction))
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    return sum(ordered[:top]) / total
 
 
 def top_fraction_share(counts: dict[str, int], fraction: float) -> float:
@@ -41,16 +101,7 @@ def top_fraction_share(counts: dict[str, int], fraction: float) -> float:
     requests go to the most popular 10% of resources" — the paper observes
     roughly 85% for its server logs.
     """
-    if not counts:
-        return 0.0
-    if not 0.0 < fraction <= 1.0:
-        raise ValueError("fraction must be in (0, 1]")
-    ordered = sorted(counts.values(), reverse=True)
-    top = max(1, math.ceil(len(ordered) * fraction))
-    total = sum(ordered)
-    if total == 0:
-        return 0.0
-    return sum(ordered[:top]) / total
+    return _top_share(counts.values(), fraction) if counts else 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,53 +132,155 @@ class ClientLogStats:
     top_percent_server_resource_share: float
 
 
-def characterize_server_log(trace: Trace) -> ServerLogStats:
-    """Compute Table-3-style statistics for a server access log."""
-    if len(trace) == 0:
-        raise ValueError("cannot characterize an empty trace")
-    url_counts = trace.url_counts()
-    source_counts: dict[str, int] = {}
-    sizes: list[float] = []
-    for record in trace:
-        source_counts[record.source] = source_counts.get(record.source, 0) + 1
-        if record.size > 0:
-            sizes.append(float(record.size))
-    clients = len(source_counts)
-    return ServerLogStats(
-        days=trace.duration / 86400.0,
-        requests=len(trace),
-        clients=clients,
-        requests_per_source=len(trace) / clients,
-        unique_resources=len(url_counts),
-        top_decile_request_share=top_fraction_share(url_counts, 0.10),
-        top_decile_client_share=top_fraction_share(source_counts, 0.10),
-        mean_response_size=sum(sizes) / len(sizes) if sizes else 0.0,
-        median_response_size=_median(sizes),
-    )
+class _ServerAccumulator:
+    """One-pass state for :func:`characterize_server_log`.
+
+    Keys are whatever the caller feeds — URL/source strings from a
+    ``Trace``, integer ids from a chunked trace; only counter *values*
+    reach the final statistics, so the key space does not matter.
+    """
+
+    __slots__ = ("requests", "first", "last", "url_counts", "source_counts", "sizes")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.first = 0.0
+        self.last = 0.0
+        self.url_counts: dict = {}
+        self.source_counts: dict = {}
+        self.sizes = _SizeStats()
+
+    def observe(self, timestamp: float, source, url, size: int) -> None:
+        if not self.requests:
+            self.first = timestamp
+        self.last = timestamp
+        self.requests += 1
+        self.url_counts[url] = self.url_counts.get(url, 0) + 1
+        self.source_counts[source] = self.source_counts.get(source, 0) + 1
+        self.sizes.add(size)
+
+    def finish(self) -> ServerLogStats:
+        if not self.requests:
+            raise ValueError("cannot characterize an empty trace")
+        clients = len(self.source_counts)
+        return ServerLogStats(
+            days=(self.last - self.first) / 86400.0,
+            requests=self.requests,
+            clients=clients,
+            requests_per_source=self.requests / clients,
+            unique_resources=len(self.url_counts),
+            top_decile_request_share=_top_share(self.url_counts.values(), 0.10),
+            top_decile_client_share=_top_share(self.source_counts.values(), 0.10),
+            mean_response_size=self.sizes.mean(),
+            median_response_size=self.sizes.median(),
+        )
 
 
-def characterize_client_log(trace: Trace) -> ClientLogStats:
-    """Compute Table-2-style statistics for a client/proxy log."""
-    if len(trace) == 0:
-        raise ValueError("cannot characterize an empty trace")
-    url_counts = trace.url_counts()
-    servers: dict[str, set[str]] = {}
-    not_modified = 0
-    sizes: list[float] = []
-    for record in trace:
-        host, _ = urls.split_host_path(record.url)
-        servers.setdefault(host, set()).add(record.url)
-        if record.is_not_modified:
-            not_modified += 1
-        if record.size > 0:
-            sizes.append(float(record.size))
-    resources_per_server = {h: len(rs) for h, rs in servers.items()}
-    return ClientLogStats(
-        days=trace.duration / 86400.0,
-        requests=len(trace),
-        distinct_servers=len(servers),
-        unique_resources=len(url_counts),
-        not_modified_fraction=not_modified / len(trace),
-        mean_response_size=sum(sizes) / len(sizes) if sizes else 0.0,
-        top_percent_server_resource_share=top_fraction_share(resources_per_server, 0.01),
-    )
+class _ClientAccumulator:
+    """One-pass state for :func:`characterize_client_log`.
+
+    ``host_of`` maps a URL key to its server key; chunked traces resolve
+    it per *distinct* url id (one parse per resource, not per request).
+    """
+
+    __slots__ = ("requests", "first", "last", "server_resources", "seen_urls",
+                 "not_modified", "sizes")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.first = 0.0
+        self.last = 0.0
+        self.server_resources: dict = {}
+        self.seen_urls: set = set()
+        self.not_modified = 0
+        self.sizes = _SizeStats()
+
+    def observe(self, timestamp: float, url, host, size: int, is_not_modified: bool) -> None:
+        if not self.requests:
+            self.first = timestamp
+        self.last = timestamp
+        self.requests += 1
+        resources = self.server_resources.get(host)
+        if resources is None:
+            resources = set()
+            self.server_resources[host] = resources
+        resources.add(url)
+        self.seen_urls.add(url)
+        if is_not_modified:
+            self.not_modified += 1
+        self.sizes.add(size)
+
+    def finish(self) -> ClientLogStats:
+        if not self.requests:
+            raise ValueError("cannot characterize an empty trace")
+        return ClientLogStats(
+            days=(self.last - self.first) / 86400.0,
+            requests=self.requests,
+            distinct_servers=len(self.server_resources),
+            unique_resources=len(self.seen_urls),
+            not_modified_fraction=self.not_modified / self.requests,
+            mean_response_size=self.sizes.mean(),
+            top_percent_server_resource_share=_top_share(
+                (len(resources) for resources in self.server_resources.values()), 0.01
+            ),
+        )
+
+
+def characterize_server_log(trace: Trace | ChunkedCompiledTrace) -> ServerLogStats:
+    """Compute Table-3-style statistics for a server access log.
+
+    Chunked traces (in-memory or file-backed) are characterized in one
+    streaming pass over their chunks; results are identical to the
+    ``Trace`` path on the same records.
+    """
+    accumulator = _ServerAccumulator()
+    if isinstance(trace, ChunkedCompiledTrace):
+        observe = accumulator.observe
+        for chunk in trace.chunks():
+            timestamps = chunk.timestamps
+            source_ids = chunk.source_ids
+            url_ids = chunk.url_ids
+            sizes = chunk.sizes
+            for index in range(len(timestamps)):
+                observe(timestamps[index], source_ids[index], url_ids[index],
+                        sizes[index])
+    else:
+        for record in trace:
+            accumulator.observe(record.timestamp, record.source, record.url,
+                                record.size)
+    return accumulator.finish()
+
+
+def characterize_client_log(trace: Trace | ChunkedCompiledTrace) -> ClientLogStats:
+    """Compute Table-2-style statistics for a client/proxy log.
+
+    Chunked traces are characterized in one streaming pass; the host of
+    each resource is resolved once per distinct url id against the shared
+    symbol table rather than once per request.
+    """
+    accumulator = _ClientAccumulator()
+    if isinstance(trace, ChunkedCompiledTrace):
+        observe = accumulator.observe
+        url_strings = trace.urls.strings
+        # Host id per distinct url id, resolved lazily: a chunk stream can
+        # intern further urls mid-pass, so look up rather than precompute.
+        host_ids: dict[int, str] = {}
+        for chunk in trace.chunks():
+            timestamps = chunk.timestamps
+            url_ids = chunk.url_ids
+            sizes = chunk.sizes
+            statuses = chunk.statuses
+            for index in range(len(timestamps)):
+                url = url_ids[index]
+                host = host_ids.get(url)
+                if host is None:
+                    host, _ = urls.split_host_path(url_strings[url])
+                    host_ids[url] = host
+                observe(timestamps[index], url, host, sizes[index],
+                        statuses[index] == 304)
+    else:
+        for record in trace:
+            host, _ = urls.split_host_path(record.url)
+            accumulator.observe(record.timestamp, record.url, host, record.size,
+                                record.is_not_modified)
+    return accumulator.finish()

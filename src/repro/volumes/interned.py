@@ -29,7 +29,7 @@ import heapq
 from collections import OrderedDict
 from collections.abc import Iterator
 
-from ..traces.intern import CompiledTrace
+from ..traces.intern import ChunkedCompiledTrace, CompiledTrace
 from .directory import DirectoryVolumeConfig
 from .probability import ProbabilityVolumes
 
@@ -105,7 +105,11 @@ class _IntVolumeFifos:
 class InternedDirectoryStore:
     """Integer-id twin of :class:`DirectoryVolumeStore`."""
 
-    def __init__(self, compiled: CompiledTrace, config: DirectoryVolumeConfig = DirectoryVolumeConfig()):
+    def __init__(
+        self,
+        compiled: CompiledTrace | ChunkedCompiledTrace,
+        config: DirectoryVolumeConfig = DirectoryVolumeConfig(),
+    ):
         self.compiled = compiled
         self.config = config
         self._prefix_ids = compiled.directory_prefix_ids(config.level)
@@ -128,9 +132,17 @@ class InternedDirectoryStore:
         return self._touch_counter
 
     def observe_index(self, index: int) -> None:
-        """Account record *index* of the compiled trace."""
+        """Account record *index* of the (whole-trace) compiled trace."""
         compiled = self.compiled
-        url_id = compiled.url_ids[index]
+        self.observe_id(compiled.url_ids[index], compiled.sizes[index])
+
+    def observe_id(self, url_id: int, size: int) -> None:
+        """Account one request by value — the chunk-streaming entry point.
+
+        Identical maintenance to :meth:`observe_index`; streaming callers
+        pass the decoded (url id, size) pair directly since there is no
+        global record index to look up.
+        """
         key = self._prefix_ids[url_id]
         volume = self._volumes.get(key)
         if volume is None:
@@ -139,7 +151,7 @@ class InternedDirectoryStore:
         self._touch_counter += 1
         volume.touch(
             url_id,
-            compiled.sizes[index],
+            size,
             self._type_ids[url_id],
             self.config.move_to_front,
             self._touch_counter,
@@ -170,7 +182,11 @@ class InternedProbabilityStore:
     configurations that filter on resource size).
     """
 
-    def __init__(self, compiled: CompiledTrace, volumes: ProbabilityVolumes):
+    def __init__(
+        self,
+        compiled: CompiledTrace | ChunkedCompiledTrace,
+        volumes: ProbabilityVolumes,
+    ):
         self.compiled = compiled
         self.volumes = volumes
         members: dict[int, list[tuple[int, float]]] = {}
@@ -204,8 +220,10 @@ class InternedProbabilityStore:
 
     def observe_index(self, index: int) -> None:
         compiled = self.compiled
-        url_id = compiled.url_ids[index]
-        size = compiled.sizes[index]
+        self.observe_id(compiled.url_ids[index], compiled.sizes[index])
+
+    def observe_id(self, url_id: int, size: int) -> None:
+        """Account one request by value — the chunk-streaming entry point."""
         if size and self.sizes[url_id] != size:
             self.sizes[url_id] = size
             self.size_dirty.append(url_id)
@@ -231,7 +249,7 @@ class InternedProbabilityStore:
         return self._containing.get(url_id, ())
 
 
-def build_interned_store(compiled: CompiledTrace, store_or_config):
+def build_interned_store(compiled: CompiledTrace | ChunkedCompiledTrace, store_or_config):
     """Interned twin for a reference store or store config.
 
     Accepts a :class:`DirectoryVolumeConfig`, a :class:`ProbabilityVolumes`

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from .. import urls
 from ..core.filters import CandidateElement
-from ..traces.intern import CompiledTrace, compile_trace
+from ..traces.intern import ChunkedCompiledTrace, CompiledTrace, compile_trace
 from ..traces.records import LogRecord, Trace
 from .base import VolumeIdAllocator, VolumeLookup, VolumeStore, VolumeVersion
 
@@ -207,11 +207,25 @@ class InternedPairwiseEstimator:
     integer hashing — pair counters are keyed by a single packed int and
     directory agreement becomes an id comparison against a precomputed
     prefix column instead of two URL parses.
+
+    Also accepts a :class:`ChunkedCompiledTrace` (including one bound to
+    an on-disk chunk file), in which case :meth:`run` streams chunk by
+    chunk through the same per-record statements — results stay
+    bit-identical — and periodically drops per-source windows whose
+    entries have all aged out (a drained window and a missing one behave
+    identically), keeping resident state at O(active sources + counters).
     """
 
     _KEY_SHIFT = 32  # url-id spaces are far below 2^32
 
-    def __init__(self, compiled: CompiledTrace, config: PairwiseConfig = PairwiseConfig()):
+    #: Streaming runs prune idle per-source windows every this many records.
+    PRUNE_INTERVAL_RECORDS = 1 << 18
+
+    def __init__(
+        self,
+        compiled: CompiledTrace | ChunkedCompiledTrace,
+        config: PairwiseConfig = PairwiseConfig(),
+    ):
         self.compiled = compiled
         self.config = config
         self._windows: dict[int, deque[list]] = {}
@@ -241,15 +255,64 @@ class InternedPairwiseEstimator:
         return self._occurrences[url_id]
 
     def run(self, upto: int | None = None) -> "InternedPairwiseEstimator":
-        """Consume trace records up to index *upto* (default: all); idempotent."""
+        """Consume trace records up to index *upto* (default: all); idempotent.
+
+        Chunked traces are streamed one chunk at a time; array-backed
+        traces are consumed in a single batch.  Both paths execute the
+        same per-record statements (:meth:`_observe_batch`), so the
+        estimates are bit-identical regardless of representation.
+        """
         compiled = self.compiled
         end = len(compiled) if upto is None else min(upto, len(compiled))
         if self._position >= end:
             return self
-        timestamps = compiled.timestamps
-        source_ids = compiled.source_ids
-        url_ids = compiled.url_ids
-        url_strings = compiled.urls.strings
+        if isinstance(compiled, ChunkedCompiledTrace):
+            since_prune = 0
+            for chunk in compiled.chunks():
+                chunk_end = chunk.start + len(chunk)
+                if chunk_end <= self._position:
+                    continue
+                lo = self._position - chunk.start
+                hi = min(end, chunk_end) - chunk.start
+                self._observe_batch(
+                    chunk.timestamps, chunk.source_ids, chunk.url_ids, lo, hi
+                )
+                self._position = chunk.start + hi
+                since_prune += hi - lo
+                if self._position >= end:
+                    break
+                if since_prune >= self.PRUNE_INTERVAL_RECORDS and hi > lo:
+                    self._prune_windows(chunk.timestamps[hi - 1])
+                    since_prune = 0
+        else:
+            self._observe_batch(
+                compiled.timestamps,
+                compiled.source_ids,
+                compiled.url_ids,
+                self._position,
+                end,
+            )
+            self._position = end
+        return self
+
+    def _prune_windows(self, now: float) -> None:
+        """Drop per-source windows whose entries have all aged out.
+
+        A window whose newest entry is older than the horizon would be
+        fully drained by the pop loop on that source's next request, and
+        a fresh deque is created when the source reappears — so dropping
+        the deque now changes nothing observable.  Only the streaming
+        driver calls this; it is what keeps long multi-tenant passes at
+        O(active sources) instead of O(all sources ever seen).
+        """
+        cutoff = now - self.config.window
+        windows = self._windows
+        for source in [s for s, w in windows.items() if w[-1][0] < cutoff]:
+            del windows[source]
+
+    def _observe_batch(self, timestamps, source_ids, url_ids, lo: int, hi: int) -> None:
+        """Account records ``[lo, hi)`` of the given parallel columns."""
+        url_strings = self.compiled.urls.strings
         windows = self._windows
         occurrences = self._occurrences
         pair_counts = self._pair_counts
@@ -260,7 +323,7 @@ class InternedPairwiseEstimator:
         admitted = config.pair_admitted
         shift = self._KEY_SHIFT
         rng_random = self._rng.random
-        for index in range(self._position, end):
+        for index in range(lo, hi):
             url = url_ids[index]
             timestamp = timestamps[index]
             window = windows.get(source_ids[index])
@@ -302,8 +365,6 @@ class InternedPairwiseEstimator:
                 pair_counts[key] = 1
             occurrences[url] += 1
             window.append([timestamp, url, set()])
-        self._position = end
-        return self
 
     def probability(self, antecedent: str, consequent: str) -> float:
         ids = self.compiled.urls
@@ -340,9 +401,14 @@ class InternedPairwiseEstimator:
 
 
 def estimate_pairwise(
-    trace: Trace | CompiledTrace, config: PairwiseConfig = PairwiseConfig()
+    trace: Trace | CompiledTrace | ChunkedCompiledTrace,
+    config: PairwiseConfig = PairwiseConfig(),
 ) -> InternedPairwiseEstimator:
-    """Compile *trace* (memoized) and run the interned estimator over it."""
+    """Compile *trace* (memoized) and run the interned estimator over it.
+
+    Chunked traces (in-memory or file-backed) are streamed without ever
+    materializing the full record set; see :class:`InternedPairwiseEstimator`.
+    """
     return InternedPairwiseEstimator(compile_trace(trace), config).run()
 
 

@@ -1,6 +1,7 @@
 """Synthetic workload generation calibrated to the paper's log shapes."""
 
-from .zipf import ZipfSampler, zipf_weights
+from .zipf import ZipfSampler, zipf_rank, zipf_weights
+from .internet import InternetConfig, generate_internet_stream, write_internet_trace
 from .sitegen import SiteConfig, SyntheticPage, SyntheticResource, SyntheticSite, generate_site
 from .sessions import SessionConfig, SessionEvent, SessionGenerator
 from .modifications import ModificationConfig, ModificationProcess
@@ -17,7 +18,11 @@ from .synth import (
 
 __all__ = [
     "ZipfSampler",
+    "zipf_rank",
     "zipf_weights",
+    "InternetConfig",
+    "generate_internet_stream",
+    "write_internet_trace",
     "SiteConfig",
     "SyntheticPage",
     "SyntheticResource",

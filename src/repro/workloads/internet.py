@@ -1,0 +1,337 @@
+"""Multi-tenant internet-scale workload generation.
+
+The single-site generators in :mod:`repro.workloads.synth` materialize a
+whole log as a list, which caps them at laptop-memory scales.  This module
+generates the *aggregate request stream a shared piggyback proxy would
+see* — hundreds of origin servers, each with its own synthetic site, and a
+client population in the millions — as a lazily-evaluated, strictly
+time-ordered iterator of :class:`~repro.traces.records.LogRecord`.  It
+never holds more than the in-flight sessions, so a 10M-record trace costs
+the same resident memory as a 10k-record one; pair it with
+:class:`~repro.traces.chunked.ChunkWriter` (see :func:`write_internet_trace`)
+to compile straight to the on-disk chunk format.
+
+Traffic structure, all seeded and reproducible:
+
+* **session arrivals** follow a nonhomogeneous Poisson process (thinning
+  against the peak rate) with a diurnal sinusoid — nights are quiet, the
+  daily peak is ``1 + diurnal_amplitude`` times the base rate;
+* **flash crowds**: square rate pulses pinned to one origin each, arriving
+  at seeded exponential intervals — during a pulse the excess sessions all
+  land on the flash origin, the paper's "popular resource suddenly
+  everywhere" regime;
+* **origins** are chosen Zipf-style (a few giants, a long tail); each
+  origin's :class:`~repro.workloads.sitegen.SyntheticSite` is derived
+  deterministically from the master seed and built lazily on first hit;
+* **clients** are drawn from a Zipf population by rank via
+  :func:`~repro.workloads.zipf.zipf_rank` — O(1) memory regardless of
+  population size, so "millions of clients" is just an integer here;
+* **bots** replace a configured fraction of sessions: a small pool of
+  crawlers that sweep a site's pages in deterministic popularity order at
+  a fixed gap, without fetching embedded images — the anti-locality mix
+  that stresses volume construction.
+
+Requests carry deterministic per-resource Last-Modified values (a CRC of
+the URL folded into the first day) and an optional If-Modified-Since mix
+(``status 304, size 0``) so client-log characterization has something to
+measure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass, field, replace
+from heapq import heappop, heappush
+
+from ..traces.intern import DEFAULT_CHUNK_RECORDS
+from ..traces.records import LogRecord
+from .sessions import SessionConfig, SessionGenerator
+from .sitegen import SiteConfig, SyntheticSite, generate_site
+from .zipf import ZipfSampler, zipf_rank
+
+__all__ = ["InternetConfig", "generate_internet_stream", "write_internet_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class InternetConfig:
+    """Shape of one internet-scale aggregate trace.
+
+    ``record_count`` is exact: the stream yields precisely that many
+    records and stops (sessions straddling the cut are truncated).  The
+    wall-clock span of the trace follows from the arrival rate — at the
+    defaults roughly 20 records/session * 0.25 sessions/s ≈ 5 records/s,
+    so 1M records cover about two diurnal cycles.
+    """
+
+    record_count: int = 1_000_000
+    origin_count: int = 200
+    client_count: int = 2_000_000
+    sessions_per_second: float = 0.25
+    diurnal_amplitude: float = 0.6
+    diurnal_period: float = 86_400.0
+    flash_mean_interval: float = 43_200.0
+    flash_duration: float = 1_800.0
+    flash_intensity: float = 15.0
+    bot_fraction: float = 0.05
+    bot_pool_size: int = 64
+    bot_pages_per_crawl: int = 40
+    bot_request_gap: float = 0.5
+    not_modified_fraction: float = 0.08
+    origin_zipf_alpha: float = 1.0
+    client_zipf_alpha: float = 1.2
+    site_template: SiteConfig = field(
+        default_factory=lambda: SiteConfig(page_count=120, directory_count=12)
+    )
+    sessions: SessionConfig = field(default_factory=SessionConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.record_count < 1:
+            raise ValueError("record_count must be >= 1")
+        if self.origin_count < 1 or self.client_count < 1:
+            raise ValueError("origin_count and client_count must be >= 1")
+        if self.sessions_per_second <= 0:
+            raise ValueError("sessions_per_second must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0 or self.flash_mean_interval <= 0:
+            raise ValueError("periods must be positive")
+        if self.flash_duration <= 0 or self.flash_intensity < 0:
+            raise ValueError("flash_duration must be positive, intensity >= 0")
+        if not 0.0 <= self.bot_fraction <= 1.0:
+            raise ValueError("bot_fraction must be in [0, 1]")
+        if self.bot_pool_size < 1 or self.bot_pages_per_crawl < 1:
+            raise ValueError("bot pool and crawl length must be >= 1")
+        if self.bot_request_gap <= 0:
+            raise ValueError("bot_request_gap must be positive")
+        if not 0.0 <= self.not_modified_fraction <= 1.0:
+            raise ValueError("not_modified_fraction must be in [0, 1]")
+
+
+def _client_address(rank: int) -> str:
+    """Stable dotted-quad for a 1-based client rank (up to ~4.2B clients)."""
+    value = rank - 1
+    return (
+        f"{(value >> 24) & 255}.{(value >> 16) & 255}."
+        f"{(value >> 8) & 255}.{value & 255}"
+    )
+
+
+def _resource_mtime(url: str) -> float:
+    """Deterministic per-resource Last-Modified inside the first day.
+
+    A full modification process (see
+    :mod:`repro.workloads.modifications`) would need per-resource state
+    for every resource of every origin; coherency is not what this
+    generator stresses, so a URL-hashed constant keeps the field populated
+    at zero memory.
+    """
+    return float(zlib.crc32(url.encode("utf-8")) % 86_400)
+
+
+class _Origin:
+    """One origin's lazily-built site, session generator, and crawl order."""
+
+    __slots__ = ("site", "humans", "crawl_order")
+
+    def __init__(self, site: SyntheticSite, sessions: SessionConfig):
+        self.site = site
+        self.humans = SessionGenerator(site, sessions)
+        self.crawl_order = site.pages_by_popularity
+
+
+class _InternetProcess:
+    """All mutable generation state; one instance per stream."""
+
+    def __init__(self, config: InternetConfig):
+        self.config = config
+        # Independent seeded streams per concern: session internals draw a
+        # variable number of samples, so giving arrivals/flash/clients
+        # their own RNGs keeps each process's sequence stable under
+        # parameter tweaks elsewhere.
+        base = config.seed
+        self.rng_arrival = random.Random(f"{base}:arrival")
+        self.rng_flash = random.Random(f"{base}:flash")
+        self.rng_client = random.Random(f"{base}:client")
+        self.rng_session = random.Random(f"{base}:session")
+        self.origin_sampler = ZipfSampler(
+            list(range(config.origin_count)), alpha=config.origin_zipf_alpha
+        )
+        self.origins: dict[int, _Origin] = {}
+        self.peak_rate = config.sessions_per_second * (
+            1.0 + config.diurnal_amplitude + config.flash_intensity
+        )
+        self.flash_until = 0.0
+        self.flash_origin = 0
+        self.next_flash = self.rng_flash.expovariate(1.0 / config.flash_mean_interval)
+
+    def origin(self, index: int) -> _Origin:
+        origin = self.origins.get(index)
+        if origin is None:
+            config = self.config
+            site_config = replace(
+                config.site_template,
+                host=f"www.origin{index:04d}.example",
+                seed=(config.seed * 1_000_003 + index) & 0x7FFFFFFF,
+            )
+            origin = _Origin(generate_site(site_config), config.sessions)
+            self.origins[index] = origin
+        return origin
+
+    def _rate_parts(self, now: float) -> tuple[float, float]:
+        """(background rate, flash excess rate) at time *now*.
+
+        Advances the flash schedule: pulses arrive at seeded exponential
+        intervals, never overlapping (the next interval is measured from
+        the end of the current pulse).
+        """
+        config = self.config
+        while now >= self.next_flash:
+            self.flash_until = self.next_flash + config.flash_duration
+            self.flash_origin = self.origin_sampler.sample(self.rng_flash)
+            self.next_flash = self.flash_until + self.rng_flash.expovariate(
+                1.0 / config.flash_mean_interval
+            )
+        base = config.sessions_per_second * (
+            1.0
+            + config.diurnal_amplitude
+            * math.sin(2.0 * math.pi * now / config.diurnal_period)
+        )
+        flash = (
+            config.sessions_per_second * config.flash_intensity
+            if now < self.flash_until
+            else 0.0
+        )
+        return base, flash
+
+    def arrivals(self) -> Iterator[tuple[float, int]]:
+        """Endless (start_time, origin_index) session arrivals, time-ordered.
+
+        Thinning: candidate arrivals come from a homogeneous Poisson
+        process at the peak rate; each is accepted with probability
+        ``rate(t) / peak``.  Accepted arrivals due to flash excess land on
+        the flash origin, the rest sample the Zipf origin distribution.
+        """
+        rng = self.rng_arrival
+        peak = self.peak_rate
+        now = 0.0
+        while True:
+            now += rng.expovariate(peak)
+            base, flash = self._rate_parts(now)
+            point = rng.random() * peak
+            if point < base:
+                yield now, self.origin_sampler.sample(rng)
+            elif point < base + flash:
+                yield now, self.flash_origin
+
+    def session_events(
+        self, start: float, origin_index: int
+    ) -> list[tuple[float, str, str, int, int, float]]:
+        """One session's (timestamp, source, url, status, size, mtime) events."""
+        config = self.config
+        origin = self.origin(origin_index)
+        rng = self.rng_session
+        events: list[tuple[float, str, str, int, int, float]] = []
+        if self.rng_client.random() < config.bot_fraction:
+            bot = self.rng_client.randrange(config.bot_pool_size)
+            source = f"bot-{bot:03d}.crawler.example"
+            pages = origin.crawl_order
+            offset = rng.randrange(len(pages))
+            length = min(config.bot_pages_per_crawl, len(pages))
+            for step in range(length):
+                url = pages[(offset + step) % len(pages)]
+                resource = origin.site.resources[url]
+                events.append(
+                    (
+                        start + step * config.bot_request_gap,
+                        source,
+                        url,
+                        200,
+                        resource.size,
+                        _resource_mtime(url),
+                    )
+                )
+            return events
+        rank = zipf_rank(self.rng_client, config.client_count, config.client_zipf_alpha)
+        source = _client_address(rank)
+        for event in origin.humans.generate_session(rng, start):
+            resource = origin.site.resources[event.url]
+            if rng.random() < config.not_modified_fraction:
+                status, size = 304, 0
+            else:
+                status, size = 200, resource.size
+            events.append(
+                (
+                    event.timestamp,
+                    source,
+                    event.url,
+                    status,
+                    size,
+                    _resource_mtime(event.url),
+                )
+            )
+        return events
+
+
+def generate_internet_stream(config: InternetConfig) -> Iterator[LogRecord]:
+    """Yield exactly ``config.record_count`` records in global time order.
+
+    Sessions overlap in time, so events are merged through a heap keyed by
+    ``(timestamp, sequence)``; the heap only ever holds in-flight sessions
+    (arrival rate x session span x events per session — thousands of
+    entries, independent of ``record_count``).  The stream is fully
+    deterministic in ``config`` and safe to restart: a fresh call replays
+    the identical sequence.
+    """
+    process = _InternetProcess(config)
+    pending: list[tuple[float, int, str, str, int, int, float]] = []
+    sequence = 0
+    remaining = config.record_count
+
+    def pop_record() -> LogRecord:
+        timestamp, _, source, url, status, size, mtime = heappop(pending)
+        return LogRecord(
+            timestamp=timestamp,
+            source=source,
+            url=url,
+            method="GET",
+            status=status,
+            size=size,
+            last_modified=mtime,
+        )
+
+    for start, origin_index in process.arrivals():
+        # Everything timestamped before this arrival is final: no later
+        # session can emit earlier than its own start time.
+        while pending and pending[0][0] <= start:
+            yield pop_record()
+            remaining -= 1
+            if remaining == 0:
+                return
+        for timestamp, source, url, status, size, mtime in process.session_events(
+            start, origin_index
+        ):
+            heappush(pending, (timestamp, sequence, source, url, status, size, mtime))
+            sequence += 1
+
+
+def write_internet_trace(
+    config: InternetConfig,
+    path: str,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> tuple[int, int]:
+    """Stream an internet-scale trace straight into a chunk file.
+
+    Generation and compilation are fused: records flow from the session
+    heap into the :class:`~repro.traces.chunked.ChunkWriter`'s current
+    chunk and onto disk, so peak memory is the chunk size plus the symbol
+    tables plus in-flight sessions.  Returns ``(record_count, chunk_count)``.
+    """
+    from ..traces.chunked import ChunkWriter
+
+    with ChunkWriter(path, chunk_records=chunk_records) as writer:
+        writer.extend(generate_internet_stream(config))
+    return writer.context.record_count, writer.chunk_count

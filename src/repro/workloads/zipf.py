@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import math
 import random
 from collections.abc import Sequence
 from typing import TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["zipf_weights", "ZipfSampler"]
+__all__ = ["zipf_weights", "zipf_rank", "ZipfSampler"]
 
 
 def zipf_weights(n: int, alpha: float = 1.0) -> list[float]:
@@ -27,6 +28,59 @@ def zipf_weights(n: int, alpha: float = 1.0) -> list[float]:
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
     return [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+
+
+def zipf_rank(rng: random.Random, n: int, alpha: float = 1.0) -> int:
+    """Draw a 1-based rank from Zipf(alpha) over ``{1, .., n}`` in O(1) memory.
+
+    :class:`ZipfSampler` precomputes an O(n) cumulative table, which is
+    fine for pages or origins but not for sampling from a population of
+    millions of clients.  This is Hörmann & Derflinger's
+    rejection-inversion method: invert the integral of the continuous
+    envelope ``h(x) = x**-alpha``, round to the nearest integer, and
+    accept/reject against the true mass — constant expected work and no
+    table, for any *n*.  Deterministic given *rng*.
+    """
+    if n < 1:
+        raise ValueError("need at least one rank")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    if n == 1:
+        return 1
+    if alpha == 0.0:
+        return 1 + min(int(rng.random() * n), n - 1)
+
+    if alpha == 1.0:
+        def h_integral(x: float) -> float:
+            return math.log(x)
+
+        def h_integral_inverse(x: float) -> float:
+            return math.exp(x)
+    else:
+        one_minus = 1.0 - alpha
+
+        def h_integral(x: float) -> float:
+            return (x ** one_minus - 1.0) / one_minus
+
+        def h_integral_inverse(x: float) -> float:
+            return max(1.0 + one_minus * x, 0.0) ** (1.0 / one_minus)
+
+    def h(x: float) -> float:
+        return x ** -alpha
+
+    h_x1 = h_integral(1.5) - 1.0
+    h_n = h_integral(n + 0.5)
+    s = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0))
+    while True:
+        u = h_n + rng.random() * (h_x1 - h_n)
+        x = h_integral_inverse(u)
+        k = int(x + 0.5)
+        if k < 1:
+            k = 1
+        elif k > n:
+            k = n
+        if k - x <= s or u >= h_integral(k + 0.5) - h(k):
+            return k
 
 
 class ZipfSampler:

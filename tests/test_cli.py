@@ -107,3 +107,47 @@ class TestCommands:
                      "--min-accesses", "1", "--chart"])
         assert code == 0
         assert "#" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_gen_stats_verify_pipeline(self, tmp_path, capsys):
+        path = str(tmp_path / "net.rpchunk")
+        code = main(["trace", "gen", "--out", path, "--records", "2000",
+                     "--origins", "4", "--clients", "5000", "--rate", "0.5",
+                     "--seed", "8"])
+        assert code == 0
+        assert "wrote 2000 records" in capsys.readouterr().out
+
+        code = main(["trace", "verify", path])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+        code = main(["trace", "stats", path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "requests             2000" in output
+        assert "median response bytes" in output
+
+        code = main(["trace", "stats", path, "--kind", "client"])
+        assert code == 0
+        assert "servers" in capsys.readouterr().out
+
+    def test_stats_rejects_damaged_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.rpchunk"
+        path.write_bytes(b"not a chunk file at all")
+        code = main(["trace", "stats", str(path)])
+        assert code == 2
+        assert "trace stats:" in capsys.readouterr().err
+
+    def test_verify_reports_damage(self, tmp_path, capsys):
+        path = str(tmp_path / "net.rpchunk")
+        main(["trace", "gen", "--out", path, "--records", "500",
+              "--origins", "2", "--clients", "1000", "--rate", "0.5",
+              "--seed", "3"])
+        capsys.readouterr()
+        data = bytearray(open(path, "rb").read())
+        data[40] ^= 0x01
+        open(path, "wb").write(bytes(data))
+        code = main(["trace", "verify", path])
+        assert code == 1
+        assert "offset" in capsys.readouterr().err
